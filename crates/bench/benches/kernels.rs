@@ -1,0 +1,118 @@
+//! Criterion microbenchmarks of the reproduction's performance-critical
+//! kernels: the analog integrator, the FR-FCFS controller, the destruction
+//! sweep scheduler, PUF evaluation, Jaccard computation, and the NIST
+//! suite's heaviest tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn circuit_activate(c: &mut Criterion) {
+    use codic_circuit::{CircuitParams, CircuitSim};
+    let schedule = *codic_core::library::activation().schedule();
+    c.bench_function("circuit/activate_run", |b| {
+        b.iter(|| {
+            let mut sim = CircuitSim::new(CircuitParams::default());
+            sim.set_cell_bit(true);
+            black_box(sim.run(black_box(&schedule)).outcome())
+        })
+    });
+}
+
+fn circuit_sigsa_resolve(c: &mut Criterion) {
+    use codic_circuit::montecarlo::{sigsa_schedule, MC_DT_NS};
+    use codic_circuit::{CircuitParams, CircuitSim};
+    let schedule = sigsa_schedule();
+    c.bench_function("circuit/sigsa_resolve_bit", |b| {
+        b.iter(|| {
+            let mut sim = CircuitSim::new(CircuitParams::default());
+            sim.set_cell_voltage(0.75);
+            black_box(sim.resolve_bit(black_box(&schedule), MC_DT_NS))
+        })
+    });
+}
+
+fn controller_row_hits(c: &mut Criterion) {
+    use codic_dram::{DramGeometry, MemRequest, MemoryController, ReqKind, TimingParams};
+    c.bench_function("dram/controller_1k_reads", |b| {
+        b.iter(|| {
+            let mut mc =
+                MemoryController::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11());
+            mc.set_refresh_enabled(false);
+            let mut issued = 0u64;
+            while issued < 1000 {
+                while issued < 1000
+                    && mc.push(MemRequest::new(issued * 64, ReqKind::Read)).is_ok()
+                {
+                    issued += 1;
+                }
+                mc.tick();
+            }
+            black_box(mc.run_to_idle())
+        })
+    });
+}
+
+fn destruction_sweep(c: &mut Criterion) {
+    use codic_coldboot::latency::destruction_time_ms;
+    use codic_coldboot::DestructionMechanism;
+    c.bench_function("coldboot/codic_sweep_256mb", |b| {
+        b.iter(|| black_box(destruction_time_ms(DestructionMechanism::Codic, black_box(256))))
+    });
+}
+
+fn puf_evaluation(c: &mut Criterion) {
+    use codic_puf::mechanisms::{CodicSigPuf, Environment, PufMechanism};
+    use codic_puf::population::paper_population;
+    use codic_puf::Challenge;
+    let pop = paper_population(1);
+    let chip = pop[0].chips[0].clone();
+    c.bench_function("puf/codic_sig_8kb_eval", |b| {
+        let mut nonce = 0;
+        b.iter(|| {
+            nonce += 1;
+            black_box(CodicSigPuf.evaluate(
+                &chip,
+                &Challenge::segment(0),
+                &Environment::nominal(),
+                nonce,
+            ))
+        })
+    });
+}
+
+fn jaccard(c: &mut Criterion) {
+    use codic_puf::Response;
+    let a = Response::new((0..500u32).map(|i| i * 131).collect());
+    let b_resp = Response::new((0..500u32).map(|i| i * 137).collect());
+    c.bench_function("puf/jaccard_500", |b| {
+        b.iter(|| black_box(a.jaccard(black_box(&b_resp))))
+    });
+}
+
+fn nist_heavy(c: &mut Criterion) {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(1);
+    let bits: Vec<u8> = (0..100_000).map(|_| rng.gen_range(0..2) as u8).collect();
+    c.bench_function("nist/linear_complexity_100k", |b| {
+        b.iter(|| black_box(codic_nist::linear_complexity::test(black_box(&bits))))
+    });
+    c.bench_function("nist/serial_100k", |b| {
+        b.iter(|| black_box(codic_nist::serial::test(black_box(&bits))))
+    });
+    c.bench_function("nist/dft_100k", |b| {
+        b.iter(|| black_box(codic_nist::dft::test(black_box(&bits))))
+    });
+}
+
+criterion_group!(
+    benches,
+    circuit_activate,
+    circuit_sigsa_resolve,
+    controller_row_hits,
+    destruction_sweep,
+    puf_evaluation,
+    jaccard,
+    nist_heavy
+);
+criterion_main!(benches);

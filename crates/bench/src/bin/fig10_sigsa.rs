@@ -1,0 +1,16 @@
+//! Regenerates Figure 10 (Appendix C): the CODIC-sigsa waveform.
+use codic_circuit::{CircuitParams, CircuitSim};
+fn main() {
+    println!("Figure 10: CODIC-sigsa (resolution by SA process variation)\n");
+    let mut sim = CircuitSim::new(CircuitParams::default());
+    sim.set_cell_voltage(CircuitParams::default().v_precharge());
+    let v = codic_core::library::codic_sigsa();
+    let wave = sim.run(v.schedule());
+    print!("{}", wave.ascii_chart(72));
+    println!("outcome with nominal (positive) imbalance: {}", wave.outcome());
+    let mut sim = CircuitSim::new(CircuitParams::default());
+    sim.set_sa_offset(-4e-3);
+    sim.set_cell_voltage(CircuitParams::default().v_precharge());
+    let wave = sim.run(v.schedule());
+    println!("outcome with negative offset draw:         {}", wave.outcome());
+}

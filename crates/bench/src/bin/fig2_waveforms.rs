@@ -1,0 +1,16 @@
+//! Regenerates Figure 2b: precharge and activate internal-signal waveforms.
+use codic_circuit::{CircuitParams, CircuitSim};
+fn main() {
+    let mut sim = CircuitSim::new(CircuitParams::default());
+    sim.set_cell_bit(true);
+    println!("Figure 2b (right): activate command, cell storing 1\n");
+    let act = codic_core::library::activation();
+    let wave = sim.run(act.schedule());
+    print!("{}", wave.ascii_chart(72));
+    println!("outcome: {}\n", wave.outcome());
+    println!("Figure 2b (left): precharge command after the activation\n");
+    let pre = codic_core::library::precharge();
+    let wave = sim.run(pre.schedule());
+    print!("{}", wave.ascii_chart(72));
+    println!("outcome: {}", wave.outcome());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 3: CODIC-sig (a) and CODIC-det (b) waveforms.
+use codic_circuit::{CircuitParams, CircuitSim};
+fn main() {
+    for (label, variant, bit) in [
+        ("Figure 3a: CODIC-sig (cell starts at 1)", codic_core::library::codic_sig(), true),
+        ("Figure 3b: CODIC-det generating zero (cell starts at 1)", codic_core::library::codic_det_zero(), true),
+    ] {
+        println!("{label}\n");
+        let mut sim = CircuitSim::new(CircuitParams::default());
+        sim.set_cell_bit(bit);
+        let wave = sim.run(variant.schedule());
+        print!("{}", wave.ascii_chart(72));
+        println!("outcome: {}\n", wave.outcome());
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Tables 3 and 12: the 136-chip evaluated population.
+use codic_puf::population::{all_chips, paper_population};
+fn main() {
+    let pop = paper_population(0xC0D1C);
+    println!("Table 12: Characteristics of the 15 evaluated DDR3 modules");
+    println!("| Module | Vendor | Chips | Ranks | Gb/chip | MT/s | Voltage |");
+    println!("|---|---|---|---|---|---|---|");
+    for m in &pop {
+        println!(
+            "| {} | {:?} | {} | {} | {} | {} | {:?} |",
+            m.name, m.vendor, m.chips.len(), m.ranks, m.chip_gbit, m.freq_mts, m.voltage
+        );
+    }
+    println!("total chips: {}", all_chips(&pop).len());
+}

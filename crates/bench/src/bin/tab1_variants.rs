@@ -1,0 +1,12 @@
+//! Regenerates Table 1: the in-DRAM signal timings of activation,
+//! precharge, and the CODIC variants.
+fn main() {
+    println!("Table 1: In-DRAM signals of activation, precharge, and CODIC variants");
+    println!("| Command | Signals [assert, deassert] (ns) |");
+    for v in codic_core::library::table1() {
+        println!("{v}");
+    }
+    println!("\nVariant space (paper 4.1.3):");
+    println!("  valid pulses per signal n = {}", codic_core::variant_space::pulses_per_signal());
+    println!("  total variants n^4       = {}", codic_core::variant_space::total_variants());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 2: latency and energy of five CODIC command variants.
+use codic_dram::TimingParams;
+use codic_power::EnergyModel;
+fn main() {
+    let timing = TimingParams::ddr3_1600_11();
+    let energy = EnergyModel::paper_default();
+    println!("Table 2: Latency and energy of five CODIC command variants");
+    println!("| Primitive | Latency (ns) | Energy (nJ) |");
+    println!("|---|---|---|");
+    for r in codic_core::latency::table2(&timing, &energy) {
+        println!("| {} | {:.0} | {:.1} |", r.primitive, r.latency_ns, r.energy_nj);
+    }
+    println!("\nPaper: 35/13/35/13/35 ns and 17.3/17.2/17.2/17.2/17.2 nJ.");
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table 4: PUF evaluation time on 8 KB segments.
+use codic_dram::TimingParams;
+use codic_puf::eval_time;
+fn main() {
+    let t = TimingParams::ddr3_1600_11();
+    let seg = 8192;
+    println!("Table 4: Evaluation time, 8 KB segments (paper values in parentheses)");
+    println!(
+        "  DRAM Latency PUF:        {:6.2} ms (88.2)",
+        eval_time::latency_puf_ms(seg, &t)
+    );
+    println!(
+        "  PreLatPUF w/ filter:     {:6.2} ms (7.95)   w/o: {:5.2} ms (1.59)",
+        eval_time::prelat_ms(seg, &t, true),
+        eval_time::prelat_ms(seg, &t, false)
+    );
+    println!(
+        "  CODIC-sig PUF w/ filter: {:6.2} ms (4.41)   w/o: {:5.2} ms (0.88)",
+        eval_time::codic_sig_ms(seg, &t, true),
+        eval_time::codic_sig_ms(seg, &t, false)
+    );
+}

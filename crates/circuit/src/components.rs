@@ -1,0 +1,270 @@
+//! Electrical component models composed by [`CircuitSim`](crate::CircuitSim).
+//!
+//! Each component exposes the current it injects into the circuit nodes as a
+//! pure function of the node voltages and its control signal. The simulator
+//! sums these currents and integrates the node capacitances.
+
+use crate::ptm::TransistorParams;
+
+/// Subthreshold slope parameter in volts for the smooth conduction model.
+///
+/// MOSFET conduction does not cut off abruptly at the threshold voltage;
+/// below threshold the current decays exponentially. We model the effective
+/// gate overdrive with a softplus: `od_eff = n·ln(1 + exp((vgs - vth)/n))`.
+/// This matters for CODIC-det: during the single-ended sensing phase both
+/// bitlines must keep collapsing toward the rail even after the cross-coupled
+/// gates fall below threshold (paper Figure 3b).
+pub const SUBTHRESHOLD_SLOPE: f64 = 0.06;
+
+/// Effective overdrive of a MOSFET including the subthreshold tail.
+#[must_use]
+pub fn effective_overdrive(vgs_minus_vth: f64) -> f64 {
+    let n = SUBTHRESHOLD_SLOPE;
+    let x = vgs_minus_vth / n;
+    if x > 30.0 {
+        vgs_minus_vth
+    } else if x < -30.0 {
+        0.0
+    } else {
+        n * x.exp().ln_1p()
+    }
+}
+
+/// The access transistor connecting the cell capacitor to the bitline,
+/// gated by `wl`.
+///
+/// Modelled as an ideal switch with finite on-conductance: the paper's
+/// charge-sharing phase is an RC equalization between `C_cell` and `C_bl`
+/// through this conductance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessTransistor {
+    /// On conductance in siemens.
+    pub g_on: f64,
+}
+
+impl AccessTransistor {
+    /// Current flowing *from the cell into the bitline* in amperes.
+    /// Zero when `wl` is deasserted.
+    #[must_use]
+    pub fn current(&self, wl_asserted: bool, v_cell: f64, v_bitline: f64) -> f64 {
+        if wl_asserted {
+            self.g_on * (v_cell - v_bitline)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The precharge unit: two precharge devices driving each bitline to
+/// `Vdd/2` plus an equalize device shorting the bitline pair, all gated by
+/// `EQ` (paper Figure 2a, "Precharge Unit").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrechargeUnit {
+    /// Conductance of each precharge device in siemens.
+    pub g_precharge: f64,
+    /// Conductance of the equalize device in siemens.
+    pub g_equalize: f64,
+    /// Precharge reference voltage (`Vdd/2`) in volts.
+    pub v_ref: f64,
+}
+
+impl PrechargeUnit {
+    /// Currents injected into `(bitline, bitline_bar)` in amperes.
+    /// Zero when `EQ` is deasserted.
+    #[must_use]
+    pub fn currents(&self, eq_asserted: bool, v_bl: f64, v_blb: f64) -> (f64, f64) {
+        if !eq_asserted {
+            return (0.0, 0.0);
+        }
+        let i_eq = self.g_equalize * (v_blb - v_bl);
+        let i_bl = self.g_precharge * (self.v_ref - v_bl) + i_eq;
+        let i_blb = self.g_precharge * (self.v_ref - v_blb) - i_eq;
+        (i_bl, i_blb)
+    }
+}
+
+/// The cross-coupled sense amplifier (paper Figure 2a).
+///
+/// Two NMOS devices (enabled by `sense_n`) pull each bitline toward ground
+/// with a strength set by the *other* bitline's voltage; two PMOS devices
+/// (enabled by `sense_p`) pull each bitline toward `Vdd` likewise. Each
+/// device is modelled as a voltage-controlled conductance
+/// `g = gm · effective_overdrive(vgs - vth)` to its rail, where
+/// [`effective_overdrive`] includes the subthreshold tail.
+///
+/// The input-referred `offset` is added to the true bitline voltage wherever
+/// it drives a transistor *gate*, which is the standard way of modelling
+/// threshold mismatch in latch-type sense amplifiers.
+///
+/// In addition to the cross-coupled pairs, each enable provides a weak
+/// common-mode *tail path* (`g_tail`): when `sense_n` grounds the NMOS
+/// common-source node, both bitlines leak toward ground through the latch
+/// devices even after the cross-coupled gates fall below threshold, and
+/// symmetrically for `sense_p` toward `Vdd`. This is what lets a
+/// single-ended enable collapse both bitlines to the rail — the paper's
+/// Figure 3b shows `sense_n` alone "deviating the bitline voltage towards
+/// zero" all the way to 0 V, which pure cross-coupled conduction cannot do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseAmplifier {
+    /// Transistor parameters (thresholds, transconductances).
+    pub transistors: TransistorParams,
+    /// Supply rail in volts.
+    pub vdd: f64,
+    /// Input-referred offset in volts; positive biases toward resolving the
+    /// true bitline to one.
+    pub offset: f64,
+    /// Common-mode tail conductance in siemens per enabled half.
+    pub g_tail: f64,
+}
+
+impl SenseAmplifier {
+    /// Currents injected into `(bitline, bitline_bar)` in amperes given the
+    /// two enable signals.
+    #[must_use]
+    pub fn currents(
+        &self,
+        sense_n_asserted: bool,
+        sense_p_asserted: bool,
+        v_bl: f64,
+        v_blb: f64,
+    ) -> (f64, f64) {
+        let t = &self.transistors;
+        // The offset is referred to the true bitline's gate connections: the
+        // devices whose gates are driven by `bl` see `v_bl + offset`.
+        let v_bl_gate = v_bl + self.offset;
+        let mut i_bl = 0.0;
+        let mut i_blb = 0.0;
+        if sense_n_asserted {
+            // NMOS gated by blb discharges bl; NMOS gated by bl discharges blb.
+            let g_dn_bl = t.gm_n * effective_overdrive(v_blb - t.vth_n) + self.g_tail;
+            let g_dn_blb = t.gm_n * effective_overdrive(v_bl_gate - t.vth_n) + self.g_tail;
+            i_bl -= g_dn_bl * v_bl.max(0.0);
+            i_blb -= g_dn_blb * v_blb.max(0.0);
+        }
+        if sense_p_asserted {
+            // PMOS gated by blb charges bl; PMOS gated by bl charges blb.
+            let g_up_bl = t.gm_p * effective_overdrive((self.vdd - v_blb) - t.vth_p) + self.g_tail;
+            let g_up_blb =
+                t.gm_p * effective_overdrive((self.vdd - v_bl_gate) - t.vth_p) + self.g_tail;
+            i_bl += g_up_bl * (self.vdd - v_bl).max(0.0);
+            i_blb += g_up_blb * (self.vdd - v_blb).max(0.0);
+        }
+        (i_bl, i_blb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sa(offset: f64) -> SenseAmplifier {
+        SenseAmplifier {
+            transistors: TransistorParams::default(),
+            vdd: 1.5,
+            offset,
+            g_tail: 0.0,
+        }
+    }
+
+    fn sa_with_tail(offset: f64) -> SenseAmplifier {
+        SenseAmplifier {
+            g_tail: 2.5e-5,
+            ..sa(offset)
+        }
+    }
+
+    #[test]
+    fn tail_path_discharges_both_sides_below_threshold() {
+        // Even with both gates far below threshold, an enabled sense_n must
+        // keep pulling both bitlines to ground (paper Figure 3b).
+        let (i_bl, i_blb) = sa_with_tail(0.0).currents(true, false, 0.2, 0.1);
+        assert!(i_bl < -1e-9);
+        assert!(i_blb < -1e-9);
+    }
+
+    #[test]
+    fn effective_overdrive_is_monotonic_and_smooth() {
+        let mut prev = effective_overdrive(-1.0);
+        let mut x = -1.0;
+        while x < 1.0 {
+            let v = effective_overdrive(x);
+            assert!(v >= prev);
+            prev = v;
+            x += 0.01;
+        }
+        // Deep subthreshold is negligible, strong inversion is linear.
+        assert!(effective_overdrive(-0.5) < 1e-4);
+        assert!((effective_overdrive(0.8) - 0.8).abs() < 1e-3);
+    }
+
+    #[test]
+    fn access_transistor_is_off_when_wl_low() {
+        let at = AccessTransistor { g_on: 2e-5 };
+        assert_eq!(at.current(false, 1.5, 0.75), 0.0);
+        assert!(at.current(true, 1.5, 0.75) > 0.0);
+        assert!(at.current(true, 0.0, 0.75) < 0.0);
+    }
+
+    #[test]
+    fn precharge_pulls_both_bitlines_to_reference() {
+        let pu = PrechargeUnit {
+            g_precharge: 5e-5,
+            g_equalize: 5e-5,
+            v_ref: 0.75,
+        };
+        let (i_bl, i_blb) = pu.currents(true, 1.5, 0.0);
+        assert!(i_bl < 0.0, "high bitline must discharge");
+        assert!(i_blb > 0.0, "low bitline must charge");
+        assert_eq!(pu.currents(false, 1.5, 0.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn equalize_current_is_antisymmetric() {
+        let pu = PrechargeUnit {
+            g_precharge: 0.0,
+            g_equalize: 5e-5,
+            v_ref: 0.75,
+        };
+        let (i_bl, i_blb) = pu.currents(true, 1.0, 0.5);
+        assert!((i_bl + i_blb).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sense_n_discharges_the_lower_side_faster() {
+        // bl slightly above blb: the NMOS gated by bl (discharging blb) has
+        // more overdrive, so blb must discharge faster -> bl wins.
+        let (i_bl, i_blb) = sa(0.0).currents(true, false, 0.80, 0.70);
+        assert!(i_bl < 0.0 && i_blb < 0.0);
+        assert!(i_blb < i_bl, "lower side must be pulled down harder");
+    }
+
+    #[test]
+    fn sense_p_charges_the_higher_side_faster_near_balance() {
+        // Near Vdd/2 the gate overdrive difference dominates the
+        // drain-to-rail difference, so the higher side receives more net
+        // pull-up per volt of gate difference.
+        let (i_bl, i_blb) = sa(0.0).currents(false, true, 0.76, 0.74);
+        assert!(i_bl > 0.0 && i_blb > 0.0);
+        assert!(i_bl > i_blb, "higher side must be pulled up harder");
+    }
+
+    #[test]
+    fn positive_offset_biases_toward_one_from_balance() {
+        // With perfectly equal bitlines, a positive offset makes the device
+        // discharging blb stronger, so blb falls first and bl resolves high.
+        let (i_bl, i_blb) = sa(5e-3).currents(true, true, 0.75, 0.75);
+        assert!(i_blb < i_bl);
+    }
+
+    #[test]
+    fn amplifier_idle_when_disabled() {
+        assert_eq!(sa(5e-3).currents(false, false, 0.8, 0.7), (0.0, 0.0));
+    }
+
+    #[test]
+    fn nmos_conduction_is_negligible_deep_below_threshold() {
+        let (i_bl, i_blb) = sa(0.0).currents(true, false, 0.05, 0.05);
+        assert!(i_bl.abs() < 1e-8);
+        assert!(i_blb.abs() < 1e-8);
+    }
+}

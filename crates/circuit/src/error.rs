@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::signal::WINDOW_NS;
+
+/// Error returned when constructing an invalid [`SignalPulse`] or
+/// [`SignalSchedule`].
+///
+/// [`SignalPulse`]: crate::SignalPulse
+/// [`SignalSchedule`]: crate::SignalSchedule
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The assert or deassert time lies outside CODIC's programmable window
+    /// (`0..WINDOW_NS` nanoseconds).
+    OutOfWindow {
+        /// The offending time step in nanoseconds.
+        time_ns: u8,
+    },
+    /// The pulse would deassert at or before the time it asserts.
+    EmptyPulse {
+        /// Assert time in nanoseconds.
+        assert_ns: u8,
+        /// Deassert time in nanoseconds.
+        deassert_ns: u8,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ScheduleError::OutOfWindow { time_ns } => write!(
+                f,
+                "signal edge at {time_ns} ns lies outside the {WINDOW_NS} ns CODIC window"
+            ),
+            ScheduleError::EmptyPulse {
+                assert_ns,
+                deassert_ns,
+            } => write!(
+                f,
+                "pulse deasserts at {deassert_ns} ns, not after its assert time {assert_ns} ns"
+            ),
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_window() {
+        let message = ScheduleError::OutOfWindow { time_ns: 30 }.to_string();
+        assert!(message.contains("30 ns"));
+        assert!(message.contains("25 ns"));
+    }
+
+    #[test]
+    fn display_empty_pulse() {
+        let message = ScheduleError::EmptyPulse {
+            assert_ns: 7,
+            deassert_ns: 7,
+        }
+        .to_string();
+        assert!(message.contains('7'));
+    }
+}

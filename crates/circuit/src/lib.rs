@@ -1,0 +1,65 @@
+//! Behavioural analog simulator for a DRAM cell / bitline / sense-amplifier
+//! slice, substituting for the SPICE + 22 nm PTM setup used by the CODIC
+//! paper (Orosa et al., ISCA 2021).
+//!
+//! The simulator models the circuit of the paper's Figure 2a:
+//!
+//! ```text
+//!            wl                     EQ            sense_p / sense_n
+//!             │                      │                    │
+//!   cell ──[access]── bitline ──[precharge unit]──[sense amplifier]
+//!                      bitline-bar ──┘                    │
+//! ```
+//!
+//! Four internal control signals — [`Signal::Wordline`], [`Signal::Equalize`],
+//! [`Signal::SenseP`], [`Signal::SenseN`] — are driven by a
+//! [`SignalSchedule`]: per-signal assert/deassert times inside CODIC's 25 ns
+//! window at 1 ns steps. The simulator integrates the resulting node voltages
+//! (bitline, bitline-bar, cell capacitor) with a forward-Euler method and
+//! captures a [`Waveform`], from which a [`SenseOutcome`] is classified.
+//!
+//! Process variation (sense-amplifier input offset, capacitance mismatch) is
+//! modelled by [`variation::VariationDraw`], and the Monte Carlo harness in
+//! [`montecarlo`] reproduces the paper's Table 11 (CODIC-sigsa bit-flip rates
+//! versus process variation and temperature).
+//!
+//! # Example
+//!
+//! Reproduce the paper's Figure 2b: a regular activate command restoring a
+//! cell that stores a one:
+//!
+//! ```
+//! use codic_circuit::{CircuitParams, CircuitSim, SignalSchedule, Signal, SenseOutcome};
+//!
+//! # fn main() -> Result<(), codic_circuit::ScheduleError> {
+//! let schedule = SignalSchedule::builder()
+//!     .pulse(Signal::Wordline, 5, 22)?
+//!     .pulse(Signal::SenseP, 7, 22)?
+//!     .pulse(Signal::SenseN, 7, 22)?
+//!     .build();
+//! let params = CircuitParams::default();
+//! let mut sim = CircuitSim::new(params);
+//! sim.set_cell_bit(true);
+//! let wave = sim.run(&schedule);
+//! assert_eq!(wave.outcome(), SenseOutcome::RestoredOne);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+pub mod components;
+pub mod montecarlo;
+pub mod outcome;
+pub mod ptm;
+pub mod signal;
+pub mod sim;
+pub mod variation;
+pub mod waveform;
+
+pub use error::ScheduleError;
+pub use outcome::SenseOutcome;
+pub use ptm::{CircuitParams, TransistorParams};
+pub use signal::{ScheduleBuilder, Signal, SignalPulse, SignalSchedule, WINDOW_NS};
+pub use sim::{CircuitSim, CircuitState};
+pub use variation::{ProcessVariation, VariationDraw};
+pub use waveform::{Sample, Waveform};

@@ -1,0 +1,187 @@
+//! Monte Carlo harness reproducing the paper's Table 11: the percentage of
+//! sense amplifiers whose CODIC-sigsa output flips (generates a zero) under
+//! process variation and temperature.
+//!
+//! The paper runs 100,000 SPICE simulations per configuration; this harness
+//! does the same with [`CircuitSim`], drawing a fresh
+//! [`VariationDraw`](crate::VariationDraw) per trial.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::ptm::CircuitParams;
+use crate::signal::{Signal, SignalSchedule};
+use crate::sim::CircuitSim;
+use crate::variation::{nominal_imbalance_at, ProcessVariation};
+
+/// Integration step used for Monte Carlo trials, in nanoseconds. Coarser
+/// than the default for speed; `sim::tests` verifies outcomes match.
+pub const MC_DT_NS: f64 = 0.025;
+
+/// The CODIC-sigsa schedule from the paper's Appendix C: both sense-amp
+/// enables at 3 ns (before any charge sharing can occur), wordline at 5 ns
+/// so the resolved value is written back into the cell.
+#[must_use]
+pub fn sigsa_schedule() -> SignalSchedule {
+    SignalSchedule::builder()
+        .pulse(Signal::SenseP, 3, 22)
+        .expect("static timing is valid")
+        .pulse(Signal::SenseN, 3, 22)
+        .expect("static timing is valid")
+        .pulse(Signal::Wordline, 5, 22)
+        .expect("static timing is valid")
+        .build()
+}
+
+/// One Table 11 configuration: a process-variation level, a temperature,
+/// a trial count, and an RNG seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SigsaExperiment {
+    /// Transistor process-variation level.
+    pub variation: ProcessVariation,
+    /// Operating temperature in °C.
+    pub temperature_c: f64,
+    /// Number of Monte Carlo trials (the paper uses 100,000).
+    pub trials: u32,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for SigsaExperiment {
+    fn default() -> Self {
+        SigsaExperiment {
+            variation: ProcessVariation::default(),
+            temperature_c: 30.0,
+            trials: 100_000,
+            seed: 0x51654,
+        }
+    }
+}
+
+/// Result of a [`SigsaExperiment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFlipStats {
+    /// Trials run.
+    pub trials: u32,
+    /// Trials whose sense amplifier resolved to zero (a "bit flip", since
+    /// the nominal design always generates ones — Appendix C).
+    pub flips: u32,
+}
+
+impl BitFlipStats {
+    /// Flip rate in percent.
+    #[must_use]
+    pub fn flip_pct(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            100.0 * f64::from(self.flips) / f64::from(self.trials)
+        }
+    }
+}
+
+impl SigsaExperiment {
+    /// Runs the Monte Carlo experiment with the built-in
+    /// [`sigsa_schedule`].
+    #[must_use]
+    pub fn run(&self) -> BitFlipStats {
+        self.run_with_schedule(&sigsa_schedule())
+    }
+
+    /// Runs the Monte Carlo experiment with a caller-provided schedule.
+    #[must_use]
+    pub fn run_with_schedule(&self, schedule: &SignalSchedule) -> BitFlipStats {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let base = CircuitParams {
+            sa_offset: nominal_imbalance_at(self.temperature_c),
+            ..CircuitParams::default()
+        }
+        .at_temperature(self.temperature_c);
+        let mut flips = 0;
+        for _ in 0..self.trials {
+            let draw = self.variation.draw(&mut rng);
+            let params = draw.apply(base);
+            let mut sim = CircuitSim::new(params);
+            // CODIC-sigsa operates on a precharged slice; the cell's stored
+            // value is irrelevant because the wordline rises only after the
+            // amplifier has resolved. Use Vdd/2 as a neutral starting point.
+            sim.set_cell_voltage(params.v_precharge());
+            let resolved_one = sim.resolve_bit(schedule, MC_DT_NS).unwrap_or(true);
+            if !resolved_one {
+                flips += 1;
+            }
+        }
+        BitFlipStats {
+            trials: self.trials,
+            flips,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn experiment(pv_pct: f64, temp: f64, trials: u32) -> BitFlipStats {
+        SigsaExperiment {
+            variation: ProcessVariation::from_pct(pv_pct),
+            temperature_c: temp,
+            trials,
+            seed: 0xC0D1C,
+        }
+        .run()
+    }
+
+    #[test]
+    fn no_variation_means_no_flips() {
+        let stats = experiment(0.0, 30.0, 200);
+        assert_eq!(stats.flips, 0);
+    }
+
+    #[test]
+    fn small_variation_produces_no_flips() {
+        // Table 11: 2 % and 3 % variation -> 0.00 % flips.
+        assert_eq!(experiment(2.0, 30.0, 5_000).flips, 0);
+        assert_eq!(experiment(3.0, 30.0, 5_000).flips, 0);
+    }
+
+    #[test]
+    fn four_pct_variation_flip_rate_is_near_table_11() {
+        // Table 11: 4 % variation at 30 °C -> 0.02 %. With 50k trials the
+        // 95 % band around 0.02 % is roughly [0.01 %, 0.04 %].
+        let stats = experiment(4.0, 30.0, 50_000);
+        let pct = stats.flip_pct();
+        assert!(pct > 0.0 && pct < 0.08, "flip rate = {pct}%");
+    }
+
+    #[test]
+    fn five_pct_variation_flip_rate_is_near_table_11() {
+        // Table 11: 5 % variation -> 0.19 %.
+        let stats = experiment(5.0, 30.0, 50_000);
+        let pct = stats.flip_pct();
+        assert!(pct > 0.10 && pct < 0.30, "flip rate = {pct}%");
+    }
+
+    #[test]
+    fn temperature_raises_then_lowers_flip_rate() {
+        // Table 11 temperature row at 4 % PV: 0.02, 0.19, 0.21, 0.15 (%).
+        let t30 = experiment(4.0, 30.0, 40_000).flip_pct();
+        let t60 = experiment(4.0, 60.0, 40_000).flip_pct();
+        let t85 = experiment(4.0, 85.0, 40_000).flip_pct();
+        assert!(t60 > t30 * 2.0, "t30 = {t30}%, t60 = {t60}%");
+        assert!(t85 < t60 * 1.5 && t85 > t30, "t60 = {t60}%, t85 = {t85}%");
+    }
+
+    #[test]
+    fn flip_pct_handles_zero_trials() {
+        let stats = BitFlipStats { trials: 0, flips: 0 };
+        assert_eq!(stats.flip_pct(), 0.0);
+    }
+
+    #[test]
+    fn experiment_is_reproducible() {
+        let a = experiment(5.0, 30.0, 10_000);
+        let b = experiment(5.0, 30.0, 10_000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,186 @@
+//! Classification of a circuit run's terminal state.
+
+use crate::signal::Signal;
+use crate::waveform::Waveform;
+
+/// The functional outcome of one CODIC command at the circuit level,
+/// classified from the terminal node voltages.
+///
+/// "Restored" outcomes describe the *cell* state when the wordline was
+/// raised (the cell participated); "Bitline" outcomes describe commands that
+/// never connected the cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SenseOutcome {
+    /// The cell ended at `Vdd`: a one was written/restored into it.
+    RestoredOne,
+    /// The cell ended at 0 V: a zero was written/restored into it.
+    RestoredZero,
+    /// The cell ended at `Vdd/2`, the CODIC-sig post-state (§4.1.1): a
+    /// subsequent activation will amplify it according to process variation.
+    CellEqualized,
+    /// The wordline never rose; the bitline ended at `Vdd/2` (a precharge).
+    BitlinePrecharged,
+    /// The wordline never rose; the sense amplifier latched the bitline high
+    /// without involving the cell.
+    BitlineResolvedOne,
+    /// The wordline never rose; the sense amplifier latched the bitline low
+    /// without involving the cell.
+    BitlineResolvedZero,
+    /// No classification applies: some node ended between the defined bands.
+    Metastable,
+}
+
+impl SenseOutcome {
+    /// The binary value this outcome stores or latches, if it has one.
+    #[must_use]
+    pub fn bit(self) -> Option<bool> {
+        match self {
+            SenseOutcome::RestoredOne | SenseOutcome::BitlineResolvedOne => Some(true),
+            SenseOutcome::RestoredZero | SenseOutcome::BitlineResolvedZero => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Whether the command modified (or may have modified) the cell contents.
+    #[must_use]
+    pub fn is_destructive(self) -> bool {
+        !matches!(
+            self,
+            SenseOutcome::BitlinePrecharged
+                | SenseOutcome::BitlineResolvedOne
+                | SenseOutcome::BitlineResolvedZero
+        )
+    }
+}
+
+impl std::fmt::Display for SenseOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SenseOutcome::RestoredOne => "restored one",
+            SenseOutcome::RestoredZero => "restored zero",
+            SenseOutcome::CellEqualized => "cell equalized to Vdd/2",
+            SenseOutcome::BitlinePrecharged => "bitline precharged",
+            SenseOutcome::BitlineResolvedOne => "bitline resolved one (cell untouched)",
+            SenseOutcome::BitlineResolvedZero => "bitline resolved zero (cell untouched)",
+            SenseOutcome::Metastable => "metastable",
+        };
+        f.write_str(s)
+    }
+}
+
+fn band(v: f64, vdd: f64) -> Band {
+    if v >= 0.8 * vdd {
+        Band::One
+    } else if v <= 0.2 * vdd {
+        Band::Zero
+    } else if (v - vdd / 2.0).abs() <= 0.12 * vdd {
+        Band::Half
+    } else {
+        Band::Between
+    }
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Band {
+    One,
+    Zero,
+    Half,
+    Between,
+}
+
+/// Classifies the terminal state of `waveform`; see [`SenseOutcome`].
+#[must_use]
+pub fn classify(waveform: &Waveform) -> SenseOutcome {
+    let vdd = waveform.params().vdd;
+    let final_sample = waveform.final_sample();
+    let cell_connected = waveform.schedule().pulse(Signal::Wordline).is_some();
+    if cell_connected {
+        match band(final_sample.v_cell, vdd) {
+            Band::One => SenseOutcome::RestoredOne,
+            Band::Zero => SenseOutcome::RestoredZero,
+            Band::Half => SenseOutcome::CellEqualized,
+            Band::Between => SenseOutcome::Metastable,
+        }
+    } else {
+        match band(final_sample.v_bitline, vdd) {
+            Band::One => SenseOutcome::BitlineResolvedOne,
+            Band::Zero => SenseOutcome::BitlineResolvedZero,
+            Band::Half => SenseOutcome::BitlinePrecharged,
+            Band::Between => SenseOutcome::Metastable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptm::CircuitParams;
+    use crate::signal::SignalSchedule;
+    use crate::waveform::Sample;
+
+    fn wave(v_cell: f64, v_bl: f64, with_wl: bool) -> Waveform {
+        let schedule = if with_wl {
+            SignalSchedule::builder()
+                .pulse(Signal::Wordline, 5, 22)
+                .unwrap()
+                .build()
+        } else {
+            SignalSchedule::default()
+        };
+        Waveform::new(
+            schedule,
+            CircuitParams::default(),
+            vec![Sample {
+                t_ns: 0.0,
+                v_bitline: v_bl,
+                v_bitline_bar: 1.5 - v_bl,
+                v_cell,
+            }],
+        )
+    }
+
+    #[test]
+    fn classifies_cell_bands() {
+        assert_eq!(wave(1.45, 1.45, true).outcome(), SenseOutcome::RestoredOne);
+        assert_eq!(wave(0.05, 0.05, true).outcome(), SenseOutcome::RestoredZero);
+        assert_eq!(wave(0.75, 0.75, true).outcome(), SenseOutcome::CellEqualized);
+        assert_eq!(wave(0.45, 0.45, true).outcome(), SenseOutcome::Metastable);
+    }
+
+    #[test]
+    fn classifies_bitline_bands_when_cell_disconnected() {
+        assert_eq!(
+            wave(0.0, 1.45, false).outcome(),
+            SenseOutcome::BitlineResolvedOne
+        );
+        assert_eq!(
+            wave(0.0, 0.05, false).outcome(),
+            SenseOutcome::BitlineResolvedZero
+        );
+        assert_eq!(
+            wave(0.0, 0.75, false).outcome(),
+            SenseOutcome::BitlinePrecharged
+        );
+    }
+
+    #[test]
+    fn bit_and_destructive_flags() {
+        assert_eq!(SenseOutcome::RestoredOne.bit(), Some(true));
+        assert_eq!(SenseOutcome::BitlineResolvedZero.bit(), Some(false));
+        assert_eq!(SenseOutcome::CellEqualized.bit(), None);
+        assert!(SenseOutcome::RestoredZero.is_destructive());
+        assert!(SenseOutcome::CellEqualized.is_destructive());
+        assert!(!SenseOutcome::BitlinePrecharged.is_destructive());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for o in [
+            SenseOutcome::RestoredOne,
+            SenseOutcome::Metastable,
+            SenseOutcome::BitlinePrecharged,
+        ] {
+            assert!(!o.to_string().is_empty());
+        }
+    }
+}

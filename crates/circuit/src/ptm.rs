@@ -1,0 +1,201 @@
+//! Device and circuit parameters standing in for the paper's 22 nm
+//! Predictive Technology Model (PTM) SPICE decks.
+//!
+//! The absolute values are representative of published DRAM design
+//! literature (Keeth, *DRAM Circuit Design*); what matters for CODIC is that
+//! the resulting time constants reproduce the paper's waveforms: charge
+//! sharing completes within a few nanoseconds of `wl` rising, sensing
+//! resolves a few nanoseconds after `sense_n`/`sense_p` assert, and the
+//! equalizer drives a connected cell to `Vdd/2` almost immediately
+//! (paper §4.1.1).
+
+/// MOSFET parameters for the sense-amplifier and peripheral transistors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransistorParams {
+    /// NMOS threshold voltage in volts.
+    pub vth_n: f64,
+    /// PMOS threshold voltage magnitude in volts.
+    pub vth_p: f64,
+    /// NMOS transconductance factor in siemens per volt of overdrive.
+    pub gm_n: f64,
+    /// PMOS transconductance factor in siemens per volt of overdrive.
+    pub gm_p: f64,
+}
+
+impl Default for TransistorParams {
+    /// Defaults sized so the sense amplifier is much stronger than the
+    /// access transistor: the single-ended collapse phase of CODIC-det must
+    /// bottom out both bitlines before the cell can re-inject its charge
+    /// through the access device (paper Figure 3b).
+    fn default() -> Self {
+        TransistorParams {
+            vth_n: 0.40,
+            vth_p: 0.40,
+            gm_n: 4.0e-4,
+            gm_p: 4.0e-4,
+        }
+    }
+}
+
+impl TransistorParams {
+    /// Returns the parameters shifted to an operating temperature.
+    ///
+    /// Threshold voltage decreases with temperature (≈ −1 mV/°C) and
+    /// mobility degrades (≈ −0.3 %/°C), both referenced to 30 °C. This
+    /// first-order model is sufficient to reproduce the temperature trends
+    /// the paper reports for CODIC-sigsa (Table 11).
+    #[must_use]
+    pub fn at_temperature(self, celsius: f64) -> Self {
+        let dt = celsius - 30.0;
+        let mobility = (1.0 - 0.003 * dt).max(0.3);
+        TransistorParams {
+            vth_n: self.vth_n - 1.0e-3 * dt,
+            vth_p: self.vth_p - 1.0e-3 * dt,
+            gm_n: self.gm_n * mobility,
+            gm_p: self.gm_p * mobility,
+        }
+    }
+}
+
+/// Complete electrical description of one cell/bitline/sense-amp slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitParams {
+    /// Supply voltage in volts (1.5 V for DDR3, 1.35 V for DDR3L).
+    pub vdd: f64,
+    /// Cell storage capacitance in farads.
+    pub c_cell: f64,
+    /// Bitline parasitic capacitance in farads.
+    pub c_bitline: f64,
+    /// Access-transistor on conductance in siemens.
+    pub g_access: f64,
+    /// Precharge/equalize device conductance in siemens (per bitline).
+    pub g_equalize: f64,
+    /// Sense-amplifier transistor parameters.
+    pub transistors: TransistorParams,
+    /// Sense-amplifier common-mode tail conductance in siemens (see
+    /// [`SenseAmplifier::g_tail`](crate::components::SenseAmplifier)).
+    pub g_sa_tail: f64,
+    /// Input-referred sense-amplifier offset in volts. Positive values bias
+    /// the amplifier toward resolving a one. The nominal (variation-free)
+    /// design has a small positive structural imbalance, which is why the
+    /// paper's SA model "always generates '1' values in absence of process
+    /// variation" (Appendix C).
+    pub sa_offset: f64,
+    /// Cell leakage conductance toward `Vdd/2` in siemens. Negligible within
+    /// one command window; non-zero so long-horizon models can reuse the
+    /// parameter set.
+    pub g_leak: f64,
+    /// Operating temperature in °C (informational; apply via
+    /// [`CircuitParams::at_temperature`]).
+    pub temperature_c: f64,
+}
+
+/// Nominal structural sense-amplifier imbalance in volts (see
+/// [`CircuitParams::sa_offset`]).
+pub const NOMINAL_SA_IMBALANCE: f64 = 8.5e-3;
+
+impl Default for CircuitParams {
+    fn default() -> Self {
+        CircuitParams {
+            vdd: 1.5,
+            c_cell: 22e-15,
+            c_bitline: 85e-15,
+            g_access: 8.0e-5,
+            g_equalize: 5.0e-5,
+            transistors: TransistorParams::default(),
+            g_sa_tail: 7.0e-5,
+            sa_offset: NOMINAL_SA_IMBALANCE,
+            g_leak: 1.0e-12,
+            temperature_c: 30.0,
+        }
+    }
+}
+
+impl CircuitParams {
+    /// Parameters for a DDR3L (1.35 V) device.
+    #[must_use]
+    pub fn ddr3l() -> Self {
+        CircuitParams {
+            vdd: 1.35,
+            ..CircuitParams::default()
+        }
+    }
+
+    /// Returns the parameters shifted to an operating temperature, updating
+    /// the transistor models and recording the temperature.
+    #[must_use]
+    pub fn at_temperature(self, celsius: f64) -> Self {
+        CircuitParams {
+            transistors: self.transistors.at_temperature(celsius),
+            temperature_c: celsius,
+            ..self
+        }
+    }
+
+    /// The precharge voltage `Vdd/2` in volts.
+    #[must_use]
+    pub fn v_precharge(&self) -> f64 {
+        self.vdd / 2.0
+    }
+
+    /// Charge-sharing time constant in seconds: the series combination of
+    /// cell and bitline capacitance through the access transistor.
+    #[must_use]
+    pub fn charge_sharing_tau(&self) -> f64 {
+        let c_series = self.c_cell * self.c_bitline / (self.c_cell + self.c_bitline);
+        c_series / self.g_access
+    }
+
+    /// The ideal post-charge-sharing bitline deviation from `Vdd/2` in
+    /// volts, for a full cell (the paper's `ε`): `(Vdd/2)·C_cell/(C_cell+C_bl)`.
+    #[must_use]
+    pub fn charge_sharing_epsilon(&self) -> f64 {
+        self.v_precharge() * self.c_cell / (self.c_cell + self.c_bitline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_sharing_completes_within_activate_window() {
+        // The ACT schedule raises wl at 5 ns and the SA at 7 ns; charge
+        // sharing must be substantially complete within those 2 ns, so the
+        // time constant has to be well below a nanosecond.
+        let tau = CircuitParams::default().charge_sharing_tau();
+        assert!(tau < 1.5e-9, "tau = {tau:e}");
+        assert!(tau > 0.1e-9, "tau = {tau:e}");
+    }
+
+    #[test]
+    fn epsilon_is_tens_of_millivolts() {
+        let eps = CircuitParams::default().charge_sharing_epsilon();
+        assert!(eps > 0.05 && eps < 0.30, "epsilon = {eps}");
+    }
+
+    #[test]
+    fn temperature_lowers_threshold_and_mobility() {
+        let hot = TransistorParams::default().at_temperature(85.0);
+        let cold = TransistorParams::default();
+        assert!(hot.vth_n < cold.vth_n);
+        assert!(hot.gm_n < cold.gm_n);
+    }
+
+    #[test]
+    fn at_temperature_room_is_identity() {
+        let t = TransistorParams::default().at_temperature(30.0);
+        assert_eq!(t, TransistorParams::default());
+    }
+
+    #[test]
+    fn ddr3l_uses_lower_rail() {
+        assert_eq!(CircuitParams::ddr3l().vdd, 1.35);
+        assert_eq!(CircuitParams::ddr3l().v_precharge(), 0.675);
+    }
+
+    #[test]
+    fn nominal_offset_biases_toward_one() {
+        assert!(CircuitParams::default().sa_offset > 0.0);
+    }
+}

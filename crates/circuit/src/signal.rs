@@ -1,0 +1,355 @@
+//! The four DRAM internal control signals and their programmable schedules.
+//!
+//! CODIC can assert and deassert each of the four signals anywhere within a
+//! 25 ns window at 1 ns steps (paper §4.1). A [`SignalPulse`] is one
+//! (assert, deassert) pair; a [`SignalSchedule`] assigns at most one pulse to
+//! each signal and is the complete specification of one CODIC command variant
+//! at the circuit level.
+
+use crate::error::ScheduleError;
+
+/// Width of CODIC's programmable timing window in nanoseconds (paper §4.1).
+pub const WINDOW_NS: u8 = 25;
+
+/// Time step granularity of the programmable window in nanoseconds.
+pub const STEP_NS: u8 = 1;
+
+/// The four fundamental DRAM internal circuit control signals (paper §2,
+/// Figure 2a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Signal {
+    /// `wl` — drives the access transistor connecting the cell capacitor to
+    /// the bitline.
+    Wordline,
+    /// `EQ` — drives the precharge unit that equalizes both bitlines to
+    /// `Vdd/2`.
+    Equalize,
+    /// `sense_p` — enables the PMOS half of the sense amplifier
+    /// (electrically active-low: the node is pulled *down* to assert).
+    SenseP,
+    /// `sense_n` — enables the NMOS half of the sense amplifier.
+    SenseN,
+}
+
+impl Signal {
+    /// All four signals in the order used throughout the crate.
+    pub const ALL: [Signal; 4] = [
+        Signal::Wordline,
+        Signal::Equalize,
+        Signal::SenseP,
+        Signal::SenseN,
+    ];
+
+    /// Whether the signal is electrically active-low.
+    ///
+    /// `sense_p` gates a PMOS pair, so asserting it means driving the control
+    /// node low (the paper's Table 1 writes its edges as `[init↓, end↑]`).
+    #[must_use]
+    pub fn is_active_low(self) -> bool {
+        matches!(self, Signal::SenseP)
+    }
+
+    /// Short lowercase name as printed in the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Signal::Wordline => "wl",
+            Signal::Equalize => "EQ",
+            Signal::SenseP => "sense_p",
+            Signal::SenseN => "sense_n",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Signal::Wordline => 0,
+            Signal::Equalize => 1,
+            Signal::SenseP => 2,
+            Signal::SenseN => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Signal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One assert/deassert pair for a signal inside the CODIC window.
+///
+/// Both times are in nanoseconds relative to the start of the command. The
+/// invariants `assert < deassert < WINDOW_NS` are enforced at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalPulse {
+    assert_ns: u8,
+    deassert_ns: u8,
+}
+
+impl SignalPulse {
+    /// Creates a pulse asserting at `assert_ns` and deasserting at
+    /// `deassert_ns`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::OutOfWindow`] if either time is `>= 25`, and
+    /// [`ScheduleError::EmptyPulse`] if `deassert_ns <= assert_ns`.
+    pub fn new(assert_ns: u8, deassert_ns: u8) -> Result<Self, ScheduleError> {
+        if assert_ns >= WINDOW_NS {
+            return Err(ScheduleError::OutOfWindow { time_ns: assert_ns });
+        }
+        if deassert_ns >= WINDOW_NS {
+            return Err(ScheduleError::OutOfWindow {
+                time_ns: deassert_ns,
+            });
+        }
+        if deassert_ns <= assert_ns {
+            return Err(ScheduleError::EmptyPulse {
+                assert_ns,
+                deassert_ns,
+            });
+        }
+        Ok(SignalPulse {
+            assert_ns,
+            deassert_ns,
+        })
+    }
+
+    /// Time at which the signal becomes active, in nanoseconds.
+    #[must_use]
+    pub fn assert_ns(self) -> u8 {
+        self.assert_ns
+    }
+
+    /// Time at which the signal becomes inactive again, in nanoseconds.
+    #[must_use]
+    pub fn deassert_ns(self) -> u8 {
+        self.deassert_ns
+    }
+
+    /// Whether the signal is active at time `t_ns` (fractional nanoseconds).
+    #[must_use]
+    pub fn is_active_at(self, t_ns: f64) -> bool {
+        t_ns >= f64::from(self.assert_ns) && t_ns < f64::from(self.deassert_ns)
+    }
+
+    /// Number of distinct valid pulses for one signal.
+    ///
+    /// The paper (§4.1.3, footnote 2) counts `n = Σ_{i=1}^{w-1} i = 300`
+    /// valid (assert, deassert) combinations for a `w = 25` ns window.
+    #[must_use]
+    pub fn valid_count() -> u64 {
+        let w = u64::from(WINDOW_NS);
+        (1..w).sum()
+    }
+
+    /// Iterates over every valid pulse in lexicographic order.
+    pub fn enumerate_all() -> impl Iterator<Item = SignalPulse> {
+        (0..WINDOW_NS - 1).flat_map(|a| {
+            (a + 1..WINDOW_NS).map(move |d| SignalPulse {
+                assert_ns: a,
+                deassert_ns: d,
+            })
+        })
+    }
+}
+
+/// A complete four-signal timing specification for one CODIC command.
+///
+/// Signals without a pulse stay inactive for the whole window. Construct via
+/// [`SignalSchedule::builder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SignalSchedule {
+    pulses: [Option<SignalPulse>; 4],
+}
+
+impl SignalSchedule {
+    /// Starts building a schedule with all signals idle.
+    #[must_use]
+    pub fn builder() -> ScheduleBuilder {
+        ScheduleBuilder {
+            schedule: SignalSchedule::default(),
+        }
+    }
+
+    /// The pulse programmed for `signal`, if any.
+    #[must_use]
+    pub fn pulse(&self, signal: Signal) -> Option<SignalPulse> {
+        self.pulses[signal.index()]
+    }
+
+    /// Whether `signal` is asserted at time `t_ns`.
+    #[must_use]
+    pub fn is_asserted(&self, signal: Signal, t_ns: f64) -> bool {
+        self.pulse(signal).is_some_and(|p| p.is_active_at(t_ns))
+    }
+
+    /// The latest deassert time across all programmed pulses, in
+    /// nanoseconds; `0` when no signal is programmed.
+    #[must_use]
+    pub fn last_deassert_ns(&self) -> u8 {
+        self.pulses
+            .iter()
+            .flatten()
+            .map(|p| p.deassert_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The earliest assert time across all programmed pulses, if any signal
+    /// is programmed.
+    #[must_use]
+    pub fn first_assert_ns(&self) -> Option<u8> {
+        self.pulses.iter().flatten().map(|p| p.assert_ns).min()
+    }
+
+    /// Iterates over the `(signal, pulse)` pairs that are programmed.
+    pub fn iter(&self) -> impl Iterator<Item = (Signal, SignalPulse)> + '_ {
+        Signal::ALL
+            .iter()
+            .filter_map(|&s| self.pulse(s).map(|p| (s, p)))
+    }
+
+    /// Number of signals with a programmed pulse.
+    #[must_use]
+    pub fn programmed_signals(&self) -> usize {
+        self.pulses.iter().flatten().count()
+    }
+}
+
+/// Builder for [`SignalSchedule`]; see [`SignalSchedule::builder`].
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder {
+    schedule: SignalSchedule,
+}
+
+impl ScheduleBuilder {
+    /// Programs `signal` to assert at `assert_ns` and deassert at
+    /// `deassert_ns`, replacing any previous pulse for that signal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError`] from [`SignalPulse::new`].
+    pub fn pulse(
+        mut self,
+        signal: Signal,
+        assert_ns: u8,
+        deassert_ns: u8,
+    ) -> Result<Self, ScheduleError> {
+        self.schedule.pulses[signal.index()] = Some(SignalPulse::new(assert_ns, deassert_ns)?);
+        Ok(self)
+    }
+
+    /// Programs `signal` with an already validated pulse.
+    #[must_use]
+    pub fn pulse_validated(mut self, signal: Signal, pulse: SignalPulse) -> Self {
+        self.schedule.pulses[signal.index()] = Some(pulse);
+        self
+    }
+
+    /// Finishes the builder and returns the schedule.
+    #[must_use]
+    pub fn build(self) -> SignalSchedule {
+        self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulse_rejects_out_of_window() {
+        assert_eq!(
+            SignalPulse::new(25, 26),
+            Err(ScheduleError::OutOfWindow { time_ns: 25 })
+        );
+        assert_eq!(
+            SignalPulse::new(5, 25),
+            Err(ScheduleError::OutOfWindow { time_ns: 25 })
+        );
+    }
+
+    #[test]
+    fn pulse_rejects_empty() {
+        assert_eq!(
+            SignalPulse::new(7, 7),
+            Err(ScheduleError::EmptyPulse {
+                assert_ns: 7,
+                deassert_ns: 7
+            })
+        );
+        assert!(SignalPulse::new(8, 3).is_err());
+    }
+
+    #[test]
+    fn pulse_activity_is_half_open() {
+        let p = SignalPulse::new(5, 22).unwrap();
+        assert!(!p.is_active_at(4.999));
+        assert!(p.is_active_at(5.0));
+        assert!(p.is_active_at(21.999));
+        assert!(!p.is_active_at(22.0));
+    }
+
+    #[test]
+    fn valid_count_matches_paper_footnote_2() {
+        // n = Σ_{i=1}^{24} i = 300 for the 25 ns window (paper §4.1.3).
+        assert_eq!(SignalPulse::valid_count(), 300);
+        assert_eq!(SignalPulse::enumerate_all().count() as u64, 300);
+    }
+
+    #[test]
+    fn enumerate_all_yields_valid_unique_pulses() {
+        let mut seen = std::collections::HashSet::new();
+        for p in SignalPulse::enumerate_all() {
+            assert!(p.assert_ns() < p.deassert_ns());
+            assert!(p.deassert_ns() < WINDOW_NS);
+            assert!(seen.insert((p.assert_ns(), p.deassert_ns())));
+        }
+    }
+
+    #[test]
+    fn schedule_tracks_pulses_per_signal() {
+        let s = SignalSchedule::builder()
+            .pulse(Signal::Wordline, 5, 22)
+            .unwrap()
+            .pulse(Signal::Equalize, 7, 22)
+            .unwrap()
+            .build();
+        assert_eq!(s.programmed_signals(), 2);
+        assert!(s.is_asserted(Signal::Wordline, 10.0));
+        assert!(!s.is_asserted(Signal::SenseN, 10.0));
+        assert_eq!(s.last_deassert_ns(), 22);
+        assert_eq!(s.first_assert_ns(), Some(5));
+    }
+
+    #[test]
+    fn empty_schedule_has_no_activity() {
+        let s = SignalSchedule::default();
+        assert_eq!(s.programmed_signals(), 0);
+        assert_eq!(s.last_deassert_ns(), 0);
+        assert_eq!(s.first_assert_ns(), None);
+        for sig in Signal::ALL {
+            assert!(!s.is_asserted(sig, 0.0));
+        }
+    }
+
+    #[test]
+    fn sense_p_is_the_only_active_low_signal() {
+        assert!(Signal::SenseP.is_active_low());
+        assert!(!Signal::Wordline.is_active_low());
+        assert!(!Signal::Equalize.is_active_low());
+        assert!(!Signal::SenseN.is_active_low());
+    }
+
+    #[test]
+    fn builder_replaces_existing_pulse() {
+        let s = SignalSchedule::builder()
+            .pulse(Signal::Wordline, 1, 10)
+            .unwrap()
+            .pulse(Signal::Wordline, 5, 22)
+            .unwrap()
+            .build();
+        assert_eq!(s.pulse(Signal::Wordline), Some(SignalPulse::new(5, 22).unwrap()));
+    }
+}

@@ -1,0 +1,429 @@
+//! The forward-Euler circuit integrator.
+
+use crate::components::{AccessTransistor, PrechargeUnit, SenseAmplifier};
+use crate::ptm::CircuitParams;
+use crate::signal::{Signal, SignalSchedule, WINDOW_NS};
+use crate::waveform::{Sample, Waveform};
+
+/// Default integration step in nanoseconds (10 ps).
+pub const DEFAULT_DT_NS: f64 = 0.01;
+
+/// Extra simulated time beyond the CODIC window, in nanoseconds, so the
+/// terminal state is observed after all signals have deasserted.
+pub const SETTLE_MARGIN_NS: f64 = 5.0;
+
+/// Interval between captured waveform samples in nanoseconds.
+const SAMPLE_EVERY_NS: f64 = 0.05;
+
+/// Instantaneous node voltages of the cell/bitline/sense-amp slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitState {
+    /// True bitline voltage in volts.
+    pub v_bitline: f64,
+    /// Reference bitline voltage in volts.
+    pub v_bitline_bar: f64,
+    /// Cell capacitor voltage in volts.
+    pub v_cell: f64,
+}
+
+/// A single cell/bitline/sense-amplifier slice simulator.
+///
+/// Construct with [`CircuitSim::new`], optionally set the stored cell value
+/// with [`CircuitSim::set_cell_bit`], then [`CircuitSim::run`] a
+/// [`SignalSchedule`] to obtain a [`Waveform`].
+///
+/// The circuit starts in the precharged state: both bitlines at `Vdd/2`,
+/// matching step 1 of the paper's Figure 1.
+#[derive(Debug, Clone)]
+pub struct CircuitSim {
+    params: CircuitParams,
+    state: CircuitState,
+    access: AccessTransistor,
+    precharge: PrechargeUnit,
+    sense: SenseAmplifier,
+}
+
+impl CircuitSim {
+    /// Creates a simulator in the precharged state with the cell storing a
+    /// zero (0 V).
+    #[must_use]
+    pub fn new(params: CircuitParams) -> Self {
+        let v_pre = params.v_precharge();
+        CircuitSim {
+            state: CircuitState {
+                v_bitline: v_pre,
+                v_bitline_bar: v_pre,
+                v_cell: 0.0,
+            },
+            access: AccessTransistor {
+                g_on: params.g_access,
+            },
+            precharge: PrechargeUnit {
+                g_precharge: params.g_equalize,
+                g_equalize: params.g_equalize,
+                v_ref: v_pre,
+            },
+            sense: SenseAmplifier {
+                transistors: params.transistors,
+                vdd: params.vdd,
+                offset: params.sa_offset,
+                g_tail: params.g_sa_tail,
+            },
+            params,
+        }
+    }
+
+    /// The circuit parameters in use.
+    #[must_use]
+    pub fn params(&self) -> &CircuitParams {
+        &self.params
+    }
+
+    /// The current node voltages.
+    #[must_use]
+    pub fn state(&self) -> &CircuitState {
+        &self.state
+    }
+
+    /// Stores a full one (`Vdd`) or zero (0 V) in the cell.
+    pub fn set_cell_bit(&mut self, bit: bool) {
+        self.state.v_cell = if bit { self.params.vdd } else { 0.0 };
+    }
+
+    /// Sets the cell capacitor to an arbitrary voltage, e.g. `Vdd/2` to model
+    /// a cell that has decayed to the precharge level.
+    pub fn set_cell_voltage(&mut self, volts: f64) {
+        self.state.v_cell = volts;
+    }
+
+    /// Overrides the sense-amplifier input-referred offset, e.g. with a
+    /// process-variation draw.
+    pub fn set_sa_offset(&mut self, volts: f64) {
+        self.sense.offset = volts;
+        self.params.sa_offset = volts;
+    }
+
+    /// Resets the bitlines to the precharged state without touching the cell.
+    pub fn precharge_bitlines(&mut self) {
+        self.state.v_bitline = self.params.v_precharge();
+        self.state.v_bitline_bar = self.params.v_precharge();
+    }
+
+    /// Runs `schedule` for the full CODIC window plus a settle margin at the
+    /// default step size, capturing a waveform.
+    #[must_use]
+    pub fn run(&mut self, schedule: &SignalSchedule) -> Waveform {
+        self.run_for(
+            schedule,
+            f64::from(WINDOW_NS) + SETTLE_MARGIN_NS,
+            DEFAULT_DT_NS,
+        )
+    }
+
+    /// Runs `schedule` for `duration_ns` with integration step `dt_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_ns` or `duration_ns` is not strictly positive.
+    #[must_use]
+    pub fn run_for(&mut self, schedule: &SignalSchedule, duration_ns: f64, dt_ns: f64) -> Waveform {
+        assert!(dt_ns > 0.0, "integration step must be positive");
+        assert!(duration_ns > 0.0, "duration must be positive");
+        let steps = (duration_ns / dt_ns).ceil() as usize;
+        let sample_stride = (SAMPLE_EVERY_NS / dt_ns).round().max(1.0) as usize;
+        let mut samples = Vec::with_capacity(steps / sample_stride + 2);
+        samples.push(self.sample(0.0));
+        for step in 0..steps {
+            let t_ns = step as f64 * dt_ns;
+            self.advance(schedule, t_ns, dt_ns);
+            if (step + 1) % sample_stride == 0 || step + 1 == steps {
+                samples.push(self.sample((step + 1) as f64 * dt_ns));
+            }
+        }
+        Waveform::new(*schedule, self.params, samples)
+    }
+
+    /// Fast path: runs `schedule` without capturing a waveform and returns
+    /// the bit the sense amplifier resolves the true bitline to, as soon as
+    /// the bitline differential exceeds half the supply (or `None` if the
+    /// amplifier never resolves within the window).
+    ///
+    /// Used by the Monte Carlo harness where only the resolved value matters.
+    pub fn resolve_bit(&mut self, schedule: &SignalSchedule, dt_ns: f64) -> Option<bool> {
+        assert!(dt_ns > 0.0, "integration step must be positive");
+        let duration_ns = f64::from(WINDOW_NS) + SETTLE_MARGIN_NS;
+        let steps = (duration_ns / dt_ns).ceil() as usize;
+        let threshold = 0.5 * self.params.vdd;
+        for step in 0..steps {
+            let t_ns = step as f64 * dt_ns;
+            self.advance(schedule, t_ns, dt_ns);
+            let diff = self.state.v_bitline - self.state.v_bitline_bar;
+            if diff.abs() > threshold {
+                return Some(diff > 0.0);
+            }
+        }
+        let diff = self.state.v_bitline - self.state.v_bitline_bar;
+        if diff.abs() > 1e-9 {
+            Some(diff > 0.0)
+        } else {
+            None
+        }
+    }
+
+    fn sample(&self, t_ns: f64) -> Sample {
+        Sample {
+            t_ns,
+            v_bitline: self.state.v_bitline,
+            v_bitline_bar: self.state.v_bitline_bar,
+            v_cell: self.state.v_cell,
+        }
+    }
+
+    fn advance(&mut self, schedule: &SignalSchedule, t_ns: f64, dt_ns: f64) {
+        let wl = schedule.is_asserted(Signal::Wordline, t_ns);
+        let eq = schedule.is_asserted(Signal::Equalize, t_ns);
+        let sp = schedule.is_asserted(Signal::SenseP, t_ns);
+        let sn = schedule.is_asserted(Signal::SenseN, t_ns);
+
+        let s = self.state;
+        let i_access = self.access.current(wl, s.v_cell, s.v_bitline);
+        let (i_pre_bl, i_pre_blb) = self.precharge.currents(eq, s.v_bitline, s.v_bitline_bar);
+        let (i_sa_bl, i_sa_blb) = self
+            .sense
+            .currents(sn, sp, s.v_bitline, s.v_bitline_bar);
+        let i_leak = self.params.g_leak * (self.params.v_precharge() - s.v_cell);
+
+        let dt_s = dt_ns * 1e-9;
+        let dv_bl = (i_access + i_pre_bl + i_sa_bl) / self.params.c_bitline * dt_s;
+        let dv_blb = (i_pre_blb + i_sa_blb) / self.params.c_bitline * dt_s;
+        let dv_cell = (-i_access + i_leak) / self.params.c_cell * dt_s;
+
+        let lo = -0.02;
+        let hi = self.params.vdd + 0.02;
+        self.state.v_bitline = (s.v_bitline + dv_bl).clamp(lo, hi);
+        self.state.v_bitline_bar = (s.v_bitline_bar + dv_blb).clamp(lo, hi);
+        self.state.v_cell = (s.v_cell + dv_cell).clamp(lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::SenseOutcome;
+    use crate::signal::Signal;
+
+    fn schedule(pulses: &[(Signal, u8, u8)]) -> SignalSchedule {
+        let mut b = SignalSchedule::builder();
+        for &(s, a, d) in pulses {
+            b = b.pulse(s, a, d).unwrap();
+        }
+        b.build()
+    }
+
+    /// The paper's Table 1 activate command.
+    fn activate() -> SignalSchedule {
+        schedule(&[
+            (Signal::Wordline, 5, 22),
+            (Signal::SenseP, 7, 22),
+            (Signal::SenseN, 7, 22),
+        ])
+    }
+
+    /// The paper's Table 1 precharge command.
+    fn precharge() -> SignalSchedule {
+        schedule(&[(Signal::Equalize, 5, 11)])
+    }
+
+    /// The paper's Table 1 CODIC-sig command.
+    fn codic_sig() -> SignalSchedule {
+        schedule(&[(Signal::Wordline, 5, 22), (Signal::Equalize, 7, 22)])
+    }
+
+    /// The paper's Table 1 CODIC-det (zero-generating) command.
+    fn codic_det_zero() -> SignalSchedule {
+        schedule(&[
+            (Signal::Wordline, 5, 22),
+            (Signal::SenseN, 7, 22),
+            (Signal::SenseP, 14, 22),
+        ])
+    }
+
+    /// The one-generating CODIC-det variant (§4.1.2: sense_p first).
+    fn codic_det_one() -> SignalSchedule {
+        schedule(&[
+            (Signal::Wordline, 5, 22),
+            (Signal::SenseP, 7, 22),
+            (Signal::SenseN, 14, 22),
+        ])
+    }
+
+    fn run_from(bit: bool, s: &SignalSchedule) -> Waveform {
+        let mut sim = CircuitSim::new(CircuitParams::default());
+        sim.set_cell_bit(bit);
+        sim.run(s)
+    }
+
+    #[test]
+    fn activate_restores_a_one() {
+        assert_eq!(run_from(true, &activate()).outcome(), SenseOutcome::RestoredOne);
+    }
+
+    #[test]
+    fn activate_restores_a_zero() {
+        assert_eq!(run_from(false, &activate()).outcome(), SenseOutcome::RestoredZero);
+    }
+
+    #[test]
+    fn activate_charge_sharing_deviates_bitline_before_sensing() {
+        // Between wl (5 ns) and sense enable (7 ns) the bitline must deviate
+        // from Vdd/2 by a small epsilon in the direction of the cell value
+        // (paper Figure 1 step 2).
+        let w = run_from(true, &activate());
+        let v = w.voltage_at(crate::waveform::TraceKind::Bitline, 6.9);
+        let vpre = w.params().v_precharge();
+        assert!(v > vpre + 0.02, "v = {v}");
+        assert!(v < vpre + 0.30, "v = {v}");
+    }
+
+    #[test]
+    fn precharge_returns_bitline_to_half_vdd() {
+        // Start from a restored state: bitline at Vdd.
+        let mut sim = CircuitSim::new(CircuitParams::default());
+        sim.set_cell_bit(true);
+        let _ = sim.run(&activate());
+        let w = sim.run(&precharge());
+        let vpre = w.params().v_precharge();
+        assert!((w.final_sample().v_bitline - vpre).abs() < 0.05);
+        assert_eq!(w.outcome(), SenseOutcome::BitlinePrecharged);
+    }
+
+    #[test]
+    fn codic_sig_equalizes_cell_regardless_of_initial_value() {
+        for bit in [false, true] {
+            let w = run_from(bit, &codic_sig());
+            assert_eq!(
+                w.outcome(),
+                SenseOutcome::CellEqualized,
+                "initial bit {bit}"
+            );
+            let vpre = w.params().v_precharge();
+            assert!((w.final_sample().v_cell - vpre).abs() < 0.08);
+            // The bitline stays in the precharged state throughout (§4.1.1).
+            assert!((w.final_sample().v_bitline - vpre).abs() < 0.08);
+        }
+    }
+
+    #[test]
+    fn codic_sig_equalizes_cell_quickly() {
+        // §4.1.1: the capacitor reaches Vdd/2 "almost immediately" after EQ
+        // rises at 7 ns — the basis for CODIC-sig-opt.
+        let w = run_from(true, &codic_sig());
+        let v = w.voltage_at(crate::waveform::TraceKind::Cell, 12.0);
+        assert!((v - w.params().v_precharge()).abs() < 0.1, "v = {v}");
+    }
+
+    #[test]
+    fn codic_det_zero_is_deterministic_for_both_initial_values() {
+        for bit in [false, true] {
+            let w = run_from(bit, &codic_det_zero());
+            assert_eq!(
+                w.outcome(),
+                SenseOutcome::RestoredZero,
+                "initial bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn codic_det_one_is_deterministic_for_both_initial_values() {
+        for bit in [false, true] {
+            let w = run_from(bit, &codic_det_one());
+            assert_eq!(w.outcome(), SenseOutcome::RestoredOne, "initial bit {bit}");
+        }
+    }
+
+    #[test]
+    fn codic_det_is_robust_to_sense_amp_offset() {
+        // The deterministic mechanism is the capacitive asymmetry of the
+        // cell-loaded bitline, which must dominate realistic offsets. The
+        // process-variation model's offset sigma is 2.4 mV, so ±15 mV is a
+        // beyond-6-sigma stress.
+        for offset_mv in [-15.0, -10.0, 0.0, 10.0, 15.0] {
+            for bit in [false, true] {
+                let mut sim = CircuitSim::new(CircuitParams::default());
+                sim.set_sa_offset(offset_mv * 1e-3);
+                sim.set_cell_bit(bit);
+                let w = sim.run(&codic_det_zero());
+                assert_eq!(
+                    w.outcome(),
+                    SenseOutcome::RestoredZero,
+                    "offset {offset_mv} mV, bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sig_then_activate_resolves_by_offset_sign() {
+        // The CODIC-sig PUF mechanism (§4.1.1): after CODIC-sig leaves the
+        // cell at Vdd/2, the *next* activation amplifies it to a value that
+        // depends only on process variation (the SA offset).
+        for (offset_mv, expected) in [(6.0, SenseOutcome::RestoredOne), (-6.0, SenseOutcome::RestoredZero)] {
+            let mut sim = CircuitSim::new(CircuitParams::default());
+            sim.set_sa_offset(offset_mv * 1e-3);
+            sim.set_cell_bit(true);
+            let _ = sim.run(&codic_sig());
+            sim.precharge_bitlines();
+            let w = sim.run(&activate());
+            assert_eq!(w.outcome(), expected, "offset {offset_mv} mV");
+        }
+    }
+
+    #[test]
+    fn alternate_sig_timing_from_paper_also_works() {
+        // §4.1.1: "CODIC-sig performs the same function by raising the wl
+        // signal at 4 ns, and the EQ signal at 8 ns."
+        let alt = schedule(&[(Signal::Wordline, 4, 22), (Signal::Equalize, 8, 22)]);
+        for bit in [false, true] {
+            assert_eq!(run_from(bit, &alt).outcome(), SenseOutcome::CellEqualized);
+        }
+    }
+
+    #[test]
+    fn resolve_bit_matches_full_run_for_activate() {
+        for bit in [false, true] {
+            let mut sim = CircuitSim::new(CircuitParams::default());
+            sim.set_cell_bit(bit);
+            let resolved = sim.resolve_bit(&activate(), DEFAULT_DT_NS);
+            assert_eq!(resolved, Some(bit));
+        }
+    }
+
+    #[test]
+    fn empty_schedule_leaves_state_untouched() {
+        let mut sim = CircuitSim::new(CircuitParams::default());
+        sim.set_cell_bit(true);
+        let w = sim.run(&SignalSchedule::default());
+        let f = w.final_sample();
+        let vpre = w.params().v_precharge();
+        assert!((f.v_bitline - vpre).abs() < 1e-3);
+        assert!((f.v_cell - w.params().vdd).abs() < 1e-3);
+    }
+
+    #[test]
+    fn coarser_time_step_gives_same_outcomes() {
+        // The Monte Carlo harness integrates at 25 ps; outcomes must agree
+        // with the default 10 ps step.
+        for bit in [false, true] {
+            for sched in [activate(), codic_det_zero(), codic_sig()] {
+                let mut a = CircuitSim::new(CircuitParams::default());
+                a.set_cell_bit(bit);
+                let mut b = CircuitSim::new(CircuitParams::default());
+                b.set_cell_bit(bit);
+                let wa = a.run_for(&sched, 30.0, DEFAULT_DT_NS);
+                let wb = b.run_for(&sched, 30.0, 0.025);
+                assert_eq!(wa.outcome(), wb.outcome());
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Captured voltage traces from a circuit simulation run.
+
+use crate::outcome::{self, SenseOutcome};
+use crate::ptm::CircuitParams;
+use crate::signal::{Signal, SignalSchedule};
+
+/// One time-point of a [`Waveform`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Simulation time in nanoseconds.
+    pub t_ns: f64,
+    /// True bitline voltage in volts.
+    pub v_bitline: f64,
+    /// Reference (bar) bitline voltage in volts.
+    pub v_bitline_bar: f64,
+    /// Cell capacitor voltage in volts.
+    pub v_cell: f64,
+}
+
+/// Which analog trace of a [`Waveform`] to inspect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// The true bitline (the one the cell connects to).
+    Bitline,
+    /// The reference bitline.
+    BitlineBar,
+    /// The cell capacitor.
+    Cell,
+}
+
+/// A complete record of one simulated CODIC command: the schedule that drove
+/// it, the circuit parameters, and the sampled node voltages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    schedule: SignalSchedule,
+    params: CircuitParams,
+    samples: Vec<Sample>,
+}
+
+impl Waveform {
+    /// Assembles a waveform from its parts. Intended for use by
+    /// [`CircuitSim`](crate::CircuitSim).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty: a waveform always contains at least the
+    /// initial state.
+    #[must_use]
+    pub fn new(schedule: SignalSchedule, params: CircuitParams, samples: Vec<Sample>) -> Self {
+        assert!(!samples.is_empty(), "waveform requires at least one sample");
+        Waveform {
+            schedule,
+            params,
+            samples,
+        }
+    }
+
+    /// The schedule that produced this waveform.
+    #[must_use]
+    pub fn schedule(&self) -> &SignalSchedule {
+        &self.schedule
+    }
+
+    /// The circuit parameters used for the run.
+    #[must_use]
+    pub fn params(&self) -> &CircuitParams {
+        &self.params
+    }
+
+    /// All captured samples in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The last captured sample (the terminal circuit state).
+    #[must_use]
+    pub fn final_sample(&self) -> Sample {
+        *self.samples.last().expect("waveform is never empty")
+    }
+
+    /// Classifies the terminal state of this run (paper §4.1).
+    #[must_use]
+    pub fn outcome(&self) -> SenseOutcome {
+        outcome::classify(self)
+    }
+
+    /// The voltage of `trace` at the sample nearest to `t_ns`.
+    #[must_use]
+    pub fn voltage_at(&self, trace: TraceKind, t_ns: f64) -> f64 {
+        let sample = self
+            .samples
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.t_ns - t_ns).abs();
+                let db = (b.t_ns - t_ns).abs();
+                da.partial_cmp(&db).expect("sample times are finite")
+            })
+            .expect("waveform is never empty");
+        self.extract(trace, sample)
+    }
+
+    /// The full `(t_ns, volts)` series for `trace`.
+    #[must_use]
+    pub fn series(&self, trace: TraceKind) -> Vec<(f64, f64)> {
+        self.samples
+            .iter()
+            .map(|s| (s.t_ns, self.extract(trace, s)))
+            .collect()
+    }
+
+    fn extract(&self, trace: TraceKind, s: &Sample) -> f64 {
+        match trace {
+            TraceKind::Bitline => s.v_bitline,
+            TraceKind::BitlineBar => s.v_bitline_bar,
+            TraceKind::Cell => s.v_cell,
+        }
+    }
+
+    /// Renders an ASCII chart of the analog traces plus the digital control
+    /// signals, in the style of the paper's Figures 2b/3/10.
+    ///
+    /// `width` is the number of character columns for the time axis.
+    #[must_use]
+    pub fn ascii_chart(&self, width: usize) -> String {
+        let width = width.max(16);
+        let t_end = self.final_sample().t_ns;
+        let mut out = String::new();
+        for (label, trace) in [
+            ("bitline ", TraceKind::Bitline),
+            ("bitl_bar", TraceKind::BitlineBar),
+            ("cell    ", TraceKind::Cell),
+        ] {
+            out.push_str(&self.render_analog_row(label, trace, width, t_end));
+        }
+        for sig in Signal::ALL {
+            out.push_str(&self.render_signal_row(sig, width, t_end));
+        }
+        out.push_str(&format!(
+            "{:10} 0 ns {:>width$}\n",
+            "time",
+            format!("{t_end:.1} ns"),
+            width = width.saturating_sub(5)
+        ));
+        out
+    }
+
+    fn render_analog_row(&self, label: &str, trace: TraceKind, width: usize, t_end: f64) -> String {
+        const LEVELS: &[char] = &['_', '.', '-', '=', '^'];
+        let vdd = self.params.vdd;
+        let mut row = String::with_capacity(width);
+        for col in 0..width {
+            let t = t_end * (col as f64) / (width as f64 - 1.0);
+            let v = self.voltage_at(trace, t);
+            let frac = (v / vdd).clamp(0.0, 1.0);
+            let idx = ((frac * (LEVELS.len() - 1) as f64).round() as usize).min(LEVELS.len() - 1);
+            row.push(LEVELS[idx]);
+        }
+        format!("{label:10} {row}\n")
+    }
+
+    fn render_signal_row(&self, sig: Signal, width: usize, t_end: f64) -> String {
+        let mut row = String::with_capacity(width);
+        for col in 0..width {
+            let t = t_end * (col as f64) / (width as f64 - 1.0);
+            let asserted = self.schedule.is_asserted(sig, t);
+            // Render the electrical level: sense_p is active-low.
+            let high = asserted ^ sig.is_active_low();
+            row.push(if high { '^' } else { '_' });
+        }
+        format!("{:10} {row}\n", sig.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::SignalSchedule;
+
+    fn flat_waveform(v: f64) -> Waveform {
+        let params = CircuitParams::default();
+        let samples = (0..10)
+            .map(|i| Sample {
+                t_ns: f64::from(i),
+                v_bitline: v,
+                v_bitline_bar: v,
+                v_cell: v,
+            })
+            .collect();
+        Waveform::new(SignalSchedule::default(), params, samples)
+    }
+
+    #[test]
+    fn voltage_at_picks_nearest_sample() {
+        let params = CircuitParams::default();
+        let samples = vec![
+            Sample {
+                t_ns: 0.0,
+                v_bitline: 0.1,
+                v_bitline_bar: 0.2,
+                v_cell: 0.3,
+            },
+            Sample {
+                t_ns: 1.0,
+                v_bitline: 1.1,
+                v_bitline_bar: 1.2,
+                v_cell: 1.3,
+            },
+        ];
+        let w = Waveform::new(SignalSchedule::default(), params, samples);
+        assert_eq!(w.voltage_at(TraceKind::Bitline, 0.2), 0.1);
+        assert_eq!(w.voltage_at(TraceKind::Cell, 0.9), 1.3);
+    }
+
+    #[test]
+    fn series_preserves_order_and_length() {
+        let w = flat_waveform(0.75);
+        let s = w.series(TraceKind::Cell);
+        assert_eq!(s.len(), 10);
+        assert!(s.windows(2).all(|p| p[0].0 < p[1].0));
+    }
+
+    #[test]
+    fn ascii_chart_contains_all_rows() {
+        let w = flat_waveform(0.75);
+        let chart = w.ascii_chart(40);
+        for name in ["bitline", "cell", "wl", "EQ", "sense_p", "sense_n", "time"] {
+            assert!(chart.contains(name), "missing {name} in chart:\n{chart}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_waveform_panics() {
+        let _ = Waveform::new(
+            SignalSchedule::default(),
+            CircuitParams::default(),
+            Vec::new(),
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the circuit crate's invariants.
+
+use codic_circuit::{
+    CircuitParams, CircuitSim, SenseOutcome, Signal, SignalPulse, SignalSchedule,
+};
+use proptest::prelude::*;
+
+fn arb_pulse() -> impl Strategy<Value = SignalPulse> {
+    (0u8..24, 1u8..25)
+        .prop_filter("assert < deassert", |(a, d)| a < d)
+        .prop_map(|(a, d)| SignalPulse::new(a, d).expect("filtered to valid"))
+}
+
+fn arb_schedule() -> impl Strategy<Value = SignalSchedule> {
+    (
+        proptest::option::of(arb_pulse()),
+        proptest::option::of(arb_pulse()),
+        proptest::option::of(arb_pulse()),
+        proptest::option::of(arb_pulse()),
+    )
+        .prop_map(|(wl, eq, sp, sn)| {
+            let mut b = SignalSchedule::builder();
+            for (sig, p) in [
+                (Signal::Wordline, wl),
+                (Signal::Equalize, eq),
+                (Signal::SenseP, sp),
+                (Signal::SenseN, sn),
+            ] {
+                if let Some(p) = p {
+                    b = b.pulse_validated(sig, p);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_valid_pulse_is_constructible(a in 0u8..24, d in 1u8..25) {
+        prop_assume!(a < d);
+        let p = SignalPulse::new(a, d).unwrap();
+        prop_assert_eq!(p.assert_ns(), a);
+        prop_assert_eq!(p.deassert_ns(), d);
+        prop_assert!(p.is_active_at(f64::from(a)));
+        prop_assert!(!p.is_active_at(f64::from(d)));
+    }
+
+    #[test]
+    fn out_of_window_or_empty_pulses_are_rejected(a in 0u8..=40, d in 0u8..=40) {
+        let result = SignalPulse::new(a, d);
+        let should_be_valid = a < d && d < 25;
+        prop_assert_eq!(result.is_ok(), should_be_valid);
+    }
+
+    #[test]
+    fn simulation_never_leaves_physical_bounds(schedule in arb_schedule(), bit in any::<bool>()) {
+        let params = CircuitParams::default();
+        let mut sim = CircuitSim::new(params);
+        sim.set_cell_bit(bit);
+        // Coarser step for test speed; invariants must still hold.
+        let wave = sim.run_for(&schedule, 30.0, 0.05);
+        for s in wave.samples() {
+            prop_assert!(s.v_bitline >= -0.03 && s.v_bitline <= params.vdd + 0.03);
+            prop_assert!(s.v_bitline_bar >= -0.03 && s.v_bitline_bar <= params.vdd + 0.03);
+            prop_assert!(s.v_cell >= -0.03 && s.v_cell <= params.vdd + 0.03);
+        }
+        // Classification is total: any outcome (including Metastable) is fine,
+        // but it must not panic and must be stable.
+        let _o: SenseOutcome = wave.outcome();
+    }
+
+    #[test]
+    fn schedules_without_wordline_never_touch_the_cell(
+        eq in proptest::option::of(arb_pulse()),
+        sp in proptest::option::of(arb_pulse()),
+        sn in proptest::option::of(arb_pulse()),
+        bit in any::<bool>(),
+    ) {
+        let mut b = SignalSchedule::builder();
+        for (sig, p) in [(Signal::Equalize, eq), (Signal::SenseP, sp), (Signal::SenseN, sn)] {
+            if let Some(p) = p {
+                b = b.pulse_validated(sig, p);
+            }
+        }
+        let schedule = b.build();
+        let params = CircuitParams::default();
+        let mut sim = CircuitSim::new(params);
+        sim.set_cell_bit(bit);
+        let before = sim.state().v_cell;
+        let wave = sim.run_for(&schedule, 30.0, 0.05);
+        let after = wave.final_sample().v_cell;
+        // Only leakage (negligible in-window) may move the cell.
+        prop_assert!((after - before).abs() < 1e-3, "cell moved {before} -> {after}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Overhead comparison against memory-encryption ciphers (paper Table 6).
+//!
+//! ChaCha-8 and AES-128 numbers are the paper's own analytic constants for
+//! an Intel Atom N280-class processor (taken from Yitbarek et al., HPCA
+//! 2017); CODIC's DRAM area is *computed* from the delay-element model in
+//! `codic-core`.
+
+use codic_core::delay_element;
+
+/// One Table 6 column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadProfile {
+    /// Mechanism name.
+    pub name: &'static str,
+    /// Runtime performance overhead in percent.
+    pub runtime_perf_pct: f64,
+    /// Runtime power overhead in percent (at peak memory bandwidth).
+    pub runtime_power_pct: f64,
+    /// Processor area overhead in percent.
+    pub processor_area_pct: f64,
+    /// DRAM area overhead in percent.
+    pub dram_area_pct: f64,
+}
+
+/// CODIC self-destruction: zero runtime overhead; the only cost is the
+/// CODIC substrate area in DRAM (§4.2.1 / Table 6: ≈ 1.1 %).
+#[must_use]
+pub fn codic_self_destruction() -> OverheadProfile {
+    OverheadProfile {
+        name: "CODIC Self-Dest.",
+        runtime_perf_pct: 0.0,
+        runtime_power_pct: 0.0,
+        processor_area_pct: 0.0,
+        dram_area_pct: delay_element::substrate_cost().area_per_mat_pct,
+    }
+}
+
+/// ChaCha-8 memory encryption (Table 6).
+#[must_use]
+pub fn chacha8() -> OverheadProfile {
+    OverheadProfile {
+        name: "ChaCha-8",
+        runtime_perf_pct: 0.0,
+        runtime_power_pct: 17.0,
+        processor_area_pct: 0.9,
+        dram_area_pct: 0.0,
+    }
+}
+
+/// AES-128 memory encryption (Table 6).
+#[must_use]
+pub fn aes128() -> OverheadProfile {
+    OverheadProfile {
+        name: "AES-128",
+        runtime_perf_pct: 0.0,
+        runtime_power_pct: 12.0,
+        processor_area_pct: 1.3,
+        dram_area_pct: 0.0,
+    }
+}
+
+/// All three Table 6 columns.
+#[must_use]
+pub fn table6() -> Vec<OverheadProfile> {
+    vec![codic_self_destruction(), chacha8(), aes128()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codic_has_zero_runtime_overhead() {
+        let c = codic_self_destruction();
+        assert_eq!(c.runtime_perf_pct, 0.0);
+        assert_eq!(c.runtime_power_pct, 0.0);
+        assert_eq!(c.processor_area_pct, 0.0);
+    }
+
+    #[test]
+    fn codic_dram_area_is_about_1_1_pct() {
+        let a = codic_self_destruction().dram_area_pct;
+        assert!((a - 1.1).abs() < 0.1, "area = {a}%");
+    }
+
+    #[test]
+    fn ciphers_cost_runtime_power_but_no_dram_area() {
+        for p in [chacha8(), aes128()] {
+            assert!(p.runtime_power_pct > 10.0);
+            assert!(p.processor_area_pct > 0.0);
+            assert_eq!(p.dram_area_pct, 0.0);
+        }
+    }
+
+    #[test]
+    fn table_has_three_columns() {
+        assert_eq!(table6().len(), 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! Destruction-energy comparison (§6.2 "Energy Results").
+
+use codic_power::EnergyModel;
+
+use crate::latency::destruction_run;
+use crate::mechanism::DestructionMechanism;
+
+/// Energy to destroy a whole module, in millijoules.
+#[must_use]
+pub fn destruction_energy_mj(mechanism: DestructionMechanism, capacity_mib: u64) -> f64 {
+    let run = destruction_run(mechanism, capacity_mib);
+    let model = EnergyModel::paper_default();
+    let mut total_nj = model.breakdown(&run.stats, run.cycles).total_nj();
+    total_nj += mechanism.extra_row_energy_nj() * run.stats.row_ops as f64;
+    total_nj * 1e-6
+}
+
+/// Energy ratios of the three baselines relative to CODIC at one module
+/// size (§6.2 reports 41.7× / 2.5× / 1.7× for TCG / LISA-clone / RowClone
+/// at 8 GB).
+#[must_use]
+pub fn energy_ratios_vs_codic(capacity_mib: u64) -> [(DestructionMechanism, f64); 3] {
+    let codic = destruction_energy_mj(DestructionMechanism::Codic, capacity_mib);
+    [
+        DestructionMechanism::Tcg,
+        DestructionMechanism::LisaClone,
+        DestructionMechanism::RowClone,
+    ]
+    .map(|m| (m, destruction_energy_mj(m, capacity_mib) / codic))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codic_uses_least_energy() {
+        let codic = destruction_energy_mj(DestructionMechanism::Codic, 256);
+        for m in [
+            DestructionMechanism::Tcg,
+            DestructionMechanism::LisaClone,
+            DestructionMechanism::RowClone,
+        ] {
+            let e = destruction_energy_mj(m, 256);
+            assert!(e > codic, "{m:?}: {e} vs CODIC {codic}");
+        }
+    }
+
+    #[test]
+    fn ratios_match_paper_ordering_and_magnitude() {
+        // §6.2: TCG/LISA/RowClone use 41.7×/2.5×/1.7× more energy than
+        // CODIC (8 GB module; we check at 1 GB where TCG is still
+        // simulated closer to exactly — ratios are size-independent to
+        // first order).
+        let ratios = energy_ratios_vs_codic(1024);
+        let by: std::collections::HashMap<_, _> =
+            ratios.iter().map(|&(m, r)| (m.name(), r)).collect();
+        assert!(by["TCG"] > 10.0, "TCG ratio = {}", by["TCG"]);
+        assert!(
+            (by["LISA-clone"] - 2.5).abs() < 0.8,
+            "LISA ratio = {}",
+            by["LISA-clone"]
+        );
+        assert!(
+            (by["RowClone"] - 1.7).abs() < 0.6,
+            "RowClone ratio = {}",
+            by["RowClone"]
+        );
+        assert!(by["LISA-clone"] > by["RowClone"]);
+    }
+
+    #[test]
+    fn energy_scales_with_capacity() {
+        let small = destruction_energy_mj(DestructionMechanism::Codic, 64);
+        let large = destruction_energy_mj(DestructionMechanism::Codic, 1024);
+        assert!(large > small * 10.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Destruction-time evaluation (the paper's Figure 7).
+//!
+//! The in-DRAM mechanisms are simulated exactly at every size with an
+//! event-driven scheduler over the rank's tRRD/tFAW windows and per-bank
+//! occupancy — the same constraints the cycle-level controller enforces.
+//! The TCG firmware baseline is simulated cycle-by-cycle through the full
+//! CPU + cache + controller model up to 256 MB and extrapolated linearly
+//! per line beyond that, exactly as the paper extrapolates its largest
+//! points (§6.2).
+
+use codic_dram::geometry::{DramGeometry, LINE_BYTES};
+use codic_dram::rank::Rank;
+use codic_dram::stats::MemStats;
+use codic_dram::system::System;
+use codic_dram::timing::TimingParams;
+use codic_dram::trace::zero_fill_trace;
+
+use crate::mechanism::DestructionMechanism;
+
+/// Module sizes plotted in Figure 7, in MiB.
+pub const FIGURE7_SIZES_MIB: [u64; 6] = [64, 256, 1024, 4096, 16384, 65536];
+
+/// Largest module simulated cycle-accurately for TCG; larger sizes are
+/// extrapolated linearly from this point's per-line rate.
+pub const TCG_EXACT_LIMIT_MIB: u64 = 256;
+
+/// Result of one destruction run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DestructionRun {
+    /// Wall-clock destruction time in milliseconds.
+    pub time_ms: f64,
+    /// Memory-command statistics (for the energy model).
+    pub stats: MemStats,
+    /// Total memory cycles the destruction occupied.
+    pub cycles: u64,
+}
+
+/// Destruction time in milliseconds for `mechanism` on a single-rank
+/// module of `capacity_mib`, with density-scaled DDR3-1600 timing.
+#[must_use]
+pub fn destruction_time_ms(mechanism: DestructionMechanism, capacity_mib: u64) -> f64 {
+    destruction_run(mechanism, capacity_mib).time_ms
+}
+
+/// Full destruction run (time + command counts) for the energy model.
+#[must_use]
+pub fn destruction_run(mechanism: DestructionMechanism, capacity_mib: u64) -> DestructionRun {
+    let geometry = DramGeometry::module_mib(capacity_mib);
+    let density_gbit = ((capacity_mib / 1024 / u64::from(geometry.devices_per_rank)) * 8).max(1);
+    let timing = TimingParams::ddr3_1600_11().with_density_gbit(density_gbit as u32);
+    match mechanism.row_op() {
+        Some(op) => row_sweep(mechanism, op, &geometry, &timing),
+        None => tcg_run(&geometry, &timing),
+    }
+}
+
+/// Event-driven bank-parallel row sweep under rank activation windows.
+fn row_sweep(
+    mechanism: DestructionMechanism,
+    op: codic_dram::request::RowOpKind,
+    geometry: &DramGeometry,
+    timing: &TimingParams,
+) -> DestructionRun {
+    let busy = u64::from(
+        mechanism
+            .busy_cycles(timing)
+            .expect("row mechanisms define a busy time"),
+    );
+    let acts = op.activations();
+    let banks = geometry.total_banks() as usize;
+    let rows_per_bank = u64::from(geometry.rows_per_bank) * u64::from(geometry.ranks);
+    let mut bank_free = vec![0u64; banks];
+    let mut rank = Rank::new();
+    let mut finish = 0u64;
+    let mut issued = 0u64;
+    for row in 0..rows_per_bank {
+        let _ = row;
+        for bank_state in bank_free.iter_mut() {
+            // Earliest issue: bank free and rank window open.
+            let at = rank.earliest_activate(*bank_state, acts, timing);
+            rank.record_activate(at, acts, timing);
+            *bank_state = at + busy;
+            finish = finish.max(*bank_state);
+            issued += 1;
+        }
+    }
+    let stats = MemStats {
+        row_ops: issued,
+        row_op_activations: issued * u64::from(acts),
+        ..MemStats::default()
+    };
+    DestructionRun {
+        time_ms: timing.ns(finish) * 1e-6,
+        stats,
+        cycles: finish,
+    }
+}
+
+/// TCG firmware zero-fill through the full system model, with linear
+/// extrapolation beyond [`TCG_EXACT_LIMIT_MIB`].
+fn tcg_run(geometry: &DramGeometry, timing: &TimingParams) -> DestructionRun {
+    let total_bytes = geometry.total_bytes();
+    let exact_bytes = total_bytes.min(TCG_EXACT_LIMIT_MIB * 1024 * 1024);
+    let sim_geometry = DramGeometry::module_mib(exact_bytes / 1024 / 1024);
+    let trace = zero_fill_trace(0, exact_bytes);
+    let mut system = System::new(sim_geometry, *timing, vec![trace]);
+    let stats = system.run(u64::MAX);
+    let scale = total_bytes as f64 / exact_bytes as f64;
+    let lines = total_bytes / LINE_BYTES;
+    let mut mem = stats.mem;
+    if scale > 1.0 {
+        mem.reads = (mem.reads as f64 * scale) as u64;
+        mem.writes = (mem.writes as f64 * scale) as u64;
+        mem.activates = (mem.activates as f64 * scale) as u64;
+        mem.precharges = (mem.precharges as f64 * scale) as u64;
+        mem.refreshes = (mem.refreshes as f64 * scale) as u64;
+    }
+    let cycles = (stats.cycles as f64 * scale) as u64;
+    let _ = lines;
+    DestructionRun {
+        time_ms: timing.ns(cycles) * 1e-6,
+        stats: mem,
+        cycles,
+    }
+}
+
+/// The full Figure 7 sweep: destruction time (ms) for every mechanism and
+/// module size.
+#[must_use]
+pub fn figure7() -> Vec<(DestructionMechanism, Vec<(u64, f64)>)> {
+    DestructionMechanism::ALL
+        .iter()
+        .map(|&m| {
+            let series = FIGURE7_SIZES_MIB
+                .iter()
+                .map(|&mib| (mib, destruction_time_ms(m, mib)))
+                .collect();
+            (m, series)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codic_64mb_is_about_60_microseconds() {
+        // Figure 7 leftmost group: CODIC = 60 µs.
+        let ms = destruction_time_ms(DestructionMechanism::Codic, 64);
+        assert!((ms - 0.060).abs() < 0.010, "{ms} ms");
+    }
+
+    #[test]
+    fn rowclone_64mb_is_about_120_microseconds() {
+        let ms = destruction_time_ms(DestructionMechanism::RowClone, 64);
+        assert!((ms - 0.120).abs() < 0.015, "{ms} ms");
+    }
+
+    #[test]
+    fn lisa_64mb_is_about_150_microseconds() {
+        let ms = destruction_time_ms(DestructionMechanism::LisaClone, 64);
+        assert!((ms - 0.150).abs() < 0.020, "{ms} ms");
+    }
+
+    #[test]
+    fn tcg_64mb_is_tens_of_milliseconds() {
+        // Figure 7: TCG = 34 ms at 64 MB. The in-order store+CLFLUSH loop
+        // is within a factor ~1.6 of the paper's absolute number; the
+        // orders-of-magnitude gap to the in-DRAM mechanisms is the claim.
+        let ms = destruction_time_ms(DestructionMechanism::Tcg, 64);
+        assert!(ms > 20.0 && ms < 80.0, "{ms} ms");
+    }
+
+    #[test]
+    fn codic_is_2x_faster_than_rowclone_and_2_5x_than_lisa() {
+        let codic = destruction_time_ms(DestructionMechanism::Codic, 256);
+        let rowclone = destruction_time_ms(DestructionMechanism::RowClone, 256);
+        let lisa = destruction_time_ms(DestructionMechanism::LisaClone, 256);
+        assert!((rowclone / codic - 2.0).abs() < 0.2, "{}", rowclone / codic);
+        assert!((lisa / codic - 2.5).abs() < 0.3, "{}", lisa / codic);
+    }
+
+    #[test]
+    fn destruction_scales_linearly_with_capacity() {
+        for m in [
+            DestructionMechanism::Codic,
+            DestructionMechanism::RowClone,
+        ] {
+            let small = destruction_time_ms(m, 64);
+            let large = destruction_time_ms(m, 1024);
+            let ratio = large / small;
+            assert!((ratio - 16.0).abs() < 0.5, "{m:?}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn codic_64gb_is_about_63_ms() {
+        let ms = destruction_time_ms(DestructionMechanism::Codic, 65536);
+        assert!((ms - 63.0).abs() < 8.0, "{ms} ms");
+    }
+
+    #[test]
+    fn row_sweep_counts_every_row() {
+        let run = destruction_run(DestructionMechanism::Codic, 64);
+        assert_eq!(run.stats.row_ops, DramGeometry::module_mib(64).total_rows());
+    }
+}

@@ -1,0 +1,36 @@
+//! Cold-boot-attack prevention: the CODIC self-destruction mechanism and
+//! the baselines the paper compares it against (§5.2, §6.2).
+//!
+//! - [`mechanism::DestructionMechanism`]: TCG firmware zero-writes,
+//!   LISA-clone, RowClone, and CODIC self-destruction;
+//! - [`latency`]: the Figure 7 destruction-time sweep (64 MB – 64 GB);
+//! - [`energy`]: destruction-energy comparison (§6.2: CODIC uses
+//!   41.7× / 2.5× / 1.7× less energy than TCG / LISA-clone / RowClone);
+//! - [`ciphers`]: the Table 6 overhead comparison against ChaCha-8 and
+//!   AES-128 memory encryption;
+//! - [`poweron`]: the power-on detection FSM that triggers atomic
+//!   self-destruction before any command is accepted (§5.2.2);
+//! - [`remanence`]: DRAM data-retention decay across a power cycle;
+//! - [`attack`]: an end-to-end simulated cold-boot attack showing what an
+//!   attacker recovers with and without protection.
+//!
+//! # Example
+//!
+//! ```
+//! use codic_coldboot::mechanism::DestructionMechanism;
+//! use codic_coldboot::latency::destruction_time_ms;
+//!
+//! let codic = destruction_time_ms(DestructionMechanism::Codic, 64);
+//! let rowclone = destruction_time_ms(DestructionMechanism::RowClone, 64);
+//! assert!(codic < rowclone, "CODIC destroys a 64 MB module fastest");
+//! ```
+
+pub mod attack;
+pub mod ciphers;
+pub mod energy;
+pub mod latency;
+pub mod mechanism;
+pub mod poweron;
+pub mod remanence;
+
+pub use mechanism::DestructionMechanism;

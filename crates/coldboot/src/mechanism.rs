@@ -1,0 +1,115 @@
+//! The four evaluated data-destruction mechanisms (§6.2).
+
+use codic_dram::request::RowOpKind;
+use codic_dram::TimingParams;
+
+/// A mechanism for destroying the entire contents of a DRAM module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DestructionMechanism {
+    /// TCG firmware baseline: the CPU overwrites every line with zeros
+    /// (store + CLFLUSH) through the memory controller.
+    Tcg,
+    /// Self-destruction with LISA-clone row copies from a zeroed row.
+    LisaClone,
+    /// Self-destruction with RowClone FPM copies from a zeroed row.
+    RowClone,
+    /// Self-destruction with one CODIC command per row.
+    Codic,
+}
+
+impl DestructionMechanism {
+    /// All mechanisms in the order plotted by Figure 7.
+    pub const ALL: [DestructionMechanism; 4] = [
+        DestructionMechanism::Tcg,
+        DestructionMechanism::LisaClone,
+        DestructionMechanism::RowClone,
+        DestructionMechanism::Codic,
+    ];
+
+    /// Display name as used in Figure 7.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DestructionMechanism::Tcg => "TCG",
+            DestructionMechanism::LisaClone => "LISA-clone",
+            DestructionMechanism::RowClone => "RowClone",
+            DestructionMechanism::Codic => "CODIC",
+        }
+    }
+
+    /// The row-operation kind, for the in-DRAM mechanisms.
+    #[must_use]
+    pub fn row_op(self) -> Option<RowOpKind> {
+        match self {
+            DestructionMechanism::Tcg => None,
+            DestructionMechanism::LisaClone => Some(RowOpKind::LisaClone),
+            DestructionMechanism::RowClone => Some(RowOpKind::RowClone),
+            DestructionMechanism::Codic => Some(RowOpKind::Codic),
+        }
+    }
+
+    /// Bank-busy duration of one per-row operation, in memory cycles.
+    ///
+    /// - CODIC: one activation-class command (tRC).
+    /// - RowClone FPM: back-to-back activation pair plus precharge
+    ///   (2·tRAS + tRP); its throughput is tFAW-bound at 2× CODIC's.
+    /// - LISA-clone: the activation pair plus the row-buffer-movement
+    ///   sequence and its restore (≈ 70 ns extra, calibrated so LISA's
+    ///   occupancy-bound sweep lands on the paper's 2.5× CODIC time).
+    #[must_use]
+    pub fn busy_cycles(self, t: &TimingParams) -> Option<u32> {
+        match self {
+            DestructionMechanism::Tcg => None,
+            DestructionMechanism::Codic => Some(t.t_rc),
+            DestructionMechanism::RowClone => Some(2 * t.t_ras + t.t_rp),
+            DestructionMechanism::LisaClone => {
+                Some(2 * t.t_ras + t.t_rp + t.cycles_from_ns(70.0))
+            }
+        }
+    }
+
+    /// Per-row energy in nanojoules beyond the activations that
+    /// [`codic_power::EnergyModel::row_op_nj`] already charges: LISA's
+    /// row-buffer movement drives the full row of bitlines an extra time.
+    #[must_use]
+    pub fn extra_row_energy_nj(self) -> f64 {
+        match self {
+            DestructionMechanism::LisaClone => 11.0,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codic_has_the_shortest_row_operation() {
+        let t = TimingParams::ddr3_1600_11();
+        let codic = DestructionMechanism::Codic.busy_cycles(&t).unwrap();
+        let rc = DestructionMechanism::RowClone.busy_cycles(&t).unwrap();
+        let lisa = DestructionMechanism::LisaClone.busy_cycles(&t).unwrap();
+        assert!(codic < rc);
+        assert!(rc < lisa);
+        assert_eq!(DestructionMechanism::Tcg.busy_cycles(&t), None);
+    }
+
+    #[test]
+    fn activation_counts_follow_the_mechanism() {
+        assert_eq!(
+            DestructionMechanism::Codic.row_op().unwrap().activations(),
+            1
+        );
+        assert_eq!(
+            DestructionMechanism::RowClone.row_op().unwrap().activations(),
+            2
+        );
+    }
+
+    #[test]
+    fn names_match_figure_7_legend() {
+        let names: Vec<_> = DestructionMechanism::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["TCG", "LISA-clone", "RowClone", "CODIC"]);
+    }
+}

@@ -1,0 +1,184 @@
+//! The power-on detection and atomic self-destruction state machine
+//! (§5.2.2): "During self-destruction, the DRAM chip does not accept any
+//! memory commands to ensure the atomicity of the process."
+
+use crate::mechanism::DestructionMechanism;
+
+/// The module's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerState {
+    /// No power applied.
+    Off,
+    /// Power detected; self-destruction sweep in progress.
+    Destructing {
+        /// Rows destroyed so far.
+        rows_done: u64,
+    },
+    /// Destruction complete; normal operation (commands accepted).
+    Ready,
+}
+
+/// Outcome of presenting a command to the module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandOutcome {
+    /// The command was accepted.
+    Accepted,
+    /// The command was rejected (powered off or mid-destruction).
+    Rejected,
+}
+
+/// A DRAM module with the CODIC self-destruction circuit.
+///
+/// The power-on detection circuit triggers on any voltage ramp from 0 V —
+/// operating the module at a reduced voltage does not bypass it (§5.2
+/// "Security Analysis").
+#[derive(Debug, Clone)]
+pub struct SelfDestructModule {
+    state: PowerState,
+    total_rows: u64,
+    rows_per_tick: u64,
+    mechanism: DestructionMechanism,
+    /// Fraction of rows still holding pre-power-cycle data.
+    remanent_rows: u64,
+}
+
+impl SelfDestructModule {
+    /// Creates a powered-off module of `total_rows` rows whose
+    /// self-destruction sweep uses `mechanism` and destroys
+    /// `rows_per_tick` rows per tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mechanism` is the TCG firmware (self-destruction is
+    /// in-DRAM by definition) or `rows_per_tick` is zero.
+    #[must_use]
+    pub fn new(total_rows: u64, rows_per_tick: u64, mechanism: DestructionMechanism) -> Self {
+        assert!(
+            mechanism.row_op().is_some(),
+            "self-destruction requires an in-DRAM mechanism"
+        );
+        assert!(rows_per_tick > 0, "sweep must make progress");
+        SelfDestructModule {
+            state: PowerState::Off,
+            total_rows,
+            rows_per_tick,
+            mechanism,
+            remanent_rows: 0,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// The sweep mechanism.
+    #[must_use]
+    pub fn mechanism(&self) -> DestructionMechanism {
+        self.mechanism
+    }
+
+    /// Rows still holding data from before the power cycle.
+    #[must_use]
+    pub fn remanent_rows(&self) -> u64 {
+        self.remanent_rows
+    }
+
+    /// Removes power. `retained_fraction` of rows keep their charge
+    /// through the off period (see
+    /// [`remanence::retained_fraction`](crate::remanence::retained_fraction)).
+    pub fn power_off(&mut self, retained_fraction: f64) {
+        let f = retained_fraction.clamp(0.0, 1.0);
+        self.remanent_rows = (self.total_rows as f64 * f) as u64;
+        self.state = PowerState::Off;
+    }
+
+    /// Applies power: any ramp from 0 V triggers the detection circuit and
+    /// the destruction sweep starts immediately.
+    pub fn power_on(&mut self) {
+        if self.state == PowerState::Off {
+            self.state = PowerState::Destructing { rows_done: 0 };
+        }
+    }
+
+    /// Advances the destruction sweep by one tick.
+    pub fn tick(&mut self) {
+        if let PowerState::Destructing { rows_done } = self.state {
+            let done = (rows_done + self.rows_per_tick).min(self.total_rows);
+            // The sweep wipes remanent rows as it passes over them.
+            self.remanent_rows = self.remanent_rows.min(self.total_rows - done);
+            self.state = if done == self.total_rows {
+                PowerState::Ready
+            } else {
+                PowerState::Destructing { rows_done: done }
+            };
+        }
+    }
+
+    /// Presents a memory command (e.g. an attacker's read). Commands are
+    /// accepted only in the `Ready` state.
+    pub fn command(&mut self) -> CommandOutcome {
+        match self.state {
+            PowerState::Ready => CommandOutcome::Accepted,
+            _ => CommandOutcome::Rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module() -> SelfDestructModule {
+        SelfDestructModule::new(1000, 100, DestructionMechanism::Codic)
+    }
+
+    #[test]
+    fn commands_rejected_until_sweep_completes() {
+        let mut m = module();
+        m.power_off(1.0);
+        m.power_on();
+        for _ in 0..9 {
+            assert_eq!(m.command(), CommandOutcome::Rejected);
+            m.tick();
+        }
+        m.tick();
+        assert_eq!(m.state(), PowerState::Ready);
+        assert_eq!(m.command(), CommandOutcome::Accepted);
+    }
+
+    #[test]
+    fn sweep_destroys_all_remanent_data() {
+        let mut m = module();
+        m.power_off(1.0);
+        assert_eq!(m.remanent_rows(), 1000);
+        m.power_on();
+        while m.state() != PowerState::Ready {
+            m.tick();
+        }
+        assert_eq!(m.remanent_rows(), 0);
+    }
+
+    #[test]
+    fn powered_off_module_rejects_commands() {
+        let mut m = module();
+        assert_eq!(m.command(), CommandOutcome::Rejected);
+    }
+
+    #[test]
+    fn power_on_is_idempotent_once_running() {
+        let mut m = module();
+        m.power_on();
+        m.tick();
+        let s = m.state();
+        m.power_on();
+        assert_eq!(m.state(), s, "re-asserting power must not restart the sweep");
+    }
+
+    #[test]
+    #[should_panic(expected = "in-DRAM mechanism")]
+    fn tcg_cannot_be_a_self_destruct_sweep() {
+        let _ = SelfDestructModule::new(10, 1, DestructionMechanism::Tcg);
+    }
+}

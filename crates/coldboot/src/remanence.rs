@@ -1,0 +1,78 @@
+//! DRAM data remanence across a power cycle (§5.2).
+//!
+//! Charge leaks from cell capacitors once power (and refresh) stops; cold
+//! chips retain data for seconds to minutes (Halderman et al., USENIX
+//! Security 2008). We model per-cell retention times as log-normal with a
+//! strong temperature dependence, which reproduces the qualitative curves
+//! the cold-boot literature reports.
+
+/// Fraction of cells still holding their value after `off_seconds` without
+/// power at `temperature_c`.
+///
+/// The retention-time distribution is log-normal with a median of
+/// ≈ 4 s at 20 °C that doubles for every 10 °C of cooling.
+#[must_use]
+pub fn retained_fraction(off_seconds: f64, temperature_c: f64) -> f64 {
+    if off_seconds <= 0.0 {
+        return 1.0;
+    }
+    let median_at_20c = 4.0f64;
+    let median = median_at_20c * 2f64.powf((20.0 - temperature_c) / 10.0);
+    // Log-normal survival with sigma = 1.0 in log space.
+    let z = (off_seconds.ln() - median.ln()) / 1.0;
+    0.5 * erfc_approx(z / std::f64::consts::SQRT_2)
+}
+
+/// Abramowitz–Stegun-style erfc approximation (enough precision for a
+/// behavioural retention model; the NIST crate owns the precise one).
+fn erfc_approx(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc_approx(-x);
+    }
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    poly * (-x * x).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_off_time_means_full_retention() {
+        assert_eq!(retained_fraction(0.0, 20.0), 1.0);
+    }
+
+    #[test]
+    fn short_power_cycles_retain_most_data() {
+        // The threat model: an arbitrarily short power-off (§5.2.1).
+        let f = retained_fraction(0.2, 20.0);
+        assert!(f > 0.95, "retained {f}");
+    }
+
+    #[test]
+    fn long_off_times_lose_data() {
+        let f = retained_fraction(600.0, 20.0);
+        assert!(f < 0.05, "retained {f}");
+    }
+
+    #[test]
+    fn cooling_extends_retention() {
+        let warm = retained_fraction(30.0, 20.0);
+        let cold = retained_fraction(30.0, -50.0);
+        assert!(cold > warm, "cold {cold} vs warm {warm}");
+        assert!(cold > 0.9, "cold-boot attacks work on cold chips: {cold}");
+    }
+
+    #[test]
+    fn retention_is_monotone_in_time() {
+        let mut prev = 1.0;
+        for secs in [0.1, 1.0, 5.0, 30.0, 120.0] {
+            let f = retained_fraction(secs, 20.0);
+            assert!(f <= prev);
+            prev = f;
+        }
+    }
+}

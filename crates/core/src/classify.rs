@@ -1,0 +1,206 @@
+//! Functional classification of CODIC variants through circuit simulation.
+//!
+//! "The functionality of a particular CODIC command is determined by the
+//! relative order in which the internal circuits are triggered and
+//! deactivated" (§4.1.3). This module names that functionality by running a
+//! variant through the analog simulator under the four probe conditions
+//! that distinguish the classes: both initial cell values × both offset
+//! signs.
+
+use codic_circuit::{CircuitParams, CircuitSim, SenseOutcome};
+
+use crate::variant::CodicVariant;
+
+/// The functional class of a CODIC variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperationClass {
+    /// Restores whatever the cell stored: a regular activation.
+    ActivateLike,
+    /// Returns the bitlines to `Vdd/2` without touching the cell.
+    PrechargeLike,
+    /// Leaves the cell at `Vdd/2`, ready for a process-variation-dependent
+    /// amplification on the next activate (CODIC-sig).
+    SignaturePreparation,
+    /// Drives the cell to zero regardless of its prior value (CODIC-det).
+    DeterministicZero,
+    /// Drives the cell to one regardless of its prior value (CODIC-det).
+    DeterministicOne,
+    /// Writes a value determined purely by sense-amplifier process
+    /// variation (CODIC-sigsa).
+    SignatureAmplified,
+    /// Leaves all nodes untouched.
+    NoOp,
+    /// Anything else: data-dependent, metastable, or partially restored
+    /// states.
+    Other,
+}
+
+impl OperationClass {
+    /// Whether commands of this class destroy (or may destroy) the cell
+    /// contents — the property the self-destruction mechanism relies on
+    /// (§5.2) and the PUF challenge semantics must respect (§4.4).
+    #[must_use]
+    pub fn is_destructive(self) -> bool {
+        matches!(
+            self,
+            OperationClass::SignaturePreparation
+                | OperationClass::DeterministicZero
+                | OperationClass::DeterministicOne
+                | OperationClass::SignatureAmplified
+                | OperationClass::Other
+        )
+    }
+}
+
+impl std::fmt::Display for OperationClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OperationClass::ActivateLike => "activate-like",
+            OperationClass::PrechargeLike => "precharge-like",
+            OperationClass::SignaturePreparation => "signature preparation (CODIC-sig)",
+            OperationClass::DeterministicZero => "deterministic zero (CODIC-det)",
+            OperationClass::DeterministicOne => "deterministic one (CODIC-det)",
+            OperationClass::SignatureAmplified => "signature amplification (CODIC-sigsa)",
+            OperationClass::NoOp => "no-op",
+            OperationClass::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Probe offset magnitude in volts used to detect process-variation
+/// dependence (a few sigma of the offset distribution).
+const PROBE_OFFSET: f64 = 4.0e-3;
+
+/// Classifies `variant` by simulating it under probe conditions.
+#[must_use]
+pub fn classify(variant: &CodicVariant, params: &CircuitParams) -> OperationClass {
+    if variant.schedule().programmed_signals() == 0 {
+        return OperationClass::NoOp;
+    }
+    let run = |bit: bool, offset: f64| -> SenseOutcome {
+        let mut sim = CircuitSim::new(*params);
+        sim.set_sa_offset(offset);
+        sim.set_cell_bit(bit);
+        sim.run(variant.schedule()).outcome()
+    };
+    let zero_pos = run(false, PROBE_OFFSET);
+    let one_pos = run(true, PROBE_OFFSET);
+
+    use SenseOutcome as O;
+    match (zero_pos, one_pos) {
+        (O::RestoredZero, O::RestoredOne) => OperationClass::ActivateLike,
+        (O::RestoredZero, O::RestoredZero) => {
+            if offset_flips(variant, params, false) {
+                OperationClass::SignatureAmplified
+            } else {
+                OperationClass::DeterministicZero
+            }
+        }
+        (O::RestoredOne, O::RestoredOne) => {
+            if offset_flips(variant, params, true) {
+                OperationClass::SignatureAmplified
+            } else {
+                OperationClass::DeterministicOne
+            }
+        }
+        (O::CellEqualized, O::CellEqualized) => OperationClass::SignaturePreparation,
+        (O::BitlinePrecharged, O::BitlinePrecharged) => OperationClass::PrechargeLike,
+        _ => OperationClass::Other,
+    }
+}
+
+/// Whether flipping the sense-amplifier offset sign flips the outcome —
+/// the signature of a process-variation-dependent command.
+fn offset_flips(variant: &CodicVariant, params: &CircuitParams, was_one: bool) -> bool {
+    let mut sim = CircuitSim::new(*params);
+    sim.set_sa_offset(-PROBE_OFFSET);
+    sim.set_cell_bit(was_one);
+    let flipped = sim.run(variant.schedule()).outcome();
+    match flipped {
+        SenseOutcome::RestoredZero => was_one,
+        SenseOutcome::RestoredOne => !was_one,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    fn classify_default(v: &CodicVariant) -> OperationClass {
+        classify(v, &CircuitParams::default())
+    }
+
+    #[test]
+    fn library_variants_classify_as_documented() {
+        assert_eq!(
+            classify_default(&library::activation()),
+            OperationClass::ActivateLike
+        );
+        assert_eq!(
+            classify_default(&library::precharge()),
+            OperationClass::PrechargeLike
+        );
+        assert_eq!(
+            classify_default(&library::codic_sig()),
+            OperationClass::SignaturePreparation
+        );
+        assert_eq!(
+            classify_default(&library::codic_sig_opt()),
+            OperationClass::SignaturePreparation
+        );
+        assert_eq!(
+            classify_default(&library::codic_det_zero()),
+            OperationClass::DeterministicZero
+        );
+        assert_eq!(
+            classify_default(&library::codic_det_one()),
+            OperationClass::DeterministicOne
+        );
+        assert_eq!(
+            classify_default(&library::codic_sigsa()),
+            OperationClass::SignatureAmplified
+        );
+        assert_eq!(
+            classify_default(&library::codic_sig_alt()),
+            OperationClass::SignaturePreparation
+        );
+    }
+
+    #[test]
+    fn empty_program_is_noop() {
+        let v = CodicVariant::new("idle", codic_circuit::SignalSchedule::default());
+        assert_eq!(classify_default(&v), OperationClass::NoOp);
+    }
+
+    #[test]
+    fn destructive_flags_match_paper_semantics() {
+        assert!(!OperationClass::ActivateLike.is_destructive());
+        assert!(!OperationClass::PrechargeLike.is_destructive());
+        assert!(OperationClass::SignaturePreparation.is_destructive());
+        assert!(OperationClass::DeterministicZero.is_destructive());
+        assert!(OperationClass::SignatureAmplified.is_destructive());
+    }
+
+    #[test]
+    fn ddr3l_classifications_match_ddr3() {
+        let p = CircuitParams::ddr3l();
+        assert_eq!(
+            classify(&library::codic_sig(), &p),
+            OperationClass::SignaturePreparation
+        );
+        assert_eq!(
+            classify(&library::codic_det_zero(), &p),
+            OperationClass::DeterministicZero
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(OperationClass::SignaturePreparation
+            .to_string()
+            .contains("CODIC-sig"));
+    }
+}

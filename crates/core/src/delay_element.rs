@@ -1,0 +1,160 @@
+//! The configurable delay-element circuit and its cost model (paper §4.2.1).
+//!
+//! Each CODIC-controlled signal gets a chain of 25 buffer stages (≈ 1 ns
+//! propagation each) feeding a 25-to-1 multiplexer, plus a 2-to-1 mux that
+//! selects between the fixed DDRx delay path and the CODIC path (Figure 4).
+//! The paper reports: 0.28 % mat area per signal (1.12 % for all four),
+//! < 500 fJ energy per command, and a 0.028 ns added delay on the DDRx path
+//! that is compensated by buffer sizing.
+
+/// Cell area of a DRAM cell in F² (6F² cells; paper cites [120, 129]).
+pub const CELL_AREA_F2: f64 = 6.0;
+
+/// Rows in a typical mat (512 × 512; §4.2.1).
+pub const MAT_ROWS: u64 = 512;
+
+/// Columns in a typical mat.
+pub const MAT_COLS: u64 = 512;
+
+/// Average layout area of one peripheral transistor in F², calibrated so
+/// the delay element's transistor count yields the paper's 0.28 % per-mat
+/// overhead.
+pub const TRANSISTOR_AREA_F2: f64 = 29.4;
+
+/// The configurable delay element for one internal signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayElement {
+    /// Buffer stages in the chain (one per programmable nanosecond).
+    pub stages: u32,
+    /// Propagation delay per stage in picoseconds.
+    pub stage_delay_ps: u32,
+}
+
+impl Default for DelayElement {
+    fn default() -> Self {
+        DelayElement {
+            stages: 25,
+            stage_delay_ps: 1000,
+        }
+    }
+}
+
+impl DelayElement {
+    /// Transistors in the element: 2 per buffer stage, 4 per multiplexer
+    /// input (transmission gate + select inverter), and 4 for the 2-to-1
+    /// DDRx/CODIC select mux.
+    #[must_use]
+    pub fn transistor_count(&self) -> u64 {
+        u64::from(self.stages) * 2 + u64::from(self.stages) * 4 + 4
+    }
+
+    /// Layout area of the element in F².
+    #[must_use]
+    pub fn area_f2(&self) -> f64 {
+        self.transistor_count() as f64 * TRANSISTOR_AREA_F2
+    }
+
+    /// Area overhead relative to one mat, in percent (paper: ≈ 0.28 %).
+    #[must_use]
+    pub fn area_per_mat_pct(&self) -> f64 {
+        let mat_area = (MAT_ROWS * MAT_COLS) as f64 * CELL_AREA_F2;
+        100.0 * self.area_f2() / mat_area
+    }
+
+    /// Maximum programmable delay in nanoseconds.
+    #[must_use]
+    pub fn max_delay_ns(&self) -> f64 {
+        f64::from(self.stages) * f64::from(self.stage_delay_ps) / 1000.0
+    }
+
+    /// Dynamic energy per traversal in femtojoules (paper: < 500 fJ).
+    ///
+    /// Only the buffer chain and the selected multiplexer leg switch on a
+    /// traversal: each stage toggles a ≈ 1 fF gate load at 1.5 V
+    /// (`E = C·V²`, half the transistors switching per event), and the
+    /// selected mux leg adds the equivalent of 8 transistor loads.
+    #[must_use]
+    pub fn energy_fj(&self) -> f64 {
+        let c_stage_f = 1.0e-15;
+        let vdd = 1.5;
+        let switched = f64::from(self.stages) * 2.0 * 0.5 + 8.0;
+        switched * c_stage_f * vdd * vdd * 1e15
+    }
+
+    /// Delay added to the fixed DDRx path by the 2-to-1 select mux, in
+    /// nanoseconds (paper: 0.028 ns, compensated by buffer sizing).
+    #[must_use]
+    pub fn ddrx_mux_delay_ns(&self) -> f64 {
+        0.028
+    }
+}
+
+/// Cost summary for a full CODIC deployment (all four signals).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodicCost {
+    /// Mat-relative area overhead in percent.
+    pub area_per_mat_pct: f64,
+    /// Energy per CODIC command in femtojoules.
+    pub energy_fj: f64,
+    /// Added delay on the unmodified DDRx activate path in nanoseconds.
+    pub ddrx_delay_ns: f64,
+}
+
+/// Computes the total substrate cost: four delay elements, one per signal
+/// (§4.2.1: `4 × 0.28 % = 1.12 %`).
+#[must_use]
+pub fn substrate_cost() -> CodicCost {
+    let e = DelayElement::default();
+    CodicCost {
+        area_per_mat_pct: 4.0 * e.area_per_mat_pct(),
+        energy_fj: 4.0 * e.energy_fj(),
+        ddrx_delay_ns: e.ddrx_mux_delay_ns(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_signal_area_matches_paper_0_28_pct() {
+        let pct = DelayElement::default().area_per_mat_pct();
+        assert!((pct - 0.28).abs() < 0.02, "area = {pct}%");
+    }
+
+    #[test]
+    fn total_area_matches_paper_1_12_pct() {
+        let pct = substrate_cost().area_per_mat_pct;
+        assert!((pct - 1.12).abs() < 0.08, "area = {pct}%");
+    }
+
+    #[test]
+    fn energy_is_below_500_fj() {
+        let e = substrate_cost().energy_fj;
+        assert!(e < 500.0, "energy = {e} fJ");
+        assert!(e > 50.0, "energy = {e} fJ (suspiciously low)");
+    }
+
+    #[test]
+    fn mux_delay_is_negligible_relative_to_stage_delay() {
+        let e = DelayElement::default();
+        assert!((e.ddrx_mux_delay_ns() - 0.028).abs() < 1e-12);
+        assert!(e.ddrx_mux_delay_ns() < 0.05 * f64::from(e.stage_delay_ps) / 1000.0);
+    }
+
+    #[test]
+    fn chain_spans_the_codic_window() {
+        let e = DelayElement::default();
+        assert!((e.max_delay_ns() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coarser_granularity_reduces_area() {
+        // Footnote 3: coarsening the time control reduces area.
+        let coarse = DelayElement {
+            stages: 13,
+            stage_delay_ps: 2000,
+        };
+        assert!(coarse.area_per_mat_pct() < DelayElement::default().area_per_mat_pct());
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the CODIC substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use codic_circuit::ScheduleError;
+
+/// Errors produced by the CODIC substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodicError {
+    /// A timing programmed into a mode register does not form a valid pulse.
+    InvalidTiming {
+        /// The underlying schedule validation error.
+        source: ScheduleError,
+    },
+    /// A raw register value exceeds 10 bits or holds an invalid encoding.
+    InvalidRegister {
+        /// The rejected raw value.
+        raw: u16,
+    },
+    /// A CODIC command was issued with no variant programmed.
+    NoVariantInstalled,
+    /// A destructive CODIC command targeted memory outside the safe range.
+    AddressOutOfRange {
+        /// The offending address.
+        addr: u64,
+        /// Safe range start (inclusive).
+        start: u64,
+        /// Safe range end (exclusive).
+        end: u64,
+    },
+}
+
+impl fmt::Display for CodicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodicError::InvalidTiming { source } => {
+                write!(f, "invalid mode-register timing: {source}")
+            }
+            CodicError::InvalidRegister { raw } => {
+                write!(f, "invalid mode-register encoding {raw:#x}")
+            }
+            CodicError::NoVariantInstalled => {
+                write!(f, "no CODIC variant installed in the mode registers")
+            }
+            CodicError::AddressOutOfRange { addr, start, end } => write!(
+                f,
+                "destructive CODIC command at {addr:#x} outside the safe range {start:#x}..{end:#x}"
+            ),
+        }
+    }
+}
+
+impl Error for CodicError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CodicError::InvalidTiming { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = CodicError::AddressOutOfRange {
+            addr: 0x3000,
+            start: 0x1000,
+            end: 0x2000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x3000") && s.contains("0x1000"));
+        assert!(!CodicError::NoVariantInstalled.to_string().is_empty());
+    }
+
+    #[test]
+    fn invalid_timing_exposes_source() {
+        let e = CodicError::InvalidTiming {
+            source: ScheduleError::OutOfWindow { time_ns: 30 },
+        };
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,120 @@
+//! Data semantics: what a CODIC command does to the contents of a DRAM row.
+
+use rand::Rng;
+
+use crate::classify::OperationClass;
+
+/// The transformation a CODIC command applies to a row's data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataEffect {
+    /// Contents preserved (activate, precharge).
+    Preserve,
+    /// Every bit becomes zero (CODIC-det zero).
+    Zeros,
+    /// Every bit becomes one (CODIC-det one).
+    Ones,
+    /// Every bit becomes a process-variation-dependent signature value:
+    /// the old contents are destroyed (CODIC-sig after the follow-up
+    /// activation, CODIC-sigsa directly).
+    Signature,
+    /// Contents are destroyed with no useful replacement defined
+    /// (unclassified destructive variants).
+    Scramble,
+}
+
+impl OperationClass {
+    /// The data effect of commands in this class.
+    #[must_use]
+    pub fn data_effect(self) -> DataEffect {
+        match self {
+            OperationClass::ActivateLike | OperationClass::PrechargeLike | OperationClass::NoOp => {
+                DataEffect::Preserve
+            }
+            OperationClass::DeterministicZero => DataEffect::Zeros,
+            OperationClass::DeterministicOne => DataEffect::Ones,
+            OperationClass::SignaturePreparation | OperationClass::SignatureAmplified => {
+                DataEffect::Signature
+            }
+            OperationClass::Other => DataEffect::Scramble,
+        }
+    }
+}
+
+/// Applies `effect` to a row buffer. `signature_bits` supplies the
+/// process-variation signature for [`DataEffect::Signature`]; it is drawn
+/// per cell from the caller's chip model (see `codic-puf`), here
+/// represented by a caller-provided generator.
+pub fn apply_effect<R: Rng + ?Sized>(effect: DataEffect, row: &mut [u8], signature_rng: &mut R) {
+    match effect {
+        DataEffect::Preserve => {}
+        DataEffect::Zeros => row.fill(0),
+        DataEffect::Ones => row.fill(0xFF),
+        DataEffect::Signature | DataEffect::Scramble => signature_rng.fill(row),
+    }
+}
+
+/// Whether the effect guarantees the previous contents are unrecoverable —
+/// the property the cold-boot self-destruction mechanism needs (§5.2).
+#[must_use]
+pub fn destroys_contents(effect: DataEffect) -> bool {
+    effect != DataEffect::Preserve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_to_effect_mapping() {
+        assert_eq!(
+            OperationClass::ActivateLike.data_effect(),
+            DataEffect::Preserve
+        );
+        assert_eq!(
+            OperationClass::DeterministicZero.data_effect(),
+            DataEffect::Zeros
+        );
+        assert_eq!(OperationClass::DeterministicOne.data_effect(), DataEffect::Ones);
+        assert_eq!(
+            OperationClass::SignaturePreparation.data_effect(),
+            DataEffect::Signature
+        );
+    }
+
+    #[test]
+    fn zeros_and_ones_overwrite_everything() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut row = vec![0xA5u8; 64];
+        apply_effect(DataEffect::Zeros, &mut row, &mut rng);
+        assert!(row.iter().all(|&b| b == 0));
+        apply_effect(DataEffect::Ones, &mut row, &mut rng);
+        assert!(row.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn signature_replaces_contents() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let before = vec![0xA5u8; 256];
+        let mut row = before.clone();
+        apply_effect(DataEffect::Signature, &mut row, &mut rng);
+        assert_ne!(row, before);
+    }
+
+    #[test]
+    fn preserve_keeps_contents() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let before = vec![7u8; 32];
+        let mut row = before.clone();
+        apply_effect(DataEffect::Preserve, &mut row, &mut rng);
+        assert_eq!(row, before);
+    }
+
+    #[test]
+    fn destruction_property() {
+        assert!(!destroys_contents(DataEffect::Preserve));
+        assert!(destroys_contents(DataEffect::Zeros));
+        assert!(destroys_contents(DataEffect::Signature));
+    }
+}

@@ -1,0 +1,153 @@
+//! The controlled CODIC interface of §4.4.
+//!
+//! Exposing raw internal signals to software is a security risk, so the
+//! paper proposes that the memory controller offer *applications* (e.g. a
+//! PUF evaluation) rather than raw timing control, internally tracking "a
+//! system-defined memory address range that is safe to use". This module
+//! implements that controller-side policy layer.
+
+use std::ops::Range;
+
+use crate::classify::OperationClass;
+use crate::error::CodicError;
+use crate::mode_register::ModeRegisterFile;
+use crate::variant::CodicVariant;
+
+/// A CODIC command accepted by the controller, ready for the command bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssuedCommand {
+    /// The row's physical byte address.
+    pub row_addr: u64,
+    /// The variant name that was installed when the command issued.
+    pub variant: String,
+}
+
+/// The controller-side CODIC policy layer: a variant is programmed through
+/// the mode registers, and destructive commands are confined to a
+/// system-defined safe address range.
+#[derive(Debug, Clone)]
+pub struct CodicController {
+    registers: ModeRegisterFile,
+    installed: Option<(CodicVariant, OperationClass)>,
+    safe_range: Range<u64>,
+    issued: Vec<IssuedCommand>,
+}
+
+impl CodicController {
+    /// Creates a controller whose destructive commands are confined to
+    /// `safe_range` (byte addresses).
+    #[must_use]
+    pub fn new(safe_range: Range<u64>) -> Self {
+        CodicController {
+            registers: ModeRegisterFile::new(),
+            installed: None,
+            safe_range,
+            issued: Vec::new(),
+        }
+    }
+
+    /// The mode-register file (for inspection).
+    #[must_use]
+    pub fn registers(&self) -> &ModeRegisterFile {
+        &self.registers
+    }
+
+    /// Programs `variant` into the mode registers; returns the number of
+    /// MRS commands used.
+    pub fn install(&mut self, variant: CodicVariant, class: OperationClass) -> u32 {
+        let writes = self.registers.program(&variant);
+        self.installed = Some((variant, class));
+        writes
+    }
+
+    /// Issues the installed CODIC command against the row containing
+    /// `row_addr`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CodicError::NoVariantInstalled`] when nothing is programmed;
+    /// - [`CodicError::AddressOutOfRange`] when a destructive command
+    ///   targets memory outside the safe range (§4.4's policy).
+    pub fn issue(&mut self, row_addr: u64) -> Result<&IssuedCommand, CodicError> {
+        let (variant, class) = self
+            .installed
+            .as_ref()
+            .ok_or(CodicError::NoVariantInstalled)?;
+        if class.is_destructive() && !self.safe_range.contains(&row_addr) {
+            return Err(CodicError::AddressOutOfRange {
+                addr: row_addr,
+                start: self.safe_range.start,
+                end: self.safe_range.end,
+            });
+        }
+        self.issued.push(IssuedCommand {
+            row_addr,
+            variant: variant.name().to_string(),
+        });
+        Ok(self.issued.last().expect("just pushed"))
+    }
+
+    /// Commands issued so far.
+    #[must_use]
+    pub fn issued(&self) -> &[IssuedCommand] {
+        &self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    fn controller() -> CodicController {
+        CodicController::new(0x1000..0x2000)
+    }
+
+    #[test]
+    fn issue_without_install_fails() {
+        let mut c = controller();
+        assert!(matches!(
+            c.issue(0x1000),
+            Err(CodicError::NoVariantInstalled)
+        ));
+    }
+
+    #[test]
+    fn destructive_commands_are_confined_to_safe_range() {
+        let mut c = controller();
+        c.install(library::codic_sig(), OperationClass::SignaturePreparation);
+        assert!(c.issue(0x1000).is_ok());
+        assert!(c.issue(0x1FFF).is_ok());
+        let err = c.issue(0x2000).unwrap_err();
+        assert!(matches!(err, CodicError::AddressOutOfRange { .. }));
+        assert!(err.to_string().contains("outside"));
+        assert_eq!(c.issued().len(), 2);
+    }
+
+    #[test]
+    fn non_destructive_commands_may_target_anywhere() {
+        let mut c = controller();
+        c.install(library::activation(), OperationClass::ActivateLike);
+        assert!(c.issue(0xFFFF_0000).is_ok());
+    }
+
+    #[test]
+    fn install_programs_mode_registers() {
+        let mut c = controller();
+        let writes = c.install(library::codic_sig(), OperationClass::SignaturePreparation);
+        assert_eq!(writes, 2);
+        assert_eq!(
+            &c.registers().schedule().unwrap(),
+            library::codic_sig().schedule()
+        );
+    }
+
+    #[test]
+    fn issued_commands_record_variant_name() {
+        let mut c = controller();
+        c.install(library::codic_det_zero(), OperationClass::DeterministicZero);
+        c.issue(0x1800).unwrap();
+        assert_eq!(c.issued()[0].variant, "CODIC-det (zero)");
+        assert_eq!(c.issued()[0].row_addr, 0x1800);
+    }
+}

@@ -1,0 +1,149 @@
+//! Latency and energy of CODIC command variants (paper Table 2).
+//!
+//! Latency: a CODIC command occupies the bank like the DDRx command class
+//! it resembles. Variants whose signals stay asserted through the window
+//! occupy an activate-class slot (tRAS = 35 ns at DDR3-1600); variants that
+//! terminate early occupy a precharge-class slot (tRP ≈ 13 ns). These are
+//! exactly the 35 ns / 13 ns rows of Table 2.
+//!
+//! Energy: every variant routes the row address (≈ 40 % of command energy)
+//! and drives the sense amplifier or precharge logic (≈ 40 %), so all
+//! variants cost almost the same (§4.3). The full-restore activation costs
+//! 17.3 nJ; every other variant saves one full bitline swing, ≈ 0.1 nJ.
+
+use codic_dram::TimingParams;
+use codic_power::EnergyModel;
+
+use crate::classify::OperationClass;
+use crate::variant::CodicVariant;
+
+/// Energy saved by variants that do not perform a full restore, in
+/// nanojoules (the Table 2 difference between CODIC-activate and the other
+/// variants).
+pub const NON_RESTORE_SAVING_NJ: f64 = 0.1;
+
+/// The latency and energy of one CODIC command.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommandCost {
+    /// Command latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Command energy in nanojoules.
+    pub energy_nj: f64,
+}
+
+/// Computes the cost of `variant` under `timing` and `energy` models.
+///
+/// `class` should come from [`classify`](crate::classify::classify) (it is
+/// a parameter so callers can batch-classify).
+#[must_use]
+pub fn command_cost(
+    variant: &CodicVariant,
+    class: OperationClass,
+    timing: &TimingParams,
+    energy: &EnergyModel,
+) -> CommandCost {
+    let latency_ns = if variant.occupies_full_window() {
+        timing.ns(u64::from(timing.t_ras))
+    } else {
+        timing.ns(u64::from(timing.t_rp))
+    }
+    .floor();
+    let base = energy.act_pre_nj();
+    let energy_nj = if class == OperationClass::ActivateLike {
+        base
+    } else {
+        base - NON_RESTORE_SAVING_NJ
+    };
+    CommandCost {
+        latency_ns,
+        energy_nj,
+    }
+}
+
+/// One row of the paper's Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Variant name as printed in the paper.
+    pub primitive: String,
+    /// Latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Energy in nanojoules.
+    pub energy_nj: f64,
+}
+
+/// Regenerates Table 2: latency and energy of the five CODIC variants.
+#[must_use]
+pub fn table2(timing: &TimingParams, energy: &EnergyModel) -> Vec<Table2Row> {
+    use codic_circuit::CircuitParams;
+    crate::library::table2_variants()
+        .into_iter()
+        .map(|v| {
+            let class = crate::classify::classify(&v, &CircuitParams::default());
+            let cost = command_cost(&v, class, timing, energy);
+            Table2Row {
+                primitive: v.name().to_string(),
+                latency_ns: cost.latency_ns,
+                energy_nj: cost.energy_nj,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    fn models() -> (TimingParams, EnergyModel) {
+        (TimingParams::ddr3_1600_11(), EnergyModel::paper_default())
+    }
+
+    #[test]
+    fn table2_latencies_match_paper() {
+        let (t, e) = models();
+        let rows = table2(&t, &e);
+        let by_name: std::collections::HashMap<_, _> = rows
+            .iter()
+            .map(|r| (r.primitive.as_str(), r.latency_ns))
+            .collect();
+        assert_eq!(by_name["CODIC-activate"], 35.0);
+        assert_eq!(by_name["CODIC-precharge"], 13.0);
+        assert_eq!(by_name["CODIC-sig"], 35.0);
+        assert_eq!(by_name["CODIC-sig-opt"], 13.0);
+        assert_eq!(by_name["CODIC-det (zero)"], 35.0);
+    }
+
+    #[test]
+    fn table2_energies_match_paper() {
+        let (t, e) = models();
+        for row in table2(&t, &e) {
+            let expected = if row.primitive == "CODIC-activate" {
+                17.3
+            } else {
+                17.2
+            };
+            assert!(
+                (row.energy_nj - expected).abs() < 0.1,
+                "{}: {} nJ (expected ≈ {expected})",
+                row.primitive,
+                row.energy_nj
+            );
+        }
+    }
+
+    #[test]
+    fn sig_opt_is_significantly_faster_than_sig() {
+        let (t, e) = models();
+        let class = OperationClass::SignaturePreparation;
+        let sig = command_cost(&library::codic_sig(), class, &t, &e);
+        let opt = command_cost(&library::codic_sig_opt(), class, &t, &e);
+        assert!(opt.latency_ns < sig.latency_ns / 2.0);
+        assert!((opt.energy_nj - sig.energy_nj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_has_five_rows() {
+        let (t, e) = models();
+        assert_eq!(table2(&t, &e).len(), 5);
+    }
+}

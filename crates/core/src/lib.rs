@@ -1,0 +1,57 @@
+//! The CODIC substrate — the primary contribution of "CODIC: A Low-Cost
+//! Substrate for Enabling Custom In-DRAM Functionalities and Optimizations"
+//! (Orosa et al., ISCA 2021).
+//!
+//! CODIC makes four previously fixed DRAM internal circuit timing signals
+//! (`wl`, `EQ`, `sense_p`, `sense_n`) programmable: each can be asserted and
+//! deasserted anywhere in a 25 ns window at 1 ns steps. This crate provides:
+//!
+//! - [`CodicVariant`]: a named four-signal timing program, with the paper's
+//!   Table 1 presets in [`library`] (activate, precharge, CODIC-sig,
+//!   CODIC-sig-opt, CODIC-det, CODIC-sigsa);
+//! - [`variant_space`]: the combinatorics of the 300⁴-variant design space
+//!   (§4.1.3) with iterators and samplers;
+//! - [`mode_register`]: the 4 × 10-bit mode registers through which the
+//!   memory controller programs timings over the standard MRS command
+//!   (§4.2.2);
+//! - [`delay_element`]: the configurable delay-element circuit model and its
+//!   area/energy/delay costs (§4.2.1: 0.28 % per mat per signal, < 500 fJ,
+//!   0.028 ns added mux delay);
+//! - [`classify`]: functional classification of any variant by running it
+//!   through the `codic-circuit` analog simulator;
+//! - [`latency`]: the paper's Table 2 latency and energy costs;
+//! - [`exec`]: the data transformation each variant applies to a DRAM row;
+//! - [`interface`]: the controlled, range-restricted controller API the
+//!   paper proposes to avoid exposing raw internal signals (§4.4).
+//!
+//! # Example
+//!
+//! ```
+//! use codic_core::library;
+//! use codic_core::classify::{classify, OperationClass};
+//! use codic_circuit::CircuitParams;
+//!
+//! let sig = library::codic_sig();
+//! assert_eq!(
+//!     classify(&sig, &CircuitParams::default()),
+//!     OperationClass::SignaturePreparation,
+//! );
+//! ```
+
+pub mod classify;
+pub mod delay_element;
+pub mod error;
+pub mod exec;
+pub mod interface;
+pub mod latency;
+pub mod library;
+pub mod mode_register;
+pub mod optimize;
+pub mod variant;
+pub mod variant_space;
+
+pub use classify::OperationClass;
+pub use error::CodicError;
+pub use latency::CommandCost;
+pub use mode_register::{ModeRegister, ModeRegisterFile};
+pub use variant::CodicVariant;

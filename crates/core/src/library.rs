@@ -1,0 +1,212 @@
+//! The paper's named CODIC variants (Table 1 plus §4.1.1 and Appendix C).
+
+use codic_circuit::{Signal, SignalSchedule};
+
+use crate::variant::CodicVariant;
+
+fn schedule(pulses: &[(Signal, u8, u8)]) -> SignalSchedule {
+    let mut b = SignalSchedule::builder();
+    for &(s, a, d) in pulses {
+        b = b.pulse(s, a, d).expect("library timings are valid");
+    }
+    b.build()
+}
+
+/// The standard activation implemented on the CODIC substrate
+/// (Table 1: `wl [5↑,22↓] sense_p [7↓,22↑] sense_n [7↑,22↓]`).
+#[must_use]
+pub fn activation() -> CodicVariant {
+    CodicVariant::new(
+        "CODIC-activate",
+        schedule(&[
+            (Signal::Wordline, 5, 22),
+            (Signal::SenseP, 7, 22),
+            (Signal::SenseN, 7, 22),
+        ]),
+    )
+}
+
+/// The standard precharge implemented on the CODIC substrate
+/// (Table 1: `EQ [5↑,11↓]`).
+#[must_use]
+pub fn precharge() -> CodicVariant {
+    CodicVariant::new("CODIC-precharge", schedule(&[(Signal::Equalize, 5, 11)]))
+}
+
+/// CODIC-sig: drives the connected cell to `Vdd/2` so a subsequent
+/// activation amplifies it according to process variation
+/// (Table 1: `wl [5↑,22↓] EQ [7↑,22↓]`).
+#[must_use]
+pub fn codic_sig() -> CodicVariant {
+    CodicVariant::new(
+        "CODIC-sig",
+        schedule(&[(Signal::Wordline, 5, 22), (Signal::Equalize, 7, 22)]),
+    )
+}
+
+/// CODIC-sig-opt: the §4.1.1 optimization — the cell reaches `Vdd/2`
+/// almost immediately after `EQ` rises, so both signals terminate early
+/// and the command completes in a precharge-class latency (Table 2).
+#[must_use]
+pub fn codic_sig_opt() -> CodicVariant {
+    CodicVariant::new(
+        "CODIC-sig-opt",
+        schedule(&[(Signal::Wordline, 5, 11), (Signal::Equalize, 7, 11)]),
+    )
+}
+
+/// CODIC-det generating zeros: `sense_n` first collapses the bitlines,
+/// then `sense_p` resolves the race that the cell-loaded bitline always
+/// loses (Table 1: `wl [5↑,22↓] sense_p [14↓,22↑] sense_n [7↑,22↓]`).
+#[must_use]
+pub fn codic_det_zero() -> CodicVariant {
+    CodicVariant::new(
+        "CODIC-det (zero)",
+        schedule(&[
+            (Signal::Wordline, 5, 22),
+            (Signal::SenseN, 7, 22),
+            (Signal::SenseP, 14, 22),
+        ]),
+    )
+}
+
+/// CODIC-det generating ones: the mirror of [`codic_det_zero`] — `sense_p`
+/// triggers first (§4.1.2).
+#[must_use]
+pub fn codic_det_one() -> CodicVariant {
+    CodicVariant::new(
+        "CODIC-det (one)",
+        schedule(&[
+            (Signal::Wordline, 5, 22),
+            (Signal::SenseP, 7, 22),
+            (Signal::SenseN, 14, 22),
+        ]),
+    )
+}
+
+/// CODIC-sigsa (Appendix C): both sense-amplifier enables fire at 3 ns on
+/// the precharged bitline pair, resolving purely by sense-amplifier process
+/// variation; `wl` rises at 5 ns to write the resolved value into the cell.
+#[must_use]
+pub fn codic_sigsa() -> CodicVariant {
+    CodicVariant::new(
+        "CODIC-sigsa",
+        schedule(&[
+            (Signal::SenseP, 3, 22),
+            (Signal::SenseN, 3, 22),
+            (Signal::Wordline, 5, 22),
+        ]),
+    )
+}
+
+/// The alternative CODIC-sig timing the paper notes performs the same
+/// function (§4.1.1: `wl` at 4 ns, `EQ` at 8 ns).
+#[must_use]
+pub fn codic_sig_alt() -> CodicVariant {
+    CodicVariant::new(
+        "CODIC-sig (alt)",
+        schedule(&[(Signal::Wordline, 4, 22), (Signal::Equalize, 8, 22)]),
+    )
+}
+
+/// All Table 1 rows in order, for the Table 1 regeneration binary.
+#[must_use]
+pub fn table1() -> Vec<CodicVariant> {
+    vec![activation(), precharge(), codic_sig(), codic_det_zero()]
+}
+
+/// The five Table 2 rows in order.
+#[must_use]
+pub fn table2_variants() -> Vec<CodicVariant> {
+    vec![
+        activation(),
+        precharge(),
+        codic_sig(),
+        codic_sig_opt(),
+        codic_det_zero(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codic_circuit::{SignalPulse, Signal};
+
+    fn pulse(v: &CodicVariant, s: Signal) -> SignalPulse {
+        v.schedule().pulse(s).expect("pulse programmed")
+    }
+
+    #[test]
+    fn table1_activation_timings() {
+        let v = activation();
+        assert_eq!(pulse(&v, Signal::Wordline), SignalPulse::new(5, 22).unwrap());
+        assert_eq!(pulse(&v, Signal::SenseP), SignalPulse::new(7, 22).unwrap());
+        assert_eq!(pulse(&v, Signal::SenseN), SignalPulse::new(7, 22).unwrap());
+        assert_eq!(v.schedule().pulse(Signal::Equalize), None);
+    }
+
+    #[test]
+    fn table1_precharge_timings() {
+        let v = precharge();
+        assert_eq!(pulse(&v, Signal::Equalize), SignalPulse::new(5, 11).unwrap());
+        assert_eq!(v.schedule().programmed_signals(), 1);
+    }
+
+    #[test]
+    fn table1_codic_sig_timings() {
+        let v = codic_sig();
+        assert_eq!(pulse(&v, Signal::Wordline), SignalPulse::new(5, 22).unwrap());
+        assert_eq!(pulse(&v, Signal::Equalize), SignalPulse::new(7, 22).unwrap());
+    }
+
+    #[test]
+    fn table1_codic_det_timings() {
+        let v = codic_det_zero();
+        assert_eq!(pulse(&v, Signal::SenseN), SignalPulse::new(7, 22).unwrap());
+        assert_eq!(pulse(&v, Signal::SenseP), SignalPulse::new(14, 22).unwrap());
+    }
+
+    #[test]
+    fn det_one_mirrors_det_zero() {
+        let z = codic_det_zero();
+        let o = codic_det_one();
+        assert_eq!(
+            pulse(&z, Signal::SenseN).assert_ns(),
+            pulse(&o, Signal::SenseP).assert_ns()
+        );
+        assert_eq!(
+            pulse(&z, Signal::SenseP).assert_ns(),
+            pulse(&o, Signal::SenseN).assert_ns()
+        );
+    }
+
+    #[test]
+    fn sigsa_enables_amplifier_before_wordline() {
+        let v = codic_sigsa();
+        assert!(pulse(&v, Signal::SenseN).assert_ns() < pulse(&v, Signal::Wordline).assert_ns());
+        assert_eq!(
+            pulse(&v, Signal::SenseN).assert_ns(),
+            pulse(&v, Signal::SenseP).assert_ns()
+        );
+    }
+
+    #[test]
+    fn sig_opt_terminates_early() {
+        assert!(!codic_sig_opt().occupies_full_window());
+        assert!(codic_sig().occupies_full_window());
+    }
+
+    #[test]
+    fn sigsa_matches_circuit_crate_schedule() {
+        assert_eq!(
+            *codic_sigsa().schedule(),
+            codic_circuit::montecarlo::sigsa_schedule()
+        );
+    }
+
+    #[test]
+    fn tables_have_expected_row_counts() {
+        assert_eq!(table1().len(), 4);
+        assert_eq!(table2_variants().len(), 5);
+    }
+}

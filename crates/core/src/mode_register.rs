@@ -1,0 +1,223 @@
+//! The 10-bit CODIC mode registers and their MRS programming model
+//! (paper §4.2.2).
+//!
+//! Each of the four internal signals has one dedicated 10-bit mode register
+//! holding its assert time (5 bits) and deassert time (5 bits). A variant is
+//! installed by programming up to four MRs with the JEDEC mode-register-set
+//! (MRS) command; the reserved all-ones encoding keeps a signal idle.
+
+use codic_circuit::{Signal, SignalPulse, SignalSchedule};
+
+use crate::error::CodicError;
+use crate::variant::CodicVariant;
+
+/// The all-ones 10-bit encoding meaning "signal stays idle".
+pub const IDLE_ENCODING: u16 = 0x3FF;
+
+/// One 10-bit CODIC mode register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModeRegister(u16);
+
+impl ModeRegister {
+    /// The idle (reset) encoding.
+    #[must_use]
+    pub fn idle() -> Self {
+        ModeRegister(IDLE_ENCODING)
+    }
+
+    /// Encodes a pulse: deassert in bits 9..5, assert in bits 4..0.
+    #[must_use]
+    pub fn encode(pulse: SignalPulse) -> Self {
+        ModeRegister((u16::from(pulse.deassert_ns()) << 5) | u16::from(pulse.assert_ns()))
+    }
+
+    /// The raw 10-bit value.
+    #[must_use]
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Reconstructs a register from a raw 10-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodicError::InvalidRegister`] if the value exceeds 10 bits
+    /// or encodes an invalid pulse (and is not the idle encoding).
+    pub fn from_raw(raw: u16) -> Result<Self, CodicError> {
+        if raw > IDLE_ENCODING {
+            return Err(CodicError::InvalidRegister { raw });
+        }
+        let mr = ModeRegister(raw);
+        if raw != IDLE_ENCODING {
+            mr.decode_pulse()?;
+        }
+        Ok(mr)
+    }
+
+    /// Decodes the register into a pulse, or `None` for the idle encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodicError::InvalidRegister`] if the stored times do not
+    /// form a valid pulse.
+    pub fn decode(self) -> Result<Option<SignalPulse>, CodicError> {
+        if self.0 == IDLE_ENCODING {
+            return Ok(None);
+        }
+        self.decode_pulse().map(Some)
+    }
+
+    fn decode_pulse(self) -> Result<SignalPulse, CodicError> {
+        let assert_ns = (self.0 & 0x1F) as u8;
+        let deassert_ns = (self.0 >> 5) as u8;
+        SignalPulse::new(assert_ns, deassert_ns)
+            .map_err(|source| CodicError::InvalidTiming { source })
+    }
+}
+
+/// The four CODIC mode registers, indexed by signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModeRegisterFile {
+    regs: [ModeRegister; 4],
+    mrs_commands: u32,
+}
+
+impl Default for ModeRegisterFile {
+    fn default() -> Self {
+        ModeRegisterFile::new()
+    }
+}
+
+impl ModeRegisterFile {
+    /// A register file with all signals idle.
+    #[must_use]
+    pub fn new() -> Self {
+        ModeRegisterFile {
+            regs: [ModeRegister::idle(); 4],
+            mrs_commands: 0,
+        }
+    }
+
+    /// The register for `signal`.
+    #[must_use]
+    pub fn register(&self, signal: Signal) -> ModeRegister {
+        self.regs[index(signal)]
+    }
+
+    /// Number of MRS commands issued so far (each register write is one
+    /// MRS on the DDRx bus).
+    #[must_use]
+    pub fn mrs_commands(&self) -> u32 {
+        self.mrs_commands
+    }
+
+    /// Writes one register via MRS.
+    pub fn write(&mut self, signal: Signal, value: ModeRegister) {
+        self.regs[index(signal)] = value;
+        self.mrs_commands += 1;
+    }
+
+    /// Programs a full variant, writing only the registers that change and
+    /// returning how many MRS commands that took.
+    pub fn program(&mut self, variant: &CodicVariant) -> u32 {
+        let before = self.mrs_commands;
+        for sig in Signal::ALL {
+            let target = match variant.schedule().pulse(sig) {
+                Some(p) => ModeRegister::encode(p),
+                None => ModeRegister::idle(),
+            };
+            if self.register(sig) != target {
+                self.write(sig, target);
+            }
+        }
+        self.mrs_commands - before
+    }
+
+    /// Reconstructs the currently programmed schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodicError::InvalidRegister`] if any register holds an
+    /// invalid encoding (possible only via [`ModeRegisterFile::write`] of a
+    /// hand-built register).
+    pub fn schedule(&self) -> Result<SignalSchedule, CodicError> {
+        let mut b = SignalSchedule::builder();
+        for sig in Signal::ALL {
+            if let Some(pulse) = self.register(sig).decode()? {
+                b = b.pulse_validated(sig, pulse);
+            }
+        }
+        Ok(b.build())
+    }
+}
+
+fn index(signal: Signal) -> usize {
+    match signal {
+        Signal::Wordline => 0,
+        Signal::Equalize => 1,
+        Signal::SenseP => 2,
+        Signal::SenseN => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for pulse in SignalPulse::enumerate_all() {
+            let mr = ModeRegister::encode(pulse);
+            assert!(mr.raw() <= IDLE_ENCODING);
+            assert_eq!(mr.decode().unwrap(), Some(pulse));
+        }
+    }
+
+    #[test]
+    fn idle_decodes_to_none() {
+        assert_eq!(ModeRegister::idle().decode().unwrap(), None);
+    }
+
+    #[test]
+    fn ten_bits_are_sufficient_for_the_window() {
+        // 5 bits per edge hold 0..31 ≥ the 0..24 ns window (paper §4.2.2
+        // sizes the registers at 10 bits).
+        let max = SignalPulse::new(23, 24).unwrap();
+        assert!(ModeRegister::encode(max).raw() < 1 << 10);
+    }
+
+    #[test]
+    fn from_raw_rejects_wide_and_invalid_values() {
+        assert!(ModeRegister::from_raw(1 << 10).is_err());
+        // assert 7, deassert 3: invalid pulse.
+        let raw = (3 << 5) | 7;
+        assert!(ModeRegister::from_raw(raw).is_err());
+        assert!(ModeRegister::from_raw(IDLE_ENCODING).is_ok());
+    }
+
+    #[test]
+    fn program_and_readback_schedule() {
+        let mut mrf = ModeRegisterFile::new();
+        let v = library::codic_sig();
+        let writes = mrf.program(&v);
+        assert_eq!(writes, 2, "sig programs wl and EQ only");
+        assert_eq!(&mrf.schedule().unwrap(), v.schedule());
+    }
+
+    #[test]
+    fn reprogramming_writes_only_changed_registers() {
+        let mut mrf = ModeRegisterFile::new();
+        mrf.program(&library::codic_det_zero()); // wl, sense_n, sense_p
+        let writes = mrf.program(&library::codic_det_one());
+        // wl unchanged; sense_p and sense_n swap timings: 2 writes.
+        assert_eq!(writes, 2);
+    }
+
+    #[test]
+    fn programming_same_variant_twice_is_free() {
+        let mut mrf = ModeRegisterFile::new();
+        mrf.program(&library::activation());
+        assert_eq!(mrf.program(&library::activation()), 0);
+    }
+}

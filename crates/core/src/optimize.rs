@@ -1,0 +1,111 @@
+//! Custom latency optimization with CODIC (paper §5.3.2).
+//!
+//! DRAM ships with conservative internal timings. With CODIC, "the
+//! internal circuit timings can be optimized for a particular DRAM device":
+//! rows whose cells share charge quickly can use an activation variant with
+//! a shorter wl→sense interval. This module builds such variants and picks
+//! the fastest one that still restores data reliably, verified through the
+//! analog simulator — the in-silico analogue of the paper's proposed
+//! error-characterization-driven re-implementation of commands.
+
+use codic_circuit::{CircuitParams, CircuitSim, SenseOutcome, Signal, SignalSchedule};
+
+use crate::variant::CodicVariant;
+
+/// Builds an activation variant whose sense amplifier fires `gap_ns` after
+/// the wordline rises at 5 ns (the standard command uses 2 ns).
+///
+/// # Panics
+///
+/// Panics if the resulting pulse would leave the CODIC window; gaps of
+/// 0–16 ns are always valid.
+#[must_use]
+pub fn activation_with_gap(gap_ns: u8) -> CodicVariant {
+    let sense_at = 5 + gap_ns;
+    assert!(sense_at < 23, "sense enable must fit the window");
+    let schedule = SignalSchedule::builder()
+        .pulse(Signal::Wordline, 5, 22)
+        .expect("static timing")
+        .pulse(Signal::SenseP, sense_at, 22)
+        .expect("gap keeps the pulse in-window")
+        .pulse(Signal::SenseN, sense_at, 22)
+        .expect("gap keeps the pulse in-window")
+        .build();
+    CodicVariant::new(format!("CODIC-activate (gap {gap_ns} ns)"), schedule)
+}
+
+/// Whether an activation variant reliably restores both stored values on a
+/// device described by `params` (including its offset/variation draw).
+#[must_use]
+pub fn restores_reliably(variant: &CodicVariant, params: &CircuitParams) -> bool {
+    for (bit, want) in [(false, SenseOutcome::RestoredZero), (true, SenseOutcome::RestoredOne)] {
+        let mut sim = CircuitSim::new(*params);
+        sim.set_cell_bit(bit);
+        if sim.run(variant.schedule()).outcome() != want {
+            return false;
+        }
+    }
+    true
+}
+
+/// Finds the smallest wl→sense gap (in ns) that still restores reliably on
+/// this device, trying gaps from 0 up to the standard 2 ns and beyond.
+/// Returns the optimized variant and its gap.
+#[must_use]
+pub fn fastest_reliable_activation(params: &CircuitParams) -> (CodicVariant, u8) {
+    for gap in 0..=8u8 {
+        let v = activation_with_gap(gap);
+        if restores_reliably(&v, params) {
+            return (v, gap);
+        }
+    }
+    (activation_with_gap(2), 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_gap_always_restores() {
+        assert!(restores_reliably(
+            &activation_with_gap(2),
+            &CircuitParams::default()
+        ));
+    }
+
+    #[test]
+    fn fast_cells_admit_shorter_gaps() {
+        // A device with a faster access transistor completes charge
+        // sharing sooner and tolerates a smaller gap.
+        let fast = CircuitParams {
+            g_access: 2.0e-4,
+            ..CircuitParams::default()
+        };
+        let (_, fast_gap) = fastest_reliable_activation(&fast);
+        let slow = CircuitParams {
+            g_access: 2.5e-5,
+            ..CircuitParams::default()
+        };
+        let (_, slow_gap) = fastest_reliable_activation(&slow);
+        assert!(
+            fast_gap <= slow_gap,
+            "fast {fast_gap} ns vs slow {slow_gap} ns"
+        );
+    }
+
+    #[test]
+    fn optimized_variant_still_classifies_as_activation() {
+        let (v, _) = fastest_reliable_activation(&CircuitParams::default());
+        assert_eq!(
+            crate::classify::classify(&v, &CircuitParams::default()),
+            crate::classify::OperationClass::ActivateLike
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fit the window")]
+    fn oversized_gap_is_rejected() {
+        let _ = activation_with_gap(18);
+    }
+}

@@ -1,0 +1,112 @@
+//! A CODIC command variant: a named signal-timing program.
+
+use codic_circuit::{SignalSchedule, WINDOW_NS};
+
+/// A CODIC command variant.
+///
+/// A variant is fully determined by its [`SignalSchedule`]: which of the
+/// four internal signals pulse, and when. The name is for reporting only.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CodicVariant {
+    name: String,
+    schedule: SignalSchedule,
+}
+
+impl CodicVariant {
+    /// Creates a variant from a name and schedule.
+    #[must_use]
+    pub fn new(name: impl Into<String>, schedule: SignalSchedule) -> Self {
+        CodicVariant {
+            name: name.into(),
+            schedule,
+        }
+    }
+
+    /// The variant's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The signal timing program.
+    #[must_use]
+    pub fn schedule(&self) -> &SignalSchedule {
+        &self.schedule
+    }
+
+    /// Whether any internal signal remains asserted through the end of the
+    /// CODIC window region used by activate-class commands (deasserting
+    /// later than half the window). Early-terminating variants such as
+    /// CODIC-sig-opt and precharge can release the bank sooner (§4.1.1,
+    /// Table 2).
+    #[must_use]
+    pub fn occupies_full_window(&self) -> bool {
+        self.schedule.last_deassert_ns() > WINDOW_NS / 2
+    }
+}
+
+impl std::fmt::Display for CodicVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)?;
+        let mut first = true;
+        for (sig, pulse) in self.schedule.iter() {
+            if first {
+                write!(f, " [")?;
+                first = false;
+            } else {
+                write!(f, " ")?;
+            }
+            let (a, b) = if sig.is_active_low() {
+                ("\u{2193}", "\u{2191}") // ↓ then ↑, as Table 1 prints sense_p
+            } else {
+                ("\u{2191}", "\u{2193}")
+            };
+            write!(f, "{}[{}{a},{}{b}]", sig.name(), pulse.assert_ns(), pulse.deassert_ns())?;
+        }
+        if !first {
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codic_circuit::Signal;
+
+    #[test]
+    fn display_prints_table1_style_edges() {
+        let schedule = SignalSchedule::builder()
+            .pulse(Signal::Wordline, 5, 22)
+            .unwrap()
+            .pulse(Signal::SenseP, 7, 22)
+            .unwrap()
+            .build();
+        let v = CodicVariant::new("Activation", schedule);
+        let s = v.to_string();
+        assert!(s.contains("Activation"));
+        assert!(s.contains("wl[5\u{2191},22\u{2193}]"), "{s}");
+        assert!(s.contains("sense_p[7\u{2193},22\u{2191}]"), "{s}");
+    }
+
+    #[test]
+    fn full_window_detection() {
+        let long = CodicVariant::new(
+            "long",
+            SignalSchedule::builder()
+                .pulse(Signal::Wordline, 5, 22)
+                .unwrap()
+                .build(),
+        );
+        let short = CodicVariant::new(
+            "short",
+            SignalSchedule::builder()
+                .pulse(Signal::Equalize, 5, 11)
+                .unwrap()
+                .build(),
+        );
+        assert!(long.occupies_full_window());
+        assert!(!short.occupies_full_window());
+    }
+}

@@ -1,0 +1,120 @@
+//! The combinatorics of the CODIC variant design space (§4.1.3).
+//!
+//! Each of the four signals admits `n = Σ_{i=1}^{w−1} i = 300` valid
+//! (assert, deassert) pulses in the `w = 25` ns window, so the full space
+//! holds `300⁴ ≈ 8.1 × 10⁹` variants. On top of pulses, a signal may also
+//! stay idle, which the paper folds into command selection; we expose both
+//! counts.
+
+use codic_circuit::{Signal, SignalPulse, SignalSchedule};
+use rand::Rng;
+
+use crate::variant::CodicVariant;
+
+/// Valid pulse count per signal (`n = 300`; paper footnote 2).
+#[must_use]
+pub fn pulses_per_signal() -> u64 {
+    SignalPulse::valid_count()
+}
+
+/// Total CODIC variants with all four signals pulsing (`n⁴ = 300⁴`,
+/// §4.1.3).
+#[must_use]
+pub fn total_variants() -> u64 {
+    pulses_per_signal().pow(4)
+}
+
+/// Total programs including idle signals (`(n+1)⁴ − 1`, excluding the
+/// all-idle no-op).
+#[must_use]
+pub fn total_programs_with_idle() -> u64 {
+    (pulses_per_signal() + 1).pow(4) - 1
+}
+
+/// Draws a uniformly random variant where each signal independently either
+/// idles (with probability `idle_prob`) or takes a uniformly random pulse.
+pub fn random_variant<R: Rng + ?Sized>(rng: &mut R, idle_prob: f64) -> CodicVariant {
+    let mut b = SignalSchedule::builder();
+    for sig in Signal::ALL {
+        if rng.gen::<f64>() < idle_prob {
+            continue;
+        }
+        let pulse = random_pulse(rng);
+        b = b.pulse_validated(sig, pulse);
+    }
+    CodicVariant::new("random", b.build())
+}
+
+/// Draws one uniformly random valid pulse.
+pub fn random_pulse<R: Rng + ?Sized>(rng: &mut R) -> SignalPulse {
+    let idx = rng.gen_range(0..pulses_per_signal());
+    nth_pulse(idx).expect("index is within the valid pulse count")
+}
+
+/// The `idx`-th valid pulse in lexicographic (assert, deassert) order, or
+/// `None` when out of range.
+#[must_use]
+pub fn nth_pulse(idx: u64) -> Option<SignalPulse> {
+    SignalPulse::enumerate_all().nth(usize::try_from(idx).ok()?)
+}
+
+/// Iterates over every valid pulse for one signal (300 items).
+pub fn enumerate_pulses() -> impl Iterator<Item = SignalPulse> {
+    SignalPulse::enumerate_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn space_matches_paper_4_1_3() {
+        assert_eq!(pulses_per_signal(), 300);
+        assert_eq!(total_variants(), 300u64.pow(4)); // 8.1e9
+        assert_eq!(total_variants(), 8_100_000_000);
+    }
+
+    #[test]
+    fn idle_extended_space_is_larger() {
+        assert!(total_programs_with_idle() > total_variants());
+        assert_eq!(total_programs_with_idle(), 301u64.pow(4) - 1);
+    }
+
+    #[test]
+    fn nth_pulse_covers_whole_range() {
+        assert!(nth_pulse(0).is_some());
+        assert!(nth_pulse(299).is_some());
+        assert!(nth_pulse(300).is_none());
+    }
+
+    #[test]
+    fn random_variants_are_valid_and_diverse() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = random_variant(&mut rng, 0.25);
+            for (_, p) in v.schedule().iter() {
+                assert!(p.assert_ns() < p.deassert_ns());
+            }
+            distinct.insert(format!("{v}"));
+        }
+        assert!(distinct.len() > 150, "only {} distinct", distinct.len());
+    }
+
+    #[test]
+    fn random_pulse_is_uniformish() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut first_bucket = 0;
+        let n = 3000;
+        for _ in 0..n {
+            if random_pulse(&mut rng).assert_ns() == 0 {
+                first_bucket += 1;
+            }
+        }
+        // P(assert = 0) = 24/300 = 8 %.
+        let frac = f64::from(first_bucket) / f64::from(n);
+        assert!((frac - 0.08).abs() < 0.03, "frac = {frac}");
+    }
+}

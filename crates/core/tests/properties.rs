@@ -1,0 +1,51 @@
+//! Property-based tests of the CODIC substrate invariants.
+
+use codic_circuit::SignalPulse;
+use codic_core::mode_register::{ModeRegister, ModeRegisterFile, IDLE_ENCODING};
+use codic_core::variant_space;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mode_register_round_trips_every_valid_pulse(idx in 0u64..300) {
+        let pulse = variant_space::nth_pulse(idx).unwrap();
+        let mr = ModeRegister::encode(pulse);
+        prop_assert!(mr.raw() < (1 << 10), "10-bit field");
+        prop_assert_eq!(mr.decode().unwrap(), Some(pulse));
+        prop_assert_eq!(ModeRegister::from_raw(mr.raw()).unwrap(), mr);
+    }
+
+    #[test]
+    fn raw_values_never_panic(raw in any::<u16>()) {
+        match ModeRegister::from_raw(raw) {
+            Ok(mr) => {
+                // Valid encodings decode to idle or a valid pulse.
+                match mr.decode().unwrap() {
+                    None => prop_assert_eq!(raw, IDLE_ENCODING),
+                    Some(p) => prop_assert!(p.assert_ns() < p.deassert_ns()),
+                }
+            }
+            Err(_) => {
+                // Rejected values are wide or encode invalid pulses.
+                let wide = raw > IDLE_ENCODING;
+                let a = (raw & 0x1F) as u8;
+                let d = (raw >> 5) as u8;
+                prop_assert!(wide || SignalPulse::new(a, d).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn programming_random_variants_round_trips(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let v = variant_space::random_variant(&mut rng, 0.3);
+        let mut mrf = ModeRegisterFile::new();
+        mrf.program(&v);
+        prop_assert_eq!(&mrf.schedule().unwrap(), v.schedule());
+        // Re-programming the same variant writes nothing.
+        prop_assert_eq!(mrf.program(&v), 0);
+    }
+}

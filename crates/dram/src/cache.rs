@@ -1,0 +1,271 @@
+//! Set-associative write-back, write-allocate cache with CLFLUSH support.
+
+use crate::geometry::LINE_BYTES;
+
+/// Cache shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// The paper's L1 data cache: 32 KB (Table 5), 8-way.
+    #[must_use]
+    pub fn l1() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 8,
+        }
+    }
+
+    /// The paper's L2 cache: 512 KB (Table 5), 8-way.
+    #[must_use]
+    pub fn l2() -> Self {
+        CacheConfig {
+            size_bytes: 512 * 1024,
+            ways: 8,
+        }
+    }
+
+    fn sets(&self) -> u64 {
+        self.size_bytes / (LINE_BYTES * u64::from(self.ways))
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LineMeta {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been allocated; if the victim was dirty
+    /// its line address must be written back to memory.
+    Miss {
+        /// Dirty victim line address, if any.
+        writeback: Option<u64>,
+    },
+}
+
+/// Counters for one cache instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back (evictions plus flushes).
+    pub writebacks: u64,
+}
+
+/// A single cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<LineMeta>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not yield at least one set.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        assert!(sets >= 1, "cache too small for its associativity");
+        Cache {
+            config,
+            sets: vec![LineMeta::default(); (sets * u64::from(config.ways)) as usize],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Access statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_range(&self, addr: u64) -> (usize, u64) {
+        let line = addr / LINE_BYTES;
+        let set = (line % self.config.sets()) as usize;
+        let tag = line / self.config.sets();
+        (set * self.config.ways as usize, tag)
+    }
+
+    /// Looks up `addr` without modifying state.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        let (base, tag) = self.set_range(addr);
+        self.sets[base..base + self.config.ways as usize]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Accesses `addr`, allocating on miss; `is_write` marks the line dirty.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
+        self.tick += 1;
+        let (base, tag) = self.set_range(addr);
+        let ways = self.config.ways as usize;
+        for i in base..base + ways {
+            if self.sets[i].valid && self.sets[i].tag == tag {
+                self.sets[i].lru = self.tick;
+                self.sets[i].dirty |= is_write;
+                self.stats.hits += 1;
+                return AccessResult::Hit;
+            }
+        }
+        self.stats.misses += 1;
+        // Choose victim: first invalid way, else least recently used.
+        let victim = (base..base + ways)
+            .min_by_key(|&i| {
+                if self.sets[i].valid {
+                    (1, self.sets[i].lru)
+                } else {
+                    (0, 0)
+                }
+            })
+            .expect("cache set is non-empty");
+        let writeback = if self.sets[victim].valid && self.sets[victim].dirty {
+            self.stats.writebacks += 1;
+            Some(self.line_addr(victim, base, self.sets[victim].tag))
+        } else {
+            None
+        };
+        self.sets[victim] = LineMeta {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: self.tick,
+        };
+        AccessResult::Miss { writeback }
+    }
+
+    /// Invalidates the line containing `addr` (CLFLUSH semantics); returns
+    /// the line address if it was dirty and must be written back.
+    pub fn flush_line(&mut self, addr: u64) -> Option<u64> {
+        let (base, tag) = self.set_range(addr);
+        let ways = self.config.ways as usize;
+        for i in base..base + ways {
+            if self.sets[i].valid && self.sets[i].tag == tag {
+                let was_dirty = self.sets[i].dirty;
+                self.sets[i].valid = false;
+                self.sets[i].dirty = false;
+                if was_dirty {
+                    self.stats.writebacks += 1;
+                    return Some(addr / LINE_BYTES * LINE_BYTES);
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    fn line_addr(&self, way_index: usize, set_base: usize, tag: u64) -> u64 {
+        let set = (set_base / self.config.ways as usize) as u64;
+        let _ = way_index;
+        (tag * self.config.sets() + set) * LINE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 2 sets × 2 ways × 64 B = 256 B.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = small();
+        assert_eq!(c.access(0, false), AccessResult::Miss { writeback: None });
+        assert_eq!(c.access(0, false), AccessResult::Hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_way() {
+        let mut c = small();
+        // Set 0 holds lines 0, 128, 256, ... (2 sets); fill both ways.
+        c.access(0, false);
+        c.access(128, false);
+        c.access(0, false); // touch line 0: line 128 becomes LRU
+        c.access(256, false); // evicts 128
+        assert!(c.contains(0));
+        assert!(!c.contains(128));
+        assert!(c.contains(256));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(0, true);
+        c.access(128, false);
+        let r = c.access(256, false); // evicts dirty line 0
+        assert_eq!(r, AccessResult::Miss { writeback: Some(0) });
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_returns_dirty_line_and_invalidates() {
+        let mut c = small();
+        c.access(64, true);
+        assert_eq!(c.flush_line(64), Some(64));
+        assert!(!c.contains(64));
+        // Second flush is a no-op.
+        assert_eq!(c.flush_line(64), None);
+    }
+
+    #[test]
+    fn flush_clean_line_needs_no_writeback() {
+        let mut c = small();
+        c.access(64, false);
+        assert_eq!(c.flush_line(64), None);
+        assert!(!c.contains(64));
+    }
+
+    #[test]
+    fn writeback_address_round_trips_through_line_math() {
+        // 64 sets -> tag/set split exercised beyond set 0.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 8192,
+            ways: 2,
+        });
+        let addr = 3 * 8192 + 5 * 64; // tag 3, set 5
+        c.access(addr, true);
+        c.access(7 * 8192 + 5 * 64, false);
+        let r = c.access(9 * 8192 + 5 * 64, false);
+        assert_eq!(
+            r,
+            AccessResult::Miss {
+                writeback: Some(addr)
+            }
+        );
+    }
+
+    #[test]
+    fn l1_l2_presets_match_table_5() {
+        assert_eq!(CacheConfig::l1().size_bytes, 32 * 1024);
+        assert_eq!(CacheConfig::l2().size_bytes, 512 * 1024);
+    }
+}

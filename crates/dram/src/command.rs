@@ -1,0 +1,65 @@
+//! DRAM bus commands.
+
+use crate::address::DramAddress;
+
+/// The command types the memory controller can place on the command bus.
+///
+/// `RowOp` covers bank-occupying in-DRAM operations (CODIC variants,
+/// RowClone, LISA-clone): the bank is busy for a caller-specified duration
+/// and the operation counts a caller-specified number of row activations
+/// toward the tFAW/tRRD windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandKind {
+    /// Activate (open) a row.
+    Act,
+    /// Precharge (close) the open row of one bank.
+    Pre,
+    /// Read one burst from the open row.
+    Rd,
+    /// Write one burst to the open row.
+    Wr,
+    /// All-bank auto refresh.
+    Ref,
+    /// A bank-occupying row operation (CODIC / RowClone / LISA-clone).
+    RowOp {
+        /// Bank-busy duration in cycles.
+        busy_cycles: u32,
+        /// Row activations this operation contributes to tFAW/tRRD.
+        activations: u8,
+    },
+}
+
+/// A command with its target coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Command {
+    /// What to do.
+    pub kind: CommandKind,
+    /// Where to do it. For `Ref` only the rank matters.
+    pub addr: DramAddress,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_are_comparable() {
+        let a = Command {
+            kind: CommandKind::Act,
+            addr: DramAddress {
+                rank: 0,
+                bank: 1,
+                row: 2,
+                line: 3,
+            },
+        };
+        assert_eq!(a, a);
+        assert_ne!(
+            CommandKind::Act,
+            CommandKind::RowOp {
+                busy_cycles: 28,
+                activations: 1
+            }
+        );
+    }
+}

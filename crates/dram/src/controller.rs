@@ -1,0 +1,602 @@
+//! FR-FCFS memory controller with read/write queues, write draining,
+//! open-page policy, refresh, and row-operation support.
+//!
+//! Matches the paper's evaluation configuration (Tables 5 and 7):
+//! 64-entry read and write queues with FR-FCFS scheduling
+//! (first-ready, first-come-first-served).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+use crate::address::{AddressMapper, DramAddress};
+use crate::bank::Bank;
+use crate::geometry::DramGeometry;
+use crate::rank::Rank;
+use crate::request::{MemRequest, QueueFull, ReqId, ReqKind};
+use crate::stats::MemStats;
+use crate::timing::TimingParams;
+
+/// Capacity of each of the read and write queues (Table 5).
+pub const QUEUE_DEPTH: usize = 64;
+
+/// Write-queue occupancy that starts a write drain.
+const DRAIN_HIGH: usize = 48;
+
+/// Write-queue occupancy that ends a write drain.
+const DRAIN_LOW: usize = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    id: ReqId,
+    addr: DramAddress,
+    kind: ReqKind,
+}
+
+/// A completed request: its id and the cycle its data (or operation)
+/// finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The request id handed out by [`MemoryController::push`].
+    pub id: ReqId,
+    /// Memory cycle at which the request completed.
+    pub finish_cycle: u64,
+}
+
+/// The cycle-level DDR3 memory controller.
+#[derive(Debug)]
+pub struct MemoryController {
+    mapper: AddressMapper,
+    timing: TimingParams,
+    banks: Vec<Bank>,
+    ranks: Vec<Rank>,
+    read_q: VecDeque<Pending>,
+    write_q: VecDeque<Pending>,
+    rowop_q: VecDeque<Pending>,
+    in_flight: BinaryHeap<Reverse<(u64, u64)>>,
+    completed: Vec<Completion>,
+    now: u64,
+    data_bus_free: u64,
+    write_drain: bool,
+    refresh_enabled: bool,
+    refresh_pending: bool,
+    next_refresh: u64,
+    next_id: u64,
+    stats: MemStats,
+}
+
+impl MemoryController {
+    /// Creates a controller for a module of the given geometry and timing.
+    #[must_use]
+    pub fn new(geometry: DramGeometry, timing: TimingParams) -> Self {
+        let total_banks = geometry.total_banks() as usize;
+        MemoryController {
+            mapper: AddressMapper::new(geometry),
+            timing,
+            banks: vec![Bank::new(); total_banks],
+            ranks: (0..geometry.ranks).map(|_| Rank::new()).collect(),
+            read_q: VecDeque::with_capacity(QUEUE_DEPTH),
+            write_q: VecDeque::with_capacity(QUEUE_DEPTH),
+            rowop_q: VecDeque::with_capacity(QUEUE_DEPTH),
+            in_flight: BinaryHeap::new(),
+            completed: Vec::new(),
+            now: 0,
+            data_bus_free: 0,
+            write_drain: false,
+            refresh_enabled: true,
+            refresh_pending: false,
+            next_refresh: u64::from(timing.t_refi),
+            next_id: 0,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The current memory cycle.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The timing parameters in use.
+    #[must_use]
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// The module geometry in use.
+    #[must_use]
+    pub fn geometry(&self) -> &DramGeometry {
+        self.mapper.geometry()
+    }
+
+    /// Accumulated command statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Enables or disables the refresh engine (enabled by default).
+    /// The paper's PUF methodology disables refresh (§6.1).
+    pub fn set_refresh_enabled(&mut self, enabled: bool) {
+        self.refresh_enabled = enabled;
+    }
+
+    /// Whether a request of `kind` can currently be accepted.
+    #[must_use]
+    pub fn can_accept(&self, kind: ReqKind) -> bool {
+        match kind {
+            ReqKind::Read => self.read_q.len() < QUEUE_DEPTH,
+            ReqKind::Write => self.write_q.len() < QUEUE_DEPTH,
+            ReqKind::RowOp { .. } => self.rowop_q.len() < QUEUE_DEPTH,
+        }
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] (with the request) if the target queue is at
+    /// capacity; the caller should retry after ticking.
+    pub fn push(&mut self, request: MemRequest) -> Result<ReqId, QueueFull> {
+        if !self.can_accept(request.kind) {
+            self.stats.queue_rejections += 1;
+            return Err(QueueFull { request });
+        }
+        let id = ReqId(self.next_id);
+        self.next_id += 1;
+        let pending = Pending {
+            id,
+            addr: self.mapper.decode(request.addr),
+            kind: request.kind,
+        };
+        match request.kind {
+            ReqKind::Read => self.read_q.push_back(pending),
+            ReqKind::Write => self.write_q.push_back(pending),
+            ReqKind::RowOp { .. } => self.rowop_q.push_back(pending),
+        }
+        Ok(id)
+    }
+
+    /// True when no request is queued or in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.read_q.is_empty()
+            && self.write_q.is_empty()
+            && self.rowop_q.is_empty()
+            && self.in_flight.is_empty()
+    }
+
+    /// Removes and returns all completions that have finished by now.
+    pub fn drain_completed(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Advances one memory cycle, issuing at most one command.
+    pub fn tick(&mut self) {
+        self.retire_in_flight();
+        if self.refresh_enabled && !self.refresh_pending && self.now >= self.next_refresh {
+            self.refresh_pending = true;
+        }
+        if self.refresh_pending {
+            if self.service_refresh() {
+                self.now += 1;
+                return;
+            }
+        } else {
+            self.update_drain_mode();
+            self.schedule();
+        }
+        self.now += 1;
+    }
+
+    /// Runs until idle, returning the cycle at which the last request
+    /// completed (or the current cycle when already idle).
+    pub fn run_to_idle(&mut self) -> u64 {
+        let mut last = self.now;
+        while !self.is_idle() {
+            self.tick();
+            if let Some(c) = self.completed.last() {
+                last = last.max(c.finish_cycle);
+            }
+        }
+        last
+    }
+
+    fn retire_in_flight(&mut self) {
+        while let Some(&Reverse((cycle, id))) = self.in_flight.peek() {
+            if cycle > self.now {
+                break;
+            }
+            self.in_flight.pop();
+            self.completed.push(Completion {
+                id: ReqId(id),
+                finish_cycle: cycle,
+            });
+        }
+    }
+
+    fn update_drain_mode(&mut self) {
+        if self.write_q.len() >= DRAIN_HIGH {
+            self.write_drain = true;
+        } else if self.write_q.len() <= DRAIN_LOW {
+            self.write_drain = false;
+        }
+    }
+
+    /// Attempts to make refresh progress; returns true if a command was
+    /// issued this cycle.
+    fn service_refresh(&mut self) -> bool {
+        // Close any open bank first.
+        for i in 0..self.banks.len() {
+            if self.banks[i].open_row().is_some() {
+                if self.banks[i].can_precharge(self.now) {
+                    self.banks[i].precharge(self.now, &self.timing);
+                    self.stats.precharges += 1;
+                    return true;
+                }
+                return false;
+            }
+        }
+        // All banks closed; wait until every bank can accept an activate
+        // (i.e. tRP has elapsed) then refresh all ranks.
+        if self.banks.iter().all(|b| b.can_activate(self.now)) {
+            let until = self.now + u64::from(self.timing.t_rfc);
+            for b in &mut self.banks {
+                b.block_until(until);
+            }
+            self.stats.refreshes += self.ranks.len() as u64;
+            self.refresh_pending = false;
+            self.next_refresh += u64::from(self.timing.t_refi);
+            return true;
+        }
+        false
+    }
+
+    fn schedule(&mut self) {
+        // Row operations are scheduled like reads but take precedence over
+        // the data queues only when no column command is ready: they never
+        // need the data bus.
+        let serve_writes_first = self.write_drain || self.read_q.is_empty();
+        let issued = if serve_writes_first {
+            self.try_queue(Queue::Write)
+                || self.try_queue(Queue::Read)
+                || self.try_queue(Queue::RowOp)
+        } else {
+            self.try_queue(Queue::Read)
+                || self.try_queue(Queue::Write)
+                || self.try_queue(Queue::RowOp)
+        };
+        let _ = issued;
+    }
+
+    fn try_queue(&mut self, which: Queue) -> bool {
+        // Pass 1 (first-ready): issue any request whose row is open and
+        // whose column command is timing-clean.
+        if let Some(idx) = self.find_ready(which) {
+            self.issue_column(which, idx);
+            return true;
+        }
+        // Pass 2 (FCFS): for the oldest request per bank, advance the bank
+        // state with a precharge or activate.
+        self.advance_oldest(which)
+    }
+
+    fn queue(&self, which: Queue) -> &VecDeque<Pending> {
+        match which {
+            Queue::Read => &self.read_q,
+            Queue::Write => &self.write_q,
+            Queue::RowOp => &self.rowop_q,
+        }
+    }
+
+    fn find_ready(&self, which: Queue) -> Option<usize> {
+        let q = self.queue(which);
+        for (i, p) in q.iter().enumerate() {
+            let bank = &self.banks[self.bank_index(&p.addr)];
+            match p.kind {
+                ReqKind::Read => {
+                    if bank.can_read(p.addr.row, self.now) && self.column_bus_ok(true) {
+                        return Some(i);
+                    }
+                }
+                ReqKind::Write => {
+                    if bank.can_write(p.addr.row, self.now) && self.column_bus_ok(false) {
+                        return Some(i);
+                    }
+                }
+                ReqKind::RowOp { op, .. } => {
+                    let rank = &self.ranks[p.addr.rank as usize];
+                    if bank.can_row_op(self.now)
+                        && rank.can_activate(self.now, op.activations(), &self.timing)
+                    {
+                        return Some(i);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn column_bus_ok(&self, is_read: bool) -> bool {
+        let start = self.now
+            + u64::from(if is_read {
+                self.timing.t_cl
+            } else {
+                self.timing.t_cwl
+            });
+        start >= self.data_bus_free
+    }
+
+    fn issue_column(&mut self, which: Queue, idx: usize) {
+        let p = match which {
+            Queue::Read => self.read_q.remove(idx),
+            Queue::Write => self.write_q.remove(idx),
+            Queue::RowOp => self.rowop_q.remove(idx),
+        }
+        .expect("index returned by find_ready is valid");
+        let bank_idx = self.bank_index(&p.addr);
+        match p.kind {
+            ReqKind::Read => {
+                let done = self.banks[bank_idx].read(self.now, &self.timing);
+                self.data_bus_free = done;
+                self.stats.reads += 1;
+                self.stats.row_hits += 1;
+                self.in_flight.push(Reverse((done, p.id.0)));
+            }
+            ReqKind::Write => {
+                let done = self.banks[bank_idx].write(self.now, &self.timing);
+                self.data_bus_free = done;
+                self.stats.writes += 1;
+                self.stats.row_hits += 1;
+                self.in_flight.push(Reverse((done, p.id.0)));
+            }
+            ReqKind::RowOp { op, busy_cycles } => {
+                self.banks[bank_idx].row_op(self.now, busy_cycles);
+                self.ranks[p.addr.rank as usize].record_activate(
+                    self.now,
+                    op.activations(),
+                    &self.timing,
+                );
+                self.stats.row_ops += 1;
+                self.stats.row_op_activations += u64::from(op.activations());
+                self.in_flight
+                    .push(Reverse((self.now + u64::from(busy_cycles), p.id.0)));
+            }
+        }
+    }
+
+    fn advance_oldest(&mut self, which: Queue) -> bool {
+        let mut touched_banks = Vec::new();
+        let q_len = self.queue(which).len();
+        for i in 0..q_len {
+            let p = self.queue(which)[i];
+            let bank_idx = self.bank_index(&p.addr);
+            if touched_banks.contains(&bank_idx) {
+                continue;
+            }
+            touched_banks.push(bank_idx);
+            let is_rowop = matches!(p.kind, ReqKind::RowOp { .. });
+            match self.banks[bank_idx].open_row() {
+                Some(row) if is_rowop || row != p.addr.row => {
+                    if self.banks[bank_idx].can_precharge(self.now) {
+                        self.banks[bank_idx].precharge(self.now, &self.timing);
+                        self.stats.precharges += 1;
+                        if !is_rowop {
+                            self.stats.row_misses += 1;
+                        }
+                        return true;
+                    }
+                }
+                Some(_) => {
+                    // Correct row open; waiting on a column timing or the
+                    // data bus. Nothing to do for this bank.
+                }
+                None if !is_rowop => {
+                    let rank = &self.ranks[p.addr.rank as usize];
+                    if self.banks[bank_idx].can_activate(self.now)
+                        && rank.can_activate(self.now, 1, &self.timing)
+                    {
+                        self.banks[bank_idx].activate(p.addr.row, self.now, &self.timing);
+                        self.ranks[p.addr.rank as usize].record_activate(
+                            self.now,
+                            1,
+                            &self.timing,
+                        );
+                        self.stats.activates += 1;
+                        return true;
+                    }
+                }
+                None => {
+                    // Row ops issue directly from pass 1 when the bank and
+                    // rank windows allow; nothing to prepare here.
+                }
+            }
+        }
+        false
+    }
+
+    fn bank_index(&self, addr: &DramAddress) -> usize {
+        addr.bank_id(self.mapper.geometry()) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Queue {
+    Read,
+    Write,
+    RowOp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::LINE_BYTES;
+    use crate::request::RowOpKind;
+
+    fn mc() -> MemoryController {
+        let mut mc = MemoryController::new(
+            DramGeometry::module_mib(64),
+            TimingParams::ddr3_1600_11(),
+        );
+        mc.set_refresh_enabled(false);
+        mc
+    }
+
+    fn run_until_idle(mc: &mut MemoryController) -> u64 {
+        mc.run_to_idle()
+    }
+
+    #[test]
+    fn single_read_latency_is_act_plus_cas_plus_burst() {
+        let mut m = mc();
+        m.push(MemRequest::new(0, ReqKind::Read)).unwrap();
+        let finish = run_until_idle(&mut m);
+        let t = m.timing();
+        // ACT at cycle 0 is not possible before the scheduler sees the
+        // request (1 cycle), then tRCD + tCL + tBL.
+        let ideal = u64::from(t.t_rcd + t.t_cl + t.t_bl);
+        assert!(finish >= ideal && finish <= ideal + 4, "finish {finish}");
+        assert_eq!(m.stats().activates, 1);
+        assert_eq!(m.stats().reads, 1);
+    }
+
+    #[test]
+    fn row_hits_avoid_new_activates() {
+        let mut m = mc();
+        for i in 0..8u64 {
+            m.push(MemRequest::new(i * LINE_BYTES, ReqKind::Read)).unwrap();
+        }
+        run_until_idle(&mut m);
+        assert_eq!(m.stats().activates, 1, "sequential lines share one row");
+        assert_eq!(m.stats().reads, 8);
+        assert_eq!(m.stats().row_hit_rate(), Some(8.0 / 8.0));
+    }
+
+    #[test]
+    fn row_conflict_precharges_and_reactivates() {
+        let mut m = mc();
+        let row_bytes = DramGeometry::ROW_BYTES;
+        // Same bank, different rows: rows in the same bank are
+        // banks_per_rank rows apart in physical address space.
+        m.push(MemRequest::new(0, ReqKind::Read)).unwrap();
+        m.push(MemRequest::new(row_bytes * 8, ReqKind::Read)).unwrap();
+        run_until_idle(&mut m);
+        assert_eq!(m.stats().activates, 2);
+        assert_eq!(m.stats().precharges, 1);
+        assert_eq!(m.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn reads_prioritized_over_writes_until_drain() {
+        let mut m = mc();
+        for i in 0..4u64 {
+            m.push(MemRequest::new(i * LINE_BYTES, ReqKind::Write)).unwrap();
+        }
+        m.push(MemRequest::new(4 * LINE_BYTES, ReqKind::Read)).unwrap();
+        let mut read_done = None;
+        let mut writes_done = 0;
+        while !m.is_idle() {
+            m.tick();
+            for c in m.drain_completed() {
+                if c.id == ReqId(4) {
+                    read_done = Some(c.finish_cycle);
+                } else {
+                    writes_done += 1;
+                    let _ = writes_done;
+                }
+            }
+        }
+        let read_done = read_done.expect("read completed");
+        assert!(
+            read_done < u64::from(m.timing().t_rc) + 20,
+            "read finished at {read_done}, should not wait for all writes"
+        );
+    }
+
+    #[test]
+    fn bank_parallel_rowops_sustain_tfaw_rate() {
+        // Issue one CODIC row op per row over all 8 banks; the steady-state
+        // rate must be tFAW-limited: 4 ops per tFAW.
+        let mut m = mc();
+        let rows = 64u64;
+        let mut next_row = 0u64;
+        let mut finish = 0;
+        loop {
+            while next_row < rows {
+                let addr = next_row * DramGeometry::ROW_BYTES;
+                let t_rc = m.timing().t_rc;
+                let req = MemRequest::new(
+                    addr,
+                    ReqKind::RowOp {
+                        op: RowOpKind::Codic,
+                        busy_cycles: t_rc,
+                    },
+                );
+                if m.push(req).is_err() {
+                    break;
+                }
+                next_row += 1;
+            }
+            if m.is_idle() && next_row >= rows {
+                break;
+            }
+            m.tick();
+            for c in m.drain_completed() {
+                finish = finish.max(c.finish_cycle);
+            }
+        }
+        let t = m.timing();
+        let per_op = finish as f64 / rows as f64;
+        let faw_bound = f64::from(t.t_faw) / 4.0;
+        assert!(
+            (per_op - faw_bound).abs() < 2.0,
+            "per-op {per_op} cycles vs tFAW/4 = {faw_bound}"
+        );
+        assert_eq!(m.stats().row_ops, rows);
+    }
+
+    #[test]
+    fn refresh_blocks_and_counts() {
+        let mut m = MemoryController::new(
+            DramGeometry::module_mib(64),
+            TimingParams::ddr3_1600_11(),
+        );
+        let refi = u64::from(m.timing().t_refi);
+        for _ in 0..refi + 300 {
+            m.tick();
+        }
+        assert!(m.stats().refreshes >= 1);
+    }
+
+    #[test]
+    fn queue_full_is_reported() {
+        let mut m = mc();
+        for i in 0..QUEUE_DEPTH as u64 {
+            m.push(MemRequest::new(i * LINE_BYTES, ReqKind::Read)).unwrap();
+        }
+        let err = m
+            .push(MemRequest::new(0, ReqKind::Read))
+            .expect_err("queue must be full");
+        assert_eq!(err.request.addr, 0);
+        assert_eq!(m.stats().queue_rejections, 1);
+    }
+
+    #[test]
+    fn completions_report_monotone_ids_for_fifo_reads_to_one_bank() {
+        let mut m = mc();
+        for i in 0..4u64 {
+            m.push(MemRequest::new(i * LINE_BYTES, ReqKind::Read)).unwrap();
+        }
+        let mut ids = Vec::new();
+        while !m.is_idle() {
+            m.tick();
+            ids.extend(m.drain_completed().into_iter().map(|c| c.id));
+        }
+        let sorted = {
+            let mut s = ids.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(ids, sorted, "same-row reads complete in order");
+    }
+}

@@ -1,0 +1,324 @@
+//! Trace-driven in-order core with a private L1/L2 hierarchy.
+//!
+//! Matches the paper's evaluation CPU (Tables 5 and 7): in-order, one
+//! instruction per cycle, blocking on cache misses. The core runs at the
+//! memory bus clock (one core cycle per memory cycle), which is sufficient
+//! for the relative comparisons the paper makes.
+
+use crate::cache::{AccessResult, Cache, CacheConfig};
+use crate::request::{MemRequest, ReqId, ReqKind};
+use crate::trace::TraceOp;
+
+/// L2 hit latency in cycles (L1 hits are single-cycle and folded into the
+/// 1-IPC issue rate).
+const L2_HIT_CYCLES: u32 = 4;
+
+/// What the core wants from the memory system this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreRequest {
+    /// Nothing to issue.
+    None,
+    /// Issue this request and stall the core until it completes.
+    Blocking(MemRequest),
+    /// Issue this request without stalling (posted write-back).
+    Posted(MemRequest),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Running,
+    /// Stalled for a fixed number of cycles (L2 hit).
+    FixedStall(u32),
+    /// Waiting for a memory request to complete.
+    WaitingMem,
+    /// A blocking request is ready to be issued (queue was full last try).
+    PendingIssue,
+    Finished,
+}
+
+/// A single in-order core executing a [`TraceOp`] stream.
+#[derive(Debug)]
+pub struct Core {
+    l1: Cache,
+    l2: Cache,
+    trace: Vec<TraceOp>,
+    pc: usize,
+    bubbles_left: u32,
+    state: State,
+    pending_req: Option<MemRequest>,
+    waiting_on: Option<ReqId>,
+    /// Posted write-backs that could not be accepted yet.
+    posted_backlog: Vec<MemRequest>,
+    retired: u64,
+    cycles: u64,
+}
+
+impl Core {
+    /// Creates a core with the paper's cache configuration and a trace to
+    /// run.
+    #[must_use]
+    pub fn new(trace: Vec<TraceOp>) -> Self {
+        Core::with_caches(trace, CacheConfig::l1(), CacheConfig::l2())
+    }
+
+    /// Creates a core with explicit cache configurations.
+    #[must_use]
+    pub fn with_caches(trace: Vec<TraceOp>, l1: CacheConfig, l2: CacheConfig) -> Self {
+        Core {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            trace,
+            pc: 0,
+            bubbles_left: 0,
+            state: State::Running,
+            pending_req: None,
+            waiting_on: None,
+            posted_backlog: Vec::new(),
+            retired: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Whether the core has retired its whole trace.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.state == State::Finished && self.posted_backlog.is_empty()
+    }
+
+    /// Instructions retired so far (bubbles count individually).
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Cycles this core has executed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Notifies the core that the memory request it was waiting on
+    /// completed.
+    pub fn on_complete(&mut self, id: ReqId) {
+        if self.waiting_on == Some(id) {
+            self.waiting_on = None;
+            if self.state == State::WaitingMem {
+                self.state = State::Running;
+            }
+        }
+    }
+
+    /// Records that a blocking request was accepted by the controller under
+    /// the given id.
+    pub fn on_issued(&mut self, id: ReqId) {
+        debug_assert_eq!(self.state, State::PendingIssue);
+        self.waiting_on = Some(id);
+        self.pending_req = None;
+        self.state = State::WaitingMem;
+    }
+
+    /// Records that the controller could not accept the blocking request;
+    /// the core retries next cycle.
+    pub fn on_rejected(&mut self) {
+        debug_assert_eq!(self.state, State::PendingIssue);
+    }
+
+    /// Re-queues a posted write that the controller rejected.
+    pub fn on_posted_rejected(&mut self, request: MemRequest) {
+        self.posted_backlog.push(request);
+    }
+
+    /// Advances the core by one cycle and reports what it needs from the
+    /// memory system.
+    pub fn tick(&mut self) -> CoreRequest {
+        self.cycles += 1;
+        // Drain one backlogged posted write per cycle before making new
+        // progress.
+        if let Some(req) = self.posted_backlog.pop() {
+            return CoreRequest::Posted(req);
+        }
+        match self.state {
+            State::Finished | State::WaitingMem => CoreRequest::None,
+            State::PendingIssue => {
+                let req = self.pending_req.expect("pending request exists");
+                CoreRequest::Blocking(req)
+            }
+            State::FixedStall(n) => {
+                if n <= 1 {
+                    self.state = State::Running;
+                } else {
+                    self.state = State::FixedStall(n - 1);
+                }
+                CoreRequest::None
+            }
+            State::Running => self.execute_next(),
+        }
+    }
+
+    fn execute_next(&mut self) -> CoreRequest {
+        if self.bubbles_left > 0 {
+            self.bubbles_left -= 1;
+            self.retired += 1;
+            return CoreRequest::None;
+        }
+        let Some(&op) = self.trace.get(self.pc) else {
+            self.state = State::Finished;
+            return CoreRequest::None;
+        };
+        self.pc += 1;
+        match op {
+            TraceOp::Bubble(n) => {
+                if n > 0 {
+                    self.bubbles_left = n - 1;
+                    self.retired += 1;
+                }
+                CoreRequest::None
+            }
+            TraceOp::Read(addr) => {
+                self.retired += 1;
+                self.access(addr, false)
+            }
+            TraceOp::Write(addr) => {
+                self.retired += 1;
+                self.access(addr, true)
+            }
+            TraceOp::RowOp {
+                addr,
+                op,
+                busy_cycles,
+            } => {
+                self.retired += 1;
+                CoreRequest::Posted(MemRequest::new(addr, ReqKind::RowOp { op, busy_cycles }))
+            }
+            TraceOp::Flush(addr) => {
+                self.retired += 1;
+                let dirty_l1 = self.l1.flush_line(addr);
+                let dirty_l2 = self.l2.flush_line(addr);
+                match dirty_l1.or(dirty_l2) {
+                    Some(line) => {
+                        // CLFLUSH is serializing: wait for the write to
+                        // reach DRAM.
+                        let req = MemRequest::new(line, ReqKind::Write);
+                        self.pending_req = Some(req);
+                        self.state = State::PendingIssue;
+                        CoreRequest::Blocking(req)
+                    }
+                    None => CoreRequest::None,
+                }
+            }
+        }
+    }
+
+    fn access(&mut self, addr: u64, is_write: bool) -> CoreRequest {
+        if self.l1.access(addr, is_write) == AccessResult::Hit {
+            return CoreRequest::None;
+        }
+        // L1 miss: consult L2. The L1 victim write-back is absorbed by L2
+        // (inclusive-ish simplification): dirty L1 victims are installed
+        // into L2 as dirty lines.
+        match self.l2.access(addr, false) {
+            AccessResult::Hit => {
+                self.state = State::FixedStall(L2_HIT_CYCLES);
+                CoreRequest::None
+            }
+            AccessResult::Miss { writeback } => {
+                let fill = MemRequest::new(addr, ReqKind::Read);
+                self.pending_req = Some(fill);
+                self.state = State::PendingIssue;
+                if let Some(line) = writeback {
+                    self.posted_backlog
+                        .push(MemRequest::new(line, ReqKind::Write));
+                }
+                CoreRequest::Blocking(fill)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bubbles_retire_one_per_cycle() {
+        let mut c = Core::new(vec![TraceOp::Bubble(3)]);
+        for _ in 0..3 {
+            assert!(!c.is_finished());
+            assert_eq!(c.tick(), CoreRequest::None);
+        }
+        let _ = c.tick();
+        assert!(c.is_finished());
+        assert_eq!(c.retired(), 3);
+    }
+
+    #[test]
+    fn first_read_misses_to_memory_and_blocks() {
+        let mut c = Core::new(vec![TraceOp::Read(0), TraceOp::Bubble(1)]);
+        let r = c.tick();
+        let CoreRequest::Blocking(req) = r else {
+            panic!("expected blocking fill, got {r:?}");
+        };
+        assert_eq!(req.kind, ReqKind::Read);
+        c.on_issued(ReqId(9));
+        assert_eq!(c.tick(), CoreRequest::None, "stalled while waiting");
+        c.on_complete(ReqId(9));
+        assert_eq!(c.tick(), CoreRequest::None); // bubble retires
+        let _ = c.tick();
+        assert!(c.is_finished());
+    }
+
+    #[test]
+    fn second_access_to_same_line_hits() {
+        let mut c = Core::new(vec![TraceOp::Read(0), TraceOp::Read(8)]);
+        let CoreRequest::Blocking(_) = c.tick() else {
+            panic!("miss expected");
+        };
+        c.on_issued(ReqId(1));
+        c.on_complete(ReqId(1));
+        assert_eq!(c.tick(), CoreRequest::None, "same-line read hits in L1");
+        let _ = c.tick();
+        assert!(c.is_finished());
+    }
+
+    #[test]
+    fn flush_of_dirty_line_blocks_until_written() {
+        let mut c = Core::new(vec![TraceOp::Write(0), TraceOp::Flush(0)]);
+        // The write first misses and fetches the line.
+        let CoreRequest::Blocking(fill) = c.tick() else {
+            panic!("write-allocate fill expected");
+        };
+        assert_eq!(fill.kind, ReqKind::Read);
+        c.on_issued(ReqId(1));
+        c.on_complete(ReqId(1));
+        // Now the flush must produce a blocking write of the dirty line.
+        let CoreRequest::Blocking(wb) = c.tick() else {
+            panic!("flush write expected");
+        };
+        assert_eq!(wb.kind, ReqKind::Write);
+        assert_eq!(wb.addr, 0);
+        c.on_issued(ReqId(2));
+        assert_eq!(c.tick(), CoreRequest::None);
+        c.on_complete(ReqId(2));
+        let _ = c.tick();
+        assert!(c.is_finished());
+    }
+
+    #[test]
+    fn flush_of_clean_or_absent_line_is_free() {
+        let mut c = Core::new(vec![TraceOp::Flush(128)]);
+        assert_eq!(c.tick(), CoreRequest::None);
+        let _ = c.tick();
+        assert!(c.is_finished());
+    }
+
+    #[test]
+    fn rejected_blocking_request_is_retried() {
+        let mut c = Core::new(vec![TraceOp::Read(0)]);
+        let CoreRequest::Blocking(req) = c.tick() else {
+            panic!("miss expected");
+        };
+        c.on_rejected();
+        let r2 = c.tick();
+        assert_eq!(r2, CoreRequest::Blocking(req), "same request retried");
+    }
+}

@@ -1,0 +1,101 @@
+//! Memory requests as seen by the controller.
+
+/// Identifier assigned to each accepted request; completion notifications
+/// carry it back to the issuer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(pub u64);
+
+/// The in-DRAM row operations the CODIC studies schedule through the
+/// controller (paper §5.2, §6.2, Appendix A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowOpKind {
+    /// A CODIC command: one activation-class operation per row.
+    Codic,
+    /// RowClone FPM copy: two back-to-back activations (Seshadri et al.).
+    RowClone,
+    /// LISA row-buffer-movement clone: two activations plus an extra
+    /// row-buffer movement step (Chang et al.).
+    LisaClone,
+}
+
+impl RowOpKind {
+    /// Number of row activations the operation contributes to the rank's
+    /// tRRD/tFAW windows.
+    #[must_use]
+    pub fn activations(self) -> u8 {
+        match self {
+            RowOpKind::Codic => 1,
+            RowOpKind::RowClone | RowOpKind::LisaClone => 2,
+        }
+    }
+}
+
+/// What a request asks the DRAM to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReqKind {
+    /// Read one 64 B line.
+    Read,
+    /// Write one 64 B line.
+    Write,
+    /// Execute a bank-occupying row operation on the row containing the
+    /// address. `busy_cycles` is supplied by the mechanism model.
+    RowOp {
+        /// Which operation (for accounting).
+        op: RowOpKind,
+        /// Bank-occupancy duration in memory cycles.
+        busy_cycles: u32,
+    },
+}
+
+/// A request entering the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRequest {
+    /// Physical byte address (line-aligned addresses address the line;
+    /// others are truncated).
+    pub addr: u64,
+    /// Operation.
+    pub kind: ReqKind,
+}
+
+impl MemRequest {
+    /// Creates a request.
+    #[must_use]
+    pub fn new(addr: u64, kind: ReqKind) -> Self {
+        MemRequest { addr, kind }
+    }
+}
+
+/// Error returned by the controller when the target queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The rejected request, handed back to the caller.
+    pub request: MemRequest,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "memory controller queue full for {:?}", self.request.kind)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_counts_match_mechanisms() {
+        assert_eq!(RowOpKind::Codic.activations(), 1);
+        assert_eq!(RowOpKind::RowClone.activations(), 2);
+        assert_eq!(RowOpKind::LisaClone.activations(), 2);
+    }
+
+    #[test]
+    fn queue_full_preserves_request() {
+        let r = MemRequest::new(128, ReqKind::Read);
+        let e = QueueFull { request: r };
+        assert_eq!(e.request, r);
+        assert!(e.to_string().contains("queue full"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Command and event counters exposed by the memory controller, consumed by
+//! the `codic-power` energy model.
+
+/// Counters accumulated over a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// Activate commands issued.
+    pub activates: u64,
+    /// Precharge commands issued.
+    pub precharges: u64,
+    /// Read bursts issued.
+    pub reads: u64,
+    /// Write bursts issued.
+    pub writes: u64,
+    /// All-bank refresh commands issued (per rank).
+    pub refreshes: u64,
+    /// Row operations issued (CODIC / RowClone / LISA-clone).
+    pub row_ops: u64,
+    /// Total activations contributed by row operations.
+    pub row_op_activations: u64,
+    /// Column accesses that hit the open row.
+    pub row_hits: u64,
+    /// Column accesses that required opening a row.
+    pub row_misses: u64,
+    /// Requests rejected because a queue was full.
+    pub queue_rejections: u64,
+}
+
+impl MemStats {
+    /// Row-buffer hit rate over all column accesses, or `None` when no
+    /// column access was made.
+    #[must_use]
+    pub fn row_hit_rate(&self) -> Option<f64> {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.row_hits as f64 / total as f64)
+        }
+    }
+
+    /// Adds another counter set into this one (multi-controller runs).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.refreshes += other.refreshes;
+        self.row_ops += other.row_ops;
+        self.row_op_activations += other.row_op_activations;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.queue_rejections += other.queue_rejections;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_is_none_without_accesses() {
+        assert_eq!(MemStats::default().row_hit_rate(), None);
+    }
+
+    #[test]
+    fn hit_rate_computes_fraction() {
+        let s = MemStats {
+            row_hits: 3,
+            row_misses: 1,
+            ..MemStats::default()
+        };
+        assert_eq!(s.row_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = MemStats {
+            activates: 1,
+            reads: 2,
+            ..MemStats::default()
+        };
+        let b = MemStats {
+            activates: 10,
+            writes: 5,
+            ..MemStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.activates, 11);
+        assert_eq!(a.reads, 2);
+        assert_eq!(a.writes, 5);
+    }
+}

@@ -1,0 +1,175 @@
+//! Full-system composition: cores + caches + memory controller + DRAM.
+
+use std::collections::HashMap;
+
+use crate::controller::MemoryController;
+use crate::cpu::{Core, CoreRequest};
+use crate::geometry::DramGeometry;
+use crate::request::ReqId;
+use crate::stats::MemStats;
+use crate::timing::TimingParams;
+use crate::trace::TraceOp;
+
+/// Result of a completed system simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Total memory cycles simulated.
+    pub cycles: u64,
+    /// Instructions retired per core.
+    pub retired: Vec<u64>,
+    /// Memory controller counters.
+    pub mem: MemStats,
+}
+
+impl SystemStats {
+    /// Nanoseconds simulated, given the timing used.
+    #[must_use]
+    pub fn elapsed_ns(&self, timing: &TimingParams) -> f64 {
+        timing.ns(self.cycles)
+    }
+}
+
+/// A system of one or more trace-driven cores sharing a memory controller,
+/// matching the paper's Tables 5 and 7 configurations.
+#[derive(Debug)]
+pub struct System {
+    cores: Vec<Core>,
+    mc: MemoryController,
+    owners: HashMap<ReqId, usize>,
+}
+
+impl System {
+    /// Builds a system with one core per trace.
+    #[must_use]
+    pub fn new(geometry: DramGeometry, timing: TimingParams, traces: Vec<Vec<TraceOp>>) -> Self {
+        System {
+            cores: traces.into_iter().map(Core::new).collect(),
+            mc: MemoryController::new(geometry, timing),
+            owners: HashMap::new(),
+        }
+    }
+
+    /// Access to the memory controller (e.g. to disable refresh).
+    pub fn controller_mut(&mut self) -> &mut MemoryController {
+        &mut self.mc
+    }
+
+    /// Whether every core finished and memory drained.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.cores.iter().all(Core::is_finished) && self.mc.is_idle()
+    }
+
+    /// Advances the whole system one memory cycle.
+    pub fn tick(&mut self) {
+        for i in 0..self.cores.len() {
+            match self.cores[i].tick() {
+                CoreRequest::None => {}
+                CoreRequest::Blocking(req) => match self.mc.push(req) {
+                    Ok(id) => {
+                        self.cores[i].on_issued(id);
+                        self.owners.insert(id, i);
+                    }
+                    Err(_) => self.cores[i].on_rejected(),
+                },
+                CoreRequest::Posted(req) => {
+                    if self.mc.push(req).is_err() {
+                        self.cores[i].on_posted_rejected(req);
+                    }
+                }
+            }
+        }
+        self.mc.tick();
+        for c in self.mc.drain_completed() {
+            if let Some(core) = self.owners.remove(&c.id) {
+                self.cores[core].on_complete(c.id);
+            }
+        }
+    }
+
+    /// Runs to completion (or until `max_cycles`) and reports statistics.
+    pub fn run(&mut self, max_cycles: u64) -> SystemStats {
+        let mut cycles = 0;
+        while !self.is_done() && cycles < max_cycles {
+            self.tick();
+            cycles += 1;
+        }
+        SystemStats {
+            cycles,
+            retired: self.cores.iter().map(Core::retired).collect(),
+            mem: *self.mc.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::LINE_BYTES;
+    use crate::trace::zero_fill_trace;
+
+    fn small_system(traces: Vec<Vec<TraceOp>>) -> System {
+        let mut s = System::new(
+            DramGeometry::module_mib(64),
+            TimingParams::ddr3_1600_11(),
+            traces,
+        );
+        s.controller_mut().set_refresh_enabled(false);
+        s
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let mut s = small_system(vec![vec![]]);
+        let stats = s.run(1000);
+        assert!(s.is_done());
+        assert!(stats.cycles < 5);
+    }
+
+    #[test]
+    fn zero_fill_writes_every_line_to_dram() {
+        let lines = 32u64;
+        let trace = zero_fill_trace(0, lines * LINE_BYTES);
+        let mut s = small_system(vec![trace]);
+        let stats = s.run(1_000_000);
+        assert!(s.is_done());
+        // Every line: one fill read (write-allocate) + one flush write.
+        assert_eq!(stats.mem.writes, lines);
+        assert_eq!(stats.mem.reads, lines);
+    }
+
+    #[test]
+    fn two_cores_make_progress_together() {
+        let t1 = vec![TraceOp::Read(0), TraceOp::Bubble(10)];
+        let t2 = vec![TraceOp::Read(1024 * 1024), TraceOp::Bubble(10)];
+        let mut s = small_system(vec![t1, t2]);
+        let stats = s.run(100_000);
+        assert!(s.is_done());
+        assert_eq!(stats.retired, vec![11, 11]);
+        assert_eq!(stats.mem.reads, 2);
+    }
+
+    #[test]
+    fn memory_bound_trace_is_slower_than_compute_bound() {
+        // Strided reads (one per line, distinct rows) vs pure bubbles.
+        let mut strided = Vec::new();
+        for i in 0..64u64 {
+            strided.push(TraceOp::Read(i * DramGeometry::ROW_BYTES * 8));
+        }
+        let mut s1 = small_system(vec![strided]);
+        let mem_stats = s1.run(10_000_000);
+        let mut s2 = small_system(vec![vec![TraceOp::Bubble(64)]]);
+        let cpu_stats = s2.run(10_000_000);
+        assert!(mem_stats.cycles > cpu_stats.cycles * 5);
+    }
+
+    #[test]
+    fn elapsed_ns_scales_with_clock() {
+        let stats = SystemStats {
+            cycles: 800,
+            retired: vec![],
+            mem: MemStats::default(),
+        };
+        assert!((stats.elapsed_ns(&TimingParams::ddr3_1600_11()) - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,192 @@
+//! JEDEC DDR3 timing parameters (JESD79-3F), expressed in memory-clock
+//! cycles.
+
+/// DDR3 timing parameter set. All values except [`TimingParams::t_ck_ns`]
+/// are in memory-clock cycles.
+///
+/// Field names follow the JEDEC specification; see the paper's §2 and
+/// Table 5 ("DDR3-1600 x8 11/11/11").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// Clock period in nanoseconds.
+    pub t_ck_ns: f64,
+    /// Activate to internal read/write delay (row-to-column delay).
+    pub t_rcd: u32,
+    /// Precharge period.
+    pub t_rp: u32,
+    /// CAS (read) latency.
+    pub t_cl: u32,
+    /// CAS write latency.
+    pub t_cwl: u32,
+    /// Activate to precharge (minimum row-open time).
+    pub t_ras: u32,
+    /// Activate to activate on the same bank (`tRAS + tRP`).
+    pub t_rc: u32,
+    /// Activate to activate on different banks of the same rank.
+    pub t_rrd: u32,
+    /// Four-activate window per rank.
+    pub t_faw: u32,
+    /// Write recovery (end of write data to precharge).
+    pub t_wr: u32,
+    /// Write-to-read turnaround.
+    pub t_wtr: u32,
+    /// Read to precharge.
+    pub t_rtp: u32,
+    /// Column-to-column (burst-to-burst) delay.
+    pub t_ccd: u32,
+    /// Data burst duration on the bus (BL8 = 4 clocks).
+    pub t_bl: u32,
+    /// Refresh cycle time (all-bank refresh duration).
+    pub t_rfc: u32,
+    /// Average refresh interval.
+    pub t_refi: u32,
+}
+
+impl TimingParams {
+    /// DDR3-1600 11-11-11 (tCK = 1.25 ns), the paper's Table 5
+    /// configuration.
+    #[must_use]
+    pub fn ddr3_1600_11() -> Self {
+        TimingParams {
+            t_ck_ns: 1.25,
+            t_rcd: 11,
+            t_rp: 11,
+            t_cl: 11,
+            t_cwl: 8,
+            t_ras: 28,
+            t_rc: 39,
+            t_rrd: 5,
+            t_faw: 24, // 30 ns: x8 devices with 1 KB device pages (2 KB-page class)
+            t_wr: 12,
+            t_wtr: 6,
+            t_rtp: 6,
+            t_ccd: 4,
+            t_bl: 4,
+            t_rfc: 208, // 260 ns for a 4 Gb device
+            t_refi: 6240,
+        }
+    }
+
+    /// DDR3-1333 9-9-9 (tCK = 1.5 ns), matching the vendor-B modules of the
+    /// paper's Table 12.
+    #[must_use]
+    pub fn ddr3_1333_9() -> Self {
+        TimingParams {
+            t_ck_ns: 1.5,
+            t_rcd: 9,
+            t_rp: 9,
+            t_cl: 9,
+            t_cwl: 7,
+            t_ras: 24,
+            t_rc: 33,
+            t_rrd: 4,
+            t_faw: 20,
+            t_wr: 10,
+            t_wtr: 5,
+            t_rtp: 5,
+            t_ccd: 4,
+            t_bl: 4,
+            t_rfc: 107, // 160 ns for a 2 Gb device
+            t_refi: 5200,
+        }
+    }
+
+    /// Adjusts refresh timing for device density, following vendor
+    /// datasheets: tRFC grows with capacity (90 ns @ 1 Gb, 160 ns @ 2 Gb,
+    /// 260 ns @ 4 Gb, 350 ns @ 8 Gb). Sub-gigabit and oversized densities
+    /// are clamped, mirroring the paper's parameter extrapolation for the
+    /// 64 MB and 64 GB points of Figure 7.
+    #[must_use]
+    pub fn with_density_gbit(mut self, gbit: u32) -> Self {
+        let rfc_ns = match gbit {
+            0..=1 => 90.0,
+            2 => 160.0,
+            3..=4 => 260.0,
+            5..=8 => 350.0,
+            _ => 350.0 + 90.0 * ((gbit as f64) / 8.0).log2(),
+        };
+        self.t_rfc = self.cycles_from_ns(rfc_ns);
+        self
+    }
+
+    /// Converts a cycle count to nanoseconds.
+    #[must_use]
+    pub fn ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.t_ck_ns
+    }
+
+    /// Converts nanoseconds to cycles, rounding up.
+    #[must_use]
+    pub fn cycles_from_ns(&self, ns: f64) -> u32 {
+        (ns / self.t_ck_ns).ceil() as u32
+    }
+
+    /// The row-cycle time in nanoseconds (`tRC × tCK`).
+    #[must_use]
+    pub fn row_cycle_ns(&self) -> f64 {
+        self.ns(u64::from(self.t_rc))
+    }
+
+    /// Peak data-bus bandwidth in bytes per nanosecond (both clock edges,
+    /// 8-byte bus).
+    #[must_use]
+    pub fn peak_bandwidth_bytes_per_ns(&self) -> f64 {
+        16.0 / self.t_ck_ns
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::ddr3_1600_11()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_1600_matches_headline_latencies() {
+        let t = TimingParams::ddr3_1600_11();
+        // 11-11-11 at 1.25 ns: tRCD = tRP = tCL = 13.75 ns.
+        assert!((t.ns(u64::from(t.t_rcd)) - 13.75).abs() < 1e-9);
+        // tRAS = 35 ns: the latency the paper reports for activate-class
+        // CODIC commands in Table 2.
+        assert!((t.ns(u64::from(t.t_ras)) - 35.0).abs() < 1e-9);
+        // tRC = tRAS + tRP.
+        assert_eq!(t.t_rc, t.t_ras + t.t_rp);
+    }
+
+    #[test]
+    fn ddr3_1333_is_slower_per_clock_but_fewer_cycles() {
+        let fast = TimingParams::ddr3_1600_11();
+        let slow = TimingParams::ddr3_1333_9();
+        assert!(slow.t_ck_ns > fast.t_ck_ns);
+        assert!(slow.t_rcd < fast.t_rcd);
+        assert_eq!(slow.t_rc, slow.t_ras + slow.t_rp);
+    }
+
+    #[test]
+    fn density_scaling_increases_trfc() {
+        let base = TimingParams::ddr3_1600_11();
+        let small = base.with_density_gbit(1);
+        let big = base.with_density_gbit(8);
+        let huge = base.with_density_gbit(64);
+        assert!(small.t_rfc < big.t_rfc);
+        assert!(big.t_rfc < huge.t_rfc);
+    }
+
+    #[test]
+    fn cycle_ns_round_trip() {
+        let t = TimingParams::ddr3_1600_11();
+        assert_eq!(t.cycles_from_ns(35.0), 28);
+        assert_eq!(t.cycles_from_ns(13.75), 11);
+        assert_eq!(t.cycles_from_ns(13.8), 12, "rounds up");
+    }
+
+    #[test]
+    fn peak_bandwidth_is_12_8_gbps_at_1600() {
+        let t = TimingParams::ddr3_1600_11();
+        assert!((t.peak_bandwidth_bytes_per_ns() - 12.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,75 @@
+//! Instruction-trace format driving the in-order cores.
+//!
+//! This plays the role of Ramulator's CPU trace front end (paper §6.2,
+//! Appendix A): each entry is a number of non-memory instructions followed
+//! by one memory operation.
+
+/// One operation of a core trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `n` non-memory instructions (1 per cycle on the in-order core).
+    Bubble(u32),
+    /// A load from the physical address.
+    Read(u64),
+    /// A store to the physical address.
+    Write(u64),
+    /// CLFLUSH: write the line back to DRAM (if dirty) and invalidate it,
+    /// stalling until the write is globally visible — the paper's TCG
+    /// baseline relies on this (§6.2).
+    Flush(u64),
+    /// An in-DRAM row operation (CODIC / RowClone / LISA-clone) initiated
+    /// at this point of the instruction stream, posted to the memory
+    /// controller without stalling the core — how the secure-deallocation
+    /// study models hardware-assisted zeroing (Appendix A).
+    RowOp {
+        /// Physical address selecting the target row.
+        addr: u64,
+        /// The operation.
+        op: crate::request::RowOpKind,
+        /// Bank-busy duration in memory cycles.
+        busy_cycles: u32,
+    },
+}
+
+/// Builds the store + CLFLUSH sequence that overwrites `[start, start+len)`
+/// with zeros, as the TCG firmware baseline does (§6.2): one store and one
+/// flush per 64 B line.
+#[must_use]
+pub fn zero_fill_trace(start: u64, len: u64) -> Vec<TraceOp> {
+    let mut ops = Vec::new();
+    let first = start / crate::geometry::LINE_BYTES;
+    let last = (start + len).div_ceil(crate::geometry::LINE_BYTES);
+    for line in first..last {
+        let addr = line * crate::geometry::LINE_BYTES;
+        ops.push(TraceOp::Write(addr));
+        ops.push(TraceOp::Flush(addr));
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_emits_store_flush_pairs() {
+        let t = zero_fill_trace(0, 256);
+        assert_eq!(t.len(), 8); // 4 lines × (write + flush)
+        assert_eq!(t[0], TraceOp::Write(0));
+        assert_eq!(t[1], TraceOp::Flush(0));
+        assert_eq!(t[6], TraceOp::Write(192));
+    }
+
+    #[test]
+    fn zero_fill_rounds_partial_lines_up() {
+        let t = zero_fill_trace(0, 65);
+        assert_eq!(t.len(), 4); // 2 lines
+    }
+
+    #[test]
+    fn zero_fill_handles_unaligned_start() {
+        let t = zero_fill_trace(32, 64);
+        assert_eq!(t[0], TraceOp::Write(0));
+        assert_eq!(t[2], TraceOp::Write(64));
+    }
+}

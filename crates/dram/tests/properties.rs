@@ -1,0 +1,84 @@
+//! Property-based tests of the DRAM simulator's invariants.
+
+use codic_dram::address::AddressMapper;
+use codic_dram::geometry::{DramGeometry, LINE_BYTES};
+use codic_dram::{MemRequest, MemoryController, ReqKind, TimingParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn address_mapping_round_trips(addr in any::<u64>()) {
+        let g = DramGeometry::module_mib(256);
+        let m = AddressMapper::new(g);
+        let line_addr = (addr % g.total_bytes()) / LINE_BYTES * LINE_BYTES;
+        prop_assert_eq!(m.encode(m.decode(line_addr)), line_addr);
+    }
+
+    #[test]
+    fn decoded_coordinates_are_in_range(addr in any::<u64>()) {
+        let g = DramGeometry::module_mib(64);
+        let d = AddressMapper::new(g).decode(addr);
+        prop_assert!(d.rank < g.ranks);
+        prop_assert!(d.bank < g.banks_per_rank);
+        prop_assert!(d.row < g.rows_per_bank);
+        prop_assert!(d.line < g.lines_per_row);
+    }
+
+    #[test]
+    fn every_accepted_request_eventually_completes(
+        addrs in proptest::collection::vec(0u64..(16 << 20), 1..40),
+        writes in proptest::collection::vec(any::<bool>(), 40),
+    ) {
+        let mut mc = MemoryController::new(
+            DramGeometry::module_mib(64),
+            TimingParams::ddr3_1600_11(),
+        );
+        mc.set_refresh_enabled(false);
+        let mut accepted = 0usize;
+        let mut completed = 0usize;
+        for (i, addr) in addrs.iter().enumerate() {
+            let kind = if writes[i % writes.len()] { ReqKind::Write } else { ReqKind::Read };
+            if mc.push(MemRequest::new(*addr, kind)).is_ok() {
+                accepted += 1;
+            }
+            mc.tick();
+            completed += mc.drain_completed().len();
+        }
+        let mut guard = 0u64;
+        while !mc.is_idle() {
+            mc.tick();
+            completed += mc.drain_completed().len();
+            guard += 1;
+            prop_assert!(guard < 2_000_000, "controller livelock");
+        }
+        completed += mc.drain_completed().len();
+        prop_assert_eq!(completed, accepted, "conservation of requests");
+    }
+
+    #[test]
+    fn command_counts_are_consistent(
+        lines in proptest::collection::vec(0u64..4096, 1..50),
+    ) {
+        let mut mc = MemoryController::new(
+            DramGeometry::module_mib(64),
+            TimingParams::ddr3_1600_11(),
+        );
+        mc.set_refresh_enabled(false);
+        let mut pushed = 0u64;
+        for l in &lines {
+            if mc.push(MemRequest::new(l * LINE_BYTES, ReqKind::Read)).is_ok() {
+                pushed += 1;
+            }
+            mc.tick();
+        }
+        mc.run_to_idle();
+        let s = *mc.stats();
+        prop_assert_eq!(s.reads, pushed);
+        // Every activate eventually matches at most one precharge, and
+        // column accesses equal hits (opened rows are charged to misses).
+        prop_assert!(s.precharges <= s.activates);
+        prop_assert_eq!(s.row_hits + s.row_misses, s.reads + s.row_misses);
+    }
+}

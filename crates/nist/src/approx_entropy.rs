@@ -1,0 +1,98 @@
+//! Test 12: Approximate entropy — SP 800-22 §2.12.
+
+use crate::special::igamc;
+use crate::TestResult;
+
+/// Default pattern length.
+pub const DEFAULT_M: u32 = 10;
+
+/// φ(m): Σ π_i · ln(π_i) over overlapping m-bit patterns (with
+/// wraparound).
+fn phi(bits: &[u8], m: u32) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let n = bits.len();
+    let mut counts = vec![0u64; 1usize << m];
+    let mask = (1usize << m) - 1;
+    let mut pattern = 0usize;
+    for &b in bits.iter().take(m as usize - 1) {
+        pattern = ((pattern << 1) | b as usize) & mask;
+    }
+    for i in 0..n {
+        let b = bits[(i + m as usize - 1) % n];
+        pattern = ((pattern << 1) | b as usize) & mask;
+        counts[pattern] += 1;
+    }
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let pi = c as f64 / n as f64;
+            pi * pi.ln()
+        })
+        .sum()
+}
+
+/// Runs the approximate-entropy test with pattern length chosen to satisfy
+/// `m < log2(n) − 5`.
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    let m = DEFAULT_M.min(((bits.len().max(2) as f64).log2() - 6.0).max(2.0) as u32);
+    test_with_m(bits, m)
+}
+
+/// Runs the test with an explicit pattern length.
+#[must_use]
+pub fn test_with_m(bits: &[u8], m: u32) -> TestResult {
+    let name = "approximate_entropy";
+    if bits.is_empty() {
+        return TestResult {
+            name,
+            p_value: f64::NAN,
+        };
+    }
+    let n = bits.len() as f64;
+    let ap_en = phi(bits, m) - phi(bits, m + 1);
+    let chi2 = 2.0 * n * (std::f64::consts::LN_2 - ap_en);
+    TestResult {
+        name,
+        p_value: igamc(2f64.powi(m as i32 - 1), chi2 / 2.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bits_from_str;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn nist_example_2_12_8() {
+        // ε = 0100110101, m = 3: ApEn = 0.502193, χ² = 4.817417,
+        // P-value = 0.261961.
+        let bits = bits_from_str("0100110101");
+        let r = test_with_m(&bits, 3);
+        assert!((r.p_value - 0.261_961).abs() < 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn random_stream_passes() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let bits: Vec<u8> = (0..262_144).map(|_| rng.gen_range(0..2) as u8).collect();
+        let r = test(&bits);
+        assert!(r.passed(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn constant_stream_fails() {
+        let r = test(&[1; 100_000]);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn empty_stream_is_not_applicable() {
+        assert!(test(&[]).p_value.is_nan());
+    }
+}

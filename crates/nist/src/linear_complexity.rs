@@ -1,0 +1,108 @@
+//! Test 10: Linear complexity — SP 800-22 §2.10.
+
+use crate::berlekamp::linear_complexity;
+use crate::special::igamc;
+use crate::TestResult;
+
+/// Block length (SP 800-22 recommends 500 ≤ M ≤ 5000).
+pub const BLOCK: usize = 500;
+
+/// Class probabilities for the T statistic (§2.10.4 step 5).
+const PI: [f64; 7] = [
+    0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833,
+];
+
+/// Runs the linear-complexity test with block length [`BLOCK`].
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    test_with_block(bits, BLOCK)
+}
+
+/// Runs the linear-complexity test with an explicit block length.
+#[must_use]
+pub fn test_with_block(bits: &[u8], m: usize) -> TestResult {
+    let name = "linear_complexity";
+    let n_blocks = bits.len() / m;
+    if n_blocks < 20 {
+        return TestResult {
+            name,
+            p_value: f64::NAN,
+        };
+    }
+    let m_f = m as f64;
+    let sign = if m % 2 == 0 { 1.0 } else { -1.0 };
+    let mu = m_f / 2.0 + (9.0 - sign) / 36.0 - (m_f / 3.0 + 2.0 / 9.0) / 2f64.powi(m as i32);
+    let mut counts = [0u64; 7];
+    for block in bits.chunks_exact(m).take(n_blocks) {
+        let l = linear_complexity(block) as f64;
+        // T = (−1)^M · (L − μ) + 2/9 (§2.10.4 step 4).
+        let t = sign * (l - mu) + 2.0 / 9.0;
+        let idx = if t <= -2.5 {
+            0
+        } else if t <= -1.5 {
+            1
+        } else if t <= -0.5 {
+            2
+        } else if t <= 0.5 {
+            3
+        } else if t <= 1.5 {
+            4
+        } else if t <= 2.5 {
+            5
+        } else {
+            6
+        };
+        counts[idx] += 1;
+    }
+    let n = n_blocks as f64;
+    let chi2: f64 = counts
+        .iter()
+        .zip(PI.iter())
+        .map(|(&c, &p)| (c as f64 - n * p) * (c as f64 - n * p) / (n * p))
+        .sum();
+    TestResult {
+        name,
+        p_value: igamc(3.0, chi2 / 2.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn random_stream_passes() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let bits: Vec<u8> = (0..100_000).map(|_| rng.gen_range(0..2) as u8).collect();
+        let r = test(&bits);
+        assert!(r.passed(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn lfsr_stream_fails() {
+        // A 16-bit LFSR has complexity 16 in every block: far from M/2.
+        let mut state: u16 = 0xACE1;
+        let bits: Vec<u8> = (0..100_000)
+            .map(|_| {
+                let bit = (state & 1) as u8;
+                let fb = ((state >> 0) ^ (state >> 2) ^ (state >> 3) ^ (state >> 5)) & 1;
+                state = (state >> 1) | (fb << 15);
+                bit
+            })
+            .collect();
+        let r = test(&bits);
+        assert!(!r.passed(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn class_probabilities_sum_to_one() {
+        assert!((PI.iter().sum::<f64>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn short_stream_is_not_applicable() {
+        assert!(test(&[1; 100]).p_value.is_nan());
+    }
+}

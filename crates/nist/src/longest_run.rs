@@ -1,0 +1,131 @@
+//! Test 4: Longest run of ones in a block — SP 800-22 §2.4.
+
+use crate::special::igamc;
+use crate::TestResult;
+
+struct Config {
+    m: usize,
+    categories: &'static [u32],
+    pi: &'static [f64],
+}
+
+/// Parameter selection per SP 800-22 §2.4.2 / §2.4.4.
+fn config(n: usize) -> Option<Config> {
+    if n >= 750_000 {
+        Some(Config {
+            m: 10_000,
+            categories: &[10, 11, 12, 13, 14, 15],
+            pi: &[0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727],
+        })
+    } else if n >= 6_272 {
+        Some(Config {
+            m: 128,
+            categories: &[4, 5, 6, 7, 8],
+            pi: &[0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124],
+        })
+    } else if n >= 128 {
+        Some(Config {
+            m: 8,
+            categories: &[1, 2, 3],
+            pi: &[0.2148, 0.3672, 0.2305, 0.1875],
+        })
+    } else {
+        None
+    }
+}
+
+fn longest_run(block: &[u8]) -> u32 {
+    let mut best = 0u32;
+    let mut current = 0u32;
+    for &b in block {
+        if b == 1 {
+            current += 1;
+            best = best.max(current);
+        } else {
+            current = 0;
+        }
+    }
+    best
+}
+
+/// Runs the longest-run-of-ones test.
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    let Some(cfg) = config(bits.len()) else {
+        return TestResult {
+            name: "longest_run_ones_in_a_block",
+            p_value: f64::NAN,
+        };
+    };
+    let k = cfg.pi.len() - 1;
+    let mut counts = vec![0u64; k + 1];
+    let mut n_blocks = 0u64;
+    for block in bits.chunks_exact(cfg.m) {
+        n_blocks += 1;
+        let run = longest_run(block);
+        // Bucket: below/equal first category → 0; above last → k.
+        let lo = cfg.categories[0];
+        let hi = *cfg.categories.last().expect("categories non-empty");
+        let idx = if run <= lo {
+            0
+        } else if run > hi {
+            k
+        } else {
+            (run - lo) as usize
+        };
+        counts[idx] += 1;
+    }
+    let mut chi2 = 0.0;
+    for (i, &c) in counts.iter().enumerate() {
+        let expected = n_blocks as f64 * cfg.pi[i];
+        chi2 += (c as f64 - expected) * (c as f64 - expected) / expected;
+    }
+    TestResult {
+        name: "longest_run_ones_in_a_block",
+        p_value: igamc(k as f64 / 2.0, chi2 / 2.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn longest_run_helper() {
+        assert_eq!(longest_run(&[1, 1, 0, 1, 1, 1, 0]), 3);
+        assert_eq!(longest_run(&[0, 0, 0]), 0);
+        assert_eq!(longest_run(&[1; 5]), 5);
+    }
+
+    #[test]
+    fn random_stream_passes_all_regimes() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for n in [10_000, 800_000] {
+            let bits: Vec<u8> = (0..n).map(|_| rng.gen_range(0..2) as u8).collect();
+            let r = test(&bits);
+            assert!(r.passed(), "n = {n}: p = {}", r.p_value);
+        }
+    }
+
+    #[test]
+    fn alternating_stream_fails() {
+        // Longest run is always 1: far below expectation.
+        let bits: Vec<u8> = (0..10_000).map(|i| (i % 2) as u8).collect();
+        assert!(!test(&bits).passed());
+    }
+
+    #[test]
+    fn short_stream_is_not_applicable() {
+        assert!(test(&[1, 0, 1]).p_value.is_nan());
+    }
+
+    #[test]
+    fn parameter_regimes_follow_the_spec() {
+        assert_eq!(config(128).unwrap().m, 8);
+        assert_eq!(config(6_272).unwrap().m, 128);
+        assert_eq!(config(750_000).unwrap().m, 10_000);
+        assert!(config(100).is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! Binary matrix rank over GF(2), used by the rank test.
+
+/// Computes the rank of a bit matrix given as rows of u64 words (up to 64
+/// columns).
+#[must_use]
+pub fn rank_gf2(rows: &[u64], cols: u32) -> u32 {
+    debug_assert!(cols <= 64);
+    let mut rows = rows.to_vec();
+    let mut rank = 0u32;
+    for col in (0..cols).rev() {
+        let mask = 1u64 << col;
+        // Find a pivot row at or below `rank`.
+        let Some(pivot) = (rank as usize..rows.len()).find(|&r| rows[r] & mask != 0) else {
+            continue;
+        };
+        rows.swap(rank as usize, pivot);
+        let pivot_row = rows[rank as usize];
+        for (r, row) in rows.iter_mut().enumerate() {
+            if r != rank as usize && *row & mask != 0 {
+                *row ^= pivot_row;
+            }
+        }
+        rank += 1;
+        if rank as usize == rows.len() {
+            break;
+        }
+    }
+    rank
+}
+
+/// Packs a 32×32 block of bits (row-major) into 32 row words.
+///
+/// # Panics
+///
+/// Panics if fewer than 1024 bits are supplied.
+#[must_use]
+pub fn pack_32x32(bits: &[u8]) -> Vec<u64> {
+    assert!(bits.len() >= 1024, "need 1024 bits for a 32×32 matrix");
+    (0..32)
+        .map(|r| {
+            let mut word = 0u64;
+            for c in 0..32 {
+                word = (word << 1) | u64::from(bits[r * 32 + c]);
+            }
+            word
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_full_rank() {
+        let rows: Vec<u64> = (0..32).map(|i| 1u64 << i).collect();
+        assert_eq!(rank_gf2(&rows, 32), 32);
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        assert_eq!(rank_gf2(&[0; 8], 8), 0);
+    }
+
+    #[test]
+    fn duplicate_rows_reduce_rank() {
+        let rows = [0b1010, 0b1010, 0b0110];
+        assert_eq!(rank_gf2(&rows, 4), 2);
+    }
+
+    #[test]
+    fn xor_dependent_rows_reduce_rank() {
+        // r3 = r1 XOR r2.
+        let rows = [0b1100, 0b0110, 0b1010];
+        assert_eq!(rank_gf2(&rows, 4), 2);
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        let mut bits = vec![0u8; 1024];
+        // Identity: bit (r, r) set.
+        for r in 0..32 {
+            bits[r * 32 + r] = 1;
+        }
+        let rows = pack_32x32(&bits);
+        assert_eq!(rank_gf2(&rows, 32), 32);
+    }
+}

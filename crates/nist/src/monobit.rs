@@ -1,0 +1,49 @@
+//! Test 1: Frequency (monobit) — SP 800-22 §2.1.
+
+use crate::special::erfc;
+use crate::TestResult;
+
+/// Runs the monobit test.
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    let n = bits.len() as f64;
+    let s: i64 = bits.iter().map(|&b| if b == 1 { 1i64 } else { -1 }).sum();
+    let s_obs = (s.abs() as f64) / n.sqrt();
+    TestResult {
+        name: "monobit",
+        p_value: erfc(s_obs / std::f64::consts::SQRT_2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bits_from_str;
+
+    #[test]
+    fn nist_example_2_1_8() {
+        // ε = 1011010101, n = 10: P-value = 0.527089.
+        let r = test(&bits_from_str("1011010101"));
+        assert!((r.p_value - 0.527_089).abs() < 1e-5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn balanced_stream_passes() {
+        let bits: Vec<u8> = (0..1000).map(|i| (i % 2) as u8).collect();
+        assert!((test(&bits).p_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_stream_fails() {
+        let r = test(&[1; 1000]);
+        assert!(r.p_value < 1e-10);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn slight_bias_fails_at_scale() {
+        // 52 % ones over 100k bits is a 12-sigma deviation.
+        let bits: Vec<u8> = (0..100_000).map(|i| u8::from(i % 100 < 52)).collect();
+        assert!(!test(&bits).passed());
+    }
+}

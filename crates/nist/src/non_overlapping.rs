@@ -1,0 +1,121 @@
+//! Test 7: Non-overlapping template matching — SP 800-22 §2.7.
+
+use crate::special::igamc;
+use crate::templates::standard_m9_templates;
+use crate::TestResult;
+
+/// Number of blocks the stream is split into (§2.7.2 recommends N = 8).
+pub const N_BLOCKS: usize = 8;
+
+/// Counts non-overlapping occurrences of `template` in `block` (on a
+/// match, the scan skips the whole template).
+fn count_non_overlapping(block: &[u8], template: &[u8]) -> u64 {
+    let m = template.len();
+    let mut count = 0;
+    let mut i = 0;
+    while i + m <= block.len() {
+        if &block[i..i + m] == template {
+            count += 1;
+            i += m;
+        } else {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// p-value for one template over the stream's N blocks.
+#[must_use]
+pub fn template_p_value(bits: &[u8], template: &[u8]) -> f64 {
+    let m = template.len();
+    let block_len = bits.len() / N_BLOCKS;
+    if block_len < 2 * m {
+        return f64::NAN;
+    }
+    let mu = (block_len - m + 1) as f64 / 2f64.powi(m as i32);
+    let sigma2 = block_len as f64
+        * (1.0 / 2f64.powi(m as i32) - (2.0 * m as f64 - 1.0) / 2f64.powi(2 * m as i32));
+    let mut chi2 = 0.0;
+    for b in 0..N_BLOCKS {
+        let w = count_non_overlapping(&bits[b * block_len..(b + 1) * block_len], template) as f64;
+        chi2 += (w - mu) * (w - mu) / sigma2;
+    }
+    igamc(N_BLOCKS as f64 / 2.0, chi2 / 2.0)
+}
+
+/// Runs the non-overlapping template test over the standard 148-template
+/// m = 9 set; the reported p-value is the mean over templates (the paper's
+/// Table 10 reports a single number per test).
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    let name = "non_overlapping_template_matching";
+    if bits.len() < N_BLOCKS * 64 {
+        return TestResult {
+            name,
+            p_value: f64::NAN,
+        };
+    }
+    let templates = standard_m9_templates();
+    let ps: Vec<f64> = templates
+        .iter()
+        .map(|t| template_p_value(bits, t))
+        .filter(|p| p.is_finite())
+        .collect();
+    if ps.is_empty() {
+        return TestResult {
+            name,
+            p_value: f64::NAN,
+        };
+    }
+    TestResult {
+        name,
+        p_value: ps.iter().sum::<f64>() / ps.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn counting_skips_matched_region() {
+        // "111" in "1111110": matches at 0 and 3 only.
+        assert_eq!(count_non_overlapping(&[1, 1, 1, 1, 1, 1, 0], &[1, 1, 1]), 2);
+        assert_eq!(count_non_overlapping(&[0, 0, 0], &[1]), 0);
+    }
+
+    #[test]
+    fn nist_example_2_7_8_counts() {
+        // ε = 10100100101110010110, template 001, two blocks of 10:
+        // W1 = 2 (matches at offsets 3 and 6), W2 = 1 (offset 3).
+        let bits = crate::bits::bits_from_str("10100100101110010110");
+        assert_eq!(count_non_overlapping(&bits[..10], &[0, 0, 1]), 2);
+        assert_eq!(count_non_overlapping(&bits[10..], &[0, 0, 1]), 1);
+    }
+
+    #[test]
+    fn random_stream_passes() {
+        let mut rng = SmallRng::seed_from_u64(47);
+        let bits: Vec<u8> = (0..200_000).map(|_| rng.gen_range(0..2) as u8).collect();
+        let r = test(&bits);
+        assert!(r.passed(), "p = {}", r.p_value);
+        // Mean of many uniform p-values concentrates near 0.5.
+        assert!((r.p_value - 0.5).abs() < 0.15, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn template_flood_fails_that_template() {
+        // A stream of repeated 000000001 contains template 000000001 in
+        // every position of every block: far above expectation.
+        let bits: Vec<u8> = (0..200_000).map(|i| u8::from(i % 9 == 8)).collect();
+        let p = template_p_value(&bits, &[0, 0, 0, 0, 0, 0, 0, 0, 1]);
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn short_stream_is_not_applicable() {
+        assert!(test(&[1; 100]).p_value.is_nan());
+    }
+}

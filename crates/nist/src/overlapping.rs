@@ -1,0 +1,89 @@
+//! Test 8: Overlapping template matching — SP 800-22 §2.8.
+
+use crate::special::igamc;
+use crate::TestResult;
+
+/// Template length (all-ones template of length 9, §2.8.2).
+pub const M: usize = 9;
+
+/// Block length (§2.8.8 example parameters for n = 10⁶).
+pub const BLOCK: usize = 1032;
+
+/// Class probabilities π₀..π₅ for K = 5 (§2.8.4, Hamano–Kaneko values).
+const PI: [f64; 6] = [
+    0.364_091, 0.185_659, 0.139_381, 0.100_571, 0.070_432_3, 0.139_865,
+];
+
+/// Counts overlapping occurrences of the all-ones template in a block.
+fn count_overlapping(block: &[u8]) -> u64 {
+    block.windows(M).filter(|w| w.iter().all(|&b| b == 1)).count() as u64
+}
+
+/// Runs the overlapping template test.
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    let name = "overlapping_template_matching";
+    let n_blocks = bits.len() / BLOCK;
+    if n_blocks < 5 {
+        return TestResult {
+            name,
+            p_value: f64::NAN,
+        };
+    }
+    let mut counts = [0u64; 6];
+    for block in bits.chunks_exact(BLOCK).take(n_blocks) {
+        let occurrences = count_overlapping(block).min(5) as usize;
+        counts[occurrences] += 1;
+    }
+    let n = n_blocks as f64;
+    let chi2: f64 = counts
+        .iter()
+        .zip(PI.iter())
+        .map(|(&c, &p)| (c as f64 - n * p) * (c as f64 - n * p) / (n * p))
+        .sum();
+    TestResult {
+        name,
+        p_value: igamc(2.5, chi2 / 2.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn overlapping_count_includes_overlaps() {
+        let mut block = vec![0u8; 20];
+        for b in block.iter_mut().take(11) {
+            *b = 1;
+        }
+        // Eleven ones hold 3 overlapping length-9 windows.
+        assert_eq!(count_overlapping(&block), 3);
+    }
+
+    #[test]
+    fn class_probabilities_sum_to_one() {
+        assert!((PI.iter().sum::<f64>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn random_stream_passes() {
+        let mut rng = SmallRng::seed_from_u64(53);
+        let bits: Vec<u8> = (0..1_000_000).map(|_| rng.gen_range(0..2) as u8).collect();
+        let r = test(&bits);
+        assert!(r.passed(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn ones_flood_fails() {
+        let bits = vec![1u8; 200_000];
+        assert!(!test(&bits).passed());
+    }
+
+    #[test]
+    fn short_stream_is_not_applicable() {
+        assert!(test(&[1; 1000]).p_value.is_nan());
+    }
+}

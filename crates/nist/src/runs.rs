@@ -1,0 +1,69 @@
+//! Test 3: Runs — SP 800-22 §2.3.
+
+use crate::special::erfc;
+use crate::TestResult;
+
+/// Runs the runs test.
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    let n = bits.len() as f64;
+    if bits.is_empty() {
+        return TestResult {
+            name: "runs",
+            p_value: f64::NAN,
+        };
+    }
+    let pi = crate::bits::ones(bits) as f64 / n;
+    // Prerequisite frequency check (§2.3.4 step 2).
+    if (pi - 0.5).abs() >= 2.0 / n.sqrt() {
+        return TestResult {
+            name: "runs",
+            p_value: 0.0,
+        };
+    }
+    let v_obs = 1 + bits.windows(2).filter(|w| w[0] != w[1]).count();
+    let num = (v_obs as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
+    TestResult {
+        name: "runs",
+        p_value: erfc(num / den),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bits_from_str;
+
+    #[test]
+    fn nist_example_2_3_8() {
+        // ε = 1001101011, n = 10: V = 7, P-value = 0.147232.
+        let r = test(&bits_from_str("1001101011"));
+        assert!((r.p_value - 0.147_232).abs() < 1e-5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn alternating_stream_fails_with_too_many_runs() {
+        let bits: Vec<u8> = (0..10_000).map(|i| (i % 2) as u8).collect();
+        assert!(!test(&bits).passed());
+    }
+
+    #[test]
+    fn long_runs_fail() {
+        // Balanced ones count but clustered: half ones then half zeros.
+        let mut bits = vec![1u8; 5000];
+        bits.extend(vec![0u8; 5000]);
+        assert!(!test(&bits).passed());
+    }
+
+    #[test]
+    fn biased_stream_short_circuits_to_zero() {
+        let r = test(&[1; 10_000]);
+        assert_eq!(r.p_value, 0.0);
+    }
+
+    #[test]
+    fn empty_stream_is_not_applicable() {
+        assert!(test(&[]).p_value.is_nan());
+    }
+}

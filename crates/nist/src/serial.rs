@@ -1,0 +1,106 @@
+//! Test 11: Serial — SP 800-22 §2.11.
+
+use crate::special::igamc;
+use crate::TestResult;
+
+/// Default pattern length (must satisfy `m < log2(n) − 2`).
+pub const DEFAULT_M: u32 = 16;
+
+/// ψ²_m statistic: overlapping m-bit pattern frequencies with wraparound.
+fn psi_squared(bits: &[u8], m: u32) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let n = bits.len();
+    let mut counts = vec![0u64; 1usize << m];
+    let mask = (1usize << m) - 1;
+    let mut pattern = 0usize;
+    // Prime the first m−1 bits (with wraparound bits from the start).
+    for &b in bits.iter().take(m as usize - 1) {
+        pattern = ((pattern << 1) | b as usize) & mask;
+    }
+    for i in 0..n {
+        let b = bits[(i + m as usize - 1) % n];
+        pattern = ((pattern << 1) | b as usize) & mask;
+        counts[pattern] += 1;
+    }
+    let sum_sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    (1usize << m) as f64 / n as f64 * sum_sq - n as f64
+}
+
+/// Runs the serial test; returns the smaller of the two p-values
+/// (`∇ψ²` and `∇²ψ²`), the conservative single-number summary.
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    let m = DEFAULT_M.min(((bits.len() as f64).log2() - 3.0).max(2.0) as u32);
+    test_with_m(bits, m)
+}
+
+/// Runs the serial test with an explicit pattern length.
+#[must_use]
+pub fn test_with_m(bits: &[u8], m: u32) -> TestResult {
+    let name = "serial";
+    if bits.is_empty() || m < 2 {
+        return TestResult {
+            name,
+            p_value: f64::NAN,
+        };
+    }
+    let psi_m = psi_squared(bits, m);
+    let psi_m1 = psi_squared(bits, m - 1);
+    let psi_m2 = psi_squared(bits, m.saturating_sub(2));
+    let d1 = psi_m - psi_m1;
+    let d2 = psi_m - 2.0 * psi_m1 + psi_m2;
+    let p1 = igamc(2f64.powi(m as i32 - 2), d1 / 2.0);
+    let p2 = igamc(2f64.powi(m as i32 - 3), d2 / 2.0);
+    TestResult {
+        name,
+        p_value: p1.min(p2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bits_from_str;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn nist_example_psi_values() {
+        // SP 800-22 §2.11.8: ε = 0011011101, m = 3:
+        // ψ²₃ = 2.8, ψ²₂ = 1.2, ψ²₁ = 0.4.
+        let bits = bits_from_str("0011011101");
+        assert!((psi_squared(&bits, 3) - 2.8).abs() < 1e-9);
+        assert!((psi_squared(&bits, 2) - 1.2).abs() < 1e-9);
+        assert!((psi_squared(&bits, 1) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nist_example_p_values() {
+        // ∇ψ² = 1.6, ∇²ψ² = 0.8 → P1 = igamc(2, 0.8) = 0.808792,
+        // P2 = igamc(1, 0.4) = 0.670320; we report the min.
+        let bits = bits_from_str("0011011101");
+        let r = test_with_m(&bits, 3);
+        assert!((r.p_value - 0.670_320).abs() < 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn random_stream_passes() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let bits: Vec<u8> = (0..524_288).map(|_| rng.gen_range(0..2) as u8).collect();
+        let r = test(&bits);
+        assert!(r.passed(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn periodic_stream_fails() {
+        let bits: Vec<u8> = (0..524_288).map(|i| u8::from(i % 4 < 2)).collect();
+        assert!(!test(&bits).passed());
+    }
+
+    #[test]
+    fn empty_stream_is_not_applicable() {
+        assert!(test(&[]).p_value.is_nan());
+    }
+}

@@ -1,0 +1,86 @@
+//! Running the full 15-test suite (the paper's Table 10).
+
+use crate::TestResult;
+
+/// Results of a full suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteResult {
+    /// One row per test, in Table 10 order.
+    pub rows: Vec<TestResult>,
+}
+
+impl SuiteResult {
+    /// Whether every applicable test passed.
+    #[must_use]
+    pub fn all_pass(&self) -> bool {
+        self.rows.iter().all(TestResult::passed)
+    }
+
+    /// Number of tests that produced a finite p-value.
+    #[must_use]
+    pub fn applicable(&self) -> usize {
+        self.rows.iter().filter(|r| r.p_value.is_finite()).count()
+    }
+}
+
+/// Runs all 15 SP 800-22 tests in the order of the paper's Table 10.
+#[must_use]
+pub fn run_suite(bits: &[u8]) -> SuiteResult {
+    SuiteResult {
+        rows: vec![
+            crate::monobit::test(bits),
+            crate::block_frequency::test(bits),
+            crate::runs::test(bits),
+            crate::longest_run::test(bits),
+            crate::binary_rank::test(bits),
+            crate::dft::test(bits),
+            crate::non_overlapping::test(bits),
+            crate::overlapping::test(bits),
+            crate::universal::test(bits),
+            crate::linear_complexity::test(bits),
+            crate::serial::test(bits),
+            crate::approx_entropy::test(bits),
+            crate::cusum::test(bits),
+            crate::excursions::test(bits),
+            crate::excursions_variant::test(bits),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn suite_has_fifteen_tests_in_table10_order() {
+        let r = run_suite(&[1, 0, 1, 0]);
+        assert_eq!(r.rows.len(), 15);
+        assert_eq!(r.rows[0].name, "monobit");
+        assert_eq!(r.rows[14].name, "random_excursion_variant");
+    }
+
+    #[test]
+    fn good_rng_passes_every_applicable_test() {
+        // 2 Mbit, as the paper's 250 KB streams (§6.1.3).
+        let mut rng = SmallRng::seed_from_u64(0xC0D1C);
+        let bits: Vec<u8> = (0..2_000_000).map(|_| rng.gen_range(0..2) as u8).collect();
+        let r = run_suite(&bits);
+        for row in &r.rows {
+            assert!(row.passed(), "{} failed with p = {}", row.name, row.p_value);
+        }
+        // Every test except possibly the two random-excursions tests
+        // (which require >= 500 zero crossings of this particular walk)
+        // is applicable at this length.
+        assert!(r.applicable() >= 13, "applicable = {}", r.applicable());
+    }
+
+    #[test]
+    fn constant_stream_fails_many_tests() {
+        let r = run_suite(&vec![1u8; 200_000]);
+        let failures = r.rows.iter().filter(|t| !t.passed()).count();
+        assert!(failures >= 5, "only {failures} failures");
+        assert!(!r.all_pass());
+    }
+}

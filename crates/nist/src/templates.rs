@@ -1,0 +1,74 @@
+//! Aperiodic template generation for the non-overlapping template test.
+
+/// Returns true when the template cannot overlap a shifted copy of itself:
+/// for every shift `1 ≤ j < m`, the last `m − j` bits differ from the first
+/// `m − j` bits.
+#[must_use]
+pub fn is_aperiodic(template: &[u8]) -> bool {
+    let m = template.len();
+    (1..m).all(|j| template[j..] != template[..m - j])
+}
+
+/// All aperiodic templates of length `m` in lexicographic order.
+#[must_use]
+pub fn aperiodic_templates(m: u32) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for value in 0..(1u32 << m) {
+        let bits: Vec<u8> = (0..m).rev().map(|i| ((value >> i) & 1) as u8).collect();
+        if is_aperiodic(&bits) {
+            out.push(bits);
+        }
+    }
+    out
+}
+
+/// The standard template set for the non-overlapping test at `m = 9`:
+/// NIST's suite ships 148 templates; we use the first 148 aperiodic
+/// templates in lexicographic order (a fixed, documented choice — the test
+/// statistic does not depend on which aperiodic templates are used).
+#[must_use]
+pub fn standard_m9_templates() -> Vec<Vec<u8>> {
+    let mut all = aperiodic_templates(9);
+    all.truncate(148);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_templates_are_rejected() {
+        assert!(!is_aperiodic(&[1, 0, 1])); // "101" overlaps itself at shift 2
+        assert!(!is_aperiodic(&[1, 1])); // "11" overlaps at shift 1
+        assert!(!is_aperiodic(&[1, 0, 1, 0])); // period 2
+    }
+
+    #[test]
+    fn known_aperiodic_templates() {
+        assert!(is_aperiodic(&[0, 0, 1])); // NIST lists 001 for m = 3
+        assert!(is_aperiodic(&[0, 1, 1]));
+        assert!(is_aperiodic(&[1, 0, 0]));
+        assert!(is_aperiodic(&[1, 1, 0]));
+    }
+
+    #[test]
+    fn m3_has_four_aperiodic_templates() {
+        // NIST SP 800-22 Table: 4 templates for m = 3.
+        assert_eq!(aperiodic_templates(3).len(), 4);
+    }
+
+    #[test]
+    fn m9_standard_set_has_148_templates() {
+        let t = standard_m9_templates();
+        assert_eq!(t.len(), 148);
+        assert!(t.iter().all(|b| b.len() == 9 && is_aperiodic(b)));
+        // Deterministic order: first template is 000000001.
+        assert_eq!(t[0], vec![0, 0, 0, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn aperiodic_count_grows_with_length() {
+        assert!(aperiodic_templates(5).len() > aperiodic_templates(3).len());
+    }
+}

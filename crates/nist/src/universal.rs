@@ -1,0 +1,140 @@
+//! Test 9: Maurer's "universal statistical" test — SP 800-22 §2.9.
+
+use crate::special::erfc;
+use crate::TestResult;
+
+/// `(L, expected value, variance)` rows from SP 800-22 Table 2.9.1.
+const TABLE: [(u32, f64, f64); 11] = [
+    (6, 5.217_705_2, 2.954),
+    (7, 6.196_250_7, 3.125),
+    (8, 7.183_665_6, 3.238),
+    (9, 8.176_424_8, 3.311),
+    (10, 9.172_324_3, 3.356),
+    (11, 10.170_032, 3.384),
+    (12, 11.168_765, 3.401),
+    (13, 12.168_070, 3.410),
+    (14, 13.167_693, 3.416),
+    (15, 14.167_488, 3.419),
+    (16, 15.167_379, 3.421),
+];
+
+/// Chooses the block length L from the stream length (§2.9.7).
+fn choose_l(n: usize) -> Option<u32> {
+    let thresholds: [(usize, u32); 11] = [
+        (387_840, 6),
+        (904_960, 7),
+        (2_068_480, 8),
+        (4_654_080, 9),
+        (10_342_400, 10),
+        (22_753_280, 11),
+        (49_643_520, 12),
+        (107_560_960, 13),
+        (231_669_760, 14),
+        (496_435_200, 15),
+        (1_059_061_760, 16),
+    ];
+    let mut l = None;
+    for (min_n, candidate) in thresholds {
+        if n >= min_n {
+            l = Some(candidate);
+        }
+    }
+    l
+}
+
+/// Runs Maurer's universal test with automatic parameter selection.
+#[must_use]
+pub fn test(bits: &[u8]) -> TestResult {
+    let Some(l) = choose_l(bits.len()) else {
+        return TestResult {
+            name: "maurers_universal",
+            p_value: f64::NAN,
+        };
+    };
+    test_with_l(bits, l)
+}
+
+/// Runs the test with an explicit block length `L` (6–16); `Q = 10·2^L`
+/// initialization blocks.
+#[must_use]
+pub fn test_with_l(bits: &[u8], l: u32) -> TestResult {
+    let name = "maurers_universal";
+    let Some(&(_, expected, variance)) = TABLE.iter().find(|row| row.0 == l) else {
+        return TestResult {
+            name,
+            p_value: f64::NAN,
+        };
+    };
+    let q = 10 * (1usize << l);
+    let total_blocks = bits.len() / l as usize;
+    if total_blocks <= q {
+        return TestResult {
+            name,
+            p_value: f64::NAN,
+        };
+    }
+    let k = total_blocks - q;
+    let mut last_seen = vec![0u64; 1 << l];
+    let block_value = |i: usize| -> usize {
+        let mut v = 0usize;
+        for j in 0..l as usize {
+            v = (v << 1) | bits[i * l as usize + j] as usize;
+        }
+        v
+    };
+    for i in 0..q {
+        last_seen[block_value(i)] = (i + 1) as u64;
+    }
+    let mut sum = 0.0;
+    for i in q..total_blocks {
+        let v = block_value(i);
+        let distance = (i + 1) as u64 - last_seen[v];
+        sum += (distance as f64).log2();
+        last_seen[v] = (i + 1) as u64;
+    }
+    let fn_stat = sum / k as f64;
+    let c = 0.7 - 0.8 / f64::from(l)
+        + (4.0 + 32.0 / f64::from(l)) * (k as f64).powf(-3.0 / f64::from(l)) / 15.0;
+    let sigma = c * (variance / k as f64).sqrt();
+    TestResult {
+        name,
+        p_value: erfc(((fn_stat - expected) / sigma).abs() / std::f64::consts::SQRT_2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn l_selection_follows_spec() {
+        assert_eq!(choose_l(100_000), None);
+        assert_eq!(choose_l(400_000), Some(6));
+        assert_eq!(choose_l(1_000_000), Some(7));
+        assert_eq!(choose_l(2_100_000), Some(8));
+    }
+
+    #[test]
+    fn random_stream_passes() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let bits: Vec<u8> = (0..400_000).map(|_| rng.gen_range(0..2) as u8).collect();
+        let r = test(&bits);
+        assert!(r.passed(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn repetitive_stream_fails() {
+        // A short repeating pattern makes block distances tiny.
+        let pattern = [1u8, 1, 0, 1, 0, 0, 1, 0, 1, 1, 0, 0];
+        let bits: Vec<u8> = (0..400_000).map(|i| pattern[i % pattern.len()]).collect();
+        let r = test(&bits);
+        assert!(!r.passed(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn short_stream_is_not_applicable() {
+        assert!(test(&[1; 1000]).p_value.is_nan());
+    }
+}

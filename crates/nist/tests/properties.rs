@@ -1,0 +1,48 @@
+//! Property-based tests of the NIST suite's structural invariants.
+
+use codic_nist::extractor::von_neumann;
+use codic_nist::special::{erfc, igam, igamc};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn p_values_are_probabilities(bits in proptest::collection::vec(0u8..2, 10..2000)) {
+        for result in [
+            codic_nist::monobit::test(&bits),
+            codic_nist::runs::test(&bits),
+            codic_nist::cusum::test(&bits),
+            codic_nist::serial::test(&bits),
+            codic_nist::approx_entropy::test(&bits),
+        ] {
+            if result.p_value.is_finite() {
+                prop_assert!(
+                    (-1e-9..=1.0 + 1e-9).contains(&result.p_value),
+                    "{}: p = {}",
+                    result.name,
+                    result.p_value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn von_neumann_output_is_shorter_and_binary(bits in proptest::collection::vec(0u8..2, 0..4000)) {
+        let out = von_neumann(&bits);
+        prop_assert!(out.len() <= bits.len() / 2);
+        prop_assert!(out.iter().all(|&b| b <= 1));
+    }
+
+    #[test]
+    fn incomplete_gamma_halves_sum_to_one(a in 0.1f64..50.0, x in 0.0f64..100.0) {
+        let sum = igam(a, x) + igamc(a, x);
+        prop_assert!((sum - 1.0).abs() < 1e-9, "P + Q = {sum}");
+    }
+
+    #[test]
+    fn erfc_is_monotone_decreasing(x in -5.0f64..5.0) {
+        prop_assert!(erfc(x) >= erfc(x + 0.01) - 1e-12);
+        prop_assert!((0.0..=2.0).contains(&erfc(x)));
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-command and whole-run energy computation.
+
+use codic_dram::{MemStats, TimingParams};
+
+use crate::idd::IddValues;
+
+/// Rank-level DRAM energy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    idd: IddValues,
+    timing: TimingParams,
+    devices: u32,
+}
+
+/// Energy attributed to each command class over a run, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Activate + precharge row cycles.
+    pub act_pre_nj: f64,
+    /// Read and write bursts.
+    pub read_write_nj: f64,
+    /// Refresh operations.
+    pub refresh_nj: f64,
+    /// Row operations (CODIC / RowClone / LISA-clone).
+    pub row_op_nj: f64,
+    /// Background (standby) energy over the elapsed time.
+    pub background_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nanojoules.
+    #[must_use]
+    pub fn total_nj(&self) -> f64 {
+        self.act_pre_nj + self.read_write_nj + self.refresh_nj + self.row_op_nj + self.background_nj
+    }
+
+    /// Total energy in millijoules.
+    #[must_use]
+    pub fn total_mj(&self) -> f64 {
+        self.total_nj() * 1e-6
+    }
+}
+
+impl EnergyModel {
+    /// Creates a model for a rank of `devices` chips.
+    #[must_use]
+    pub fn new(idd: IddValues, timing: TimingParams, devices: u32) -> Self {
+        EnergyModel {
+            idd,
+            timing,
+            devices,
+        }
+    }
+
+    /// The default paper configuration: DDR3-1600, 8 × x8 devices.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        EnergyModel::new(IddValues::ddr3_1600(), TimingParams::ddr3_1600_11(), 8)
+    }
+
+    fn rank_factor(&self) -> f64 {
+        self.idd.vdd * f64::from(self.devices) * 1e-3 // mA → A
+    }
+
+    /// Energy of one full activate–precharge row cycle in nanojoules
+    /// (DRAMPower's `E_act + E_pre`): the IDD0 charge over tRC minus the
+    /// background charge that would have flowed anyway.
+    #[must_use]
+    pub fn act_pre_nj(&self) -> f64 {
+        let t = &self.timing;
+        let t_rc = t.ns(u64::from(t.t_rc));
+        let t_ras = t.ns(u64::from(t.t_ras));
+        let t_rp = t_rc - t_ras;
+        let charge_nc =
+            self.idd.idd0_ma * t_rc - (self.idd.idd3n_ma * t_ras + self.idd.idd2n_ma * t_rp);
+        charge_nc * self.rank_factor()
+    }
+
+    /// Energy of one read burst in nanojoules.
+    #[must_use]
+    pub fn read_burst_nj(&self) -> f64 {
+        let dt = self.timing.ns(u64::from(self.timing.t_bl));
+        (self.idd.idd4r_ma - self.idd.idd3n_ma) * dt * self.rank_factor()
+    }
+
+    /// Energy of one write burst in nanojoules.
+    #[must_use]
+    pub fn write_burst_nj(&self) -> f64 {
+        let dt = self.timing.ns(u64::from(self.timing.t_bl));
+        (self.idd.idd4w_ma - self.idd.idd3n_ma) * dt * self.rank_factor()
+    }
+
+    /// Energy of one all-bank refresh in nanojoules.
+    #[must_use]
+    pub fn refresh_nj(&self) -> f64 {
+        let dt = self.timing.ns(u64::from(self.timing.t_rfc));
+        (self.idd.idd5_ma - self.idd.idd3n_ma) * dt * self.rank_factor()
+    }
+
+    /// Energy of one row operation in nanojoules. Each activation a row
+    /// operation performs costs one activate–precharge cycle; this is how
+    /// the paper charges CODIC (1 activation), RowClone and LISA-clone
+    /// (2 activations) per row (§6.2).
+    #[must_use]
+    pub fn row_op_nj(&self, activations: u64) -> f64 {
+        self.act_pre_nj() * activations as f64
+    }
+
+    /// Background (standby) energy over `cycles`, with `active_fraction`
+    /// of the time spent with at least one bank open.
+    #[must_use]
+    pub fn background_nj(&self, cycles: u64, active_fraction: f64) -> f64 {
+        let f = active_fraction.clamp(0.0, 1.0);
+        let dt = self.timing.ns(cycles);
+        let ma = self.idd.idd3n_ma * f + self.idd.idd2n_ma * (1.0 - f);
+        ma * dt * self.rank_factor()
+    }
+
+    /// Full-run energy from controller statistics.
+    ///
+    /// The active fraction for background energy is estimated from the
+    /// activate count (each activate keeps a bank open for at least tRAS),
+    /// capped at 1.
+    #[must_use]
+    pub fn breakdown(&self, stats: &MemStats, cycles: u64) -> EnergyBreakdown {
+        let t = &self.timing;
+        let act_busy = (stats.activates * u64::from(t.t_ras)) as f64;
+        let banks = 8.0;
+        let active_fraction = if cycles == 0 {
+            0.0
+        } else {
+            (act_busy / banks / cycles as f64).min(1.0)
+        };
+        EnergyBreakdown {
+            act_pre_nj: self.act_pre_nj() * stats.activates as f64,
+            read_write_nj: self.read_burst_nj() * stats.reads as f64
+                + self.write_burst_nj() * stats.writes as f64,
+            refresh_nj: self.refresh_nj() * stats.refreshes as f64,
+            row_op_nj: self.row_op_nj(stats.row_op_activations),
+            background_nj: self.background_nj(cycles, active_fraction),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::paper_default()
+    }
+
+    #[test]
+    fn act_pre_is_calibrated_to_17_3_nj() {
+        let e = model().act_pre_nj();
+        assert!((e - 17.3).abs() < 0.1, "act+pre = {e} nJ");
+    }
+
+    #[test]
+    fn bursts_cost_single_digit_nanojoules() {
+        let r = model().read_burst_nj();
+        let w = model().write_burst_nj();
+        assert!(r > 1.0 && r < 10.0, "read = {r} nJ");
+        assert!(w > r, "writes draw more current than reads");
+    }
+
+    #[test]
+    fn refresh_costs_hundreds_of_nanojoules() {
+        let e = model().refresh_nj();
+        assert!(e > 100.0 && e < 2000.0, "refresh = {e} nJ");
+    }
+
+    #[test]
+    fn row_ops_scale_with_activations() {
+        let m = model();
+        assert!((m.row_op_nj(2) - 2.0 * m.act_pre_nj()).abs() < 1e-9);
+        assert_eq!(m.row_op_nj(0), 0.0);
+    }
+
+    #[test]
+    fn background_interpolates_between_standby_currents() {
+        let m = model();
+        let idle = m.background_nj(800, 0.0);
+        let active = m.background_nj(800, 1.0);
+        let half = m.background_nj(800, 0.5);
+        assert!(idle < active);
+        assert!((half - (idle + active) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_totals_all_components() {
+        let stats = MemStats {
+            activates: 10,
+            reads: 5,
+            writes: 5,
+            refreshes: 1,
+            row_op_activations: 4,
+            ..MemStats::default()
+        };
+        let b = model().breakdown(&stats, 10_000);
+        assert!(b.act_pre_nj > 0.0);
+        assert!(b.read_write_nj > 0.0);
+        assert!(b.refresh_nj > 0.0);
+        assert!(b.row_op_nj > 0.0);
+        assert!(b.background_nj > 0.0);
+        let sum = b.act_pre_nj + b.read_write_nj + b.refresh_nj + b.row_op_nj + b.background_nj;
+        assert!((b.total_nj() - sum).abs() < 1e-9);
+        assert!((b.total_mj() - b.total_nj() * 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ddr3l_consumes_less_than_ddr3() {
+        let l = EnergyModel::new(
+            crate::IddValues::ddr3l_1600(),
+            TimingParams::ddr3_1600_11(),
+            8,
+        );
+        assert!(l.act_pre_nj() < model().act_pre_nj());
+    }
+
+    #[test]
+    fn zero_cycles_has_zero_background() {
+        let b = model().breakdown(&MemStats::default(), 0);
+        assert_eq!(b.background_nj, 0.0);
+        assert_eq!(b.total_nj(), 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Datasheet IDD current values (per device).
+
+/// Per-device IDD currents in milliamperes plus the supply voltage, as
+/// found in DDR3 datasheets.
+///
+/// `idd0` is calibrated (71.75 mA) so the rank-level activate–precharge
+/// energy lands on the paper's ≈ 17.3 nJ (§4.1.1, Table 2); the remaining
+/// values are typical Micron DDR3-1600 4 Gb numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IddValues {
+    /// One-bank activate–precharge current.
+    pub idd0_ma: f64,
+    /// Precharge standby current.
+    pub idd2n_ma: f64,
+    /// Active standby current.
+    pub idd3n_ma: f64,
+    /// Burst read current.
+    pub idd4r_ma: f64,
+    /// Burst write current.
+    pub idd4w_ma: f64,
+    /// Refresh current.
+    pub idd5_ma: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+}
+
+impl IddValues {
+    /// DDR3-1600 values (1.5 V).
+    #[must_use]
+    pub fn ddr3_1600() -> Self {
+        IddValues {
+            idd0_ma: 71.75,
+            idd2n_ma: 35.0,
+            idd3n_ma: 45.0,
+            idd4r_ma: 140.0,
+            idd4w_ma: 145.0,
+            idd5_ma: 215.0,
+            vdd: 1.5,
+        }
+    }
+
+    /// DDR3L-1600 values (1.35 V): same currents at the lower rail.
+    #[must_use]
+    pub fn ddr3l_1600() -> Self {
+        IddValues {
+            vdd: 1.35,
+            ..IddValues::ddr3_1600()
+        }
+    }
+}
+
+impl Default for IddValues {
+    fn default() -> Self {
+        IddValues::ddr3_1600()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_currents_exceed_standby() {
+        let i = IddValues::ddr3_1600();
+        assert!(i.idd4r_ma > i.idd3n_ma);
+        assert!(i.idd4w_ma > i.idd3n_ma);
+        assert!(i.idd3n_ma > i.idd2n_ma);
+        assert!(i.idd5_ma > i.idd3n_ma);
+    }
+
+    #[test]
+    fn ddr3l_runs_at_lower_voltage() {
+        assert!(IddValues::ddr3l_1600().vdd < IddValues::ddr3_1600().vdd);
+    }
+}

@@ -1,0 +1,28 @@
+//! IDD-based DRAM energy model, substituting for the customized DRAMPower
+//! tool the CODIC paper uses (§4.3, §6.2, Appendix A).
+//!
+//! Energy is computed the way DRAMPower does it: per-command charge from
+//! datasheet IDD currents minus the background current, times the supply
+//! voltage, times the number of devices in the rank.
+//!
+//! The IDD values are calibrated so a full activate-precharge row cycle on
+//! an 8-device DDR3-1600 rank costs ~17.3 nJ, the number the paper reports
+//! for a standard activation (4.1.1: "~17 nJ") and for CODIC-activate in
+//! Table 2.
+//!
+//! # Example
+//!
+//! ```
+//! use codic_power::{EnergyModel, IddValues};
+//! use codic_dram::TimingParams;
+//!
+//! let model = EnergyModel::new(IddValues::ddr3_1600(), TimingParams::ddr3_1600_11(), 8);
+//! let act_pre = model.act_pre_nj();
+//! assert!((act_pre - 17.3).abs() < 0.1, "row cycle = {act_pre} nJ");
+//! ```
+
+pub mod energy;
+pub mod idd;
+
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use idd::IddValues;

@@ -1,0 +1,119 @@
+//! Naive challenge-response authentication on top of the CODIC-sig PUF
+//! (§6.1.1: FRR 0.64 %, FAR 0.00 % with exact-match verification).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::challenge::{Challenge, Response};
+use crate::chip::ChipModel;
+use crate::mechanisms::{Environment, PufMechanism};
+use crate::population::Module;
+
+/// An enrolled challenge-response pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Enrollment {
+    /// The challenge presented at verification time.
+    pub challenge: Challenge,
+    /// The exact response expected.
+    pub expected: Response,
+}
+
+/// Enrolls a device: evaluates the challenge once and stores the response.
+pub fn enroll(
+    mechanism: &dyn PufMechanism,
+    chip: &ChipModel,
+    challenge: Challenge,
+    env: &Environment,
+) -> Enrollment {
+    Enrollment {
+        challenge,
+        expected: mechanism.evaluate(chip, &challenge, env, 0),
+    }
+}
+
+/// Verifies a device with exact-match comparison (no filtering).
+pub fn verify(
+    mechanism: &dyn PufMechanism,
+    chip: &ChipModel,
+    enrollment: &Enrollment,
+    env: &Environment,
+    nonce: u64,
+) -> bool {
+    mechanism.evaluate(chip, &enrollment.challenge, env, nonce) == enrollment.expected
+}
+
+/// False rejection / false acceptance rates over a population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuthRates {
+    /// Fraction of genuine verifications rejected.
+    pub frr: f64,
+    /// Fraction of impostor verifications accepted.
+    pub far: f64,
+}
+
+/// Measures FRR (genuine device re-verification) and FAR (a different chip
+/// answering the same challenge) over `trials` random cases.
+pub fn measure_rates(
+    population: &[Module],
+    mechanism: &dyn PufMechanism,
+    env: &Environment,
+    trials: usize,
+    seed: u64,
+) -> AuthRates {
+    let chips: Vec<_> = population.iter().flat_map(|m| m.chips.iter()).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut false_rejects = 0usize;
+    let mut false_accepts = 0usize;
+    for t in 0..trials {
+        let genuine = chips[rng.gen_range(0..chips.len())];
+        let challenge = Challenge::segment(rng.gen_range(0..64));
+        let enrollment = enroll(mechanism, genuine, challenge, env);
+        if !verify(mechanism, genuine, &enrollment, env, 1 + t as u64) {
+            false_rejects += 1;
+        }
+        let impostor = loop {
+            let c = chips[rng.gen_range(0..chips.len())];
+            if c.id != genuine.id {
+                break c;
+            }
+        };
+        if verify(mechanism, impostor, &enrollment, env, 2 + t as u64) {
+            false_accepts += 1;
+        }
+    }
+    AuthRates {
+        frr: false_rejects as f64 / trials as f64,
+        far: false_accepts as f64 / trials as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::CodicSigPuf;
+    use crate::population::paper_population;
+
+    #[test]
+    fn genuine_device_almost_always_verifies() {
+        let pop = paper_population(0xC0D1C);
+        let rates = measure_rates(&pop, &CodicSigPuf, &Environment::nominal(), 150, 7);
+        // Paper: FRR 0.64 % on average. Allow generous statistical slack.
+        assert!(rates.frr < 0.06, "FRR = {}", rates.frr);
+    }
+
+    #[test]
+    fn impostors_are_always_rejected() {
+        let pop = paper_population(0xC0D1C);
+        let rates = measure_rates(&pop, &CodicSigPuf, &Environment::nominal(), 100, 8);
+        assert_eq!(rates.far, 0.0, "FAR must be 0.00 %");
+    }
+
+    #[test]
+    fn enrollment_round_trip() {
+        let pop = paper_population(1);
+        let chip = &pop[0].chips[0];
+        let e = enroll(&CodicSigPuf, chip, Challenge::segment(3), &Environment::nominal());
+        assert_eq!(e.challenge, Challenge::segment(3));
+        assert!(!e.expected.is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Turning CODIC-sig responses into random bit streams for the NIST
+//! analysis (§6.1.3, Appendix B).
+//!
+//! Each challenge's response is read as a segment bitmap (one bit per
+//! cell, set for responding cells); bitmaps from many challenges across
+//! the population are concatenated and whitened with the Von Neumann
+//! extractor, exactly as the paper does.
+
+use codic_nist::extractor::von_neumann;
+
+use crate::challenge::Challenge;
+use crate::mechanisms::{Environment, PufMechanism};
+use crate::population::Module;
+
+/// Renders one response as its segment bitmap.
+#[must_use]
+pub fn response_bitmap(
+    mechanism: &dyn PufMechanism,
+    chip: &crate::chip::ChipModel,
+    challenge: &Challenge,
+    env: &Environment,
+    nonce: u64,
+) -> Vec<u8> {
+    let response = mechanism.evaluate(chip, challenge, env, nonce);
+    let mut bitmap = vec![0u8; challenge.cells() as usize];
+    for &cell in response.cells() {
+        bitmap[cell as usize] = 1;
+    }
+    bitmap
+}
+
+/// Builds a whitened random stream of at least `target_bits` bits from
+/// responses to distinct challenges across the whole population, applying
+/// the Von Neumann extractor.
+#[must_use]
+pub fn whitened_stream(
+    population: &[Module],
+    mechanism: &dyn PufMechanism,
+    env: &Environment,
+    target_bits: usize,
+) -> Vec<u8> {
+    let chips: Vec<_> = population.iter().flat_map(|m| m.chips.iter()).collect();
+    let mut out = Vec::with_capacity(target_bits);
+    let mut round = 0u64;
+    while out.len() < target_bits {
+        for chip in &chips {
+            if out.len() >= target_bits {
+                break;
+            }
+            let challenge = Challenge::segment(round);
+            let bitmap = response_bitmap(mechanism, chip, &challenge, env, round + 1);
+            out.extend(von_neumann(&bitmap));
+        }
+        round += 1;
+        assert!(
+            round < 10_000,
+            "population cannot yield the requested stream length"
+        );
+    }
+    out.truncate(target_bits);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::CodicSigPuf;
+    use crate::population::paper_population;
+
+    #[test]
+    fn bitmap_is_sparse_and_sized() {
+        let pop = paper_population(1);
+        let chip = &pop[0].chips[0];
+        let ch = Challenge::segment(0);
+        let bm = response_bitmap(&CodicSigPuf, chip, &ch, &Environment::nominal(), 1);
+        assert_eq!(bm.len(), 65536);
+        let ones: u32 = bm.iter().map(|&b| u32::from(b)).sum();
+        assert!(ones > 0 && ones < 2000, "ones = {ones}");
+    }
+
+    #[test]
+    fn whitened_stream_reaches_target_and_is_balanced() {
+        let pop = paper_population(2);
+        let bits = whitened_stream(&pop, &CodicSigPuf, &Environment::nominal(), 20_000);
+        assert_eq!(bits.len(), 20_000);
+        let ones: u32 = bits.iter().map(|&b| u32::from(b)).sum();
+        let frac = f64::from(ones) / 20_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "bias {frac}");
+    }
+
+    #[test]
+    fn whitened_stream_passes_basic_nist_tests() {
+        let pop = paper_population(3);
+        let bits = whitened_stream(&pop, &CodicSigPuf, &Environment::nominal(), 50_000);
+        assert!(codic_nist::monobit::test(&bits).passed());
+        assert!(codic_nist::runs::test(&bits).passed());
+        assert!(codic_nist::block_frequency::test(&bits).passed());
+        assert!(codic_nist::cusum::test(&bits).passed());
+    }
+}

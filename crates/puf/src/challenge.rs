@@ -1,0 +1,154 @@
+//! Challenges and responses.
+//!
+//! As in the paper (§5.1), a challenge is the address and size of a memory
+//! segment; the response is the set of cells that exhibit the mechanism's
+//! failure/signature behaviour within that segment.
+
+/// A PUF challenge: an 8 KB-aligned segment of one chip's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Challenge {
+    /// Segment start as a byte offset into the chip.
+    pub segment_addr: u64,
+    /// Segment length in bytes (the paper uses 8 KB).
+    pub size_bytes: u32,
+}
+
+impl Challenge {
+    /// Creates a challenge.
+    #[must_use]
+    pub fn new(segment_addr: u64, size_bytes: u32) -> Self {
+        Challenge {
+            segment_addr,
+            size_bytes,
+        }
+    }
+
+    /// The paper's standard 8 KB challenge at segment index `i`.
+    #[must_use]
+    pub fn segment(i: u64) -> Self {
+        Challenge::new(i * 8192, 8192)
+    }
+
+    /// Number of cells (bits) the challenge covers.
+    #[must_use]
+    pub fn cells(&self) -> u64 {
+        u64::from(self.size_bytes) * 8
+    }
+
+    /// Global index of the first cell.
+    #[must_use]
+    pub fn first_cell(&self) -> u64 {
+        self.segment_addr * 8
+    }
+}
+
+/// A PUF response: the sorted set of responding cells, as segment-relative
+/// indices.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Response {
+    cells: Vec<u32>,
+}
+
+impl Response {
+    /// Builds a response from segment-relative cell indices (sorted and
+    /// deduplicated internally).
+    #[must_use]
+    pub fn new(mut cells: Vec<u32>) -> Self {
+        cells.sort_unstable();
+        cells.dedup();
+        Response { cells }
+    }
+
+    /// The responding cells, sorted ascending.
+    #[must_use]
+    pub fn cells(&self) -> &[u32] {
+        &self.cells
+    }
+
+    /// Number of responding cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cell responded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Jaccard index `|A∩B| / |A∪B|` against another response — the
+    /// paper's similarity/uniqueness metric (§6.1.1). Two empty responses
+    /// have index 1 by convention.
+    #[must_use]
+    pub fn jaccard(&self, other: &Response) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut intersection = 0u64;
+        while i < self.cells.len() && j < other.cells.len() {
+            match self.cells[i].cmp(&other.cells[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    intersection += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = self.cells.len() as u64 + other.cells.len() as u64 - intersection;
+        if union == 0 {
+            1.0
+        } else {
+            intersection as f64 / union as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_challenge_is_8kb() {
+        let c = Challenge::segment(3);
+        assert_eq!(c.segment_addr, 3 * 8192);
+        assert_eq!(c.cells(), 65536);
+        assert_eq!(c.first_cell(), 3 * 65536);
+    }
+
+    #[test]
+    fn responses_sort_and_dedup() {
+        let r = Response::new(vec![5, 1, 5, 3]);
+        assert_eq!(r.cells(), &[1, 3, 5]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn jaccard_identical_is_one() {
+        let r = Response::new(vec![1, 2, 3]);
+        assert_eq!(r.jaccard(&r.clone()), 1.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_is_zero() {
+        let a = Response::new(vec![1, 2]);
+        let b = Response::new(vec![3, 4]);
+        assert_eq!(a.jaccard(&b), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        let a = Response::new(vec![1, 2, 3]);
+        let b = Response::new(vec![2, 3, 4]);
+        assert!((a.jaccard(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_of_empty_responses_is_one() {
+        assert_eq!(Response::default().jaccard(&Response::default()), 1.0);
+        assert_eq!(
+            Response::default().jaccard(&Response::new(vec![1])),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! The statistical model of one DRAM chip.
+
+use crate::hash;
+
+/// DRAM vendor, anonymized as in the paper's Tables 3 and 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// Vendor A (64 chips).
+    A,
+    /// Vendor B (40 chips).
+    B,
+    /// Vendor C (32 chips).
+    C,
+}
+
+/// Supply-voltage class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VoltageClass {
+    /// 1.50 V DDR3.
+    Ddr3,
+    /// 1.35 V DDR3L.
+    Ddr3l,
+}
+
+/// One simulated DRAM chip: identity plus the seeds from which all of its
+/// per-cell process variation is derived.
+///
+/// The model exposes the three latent quantities the PUF mechanisms need:
+///
+/// - [`ChipModel::codic_minority_cell`]: whether CODIC-sig amplifies a cell
+///   to the minority value (the paper finds 0.01 %–0.22 % of cells do);
+/// - [`ChipModel::latency_weakness`]: the cell's margin under reduced tRCD
+///   (a standard-normal score; higher = more likely to fail);
+/// - [`ChipModel::weak_bitline`]: whether the cell's bitline fails under
+///   reduced tRP (PreLatPUF's design-correlated failure mechanism).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipModel {
+    /// Chip index within the population (0–135).
+    pub id: u32,
+    /// Manufacturer.
+    pub vendor: Vendor,
+    /// Device capacity in gigabits.
+    pub capacity_gbit: u32,
+    /// Data rate in MT/s.
+    pub freq_mts: u32,
+    /// Supply-voltage class.
+    pub voltage: VoltageClass,
+    seed: u64,
+    minority_fraction: f64,
+}
+
+/// Bitlines per 8 KB segment (one per column of the open row slice).
+pub const BITLINES_PER_SEGMENT: u64 = 8192;
+
+impl ChipModel {
+    /// Creates a chip model; `seed` individualizes all process variation.
+    #[must_use]
+    pub fn new(
+        id: u32,
+        vendor: Vendor,
+        capacity_gbit: u32,
+        freq_mts: u32,
+        voltage: VoltageClass,
+        seed: u64,
+    ) -> Self {
+        // Per-chip CODIC minority-cell fraction, log-uniform over the
+        // paper's observed 0.01 %–0.22 % range (§6.1).
+        let u = hash::to_unit(hash::combine(seed, 0xF0, 0, 0));
+        let lo: f64 = 1.0e-4;
+        let hi: f64 = 2.2e-3;
+        let minority_fraction = lo * (hi / lo).powf(u);
+        ChipModel {
+            id,
+            vendor,
+            capacity_gbit,
+            freq_mts,
+            voltage,
+            seed,
+            minority_fraction,
+        }
+    }
+
+    /// The chip's RNG seed (for derived experiment streams).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fraction of cells that amplify to the minority value under
+    /// CODIC-sig (0.01 %–0.22 %).
+    #[must_use]
+    pub fn minority_fraction(&self) -> f64 {
+        self.minority_fraction
+    }
+
+    /// Whether CODIC-sig amplifies `cell` (a global bit index) to the
+    /// minority value. Stable across evaluations by construction.
+    #[must_use]
+    pub fn codic_minority_cell(&self, cell: u64) -> bool {
+        hash::to_unit(hash::combine(self.seed, 0xC0D1, cell, 0)) < self.minority_fraction
+    }
+
+    /// Latent reduced-tRCD weakness score of a cell (standard normal;
+    /// higher means the cell fails charge sharing earlier).
+    #[must_use]
+    pub fn latency_weakness(&self, cell: u64) -> f64 {
+        hash::to_normal(hash::combine(self.seed, 0x77CD, cell, 1))
+    }
+
+    /// A seed identifying the chip's *design* (vendor + density + speed):
+    /// chips of the same part share layout-determined properties.
+    #[must_use]
+    pub fn design_seed(&self) -> u64 {
+        let vendor = match self.vendor {
+            Vendor::A => 1u64,
+            Vendor::B => 2,
+            Vendor::C => 3,
+        };
+        hash::combine(
+            0xD51_6000,
+            vendor,
+            u64::from(self.capacity_gbit),
+            u64::from(self.freq_mts),
+        )
+    }
+
+    /// Whether the bitline serving `cell` is weak under reduced tRP.
+    /// Bitline weakness is *design-induced* (column-driver layout), so the
+    /// same positions are weak in every segment of the chip **and** across
+    /// chips of the same part — the correlation that destroys PreLatPUF's
+    /// uniqueness (§6.1.1, Figure 5).
+    #[must_use]
+    pub fn weak_bitline(&self, cell: u64) -> bool {
+        let bitline = cell % BITLINES_PER_SEGMENT;
+        hash::to_unit(hash::combine(self.design_seed(), 0x93E, bitline, 2)) < 2.0e-3
+    }
+
+    /// Evaluation-noise scale for CODIC-sig responses: DDR3L parts are
+    /// slightly more stable than DDR3 (the paper's Figure 5 shows better
+    /// DDR3L results).
+    #[must_use]
+    pub fn codic_noise_floor(&self) -> f64 {
+        match self.voltage {
+            VoltageClass::Ddr3l => 3.0e-5,
+            VoltageClass::Ddr3 => 1.0e-4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip(seed: u64) -> ChipModel {
+        ChipModel::new(0, Vendor::A, 4, 1600, VoltageClass::Ddr3l, seed)
+    }
+
+    #[test]
+    fn minority_fraction_is_in_paper_range() {
+        for seed in 0..100 {
+            let f = chip(seed).minority_fraction();
+            assert!((1.0e-4..=2.2e-3).contains(&f), "fraction {f}");
+        }
+    }
+
+    #[test]
+    fn minority_cells_are_stable_and_sparse() {
+        let c = chip(7);
+        let cells: Vec<u64> = (0..200_000)
+            .filter(|&i| c.codic_minority_cell(i))
+            .collect();
+        let again: Vec<u64> = (0..200_000)
+            .filter(|&i| c.codic_minority_cell(i))
+            .collect();
+        assert_eq!(cells, again, "stable across queries");
+        let frac = cells.len() as f64 / 200_000.0;
+        assert!(frac < 5.0e-3, "fraction {frac}");
+    }
+
+    #[test]
+    fn different_chips_have_different_minority_sets() {
+        let a = chip(1);
+        let b = chip(2);
+        let set_a: Vec<u64> = (0..500_000).filter(|&i| a.codic_minority_cell(i)).collect();
+        let set_b: Vec<u64> = (0..500_000).filter(|&i| b.codic_minority_cell(i)).collect();
+        let common = set_a.iter().filter(|i| set_b.contains(i)).count();
+        // Independent sparse sets barely intersect.
+        assert!(common * 10 <= set_a.len().max(1), "common {common}");
+    }
+
+    #[test]
+    fn weak_bitlines_repeat_across_segments() {
+        let c = chip(3);
+        let segment_bits = 8192 * 8;
+        for cell in 0..BITLINES_PER_SEGMENT {
+            assert_eq!(
+                c.weak_bitline(cell),
+                c.weak_bitline(cell + segment_bits),
+                "bitline weakness must be segment-invariant"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_weakness_is_normal_scored() {
+        let c = chip(9);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|i| c.latency_weakness(i)).sum::<f64>() / f64::from(n as u32);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn ddr3l_is_quieter_than_ddr3() {
+        let l = chip(1);
+        let mut d3 = chip(1);
+        d3.voltage = VoltageClass::Ddr3;
+        assert!(l.codic_noise_floor() < d3.codic_noise_floor());
+    }
+}

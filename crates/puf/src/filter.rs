@@ -1,0 +1,58 @@
+//! Repeat filtering of noisy PUF responses (§6.1.1).
+
+/// A k-of-n repeat filter: evaluate `reads` times, keep cells that respond
+/// in more than `threshold` of them. The DRAM Latency PUF uses 90-of-100;
+/// CODIC-sig and PreLatPUF need at most a light 5-challenge majority
+/// filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepeatFilter {
+    reads: u32,
+    threshold: u32,
+}
+
+impl RepeatFilter {
+    /// Creates a filter keeping cells that respond in **more than**
+    /// `threshold` of `reads` evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold >= reads` (the filter would keep nothing).
+    #[must_use]
+    pub fn new(reads: u32, threshold: u32) -> Self {
+        assert!(threshold < reads, "threshold must be below the read count");
+        RepeatFilter { reads, threshold }
+    }
+
+    /// Number of evaluations the filter requires.
+    #[must_use]
+    pub fn reads(&self) -> u32 {
+        self.reads
+    }
+
+    /// Whether a cell responding `hits` times survives the filter.
+    #[must_use]
+    pub fn keeps(&self, hits: u32) -> bool {
+        hits > self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_filter_keeps_only_high_repeaters() {
+        let f = RepeatFilter::new(100, 90);
+        assert!(f.keeps(91));
+        assert!(f.keeps(100));
+        assert!(!f.keeps(90));
+        assert!(!f.keeps(10));
+        assert_eq!(f.reads(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be below")]
+    fn degenerate_filter_is_rejected() {
+        let _ = RepeatFilter::new(5, 5);
+    }
+}

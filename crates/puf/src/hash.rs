@@ -1,0 +1,73 @@
+//! Deterministic per-cell hashing: the chip model's "process variation"
+//! source. SplitMix64 gives high-quality 64-bit mixing with no state.
+
+/// SplitMix64 mix of a 64-bit value.
+#[must_use]
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combines a seed with up to three coordinates into one hash.
+#[must_use]
+pub fn combine(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    mix(seed ^ mix(a ^ mix(b ^ mix(c))))
+}
+
+/// Maps a hash to a uniform float in `[0, 1)`.
+#[must_use]
+pub fn to_unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Maps a hash to a standard normal deviate via the Box–Muller transform
+/// (full Gaussian tails — the latency-PUF weakness model selects cells
+/// beyond 3σ, so bounded approximations are not acceptable).
+#[must_use]
+pub fn to_normal(h: u64) -> f64 {
+    let u1 = to_unit(mix(h)).max(f64::MIN_POSITIVE);
+    let u2 = to_unit(mix(h ^ 0xA5A5_5A5A_DEAD_BEEF));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_diffusing() {
+        assert_eq!(mix(42), mix(42));
+        assert_ne!(mix(42), mix(43));
+        // Single-bit input changes flip about half the output bits.
+        let d = (mix(42) ^ mix(42 ^ 1)).count_ones();
+        assert!(d > 16 && d < 48, "diffusion {d}");
+    }
+
+    #[test]
+    fn to_unit_is_uniform() {
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(|i| to_unit(mix(i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn to_normal_has_unit_variance() {
+        let n = 50_000u64;
+        let xs: Vec<f64> = (0..n).map(|i| to_normal(mix(i))).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn combine_depends_on_every_coordinate() {
+        let base = combine(1, 2, 3, 4);
+        assert_ne!(base, combine(9, 2, 3, 4));
+        assert_ne!(base, combine(1, 9, 3, 4));
+        assert_ne!(base, combine(1, 2, 9, 4));
+        assert_ne!(base, combine(1, 2, 3, 9));
+    }
+}

@@ -1,0 +1,208 @@
+//! The paper's Jaccard-index experiments (Figures 5 and 6).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::challenge::Challenge;
+use crate::chip::VoltageClass;
+use crate::mechanisms::{Environment, PufMechanism};
+use crate::population::Module;
+
+/// Segments available per chip for the experiments (enough address space
+/// for distinct-segment sampling).
+const SEGMENTS_PER_CHIP: u64 = 64;
+
+/// Results of one intra/inter distribution experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JaccardDistributions {
+    /// Jaccard indices of same-segment response pairs.
+    pub intra: Vec<f64>,
+    /// Jaccard indices of different-segment response pairs.
+    pub inter: Vec<f64>,
+}
+
+impl JaccardDistributions {
+    /// Mean of the intra distribution.
+    #[must_use]
+    pub fn intra_mean(&self) -> f64 {
+        mean(&self.intra)
+    }
+
+    /// Mean of the inter distribution.
+    #[must_use]
+    pub fn inter_mean(&self) -> f64 {
+        mean(&self.inter)
+    }
+
+    /// Histogram of a series over `[0, 1]` with `bins` buckets, as
+    /// probabilities in percent (the paper's Figure 5 y-axis).
+    #[must_use]
+    pub fn histogram(series: &[f64], bins: usize) -> Vec<f64> {
+        let mut h = vec![0.0; bins];
+        for &v in series {
+            let idx = ((v * bins as f64) as usize).min(bins - 1);
+            h[idx] += 1.0;
+        }
+        let total = series.len().max(1) as f64;
+        for b in &mut h {
+            *b = 100.0 * *b / total;
+        }
+        h
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Runs the Figure 5 experiment for one mechanism over the chips of the
+/// given voltage class: `pairs` random same-segment pairs (intra) and
+/// `pairs` random different-segment pairs (inter).
+pub fn distributions(
+    population: &[Module],
+    voltage: VoltageClass,
+    mechanism: &dyn PufMechanism,
+    env: &Environment,
+    pairs: usize,
+    seed: u64,
+) -> JaccardDistributions {
+    let chips: Vec<_> = population
+        .iter()
+        .flat_map(|m| m.chips.iter())
+        .filter(|c| c.voltage == voltage)
+        .collect();
+    assert!(!chips.is_empty(), "no chips in the requested voltage class");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut intra = Vec::with_capacity(pairs);
+    let mut inter = Vec::with_capacity(pairs);
+    let mut nonce = 1u64;
+    for _ in 0..pairs {
+        let chip = chips[rng.gen_range(0..chips.len())];
+        let seg = rng.gen_range(0..SEGMENTS_PER_CHIP);
+        let ch = Challenge::segment(seg);
+        let a = mechanism.evaluate(chip, &ch, env, nonce);
+        let b = mechanism.evaluate(chip, &ch, env, nonce + 1);
+        nonce += 2;
+        intra.push(a.jaccard(&b));
+    }
+    for _ in 0..pairs {
+        let chip_a = chips[rng.gen_range(0..chips.len())];
+        let chip_b = chips[rng.gen_range(0..chips.len())];
+        let seg_a = rng.gen_range(0..SEGMENTS_PER_CHIP);
+        let seg_b = loop {
+            let s = rng.gen_range(0..SEGMENTS_PER_CHIP);
+            if s != seg_a || chip_a.id != chip_b.id {
+                break s;
+            }
+        };
+        let a = mechanism.evaluate(chip_a, &Challenge::segment(seg_a), env, nonce);
+        let b = mechanism.evaluate(chip_b, &Challenge::segment(seg_b), env, nonce + 1);
+        nonce += 2;
+        inter.push(a.jaccard(&b));
+    }
+    JaccardDistributions { intra, inter }
+}
+
+/// Runs the Figure 6 experiment: intra-Jaccard indices where the second
+/// evaluation happens at `30 °C + delta_t`.
+pub fn intra_vs_temperature(
+    population: &[Module],
+    mechanism: &dyn PufMechanism,
+    delta_t: f64,
+    pairs: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let chips: Vec<_> = population.iter().flat_map(|m| m.chips.iter()).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let hot = Environment {
+        temperature_c: 30.0 + delta_t,
+        aging_hours: 0.0,
+    };
+    let base = Environment::nominal();
+    let mut out = Vec::with_capacity(pairs);
+    for k in 0..pairs {
+        let chip = chips[rng.gen_range(0..chips.len())];
+        let seg = rng.gen_range(0..SEGMENTS_PER_CHIP);
+        let ch = Challenge::segment(seg);
+        let a = mechanism.evaluate(chip, &ch, &base, 1000 + 2 * k as u64);
+        let b = mechanism.evaluate(chip, &ch, &hot, 1001 + 2 * k as u64);
+        out.push(a.jaccard(&b));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::{CodicSigPuf, LatencyPuf, PreLatPuf};
+    use crate::population::paper_population;
+
+    fn pop() -> Vec<Module> {
+        paper_population(0xC0D1C)
+    }
+
+    #[test]
+    fn codic_sig_shape_matches_figure_5() {
+        let d = distributions(
+            &pop(),
+            VoltageClass::Ddr3l,
+            &CodicSigPuf,
+            &Environment::nominal(),
+            60,
+            1,
+        );
+        assert!(d.intra_mean() > 0.95, "intra = {}", d.intra_mean());
+        assert!(d.inter_mean() < 0.05, "inter = {}", d.inter_mean());
+    }
+
+    #[test]
+    fn prelat_has_good_intra_but_poor_inter() {
+        let d = distributions(
+            &pop(),
+            VoltageClass::Ddr3l,
+            &PreLatPuf,
+            &Environment::nominal(),
+            60,
+            2,
+        );
+        assert!(d.intra_mean() > 0.9, "intra = {}", d.intra_mean());
+        assert!(d.inter_mean() > 0.05, "inter = {}", d.inter_mean());
+    }
+
+    #[test]
+    fn latency_puf_intra_is_dispersed() {
+        let d = distributions(
+            &pop(),
+            VoltageClass::Ddr3,
+            &LatencyPuf::default(),
+            &Environment::nominal(),
+            30,
+            3,
+        );
+        assert!(d.intra_mean() > 0.4 && d.intra_mean() < 0.999);
+        assert!(d.inter_mean() < 0.05);
+    }
+
+    #[test]
+    fn temperature_hurts_latency_puf_most() {
+        let p = pop();
+        let codic = mean(&intra_vs_temperature(&p, &CodicSigPuf, 55.0, 25, 4));
+        let latency = mean(&intra_vs_temperature(&p, &LatencyPuf::default(), 55.0, 10, 5));
+        let prelat = mean(&intra_vs_temperature(&p, &PreLatPuf, 55.0, 25, 6));
+        assert!(codic > 0.9, "codic = {codic}");
+        assert!(prelat > 0.95, "prelat = {prelat}");
+        assert!(latency < codic - 0.2, "latency = {latency} vs codic = {codic}");
+    }
+
+    #[test]
+    fn histogram_is_normalized() {
+        let h = JaccardDistributions::histogram(&[0.0, 0.5, 0.999, 1.0], 10);
+        assert_eq!(h.len(), 10);
+        assert!((h.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!(h[9] >= 50.0); // 0.999 and 1.0 land in the last bin
+    }
+}

@@ -1,0 +1,51 @@
+//! DRAM PUF framework reproducing the CODIC paper's §5.1/§6.1 evaluation:
+//! a simulated population of 136 DDR3/DDR3L chips (Table 12), the
+//! CODIC-sig PUF, and the two state-of-the-art baselines it is compared
+//! against — the DRAM Latency PUF (Kim et al., HPCA 2018) and PreLatPUF
+//! (Talukder et al., IEEE Access 2019).
+//!
+//! The paper measures real chips on SoftMC; we substitute a statistical
+//! chip model whose per-cell behaviour is drawn deterministically from the
+//! chip seed (so every experiment is reproducible) and calibrated to the
+//! failure statistics the paper reports:
+//!
+//! - **CODIC-sig**: 0.01 %–0.22 % of cells amplify to the minority value;
+//!   responses repeat for 99.7 %+ of challenges and barely move with
+//!   temperature.
+//! - **DRAM Latency PUF**: reduced-tRCD failures with per-read noise
+//!   (hence the 100-read filter) and strong temperature sensitivity.
+//! - **PreLatPUF**: reduced-tRP failures correlated along bitlines, making
+//!   responses extremely stable but poorly unique across segments.
+//!
+//! # Example
+//!
+//! ```
+//! use codic_puf::population::paper_population;
+//! use codic_puf::mechanisms::{CodicSigPuf, Environment, PufMechanism};
+//! use codic_puf::challenge::Challenge;
+//!
+//! let population = paper_population(0xC0D1C);
+//! let chip = &population[0].chips[0];
+//! let puf = CodicSigPuf::default();
+//! let challenge = Challenge::new(0, 8192);
+//! let a = puf.evaluate(chip, &challenge, &Environment::nominal(), 1);
+//! let b = puf.evaluate(chip, &challenge, &Environment::nominal(), 2);
+//! assert!(a.jaccard(&b) > 0.95, "CODIC-sig responses are stable");
+//! ```
+
+pub mod auth;
+pub mod bitstream;
+pub mod challenge;
+pub mod chip;
+pub mod eval_time;
+pub mod filter;
+pub mod hash;
+pub mod jaccard;
+pub mod mechanisms;
+pub mod population;
+pub mod trng;
+
+pub use challenge::{Challenge, Response};
+pub use chip::{ChipModel, Vendor, VoltageClass};
+pub use mechanisms::{CodicSigPuf, Environment, LatencyPuf, PreLatPuf, PufMechanism};
+pub use population::{paper_population, Module};

@@ -1,0 +1,87 @@
+//! The three evaluated PUF mechanisms.
+
+mod codic_sig;
+mod latency_puf;
+mod prelat;
+
+pub use codic_sig::CodicSigPuf;
+pub use latency_puf::LatencyPuf;
+pub use prelat::PreLatPuf;
+
+use crate::challenge::{Challenge, Response};
+use crate::chip::ChipModel;
+
+/// Environmental conditions of one evaluation (§6.1.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Environment {
+    /// Operating temperature in °C.
+    pub temperature_c: f64,
+    /// Accelerated-aging stress hours at 125 °C (0 = fresh device).
+    pub aging_hours: f64,
+}
+
+impl Environment {
+    /// The paper's reference condition: 30 °C, fresh device.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Environment {
+            temperature_c: 30.0,
+            aging_hours: 0.0,
+        }
+    }
+
+    /// A nominal-temperature environment after `hours` of accelerated
+    /// aging (the paper ages devices for 8 h at 125 °C).
+    #[must_use]
+    pub fn aged(hours: f64) -> Self {
+        Environment {
+            aging_hours: hours,
+            ..Environment::nominal()
+        }
+    }
+
+    /// Temperature delta from the 30 °C reference.
+    #[must_use]
+    pub fn delta_t(&self) -> f64 {
+        self.temperature_c - 30.0
+    }
+}
+
+/// A DRAM PUF mechanism: maps (chip, challenge, environment) to a response.
+///
+/// `nonce` individualizes repeated evaluations of the same challenge (the
+/// per-evaluation noise draw); two calls with the same nonce return the
+/// same response.
+pub trait PufMechanism {
+    /// The mechanism's display name.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates one challenge.
+    fn evaluate(
+        &self,
+        chip: &ChipModel,
+        challenge: &Challenge,
+        env: &Environment,
+        nonce: u64,
+    ) -> Response;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_environment_is_30c_fresh() {
+        let e = Environment::nominal();
+        assert_eq!(e.temperature_c, 30.0);
+        assert_eq!(e.aging_hours, 0.0);
+        assert_eq!(e.delta_t(), 0.0);
+    }
+
+    #[test]
+    fn aged_environment_keeps_temperature() {
+        let e = Environment::aged(8.0);
+        assert_eq!(e.temperature_c, 30.0);
+        assert_eq!(e.aging_hours, 8.0);
+    }
+}

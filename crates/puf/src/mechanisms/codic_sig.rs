@@ -1,0 +1,137 @@
+//! The CODIC-sig PUF (paper §5.1, §6.1).
+//!
+//! CODIC-sig sets every cell of the target segment to `Vdd/2`; the next
+//! activation amplifies each cell according to sense-amplifier process
+//! variation. Most cells resolve to the majority value; the 0.01 %–0.22 %
+//! minority cells form the response. The mechanism is data-independent and
+//! needs no filtering because the same cells resolve the same way on
+//! almost every evaluation.
+
+use crate::challenge::{Challenge, Response};
+use crate::chip::ChipModel;
+use crate::hash;
+use crate::mechanisms::{Environment, PufMechanism};
+
+/// The CODIC-sig PUF.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodicSigPuf;
+
+impl CodicSigPuf {
+    /// Per-cell drop probability at environment `env`: the chance a
+    /// minority cell resolves to the majority value on this evaluation.
+    /// Tiny at nominal conditions (the paper's 99.72 %+ response
+    /// repeatability) and growing mildly with temperature.
+    #[must_use]
+    pub fn drop_probability(chip: &ChipModel, env: &Environment) -> f64 {
+        let temp_factor = 1.0 + 3.0 * (env.delta_t().abs() / 55.0);
+        // Aging barely affects CODIC-sig (§6.1.1: intra-Jaccard stays ≈ 1).
+        let age_factor = 1.0 + 0.02 * (env.aging_hours / 8.0);
+        chip.codic_noise_floor() * temp_factor * age_factor
+    }
+}
+
+impl PufMechanism for CodicSigPuf {
+    fn name(&self) -> &'static str {
+        "CODIC-sig PUF"
+    }
+
+    fn evaluate(
+        &self,
+        chip: &ChipModel,
+        challenge: &Challenge,
+        env: &Environment,
+        nonce: u64,
+    ) -> Response {
+        let drop_p = Self::drop_probability(chip, env);
+        // False inclusions are an order of magnitude rarer than drops.
+        let add_p = drop_p * 0.1 * chip.minority_fraction();
+        let first = challenge.first_cell();
+        let mut cells = Vec::new();
+        for i in 0..challenge.cells() {
+            let cell = first + i;
+            let noise = hash::to_unit(hash::combine(chip.seed(), 0x515, cell, nonce));
+            if chip.codic_minority_cell(cell) {
+                if noise >= drop_p {
+                    cells.push(i as u32);
+                }
+            } else if noise < add_p {
+                cells.push(i as u32);
+            }
+        }
+        Response::new(cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::{Vendor, VoltageClass};
+
+    fn chip() -> ChipModel {
+        ChipModel::new(0, Vendor::A, 4, 1600, VoltageClass::Ddr3l, 0xABCD)
+    }
+
+    #[test]
+    fn same_nonce_is_deterministic() {
+        let c = chip();
+        let ch = Challenge::segment(0);
+        let puf = CodicSigPuf;
+        let a = puf.evaluate(&c, &ch, &Environment::nominal(), 7);
+        let b = puf.evaluate(&c, &ch, &Environment::nominal(), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_evaluations_are_nearly_identical() {
+        let c = chip();
+        let ch = Challenge::segment(1);
+        let puf = CodicSigPuf;
+        let a = puf.evaluate(&c, &ch, &Environment::nominal(), 1);
+        let b = puf.evaluate(&c, &ch, &Environment::nominal(), 2);
+        assert!(!a.is_empty());
+        assert!(a.jaccard(&b) > 0.98, "J = {}", a.jaccard(&b));
+    }
+
+    #[test]
+    fn different_segments_are_unique() {
+        let c = chip();
+        let puf = CodicSigPuf;
+        let a = puf.evaluate(&c, &Challenge::segment(0), &Environment::nominal(), 1);
+        let b = puf.evaluate(&c, &Challenge::segment(9), &Environment::nominal(), 1);
+        assert!(a.jaccard(&b) < 0.05, "J = {}", a.jaccard(&b));
+    }
+
+    #[test]
+    fn temperature_only_mildly_degrades_stability() {
+        let c = chip();
+        let ch = Challenge::segment(2);
+        let puf = CodicSigPuf;
+        let cold = puf.evaluate(&c, &ch, &Environment::nominal(), 1);
+        let hot_env = Environment {
+            temperature_c: 85.0,
+            aging_hours: 0.0,
+        };
+        let hot = puf.evaluate(&c, &ch, &hot_env, 2);
+        assert!(cold.jaccard(&hot) > 0.95, "J = {}", cold.jaccard(&hot));
+    }
+
+    #[test]
+    fn aging_leaves_responses_stable() {
+        let c = chip();
+        let ch = Challenge::segment(3);
+        let puf = CodicSigPuf;
+        let fresh = puf.evaluate(&c, &ch, &Environment::nominal(), 1);
+        let aged = puf.evaluate(&c, &ch, &Environment::aged(8.0), 2);
+        assert!(fresh.jaccard(&aged) > 0.95);
+    }
+
+    #[test]
+    fn response_size_tracks_minority_fraction() {
+        let c = chip();
+        let ch = Challenge::segment(0);
+        let r = CodicSigPuf.evaluate(&c, &ch, &Environment::nominal(), 1);
+        let expected = c.minority_fraction() * ch.cells() as f64;
+        let n = r.len() as f64;
+        assert!(n > expected * 0.5 && n < expected * 1.5, "n = {n}, expected ≈ {expected}");
+    }
+}

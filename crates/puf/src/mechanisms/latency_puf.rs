@@ -1,0 +1,163 @@
+//! The DRAM Latency PUF baseline (Kim et al., HPCA 2018; paper §6.1.1).
+//!
+//! Accesses with `tRCD = 2.5 ns` make cells with weak charge-sharing
+//! margins fail. The per-read failure behaviour is noisy, so the original
+//! mechanism reads each segment 100 times and keeps only cells failing
+//! more than 90 reads. Failure margins shift strongly with temperature,
+//! which is why this PUF's responses degrade across temperature (Figure 6).
+
+use crate::challenge::{Challenge, Response};
+use crate::chip::ChipModel;
+use crate::filter::RepeatFilter;
+use crate::hash;
+use crate::mechanisms::{Environment, PufMechanism};
+
+/// The DRAM Latency PUF with its standard 90-of-100 filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPuf {
+    /// The repeat filter (reads, threshold); the paper uses 100/90.
+    pub filter: RepeatFilter,
+}
+
+impl Default for LatencyPuf {
+    fn default() -> Self {
+        LatencyPuf {
+            filter: RepeatFilter::new(100, 90),
+        }
+    }
+}
+
+/// Weakness threshold at 30 °C, in standard deviations: cells beyond
+/// ≈ 3.3 σ fail reliably (≈ 0.05 % of cells).
+const THETA_30C: f64 = 3.3;
+
+/// Threshold shift per °C: the paper's Figure 6 shows latency-PUF
+/// responses decorrelating within tens of degrees.
+const THETA_PER_DEGC: f64 = 0.012;
+
+/// Width of the marginal zone in sigma: cells within it fail on some reads
+/// only, producing the dispersed intra-Jaccard of Figure 5.
+const MARGIN_SIGMA: f64 = 0.18;
+
+impl LatencyPuf {
+    fn fail_probability(&self, weakness: f64, env: &Environment) -> f64 {
+        let theta = THETA_30C - THETA_PER_DEGC * env.delta_t();
+        // Logistic margin around the threshold.
+        1.0 / (1.0 + (-(weakness - theta) / MARGIN_SIGMA).exp())
+    }
+}
+
+impl PufMechanism for LatencyPuf {
+    fn name(&self) -> &'static str {
+        "DRAM Latency PUF"
+    }
+
+    fn evaluate(
+        &self,
+        chip: &ChipModel,
+        challenge: &Challenge,
+        env: &Environment,
+        nonce: u64,
+    ) -> Response {
+        let first = challenge.first_cell();
+        let mut cells = Vec::new();
+        for i in 0..challenge.cells() {
+            let cell = first + i;
+            let weakness = chip.latency_weakness(cell);
+            // Cells far from the margin can be resolved without sampling.
+            let q = self.fail_probability(weakness, env);
+            if q < 1e-4 {
+                continue;
+            }
+            if q > 1.0 - 1e-4 {
+                cells.push(i as u32);
+                continue;
+            }
+            let mut fails = 0u32;
+            for read in 0..self.filter.reads() {
+                let h = hash::combine(chip.seed(), 0x7A7 ^ u64::from(read), cell, nonce);
+                if hash::to_unit(h) < q {
+                    fails += 1;
+                }
+            }
+            if self.filter.keeps(fails) {
+                cells.push(i as u32);
+            }
+        }
+        Response::new(cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::{Vendor, VoltageClass};
+
+    fn chip() -> ChipModel {
+        ChipModel::new(1, Vendor::B, 2, 1333, VoltageClass::Ddr3, 0xBEEF)
+    }
+
+    #[test]
+    fn responses_are_reasonably_stable_at_fixed_temperature() {
+        let c = chip();
+        let ch = Challenge::segment(0);
+        let puf = LatencyPuf::default();
+        let a = puf.evaluate(&c, &ch, &Environment::nominal(), 1);
+        let b = puf.evaluate(&c, &ch, &Environment::nominal(), 2);
+        assert!(!a.is_empty());
+        let j = a.jaccard(&b);
+        assert!(j > 0.5, "J = {j}");
+    }
+
+    #[test]
+    fn responses_are_noisier_than_codic_sig() {
+        let c = chip();
+        let ch = Challenge::segment(0);
+        let puf = LatencyPuf::default();
+        let js: Vec<f64> = (0..8)
+            .map(|k| {
+                let a = puf.evaluate(&c, &ch, &Environment::nominal(), 2 * k);
+                let b = puf.evaluate(&c, &ch, &Environment::nominal(), 2 * k + 1);
+                a.jaccard(&b)
+            })
+            .collect();
+        let mean = js.iter().sum::<f64>() / js.len() as f64;
+        assert!(mean < 0.999, "latency PUF must show residual noise: {mean}");
+    }
+
+    #[test]
+    fn temperature_shifts_the_response_set() {
+        let c = chip();
+        let ch = Challenge::segment(1);
+        let puf = LatencyPuf::default();
+        let base = puf.evaluate(&c, &ch, &Environment::nominal(), 1);
+        let hot = puf.evaluate(
+            &c,
+            &ch,
+            &Environment {
+                temperature_c: 85.0,
+                aging_hours: 0.0,
+            },
+            2,
+        );
+        let j = base.jaccard(&hot);
+        assert!(j < 0.6, "J = {j}: latency PUF must be temperature-sensitive");
+    }
+
+    #[test]
+    fn different_segments_are_unique() {
+        let c = chip();
+        let puf = LatencyPuf::default();
+        let a = puf.evaluate(&c, &Challenge::segment(0), &Environment::nominal(), 1);
+        let b = puf.evaluate(&c, &Challenge::segment(5), &Environment::nominal(), 1);
+        assert!(a.jaccard(&b) < 0.05);
+    }
+
+    #[test]
+    fn fail_probability_is_monotone_in_weakness() {
+        let puf = LatencyPuf::default();
+        let env = Environment::nominal();
+        assert!(puf.fail_probability(4.0, &env) > puf.fail_probability(3.0, &env));
+        assert!(puf.fail_probability(0.0, &env) < 1e-4);
+    }
+}

@@ -1,0 +1,122 @@
+//! The PreLatPUF baseline (Talukder et al., IEEE Access 2019; §6.1.1).
+//!
+//! Reduced-precharge-latency (`tRP = 2.5 ns`) failures are dominated by
+//! bitline/column-driver strength, a *design-induced* property: the same
+//! bitline positions fail in every segment of a chip. That makes responses
+//! extremely stable (best temperature robustness in Figure 6) but poorly
+//! unique — different segments of the same chip share failing positions,
+//! dispersing the inter-Jaccard distribution away from zero (Figure 5).
+
+use crate::challenge::{Challenge, Response};
+use crate::chip::ChipModel;
+use crate::hash;
+use crate::mechanisms::{Environment, PufMechanism};
+
+/// The PreLatPUF.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreLatPuf;
+
+/// Per-evaluation drop probability (nearly temperature-independent).
+const DROP_P: f64 = 3.0e-3;
+
+/// Probability that a cell on a weak bitline participates in the failure
+/// (row-dependent modulation — the only per-segment component).
+const CELL_PARTICIPATION: f64 = 0.5;
+
+impl PufMechanism for PreLatPuf {
+    fn name(&self) -> &'static str {
+        "PreLatPUF"
+    }
+
+    fn evaluate(
+        &self,
+        chip: &ChipModel,
+        challenge: &Challenge,
+        env: &Environment,
+        nonce: u64,
+    ) -> Response {
+        // Temperature has only a token effect (Figure 6: flat).
+        let drop_p = DROP_P * (1.0 + 0.2 * env.delta_t().abs() / 55.0);
+        let first = challenge.first_cell();
+        let mut cells = Vec::new();
+        for i in 0..challenge.cells() {
+            let cell = first + i;
+            if !chip.weak_bitline(cell) {
+                continue;
+            }
+            let participates =
+                hash::to_unit(hash::combine(chip.seed(), 0x93EA, cell, 3)) < CELL_PARTICIPATION;
+            if !participates {
+                continue;
+            }
+            let noise = hash::to_unit(hash::combine(chip.seed(), 0x93EB, cell, nonce));
+            if noise >= drop_p {
+                cells.push(i as u32);
+            }
+        }
+        Response::new(cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::{Vendor, VoltageClass};
+
+    fn chip() -> ChipModel {
+        ChipModel::new(2, Vendor::C, 4, 1600, VoltageClass::Ddr3l, 0xFEED)
+    }
+
+    #[test]
+    fn responses_are_very_stable() {
+        let c = chip();
+        let ch = Challenge::segment(0);
+        let a = PreLatPuf.evaluate(&c, &ch, &Environment::nominal(), 1);
+        let b = PreLatPuf.evaluate(&c, &ch, &Environment::nominal(), 2);
+        assert!(!a.is_empty());
+        assert!(a.jaccard(&b) > 0.98, "J = {}", a.jaccard(&b));
+    }
+
+    #[test]
+    fn temperature_barely_matters() {
+        let c = chip();
+        let ch = Challenge::segment(1);
+        let base = PreLatPuf.evaluate(&c, &ch, &Environment::nominal(), 1);
+        let hot = PreLatPuf.evaluate(
+            &c,
+            &ch,
+            &Environment {
+                temperature_c: 85.0,
+                aging_hours: 0.0,
+            },
+            2,
+        );
+        assert!(base.jaccard(&hot) > 0.97, "J = {}", base.jaccard(&hot));
+    }
+
+    #[test]
+    fn same_chip_segments_share_failing_positions() {
+        // The design-induced correlation: inter-Jaccard far from zero.
+        let c = chip();
+        let a = PreLatPuf.evaluate(&c, &Challenge::segment(0), &Environment::nominal(), 1);
+        let b = PreLatPuf.evaluate(&c, &Challenge::segment(7), &Environment::nominal(), 1);
+        let j = a.jaccard(&b);
+        assert!(j > 0.15, "J = {j}: PreLat responses must overlap across segments");
+        assert!(j < 0.9, "J = {j}: but not be identical");
+    }
+
+    #[test]
+    fn same_design_chips_share_responses_but_different_vendors_do_not() {
+        let a_chip = chip();
+        // Same vendor/density/speed: same column-driver design.
+        let same_design = ChipModel::new(3, Vendor::C, 4, 1600, VoltageClass::Ddr3l, 0xD00D);
+        // Different vendor: different design.
+        let other_vendor = ChipModel::new(4, Vendor::A, 4, 1600, VoltageClass::Ddr3l, 0xD11D);
+        let ch = Challenge::segment(0);
+        let a = PreLatPuf.evaluate(&a_chip, &ch, &Environment::nominal(), 1);
+        let b = PreLatPuf.evaluate(&same_design, &ch, &Environment::nominal(), 1);
+        let c = PreLatPuf.evaluate(&other_vendor, &ch, &Environment::nominal(), 1);
+        assert!(a.jaccard(&b) > 0.15, "same design: J = {}", a.jaccard(&b));
+        assert!(a.jaccard(&c) < 0.05, "other vendor: J = {}", a.jaccard(&c));
+    }
+}

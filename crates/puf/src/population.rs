@@ -1,0 +1,138 @@
+//! The evaluated chip population: 15 modules / 136 chips (paper Table 12).
+
+use crate::chip::{ChipModel, Vendor, VoltageClass};
+use crate::hash;
+
+/// One DDR3 module of the evaluated population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name as in Table 12 (M1–M15).
+    pub name: &'static str,
+    /// Manufacturer.
+    pub vendor: Vendor,
+    /// Rank count.
+    pub ranks: u32,
+    /// Per-chip capacity in gigabits.
+    pub chip_gbit: u32,
+    /// Data rate in MT/s.
+    pub freq_mts: u32,
+    /// Voltage class.
+    pub voltage: VoltageClass,
+    /// The module's chips.
+    pub chips: Vec<ChipModel>,
+}
+
+/// Table 12 row descriptors: (name, vendor, chips, ranks, Gb, MT/s, class).
+const TABLE12: [(&str, Vendor, u32, u32, u32, u32, VoltageClass); 15] = [
+    ("M1", Vendor::A, 8, 1, 4, 1600, VoltageClass::Ddr3l),
+    ("M2", Vendor::A, 8, 1, 4, 1600, VoltageClass::Ddr3l),
+    ("M3", Vendor::A, 8, 1, 4, 1600, VoltageClass::Ddr3l),
+    ("M4", Vendor::A, 8, 1, 4, 1600, VoltageClass::Ddr3l),
+    ("M5", Vendor::A, 8, 1, 4, 1600, VoltageClass::Ddr3),
+    ("M6", Vendor::A, 8, 1, 4, 1600, VoltageClass::Ddr3),
+    ("M7", Vendor::A, 8, 1, 4, 1600, VoltageClass::Ddr3),
+    ("M8", Vendor::A, 8, 1, 4, 1600, VoltageClass::Ddr3),
+    ("M9", Vendor::B, 16, 2, 2, 1333, VoltageClass::Ddr3),
+    ("M10", Vendor::B, 16, 2, 2, 1333, VoltageClass::Ddr3),
+    ("M11", Vendor::B, 8, 1, 4, 1600, VoltageClass::Ddr3l),
+    ("M12", Vendor::C, 8, 1, 4, 1600, VoltageClass::Ddr3l),
+    ("M13", Vendor::C, 8, 1, 4, 1600, VoltageClass::Ddr3l),
+    ("M14", Vendor::C, 8, 1, 4, 1600, VoltageClass::Ddr3l),
+    ("M15", Vendor::C, 8, 1, 4, 1600, VoltageClass::Ddr3l),
+];
+
+/// Builds the 136-chip population of the paper's Table 12. `seed`
+/// individualizes process variation while keeping the run reproducible.
+#[must_use]
+pub fn paper_population(seed: u64) -> Vec<Module> {
+    let mut chip_id = 0u32;
+    TABLE12
+        .iter()
+        .map(|&(name, vendor, chips, ranks, gbit, freq, voltage)| {
+            let chips = (0..chips)
+                .map(|i| {
+                    let chip_seed = hash::combine(seed, u64::from(chip_id), u64::from(i), 0xC41B);
+                    let chip = ChipModel::new(chip_id, vendor, gbit, freq, voltage, chip_seed);
+                    chip_id += 1;
+                    chip
+                })
+                .collect();
+            Module {
+                name,
+                vendor,
+                ranks,
+                chip_gbit: gbit,
+                freq_mts: freq,
+                voltage,
+                chips,
+            }
+        })
+        .collect()
+}
+
+/// Flattens a population into chip references.
+#[must_use]
+pub fn all_chips(population: &[Module]) -> Vec<&ChipModel> {
+    population.iter().flat_map(|m| m.chips.iter()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_has_136_chips_in_15_modules() {
+        let p = paper_population(1);
+        assert_eq!(p.len(), 15);
+        assert_eq!(all_chips(&p).len(), 136);
+    }
+
+    #[test]
+    fn vendor_chip_counts_match_table_3() {
+        let p = paper_population(1);
+        let count = |v: Vendor| {
+            all_chips(&p)
+                .iter()
+                .filter(|c| c.vendor == v)
+                .count()
+        };
+        assert_eq!(count(Vendor::A), 64);
+        assert_eq!(count(Vendor::B), 40);
+        assert_eq!(count(Vendor::C), 32);
+    }
+
+    #[test]
+    fn voltage_split_matches_table_3() {
+        let p = paper_population(1);
+        let ddr3l = all_chips(&p)
+            .iter()
+            .filter(|c| c.voltage == VoltageClass::Ddr3l)
+            .count();
+        // Table 3: 32 + 8 + 32 = 72 DDR3L chips, 64 DDR3 chips.
+        assert_eq!(ddr3l, 72);
+        assert_eq!(136 - ddr3l, 64);
+    }
+
+    #[test]
+    fn chip_ids_are_unique_and_seeds_differ() {
+        let p = paper_population(1);
+        let chips = all_chips(&p);
+        let mut ids: Vec<u32> = chips.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 136);
+        let mut seeds: Vec<u64> = chips.iter().map(|c| c.seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 136);
+    }
+
+    #[test]
+    fn population_is_reproducible_but_seed_sensitive() {
+        assert_eq!(paper_population(5), paper_population(5));
+        assert_ne!(
+            paper_population(5)[0].chips[0].seed(),
+            paper_population(6)[0].chips[0].seed()
+        );
+    }
+}

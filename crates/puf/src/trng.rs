@@ -1,0 +1,110 @@
+//! A CODIC-based true random number generator (paper §5.3.1).
+//!
+//! The paper notes CODIC "enables new TRNGs that exploit new failure
+//! mechanisms": sense amplifiers whose offset is close to zero resolve a
+//! precharged bitline metastably — thermal noise decides each evaluation.
+//! This module harvests those marginal sense amplifiers with repeated
+//! CODIC-sigsa commands: a profiling pass finds cells whose outcome flips
+//! across evaluations, and the TRNG then concatenates their outcomes.
+
+use crate::chip::ChipModel;
+use crate::hash;
+
+/// Fraction of sense amplifiers whose offset is small enough to be
+/// thermally metastable under CODIC-sigsa (|offset| within a fraction of
+/// the thermal noise scale).
+pub const METASTABLE_FRACTION: f64 = 0.002;
+
+/// Profiles `cells` consecutive cells of a chip and returns the indices
+/// usable as TRNG sources (marginal sense amplifiers).
+#[must_use]
+pub fn profile_trng_cells(chip: &ChipModel, cells: u64) -> Vec<u64> {
+    (0..cells)
+        .filter(|&c| hash::to_unit(hash::combine(chip.seed(), 0x7396, c, 0)) < METASTABLE_FRACTION)
+        .collect()
+}
+
+/// Draws `bits` random bits by repeatedly issuing CODIC-sigsa over the
+/// profiled cells. Each evaluation of a marginal cell resolves by thermal
+/// noise (modelled as a fresh unbiased draw per `(cell, evaluation)`).
+#[must_use]
+pub fn generate_bits(chip: &ChipModel, trng_cells: &[u64], bits: usize) -> Vec<u8> {
+    assert!(!trng_cells.is_empty(), "profile at least one marginal cell");
+    let mut out = Vec::with_capacity(bits);
+    let mut evaluation = 0u64;
+    while out.len() < bits {
+        evaluation += 1;
+        for &cell in trng_cells {
+            if out.len() >= bits {
+                break;
+            }
+            let draw = hash::to_unit(hash::combine(chip.seed(), 0x7397, cell, evaluation));
+            out.push(u8::from(draw < 0.5));
+        }
+    }
+    out
+}
+
+/// Throughput model: bits per second for a TRNG built on `trng_cells`
+/// within one 8 KB segment, at one CODIC-sigsa command (+ readout pass)
+/// per evaluation. Uses the Table 4 read-pass cost.
+#[must_use]
+pub fn throughput_bits_per_s(trng_cells: usize, timing: &codic_dram::TimingParams) -> f64 {
+    let pass_s = crate::eval_time::read_pass_ms(8192, timing) * 1e-3;
+    trng_cells as f64 / pass_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::{Vendor, VoltageClass};
+
+    fn chip() -> ChipModel {
+        ChipModel::new(0, Vendor::A, 4, 1600, VoltageClass::Ddr3l, 0x7396)
+    }
+
+    #[test]
+    fn profiling_finds_a_sparse_stable_set() {
+        let c = chip();
+        let cells = profile_trng_cells(&c, 65536);
+        assert!(!cells.is_empty());
+        let frac = cells.len() as f64 / 65536.0;
+        assert!(frac < 0.01, "marginal fraction {frac}");
+        assert_eq!(cells, profile_trng_cells(&c, 65536), "profiling is stable");
+    }
+
+    #[test]
+    fn generated_bits_pass_basic_nist_tests() {
+        let c = chip();
+        let cells = profile_trng_cells(&c, 65536);
+        let bits = generate_bits(&c, &cells, 100_000);
+        assert_eq!(bits.len(), 100_000);
+        assert!(codic_nist::monobit::test(&bits).passed());
+        assert!(codic_nist::runs::test(&bits).passed());
+        assert!(codic_nist::block_frequency::test(&bits).passed());
+    }
+
+    #[test]
+    fn successive_evaluations_differ() {
+        let c = chip();
+        let cells = profile_trng_cells(&c, 65536);
+        let a = generate_bits(&c, &cells, 1000);
+        let b = generate_bits(&c, &cells[..cells.len() - 1], 1000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn throughput_exceeds_the_puf_rate() {
+        // Dozens of marginal cells per segment, ~0.88 ms per evaluation:
+        // tens of kbit/s, far above retention-based TRNGs.
+        let t = codic_dram::TimingParams::ddr3_1600_11();
+        let bps = throughput_bits_per_s(100, &t);
+        assert!(bps > 10_000.0, "throughput {bps} b/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one marginal cell")]
+    fn empty_profile_is_rejected() {
+        let _ = generate_bits(&chip(), &[], 10);
+    }
+}

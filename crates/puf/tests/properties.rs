@@ -1,0 +1,44 @@
+//! Property-based tests of the PUF framework invariants.
+
+use codic_puf::challenge::Response;
+use codic_puf::mechanisms::{CodicSigPuf, Environment, PufMechanism};
+use codic_puf::population::paper_population;
+use codic_puf::Challenge;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn jaccard_is_symmetric_and_bounded(
+        a in proptest::collection::vec(0u32..5000, 0..200),
+        b in proptest::collection::vec(0u32..5000, 0..200),
+    ) {
+        let ra = Response::new(a);
+        let rb = Response::new(b);
+        let j_ab = ra.jaccard(&rb);
+        let j_ba = rb.jaccard(&ra);
+        prop_assert!((j_ab - j_ba).abs() < 1e-12, "symmetry");
+        prop_assert!((0.0..=1.0).contains(&j_ab), "bounded");
+        prop_assert_eq!(ra.jaccard(&ra.clone()), 1.0, "reflexive");
+    }
+
+    #[test]
+    fn responses_are_sorted_deduped_and_in_segment(
+        cells in proptest::collection::vec(0u32..65536, 0..300),
+    ) {
+        let r = Response::new(cells);
+        let s = r.cells();
+        prop_assert!(s.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+    }
+
+    #[test]
+    fn codic_sig_is_deterministic_per_nonce(seg in 0u64..32, nonce in 0u64..1000) {
+        let pop = paper_population(1);
+        let chip = &pop[0].chips[0];
+        let ch = Challenge::segment(seg);
+        let a = CodicSigPuf.evaluate(chip, &ch, &Environment::nominal(), nonce);
+        let b = CodicSigPuf.evaluate(chip, &ch, &Environment::nominal(), nonce);
+        prop_assert_eq!(a, b);
+    }
+}

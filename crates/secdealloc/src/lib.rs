@@ -1,0 +1,32 @@
+//! Secure-deallocation study (the CODIC paper's Appendix A).
+//!
+//! Secure deallocation zeroes memory at the moment it is freed. The paper
+//! compares a software implementation (the OS writes zeros through the
+//! CPU) against hardware row operations — LISA-clone, RowClone, and
+//! CODIC-det — on six memory-allocation-intensive benchmarks (Table 8),
+//! single-core (Figure 8) and in 4-core mixes with non-intensive partners
+//! (Figure 9, Table 9).
+//!
+//! The paper generates traces with Pin and Bochs; we substitute seeded
+//! synthetic trace generators parameterized per benchmark by allocation
+//! intensity, footprint, and locality ([`workload`]).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use codic_secdealloc::workload::Benchmark;
+//! use codic_secdealloc::mechanism::ZeroingMechanism;
+//! use codic_secdealloc::sim::single_core_comparison;
+//!
+//! let r = single_core_comparison(Benchmark::Malloc, 200, 7);
+//! let codic = r.speedup(ZeroingMechanism::Codic);
+//! assert!(codic > 1.0, "CODIC must beat software zeroing");
+//! ```
+
+pub mod mechanism;
+pub mod mixes;
+pub mod sim;
+pub mod workload;
+
+pub use mechanism::ZeroingMechanism;
+pub use workload::Benchmark;

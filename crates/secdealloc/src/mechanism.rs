@@ -1,0 +1,178 @@
+//! The compared secure-deallocation mechanisms (Appendix A).
+
+use codic_dram::request::RowOpKind;
+use codic_dram::trace::TraceOp;
+use codic_dram::TimingParams;
+
+use crate::workload::{AppTrace, LINES_PER_PAGE, PAGE_BYTES};
+
+/// How freed memory is zeroed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZeroingMechanism {
+    /// Software: the OS writes zeros through the CPU (Chow et al.'s
+    /// secure deallocation) — the study's baseline.
+    Software,
+    /// LISA-clone copies from a zero row.
+    LisaClone,
+    /// RowClone copies from a zero row.
+    RowClone,
+    /// CODIC-det drives every cell to zero with one command per row.
+    Codic,
+}
+
+impl ZeroingMechanism {
+    /// The mechanisms in Figure 8's bar order.
+    pub const ALL: [ZeroingMechanism; 4] = [
+        ZeroingMechanism::Software,
+        ZeroingMechanism::LisaClone,
+        ZeroingMechanism::RowClone,
+        ZeroingMechanism::Codic,
+    ];
+
+    /// The hardware mechanisms only.
+    pub const HARDWARE: [ZeroingMechanism; 3] = [
+        ZeroingMechanism::LisaClone,
+        ZeroingMechanism::RowClone,
+        ZeroingMechanism::Codic,
+    ];
+
+    /// Display name as in Figure 8.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ZeroingMechanism::Software => "software",
+            ZeroingMechanism::LisaClone => "LISA-clone",
+            ZeroingMechanism::RowClone => "RowClone",
+            ZeroingMechanism::Codic => "CODIC",
+        }
+    }
+
+    /// Row-operation parameters for the hardware mechanisms:
+    /// (kind, bank-busy cycles). Matches the cold-boot study's costs.
+    #[must_use]
+    pub fn row_op(self, t: &TimingParams) -> Option<(RowOpKind, u32)> {
+        match self {
+            ZeroingMechanism::Software => None,
+            ZeroingMechanism::Codic => Some((RowOpKind::Codic, t.t_rc)),
+            ZeroingMechanism::RowClone => Some((RowOpKind::RowClone, 2 * t.t_ras + t.t_rp)),
+            ZeroingMechanism::LisaClone => Some((
+                RowOpKind::LisaClone,
+                2 * t.t_ras + t.t_rp + t.cycles_from_ns(70.0),
+            )),
+        }
+    }
+
+    /// Builds the full core trace: the application ops with the zeroing
+    /// work this mechanism requires spliced in at each deallocation point.
+    #[must_use]
+    pub fn instrument(self, app: &AppTrace, timing: &TimingParams) -> Vec<TraceOp> {
+        let mut out = Vec::with_capacity(app.ops.len() + app.deallocs.len() * 64);
+        let mut next_dealloc = 0usize;
+        for (pos, &op) in app.ops.iter().enumerate() {
+            while next_dealloc < app.deallocs.len()
+                && app.deallocs[next_dealloc].trace_pos == pos
+            {
+                self.emit_zeroing(&app.deallocs[next_dealloc], timing, &mut out);
+                next_dealloc += 1;
+            }
+            out.push(op);
+        }
+        for d in &app.deallocs[next_dealloc..] {
+            self.emit_zeroing(d, timing, &mut out);
+        }
+        out
+    }
+
+    fn emit_zeroing(
+        self,
+        d: &crate::workload::DeallocEvent,
+        timing: &TimingParams,
+        out: &mut Vec<TraceOp>,
+    ) {
+        match self.row_op(timing) {
+            None => {
+                // Software zeroing: one store per line of each freed page.
+                for page in 0..u64::from(d.pages) {
+                    let base = (d.first_page + page) * PAGE_BYTES;
+                    for line in 0..LINES_PER_PAGE {
+                        out.push(TraceOp::Write(base + line * 64));
+                    }
+                }
+            }
+            Some((op, busy_cycles)) => {
+                // One row operation per freed 8 KB row (two 4 KB pages).
+                let rows = (u64::from(d.pages) * PAGE_BYTES).div_ceil(8192);
+                for row in 0..rows {
+                    let addr = d.first_page * PAGE_BYTES + row * 8192;
+                    out.push(TraceOp::RowOp {
+                        addr,
+                        op,
+                        busy_cycles,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate, Benchmark};
+
+    fn timing() -> TimingParams {
+        TimingParams::ddr3_1600_11()
+    }
+
+    #[test]
+    fn software_splices_writes_hardware_splices_rowops() {
+        let app = generate(Benchmark::Shell, 4, 1);
+        let sw = ZeroingMechanism::Software.instrument(&app, &timing());
+        let hw = ZeroingMechanism::Codic.instrument(&app, &timing());
+        assert!(sw.len() > app.ops.len());
+        let rowops = hw
+            .iter()
+            .filter(|o| matches!(o, TraceOp::RowOp { .. }))
+            .count();
+        let expected_rows: u64 = app
+            .deallocs
+            .iter()
+            .map(|d| (u64::from(d.pages) * PAGE_BYTES).div_ceil(8192))
+            .sum();
+        assert_eq!(rowops as u64, expected_rows);
+        assert!(sw.len() > hw.len(), "software zeroing inflates the trace");
+    }
+
+    #[test]
+    fn codic_rowops_are_cheapest() {
+        let t = timing();
+        let (_, codic) = ZeroingMechanism::Codic.row_op(&t).unwrap();
+        let (_, rc) = ZeroingMechanism::RowClone.row_op(&t).unwrap();
+        let (_, lisa) = ZeroingMechanism::LisaClone.row_op(&t).unwrap();
+        assert!(codic < rc && rc < lisa);
+        assert!(ZeroingMechanism::Software.row_op(&t).is_none());
+    }
+
+    #[test]
+    fn instrumentation_preserves_application_ops() {
+        let app = generate(Benchmark::Mysql, 3, 2);
+        for m in ZeroingMechanism::ALL {
+            let instrumented = m.instrument(&app, &timing());
+            let app_ops = instrumented
+                .iter()
+                .filter(|o| !matches!(o, TraceOp::RowOp { .. }))
+                .filter(|o| {
+                    // Zeroing writes are extra Write ops; just check
+                    // Read/Bubble counts survive.
+                    matches!(o, TraceOp::Read(_) | TraceOp::Bubble(_))
+                })
+                .count();
+            let original = app
+                .ops
+                .iter()
+                .filter(|o| matches!(o, TraceOp::Read(_) | TraceOp::Bubble(_)))
+                .count();
+            assert_eq!(app_ops, original, "{m:?}");
+        }
+    }
+}

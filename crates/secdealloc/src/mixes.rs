@@ -1,0 +1,83 @@
+//! The 4-core workload mixes (Table 9 and the AVG50 bar of Figure 9).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::Benchmark;
+
+/// A named 4-core mix: two allocation-intensive benchmarks (the partners
+/// are a streaming and a random-access trace, as in Table 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Mix label ("MIX1"…).
+    pub name: &'static str,
+    /// The two allocation-intensive members.
+    pub intensive: [Benchmark; 2],
+}
+
+/// The five representative mixes of Table 9.
+#[must_use]
+pub fn representative_mixes() -> Vec<Mix> {
+    vec![
+        Mix {
+            name: "MIX1",
+            intensive: [Benchmark::Malloc, Benchmark::Bootup],
+        },
+        Mix {
+            name: "MIX2",
+            intensive: [Benchmark::Shell, Benchmark::Bootup],
+        },
+        Mix {
+            name: "MIX3",
+            intensive: [Benchmark::Bootup, Benchmark::Shell],
+        },
+        Mix {
+            name: "MIX4",
+            intensive: [Benchmark::Malloc, Benchmark::Shell],
+        },
+        Mix {
+            name: "MIX5",
+            intensive: [Benchmark::Malloc, Benchmark::Malloc],
+        },
+    ]
+}
+
+/// Draws the full 50-mix population used for the AVG50 bar: every mix is
+/// two random allocation-intensive benchmarks.
+#[must_use]
+pub fn fifty_mixes(seed: u64) -> Vec<[Benchmark; 2]> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..50)
+        .map(|_| {
+            [
+                Benchmark::ALL[rng.gen_range(0..Benchmark::ALL.len())],
+                Benchmark::ALL[rng.gen_range(0..Benchmark::ALL.len())],
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_five_representative_mixes() {
+        let m = representative_mixes();
+        assert_eq!(m.len(), 5);
+        assert_eq!(m[0].name, "MIX1");
+        // MIX5 doubles up on malloc, as Table 9 does.
+        assert_eq!(m[4].intensive, [Benchmark::Malloc, Benchmark::Malloc]);
+    }
+
+    #[test]
+    fn fifty_mixes_are_deterministic_and_diverse() {
+        let a = fifty_mixes(1);
+        let b = fifty_mixes(1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        let distinct: std::collections::HashSet<_> =
+            a.iter().map(|m| (m[0].name(), m[1].name())).collect();
+        assert!(distinct.len() > 10);
+    }
+}

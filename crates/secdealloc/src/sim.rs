@@ -1,0 +1,138 @@
+//! Running the secure-deallocation comparison (Figures 8 and 9).
+
+use std::collections::HashMap;
+
+use codic_dram::geometry::DramGeometry;
+use codic_dram::system::System;
+use codic_dram::timing::TimingParams;
+use codic_dram::trace::TraceOp;
+use codic_power::EnergyModel;
+
+use crate::mechanism::ZeroingMechanism;
+use crate::workload::{generate, generate_partner, AppTrace, Benchmark};
+
+/// Result of running the same workload under every mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    cycles: HashMap<ZeroingMechanism, u64>,
+    energy_nj: HashMap<ZeroingMechanism, f64>,
+}
+
+impl Comparison {
+    /// Speedup of `mechanism` over software zeroing (> 1 is faster).
+    #[must_use]
+    pub fn speedup(&self, mechanism: ZeroingMechanism) -> f64 {
+        self.cycles[&ZeroingMechanism::Software] as f64 / self.cycles[&mechanism] as f64
+    }
+
+    /// Energy savings of `mechanism` relative to software zeroing, as a
+    /// fraction (0.34 = 34 % less energy).
+    #[must_use]
+    pub fn energy_savings(&self, mechanism: ZeroingMechanism) -> f64 {
+        1.0 - self.energy_nj[&mechanism] / self.energy_nj[&ZeroingMechanism::Software]
+    }
+
+    /// Raw cycle count of one mechanism.
+    #[must_use]
+    pub fn cycles(&self, mechanism: ZeroingMechanism) -> u64 {
+        self.cycles[&mechanism]
+    }
+}
+
+fn run_traces(traces: Vec<Vec<TraceOp>>) -> (u64, f64) {
+    let timing = TimingParams::ddr3_1600_11();
+    let mut system = System::new(DramGeometry::module_mib(256), timing, traces);
+    let stats = system.run(u64::MAX);
+    let energy = EnergyModel::paper_default()
+        .breakdown(&stats.mem, stats.cycles)
+        .total_nj();
+    (stats.cycles, energy)
+}
+
+fn compare(app_traces: &[AppTrace]) -> Comparison {
+    let timing = TimingParams::ddr3_1600_11();
+    let mut cycles = HashMap::new();
+    let mut energy = HashMap::new();
+    for m in ZeroingMechanism::ALL {
+        let traces: Vec<Vec<TraceOp>> =
+            app_traces.iter().map(|t| m.instrument(t, &timing)).collect();
+        let (c, e) = run_traces(traces);
+        cycles.insert(m, c);
+        energy.insert(m, e);
+    }
+    Comparison {
+        cycles,
+        energy_nj: energy,
+    }
+}
+
+/// Single-core comparison for one benchmark (Figure 8): `bursts`
+/// allocate–use–free cycles.
+#[must_use]
+pub fn single_core_comparison(benchmark: Benchmark, bursts: u32, seed: u64) -> Comparison {
+    compare(&[generate(benchmark, bursts, seed)])
+}
+
+/// 4-core mix comparison (Figure 9): two allocation-intensive benchmarks
+/// plus one streaming and one random-access partner.
+#[must_use]
+pub fn mix_comparison(intensive: [Benchmark; 2], bursts: u32, seed: u64) -> Comparison {
+    let partner_len = 3000;
+    let traces = vec![
+        generate(intensive[0], bursts, seed),
+        generate(intensive[1], bursts, seed ^ 1),
+        generate_partner(true, partner_len, seed ^ 2),
+        generate_partner(false, partner_len, seed ^ 3),
+    ];
+    compare(&traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_beats_software_on_malloc() {
+        let c = single_core_comparison(Benchmark::Malloc, 60, 7);
+        for m in ZeroingMechanism::HARDWARE {
+            assert!(c.speedup(m) > 1.0, "{m:?}: {}", c.speedup(m));
+            assert!(c.energy_savings(m) > 0.0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn codic_is_the_fastest_mechanism() {
+        let c = single_core_comparison(Benchmark::Malloc, 60, 7);
+        let codic = c.speedup(ZeroingMechanism::Codic);
+        let rc = c.speedup(ZeroingMechanism::RowClone);
+        let lisa = c.speedup(ZeroingMechanism::LisaClone);
+        assert!(codic >= rc, "codic {codic} vs rowclone {rc}");
+        assert!(rc >= lisa, "rowclone {rc} vs lisa {lisa}");
+    }
+
+    #[test]
+    fn malloc_gains_roughly_20_percent_with_codic() {
+        // Figure 8: the malloc stressor shows the largest speedup (≈21 %).
+        let c = single_core_comparison(Benchmark::Malloc, 80, 3);
+        let s = c.speedup(ZeroingMechanism::Codic);
+        assert!(s > 1.10 && s < 1.40, "speedup {s}");
+    }
+
+    #[test]
+    fn low_intensity_benchmarks_gain_less() {
+        let malloc = single_core_comparison(Benchmark::Malloc, 50, 5);
+        let mysql = single_core_comparison(Benchmark::Mysql, 50, 5);
+        assert!(
+            malloc.speedup(ZeroingMechanism::Codic) > mysql.speedup(ZeroingMechanism::Codic),
+            "allocation intensity must drive the benefit"
+        );
+        assert!(mysql.speedup(ZeroingMechanism::Codic) > 1.0);
+    }
+
+    #[test]
+    fn four_core_mixes_still_benefit() {
+        let c = mix_comparison([Benchmark::Malloc, Benchmark::Bootup], 30, 11);
+        let s = c.speedup(ZeroingMechanism::Codic);
+        assert!(s > 1.0, "mix speedup {s}");
+    }
+}

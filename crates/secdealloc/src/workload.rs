@@ -1,0 +1,242 @@
+//! Benchmark descriptors (Table 8) and synthetic trace generation.
+
+use codic_dram::trace::TraceOp;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bytes per OS page.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Lines per page.
+pub const LINES_PER_PAGE: u64 = PAGE_BYTES / 64;
+
+/// The six memory-allocation-intensive benchmarks of Table 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// MySQL loading the sample employee database.
+    Mysql,
+    /// Memcached, a memory object caching system.
+    Memcached,
+    /// Compilation phase of GCC.
+    Compiler,
+    /// Linux kernel boot-up phase.
+    Bootup,
+    /// Shell script running `find` with `ls`.
+    Shell,
+    /// stress-ng stressing the malloc primitive.
+    Malloc,
+}
+
+/// Workload knobs derived from each benchmark's allocation behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// Pages deallocated per burst.
+    pub pages_per_burst: u32,
+    /// Non-memory instructions between page touches (compute intensity).
+    pub bubbles_per_page: u32,
+    /// Read accesses per page before it is freed (reuse).
+    pub reads_per_page: u32,
+    /// Fraction of each page's lines the application actually writes.
+    pub write_density: f64,
+}
+
+impl Benchmark {
+    /// All six benchmarks in Figure 8's order.
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::Mysql,
+        Benchmark::Memcached,
+        Benchmark::Compiler,
+        Benchmark::Bootup,
+        Benchmark::Shell,
+        Benchmark::Malloc,
+    ];
+
+    /// Display name as in Figure 8.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Mysql => "mysql",
+            Benchmark::Memcached => "memcach.",
+            Benchmark::Compiler => "compile",
+            Benchmark::Bootup => "bootup",
+            Benchmark::Shell => "shell",
+            Benchmark::Malloc => "malloc",
+        }
+    }
+
+    /// The benchmark's workload parameters: more allocation-bound
+    /// benchmarks free more pages per unit of useful work.
+    #[must_use]
+    pub fn params(self) -> WorkloadParams {
+        match self {
+            Benchmark::Mysql => WorkloadParams {
+                pages_per_burst: 4,
+                bubbles_per_page: 11_000,
+                reads_per_page: 28,
+                write_density: 0.9,
+            },
+            Benchmark::Memcached => WorkloadParams {
+                pages_per_burst: 4,
+                bubbles_per_page: 7_900,
+                reads_per_page: 22,
+                write_density: 0.9,
+            },
+            Benchmark::Compiler => WorkloadParams {
+                pages_per_burst: 6,
+                bubbles_per_page: 6_400,
+                reads_per_page: 16,
+                write_density: 0.8,
+            },
+            Benchmark::Bootup => WorkloadParams {
+                pages_per_burst: 8,
+                bubbles_per_page: 5_500,
+                reads_per_page: 8,
+                write_density: 0.7,
+            },
+            Benchmark::Shell => WorkloadParams {
+                pages_per_burst: 8,
+                bubbles_per_page: 4_400,
+                reads_per_page: 6,
+                write_density: 0.6,
+            },
+            Benchmark::Malloc => WorkloadParams {
+                pages_per_burst: 16,
+                bubbles_per_page: 3_600,
+                reads_per_page: 2,
+                write_density: 0.5,
+            },
+        }
+    }
+}
+
+/// One deallocation burst recorded while generating a trace: the page
+/// range freed and the trace position where the free happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeallocEvent {
+    /// Index into the generated trace after which the pages are free.
+    pub trace_pos: usize,
+    /// First freed page number.
+    pub first_page: u64,
+    /// Number of pages freed.
+    pub pages: u32,
+}
+
+/// A generated application trace plus its deallocation schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppTrace {
+    /// The instruction/memory trace without any zeroing work.
+    pub ops: Vec<TraceOp>,
+    /// Where deallocations occur.
+    pub deallocs: Vec<DeallocEvent>,
+}
+
+/// Generates `bursts` allocate–use–free cycles of `benchmark`.
+#[must_use]
+pub fn generate(benchmark: Benchmark, bursts: u32, seed: u64) -> AppTrace {
+    let p = benchmark.params();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EC_DEA);
+    let mut ops = Vec::new();
+    let mut deallocs = Vec::new();
+    let mut next_page = 0u64;
+    for _ in 0..bursts {
+        let first_page = next_page;
+        for page in 0..p.pages_per_burst {
+            let base = (first_page + u64::from(page)) * PAGE_BYTES;
+            // Application writes its data…
+            let writes = (LINES_PER_PAGE as f64 * p.write_density) as u64;
+            for line in 0..writes {
+                ops.push(TraceOp::Write(base + line * 64));
+            }
+            // …computes…
+            ops.push(TraceOp::Bubble(p.bubbles_per_page));
+            // …and reads some of it back.
+            for _ in 0..p.reads_per_page {
+                let line = rng.gen_range(0..LINES_PER_PAGE);
+                ops.push(TraceOp::Read(base + line * 64));
+            }
+        }
+        next_page += u64::from(p.pages_per_burst);
+        deallocs.push(DeallocEvent {
+            trace_pos: ops.len(),
+            first_page,
+            pages: p.pages_per_burst,
+        });
+    }
+    AppTrace { ops, deallocs }
+}
+
+/// Generates a non-allocation-intensive partner trace (TPC-C/H, STREAM,
+/// SPEC-class) for the 4-core mixes: streaming reads and compute, no
+/// deallocation.
+#[must_use]
+pub fn generate_partner(streaming: bool, length: u32, seed: u64) -> AppTrace {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9A57);
+    let mut ops = Vec::new();
+    let mut addr = 1u64 << 28; // keep partners away from the dealloc heap
+    for _ in 0..length {
+        if streaming {
+            ops.push(TraceOp::Read(addr));
+            addr += 64;
+            ops.push(TraceOp::Bubble(8));
+        } else {
+            let jump = rng.gen_range(0..1u64 << 22) & !63;
+            ops.push(TraceOp::Read((1 << 28) + jump));
+            ops.push(TraceOp::Bubble(60));
+        }
+    }
+    AppTrace {
+        ops,
+        deallocs: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malloc_frees_the_most_pages_per_work() {
+        let malloc = Benchmark::Malloc.params();
+        let mysql = Benchmark::Mysql.params();
+        let intensity = |p: &WorkloadParams| {
+            f64::from(p.pages_per_burst)
+                / (f64::from(p.bubbles_per_page) + f64::from(p.reads_per_page))
+        };
+        assert!(intensity(&malloc) > 5.0 * intensity(&mysql));
+        // Bubbles dominate page cost so zeroing stays a 10-25 % tax.
+        assert!(malloc.bubbles_per_page > 1000);
+    }
+
+    #[test]
+    fn generated_trace_has_deallocs_at_recorded_positions() {
+        let t = generate(Benchmark::Shell, 10, 1);
+        assert_eq!(t.deallocs.len(), 10);
+        for d in &t.deallocs {
+            assert!(d.trace_pos <= t.ops.len());
+            assert_eq!(d.pages, Benchmark::Shell.params().pages_per_burst);
+        }
+    }
+
+    #[test]
+    fn freed_page_ranges_do_not_overlap() {
+        let t = generate(Benchmark::Malloc, 20, 2);
+        let mut seen = std::collections::HashSet::new();
+        for d in &t.deallocs {
+            for p in 0..u64::from(d.pages) {
+                assert!(seen.insert(d.first_page + p), "page freed twice");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(Benchmark::Bootup, 5, 9), generate(Benchmark::Bootup, 5, 9));
+    }
+
+    #[test]
+    fn partner_traces_have_no_deallocs() {
+        let t = generate_partner(true, 100, 3);
+        assert!(t.deallocs.is_empty());
+        assert!(!t.ops.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Quickstart: program a CODIC variant through the mode registers, run it
+//! through the analog circuit simulator, and classify what it does.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use codic::circuit::{CircuitParams, CircuitSim};
+use codic::core::classify::classify;
+use codic::core::library;
+use codic::core::mode_register::ModeRegisterFile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a CODIC variant from the paper's Table 1.
+    let variant = library::codic_sig();
+    println!("variant: {variant}");
+
+    // 2. Program it the way the memory controller would: 10-bit mode
+    //    registers written over MRS commands (paper 4.2.2).
+    let mut registers = ModeRegisterFile::new();
+    let mrs_commands = registers.program(&variant);
+    println!("programmed with {mrs_commands} MRS commands");
+    assert_eq!(&registers.schedule()?, variant.schedule());
+
+    // 3. Simulate the analog circuit executing the command.
+    let mut sim = CircuitSim::new(CircuitParams::default());
+    sim.set_cell_bit(true); // the cell holds a 1 before the command
+    let waveform = sim.run(variant.schedule());
+    println!("\n{}", waveform.ascii_chart(72));
+    println!("terminal state: {}", waveform.outcome());
+
+    // 4. Classify the variant's functionality.
+    let class = classify(&variant, &CircuitParams::default());
+    println!("functional class: {class}");
+    println!("destroys contents: {}", class.is_destructive());
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the full CODIC reproduction workspace.
+pub use codic_circuit as circuit;
+pub use codic_coldboot as coldboot;
+pub use codic_core as core;
+pub use codic_dram as dram;
+pub use codic_nist as nist;
+pub use codic_power as power;
+pub use codic_puf as puf;
+pub use codic_secdealloc as secdealloc;

@@ -1,0 +1,103 @@
+//! Cross-crate integration tests: each exercises a full pipeline spanning
+//! several crates, mirroring how the paper's experiments compose the
+//! substrate, the simulators, and the applications.
+
+use codic::circuit::{CircuitParams, CircuitSim, SenseOutcome};
+use codic::core::classify::{classify, OperationClass};
+use codic::core::library;
+
+#[test]
+fn mode_registers_drive_the_circuit_to_the_documented_outcome() {
+    // MRS programming (core) -> schedule -> analog simulation (circuit).
+    let mut registers = codic::core::mode_register::ModeRegisterFile::new();
+    registers.program(&library::codic_det_zero());
+    let schedule = registers.schedule().expect("valid registers");
+    let mut sim = CircuitSim::new(CircuitParams::default());
+    sim.set_cell_bit(true);
+    assert_eq!(sim.run(&schedule).outcome(), SenseOutcome::RestoredZero);
+}
+
+#[test]
+fn every_table1_variant_classifies_and_costs_consistently() {
+    // circuit + core + dram + power together.
+    let timing = codic::dram::TimingParams::ddr3_1600_11();
+    let energy = codic::power::EnergyModel::paper_default();
+    for variant in library::table2_variants() {
+        let class = classify(&variant, &CircuitParams::default());
+        let cost = codic::core::latency::command_cost(&variant, class, &timing, &energy);
+        assert!(cost.latency_ns == 35.0 || cost.latency_ns == 13.0);
+        assert!(cost.energy_nj > 17.0 && cost.energy_nj < 17.5);
+    }
+}
+
+#[test]
+fn codic_controller_guards_the_puf_range_end_to_end() {
+    let mut controller = codic::core::interface::CodicController::new(0..8192);
+    let class = classify(&library::codic_sig(), &CircuitParams::default());
+    assert_eq!(class, OperationClass::SignaturePreparation);
+    controller.install(library::codic_sig(), class);
+    assert!(controller.issue(0).is_ok());
+    assert!(controller.issue(1 << 30).is_err(), "destructive op outside range");
+}
+
+#[test]
+fn destruction_beats_firmware_by_orders_of_magnitude() {
+    use codic::coldboot::latency::destruction_time_ms;
+    use codic::coldboot::DestructionMechanism;
+    let tcg = destruction_time_ms(DestructionMechanism::Tcg, 64);
+    let codic = destruction_time_ms(DestructionMechanism::Codic, 64);
+    assert!(tcg / codic > 100.0, "TCG {tcg} ms vs CODIC {codic} ms");
+}
+
+#[test]
+fn puf_stream_passes_core_nist_tests_after_whitening() {
+    // puf + nist.
+    let population = codic::puf::population::paper_population(0x7E57);
+    let bits = codic::puf::bitstream::whitened_stream(
+        &population,
+        &codic::puf::mechanisms::CodicSigPuf,
+        &codic::puf::mechanisms::Environment::nominal(),
+        60_000,
+    );
+    let monobit = codic::nist::monobit::test(&bits);
+    let runs = codic::nist::runs::test(&bits);
+    let serial = codic::nist::serial::test(&bits);
+    assert!(monobit.passed(), "monobit p = {}", monobit.p_value);
+    assert!(runs.passed(), "runs p = {}", runs.p_value);
+    assert!(serial.passed(), "serial p = {}", serial.p_value);
+}
+
+#[test]
+fn secure_deallocation_orders_mechanisms_like_the_paper() {
+    use codic::secdealloc::mechanism::ZeroingMechanism;
+    use codic::secdealloc::sim::single_core_comparison;
+    let c = single_core_comparison(codic::secdealloc::Benchmark::Shell, 25, 3);
+    let codic_s = c.speedup(ZeroingMechanism::Codic);
+    let lisa_s = c.speedup(ZeroingMechanism::LisaClone);
+    assert!(codic_s >= lisa_s, "CODIC {codic_s} vs LISA {lisa_s}");
+    assert!(codic_s > 1.0);
+}
+
+#[test]
+fn self_destruct_module_survives_a_simulated_cold_boot() {
+    use codic::coldboot::attack::{attack_protected, AttackScenario};
+    let result = attack_protected(&AttackScenario {
+        off_seconds: 0.1,
+        temperature_c: -40.0, // chilled module: worst case for the victim
+        total_rows: 8192,
+    });
+    assert_eq!(result.recovered_fraction, 0.0);
+}
+
+#[test]
+fn sigsa_montecarlo_consistent_with_puf_minority_rates() {
+    // The circuit-level flip rate and the chip model's minority fractions
+    // live in the same 0.01%-0.22% decade (paper 6.1, footnote 7).
+    let stats = codic::circuit::montecarlo::SigsaExperiment {
+        trials: 30_000,
+        ..Default::default()
+    }
+    .run();
+    let pct = stats.flip_pct();
+    assert!(pct < 0.25, "flip rate {pct}% out of the paper's range");
+}
