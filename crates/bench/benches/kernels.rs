@@ -40,8 +40,7 @@ fn controller_row_hits(c: &mut Criterion) {
             mc.set_refresh_enabled(false);
             let mut issued = 0u64;
             while issued < 1000 {
-                while issued < 1000
-                    && mc.push(MemRequest::new(issued * 64, ReqKind::Read)).is_ok()
+                while issued < 1000 && mc.push(MemRequest::new(issued * 64, ReqKind::Read)).is_ok()
                 {
                     issued += 1;
                 }
@@ -56,7 +55,12 @@ fn destruction_sweep(c: &mut Criterion) {
     use codic_coldboot::latency::destruction_time_ms;
     use codic_coldboot::DestructionMechanism;
     c.bench_function("coldboot/codic_sweep_256mb", |b| {
-        b.iter(|| black_box(destruction_time_ms(DestructionMechanism::Codic, black_box(256))))
+        b.iter(|| {
+            black_box(destruction_time_ms(
+                DestructionMechanism::Codic,
+                black_box(256),
+            ))
+        })
     });
 }
 

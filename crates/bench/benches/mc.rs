@@ -1,0 +1,60 @@
+//! Criterion benchmark of the Monte Carlo engines on the paper's Table 11
+//! workload: the 100,000-trial CODIC-sigsa sweep.
+//!
+//! - `mc/sigsa_100k_scalar` — the original baseline: one freshly allocated
+//!   `CircuitSim` per trial, signals re-queried every 25 ps step.
+//! - `mc/sigsa_100k_batched` — `CircuitSimBatch`, forced to one thread.
+//! - `mc/sigsa_100k` — the headline: batched + rayon chunk parallelism.
+//!
+//! All three paths draw identical per-trial variation and produce
+//! identical flip counts. Set `MC_TRIALS` to scale the workload down for
+//! quick runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use codic_bench::with_threads;
+use codic_circuit::montecarlo::SigsaExperiment;
+
+fn trials() -> u32 {
+    std::env::var("MC_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000)
+}
+
+fn experiment() -> SigsaExperiment {
+    SigsaExperiment {
+        trials: trials(),
+        ..SigsaExperiment::default()
+    }
+}
+
+fn mc_scalar(c: &mut Criterion) {
+    let exp = experiment();
+    c.sample_size(10)
+        .bench_function("mc/sigsa_100k_scalar", |b| {
+            b.iter(|| black_box(exp.run_scalar().flips))
+        });
+}
+
+fn mc_batched_single_thread(c: &mut Criterion) {
+    let exp = experiment();
+    c.sample_size(10)
+        .bench_function("mc/sigsa_100k_batched", |b| {
+            b.iter(|| with_threads(Some(1), || black_box(exp.run().flips)))
+        });
+}
+
+fn mc_batched_parallel(c: &mut Criterion) {
+    let exp = experiment();
+    c.sample_size(10)
+        .bench_function("mc/sigsa_100k", |b| b.iter(|| black_box(exp.run().flips)));
+}
+
+criterion_group!(
+    benches,
+    mc_scalar,
+    mc_batched_single_thread,
+    mc_batched_parallel
+);
+criterion_main!(benches);

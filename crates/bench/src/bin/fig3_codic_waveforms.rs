@@ -2,8 +2,16 @@
 use codic_circuit::{CircuitParams, CircuitSim};
 fn main() {
     for (label, variant, bit) in [
-        ("Figure 3a: CODIC-sig (cell starts at 1)", codic_core::library::codic_sig(), true),
-        ("Figure 3b: CODIC-det generating zero (cell starts at 1)", codic_core::library::codic_det_zero(), true),
+        (
+            "Figure 3a: CODIC-sig (cell starts at 1)",
+            codic_core::library::codic_sig(),
+            true,
+        ),
+        (
+            "Figure 3b: CODIC-det generating zero (cell starts at 1)",
+            codic_core::library::codic_det_zero(),
+            true,
+        ),
     ] {
         println!("{label}\n");
         let mut sim = CircuitSim::new(CircuitParams::default());

@@ -31,7 +31,10 @@ fn main() {
         ("CODIC-sig PUF", Box::new(CodicSigPuf)),
     ];
     println!("Figure 5: Jaccard indices ({pairs} pairs per distribution)");
-    for (class, label) in [(VoltageClass::Ddr3, "DDR3 (64 chips)"), (VoltageClass::Ddr3l, "DDR3L (72 chips)")] {
+    for (class, label) in [
+        (VoltageClass::Ddr3, "DDR3 (64 chips)"),
+        (VoltageClass::Ddr3l, "DDR3L (72 chips)"),
+    ] {
         println!("{label}:");
         for (i, (name, m)) in mechanisms.iter().enumerate() {
             let d = distributions(&pop, class, m.as_ref(), &env, pairs, 40 + i as u64);

@@ -14,7 +14,11 @@ fn main() {
     println!("Figure 7: DRAM module data destruction time");
     print!("| Mechanism |");
     for s in &sizes {
-        if *s >= 1024 { print!(" {} GB |", s / 1024) } else { print!(" {s} MB |") }
+        if *s >= 1024 {
+            print!(" {} GB |", s / 1024)
+        } else {
+            print!(" {s} MB |")
+        }
     }
     println!();
     for m in DestructionMechanism::ALL {
@@ -27,7 +31,10 @@ fn main() {
     println!("\nPaper @64MB: TCG 34 ms, LISA 150 us, RowClone 120 us, CODIC 60 us.");
     if std::env::args().any(|a| a == "--energy") {
         let cap = if quick { 1024 } else { 8192 };
-        println!("\nEnergy vs CODIC at {} GB (paper: TCG 41.7x, LISA 2.5x, RowClone 1.7x):", cap / 1024);
+        println!(
+            "\nEnergy vs CODIC at {} GB (paper: TCG 41.7x, LISA 2.5x, RowClone 1.7x):",
+            cap / 1024
+        );
         for (m, r) in energy_ratios_vs_codic(cap) {
             println!("  {:12} {r:.1}x", m.name());
         }

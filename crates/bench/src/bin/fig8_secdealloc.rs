@@ -14,7 +14,13 @@ fn main() {
         let c = single_core_comparison(b, bursts, 7);
         let cells: Vec<String> = ZeroingMechanism::HARDWARE
             .iter()
-            .map(|&m| format!("{:+.1}% / {:+.1}%", (c.speedup(m) - 1.0) * 100.0, c.energy_savings(m) * 100.0))
+            .map(|&m| {
+                format!(
+                    "{:+.1}% / {:+.1}%",
+                    (c.speedup(m) - 1.0) * 100.0,
+                    c.energy_savings(m) * 100.0
+                )
+            })
             .collect();
         println!("| {} | {} |", b.name(), cells.join(" | "));
         energies.push((b.name(), c.energy_savings(ZeroingMechanism::Codic)));

@@ -13,7 +13,13 @@ fn main() {
         let c = mix_comparison(mix.intensive, bursts, 11);
         let cells: Vec<String> = ZeroingMechanism::HARDWARE
             .iter()
-            .map(|&m| format!("{:+.1}% / {:+.1}%", (c.speedup(m) - 1.0) * 100.0, c.energy_savings(m) * 100.0))
+            .map(|&m| {
+                format!(
+                    "{:+.1}% / {:+.1}%",
+                    (c.speedup(m) - 1.0) * 100.0,
+                    c.energy_savings(m) * 100.0
+                )
+            })
             .collect();
         println!("| {} | {} |", mix.name, cells.join(" | "));
     }
@@ -30,5 +36,9 @@ fn main() {
         .iter()
         .map(|s| format!("{:+.1}%", 100.0 * s / sample.len() as f64))
         .collect();
-    println!("| AVG{} (speedup only) | {} |", sample.len(), cells.join(" | "));
+    println!(
+        "| AVG{} (speedup only) | {} |",
+        sample.len(),
+        cells.join(" | ")
+    );
 }

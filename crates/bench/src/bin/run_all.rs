@@ -3,10 +3,21 @@
 use std::process::Command;
 fn main() {
     let bins = [
-        "tab1_variants", "tab2_latency_energy", "fig2_waveforms", "fig3_codic_waveforms",
-        "fig10_sigsa", "tab11_sigsa_montecarlo", "tab12_chips", "fig5_jaccard",
-        "fig6_temperature", "tab4_eval_time", "tab10_nist", "fig7_destruction",
-        "tab6_overhead", "fig8_secdealloc", "fig9_secdealloc_multi",
+        "tab1_variants",
+        "tab2_latency_energy",
+        "fig2_waveforms",
+        "fig3_codic_waveforms",
+        "fig10_sigsa",
+        "tab11_sigsa_montecarlo",
+        "tab12_chips",
+        "fig5_jaccard",
+        "fig6_temperature",
+        "tab4_eval_time",
+        "tab10_nist",
+        "fig7_destruction",
+        "tab6_overhead",
+        "fig8_secdealloc",
+        "fig9_secdealloc_multi",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

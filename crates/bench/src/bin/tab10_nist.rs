@@ -27,7 +27,11 @@ fn main() {
     }
     println!(
         "\n{} of {} applicable tests pass (paper: all 15 pass).",
-        results.rows.iter().filter(|r| r.p_value.is_finite() && r.passed()).count(),
+        results
+            .rows
+            .iter()
+            .filter(|r| r.p_value.is_finite() && r.passed())
+            .count(),
         results.applicable()
     );
 }

@@ -8,7 +8,13 @@ fn main() {
     for m in &pop {
         println!(
             "| {} | {:?} | {} | {} | {} | {} | {:?} |",
-            m.name, m.vendor, m.chips.len(), m.ranks, m.chip_gbit, m.freq_mts, m.voltage
+            m.name,
+            m.vendor,
+            m.chips.len(),
+            m.ranks,
+            m.chip_gbit,
+            m.freq_mts,
+            m.voltage
         );
     }
     println!("total chips: {}", all_chips(&pop).len());

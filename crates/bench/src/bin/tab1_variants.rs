@@ -1,12 +1,24 @@
 //! Regenerates Table 1: the in-DRAM signal timings of activation,
-//! precharge, and the CODIC variants.
+//! precharge, and the CODIC variants, with each variant's functional class
+//! verified through the batched circuit simulator.
+use codic_circuit::CircuitParams;
+use codic_core::classify::classify_all;
+
 fn main() {
     println!("Table 1: In-DRAM signals of activation, precharge, and CODIC variants");
-    println!("| Command | Signals [assert, deassert] (ns) |");
-    for v in codic_core::library::table1() {
-        println!("{v}");
+    println!("| Command | Signals [assert, deassert] (ns) | Simulated class |");
+    let variants = codic_core::library::table1();
+    let classes = classify_all(&variants, &CircuitParams::default());
+    for (v, class) in variants.iter().zip(&classes) {
+        println!("{v} -> {class}");
     }
     println!("\nVariant space (paper 4.1.3):");
-    println!("  valid pulses per signal n = {}", codic_core::variant_space::pulses_per_signal());
-    println!("  total variants n^4       = {}", codic_core::variant_space::total_variants());
+    println!(
+        "  valid pulses per signal n = {}",
+        codic_core::variant_space::pulses_per_signal()
+    );
+    println!(
+        "  total variants n^4       = {}",
+        codic_core::variant_space::total_variants()
+    );
 }

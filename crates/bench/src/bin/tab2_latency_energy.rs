@@ -8,7 +8,10 @@ fn main() {
     println!("| Primitive | Latency (ns) | Energy (nJ) |");
     println!("|---|---|---|");
     for r in codic_core::latency::table2(&timing, &energy) {
-        println!("| {} | {:.0} | {:.1} |", r.primitive, r.latency_ns, r.energy_nj);
+        println!(
+            "| {} | {:.0} | {:.1} |",
+            r.primitive, r.latency_ns, r.energy_nj
+        );
     }
     println!("\nPaper: 35/13/35/13/35 ns and 17.3/17.2/17.2/17.2/17.2 nJ.");
 }

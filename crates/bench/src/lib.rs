@@ -8,6 +8,24 @@ pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
 }
 
+/// Runs `f` with `RAYON_NUM_THREADS` forced to `n` (or unset for `None`),
+/// restoring the previous value afterwards. The vendored rayon shim reads
+/// the variable at call time, so this reliably pins the worker count of
+/// everything `f` runs — used by the engine-comparison benchmarks.
+pub fn with_threads<R>(n: Option<u32>, f: impl FnOnce() -> R) -> R {
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+    match n {
+        Some(n) => std::env::set_var("RAYON_NUM_THREADS", n.to_string()),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    let out = f();
+    match saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    out
+}
+
 /// Formats a milliseconds value the way Figure 7 labels its bars
 /// (µs / ms / s with sensible precision).
 #[must_use]

@@ -1,0 +1,552 @@
+//! The batched simulation engine: integrates many process-variation draws
+//! of the same circuit in lockstep.
+//!
+//! [`CircuitSim`](crate::CircuitSim) simulates one cell/bitline/sense-amp
+//! slice at a time; Monte Carlo sweeps (the paper's 100,000-trial Table 11
+//! runs) call it once per trial, re-resolving the four control signals at
+//! every 25 ps step and allocating a fresh simulator per draw. This module
+//! removes both costs:
+//!
+//! - [`SignalTable`] resolves a [`SignalSchedule`] *once* into runs of
+//!   integration steps with a constant (wl, EQ, sense_p, sense_n) mask —
+//!   a schedule changes level at most eight times, so the per-step signal
+//!   queries collapse into at most nine segments;
+//! - [`CircuitSimBatch`] holds the node voltages of N trials in
+//!   struct-of-arrays form and advances all trials through each segment
+//!   with the signal mask lifted to const generics, so the inner loop over
+//!   trials is branch-free and auto-vectorizable.
+//!
+//! The per-trial arithmetic is *identical* to the scalar integrator — the
+//! same operations in the same order on the same values — so a batch
+//! produces exactly the outcomes of N scalar [`CircuitSim::resolve_bit`]
+//! runs (`tests/batch_equivalence.rs` proves this property), and results
+//! never depend on the batch size or thread count.
+
+use crate::components::effective_overdrive;
+use crate::ptm::CircuitParams;
+use crate::signal::{Signal, SignalSchedule};
+use crate::sim::{CircuitState, SETTLE_MARGIN_NS};
+use crate::variation::VariationDraw;
+
+/// A run of consecutive integration steps sharing one signal mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMask {
+    /// Number of consecutive steps with this mask.
+    pub steps: u32,
+    /// Wordline asserted.
+    pub wl: bool,
+    /// Equalize asserted.
+    pub eq: bool,
+    /// `sense_p` asserted.
+    pub sp: bool,
+    /// `sense_n` asserted.
+    pub sn: bool,
+}
+
+/// A [`SignalSchedule`] precompiled for a fixed duration and step size:
+/// per-step assertion masks compressed into constant-mask segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalTable {
+    segments: Vec<SegmentMask>,
+    steps: usize,
+    dt_ns: f64,
+}
+
+impl SignalTable {
+    /// Resolves `schedule` at every step of a `duration_ns` run with step
+    /// `dt_ns` (step `k` is queried at `t = k·dt_ns`, exactly like the
+    /// scalar integrator) and compresses the result into segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_ns` or `duration_ns` is not strictly positive.
+    #[must_use]
+    pub fn compile(schedule: &SignalSchedule, duration_ns: f64, dt_ns: f64) -> Self {
+        assert!(dt_ns > 0.0, "integration step must be positive");
+        assert!(duration_ns > 0.0, "duration must be positive");
+        let steps = (duration_ns / dt_ns).ceil() as usize;
+        let mut segments: Vec<SegmentMask> = Vec::with_capacity(9);
+        for step in 0..steps {
+            let t_ns = step as f64 * dt_ns;
+            let mask = SegmentMask {
+                steps: 1,
+                wl: schedule.is_asserted(Signal::Wordline, t_ns),
+                eq: schedule.is_asserted(Signal::Equalize, t_ns),
+                sp: schedule.is_asserted(Signal::SenseP, t_ns),
+                sn: schedule.is_asserted(Signal::SenseN, t_ns),
+            };
+            match segments.last_mut() {
+                Some(last)
+                    if (last.wl, last.eq, last.sp, last.sn)
+                        == (mask.wl, mask.eq, mask.sp, mask.sn) =>
+                {
+                    last.steps += 1;
+                }
+                _ => segments.push(mask),
+            }
+        }
+        SignalTable {
+            segments,
+            steps,
+            dt_ns,
+        }
+    }
+
+    /// Total number of integration steps covered.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The integration step the table was compiled for, in nanoseconds.
+    #[must_use]
+    pub fn dt_ns(&self) -> f64 {
+        self.dt_ns
+    }
+
+    /// The constant-mask segments in time order.
+    #[must_use]
+    pub fn segments(&self) -> &[SegmentMask] {
+        &self.segments
+    }
+}
+
+/// Dispatches a batch step method on the four signal levels of a segment,
+/// lifting them to const generics so each segment body is branch-free.
+macro_rules! dispatch_mask {
+    ($self:ident . $method:ident, $seg:expr, ( $($arg:expr),* )) => {{
+        let seg = $seg;
+        match (seg.wl, seg.eq, seg.sp, seg.sn) {
+            (false, false, false, false) => $self.$method::<false, false, false, false>($($arg),*),
+            (false, false, false, true) => $self.$method::<false, false, false, true>($($arg),*),
+            (false, false, true, false) => $self.$method::<false, false, true, false>($($arg),*),
+            (false, false, true, true) => $self.$method::<false, false, true, true>($($arg),*),
+            (false, true, false, false) => $self.$method::<false, true, false, false>($($arg),*),
+            (false, true, false, true) => $self.$method::<false, true, false, true>($($arg),*),
+            (false, true, true, false) => $self.$method::<false, true, true, false>($($arg),*),
+            (false, true, true, true) => $self.$method::<false, true, true, true>($($arg),*),
+            (true, false, false, false) => $self.$method::<true, false, false, false>($($arg),*),
+            (true, false, false, true) => $self.$method::<true, false, false, true>($($arg),*),
+            (true, false, true, false) => $self.$method::<true, false, true, false>($($arg),*),
+            (true, false, true, true) => $self.$method::<true, false, true, true>($($arg),*),
+            (true, true, false, false) => $self.$method::<true, true, false, false>($($arg),*),
+            (true, true, false, true) => $self.$method::<true, true, false, true>($($arg),*),
+            (true, true, true, false) => $self.$method::<true, true, true, false>($($arg),*),
+            (true, true, true, true) => $self.$method::<true, true, true, true>($($arg),*),
+        }
+    }};
+}
+
+/// N cell/bitline/sense-amplifier slices integrated in lockstep.
+///
+/// All trials share the base [`CircuitParams`]; the quantities process
+/// variation perturbs — sense-amplifier offset, cell capacitance, bitline
+/// capacitance — are per-trial arrays. Construct with
+/// [`CircuitSimBatch::new`] from per-trial [`VariationDraw`]s (or
+/// [`CircuitSimBatch::uniform`] for identical trials), seed the cell
+/// state, then resolve or integrate.
+#[derive(Debug, Clone)]
+pub struct CircuitSimBatch {
+    // Shared electrical parameters.
+    vdd: f64,
+    v_pre: f64,
+    g_access: f64,
+    g_equalize: f64,
+    g_tail: f64,
+    g_leak: f64,
+    gm_n: f64,
+    gm_p: f64,
+    vth_n: f64,
+    vth_p: f64,
+    // Per-trial state (struct of arrays).
+    v_bitline: Vec<f64>,
+    v_bitline_bar: Vec<f64>,
+    v_cell: Vec<f64>,
+    sa_offset: Vec<f64>,
+    c_cell: Vec<f64>,
+    c_bitline: Vec<f64>,
+}
+
+impl CircuitSimBatch {
+    /// Creates a batch of `draws.len()` trials: trial `i` simulates
+    /// `draws[i].apply(base)`. Every trial starts precharged with the cell
+    /// at 0 V, like [`CircuitSim::new`](crate::CircuitSim::new).
+    #[must_use]
+    pub fn new(base: CircuitParams, draws: &[VariationDraw]) -> Self {
+        let n = draws.len();
+        let v_pre = base.v_precharge();
+        CircuitSimBatch {
+            vdd: base.vdd,
+            v_pre,
+            g_access: base.g_access,
+            g_equalize: base.g_equalize,
+            g_tail: base.g_sa_tail,
+            g_leak: base.g_leak,
+            gm_n: base.transistors.gm_n,
+            gm_p: base.transistors.gm_p,
+            vth_n: base.transistors.vth_n,
+            vth_p: base.transistors.vth_p,
+            v_bitline: vec![v_pre; n],
+            v_bitline_bar: vec![v_pre; n],
+            v_cell: vec![0.0; n],
+            sa_offset: draws.iter().map(|d| base.sa_offset + d.sa_offset).collect(),
+            c_cell: draws
+                .iter()
+                .map(|d| base.c_cell * d.c_cell_factor)
+                .collect(),
+            c_bitline: draws
+                .iter()
+                .map(|d| base.c_bitline * d.c_bitline_factor)
+                .collect(),
+        }
+    }
+
+    /// A batch of `n` identical trials of the nominal `base` circuit.
+    #[must_use]
+    pub fn uniform(base: CircuitParams, n: usize) -> Self {
+        CircuitSimBatch::new(base, &vec![VariationDraw::nominal(); n])
+    }
+
+    /// Number of trials in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.v_bitline.len()
+    }
+
+    /// Whether the batch holds no trials.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.v_bitline.is_empty()
+    }
+
+    /// The supply voltage shared by all trials.
+    #[must_use]
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Sets every trial's cell capacitor to `volts`.
+    pub fn set_cell_voltage_all(&mut self, volts: f64) {
+        self.v_cell.fill(volts);
+    }
+
+    /// Sets per-trial cell voltages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volts.len()` differs from the batch size.
+    pub fn set_cell_voltages(&mut self, volts: &[f64]) {
+        assert_eq!(volts.len(), self.len(), "one cell voltage per trial");
+        self.v_cell.copy_from_slice(volts);
+    }
+
+    /// Stores a full one (`Vdd`) or zero (0 V) per trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the batch size.
+    pub fn set_cell_bits(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.len(), "one cell bit per trial");
+        for (v, &bit) in self.v_cell.iter_mut().zip(bits) {
+            *v = if bit { self.vdd } else { 0.0 };
+        }
+    }
+
+    /// Overrides the per-trial sense-amplifier offsets (replacing, not
+    /// adding to, the draw-derived offsets), mirroring
+    /// [`CircuitSim::set_sa_offset`](crate::CircuitSim::set_sa_offset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets.len()` differs from the batch size.
+    pub fn set_sa_offsets(&mut self, offsets: &[f64]) {
+        assert_eq!(offsets.len(), self.len(), "one offset per trial");
+        self.sa_offset.copy_from_slice(offsets);
+    }
+
+    /// Resets every trial's bitlines to the precharged state without
+    /// touching the cells.
+    pub fn precharge_bitlines(&mut self) {
+        self.v_bitline.fill(self.v_pre);
+        self.v_bitline_bar.fill(self.v_pre);
+    }
+
+    /// The current node voltages of trial `i`.
+    #[must_use]
+    pub fn state(&self, i: usize) -> CircuitState {
+        CircuitState {
+            v_bitline: self.v_bitline[i],
+            v_bitline_bar: self.v_bitline_bar[i],
+            v_cell: self.v_cell[i],
+        }
+    }
+
+    /// Batched equivalent of [`CircuitSim::resolve_bit`]
+    /// (crate::CircuitSim::resolve_bit): runs `schedule` over the CODIC
+    /// window plus settle margin and returns, per trial, the bit the sense
+    /// amplifier resolves the true bitline to — `Some(bit)` as soon as the
+    /// differential exceeds `Vdd/2`, or the terminal sign (`None` if the
+    /// amplifier never resolves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_ns` is not strictly positive.
+    pub fn resolve_bits(&mut self, schedule: &SignalSchedule, dt_ns: f64) -> Vec<Option<bool>> {
+        let duration_ns = f64::from(crate::signal::WINDOW_NS) + SETTLE_MARGIN_NS;
+        let table = SignalTable::compile(schedule, duration_ns, dt_ns);
+        self.resolve_bits_with_table(&table)
+    }
+
+    /// [`CircuitSimBatch::resolve_bits`] with a precompiled table, so a
+    /// sweep over many batches compiles the schedule once.
+    pub fn resolve_bits_with_table(&mut self, table: &SignalTable) -> Vec<Option<bool>> {
+        let dt_s = table.dt_ns() * 1e-9;
+        let threshold = 0.5 * self.vdd;
+        let n = self.len();
+        let mut out = vec![None; n];
+        // Trials still integrating; resolved trials freeze, exactly like the
+        // scalar fast path which returns at the resolving step.
+        let mut active: Vec<u32> = (0..n as u32).collect();
+        'segments: for seg in table.segments() {
+            for _ in 0..seg.steps {
+                if active.is_empty() {
+                    break 'segments;
+                }
+                dispatch_mask!(
+                    self.step_resolve,
+                    seg,
+                    (dt_s, threshold, &mut active, &mut out)
+                );
+            }
+        }
+        for &t in &active {
+            let t = t as usize;
+            let diff = self.v_bitline[t] - self.v_bitline_bar[t];
+            out[t] = if diff.abs() > 1e-9 {
+                Some(diff > 0.0)
+            } else {
+                None
+            };
+        }
+        out
+    }
+
+    /// Integrates all trials through the full table without early exit and
+    /// returns the terminal node voltages — the batched equivalent of
+    /// running [`CircuitSim::run_for`](crate::CircuitSim::run_for) per
+    /// trial and taking the final sample.
+    pub fn run_terminal(
+        &mut self,
+        schedule: &SignalSchedule,
+        duration_ns: f64,
+        dt_ns: f64,
+    ) -> Vec<CircuitState> {
+        let table = SignalTable::compile(schedule, duration_ns, dt_ns);
+        self.run_terminal_with_table(&table)
+    }
+
+    /// [`CircuitSimBatch::run_terminal`] with a precompiled table.
+    pub fn run_terminal_with_table(&mut self, table: &SignalTable) -> Vec<CircuitState> {
+        let dt_s = table.dt_ns() * 1e-9;
+        for seg in table.segments() {
+            for _ in 0..seg.steps {
+                dispatch_mask!(self.step_all, seg, (dt_s));
+            }
+        }
+        (0..self.len()).map(|i| self.state(i)).collect()
+    }
+
+    /// Advances trial `t` by one step. The arithmetic mirrors the scalar
+    /// integrator operation for operation so results are bit-identical.
+    #[inline(always)]
+    fn advance_trial<const WL: bool, const EQ: bool, const SP: bool, const SN: bool>(
+        &mut self,
+        t: usize,
+        dt_s: f64,
+    ) {
+        let v_bl = self.v_bitline[t];
+        let v_blb = self.v_bitline_bar[t];
+        let v_cell = self.v_cell[t];
+
+        let i_access = if WL {
+            self.g_access * (v_cell - v_bl)
+        } else {
+            0.0
+        };
+
+        let (i_pre_bl, i_pre_blb) = if EQ {
+            let i_eq = self.g_equalize * (v_blb - v_bl);
+            (
+                self.g_equalize * (self.v_pre - v_bl) + i_eq,
+                self.g_equalize * (self.v_pre - v_blb) - i_eq,
+            )
+        } else {
+            (0.0, 0.0)
+        };
+
+        let v_bl_gate = v_bl + self.sa_offset[t];
+        let mut i_sa_bl = 0.0;
+        let mut i_sa_blb = 0.0;
+        if SN {
+            let g_dn_bl = self.gm_n * effective_overdrive(v_blb - self.vth_n) + self.g_tail;
+            let g_dn_blb = self.gm_n * effective_overdrive(v_bl_gate - self.vth_n) + self.g_tail;
+            i_sa_bl -= g_dn_bl * v_bl.max(0.0);
+            i_sa_blb -= g_dn_blb * v_blb.max(0.0);
+        }
+        if SP {
+            let g_up_bl =
+                self.gm_p * effective_overdrive((self.vdd - v_blb) - self.vth_p) + self.g_tail;
+            let g_up_blb =
+                self.gm_p * effective_overdrive((self.vdd - v_bl_gate) - self.vth_p) + self.g_tail;
+            i_sa_bl += g_up_bl * (self.vdd - v_bl).max(0.0);
+            i_sa_blb += g_up_blb * (self.vdd - v_blb).max(0.0);
+        }
+
+        let i_leak = self.g_leak * (self.v_pre - v_cell);
+
+        let dv_bl = (i_access + i_pre_bl + i_sa_bl) / self.c_bitline[t] * dt_s;
+        let dv_blb = (i_pre_blb + i_sa_blb) / self.c_bitline[t] * dt_s;
+        let dv_cell = (-i_access + i_leak) / self.c_cell[t] * dt_s;
+
+        let lo = -0.02;
+        let hi = self.vdd + 0.02;
+        self.v_bitline[t] = (v_bl + dv_bl).clamp(lo, hi);
+        self.v_bitline_bar[t] = (v_blb + dv_blb).clamp(lo, hi);
+        self.v_cell[t] = (v_cell + dv_cell).clamp(lo, hi);
+    }
+
+    /// One step over all trials (no resolution tracking).
+    fn step_all<const WL: bool, const EQ: bool, const SP: bool, const SN: bool>(
+        &mut self,
+        dt_s: f64,
+    ) {
+        for t in 0..self.len() {
+            self.advance_trial::<WL, EQ, SP, SN>(t, dt_s);
+        }
+    }
+
+    /// One step over the active trials, retiring any that resolve.
+    fn step_resolve<const WL: bool, const EQ: bool, const SP: bool, const SN: bool>(
+        &mut self,
+        dt_s: f64,
+        threshold: f64,
+        active: &mut Vec<u32>,
+        out: &mut [Option<bool>],
+    ) {
+        let mut i = 0;
+        while i < active.len() {
+            let t = active[i] as usize;
+            self.advance_trial::<WL, EQ, SP, SN>(t, dt_s);
+            let diff = self.v_bitline[t] - self.v_bitline_bar[t];
+            if diff.abs() > threshold {
+                out[t] = Some(diff > 0.0);
+                active.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedules;
+    use crate::sim::{CircuitSim, DEFAULT_DT_NS};
+
+    #[test]
+    fn signal_table_has_few_segments_and_matches_is_asserted() {
+        let schedule = schedules::activate();
+        let table = SignalTable::compile(&schedule, 30.0, 0.025);
+        assert!(
+            table.segments().len() <= 9,
+            "{} segments",
+            table.segments().len()
+        );
+        assert_eq!(
+            table
+                .segments()
+                .iter()
+                .map(|s| u64::from(s.steps))
+                .sum::<u64>(),
+            table.steps() as u64
+        );
+        // Expand the table and cross-check every step against the schedule.
+        let mut step = 0usize;
+        for seg in table.segments() {
+            for _ in 0..seg.steps {
+                let t_ns = step as f64 * table.dt_ns();
+                assert_eq!(seg.wl, schedule.is_asserted(Signal::Wordline, t_ns));
+                assert_eq!(seg.eq, schedule.is_asserted(Signal::Equalize, t_ns));
+                assert_eq!(seg.sp, schedule.is_asserted(Signal::SenseP, t_ns));
+                assert_eq!(seg.sn, schedule.is_asserted(Signal::SenseN, t_ns));
+                step += 1;
+            }
+        }
+        assert_eq!(step, table.steps());
+    }
+
+    #[test]
+    fn empty_schedule_compiles_to_one_idle_segment() {
+        let table = SignalTable::compile(&SignalSchedule::default(), 30.0, 0.025);
+        assert_eq!(table.segments().len(), 1);
+        let seg = table.segments()[0];
+        assert!(!seg.wl && !seg.eq && !seg.sp && !seg.sn);
+    }
+
+    #[test]
+    fn batch_resolve_matches_scalar_for_activate() {
+        let schedule = schedules::activate();
+        let base = CircuitParams::default();
+        for bit in [false, true] {
+            let mut batch = CircuitSimBatch::uniform(base, 3);
+            batch.set_cell_bits(&[bit, bit, bit]);
+            let got = batch.resolve_bits(&schedule, DEFAULT_DT_NS);
+            let mut sim = CircuitSim::new(base);
+            sim.set_cell_bit(bit);
+            let want = sim.resolve_bit(&schedule, DEFAULT_DT_NS);
+            assert_eq!(got, vec![want; 3]);
+        }
+    }
+
+    #[test]
+    fn batch_terminal_state_matches_scalar_run() {
+        let schedule = schedules::codic_sig();
+        let base = CircuitParams::default();
+        let mut batch = CircuitSimBatch::uniform(base, 2);
+        batch.set_cell_bits(&[false, true]);
+        let states = batch.run_terminal(&schedule, 30.0, 0.025);
+        for (i, bit) in [false, true].into_iter().enumerate() {
+            let mut sim = CircuitSim::new(base);
+            sim.set_cell_bit(bit);
+            let wave = sim.run_for(&schedule, 30.0, 0.025);
+            let f = wave.final_sample();
+            assert_eq!(states[i].v_bitline.to_bits(), f.v_bitline.to_bits());
+            assert_eq!(states[i].v_bitline_bar.to_bits(), f.v_bitline_bar.to_bits());
+            assert_eq!(states[i].v_cell.to_bits(), f.v_cell.to_bits());
+        }
+    }
+
+    #[test]
+    fn per_trial_offsets_steer_resolution() {
+        let base = CircuitParams::default();
+        let mut batch = CircuitSimBatch::uniform(base, 2);
+        batch.set_sa_offsets(&[6.0e-3, -6.0e-3]);
+        batch.set_cell_voltage_all(base.v_precharge());
+        let bits = batch.resolve_bits(&schedules::codic_sigsa(), 0.025);
+        assert_eq!(bits, vec![Some(true), Some(false)]);
+    }
+
+    #[test]
+    fn uniform_batch_state_accessors_work() {
+        let base = CircuitParams::default();
+        let mut batch = CircuitSimBatch::uniform(base, 4);
+        assert_eq!(batch.len(), 4);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.vdd(), base.vdd);
+        batch.set_cell_voltage_all(0.3);
+        assert_eq!(batch.state(2).v_cell, 0.3);
+        batch.precharge_bitlines();
+        assert_eq!(batch.state(0).v_bitline, base.v_precharge());
+    }
+}

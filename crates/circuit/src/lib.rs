@@ -46,16 +46,19 @@
 //! # }
 //! ```
 
-mod error;
+pub mod batch;
 pub mod components;
+mod error;
 pub mod montecarlo;
 pub mod outcome;
 pub mod ptm;
+pub mod schedules;
 pub mod signal;
 pub mod sim;
 pub mod variation;
 pub mod waveform;
 
+pub use batch::{CircuitSimBatch, SegmentMask, SignalTable};
 pub use error::ScheduleError;
 pub use outcome::SenseOutcome;
 pub use ptm::{CircuitParams, TransistorParams};

@@ -3,34 +3,58 @@
 //! process variation and temperature.
 //!
 //! The paper runs 100,000 SPICE simulations per configuration; this harness
-//! does the same with [`CircuitSim`], drawing a fresh
-//! [`VariationDraw`](crate::VariationDraw) per trial.
+//! does the same with the batched engine: trials are drawn with **per-trial
+//! deterministic seeding** (each trial's RNG derives from `seed` and the
+//! trial index), packed into fixed-size chunks, and integrated in lockstep
+//! by [`CircuitSimBatch`] with the chunks spread across rayon worker
+//! threads. Because the seeding is positional and the chunk size is fixed,
+//! the result is bit-identical for every thread count and chunk placement.
+//!
+//! [`SigsaExperiment::run_scalar`] keeps the original one-`CircuitSim`-per-
+//! trial path as the benchmark baseline and as the reference the batched
+//! engine is property-tested against.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
+use crate::batch::{CircuitSimBatch, SignalTable};
 use crate::ptm::CircuitParams;
-use crate::signal::{Signal, SignalSchedule};
-use crate::sim::CircuitSim;
-use crate::variation::{nominal_imbalance_at, ProcessVariation};
+use crate::schedules;
+use crate::signal::{SignalSchedule, WINDOW_NS};
+use crate::sim::{CircuitSim, SETTLE_MARGIN_NS};
+use crate::variation::{nominal_imbalance_at, ProcessVariation, VariationDraw};
 
 /// Integration step used for Monte Carlo trials, in nanoseconds. Coarser
 /// than the default for speed; `sim::tests` verifies outcomes match.
 pub const MC_DT_NS: f64 = 0.025;
 
+/// Trials integrated per [`CircuitSimBatch`] chunk. Fixed (rather than
+/// derived from the thread count) so results are independent of
+/// parallelism; 256 trials of 6 lanes each stay comfortably in L2.
+pub const MC_CHUNK_TRIALS: u32 = 256;
+
 /// The CODIC-sigsa schedule from the paper's Appendix C: both sense-amp
 /// enables at 3 ns (before any charge sharing can occur), wordline at 5 ns
 /// so the resolved value is written back into the cell.
+///
+/// Delegates to the canonical [`schedules::codic_sigsa`].
 #[must_use]
 pub fn sigsa_schedule() -> SignalSchedule {
-    SignalSchedule::builder()
-        .pulse(Signal::SenseP, 3, 22)
-        .expect("static timing is valid")
-        .pulse(Signal::SenseN, 3, 22)
-        .expect("static timing is valid")
-        .pulse(Signal::Wordline, 5, 22)
-        .expect("static timing is valid")
-        .build()
+    schedules::codic_sigsa()
+}
+
+/// The RNG for one Monte Carlo trial, derived from the experiment seed and
+/// the trial index. Positional seeding is what makes the sweep independent
+/// of execution order: any chunking or thread schedule draws the same
+/// variation for trial `i`.
+#[must_use]
+pub fn trial_rng(seed: u64, trial: u32) -> SmallRng {
+    // Golden-ratio stride separates adjacent trial seeds; seed_from_u64
+    // then expands each through splitmix64 into an independent stream.
+    SmallRng::seed_from_u64(
+        seed.wrapping_add((u64::from(trial) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    )
 }
 
 /// One Table 11 configuration: a process-variation level, a temperature,
@@ -81,30 +105,81 @@ impl BitFlipStats {
 }
 
 impl SigsaExperiment {
+    /// The per-instance base parameters before variation is applied.
+    #[must_use]
+    fn base_params(&self) -> CircuitParams {
+        CircuitParams {
+            sa_offset: nominal_imbalance_at(self.temperature_c),
+            ..CircuitParams::default()
+        }
+        .at_temperature(self.temperature_c)
+    }
+
+    /// The variation draw of trial `trial` (independent of execution
+    /// order; see [`trial_rng`]).
+    #[must_use]
+    pub fn trial_draw(&self, trial: u32) -> VariationDraw {
+        self.variation.draw(&mut trial_rng(self.seed, trial))
+    }
+
     /// Runs the Monte Carlo experiment with the built-in
-    /// [`sigsa_schedule`].
+    /// [`sigsa_schedule`] on the batched, parallel engine.
     #[must_use]
     pub fn run(&self) -> BitFlipStats {
         self.run_with_schedule(&sigsa_schedule())
     }
 
-    /// Runs the Monte Carlo experiment with a caller-provided schedule.
+    /// Runs the Monte Carlo experiment with a caller-provided schedule on
+    /// the batched, parallel engine. Results are bit-identical for every
+    /// `RAYON_NUM_THREADS` value.
     #[must_use]
     pub fn run_with_schedule(&self, schedule: &SignalSchedule) -> BitFlipStats {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        let base = CircuitParams {
-            sa_offset: nominal_imbalance_at(self.temperature_c),
-            ..CircuitParams::default()
+        let base = self.base_params();
+        let duration_ns = f64::from(WINDOW_NS) + SETTLE_MARGIN_NS;
+        let table = SignalTable::compile(schedule, duration_ns, MC_DT_NS);
+        let starts: Vec<u32> = (0..self.trials).step_by(MC_CHUNK_TRIALS as usize).collect();
+        let flips: u32 = starts
+            .into_par_iter()
+            .map(|start| {
+                let len = MC_CHUNK_TRIALS.min(self.trials - start);
+                let draws: Vec<VariationDraw> =
+                    (start..start + len).map(|t| self.trial_draw(t)).collect();
+                let mut batch = CircuitSimBatch::new(base, &draws);
+                // CODIC-sigsa operates on a precharged slice; the cell's
+                // stored value is irrelevant because the wordline rises only
+                // after the amplifier has resolved. Use Vdd/2 as a neutral
+                // starting point.
+                batch.set_cell_voltage_all(base.v_precharge());
+                batch
+                    .resolve_bits_with_table(&table)
+                    .into_iter()
+                    .filter(|resolved| !resolved.unwrap_or(true))
+                    .count() as u32
+            })
+            .sum();
+        BitFlipStats {
+            trials: self.trials,
+            flips,
         }
-        .at_temperature(self.temperature_c);
+    }
+
+    /// The original scalar path — one freshly allocated [`CircuitSim`] per
+    /// trial, signals re-queried every step — kept as the benchmark
+    /// baseline. Uses the same per-trial seeding, so its result equals
+    /// [`SigsaExperiment::run`] exactly.
+    #[must_use]
+    pub fn run_scalar(&self) -> BitFlipStats {
+        self.run_scalar_with_schedule(&sigsa_schedule())
+    }
+
+    /// Scalar baseline counterpart of [`SigsaExperiment::run_with_schedule`].
+    #[must_use]
+    pub fn run_scalar_with_schedule(&self, schedule: &SignalSchedule) -> BitFlipStats {
+        let base = self.base_params();
         let mut flips = 0;
-        for _ in 0..self.trials {
-            let draw = self.variation.draw(&mut rng);
-            let params = draw.apply(base);
+        for trial in 0..self.trials {
+            let params = self.trial_draw(trial).apply(base);
             let mut sim = CircuitSim::new(params);
-            // CODIC-sigsa operates on a precharged slice; the cell's stored
-            // value is irrelevant because the wordline rises only after the
-            // amplifier has resolved. Use Vdd/2 as a neutral starting point.
             sim.set_cell_voltage(params.v_precharge());
             let resolved_one = sim.resolve_bit(schedule, MC_DT_NS).unwrap_or(true);
             if !resolved_one {
@@ -174,8 +249,12 @@ mod tests {
 
     #[test]
     fn flip_pct_handles_zero_trials() {
-        let stats = BitFlipStats { trials: 0, flips: 0 };
+        let stats = BitFlipStats {
+            trials: 0,
+            flips: 0,
+        };
         assert_eq!(stats.flip_pct(), 0.0);
+        assert_eq!(experiment(4.0, 30.0, 0).flips, 0);
     }
 
     #[test]
@@ -183,5 +262,41 @@ mod tests {
         let a = experiment(5.0, 30.0, 10_000);
         let b = experiment(5.0, 30.0, 10_000);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_equals_scalar_baseline() {
+        let exp = SigsaExperiment {
+            variation: ProcessVariation::from_pct(5.0),
+            temperature_c: 60.0,
+            trials: 2_000,
+            seed: 0xBEEF,
+        };
+        assert_eq!(exp.run(), exp.run_scalar());
+    }
+
+    #[test]
+    fn partial_last_chunk_is_handled() {
+        // A trial count that is not a multiple of the chunk size.
+        let exp = SigsaExperiment {
+            trials: MC_CHUNK_TRIALS + 17,
+            ..SigsaExperiment::default()
+        };
+        let stats = exp.run();
+        assert_eq!(stats.trials, MC_CHUNK_TRIALS + 17);
+        assert_eq!(exp.run_scalar().flips, stats.flips);
+    }
+
+    #[test]
+    fn trial_rngs_are_positionally_independent() {
+        use rand::Rng;
+        let mut a = trial_rng(1, 0);
+        let mut b = trial_rng(1, 1);
+        let draws_a: Vec<u64> = (0..4).map(|_| a.gen::<u64>()).collect();
+        let draws_b: Vec<u64> = (0..4).map(|_| b.gen::<u64>()).collect();
+        assert_ne!(draws_a, draws_b);
+        let mut a2 = trial_rng(1, 0);
+        let again: Vec<u64> = (0..4).map(|_| a2.gen::<u64>()).collect();
+        assert_eq!(draws_a, again);
     }
 }

@@ -91,18 +91,35 @@ enum Band {
 /// Classifies the terminal state of `waveform`; see [`SenseOutcome`].
 #[must_use]
 pub fn classify(waveform: &Waveform) -> SenseOutcome {
-    let vdd = waveform.params().vdd;
     let final_sample = waveform.final_sample();
-    let cell_connected = waveform.schedule().pulse(Signal::Wordline).is_some();
+    classify_terminal(
+        waveform.schedule(),
+        waveform.params().vdd,
+        final_sample.v_bitline,
+        final_sample.v_cell,
+    )
+}
+
+/// Classifies a run from its terminal node voltages alone — the form the
+/// batched engine uses, since [`CircuitSimBatch`](crate::CircuitSimBatch)
+/// produces terminal states without capturing waveforms.
+#[must_use]
+pub fn classify_terminal(
+    schedule: &crate::signal::SignalSchedule,
+    vdd: f64,
+    v_bitline: f64,
+    v_cell: f64,
+) -> SenseOutcome {
+    let cell_connected = schedule.pulse(Signal::Wordline).is_some();
     if cell_connected {
-        match band(final_sample.v_cell, vdd) {
+        match band(v_cell, vdd) {
             Band::One => SenseOutcome::RestoredOne,
             Band::Zero => SenseOutcome::RestoredZero,
             Band::Half => SenseOutcome::CellEqualized,
             Band::Between => SenseOutcome::Metastable,
         }
     } else {
-        match band(final_sample.v_bitline, vdd) {
+        match band(v_bitline, vdd) {
             Band::One => SenseOutcome::BitlineResolvedOne,
             Band::Zero => SenseOutcome::BitlineResolvedZero,
             Band::Half => SenseOutcome::BitlinePrecharged,
@@ -143,7 +160,10 @@ mod tests {
     fn classifies_cell_bands() {
         assert_eq!(wave(1.45, 1.45, true).outcome(), SenseOutcome::RestoredOne);
         assert_eq!(wave(0.05, 0.05, true).outcome(), SenseOutcome::RestoredZero);
-        assert_eq!(wave(0.75, 0.75, true).outcome(), SenseOutcome::CellEqualized);
+        assert_eq!(
+            wave(0.75, 0.75, true).outcome(),
+            SenseOutcome::CellEqualized
+        );
         assert_eq!(wave(0.45, 0.45, true).outcome(), SenseOutcome::Metastable);
     }
 

@@ -1,0 +1,149 @@
+//! The canonical Table 1 signal schedules (plus §4.1.1 and Appendix C).
+//!
+//! These timings were previously re-declared ad hoc in the `sim` tests, the
+//! Monte Carlo harness, and `codic-core`'s variant library; this module is
+//! the single source of truth. `codic-core::library` wraps each schedule in
+//! a named `CodicVariant`.
+
+use crate::signal::{Signal, SignalSchedule};
+
+fn schedule(pulses: &[(Signal, u8, u8)]) -> SignalSchedule {
+    let mut b = SignalSchedule::builder();
+    for &(s, a, d) in pulses {
+        b = b.pulse(s, a, d).expect("canonical timings are valid");
+    }
+    b.build()
+}
+
+/// The standard activate command
+/// (Table 1: `wl [5↑,22↓] sense_p [7↓,22↑] sense_n [7↑,22↓]`).
+#[must_use]
+pub fn activate() -> SignalSchedule {
+    schedule(&[
+        (Signal::Wordline, 5, 22),
+        (Signal::SenseP, 7, 22),
+        (Signal::SenseN, 7, 22),
+    ])
+}
+
+/// The standard precharge command (Table 1: `EQ [5↑,11↓]`).
+#[must_use]
+pub fn precharge() -> SignalSchedule {
+    schedule(&[(Signal::Equalize, 5, 11)])
+}
+
+/// CODIC-sig: drives the connected cell to `Vdd/2`
+/// (Table 1: `wl [5↑,22↓] EQ [7↑,22↓]`).
+#[must_use]
+pub fn codic_sig() -> SignalSchedule {
+    schedule(&[(Signal::Wordline, 5, 22), (Signal::Equalize, 7, 22)])
+}
+
+/// CODIC-sig-opt: the §4.1.1 early-termination optimization of
+/// [`codic_sig`], completing in a precharge-class latency.
+#[must_use]
+pub fn codic_sig_opt() -> SignalSchedule {
+    schedule(&[(Signal::Wordline, 5, 11), (Signal::Equalize, 7, 11)])
+}
+
+/// The alternative CODIC-sig timing the paper notes performs the same
+/// function (§4.1.1: `wl` at 4 ns, `EQ` at 8 ns).
+#[must_use]
+pub fn codic_sig_alt() -> SignalSchedule {
+    schedule(&[(Signal::Wordline, 4, 22), (Signal::Equalize, 8, 22)])
+}
+
+/// CODIC-det generating zeros
+/// (Table 1: `wl [5↑,22↓] sense_p [14↓,22↑] sense_n [7↑,22↓]`).
+#[must_use]
+pub fn codic_det_zero() -> SignalSchedule {
+    schedule(&[
+        (Signal::Wordline, 5, 22),
+        (Signal::SenseN, 7, 22),
+        (Signal::SenseP, 14, 22),
+    ])
+}
+
+/// CODIC-det generating ones: the mirror of [`codic_det_zero`] — `sense_p`
+/// triggers first (§4.1.2).
+#[must_use]
+pub fn codic_det_one() -> SignalSchedule {
+    schedule(&[
+        (Signal::Wordline, 5, 22),
+        (Signal::SenseP, 7, 22),
+        (Signal::SenseN, 14, 22),
+    ])
+}
+
+/// CODIC-sigsa (Appendix C): both sense-amplifier enables at 3 ns on the
+/// precharged bitline pair, resolving purely by SA process variation; `wl`
+/// rises at 5 ns to write the resolved value back.
+#[must_use]
+pub fn codic_sigsa() -> SignalSchedule {
+    schedule(&[
+        (Signal::SenseP, 3, 22),
+        (Signal::SenseN, 3, 22),
+        (Signal::Wordline, 5, 22),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::SignalPulse;
+
+    fn pulse(s: &SignalSchedule, sig: Signal) -> SignalPulse {
+        s.pulse(sig).expect("pulse programmed")
+    }
+
+    #[test]
+    fn activate_matches_table_1() {
+        let s = activate();
+        assert_eq!(
+            pulse(&s, Signal::Wordline),
+            SignalPulse::new(5, 22).unwrap()
+        );
+        assert_eq!(pulse(&s, Signal::SenseP), SignalPulse::new(7, 22).unwrap());
+        assert_eq!(pulse(&s, Signal::SenseN), SignalPulse::new(7, 22).unwrap());
+        assert_eq!(s.pulse(Signal::Equalize), None);
+    }
+
+    #[test]
+    fn precharge_matches_table_1() {
+        let s = precharge();
+        assert_eq!(
+            pulse(&s, Signal::Equalize),
+            SignalPulse::new(5, 11).unwrap()
+        );
+        assert_eq!(s.programmed_signals(), 1);
+    }
+
+    #[test]
+    fn det_one_mirrors_det_zero() {
+        let z = codic_det_zero();
+        let o = codic_det_one();
+        assert_eq!(
+            pulse(&z, Signal::SenseN).assert_ns(),
+            pulse(&o, Signal::SenseP).assert_ns()
+        );
+        assert_eq!(
+            pulse(&z, Signal::SenseP).assert_ns(),
+            pulse(&o, Signal::SenseN).assert_ns()
+        );
+    }
+
+    #[test]
+    fn sigsa_enables_amplifier_before_wordline() {
+        let s = codic_sigsa();
+        assert!(pulse(&s, Signal::SenseN).assert_ns() < pulse(&s, Signal::Wordline).assert_ns());
+        assert_eq!(
+            pulse(&s, Signal::SenseN).assert_ns(),
+            pulse(&s, Signal::SenseP).assert_ns()
+        );
+    }
+
+    #[test]
+    fn sig_opt_terminates_early() {
+        assert!(codic_sig_opt().last_deassert_ns() < codic_sig().last_deassert_ns());
+    }
+}

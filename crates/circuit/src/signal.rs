@@ -350,6 +350,9 @@ mod tests {
             .pulse(Signal::Wordline, 5, 22)
             .unwrap()
             .build();
-        assert_eq!(s.pulse(Signal::Wordline), Some(SignalPulse::new(5, 22).unwrap()));
+        assert_eq!(
+            s.pulse(Signal::Wordline),
+            Some(SignalPulse::new(5, 22).unwrap())
+        );
     }
 }

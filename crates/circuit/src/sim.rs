@@ -188,9 +188,7 @@ impl CircuitSim {
         let s = self.state;
         let i_access = self.access.current(wl, s.v_cell, s.v_bitline);
         let (i_pre_bl, i_pre_blb) = self.precharge.currents(eq, s.v_bitline, s.v_bitline_bar);
-        let (i_sa_bl, i_sa_blb) = self
-            .sense
-            .currents(sn, sp, s.v_bitline, s.v_bitline_bar);
+        let (i_sa_bl, i_sa_blb) = self.sense.currents(sn, sp, s.v_bitline, s.v_bitline_bar);
         let i_leak = self.params.g_leak * (self.params.v_precharge() - s.v_cell);
 
         let dt_s = dt_ns * 1e-9;
@@ -210,52 +208,9 @@ impl CircuitSim {
 mod tests {
     use super::*;
     use crate::outcome::SenseOutcome;
-    use crate::signal::Signal;
-
-    fn schedule(pulses: &[(Signal, u8, u8)]) -> SignalSchedule {
-        let mut b = SignalSchedule::builder();
-        for &(s, a, d) in pulses {
-            b = b.pulse(s, a, d).unwrap();
-        }
-        b.build()
-    }
-
-    /// The paper's Table 1 activate command.
-    fn activate() -> SignalSchedule {
-        schedule(&[
-            (Signal::Wordline, 5, 22),
-            (Signal::SenseP, 7, 22),
-            (Signal::SenseN, 7, 22),
-        ])
-    }
-
-    /// The paper's Table 1 precharge command.
-    fn precharge() -> SignalSchedule {
-        schedule(&[(Signal::Equalize, 5, 11)])
-    }
-
-    /// The paper's Table 1 CODIC-sig command.
-    fn codic_sig() -> SignalSchedule {
-        schedule(&[(Signal::Wordline, 5, 22), (Signal::Equalize, 7, 22)])
-    }
-
-    /// The paper's Table 1 CODIC-det (zero-generating) command.
-    fn codic_det_zero() -> SignalSchedule {
-        schedule(&[
-            (Signal::Wordline, 5, 22),
-            (Signal::SenseN, 7, 22),
-            (Signal::SenseP, 14, 22),
-        ])
-    }
-
-    /// The one-generating CODIC-det variant (§4.1.2: sense_p first).
-    fn codic_det_one() -> SignalSchedule {
-        schedule(&[
-            (Signal::Wordline, 5, 22),
-            (Signal::SenseP, 7, 22),
-            (Signal::SenseN, 14, 22),
-        ])
-    }
+    use crate::schedules::{
+        activate, codic_det_one, codic_det_zero, codic_sig, codic_sig_alt, precharge,
+    };
 
     fn run_from(bit: bool, s: &SignalSchedule) -> Waveform {
         let mut sim = CircuitSim::new(CircuitParams::default());
@@ -265,12 +220,18 @@ mod tests {
 
     #[test]
     fn activate_restores_a_one() {
-        assert_eq!(run_from(true, &activate()).outcome(), SenseOutcome::RestoredOne);
+        assert_eq!(
+            run_from(true, &activate()).outcome(),
+            SenseOutcome::RestoredOne
+        );
     }
 
     #[test]
     fn activate_restores_a_zero() {
-        assert_eq!(run_from(false, &activate()).outcome(), SenseOutcome::RestoredZero);
+        assert_eq!(
+            run_from(false, &activate()).outcome(),
+            SenseOutcome::RestoredZero
+        );
     }
 
     #[test]
@@ -326,11 +287,7 @@ mod tests {
     fn codic_det_zero_is_deterministic_for_both_initial_values() {
         for bit in [false, true] {
             let w = run_from(bit, &codic_det_zero());
-            assert_eq!(
-                w.outcome(),
-                SenseOutcome::RestoredZero,
-                "initial bit {bit}"
-            );
+            assert_eq!(w.outcome(), SenseOutcome::RestoredZero, "initial bit {bit}");
         }
     }
 
@@ -368,7 +325,10 @@ mod tests {
         // The CODIC-sig PUF mechanism (§4.1.1): after CODIC-sig leaves the
         // cell at Vdd/2, the *next* activation amplifies it to a value that
         // depends only on process variation (the SA offset).
-        for (offset_mv, expected) in [(6.0, SenseOutcome::RestoredOne), (-6.0, SenseOutcome::RestoredZero)] {
+        for (offset_mv, expected) in [
+            (6.0, SenseOutcome::RestoredOne),
+            (-6.0, SenseOutcome::RestoredZero),
+        ] {
             let mut sim = CircuitSim::new(CircuitParams::default());
             sim.set_sa_offset(offset_mv * 1e-3);
             sim.set_cell_bit(true);
@@ -383,7 +343,7 @@ mod tests {
     fn alternate_sig_timing_from_paper_also_works() {
         // §4.1.1: "CODIC-sig performs the same function by raising the wl
         // signal at 4 ns, and the EQ signal at 8 ns."
-        let alt = schedule(&[(Signal::Wordline, 4, 22), (Signal::Equalize, 8, 22)]);
+        let alt = codic_sig_alt();
         for bit in [false, true] {
             assert_eq!(run_from(bit, &alt).outcome(), SenseOutcome::CellEqualized);
         }

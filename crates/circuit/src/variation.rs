@@ -121,12 +121,7 @@ impl VariationDraw {
 #[must_use]
 pub fn nominal_imbalance_at(temperature_c: f64) -> f64 {
     // (temperature °C, imbalance as a fraction of the 30 °C value)
-    const POINTS: [(f64, f64); 4] = [
-        (30.0, 1.0),
-        (60.0, 0.8165),
-        (70.0, 0.8071),
-        (85.0, 0.8388),
-    ];
+    const POINTS: [(f64, f64); 4] = [(30.0, 1.0), (60.0, 0.8165), (70.0, 0.8071), (85.0, 0.8388)];
     let t = temperature_c;
     let frac = if t <= POINTS[0].0 {
         POINTS[0].1

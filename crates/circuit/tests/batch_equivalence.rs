@@ -1,0 +1,154 @@
+//! Property tests: the batched engine is observationally identical to the
+//! scalar simulator.
+//!
+//! [`CircuitSimBatch`] advertises bit-identical outcomes to running
+//! [`CircuitSim`] once per trial — across schedules, sense-amplifier
+//! offsets, cell states, integration steps, and variation draws. These
+//! properties are what lets every consumer switch engines without
+//! revalidating the physics.
+
+use codic_circuit::montecarlo::{trial_rng, MC_DT_NS};
+use codic_circuit::sim::DEFAULT_DT_NS;
+use codic_circuit::{
+    schedules, CircuitParams, CircuitSim, CircuitSimBatch, ProcessVariation, Signal, SignalPulse,
+    SignalSchedule, VariationDraw,
+};
+use proptest::prelude::*;
+
+fn arb_pulse() -> impl Strategy<Value = SignalPulse> {
+    (0u8..24, 1u8..25)
+        .prop_filter("assert < deassert", |(a, d)| a < d)
+        .prop_map(|(a, d)| SignalPulse::new(a, d).expect("filtered to valid"))
+}
+
+fn arb_schedule() -> impl Strategy<Value = SignalSchedule> {
+    (
+        proptest::option::of(arb_pulse()),
+        proptest::option::of(arb_pulse()),
+        proptest::option::of(arb_pulse()),
+        proptest::option::of(arb_pulse()),
+    )
+        .prop_map(|(wl, eq, sp, sn)| {
+            let mut b = SignalSchedule::builder();
+            for (sig, p) in [
+                (Signal::Wordline, wl),
+                (Signal::Equalize, eq),
+                (Signal::SenseP, sp),
+                (Signal::SenseN, sn),
+            ] {
+                if let Some(p) = p {
+                    b = b.pulse_validated(sig, p);
+                }
+            }
+            b.build()
+        })
+}
+
+/// Scalar reference: one simulator per (offset, cell voltage) pair.
+fn scalar_resolve(
+    schedule: &SignalSchedule,
+    offsets: &[f64],
+    v_cell: f64,
+    dt_ns: f64,
+) -> Vec<Option<bool>> {
+    offsets
+        .iter()
+        .map(|&offset| {
+            let mut sim = CircuitSim::new(CircuitParams::default());
+            sim.set_sa_offset(offset);
+            sim.set_cell_voltage(v_cell);
+            sim.resolve_bit(schedule, dt_ns)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batch_resolution_is_bit_identical_to_scalar(
+        schedule in arb_schedule(),
+        offset_a_mv in -12.0f64..12.0,
+        offset_b_mv in -12.0f64..12.0,
+        cell_frac in 0.0f64..1.0,
+        dt_idx in 0usize..3,
+    ) {
+        let params = CircuitParams::default();
+        let dt_ns = [DEFAULT_DT_NS, MC_DT_NS, 0.05][dt_idx];
+        let offsets = [offset_a_mv * 1e-3, offset_b_mv * 1e-3, params.sa_offset];
+        let v_cell = cell_frac * params.vdd;
+
+        let mut batch = CircuitSimBatch::uniform(params, offsets.len());
+        batch.set_sa_offsets(&offsets);
+        batch.set_cell_voltage_all(v_cell);
+        let got = batch.resolve_bits(&schedule, dt_ns);
+        let want = scalar_resolve(&schedule, &offsets, v_cell, dt_ns);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn batch_terminal_states_are_bit_identical_to_scalar(
+        schedule in arb_schedule(),
+        bit in any::<bool>(),
+    ) {
+        let params = CircuitParams::default();
+        let mut batch = CircuitSimBatch::uniform(params, 2);
+        batch.set_cell_bits(&[bit, !bit]);
+        let states = batch.run_terminal(&schedule, 30.0, 0.025);
+        for (i, b) in [bit, !bit].into_iter().enumerate() {
+            let mut sim = CircuitSim::new(params);
+            sim.set_cell_bit(b);
+            let f = sim.run_for(&schedule, 30.0, 0.025).final_sample();
+            prop_assert_eq!(states[i].v_bitline.to_bits(), f.v_bitline.to_bits());
+            prop_assert_eq!(states[i].v_bitline_bar.to_bits(), f.v_bitline_bar.to_bits());
+            prop_assert_eq!(states[i].v_cell.to_bits(), f.v_cell.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_with_variation_draws_matches_per_trial_scalar(
+        seed in any::<u64>(),
+        pv_tenths in 0u32..60,
+    ) {
+        let variation = ProcessVariation::from_pct(f64::from(pv_tenths) / 10.0);
+        let base = CircuitParams::default();
+        let draws: Vec<VariationDraw> =
+            (0..16).map(|t| variation.draw(&mut trial_rng(seed, t))).collect();
+
+        let schedule = schedules::codic_sigsa();
+        let mut batch = CircuitSimBatch::new(base, &draws);
+        batch.set_cell_voltage_all(base.v_precharge());
+        let got = batch.resolve_bits(&schedule, MC_DT_NS);
+
+        for (i, draw) in draws.iter().enumerate() {
+            let params = draw.apply(base);
+            let mut sim = CircuitSim::new(params);
+            sim.set_cell_voltage(params.v_precharge());
+            prop_assert_eq!(got[i], sim.resolve_bit(&schedule, MC_DT_NS), "trial {}", i);
+        }
+    }
+}
+
+#[test]
+fn canonical_schedules_resolve_identically_on_both_engines() {
+    let params = CircuitParams::default();
+    for schedule in [
+        schedules::activate(),
+        schedules::precharge(),
+        schedules::codic_sig(),
+        schedules::codic_sig_opt(),
+        schedules::codic_det_zero(),
+        schedules::codic_det_one(),
+        schedules::codic_sigsa(),
+        schedules::codic_sig_alt(),
+    ] {
+        for bit in [false, true] {
+            let mut batch = CircuitSimBatch::uniform(params, 1);
+            batch.set_cell_bits(&[bit]);
+            let got = batch.resolve_bits(&schedule, MC_DT_NS);
+            let mut sim = CircuitSim::new(params);
+            sim.set_cell_bit(bit);
+            assert_eq!(got[0], sim.resolve_bit(&schedule, MC_DT_NS));
+        }
+    }
+}

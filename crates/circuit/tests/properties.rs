@@ -1,8 +1,6 @@
 //! Property-based tests of the circuit crate's invariants.
 
-use codic_circuit::{
-    CircuitParams, CircuitSim, SenseOutcome, Signal, SignalPulse, SignalSchedule,
-};
+use codic_circuit::{CircuitParams, CircuitSim, SenseOutcome, Signal, SignalPulse, SignalSchedule};
 use proptest::prelude::*;
 
 fn arb_pulse() -> impl Strategy<Value = SignalPulse> {

@@ -1,0 +1,38 @@
+//! The Monte Carlo engine's contract: results are bit-identical regardless
+//! of the rayon thread count, because every trial derives its RNG from
+//! `seed + trial_index` and the chunk size is fixed.
+//!
+//! This lives in its own integration-test binary because it mutates the
+//! process-wide `RAYON_NUM_THREADS` variable; keeping it isolated (and its
+//! assertions serial) avoids races with unrelated tests.
+
+use codic_circuit::montecarlo::{BitFlipStats, SigsaExperiment};
+use codic_circuit::variation::ProcessVariation;
+
+fn run_with_threads(threads: &str, exp: &SigsaExperiment) -> BitFlipStats {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let stats = exp.run();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    stats
+}
+
+#[test]
+fn sigsa_experiment_is_invariant_to_rayon_num_threads() {
+    // Spans several chunks (MC_CHUNK_TRIALS = 256) plus a partial tail.
+    for (pv, temp) in [(4.0, 30.0), (5.0, 60.0)] {
+        let exp = SigsaExperiment {
+            variation: ProcessVariation::from_pct(pv),
+            temperature_c: temp,
+            trials: 1_500,
+            seed: 0x7EAD5,
+        };
+        let one = run_with_threads("1", &exp);
+        let four = run_with_threads("4", &exp);
+        assert_eq!(
+            one, four,
+            "flip counts diverged between 1 and 4 threads at pv={pv}%, T={temp}C"
+        );
+        // And both match the scalar reference path.
+        assert_eq!(one, exp.run_scalar());
+    }
+}

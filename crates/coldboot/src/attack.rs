@@ -89,7 +89,11 @@ mod tests {
     #[test]
     fn unprotected_module_leaks_nearly_everything() {
         let r = attack_unprotected(&AttackScenario::default());
-        assert!(r.recovered_fraction > 0.9, "recovered {}", r.recovered_fraction);
+        assert!(
+            r.recovered_fraction > 0.9,
+            "recovered {}",
+            r.recovered_fraction
+        );
     }
 
     #[test]

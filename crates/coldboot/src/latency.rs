@@ -183,10 +183,7 @@ mod tests {
 
     #[test]
     fn destruction_scales_linearly_with_capacity() {
-        for m in [
-            DestructionMechanism::Codic,
-            DestructionMechanism::RowClone,
-        ] {
+        for m in [DestructionMechanism::Codic, DestructionMechanism::RowClone] {
             let small = destruction_time_ms(m, 64);
             let large = destruction_time_ms(m, 1024);
             let ratio = large / small;

@@ -62,9 +62,7 @@ impl DestructionMechanism {
             DestructionMechanism::Tcg => None,
             DestructionMechanism::Codic => Some(t.t_rc),
             DestructionMechanism::RowClone => Some(2 * t.t_ras + t.t_rp),
-            DestructionMechanism::LisaClone => {
-                Some(2 * t.t_ras + t.t_rp + t.cycles_from_ns(70.0))
-            }
+            DestructionMechanism::LisaClone => Some(2 * t.t_ras + t.t_rp + t.cycles_from_ns(70.0)),
         }
     }
 
@@ -102,7 +100,10 @@ mod tests {
             1
         );
         assert_eq!(
-            DestructionMechanism::RowClone.row_op().unwrap().activations(),
+            DestructionMechanism::RowClone
+                .row_op()
+                .unwrap()
+                .activations(),
             2
         );
     }

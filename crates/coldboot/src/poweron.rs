@@ -173,7 +173,11 @@ mod tests {
         m.tick();
         let s = m.state();
         m.power_on();
-        assert_eq!(m.state(), s, "re-asserting power must not restart the sweep");
+        assert_eq!(
+            m.state(),
+            s,
+            "re-asserting power must not restart the sweep"
+        );
     }
 
     #[test]

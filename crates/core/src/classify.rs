@@ -7,7 +7,10 @@
 //! that distinguish the classes: both initial cell values × both offset
 //! signs.
 
-use codic_circuit::{CircuitParams, CircuitSim, SenseOutcome};
+use codic_circuit::outcome::classify_terminal;
+use codic_circuit::sim::{DEFAULT_DT_NS, SETTLE_MARGIN_NS};
+use codic_circuit::{CircuitParams, CircuitSimBatch, SenseOutcome, WINDOW_NS};
+use rayon::prelude::*;
 
 use crate::variant::CodicVariant;
 
@@ -73,32 +76,54 @@ impl std::fmt::Display for OperationClass {
 const PROBE_OFFSET: f64 = 4.0e-3;
 
 /// Classifies `variant` by simulating it under probe conditions.
+///
+/// All four probe trials — both initial cell values × both offset signs —
+/// run as one [`CircuitSimBatch`], so a classification is a single pass of
+/// the batched integrator; the terminal-state arithmetic is identical to
+/// the scalar simulator's, so the resulting class is too.
 #[must_use]
 pub fn classify(variant: &CodicVariant, params: &CircuitParams) -> OperationClass {
     if variant.schedule().programmed_signals() == 0 {
         return OperationClass::NoOp;
     }
-    let run = |bit: bool, offset: f64| -> SenseOutcome {
-        let mut sim = CircuitSim::new(*params);
-        sim.set_sa_offset(offset);
-        sim.set_cell_bit(bit);
-        sim.run(variant.schedule()).outcome()
+    let vdd = params.vdd;
+    let mut batch = CircuitSimBatch::uniform(*params, 4);
+    batch.set_sa_offsets(&[PROBE_OFFSET, PROBE_OFFSET, -PROBE_OFFSET, -PROBE_OFFSET]);
+    batch.set_cell_bits(&[false, true, false, true]);
+    let duration_ns = f64::from(WINDOW_NS) + SETTLE_MARGIN_NS;
+    let states = batch.run_terminal(variant.schedule(), duration_ns, DEFAULT_DT_NS);
+    let outcome = |i: usize| -> SenseOutcome {
+        classify_terminal(
+            variant.schedule(),
+            vdd,
+            states[i].v_bitline,
+            states[i].v_cell,
+        )
     };
-    let zero_pos = run(false, PROBE_OFFSET);
-    let one_pos = run(true, PROBE_OFFSET);
+    let zero_pos = outcome(0);
+    let one_pos = outcome(1);
 
     use SenseOutcome as O;
+    // A command whose result flips with the offset sign is process-
+    // variation dependent — the signature of CODIC-sigsa.
+    let offset_flips = |was_one: bool| -> bool {
+        match outcome(if was_one { 3 } else { 2 }) {
+            O::RestoredZero => was_one,
+            O::RestoredOne => !was_one,
+            _ => false,
+        }
+    };
     match (zero_pos, one_pos) {
         (O::RestoredZero, O::RestoredOne) => OperationClass::ActivateLike,
         (O::RestoredZero, O::RestoredZero) => {
-            if offset_flips(variant, params, false) {
+            if offset_flips(false) {
                 OperationClass::SignatureAmplified
             } else {
                 OperationClass::DeterministicZero
             }
         }
         (O::RestoredOne, O::RestoredOne) => {
-            if offset_flips(variant, params, true) {
+            if offset_flips(true) {
                 OperationClass::SignatureAmplified
             } else {
                 OperationClass::DeterministicOne
@@ -110,18 +135,11 @@ pub fn classify(variant: &CodicVariant, params: &CircuitParams) -> OperationClas
     }
 }
 
-/// Whether flipping the sense-amplifier offset sign flips the outcome —
-/// the signature of a process-variation-dependent command.
-fn offset_flips(variant: &CodicVariant, params: &CircuitParams, was_one: bool) -> bool {
-    let mut sim = CircuitSim::new(*params);
-    sim.set_sa_offset(-PROBE_OFFSET);
-    sim.set_cell_bit(was_one);
-    let flipped = sim.run(variant.schedule()).outcome();
-    match flipped {
-        SenseOutcome::RestoredZero => was_one,
-        SenseOutcome::RestoredOne => !was_one,
-        _ => false,
-    }
+/// Classifies many variants in parallel (rayon worker threads, one batched
+/// classification per variant), preserving input order.
+#[must_use]
+pub fn classify_all(variants: &[CodicVariant], params: &CircuitParams) -> Vec<OperationClass> {
+    variants.par_iter().map(|v| classify(v, params)).collect()
 }
 
 #[cfg(test)]
@@ -195,6 +213,22 @@ mod tests {
             classify(&library::codic_det_zero(), &p),
             OperationClass::DeterministicZero
         );
+    }
+
+    #[test]
+    fn classify_all_matches_per_variant_classification() {
+        let variants = [
+            library::activation(),
+            library::precharge(),
+            library::codic_sig(),
+            library::codic_det_zero(),
+            library::codic_det_one(),
+            library::codic_sigsa(),
+        ];
+        let params = CircuitParams::default();
+        let batch = classify_all(&variants, &params);
+        let serial: Vec<_> = variants.iter().map(|v| classify(v, &params)).collect();
+        assert_eq!(batch, serial);
     }
 
     #[test]

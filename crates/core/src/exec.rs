@@ -76,7 +76,10 @@ mod tests {
             OperationClass::DeterministicZero.data_effect(),
             DataEffect::Zeros
         );
-        assert_eq!(OperationClass::DeterministicOne.data_effect(), DataEffect::Ones);
+        assert_eq!(
+            OperationClass::DeterministicOne.data_effect(),
+            DataEffect::Ones
+        );
         assert_eq!(
             OperationClass::SignaturePreparation.data_effect(),
             DataEffect::Signature

@@ -1,36 +1,25 @@
 //! The paper's named CODIC variants (Table 1 plus §4.1.1 and Appendix C).
+//!
+//! The timings come from the canonical `codic_circuit::schedules` module —
+//! the single source of truth for Table 1 — and are wrapped here in named
+//! [`CodicVariant`]s.
 
-use codic_circuit::{Signal, SignalSchedule};
+use codic_circuit::schedules;
 
 use crate::variant::CodicVariant;
-
-fn schedule(pulses: &[(Signal, u8, u8)]) -> SignalSchedule {
-    let mut b = SignalSchedule::builder();
-    for &(s, a, d) in pulses {
-        b = b.pulse(s, a, d).expect("library timings are valid");
-    }
-    b.build()
-}
 
 /// The standard activation implemented on the CODIC substrate
 /// (Table 1: `wl [5↑,22↓] sense_p [7↓,22↑] sense_n [7↑,22↓]`).
 #[must_use]
 pub fn activation() -> CodicVariant {
-    CodicVariant::new(
-        "CODIC-activate",
-        schedule(&[
-            (Signal::Wordline, 5, 22),
-            (Signal::SenseP, 7, 22),
-            (Signal::SenseN, 7, 22),
-        ]),
-    )
+    CodicVariant::new("CODIC-activate", schedules::activate())
 }
 
 /// The standard precharge implemented on the CODIC substrate
 /// (Table 1: `EQ [5↑,11↓]`).
 #[must_use]
 pub fn precharge() -> CodicVariant {
-    CodicVariant::new("CODIC-precharge", schedule(&[(Signal::Equalize, 5, 11)]))
+    CodicVariant::new("CODIC-precharge", schedules::precharge())
 }
 
 /// CODIC-sig: drives the connected cell to `Vdd/2` so a subsequent
@@ -38,10 +27,7 @@ pub fn precharge() -> CodicVariant {
 /// (Table 1: `wl [5↑,22↓] EQ [7↑,22↓]`).
 #[must_use]
 pub fn codic_sig() -> CodicVariant {
-    CodicVariant::new(
-        "CODIC-sig",
-        schedule(&[(Signal::Wordline, 5, 22), (Signal::Equalize, 7, 22)]),
-    )
+    CodicVariant::new("CODIC-sig", schedules::codic_sig())
 }
 
 /// CODIC-sig-opt: the §4.1.1 optimization — the cell reaches `Vdd/2`
@@ -49,10 +35,7 @@ pub fn codic_sig() -> CodicVariant {
 /// and the command completes in a precharge-class latency (Table 2).
 #[must_use]
 pub fn codic_sig_opt() -> CodicVariant {
-    CodicVariant::new(
-        "CODIC-sig-opt",
-        schedule(&[(Signal::Wordline, 5, 11), (Signal::Equalize, 7, 11)]),
-    )
+    CodicVariant::new("CODIC-sig-opt", schedules::codic_sig_opt())
 }
 
 /// CODIC-det generating zeros: `sense_n` first collapses the bitlines,
@@ -60,28 +43,14 @@ pub fn codic_sig_opt() -> CodicVariant {
 /// loses (Table 1: `wl [5↑,22↓] sense_p [14↓,22↑] sense_n [7↑,22↓]`).
 #[must_use]
 pub fn codic_det_zero() -> CodicVariant {
-    CodicVariant::new(
-        "CODIC-det (zero)",
-        schedule(&[
-            (Signal::Wordline, 5, 22),
-            (Signal::SenseN, 7, 22),
-            (Signal::SenseP, 14, 22),
-        ]),
-    )
+    CodicVariant::new("CODIC-det (zero)", schedules::codic_det_zero())
 }
 
 /// CODIC-det generating ones: the mirror of [`codic_det_zero`] — `sense_p`
 /// triggers first (§4.1.2).
 #[must_use]
 pub fn codic_det_one() -> CodicVariant {
-    CodicVariant::new(
-        "CODIC-det (one)",
-        schedule(&[
-            (Signal::Wordline, 5, 22),
-            (Signal::SenseP, 7, 22),
-            (Signal::SenseN, 14, 22),
-        ]),
-    )
+    CodicVariant::new("CODIC-det (one)", schedules::codic_det_one())
 }
 
 /// CODIC-sigsa (Appendix C): both sense-amplifier enables fire at 3 ns on
@@ -89,24 +58,14 @@ pub fn codic_det_one() -> CodicVariant {
 /// variation; `wl` rises at 5 ns to write the resolved value into the cell.
 #[must_use]
 pub fn codic_sigsa() -> CodicVariant {
-    CodicVariant::new(
-        "CODIC-sigsa",
-        schedule(&[
-            (Signal::SenseP, 3, 22),
-            (Signal::SenseN, 3, 22),
-            (Signal::Wordline, 5, 22),
-        ]),
-    )
+    CodicVariant::new("CODIC-sigsa", schedules::codic_sigsa())
 }
 
 /// The alternative CODIC-sig timing the paper notes performs the same
 /// function (§4.1.1: `wl` at 4 ns, `EQ` at 8 ns).
 #[must_use]
 pub fn codic_sig_alt() -> CodicVariant {
-    CodicVariant::new(
-        "CODIC-sig (alt)",
-        schedule(&[(Signal::Wordline, 4, 22), (Signal::Equalize, 8, 22)]),
-    )
+    CodicVariant::new("CODIC-sig (alt)", schedules::codic_sig_alt())
 }
 
 /// All Table 1 rows in order, for the Table 1 regeneration binary.
@@ -130,7 +89,7 @@ pub fn table2_variants() -> Vec<CodicVariant> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use codic_circuit::{SignalPulse, Signal};
+    use codic_circuit::{Signal, SignalPulse};
 
     fn pulse(v: &CodicVariant, s: Signal) -> SignalPulse {
         v.schedule().pulse(s).expect("pulse programmed")
@@ -139,7 +98,10 @@ mod tests {
     #[test]
     fn table1_activation_timings() {
         let v = activation();
-        assert_eq!(pulse(&v, Signal::Wordline), SignalPulse::new(5, 22).unwrap());
+        assert_eq!(
+            pulse(&v, Signal::Wordline),
+            SignalPulse::new(5, 22).unwrap()
+        );
         assert_eq!(pulse(&v, Signal::SenseP), SignalPulse::new(7, 22).unwrap());
         assert_eq!(pulse(&v, Signal::SenseN), SignalPulse::new(7, 22).unwrap());
         assert_eq!(v.schedule().pulse(Signal::Equalize), None);
@@ -148,15 +110,24 @@ mod tests {
     #[test]
     fn table1_precharge_timings() {
         let v = precharge();
-        assert_eq!(pulse(&v, Signal::Equalize), SignalPulse::new(5, 11).unwrap());
+        assert_eq!(
+            pulse(&v, Signal::Equalize),
+            SignalPulse::new(5, 11).unwrap()
+        );
         assert_eq!(v.schedule().programmed_signals(), 1);
     }
 
     #[test]
     fn table1_codic_sig_timings() {
         let v = codic_sig();
-        assert_eq!(pulse(&v, Signal::Wordline), SignalPulse::new(5, 22).unwrap());
-        assert_eq!(pulse(&v, Signal::Equalize), SignalPulse::new(7, 22).unwrap());
+        assert_eq!(
+            pulse(&v, Signal::Wordline),
+            SignalPulse::new(5, 22).unwrap()
+        );
+        assert_eq!(
+            pulse(&v, Signal::Equalize),
+            SignalPulse::new(7, 22).unwrap()
+        );
     }
 
     #[test]

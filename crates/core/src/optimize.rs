@@ -8,7 +8,12 @@
 //! analog simulator — the in-silico analogue of the paper's proposed
 //! error-characterization-driven re-implementation of commands.
 
-use codic_circuit::{CircuitParams, CircuitSim, SenseOutcome, Signal, SignalSchedule};
+use codic_circuit::outcome::classify_terminal;
+use codic_circuit::sim::{DEFAULT_DT_NS, SETTLE_MARGIN_NS};
+use codic_circuit::{
+    CircuitParams, CircuitSimBatch, SenseOutcome, Signal, SignalSchedule, WINDOW_NS,
+};
+use rayon::prelude::*;
 
 use crate::variant::CodicVariant;
 
@@ -36,16 +41,20 @@ pub fn activation_with_gap(gap_ns: u8) -> CodicVariant {
 
 /// Whether an activation variant reliably restores both stored values on a
 /// device described by `params` (including its offset/variation draw).
+///
+/// Both stored-value trials run as one [`CircuitSimBatch`] pass.
 #[must_use]
 pub fn restores_reliably(variant: &CodicVariant, params: &CircuitParams) -> bool {
-    for (bit, want) in [(false, SenseOutcome::RestoredZero), (true, SenseOutcome::RestoredOne)] {
-        let mut sim = CircuitSim::new(*params);
-        sim.set_cell_bit(bit);
-        if sim.run(variant.schedule()).outcome() != want {
-            return false;
-        }
-    }
-    true
+    let mut batch = CircuitSimBatch::uniform(*params, 2);
+    batch.set_cell_bits(&[false, true]);
+    let duration_ns = f64::from(WINDOW_NS) + SETTLE_MARGIN_NS;
+    let states = batch.run_terminal(variant.schedule(), duration_ns, DEFAULT_DT_NS);
+    [SenseOutcome::RestoredZero, SenseOutcome::RestoredOne]
+        .iter()
+        .zip(&states)
+        .all(|(want, s)| {
+            classify_terminal(variant.schedule(), params.vdd, s.v_bitline, s.v_cell) == *want
+        })
 }
 
 /// Finds the smallest wl→sense gap (in ns) that still restores reliably on
@@ -60,6 +69,17 @@ pub fn fastest_reliable_activation(params: &CircuitParams) -> (CodicVariant, u8)
         }
     }
     (activation_with_gap(2), 2)
+}
+
+/// Optimizes a population of devices in parallel: one
+/// [`fastest_reliable_activation`] search per parameter set, spread across
+/// rayon worker threads, preserving input order.
+#[must_use]
+pub fn fastest_reliable_activations(devices: &[CircuitParams]) -> Vec<(CodicVariant, u8)> {
+    devices
+        .par_iter()
+        .map(fastest_reliable_activation)
+        .collect()
 }
 
 #[cfg(test)]
@@ -107,5 +127,23 @@ mod tests {
     #[should_panic(expected = "fit the window")]
     fn oversized_gap_is_rejected() {
         let _ = activation_with_gap(18);
+    }
+
+    #[test]
+    fn parallel_device_sweep_matches_serial_search() {
+        let devices = [
+            CircuitParams::default(),
+            CircuitParams {
+                g_access: 2.0e-4,
+                ..CircuitParams::default()
+            },
+            CircuitParams::ddr3l(),
+        ];
+        let sweep = fastest_reliable_activations(&devices);
+        for (params, (variant, gap)) in devices.iter().zip(&sweep) {
+            let (serial_variant, serial_gap) = fastest_reliable_activation(params);
+            assert_eq!(*gap, serial_gap);
+            assert_eq!(variant.schedule(), serial_variant.schedule());
+        }
     }
 }

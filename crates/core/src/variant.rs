@@ -61,7 +61,13 @@ impl std::fmt::Display for CodicVariant {
             } else {
                 ("\u{2191}", "\u{2193}")
             };
-            write!(f, "{}[{}{a},{}{b}]", sig.name(), pulse.assert_ns(), pulse.deassert_ns())?;
+            write!(
+                f,
+                "{}[{}{a},{}{b}]",
+                sig.name(),
+                pulse.assert_ns(),
+                pulse.deassert_ns()
+            )?;
         }
         if !first {
             write!(f, "]")?;

@@ -46,7 +46,7 @@ impl DramGeometry {
         let banks = 8u64;
         let row_bytes = Self::ROW_BYTES;
         assert!(
-            bytes % (banks * row_bytes) == 0,
+            bytes.is_multiple_of(banks * row_bytes),
             "capacity {capacity_mib} MiB is not divisible into {banks} banks of {row_bytes} B rows"
         );
         let rows_per_bank = bytes / (banks * row_bytes);
@@ -118,7 +118,10 @@ mod tests {
         let g = DramGeometry::module_mib(64);
         assert_eq!(g.total_rows() * DramGeometry::ROW_BYTES, g.total_bytes());
         assert_eq!(g.total_lines() * LINE_BYTES, g.total_bytes());
-        assert_eq!(u64::from(g.lines_per_row) * LINE_BYTES, DramGeometry::ROW_BYTES);
+        assert_eq!(
+            u64::from(g.lines_per_row) * LINE_BYTES,
+            DramGeometry::ROW_BYTES
+        );
     }
 
     #[test]

@@ -74,7 +74,11 @@ pub struct QueueFull {
 
 impl std::fmt::Display for QueueFull {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "memory controller queue full for {:?}", self.request.kind)
+        write!(
+            f,
+            "memory controller queue full for {:?}",
+            self.request.kind
+        )
     }
 }
 

@@ -56,7 +56,7 @@ mod tests {
     fn clustered_bits_fail() {
         // Alternating all-ones / all-zeros blocks.
         let bits: Vec<u8> = (0..12_800)
-            .map(|i| u8::from((i / DEFAULT_BLOCK) % 2 == 0))
+            .map(|i| u8::from((i / DEFAULT_BLOCK).is_multiple_of(2)))
             .collect();
         assert!(!test(&bits).passed());
     }

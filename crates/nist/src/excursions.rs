@@ -67,10 +67,10 @@ pub fn test(bits: &[u8]) -> TestResult {
     let mut ps = Vec::with_capacity(8);
     for (idx, &x) in STATES.iter().enumerate() {
         let mut chi2 = 0.0;
-        for k in 0..6 {
+        for (k, &count) in counts[idx].iter().enumerate() {
             let expected = j as f64 * pi_k(x, k);
             if expected > 0.0 {
-                let obs = counts[idx][k] as f64;
+                let obs = count as f64;
                 chi2 += (obs - expected) * (obs - expected) / expected;
             }
         }

@@ -83,7 +83,9 @@ mod tests {
             .collect();
         let mut im = vec![0.0; n];
         fft_in_place(&mut re, &mut im);
-        let mag: Vec<f64> = (0..n).map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt()).collect();
+        let mag: Vec<f64> = (0..n)
+            .map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt())
+            .collect();
         let peak = mag
             .iter()
             .enumerate()

@@ -8,9 +8,7 @@ use crate::TestResult;
 pub const BLOCK: usize = 500;
 
 /// Class probabilities for the T statistic (§2.10.4 step 5).
-const PI: [f64; 7] = [
-    0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833,
-];
+const PI: [f64; 7] = [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833];
 
 /// Runs the linear-complexity test with block length [`BLOCK`].
 #[must_use]
@@ -30,7 +28,7 @@ pub fn test_with_block(bits: &[u8], m: usize) -> TestResult {
         };
     }
     let m_f = m as f64;
-    let sign = if m % 2 == 0 { 1.0 } else { -1.0 };
+    let sign = if m.is_multiple_of(2) { 1.0 } else { -1.0 };
     let mu = m_f / 2.0 + (9.0 - sign) / 36.0 - (m_f / 3.0 + 2.0 / 9.0) / 2f64.powi(m as i32);
     let mut counts = [0u64; 7];
     for block in bits.chunks_exact(m).take(n_blocks) {
@@ -87,7 +85,7 @@ mod tests {
         let bits: Vec<u8> = (0..100_000)
             .map(|_| {
                 let bit = (state & 1) as u8;
-                let fb = ((state >> 0) ^ (state >> 2) ^ (state >> 3) ^ (state >> 5)) & 1;
+                let fb = (state ^ (state >> 2) ^ (state >> 3) ^ (state >> 5)) & 1;
                 state = (state >> 1) | (fb << 15);
                 bit
             })

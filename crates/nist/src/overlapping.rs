@@ -11,12 +11,20 @@ pub const BLOCK: usize = 1032;
 
 /// Class probabilities π₀..π₅ for K = 5 (§2.8.4, Hamano–Kaneko values).
 const PI: [f64; 6] = [
-    0.364_091, 0.185_659, 0.139_381, 0.100_571, 0.070_432_3, 0.139_865,
+    0.364_091,
+    0.185_659,
+    0.139_381,
+    0.100_571,
+    0.070_432_3,
+    0.139_865,
 ];
 
 /// Counts overlapping occurrences of the all-ones template in a block.
 fn count_overlapping(block: &[u8]) -> u64 {
-    block.windows(M).filter(|w| w.iter().all(|&b| b == 1)).count() as u64
+    block
+        .windows(M)
+        .filter(|w| w.iter().all(|&b| b == 1))
+        .count() as u64
 }
 
 /// Runs the overlapping template test.

@@ -31,6 +31,26 @@ pub fn enroll(
     }
 }
 
+/// Enrolls a device over a whole challenge set at once, evaluating the
+/// responses in parallel via [`PufMechanism::evaluate_many`]. Challenge
+/// `i` is enrolled under nonce `i` (any fixed nonce works — the stored
+/// response is the reference later verifications are compared against).
+pub fn enroll_many(
+    mechanism: &dyn PufMechanism,
+    chip: &ChipModel,
+    challenges: &[Challenge],
+    env: &Environment,
+) -> Vec<Enrollment> {
+    challenges
+        .iter()
+        .zip(mechanism.evaluate_many(chip, challenges, env, 0))
+        .map(|(&challenge, expected)| Enrollment {
+            challenge,
+            expected,
+        })
+        .collect()
+}
+
 /// Verifies a device with exact-match comparison (no filtering).
 pub fn verify(
     mechanism: &dyn PufMechanism,
@@ -109,10 +129,34 @@ mod tests {
     }
 
     #[test]
+    fn enroll_many_matches_per_challenge_evaluation() {
+        let pop = paper_population(1);
+        let chip = &pop[0].chips[0];
+        let env = Environment::nominal();
+        let challenges: Vec<Challenge> = (0..6).map(Challenge::segment).collect();
+        let enrollments = enroll_many(&CodicSigPuf, chip, &challenges, &env);
+        assert_eq!(enrollments.len(), 6);
+        for (i, e) in enrollments.iter().enumerate() {
+            assert_eq!(e.challenge, challenges[i]);
+            assert_eq!(
+                e.expected,
+                CodicSigPuf.evaluate(chip, &challenges[i], &env, i as u64)
+            );
+            // A genuine device still verifies against the batch enrollment.
+            assert!(verify(&CodicSigPuf, chip, e, &env, 1000 + i as u64));
+        }
+    }
+
+    #[test]
     fn enrollment_round_trip() {
         let pop = paper_population(1);
         let chip = &pop[0].chips[0];
-        let e = enroll(&CodicSigPuf, chip, Challenge::segment(3), &Environment::nominal());
+        let e = enroll(
+            &CodicSigPuf,
+            chip,
+            Challenge::segment(3),
+            &Environment::nominal(),
+        );
         assert_eq!(e.challenge, Challenge::segment(3));
         assert!(!e.expected.is_empty());
     }

@@ -7,6 +7,7 @@
 //! extractor, exactly as the paper does.
 
 use codic_nist::extractor::von_neumann;
+use rayon::prelude::*;
 
 use crate::challenge::Challenge;
 use crate::mechanisms::{Environment, PufMechanism};
@@ -29,9 +30,19 @@ pub fn response_bitmap(
     bitmap
 }
 
+/// Chips evaluated per parallel dispatch of [`whitened_stream`]. Bounds
+/// the work discarded when the target length lands mid-population.
+const STREAM_CHUNK_CHIPS: usize = 32;
+
 /// Builds a whitened random stream of at least `target_bits` bits from
 /// responses to distinct challenges across the whole population, applying
 /// the Von Neumann extractor.
+///
+/// Chips are evaluated and whitened in parallel, [`STREAM_CHUNK_CHIPS`]
+/// at a time; dispatch stops at the first chunk that crosses the target,
+/// so at most one chunk of work is discarded. Chunking and evaluation
+/// order are fixed, so the stream is identical to the serial chip-by-chip
+/// construction for every thread count.
 #[must_use]
 pub fn whitened_stream(
     population: &[Module],
@@ -43,13 +54,29 @@ pub fn whitened_stream(
     let mut out = Vec::with_capacity(target_bits);
     let mut round = 0u64;
     while out.len() < target_bits {
-        for chip in &chips {
+        let challenge = Challenge::segment(round);
+        for chunk in chips.chunks(STREAM_CHUNK_CHIPS) {
             if out.len() >= target_bits {
                 break;
             }
-            let challenge = Challenge::segment(round);
-            let bitmap = response_bitmap(mechanism, chip, &challenge, env, round + 1);
-            out.extend(von_neumann(&bitmap));
+            let whitened: Vec<Vec<u8>> = chunk
+                .par_iter()
+                .map(|chip| {
+                    von_neumann(&response_bitmap(
+                        mechanism,
+                        chip,
+                        &challenge,
+                        env,
+                        round + 1,
+                    ))
+                })
+                .collect();
+            for bits in whitened {
+                if out.len() >= target_bits {
+                    break;
+                }
+                out.extend(bits);
+            }
         }
         round += 1;
         assert!(

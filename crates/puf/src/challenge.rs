@@ -146,9 +146,6 @@ mod tests {
     #[test]
     fn jaccard_of_empty_responses_is_one() {
         assert_eq!(Response::default().jaccard(&Response::default()), 1.0);
-        assert_eq!(
-            Response::default().jaccard(&Response::new(vec![1])),
-            0.0
-        );
+        assert_eq!(Response::default().jaccard(&Response::new(vec![1])), 0.0);
     }
 }

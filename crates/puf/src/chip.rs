@@ -166,12 +166,8 @@ mod tests {
     #[test]
     fn minority_cells_are_stable_and_sparse() {
         let c = chip(7);
-        let cells: Vec<u64> = (0..200_000)
-            .filter(|&i| c.codic_minority_cell(i))
-            .collect();
-        let again: Vec<u64> = (0..200_000)
-            .filter(|&i| c.codic_minority_cell(i))
-            .collect();
+        let cells: Vec<u64> = (0..200_000).filter(|&i| c.codic_minority_cell(i)).collect();
+        let again: Vec<u64> = (0..200_000).filter(|&i| c.codic_minority_cell(i)).collect();
         assert_eq!(cells, again, "stable across queries");
         let frac = cells.len() as f64 / 200_000.0;
         assert!(frac < 5.0e-3, "fraction {frac}");

@@ -2,9 +2,10 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use crate::challenge::Challenge;
-use crate::chip::VoltageClass;
+use crate::chip::{ChipModel, VoltageClass};
 use crate::mechanisms::{Environment, PufMechanism};
 use crate::population::Module;
 
@@ -59,9 +60,42 @@ fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// One response pair to evaluate: the second element may use a different
+/// chip, segment, or environment than the first.
+struct PairSpec<'a> {
+    chip_a: &'a ChipModel,
+    chip_b: &'a ChipModel,
+    seg_a: u64,
+    seg_b: u64,
+    env_a: Environment,
+    env_b: Environment,
+    nonce: u64,
+}
+
+/// Evaluates each pair's two responses in parallel and returns the Jaccard
+/// indices in input order. Pair selection happens up front on one RNG
+/// stream, so results are identical to the serial implementation and
+/// independent of the worker-thread count.
+fn evaluate_pairs(mechanism: &dyn PufMechanism, specs: Vec<PairSpec<'_>>) -> Vec<f64> {
+    specs
+        .into_par_iter()
+        .map(|p| {
+            let a = mechanism.evaluate(p.chip_a, &Challenge::segment(p.seg_a), &p.env_a, p.nonce);
+            let b = mechanism.evaluate(
+                p.chip_b,
+                &Challenge::segment(p.seg_b),
+                &p.env_b,
+                p.nonce + 1,
+            );
+            a.jaccard(&b)
+        })
+        .collect()
+}
+
 /// Runs the Figure 5 experiment for one mechanism over the chips of the
 /// given voltage class: `pairs` random same-segment pairs (intra) and
-/// `pairs` random different-segment pairs (inter).
+/// `pairs` random different-segment pairs (inter). Response evaluation —
+/// the hot part — is spread across rayon worker threads.
 pub fn distributions(
     population: &[Module],
     voltage: VoltageClass,
@@ -77,18 +111,23 @@ pub fn distributions(
         .collect();
     assert!(!chips.is_empty(), "no chips in the requested voltage class");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut intra = Vec::with_capacity(pairs);
-    let mut inter = Vec::with_capacity(pairs);
     let mut nonce = 1u64;
+    let mut intra_specs = Vec::with_capacity(pairs);
     for _ in 0..pairs {
         let chip = chips[rng.gen_range(0..chips.len())];
         let seg = rng.gen_range(0..SEGMENTS_PER_CHIP);
-        let ch = Challenge::segment(seg);
-        let a = mechanism.evaluate(chip, &ch, env, nonce);
-        let b = mechanism.evaluate(chip, &ch, env, nonce + 1);
+        intra_specs.push(PairSpec {
+            chip_a: chip,
+            chip_b: chip,
+            seg_a: seg,
+            seg_b: seg,
+            env_a: *env,
+            env_b: *env,
+            nonce,
+        });
         nonce += 2;
-        intra.push(a.jaccard(&b));
     }
+    let mut inter_specs = Vec::with_capacity(pairs);
     for _ in 0..pairs {
         let chip_a = chips[rng.gen_range(0..chips.len())];
         let chip_b = chips[rng.gen_range(0..chips.len())];
@@ -99,16 +138,26 @@ pub fn distributions(
                 break s;
             }
         };
-        let a = mechanism.evaluate(chip_a, &Challenge::segment(seg_a), env, nonce);
-        let b = mechanism.evaluate(chip_b, &Challenge::segment(seg_b), env, nonce + 1);
+        inter_specs.push(PairSpec {
+            chip_a,
+            chip_b,
+            seg_a,
+            seg_b,
+            env_a: *env,
+            env_b: *env,
+            nonce,
+        });
         nonce += 2;
-        inter.push(a.jaccard(&b));
     }
-    JaccardDistributions { intra, inter }
+    JaccardDistributions {
+        intra: evaluate_pairs(mechanism, intra_specs),
+        inter: evaluate_pairs(mechanism, inter_specs),
+    }
 }
 
 /// Runs the Figure 6 experiment: intra-Jaccard indices where the second
-/// evaluation happens at `30 °C + delta_t`.
+/// evaluation happens at `30 °C + delta_t`. Pair evaluation runs in
+/// parallel, with the same pair selection as the serial implementation.
 pub fn intra_vs_temperature(
     population: &[Module],
     mechanism: &dyn PufMechanism,
@@ -123,16 +172,22 @@ pub fn intra_vs_temperature(
         aging_hours: 0.0,
     };
     let base = Environment::nominal();
-    let mut out = Vec::with_capacity(pairs);
-    for k in 0..pairs {
-        let chip = chips[rng.gen_range(0..chips.len())];
-        let seg = rng.gen_range(0..SEGMENTS_PER_CHIP);
-        let ch = Challenge::segment(seg);
-        let a = mechanism.evaluate(chip, &ch, &base, 1000 + 2 * k as u64);
-        let b = mechanism.evaluate(chip, &ch, &hot, 1001 + 2 * k as u64);
-        out.push(a.jaccard(&b));
-    }
-    out
+    let specs: Vec<PairSpec<'_>> = (0..pairs)
+        .map(|k| {
+            let chip = chips[rng.gen_range(0..chips.len())];
+            let seg = rng.gen_range(0..SEGMENTS_PER_CHIP);
+            PairSpec {
+                chip_a: chip,
+                chip_b: chip,
+                seg_a: seg,
+                seg_b: seg,
+                env_a: base,
+                env_b: hot,
+                nonce: 1000 + 2 * k as u64,
+            }
+        })
+        .collect();
+    evaluate_pairs(mechanism, specs)
 }
 
 #[cfg(test)]
@@ -191,11 +246,20 @@ mod tests {
     fn temperature_hurts_latency_puf_most() {
         let p = pop();
         let codic = mean(&intra_vs_temperature(&p, &CodicSigPuf, 55.0, 25, 4));
-        let latency = mean(&intra_vs_temperature(&p, &LatencyPuf::default(), 55.0, 10, 5));
+        let latency = mean(&intra_vs_temperature(
+            &p,
+            &LatencyPuf::default(),
+            55.0,
+            10,
+            5,
+        ));
         let prelat = mean(&intra_vs_temperature(&p, &PreLatPuf, 55.0, 25, 6));
         assert!(codic > 0.9, "codic = {codic}");
         assert!(prelat > 0.95, "prelat = {prelat}");
-        assert!(latency < codic - 0.2, "latency = {latency} vs codic = {codic}");
+        assert!(
+            latency < codic - 0.2,
+            "latency = {latency} vs codic = {codic}"
+        );
     }
 
     #[test]

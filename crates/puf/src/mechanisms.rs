@@ -51,8 +51,9 @@ impl Environment {
 ///
 /// `nonce` individualizes repeated evaluations of the same challenge (the
 /// per-evaluation noise draw); two calls with the same nonce return the
-/// same response.
-pub trait PufMechanism {
+/// same response. Mechanisms are `Sync` so population sweeps can share one
+/// instance across rayon worker threads.
+pub trait PufMechanism: Sync {
     /// The mechanism's display name.
     fn name(&self) -> &'static str;
 
@@ -64,6 +65,29 @@ pub trait PufMechanism {
         env: &Environment,
         nonce: u64,
     ) -> Response;
+
+    /// Evaluates many challenges of one chip in parallel, challenge `i`
+    /// using nonce `base_nonce + i`. The default implementation fans the
+    /// (pure, nonce-indexed) evaluations out across rayon worker threads;
+    /// results are returned in input order and are independent of the
+    /// thread count.
+    fn evaluate_many(
+        &self,
+        chip: &ChipModel,
+        challenges: &[Challenge],
+        env: &Environment,
+        base_nonce: u64,
+    ) -> Vec<Response> {
+        use rayon::prelude::*;
+        challenges
+            .iter()
+            .enumerate()
+            .map(|(i, ch)| (i as u64, *ch))
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|(i, ch)| self.evaluate(chip, &ch, env, base_nonce + i))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -83,5 +107,18 @@ mod tests {
         let e = Environment::aged(8.0);
         assert_eq!(e.temperature_c, 30.0);
         assert_eq!(e.aging_hours, 8.0);
+    }
+
+    #[test]
+    fn evaluate_many_matches_serial_evaluations() {
+        use crate::chip::{Vendor, VoltageClass};
+        let chip = ChipModel::new(0, Vendor::A, 4, 1600, VoltageClass::Ddr3l, 0xFEED);
+        let puf = CodicSigPuf;
+        let env = Environment::nominal();
+        let challenges: Vec<Challenge> = (0..8).map(Challenge::segment).collect();
+        let many = puf.evaluate_many(&chip, &challenges, &env, 100);
+        for (i, ch) in challenges.iter().enumerate() {
+            assert_eq!(many[i], puf.evaluate(&chip, ch, &env, 100 + i as u64));
+        }
     }
 }

@@ -132,6 +132,9 @@ mod tests {
         let r = CodicSigPuf.evaluate(&c, &ch, &Environment::nominal(), 1);
         let expected = c.minority_fraction() * ch.cells() as f64;
         let n = r.len() as f64;
-        assert!(n > expected * 0.5 && n < expected * 1.5, "n = {n}, expected ≈ {expected}");
+        assert!(
+            n > expected * 0.5 && n < expected * 1.5,
+            "n = {n}, expected ≈ {expected}"
+        );
     }
 }

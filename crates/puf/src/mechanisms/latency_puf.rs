@@ -141,7 +141,10 @@ mod tests {
             2,
         );
         let j = base.jaccard(&hot);
-        assert!(j < 0.6, "J = {j}: latency PUF must be temperature-sensitive");
+        assert!(
+            j < 0.6,
+            "J = {j}: latency PUF must be temperature-sensitive"
+        );
     }
 
     #[test]

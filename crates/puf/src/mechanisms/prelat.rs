@@ -101,7 +101,10 @@ mod tests {
         let a = PreLatPuf.evaluate(&c, &Challenge::segment(0), &Environment::nominal(), 1);
         let b = PreLatPuf.evaluate(&c, &Challenge::segment(7), &Environment::nominal(), 1);
         let j = a.jaccard(&b);
-        assert!(j > 0.15, "J = {j}: PreLat responses must overlap across segments");
+        assert!(
+            j > 0.15,
+            "J = {j}: PreLat responses must overlap across segments"
+        );
         assert!(j < 0.9, "J = {j}: but not be identical");
     }
 

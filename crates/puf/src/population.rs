@@ -90,12 +90,7 @@ mod tests {
     #[test]
     fn vendor_chip_counts_match_table_3() {
         let p = paper_population(1);
-        let count = |v: Vendor| {
-            all_chips(&p)
-                .iter()
-                .filter(|c| c.vendor == v)
-                .count()
-        };
+        let count = |v: Vendor| all_chips(&p).iter().filter(|c| c.vendor == v).count();
         assert_eq!(count(Vendor::A), 64);
         assert_eq!(count(Vendor::B), 40);
         assert_eq!(count(Vendor::C), 32);

@@ -69,9 +69,7 @@ impl ZeroingMechanism {
         let mut out = Vec::with_capacity(app.ops.len() + app.deallocs.len() * 64);
         let mut next_dealloc = 0usize;
         for (pos, &op) in app.ops.iter().enumerate() {
-            while next_dealloc < app.deallocs.len()
-                && app.deallocs[next_dealloc].trace_pos == pos
-            {
+            while next_dealloc < app.deallocs.len() && app.deallocs[next_dealloc].trace_pos == pos {
                 self.emit_zeroing(&app.deallocs[next_dealloc], timing, &mut out);
                 next_dealloc += 1;
             }

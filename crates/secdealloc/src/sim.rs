@@ -54,8 +54,10 @@ fn compare(app_traces: &[AppTrace]) -> Comparison {
     let mut cycles = HashMap::new();
     let mut energy = HashMap::new();
     for m in ZeroingMechanism::ALL {
-        let traces: Vec<Vec<TraceOp>> =
-            app_traces.iter().map(|t| m.instrument(t, &timing)).collect();
+        let traces: Vec<Vec<TraceOp>> = app_traces
+            .iter()
+            .map(|t| m.instrument(t, &timing))
+            .collect();
         let (c, e) = run_traces(traces);
         cycles.insert(m, c);
         energy.insert(m, e);

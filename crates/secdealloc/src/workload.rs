@@ -230,7 +230,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(generate(Benchmark::Bootup, 5, 9), generate(Benchmark::Bootup, 5, 9));
+        assert_eq!(
+            generate(Benchmark::Bootup, 5, 9),
+            generate(Benchmark::Bootup, 5, 9)
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --example puf_authentication`
 
-use codic::puf::auth::{enroll, verify};
+use codic::puf::auth::{enroll, enroll_many, verify};
 use codic::puf::mechanisms::{CodicSigPuf, Environment, PufMechanism};
 use codic::puf::population::paper_population;
 use codic::puf::Challenge;
@@ -26,16 +26,59 @@ fn main() {
     );
 
     // Verification: exact-match, no filtering (paper: FRR 0.64%, FAR 0%).
-    let ok = verify(&CodicSigPuf, genuine, &enrollment, &Environment::nominal(), 1);
+    let ok = verify(
+        &CodicSigPuf,
+        genuine,
+        &enrollment,
+        &Environment::nominal(),
+        1,
+    );
     println!("genuine device verifies: {ok}");
     assert!(ok);
 
-    let fake = verify(&CodicSigPuf, impostor, &enrollment, &Environment::nominal(), 2);
+    let fake = verify(
+        &CodicSigPuf,
+        impostor,
+        &enrollment,
+        &Environment::nominal(),
+        2,
+    );
     println!("impostor device verifies: {fake}");
     assert!(!fake);
 
+    // A real verifier enrolls a whole challenge set up front; the batch
+    // path evaluates the responses in parallel.
+    let challenge_set: Vec<Challenge> = (20..28).map(Challenge::segment).collect();
+    let enrollments = enroll_many(
+        &CodicSigPuf,
+        genuine,
+        &challenge_set,
+        &Environment::nominal(),
+    );
+    let verified = enrollments
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| {
+            verify(
+                &CodicSigPuf,
+                genuine,
+                e,
+                &Environment::nominal(),
+                100 + *i as u64,
+            )
+        })
+        .count();
+    println!(
+        "batch-enrolled {} challenges; genuine device verified {verified}/{}",
+        enrollments.len(),
+        enrollments.len()
+    );
+
     // Even at 85 C the response barely moves.
-    let hot = Environment { temperature_c: 85.0, aging_hours: 0.0 };
+    let hot = Environment {
+        temperature_c: 85.0,
+        aging_hours: 0.0,
+    };
     let response = CodicSigPuf.evaluate(genuine, &challenge, &hot, 3);
     println!(
         "Jaccard similarity of the 85 C response to the enrolled one: {:.3}",

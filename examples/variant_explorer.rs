@@ -1,12 +1,16 @@
 //! Explore the 300^4 CODIC variant space (paper 4.1.3): sample random
-//! signal-timing programs and classify the functionality each implements.
+//! signal-timing programs, classify them in parallel with the batched
+//! engine, and sweep a small device population for its fastest reliable
+//! activation (paper 5.3.2).
 //!
 //! Run with: `cargo run --release --example variant_explorer`
 
 use std::collections::BTreeMap;
 
 use codic::circuit::CircuitParams;
-use codic::core::classify::classify;
+use codic::core::classify::classify_all;
+use codic::core::optimize::fastest_reliable_activations;
+use codic::core::variant::CodicVariant;
 use codic::core::variant_space;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -19,11 +23,13 @@ fn main() {
     );
     let mut rng = SmallRng::seed_from_u64(0xC0D1C);
     let params = CircuitParams::default();
-    let mut census: BTreeMap<String, u32> = BTreeMap::new();
     let samples = 200;
-    for _ in 0..samples {
-        let v = variant_space::random_variant(&mut rng, 0.35);
-        let class = classify(&v, &params);
+    let variants: Vec<CodicVariant> = (0..samples)
+        .map(|_| variant_space::random_variant(&mut rng, 0.35))
+        .collect();
+    let classes = classify_all(&variants, &params);
+    let mut census: BTreeMap<String, u32> = BTreeMap::new();
+    for class in &classes {
         *census.entry(class.to_string()).or_default() += 1;
     }
     println!("\nfunctional census of {samples} random variants:");
@@ -32,4 +38,26 @@ fn main() {
     }
     println!("\n(The paper notes most variants repeat a handful of fundamental");
     println!("behaviours; the interesting ones differ in the relative signal order.)");
+
+    // Custom latency optimization (paper 5.3.2) across a device spread:
+    // fast, nominal, and slow access transistors, optimized in parallel.
+    let devices = [
+        CircuitParams {
+            g_access: 2.0e-4,
+            ..CircuitParams::default()
+        },
+        CircuitParams::default(),
+        CircuitParams {
+            g_access: 4.0e-5,
+            ..CircuitParams::default()
+        },
+    ];
+    println!("\nfastest reliable activation per device (wl->sense gap):");
+    for ((variant, gap), device) in fastest_reliable_activations(&devices).iter().zip(&devices) {
+        println!(
+            "  g_access {:.1e} S -> gap {gap} ns ({})",
+            device.g_access,
+            variant.name()
+        );
+    }
 }

@@ -37,7 +37,10 @@ fn codic_controller_guards_the_puf_range_end_to_end() {
     assert_eq!(class, OperationClass::SignaturePreparation);
     controller.install(library::codic_sig(), class);
     assert!(controller.issue(0).is_ok());
-    assert!(controller.issue(1 << 30).is_err(), "destructive op outside range");
+    assert!(
+        controller.issue(1 << 30).is_err(),
+        "destructive op outside range"
+    );
 }
 
 #[test]

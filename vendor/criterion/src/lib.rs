@@ -1,0 +1,236 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! straightforward wall-clock protocol: one untimed warm-up iteration, then
+//! up to `sample_size` timed iterations bounded by a per-benchmark time
+//! budget, reporting min / median / mean. Results are also appended to
+//! `target/criterion-shim.json` (one JSON object per line) so scripts can
+//! collect them.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// One benchmark's collected samples, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct SampleStats {
+    /// Benchmark identifier.
+    pub id: String,
+    /// Per-iteration wall-clock times in nanoseconds, sorted ascending.
+    pub samples_ns: Vec<f64>,
+}
+
+impl SampleStats {
+    /// Fastest observed iteration in nanoseconds.
+    #[must_use]
+    pub fn min_ns(&self) -> f64 {
+        self.samples_ns.first().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Median iteration time in nanoseconds.
+    #[must_use]
+    pub fn median_ns(&self) -> f64 {
+        let n = self.samples_ns.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        if n % 2 == 1 {
+            self.samples_ns[n / 2]
+        } else {
+            0.5 * (self.samples_ns[n / 2 - 1] + self.samples_ns[n / 2])
+        }
+    }
+
+    /// Mean iteration time in nanoseconds.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return f64::NAN;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Drives timed iterations for one benchmark.
+pub struct Bencher<'a> {
+    stats: &'a mut SampleStats,
+    sample_size: usize,
+    time_budget: Duration,
+}
+
+impl Bencher<'_> {
+    /// Runs `f` repeatedly, timing each call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Untimed warm-up.
+        black_box(f());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.stats.samples_ns.push(t0.elapsed().as_nanos() as f64);
+            if budget_start.elapsed() > self.time_budget && self.stats.samples_ns.len() >= 2 {
+                break;
+            }
+        }
+        self.stats
+            .samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    time_budget: Duration,
+    results: Vec<SampleStats>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(20);
+        Criterion {
+            sample_size,
+            time_budget: Duration::from_secs(10),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the maximum number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark wall-clock budget.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.time_budget = budget;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut stats = SampleStats {
+            id: id.to_string(),
+            samples_ns: Vec::new(),
+        };
+        {
+            let mut b = Bencher {
+                stats: &mut stats,
+                sample_size: self.sample_size,
+                time_budget: self.time_budget,
+            };
+            f(&mut b);
+        }
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples)",
+            human(stats.min_ns()),
+            human(stats.median_ns()),
+            human(stats.mean_ns()),
+            stats.samples_ns.len()
+        );
+        self.append_json(&stats);
+        self.results.push(stats);
+        self
+    }
+
+    /// All results collected so far.
+    #[must_use]
+    pub fn results(&self) -> &[SampleStats] {
+        &self.results
+    }
+
+    fn append_json(&self, stats: &SampleStats) {
+        use std::io::Write;
+        let line = format!(
+            "{{\"id\":\"{}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{}}}\n",
+            stats.id,
+            stats.min_ns(),
+            stats.median_ns(),
+            stats.mean_ns(),
+            stats.samples_ns.len()
+        );
+        let path = std::path::Path::new("target");
+        if path.is_dir() {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path.join("criterion-shim.json"))
+            {
+                let _ = file.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        c.sample_size(5)
+            .bench_function("shim/self_test", |b| b.iter(|| black_box(40 + 2)));
+        let stats = &c.results()[0];
+        assert_eq!(stats.id, "shim/self_test");
+        assert!(!stats.samples_ns.is_empty());
+        assert!(stats.min_ns() <= stats.median_ns());
+        assert!(stats.median_ns().is_finite());
+    }
+
+    #[test]
+    fn median_of_even_sample_count_interpolates() {
+        let s = SampleStats {
+            id: "x".into(),
+            samples_ns: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        assert_eq!(s.median_ns(), 2.5);
+        assert_eq!(s.mean_ns(), 2.5);
+        assert_eq!(s.min_ns(), 1.0);
+    }
+}

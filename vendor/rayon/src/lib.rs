@@ -1,0 +1,272 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! Implements the data-parallel subset the CODIC workspace uses — eager,
+//! order-preserving `into_par_iter().map(..)` pipelines over scoped OS
+//! threads — with the same determinism contract as real rayon *plus* a
+//! stronger one: item order is always preserved, so any pure pipeline
+//! produces results independent of the thread count.
+//!
+//! The thread count comes from `RAYON_NUM_THREADS` (read at call time, so
+//! tests can vary it per run) and falls back to the machine's available
+//! parallelism. Work is split into one contiguous slice per thread.
+
+use std::ops::Range;
+
+/// The number of worker threads parallel operations use.
+///
+/// Honors `RAYON_NUM_THREADS` exactly like real rayon; the variable is read
+/// on every call so thread-invariance tests can toggle it between runs.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon-shim worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Applies `f` to every item of `items`, in parallel, preserving order.
+///
+/// This is the single primitive the eager [`ParIter`] pipeline is built on:
+/// the input is split into one contiguous chunk per worker thread, each
+/// thread maps its chunk, and the per-chunk outputs are re-concatenated in
+/// order. Results are therefore identical for every thread count.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_len));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    let outputs: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+/// An eager parallel iterator: combinators immediately evaluate in
+/// parallel and store the (order-preserved) results.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` in parallel.
+    #[must_use]
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Keeps the items for which `f` returns true (evaluated in parallel).
+    #[must_use]
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        let keep: Vec<(T, bool)> = parallel_map(self.items, |t| {
+            let k = f(&t);
+            (t, k)
+        });
+        ParIter {
+            items: keep
+                .into_iter()
+                .filter(|(_, k)| *k)
+                .map(|(t, _)| t)
+                .collect(),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        let _ = parallel_map(self.items, f);
+    }
+
+    /// Collects the results in order.
+    #[must_use]
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items in input order.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Flattens nested collections, preserving order.
+    #[must_use]
+    pub fn flatten(self) -> ParIter<<T as IntoIterator>::Item>
+    where
+        T: IntoIterator,
+        <T as IntoIterator>::Item: Send,
+    {
+        ParIter {
+            items: self.items.into_iter().flatten().collect(),
+        }
+    }
+}
+
+/// Conversion into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Converts `self` into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_range_inclusive_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_inclusive_par_iter!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Borrowing conversions (`par_iter`, `par_chunks`) for slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over references.
+    fn par_iter(&self) -> ParIter<&T>;
+
+    /// Parallel iterator over contiguous chunks of length `chunk_size`.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        let expect: Vec<u64> = (0u64..1000).map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let s: u64 = (1u64..=10_000).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn par_chunks_covers_everything() {
+        let data: Vec<u32> = (0..103).collect();
+        let total: u32 = data.par_chunks(10).map(|c| c.iter().sum::<u32>()).sum();
+        assert_eq!(total, data.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let run = || -> Vec<u64> {
+            (0u64..500)
+                .into_par_iter()
+                .map(|x| x.wrapping_mul(0x9E37_79B9))
+                .collect()
+        };
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let one = run();
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let four = run();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(one, four);
+    }
+}
