@@ -1,0 +1,147 @@
+//! Measures batched `DevicePool` throughput on the two row-granular
+//! serving workloads — secure-deallocation zeroing and cold-boot
+//! full-module destruction — and prints a JSON summary, the source of the
+//! repository's `BENCH_device.json`.
+//!
+//! Two rates are reported per workload:
+//!
+//! - `host_rows_per_s`: rows processed per second of wall-clock host time
+//!   (simulator throughput; scales with cores via the sharded pool);
+//! - `dram_rows_per_s`: rows per second of *simulated DRAM time* (device
+//!   throughput; scales with shards because each shard is an independent
+//!   channel with its own tFAW window).
+//!
+//! Capacity models differ per workload (see `DevicePool` docs): the
+//! secdealloc batch serves one 64 MB module through N channel shards
+//! (`--rows` is clamped to the module's row count), while the cold-boot
+//! sweep destroys one full module *per* shard (N modules total).
+//!
+//! Usage: `cargo run --release --bin bench_device [-- --rows N --shards S --reps R]`
+
+use std::time::Instant;
+
+use codic_coldboot::DestructionMechanism;
+use codic_core::device::DeviceConfig;
+use codic_core::ops::{CodicOp, InDramMechanism, RowRegion};
+use codic_core::pool::DevicePool;
+use codic_dram::{DramGeometry, TimingParams};
+use codic_secdealloc::ZeroingMechanism;
+
+fn arg(flag: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+struct Measured {
+    host_s: f64,
+    dram_ns: f64,
+    rows: u64,
+    energy_nj: f64,
+}
+
+fn time<R>(reps: u64, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut out = f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        out = f();
+    }
+    (t0.elapsed().as_secs_f64() / reps as f64, out)
+}
+
+/// Secure-deallocation serving: a batch of typed zeroing ops (one per
+/// freed row) distributed over the pool.
+fn secdealloc_batch(config: &DeviceConfig, shards: usize, rows: u64, reps: u64) -> Measured {
+    let plan = InDramMechanism::plan(&ZeroingMechanism::Codic, RowRegion::new(0, rows));
+    let (host_s, outcome) = time(reps, || {
+        let mut pool = DevicePool::new(shards, config);
+        pool.execute_all(&plan).expect("zeroing is in range")
+    });
+    Measured {
+        host_s,
+        dram_ns: outcome.finish_ns(),
+        rows: outcome.ops() as u64,
+        energy_nj: outcome.energy_nj(),
+    }
+}
+
+/// Cold-boot destruction: every shard sweeps its own module slice with
+/// the event-driven fast path.
+fn coldboot_sweep(config: &DeviceConfig, shards: usize, reps: u64) -> Measured {
+    let proto: CodicOp = DestructionMechanism::Codic
+        .op_for_row(0)
+        .expect("CODIC destruction is in-DRAM");
+    let timing = config.timing;
+    let (host_s, reports) = time(reps, || {
+        let mut pool = DevicePool::new(shards, config);
+        pool.sweep_all_rows(proto).expect("sweep is authorized")
+    });
+    let rows: u64 = reports.iter().map(|r| r.rows).sum();
+    let dram_ns = reports
+        .iter()
+        .map(|r| timing.ns(r.finish_cycle))
+        .fold(0.0, f64::max);
+    Measured {
+        host_s,
+        dram_ns,
+        rows,
+        energy_nj: reports.iter().map(|r| r.energy_nj).sum(),
+    }
+}
+
+fn print_entry(name: &str, shards: usize, m: &Measured, last: bool) {
+    println!("    {{");
+    println!("      \"workload\": \"{name}\",");
+    println!("      \"shards\": {shards},");
+    println!("      \"rows\": {},", m.rows);
+    println!("      \"host_s\": {:.4},", m.host_s);
+    println!("      \"dram_ms\": {:.4},", m.dram_ns * 1e-6);
+    println!(
+        "      \"host_rows_per_s\": {:.0},",
+        m.rows as f64 / m.host_s
+    );
+    println!(
+        "      \"dram_rows_per_s\": {:.0},",
+        m.rows as f64 / (m.dram_ns * 1e-9)
+    );
+    println!("      \"energy_mj\": {:.4}", m.energy_nj * 1e-6);
+    println!("    }}{}", if last { "" } else { "," });
+}
+
+fn main() {
+    let geometry = DramGeometry::module_mib(64);
+    // The batch serves one module-sized address space; rows beyond it
+    // would (correctly) be rejected by the safe-range policy.
+    let rows = arg("--rows").unwrap_or(8192).min(geometry.total_rows());
+    let max_shards = arg("--shards").unwrap_or(4).max(1) as usize;
+    let reps = arg("--reps").unwrap_or(3);
+    let config = DeviceConfig::new(geometry, TimingParams::ddr3_1600_11()).with_refresh(false);
+
+    println!("{{");
+    println!("  \"bench\": \"device_pool_throughput\",");
+    println!("  \"module_mib\": 64,");
+    println!("  \"rows_per_batch\": {rows},");
+    println!("  \"reps\": {reps},");
+    println!("  \"threads_available\": {},", rayon::current_num_threads());
+    println!("  \"results\": [");
+    let sec1 = secdealloc_batch(&config, 1, rows, reps);
+    print_entry("secdealloc_zeroing", 1, &sec1, false);
+    let secn = secdealloc_batch(&config, max_shards, rows, reps);
+    print_entry("secdealloc_zeroing", max_shards, &secn, false);
+    let cb1 = coldboot_sweep(&config, 1, reps);
+    print_entry("coldboot_destruction", 1, &cb1, false);
+    let cbn = coldboot_sweep(&config, max_shards, reps);
+    print_entry("coldboot_destruction", max_shards, &cbn, true);
+    println!("  ],");
+    println!(
+        "  \"dram_speedup_secdealloc\": {:.2},",
+        (sec1.dram_ns / sec1.rows as f64) / (secn.dram_ns / secn.rows as f64)
+    );
+    println!(
+        "  \"host_speedup_coldboot\": {:.2}",
+        (cb1.host_s / cb1.rows as f64) / (cbn.host_s / cbn.rows as f64)
+    );
+    println!("}}");
+}

@@ -18,7 +18,7 @@
 //!
 //! The per-trial arithmetic is *identical* to the scalar integrator — the
 //! same operations in the same order on the same values — so a batch
-//! produces exactly the outcomes of N scalar [`CircuitSim::resolve_bit`]
+//! produces exactly the outcomes of N scalar [`CircuitSim::resolve_bit`](crate::sim::CircuitSim::resolve_bit)
 //! runs (`tests/batch_equivalence.rs` proves this property), and results
 //! never depend on the batch size or thread count.
 
@@ -281,8 +281,9 @@ impl CircuitSimBatch {
         }
     }
 
-    /// Batched equivalent of [`CircuitSim::resolve_bit`]
-    /// (crate::CircuitSim::resolve_bit): runs `schedule` over the CODIC
+    /// Batched equivalent of
+    /// [`CircuitSim::resolve_bit`](crate::sim::CircuitSim::resolve_bit):
+    /// runs `schedule` over the CODIC
     /// window plus settle margin and returns, per trial, the bit the sense
     /// amplifier resolves the true bitline to — `Some(bit)` as soon as the
     /// differential exceeds `Vdd/2`, or the terminal sign (`None` if the

@@ -1,15 +1,17 @@
 //! Destruction-time evaluation (the paper's Figure 7).
 //!
-//! The in-DRAM mechanisms are simulated exactly at every size with an
-//! event-driven scheduler over the rank's tRRD/tFAW windows and per-bank
-//! occupancy — the same constraints the cycle-level controller enforces.
+//! The in-DRAM mechanisms issue their typed per-row operation through the
+//! [`CodicDevice`] service layer's event-driven sweep path
+//! ([`CodicDevice::sweep_all_rows`]), which applies the rank tRRD/tFAW
+//! windows and per-bank occupancy the cycle-level controller enforces.
 //! The TCG firmware baseline is simulated cycle-by-cycle through the full
 //! CPU + cache + controller model up to 256 MB and extrapolated linearly
 //! per line beyond that, exactly as the paper extrapolates its largest
 //! points (§6.2).
 
+use codic_core::device::{CodicDevice, DeviceConfig};
+use codic_core::ops::CodicOp;
 use codic_dram::geometry::{DramGeometry, LINE_BYTES};
-use codic_dram::rank::Rank;
 use codic_dram::stats::MemStats;
 use codic_dram::system::System;
 use codic_dram::timing::TimingParams;
@@ -48,51 +50,23 @@ pub fn destruction_run(mechanism: DestructionMechanism, capacity_mib: u64) -> De
     let geometry = DramGeometry::module_mib(capacity_mib);
     let density_gbit = ((capacity_mib / 1024 / u64::from(geometry.devices_per_rank)) * 8).max(1);
     let timing = TimingParams::ddr3_1600_11().with_density_gbit(density_gbit as u32);
-    match mechanism.row_op() {
-        Some(op) => row_sweep(mechanism, op, &geometry, &timing),
+    match mechanism.op_for_row(0) {
+        Some(proto) => device_sweep(proto, geometry, timing),
         None => tcg_run(&geometry, &timing),
     }
 }
 
-/// Event-driven bank-parallel row sweep under rank activation windows.
-fn row_sweep(
-    mechanism: DestructionMechanism,
-    op: codic_dram::request::RowOpKind,
-    geometry: &DramGeometry,
-    timing: &TimingParams,
-) -> DestructionRun {
-    let busy = u64::from(
-        mechanism
-            .busy_cycles(timing)
-            .expect("row mechanisms define a busy time"),
-    );
-    let acts = op.activations();
-    let banks = geometry.total_banks() as usize;
-    let rows_per_bank = u64::from(geometry.rows_per_bank) * u64::from(geometry.ranks);
-    let mut bank_free = vec![0u64; banks];
-    let mut rank = Rank::new();
-    let mut finish = 0u64;
-    let mut issued = 0u64;
-    for row in 0..rows_per_bank {
-        let _ = row;
-        for bank_state in bank_free.iter_mut() {
-            // Earliest issue: bank free and rank window open.
-            let at = rank.earliest_activate(*bank_state, acts, timing);
-            rank.record_activate(at, acts, timing);
-            *bank_state = at + busy;
-            finish = finish.max(*bank_state);
-            issued += 1;
-        }
-    }
-    let stats = MemStats {
-        row_ops: issued,
-        row_op_activations: issued * u64::from(acts),
-        ..MemStats::default()
-    };
+/// Full-module destruction through the device service layer: one typed op
+/// per row, swept under the rank activation windows.
+fn device_sweep(proto: CodicOp, geometry: DramGeometry, timing: TimingParams) -> DestructionRun {
+    let mut device = CodicDevice::new(DeviceConfig::new(geometry, timing).with_refresh(false));
+    let report = device
+        .sweep_all_rows(proto)
+        .expect("self-destruction is authorized over the whole module");
     DestructionRun {
-        time_ms: timing.ns(finish) * 1e-6,
-        stats,
-        cycles: finish,
+        time_ms: timing.ns(report.finish_cycle) * 1e-6,
+        stats: report.stats,
+        cycles: report.finish_cycle,
     }
 }
 

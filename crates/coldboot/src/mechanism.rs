@@ -1,7 +1,14 @@
 //! The four evaluated data-destruction mechanisms (§6.2).
+//!
+//! The in-DRAM mechanisms are expressed as typed [`CodicOp`] plans
+//! ([`InDramMechanism`]) issued through the `CodicDevice` service path;
+//! their per-row latency/energy costs come from the shared
+//! [`codic_power::accounting`] helper, not from mechanism-local math.
 
+use codic_core::ops::{CodicOp, InDramMechanism, RowRegion, VariantId};
 use codic_dram::request::RowOpKind;
 use codic_dram::TimingParams;
+use codic_power::accounting;
 
 /// A mechanism for destroying the entire contents of a DRAM module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,44 +44,57 @@ impl DestructionMechanism {
         }
     }
 
+    /// The typed per-row operation, for the in-DRAM mechanisms. CODIC
+    /// self-destruction drives every cell to zero (CODIC-det); the clone
+    /// baselines copy from a zeroed row.
+    #[must_use]
+    pub fn op_for_row(self, row_addr: u64) -> Option<CodicOp> {
+        match self {
+            DestructionMechanism::Tcg => None,
+            DestructionMechanism::Codic => Some(CodicOp::command(VariantId::DetZero, row_addr)),
+            DestructionMechanism::RowClone => Some(CodicOp::RowCloneZero { row_addr }),
+            DestructionMechanism::LisaClone => Some(CodicOp::LisaCloneZero { row_addr }),
+        }
+    }
+
     /// The row-operation kind, for the in-DRAM mechanisms.
     #[must_use]
     pub fn row_op(self) -> Option<RowOpKind> {
-        match self {
-            DestructionMechanism::Tcg => None,
-            DestructionMechanism::LisaClone => Some(RowOpKind::LisaClone),
-            DestructionMechanism::RowClone => Some(RowOpKind::RowClone),
-            DestructionMechanism::Codic => Some(RowOpKind::Codic),
-        }
+        self.op_for_row(0).map(CodicOp::row_op_kind)
     }
 
-    /// Bank-busy duration of one per-row operation, in memory cycles.
-    ///
-    /// - CODIC: one activation-class command (tRC).
-    /// - RowClone FPM: back-to-back activation pair plus precharge
-    ///   (2·tRAS + tRP); its throughput is tFAW-bound at 2× CODIC's.
-    /// - LISA-clone: the activation pair plus the row-buffer-movement
-    ///   sequence and its restore (≈ 70 ns extra, calibrated so LISA's
-    ///   occupancy-bound sweep lands on the paper's 2.5× CODIC time).
+    /// Bank-busy duration of one per-row operation, in memory cycles
+    /// (shared accounting: CODIC tRC, RowClone 2·tRAS + tRP, LISA-clone
+    /// + its ≈ 70 ns row-buffer movement).
     #[must_use]
     pub fn busy_cycles(self, t: &TimingParams) -> Option<u32> {
-        match self {
-            DestructionMechanism::Tcg => None,
-            DestructionMechanism::Codic => Some(t.t_rc),
-            DestructionMechanism::RowClone => Some(2 * t.t_ras + t.t_rp),
-            DestructionMechanism::LisaClone => Some(2 * t.t_ras + t.t_rp + t.cycles_from_ns(70.0)),
-        }
+        self.row_op()
+            .map(|kind| accounting::row_op_busy_cycles(kind, t))
     }
 
     /// Per-row energy in nanojoules beyond the activations that
-    /// [`codic_power::EnergyModel::row_op_nj`] already charges: LISA's
-    /// row-buffer movement drives the full row of bitlines an extra time.
+    /// [`codic_power::EnergyModel::row_op_nj`] already charges (shared
+    /// accounting: LISA's row-buffer movement drives the full row of
+    /// bitlines an extra time).
     #[must_use]
     pub fn extra_row_energy_nj(self) -> f64 {
-        match self {
-            DestructionMechanism::LisaClone => 11.0,
-            _ => 0.0,
-        }
+        self.row_op()
+            .map_or(0.0, accounting::row_op_extra_energy_nj)
+    }
+}
+
+impl InDramMechanism for DestructionMechanism {
+    fn name(&self) -> &str {
+        DestructionMechanism::name(*self)
+    }
+
+    /// One destruction op per row; the TCG firmware baseline has no
+    /// in-DRAM component and plans nothing.
+    fn plan(&self, region: RowRegion) -> Vec<CodicOp> {
+        region
+            .row_addrs()
+            .filter_map(|addr| self.op_for_row(addr))
+            .collect()
     }
 }
 
@@ -112,5 +132,40 @@ mod tests {
     fn names_match_figure_7_legend() {
         let names: Vec<_> = DestructionMechanism::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(names, vec!["TCG", "LISA-clone", "RowClone", "CODIC"]);
+    }
+
+    #[test]
+    fn plans_are_typed_ops_one_per_row() {
+        let region = RowRegion::new(0, 4);
+        let plan = InDramMechanism::plan(&DestructionMechanism::Codic, region);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan[1], CodicOp::command(VariantId::DetZero, 8192));
+        assert!(plan.iter().all(|op| op.is_destructive()));
+        assert!(InDramMechanism::plan(&DestructionMechanism::Tcg, region).is_empty());
+        assert_eq!(
+            InDramMechanism::plan(&DestructionMechanism::LisaClone, region)[0].row_op_kind(),
+            RowOpKind::LisaClone
+        );
+    }
+
+    #[test]
+    fn costs_delegate_to_shared_accounting() {
+        let t = TimingParams::ddr3_1600_11();
+        for m in [
+            DestructionMechanism::Codic,
+            DestructionMechanism::RowClone,
+            DestructionMechanism::LisaClone,
+        ] {
+            let kind = m.row_op().unwrap();
+            assert_eq!(
+                m.busy_cycles(&t).unwrap(),
+                accounting::row_op_busy_cycles(kind, &t)
+            );
+            assert_eq!(
+                m.extra_row_energy_nj(),
+                accounting::row_op_extra_energy_nj(kind)
+            );
+        }
+        assert_eq!(DestructionMechanism::Tcg.extra_row_energy_nj(), 0.0);
     }
 }

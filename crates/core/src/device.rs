@@ -1,0 +1,581 @@
+//! The `CodicDevice` service layer: one typed command path from use case
+//! to cycle-level controller.
+//!
+//! The paper's §4.4 argues the memory controller should expose CODIC
+//! *applications* behind a controlled interface. [`CodicDevice`] is that
+//! interface as a service: it composes
+//!
+//! 1. mode-register programming ([`CodicController`] installs the variant
+//!    a [`CodicOp`] names),
+//! 2. safe-range policy enforcement (every operation is authorized
+//!    *before* it is enqueued — rejected operations never reach the
+//!    command bus), and
+//! 3. cycle-level scheduling (the operation is enqueued as a row
+//!    operation on the embedded FR-FCFS
+//!    [`MemoryController`] and completes
+//!    under real bank/rank timing).
+//!
+//! Completions are typed: each [`OpCompletion`] carries the operation, the
+//! memory cycle it finished, and its accounted cost (bank occupancy +
+//! energy) from [`codic_power::accounting`].
+//!
+//! For full-module sweeps (cold-boot destruction of up to 64 GB) the
+//! cycle-by-cycle path is too slow, so the device also offers
+//! [`CodicDevice::sweep_all_rows`]: an event-driven fast path that applies
+//! the same rank tRRD/tFAW windows and per-bank occupancy the scheduler
+//! enforces, after the same policy checks.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use codic_dram::controller::MemoryController;
+use codic_dram::geometry::DramGeometry;
+use codic_dram::rank::Rank;
+use codic_dram::request::{MemRequest, ReqId, ReqKind};
+use codic_dram::stats::MemStats;
+use codic_dram::timing::TimingParams;
+use codic_power::accounting::{self, RowOpCost};
+use codic_power::{EnergyModel, IddValues};
+
+use crate::error::CodicError;
+use crate::interface::CodicController;
+use crate::ops::{CodicOp, InDramMechanism, RowRegion};
+
+/// Configuration of one [`CodicDevice`] (one channel/rank's worth of
+/// DRAM plus its controller policy).
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Module organization behind the device.
+    pub geometry: DramGeometry,
+    /// DDR timing the embedded controller enforces.
+    pub timing: TimingParams,
+    /// Datasheet currents for the completion energy accounting.
+    pub idd: IddValues,
+    /// The system-defined range destructive operations are confined to
+    /// (§4.4). Defaults to the whole module.
+    pub safe_range: Range<u64>,
+    /// Whether the refresh engine runs (the paper's PUF methodology
+    /// disables it, §6.1).
+    pub refresh_enabled: bool,
+}
+
+impl DeviceConfig {
+    /// A device over `geometry` with `timing`, destructive operations
+    /// allowed anywhere in the module, and refresh enabled.
+    #[must_use]
+    pub fn new(geometry: DramGeometry, timing: TimingParams) -> Self {
+        DeviceConfig {
+            geometry,
+            timing,
+            idd: IddValues::ddr3_1600(),
+            safe_range: 0..geometry.total_bytes(),
+            refresh_enabled: true,
+        }
+    }
+
+    /// The paper's evaluation configuration: 1 GB DDR3-1600.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        DeviceConfig::new(DramGeometry::default(), TimingParams::ddr3_1600_11())
+    }
+
+    /// Confines destructive operations to `safe_range`.
+    #[must_use]
+    pub fn with_safe_range(mut self, safe_range: Range<u64>) -> Self {
+        self.safe_range = safe_range;
+        self
+    }
+
+    /// Enables or disables the refresh engine.
+    #[must_use]
+    pub fn with_refresh(mut self, enabled: bool) -> Self {
+        self.refresh_enabled = enabled;
+        self
+    }
+}
+
+/// Completion token returned by [`CodicDevice::submit`]; redeemed against
+/// the matching [`OpCompletion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpToken(ReqId);
+
+/// A finished operation, with its typed outcome and accounted cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCompletion {
+    /// The token [`CodicDevice::submit`] handed out.
+    pub token: OpToken,
+    /// The operation that completed.
+    pub op: CodicOp,
+    /// Memory cycle at which the operation finished.
+    pub finish_cycle: u64,
+    /// Accounted bank-occupancy and energy cost.
+    pub cost: RowOpCost,
+}
+
+/// Result of a batched [`CodicDevice::execute_all`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Every completion, in completion order.
+    pub completions: Vec<OpCompletion>,
+    /// Memory cycle at which the last operation finished.
+    pub finish_cycle: u64,
+    /// Wall-clock time of the batch in nanoseconds of DRAM time.
+    pub finish_ns: f64,
+    /// Total accounted energy of the batch in nanojoules.
+    pub energy_nj: f64,
+}
+
+impl BatchOutcome {
+    /// Number of completed operations.
+    #[must_use]
+    pub fn ops(&self) -> usize {
+        self.completions.len()
+    }
+}
+
+/// Result of an event-driven full-module row sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepReport {
+    /// Row operations issued (one per row of the module).
+    pub rows: u64,
+    /// Memory cycle at which the last row finished.
+    pub finish_cycle: u64,
+    /// Command statistics of the sweep (row ops + activations).
+    pub stats: MemStats,
+    /// Total accounted energy of the sweep in nanojoules.
+    pub energy_nj: f64,
+}
+
+/// The CODIC service device: policy-checked, typed command submission over
+/// an embedded cycle-level memory controller.
+#[derive(Debug)]
+pub struct CodicDevice {
+    policy: CodicController,
+    mc: MemoryController,
+    energy: EnergyModel,
+    pending: HashMap<ReqId, (CodicOp, RowOpCost)>,
+    ready: Vec<OpCompletion>,
+}
+
+impl CodicDevice {
+    /// Creates a device from `config`.
+    #[must_use]
+    pub fn new(config: DeviceConfig) -> Self {
+        let mut mc = MemoryController::new(config.geometry, config.timing);
+        mc.set_refresh_enabled(config.refresh_enabled);
+        let energy = EnergyModel::new(config.idd, config.timing, config.geometry.devices_per_rank);
+        CodicDevice {
+            policy: CodicController::new(config.safe_range),
+            mc,
+            energy,
+            pending: HashMap::new(),
+            ready: Vec::new(),
+        }
+    }
+
+    /// The policy layer (mode registers and safe range). The device keeps
+    /// the controller's issued-command log empty — completions are the
+    /// service path's bounded, drainable audit trail.
+    #[must_use]
+    pub fn controller(&self) -> &CodicController {
+        &self.policy
+    }
+
+    /// The embedded cycle-level controller's statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        self.mc.stats()
+    }
+
+    /// The current memory cycle.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.mc.now()
+    }
+
+    /// The timing parameters in use.
+    #[must_use]
+    pub fn timing(&self) -> &TimingParams {
+        self.mc.timing()
+    }
+
+    /// The module geometry behind the device.
+    #[must_use]
+    pub fn geometry(&self) -> &DramGeometry {
+        self.mc.geometry()
+    }
+
+    /// The energy model used for completion accounting.
+    #[must_use]
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// True when nothing is queued or in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.mc.is_idle()
+    }
+
+    /// Submits one typed operation.
+    ///
+    /// The safe-range policy check runs *before* anything else, so a
+    /// rejected operation neither reaches the command bus nor perturbs
+    /// the mode registers. The variant a [`CodicOp::Command`] names is
+    /// then programmed if it is not already installed; reprogramming
+    /// waits for the device to drain first (JEDEC MRS requires all banks
+    /// idle), so queued operations of the previous variant complete under
+    /// the registers they were issued with. If the row-operation queue is
+    /// full, the device ticks the controller until a slot frees.
+    ///
+    /// # Errors
+    ///
+    /// Returns the policy error (e.g. [`CodicError::AddressOutOfRange`])
+    /// when §4.4's rules reject the operation.
+    pub fn submit(&mut self, op: CodicOp) -> Result<OpToken, CodicError> {
+        self.policy.check_safe_range(op)?;
+        self.install_for(op);
+        // The full §4.4 authorization (variant match + range). The device
+        // does not grow the controller's issued-command log — the typed
+        // completions are the service path's audit trail, and they are
+        // drained by `take_completions`.
+        self.policy
+            .authorize(op)
+            .expect("range was pre-checked and the variant just installed");
+        let cost = accounting::row_op_cost(op.row_op_kind(), self.mc.timing(), &self.energy);
+        let request = MemRequest::new(
+            op.row_addr(),
+            ReqKind::RowOp {
+                op: op.row_op_kind(),
+                busy_cycles: cost.busy_cycles,
+            },
+        );
+        loop {
+            match self.mc.push(request) {
+                Ok(id) => {
+                    self.pending.insert(id, (op, cost));
+                    return Ok(OpToken(id));
+                }
+                // The queue drains as the scheduler makes progress, so a
+                // full queue only costs time, never correctness.
+                Err(_) => self.tick(),
+            }
+        }
+    }
+
+    /// Submits a whole batch, all-or-nothing: every operation is checked
+    /// against the safe-range policy first, and nothing is enqueued unless
+    /// all pass. Tokens are returned in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first policy error without enqueuing anything.
+    pub fn submit_all(&mut self, ops: &[CodicOp]) -> Result<Vec<OpToken>, CodicError> {
+        for op in ops {
+            self.policy.check_safe_range(*op)?;
+        }
+        ops.iter().map(|&op| self.submit(op)).collect()
+    }
+
+    /// Advances one memory cycle and harvests any completions.
+    pub fn tick(&mut self) {
+        self.mc.tick();
+        self.harvest();
+    }
+
+    /// Runs until every submitted operation completed; returns the cycle
+    /// the last one finished (or the current cycle when already idle).
+    pub fn run_to_idle(&mut self) -> u64 {
+        let mut last = self.mc.now();
+        while !self.mc.is_idle() {
+            self.tick();
+        }
+        for c in &self.ready {
+            last = last.max(c.finish_cycle);
+        }
+        last
+    }
+
+    /// Removes and returns all completions harvested so far.
+    pub fn take_completions(&mut self) -> Vec<OpCompletion> {
+        self.harvest();
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Submits `ops`, runs to idle, and returns the typed batch outcome.
+    ///
+    /// The outcome covers exactly this batch: completions of operations
+    /// submitted earlier through the token API stay buffered for their
+    /// own [`CodicDevice::take_completions`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first policy error without enqueuing anything.
+    pub fn execute_all(&mut self, ops: &[CodicOp]) -> Result<BatchOutcome, CodicError> {
+        let tokens: std::collections::HashSet<OpToken> =
+            self.submit_all(ops)?.into_iter().collect();
+        self.run_to_idle();
+        let (completions, earlier): (Vec<_>, Vec<_>) = self
+            .take_completions()
+            .into_iter()
+            .partition(|c| tokens.contains(&c.token));
+        self.ready = earlier;
+        let finish_cycle = completions
+            .iter()
+            .map(|c| c.finish_cycle)
+            .max()
+            .unwrap_or_else(|| self.mc.now());
+        let energy_nj = completions.iter().map(|c| c.cost.energy_nj).sum();
+        Ok(BatchOutcome {
+            finish_cycle,
+            finish_ns: self.mc.timing().ns(finish_cycle),
+            energy_nj,
+            completions,
+        })
+    }
+
+    /// Plans `mechanism` over `region` and executes the resulting command
+    /// stream — the one service entry point all three use cases share.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first policy error without enqueuing anything.
+    pub fn run_mechanism(
+        &mut self,
+        mechanism: &dyn InDramMechanism,
+        region: RowRegion,
+    ) -> Result<BatchOutcome, CodicError> {
+        self.execute_all(&mechanism.plan(region))
+    }
+
+    /// Event-driven sweep of `proto` over *every* row of the module: the
+    /// fast path for full-module workloads (cold-boot destruction). The
+    /// sweep applies the same rank tRRD/tFAW windows and per-bank
+    /// occupancy the cycle-level scheduler enforces, bank-parallel, after
+    /// authorizing the operation against the §4.4 policy across the whole
+    /// module.
+    ///
+    /// # Errors
+    ///
+    /// Returns the policy error when a destructive `proto` is not allowed
+    /// over the full module range.
+    pub fn sweep_all_rows(&mut self, proto: CodicOp) -> Result<SweepReport, CodicError> {
+        let geometry = *self.mc.geometry();
+        // The sweep covers [0, total_bytes): checking the first and last
+        // row covers the whole contiguous range — and runs before any
+        // register programming, so a rejected sweep leaves no trace.
+        self.policy.check_safe_range(proto.with_row_addr(0))?;
+        self.policy.check_safe_range(
+            proto.with_row_addr(geometry.total_bytes() - DramGeometry::ROW_BYTES),
+        )?;
+        self.install_for(proto);
+        let timing = *self.mc.timing();
+        let cost = accounting::row_op_cost(proto.row_op_kind(), &timing, &self.energy);
+        let busy = u64::from(cost.busy_cycles);
+        let acts = cost.activations;
+        let banks = geometry.total_banks() as usize;
+        let rows_per_bank = u64::from(geometry.rows_per_bank) * u64::from(geometry.ranks);
+        let mut bank_free = vec![0u64; banks];
+        let mut rank = Rank::new();
+        let mut finish = 0u64;
+        let mut issued = 0u64;
+        for _row in 0..rows_per_bank {
+            for bank_state in bank_free.iter_mut() {
+                // Earliest issue: bank free and rank window open.
+                let at = rank.earliest_activate(*bank_state, acts, &timing);
+                rank.record_activate(at, acts, &timing);
+                *bank_state = at + busy;
+                finish = finish.max(*bank_state);
+                issued += 1;
+            }
+        }
+        Ok(SweepReport {
+            rows: issued,
+            finish_cycle: finish,
+            stats: MemStats {
+                row_ops: issued,
+                row_op_activations: issued * u64::from(acts),
+                ..MemStats::default()
+            },
+            energy_nj: cost.energy_nj * issued as f64,
+        })
+    }
+
+    /// Programs the variant `op` names, if any and not already installed.
+    /// Reprogramming is an MRS barrier: JEDEC requires all banks idle for
+    /// a mode-register write, so the device drains first and every queued
+    /// operation completes under the registers it was issued with.
+    fn install_for(&mut self, op: CodicOp) {
+        if let Some(variant) = op.variant() {
+            if self.policy.installed() != Some(variant) {
+                if !self.mc.is_idle() {
+                    self.run_to_idle();
+                }
+                self.policy.install(variant);
+            }
+        }
+    }
+
+    fn harvest(&mut self) {
+        for c in self.mc.take_completions() {
+            if let Some((op, cost)) = self.pending.remove(&c.id) {
+                self.ready.push(OpCompletion {
+                    token: OpToken(c.id),
+                    op,
+                    finish_cycle: c.finish_cycle,
+                    cost,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::VariantId;
+
+    fn device() -> CodicDevice {
+        let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+            .with_refresh(false);
+        CodicDevice::new(config)
+    }
+
+    #[test]
+    fn submit_programs_registers_and_completes_with_cost() {
+        let mut d = device();
+        let token = d.submit(CodicOp::command(VariantId::Sig, 0)).unwrap();
+        assert_eq!(d.controller().installed(), Some(VariantId::Sig));
+        d.run_to_idle();
+        let done = d.take_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].token, token);
+        assert_eq!(done[0].op.variant(), Some(VariantId::Sig));
+        assert_eq!(done[0].cost.busy_cycles, d.timing().t_rc);
+        assert!(done[0].cost.energy_nj > 17.0);
+        assert_eq!(d.stats().row_ops, 1);
+    }
+
+    #[test]
+    fn rejected_ops_never_reach_the_command_bus() {
+        let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+            .with_safe_range(0..8192)
+            .with_refresh(false);
+        let mut d = CodicDevice::new(config);
+        let err = d
+            .submit(CodicOp::command(VariantId::DetZero, 1 << 20))
+            .unwrap_err();
+        assert!(matches!(err, CodicError::AddressOutOfRange { .. }));
+        assert!(d.is_idle());
+        assert_eq!(d.stats().row_ops, 0);
+        assert!(d.take_completions().is_empty());
+        // The rejection happened before any register programming.
+        assert_eq!(d.controller().installed(), None);
+        assert_eq!(d.controller().registers().mrs_commands(), 0);
+    }
+
+    #[test]
+    fn submit_all_is_all_or_nothing() {
+        let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+            .with_safe_range(0..8192)
+            .with_refresh(false);
+        let mut d = CodicDevice::new(config);
+        let ops = [
+            CodicOp::command(VariantId::DetZero, 0),
+            CodicOp::command(VariantId::DetZero, 1 << 20), // out of range
+        ];
+        assert!(d.submit_all(&ops).is_err());
+        assert_eq!(d.stats().row_ops, 0, "nothing was enqueued");
+        assert!(d.controller().issued().is_empty());
+    }
+
+    #[test]
+    fn batch_execution_reports_cycles_and_energy() {
+        let mut d = device();
+        let ops: Vec<CodicOp> = (0..16)
+            .map(|i| CodicOp::command(VariantId::DetZero, i * DramGeometry::ROW_BYTES))
+            .collect();
+        let outcome = d.execute_all(&ops).unwrap();
+        assert_eq!(outcome.ops(), 16);
+        assert!(outcome.finish_cycle > 0);
+        assert!((outcome.finish_ns - d.timing().ns(outcome.finish_cycle)).abs() < 1e-9);
+        let per_op = d.energy_model().act_pre_nj();
+        assert!((outcome.energy_nj - 16.0 * per_op).abs() < 1e-6);
+    }
+
+    #[test]
+    fn queue_overflow_is_absorbed_by_ticking() {
+        let mut d = device();
+        // Far more ops than the 64-entry row-op queue.
+        let ops: Vec<CodicOp> = (0..200)
+            .map(|i| CodicOp::command(VariantId::DetZero, i * DramGeometry::ROW_BYTES))
+            .collect();
+        let outcome = d.execute_all(&ops).unwrap();
+        assert_eq!(outcome.ops(), 200);
+        assert_eq!(d.stats().row_ops, 200);
+        // Long-running services stay bounded: the controller-side log does
+        // not grow with traffic (completions are the audit trail).
+        assert!(d.controller().issued().is_empty());
+    }
+
+    #[test]
+    fn sweep_matches_the_cycle_level_rate_bound() {
+        let mut d = device();
+        let report = d
+            .sweep_all_rows(CodicOp::command(VariantId::DetZero, 0))
+            .unwrap();
+        let g = d.geometry();
+        assert_eq!(report.rows, g.total_rows());
+        assert_eq!(report.stats.row_ops, report.rows);
+        // Steady state is tFAW-bound: 4 ops per tFAW.
+        let per_op = report.finish_cycle as f64 / report.rows as f64;
+        let bound = f64::from(d.timing().t_faw) / 4.0;
+        assert!((per_op - bound).abs() < 2.0, "per-op {per_op} vs {bound}");
+    }
+
+    #[test]
+    fn sweep_requires_module_wide_destructive_authority() {
+        let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+            .with_safe_range(0..8192);
+        let mut d = CodicDevice::new(config);
+        assert!(matches!(
+            d.sweep_all_rows(CodicOp::command(VariantId::DetZero, 0)),
+            Err(CodicError::AddressOutOfRange { .. })
+        ));
+        // Non-destructive sweeps are allowed anywhere.
+        assert!(d
+            .sweep_all_rows(CodicOp::command(VariantId::Activate, 0))
+            .is_ok());
+    }
+
+    #[test]
+    fn reprogramming_is_an_mrs_barrier() {
+        let mut d = device();
+        d.submit(CodicOp::command(VariantId::Sig, 0)).unwrap();
+        // Reprogramming to a new variant drains the queued Sig op first
+        // (MRS needs idle banks), so it completed under Sig's registers.
+        d.submit(CodicOp::command(VariantId::DetZero, 8192))
+            .unwrap();
+        assert_eq!(d.controller().installed(), Some(VariantId::DetZero));
+        let drained = d.take_completions();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].op.variant(), Some(VariantId::Sig));
+        d.run_to_idle();
+        assert_eq!(d.take_completions().len(), 1);
+    }
+
+    #[test]
+    fn execute_all_scopes_the_outcome_to_its_batch() {
+        let mut d = device();
+        let token = d.submit(CodicOp::command(VariantId::DetZero, 0)).unwrap();
+        // A later batch must not absorb the earlier op's completion.
+        let outcome = d
+            .execute_all(&[CodicOp::command(VariantId::DetZero, 8192)])
+            .unwrap();
+        assert_eq!(outcome.ops(), 1);
+        assert_eq!(outcome.completions[0].op.row_addr(), 8192);
+        let earlier = d.take_completions();
+        assert_eq!(earlier.len(), 1);
+        assert_eq!(earlier[0].token, token);
+    }
+}

@@ -5,6 +5,8 @@ use std::fmt;
 
 use codic_circuit::ScheduleError;
 
+use crate::ops::VariantId;
+
 /// Errors produced by the CODIC substrate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CodicError {
@@ -20,6 +22,14 @@ pub enum CodicError {
     },
     /// A CODIC command was issued with no variant programmed.
     NoVariantInstalled,
+    /// A CODIC command was issued while a different variant was programmed
+    /// in the mode registers.
+    WrongVariantInstalled {
+        /// The variant currently programmed.
+        installed: VariantId,
+        /// The variant the command requires.
+        requested: VariantId,
+    },
     /// A destructive CODIC command targeted memory outside the safe range.
     AddressOutOfRange {
         /// The offending address.
@@ -43,6 +53,13 @@ impl fmt::Display for CodicError {
             CodicError::NoVariantInstalled => {
                 write!(f, "no CODIC variant installed in the mode registers")
             }
+            CodicError::WrongVariantInstalled {
+                installed,
+                requested,
+            } => write!(
+                f,
+                "CODIC command requires {requested} but {installed} is installed"
+            ),
             CodicError::AddressOutOfRange { addr, start, end } => write!(
                 f,
                 "destructive CODIC command at {addr:#x} outside the safe range {start:#x}..{end:#x}"

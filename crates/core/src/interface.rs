@@ -4,22 +4,26 @@
 //! paper proposes that the memory controller offer *applications* (e.g. a
 //! PUF evaluation) rather than raw timing control, internally tracking "a
 //! system-defined memory address range that is safe to use". This module
-//! implements that controller-side policy layer.
+//! implements that controller-side policy layer over the typed
+//! [`CodicOp`] command set; the cycle-level scheduling behind it lives in
+//! [`CodicDevice`](crate::device::CodicDevice).
 
 use std::ops::Range;
 
 use crate::classify::OperationClass;
 use crate::error::CodicError;
-use crate::mode_register::ModeRegisterFile;
-use crate::variant::CodicVariant;
+use crate::mode_register::{ModeRegister, ModeRegisterFile};
+use crate::ops::{CodicOp, VariantId};
 
 /// A CODIC command accepted by the controller, ready for the command bus.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IssuedCommand {
     /// The row's physical byte address.
     pub row_addr: u64,
-    /// The variant name that was installed when the command issued.
-    pub variant: String,
+    /// The typed operation that was authorized.
+    pub op: CodicOp,
+    /// The functional class the policy decision was based on.
+    pub class: OperationClass,
 }
 
 /// The controller-side CODIC policy layer: a variant is programmed through
@@ -28,7 +32,7 @@ pub struct IssuedCommand {
 #[derive(Debug, Clone)]
 pub struct CodicController {
     registers: ModeRegisterFile,
-    installed: Option<(CodicVariant, OperationClass)>,
+    installed: Option<VariantId>,
     safe_range: Range<u64>,
     issued: Vec<IssuedCommand>,
 }
@@ -52,52 +56,118 @@ impl CodicController {
         &self.registers
     }
 
+    /// The system-defined safe address range.
+    #[must_use]
+    pub fn safe_range(&self) -> &Range<u64> {
+        &self.safe_range
+    }
+
+    /// The currently installed variant, if any.
+    #[must_use]
+    pub fn installed(&self) -> Option<VariantId> {
+        self.installed
+    }
+
     /// Programs `variant` into the mode registers; returns the number of
     /// MRS commands used.
-    pub fn install(&mut self, variant: CodicVariant, class: OperationClass) -> u32 {
-        let writes = self.registers.program(&variant);
-        self.installed = Some((variant, class));
+    pub fn install(&mut self, variant: VariantId) -> u32 {
+        let writes = self.registers.program(&variant.variant());
+        self.installed = Some(variant);
         writes
     }
 
-    /// Issues the installed CODIC command against the row containing
-    /// `row_addr`.
+    /// Returns every mode register to the idle encoding, uninstalling the
+    /// current variant; returns the number of MRS commands used.
+    pub fn uninstall(&mut self) -> u32 {
+        let mut writes = 0;
+        for sig in codic_circuit::Signal::ALL {
+            if self.registers.register(sig) != ModeRegister::idle() {
+                self.registers.write(sig, ModeRegister::idle());
+                writes += 1;
+            }
+        }
+        self.installed = None;
+        writes
+    }
+
+    /// Checks `op` against the §4.4 policy without issuing it.
     ///
     /// # Errors
     ///
-    /// - [`CodicError::NoVariantInstalled`] when nothing is programmed;
+    /// - [`CodicError::NoVariantInstalled`] when a CODIC command is issued
+    ///   with nothing programmed;
+    /// - [`CodicError::WrongVariantInstalled`] when a CODIC command does
+    ///   not match the programmed variant;
     /// - [`CodicError::AddressOutOfRange`] when a destructive command
     ///   targets memory outside the safe range (§4.4's policy).
-    pub fn issue(&mut self, row_addr: u64) -> Result<&IssuedCommand, CodicError> {
-        let (variant, class) = self
-            .installed
-            .as_ref()
-            .ok_or(CodicError::NoVariantInstalled)?;
-        if class.is_destructive() && !self.safe_range.contains(&row_addr) {
+    pub fn authorize(&self, op: CodicOp) -> Result<(), CodicError> {
+        if let Some(requested) = op.variant() {
+            match self.installed {
+                None => return Err(CodicError::NoVariantInstalled),
+                Some(installed) if installed != requested => {
+                    return Err(CodicError::WrongVariantInstalled {
+                        installed,
+                        requested,
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        self.check_safe_range(op)
+    }
+
+    /// The address part of the policy alone: destructive operations must
+    /// stay inside the safe range. Used to pre-flight whole batches before
+    /// any variant is installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodicError::AddressOutOfRange`] when a destructive
+    /// command targets memory outside the safe range.
+    pub fn check_safe_range(&self, op: CodicOp) -> Result<(), CodicError> {
+        if op.is_destructive() && !self.safe_range.contains(&op.row_addr()) {
             return Err(CodicError::AddressOutOfRange {
-                addr: row_addr,
+                addr: op.row_addr(),
                 start: self.safe_range.start,
                 end: self.safe_range.end,
             });
         }
+        Ok(())
+    }
+
+    /// Issues `op`, recording it as an [`IssuedCommand`] bound for the
+    /// command bus.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`CodicController::authorize`] does; rejected
+    /// operations never reach the command bus.
+    pub fn issue(&mut self, op: CodicOp) -> Result<&IssuedCommand, CodicError> {
+        self.authorize(op)?;
         self.issued.push(IssuedCommand {
-            row_addr,
-            variant: variant.name().to_string(),
+            row_addr: op.row_addr(),
+            op,
+            class: op.class(),
         });
         Ok(self.issued.last().expect("just pushed"))
     }
 
-    /// Commands issued so far.
+    /// Commands issued so far (and not yet taken).
     #[must_use]
     pub fn issued(&self) -> &[IssuedCommand] {
         &self.issued
+    }
+
+    /// Removes and returns the issued-command log, bounding its growth for
+    /// long-running services.
+    pub fn take_issued(&mut self) -> Vec<IssuedCommand> {
+        std::mem::take(&mut self.issued)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::library;
 
     fn controller() -> CodicController {
         CodicController::new(0x1000..0x2000)
@@ -107,18 +177,32 @@ mod tests {
     fn issue_without_install_fails() {
         let mut c = controller();
         assert!(matches!(
-            c.issue(0x1000),
+            c.issue(CodicOp::command(VariantId::Sig, 0x1000)),
             Err(CodicError::NoVariantInstalled)
         ));
     }
 
     #[test]
+    fn issue_with_mismatched_variant_fails() {
+        let mut c = controller();
+        c.install(VariantId::DetZero);
+        let err = c
+            .issue(CodicOp::command(VariantId::Sig, 0x1000))
+            .unwrap_err();
+        assert!(matches!(err, CodicError::WrongVariantInstalled { .. }));
+        assert!(err.to_string().contains("CODIC-sig"));
+        assert!(c.issued().is_empty(), "rejected ops never reach the bus");
+    }
+
+    #[test]
     fn destructive_commands_are_confined_to_safe_range() {
         let mut c = controller();
-        c.install(library::codic_sig(), OperationClass::SignaturePreparation);
-        assert!(c.issue(0x1000).is_ok());
-        assert!(c.issue(0x1FFF).is_ok());
-        let err = c.issue(0x2000).unwrap_err();
+        c.install(VariantId::Sig);
+        assert!(c.issue(CodicOp::command(VariantId::Sig, 0x1000)).is_ok());
+        assert!(c.issue(CodicOp::command(VariantId::Sig, 0x1FFF)).is_ok());
+        let err = c
+            .issue(CodicOp::command(VariantId::Sig, 0x2000))
+            .unwrap_err();
         assert!(matches!(err, CodicError::AddressOutOfRange { .. }));
         assert!(err.to_string().contains("outside"));
         assert_eq!(c.issued().len(), 2);
@@ -127,27 +211,56 @@ mod tests {
     #[test]
     fn non_destructive_commands_may_target_anywhere() {
         let mut c = controller();
-        c.install(library::activation(), OperationClass::ActivateLike);
-        assert!(c.issue(0xFFFF_0000).is_ok());
+        c.install(VariantId::Activate);
+        assert!(c
+            .issue(CodicOp::command(VariantId::Activate, 0xFFFF_0000))
+            .is_ok());
+    }
+
+    #[test]
+    fn clone_baselines_need_no_install_but_respect_the_range() {
+        let mut c = controller();
+        assert!(c.issue(CodicOp::RowCloneZero { row_addr: 0x1800 }).is_ok());
+        assert!(matches!(
+            c.issue(CodicOp::LisaCloneZero { row_addr: 0x2000 }),
+            Err(CodicError::AddressOutOfRange { .. })
+        ));
     }
 
     #[test]
     fn install_programs_mode_registers() {
         let mut c = controller();
-        let writes = c.install(library::codic_sig(), OperationClass::SignaturePreparation);
+        let writes = c.install(VariantId::Sig);
         assert_eq!(writes, 2);
+        assert_eq!(c.installed(), Some(VariantId::Sig));
         assert_eq!(
             &c.registers().schedule().unwrap(),
-            library::codic_sig().schedule()
+            VariantId::Sig.variant().schedule()
         );
     }
 
     #[test]
-    fn issued_commands_record_variant_name() {
+    fn uninstall_round_trips_the_register_file() {
         let mut c = controller();
-        c.install(library::codic_det_zero(), OperationClass::DeterministicZero);
-        c.issue(0x1800).unwrap();
-        assert_eq!(c.issued()[0].variant, "CODIC-det (zero)");
+        let fresh_writes = c.install(VariantId::DetZero);
+        let cleared = c.uninstall();
+        assert_eq!(cleared, fresh_writes, "every programmed register resets");
+        assert_eq!(c.installed(), None);
+        assert_eq!(c.registers().schedule().unwrap().programmed_signals(), 0);
+        assert_eq!(c.install(VariantId::DetZero), fresh_writes);
+    }
+
+    #[test]
+    fn issued_commands_are_typed_and_takeable() {
+        let mut c = controller();
+        c.install(VariantId::DetZero);
+        c.issue(CodicOp::command(VariantId::DetZero, 0x1800))
+            .unwrap();
+        assert_eq!(c.issued()[0].op.variant(), Some(VariantId::DetZero));
         assert_eq!(c.issued()[0].row_addr, 0x1800);
+        assert_eq!(c.issued()[0].class, OperationClass::DeterministicZero);
+        let taken = c.take_issued();
+        assert_eq!(taken.len(), 1);
+        assert!(c.issued().is_empty());
     }
 }

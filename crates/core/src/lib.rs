@@ -22,7 +22,14 @@
 //! - [`latency`]: the paper's Table 2 latency and energy costs;
 //! - [`exec`]: the data transformation each variant applies to a DRAM row;
 //! - [`interface`]: the controlled, range-restricted controller API the
-//!   paper proposes to avoid exposing raw internal signals (§4.4).
+//!   paper proposes to avoid exposing raw internal signals (§4.4);
+//! - [`ops`]: the typed command set ([`VariantId`], [`CodicOp`]) and the
+//!   [`InDramMechanism`] trait the use cases implement;
+//! - [`device`]: the [`CodicDevice`] service layer composing
+//!   mode-register programming, safe-range policy, and cycle-level
+//!   scheduling into one typed command path;
+//! - [`pool`]: the sharded [`DevicePool`] serving path for
+//!   throughput-style workloads.
 //!
 //! # Example
 //!
@@ -40,18 +47,24 @@
 
 pub mod classify;
 pub mod delay_element;
+pub mod device;
 pub mod error;
 pub mod exec;
 pub mod interface;
 pub mod latency;
 pub mod library;
 pub mod mode_register;
+pub mod ops;
 pub mod optimize;
+pub mod pool;
 pub mod variant;
 pub mod variant_space;
 
 pub use classify::OperationClass;
+pub use device::{BatchOutcome, CodicDevice, DeviceConfig, OpCompletion, OpToken, SweepReport};
 pub use error::CodicError;
 pub use latency::CommandCost;
 pub use mode_register::{ModeRegister, ModeRegisterFile};
+pub use ops::{CodicOp, InDramMechanism, RowRegion, VariantId};
+pub use pool::{DevicePool, PoolOutcome, PoolToken};
 pub use variant::CodicVariant;

@@ -1,0 +1,364 @@
+//! The typed CODIC command set: the single vocabulary every layer of the
+//! service path speaks.
+//!
+//! The paper's §4.4 interface exposes *applications* — not raw timing
+//! control — behind the memory controller. This module gives that
+//! interface a typed surface: [`VariantId`] names the library variants
+//! (no stringly-typed names cross the API), [`CodicOp`] is the command a
+//! use case submits to a [`CodicDevice`](crate::device::CodicDevice), and
+//! [`InDramMechanism`] is the trait the PUF, secure-deallocation, and
+//! cold-boot use cases implement so they all issue through the same
+//! controlled path.
+
+use codic_dram::geometry::DramGeometry;
+use codic_dram::request::RowOpKind;
+
+use crate::classify::OperationClass;
+use crate::library;
+use crate::variant::CodicVariant;
+
+/// A library CODIC variant, identified by type rather than by name string.
+///
+/// Each id maps to the [`library`] preset of the same name and to the
+/// [`OperationClass`] the circuit-level classifier assigns it (the mapping
+/// is pinned by tests against [`classify`](crate::classify::classify)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VariantId {
+    /// The standard activation implemented on the substrate.
+    Activate,
+    /// The standard precharge implemented on the substrate.
+    Precharge,
+    /// CODIC-sig: signature preparation (cells to `Vdd/2`).
+    Sig,
+    /// CODIC-sig-opt: early-terminating signature preparation (§4.1.1).
+    SigOpt,
+    /// The alternative CODIC-sig timing (§4.1.1).
+    SigAlt,
+    /// CODIC-det generating zeros.
+    DetZero,
+    /// CODIC-det generating ones.
+    DetOne,
+    /// CODIC-sigsa: sense-amplifier signature amplification (Appendix C).
+    Sigsa,
+}
+
+impl VariantId {
+    /// Every library variant, in Table 1 / Appendix order.
+    pub const ALL: [VariantId; 8] = [
+        VariantId::Activate,
+        VariantId::Precharge,
+        VariantId::Sig,
+        VariantId::SigOpt,
+        VariantId::SigAlt,
+        VariantId::DetZero,
+        VariantId::DetOne,
+        VariantId::Sigsa,
+    ];
+
+    /// The library preset this id names.
+    #[must_use]
+    pub fn variant(self) -> CodicVariant {
+        match self {
+            VariantId::Activate => library::activation(),
+            VariantId::Precharge => library::precharge(),
+            VariantId::Sig => library::codic_sig(),
+            VariantId::SigOpt => library::codic_sig_opt(),
+            VariantId::SigAlt => library::codic_sig_alt(),
+            VariantId::DetZero => library::codic_det_zero(),
+            VariantId::DetOne => library::codic_det_one(),
+            VariantId::Sigsa => library::codic_sigsa(),
+        }
+    }
+
+    /// The functional class the circuit-level classifier assigns this
+    /// variant (pinned by tests against
+    /// [`classify`](crate::classify::classify)).
+    #[must_use]
+    pub fn class(self) -> OperationClass {
+        match self {
+            VariantId::Activate => OperationClass::ActivateLike,
+            VariantId::Precharge => OperationClass::PrechargeLike,
+            VariantId::Sig | VariantId::SigOpt | VariantId::SigAlt => {
+                OperationClass::SignaturePreparation
+            }
+            VariantId::DetZero => OperationClass::DeterministicZero,
+            VariantId::DetOne => OperationClass::DeterministicOne,
+            VariantId::Sigsa => OperationClass::SignatureAmplified,
+        }
+    }
+
+    /// Whether commands of this variant destroy (or may destroy) cell
+    /// contents.
+    #[must_use]
+    pub fn is_destructive(self) -> bool {
+        self.class().is_destructive()
+    }
+
+    /// The display name (same as the library preset's).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            VariantId::Activate => "CODIC-activate",
+            VariantId::Precharge => "CODIC-precharge",
+            VariantId::Sig => "CODIC-sig",
+            VariantId::SigOpt => "CODIC-sig-opt",
+            VariantId::SigAlt => "CODIC-sig (alt)",
+            VariantId::DetZero => "CODIC-det (zero)",
+            VariantId::DetOne => "CODIC-det (one)",
+            VariantId::Sigsa => "CODIC-sigsa",
+        }
+    }
+}
+
+impl std::fmt::Display for VariantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed command submitted to the CODIC service path.
+///
+/// The command set covers the CODIC variants themselves plus the two
+/// in-DRAM copy baselines the studies compare against; all of them are
+/// row-granular operations the controller schedules like activates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodicOp {
+    /// One CODIC command of `variant` against the row containing
+    /// `row_addr`.
+    Command {
+        /// Which library variant to execute.
+        variant: VariantId,
+        /// Physical byte address selecting the target row.
+        row_addr: u64,
+    },
+    /// RowClone FPM copy from a zeroed row onto the row containing
+    /// `row_addr` (baseline zeroing mechanism).
+    RowCloneZero {
+        /// Physical byte address selecting the target row.
+        row_addr: u64,
+    },
+    /// LISA-clone copy from a zeroed row onto the row containing
+    /// `row_addr` (baseline zeroing mechanism).
+    LisaCloneZero {
+        /// Physical byte address selecting the target row.
+        row_addr: u64,
+    },
+}
+
+impl CodicOp {
+    /// Shorthand for a [`CodicOp::Command`].
+    #[must_use]
+    pub fn command(variant: VariantId, row_addr: u64) -> Self {
+        CodicOp::Command { variant, row_addr }
+    }
+
+    /// The physical byte address the operation targets.
+    #[must_use]
+    pub fn row_addr(self) -> u64 {
+        match self {
+            CodicOp::Command { row_addr, .. }
+            | CodicOp::RowCloneZero { row_addr }
+            | CodicOp::LisaCloneZero { row_addr } => row_addr,
+        }
+    }
+
+    /// The same operation retargeted at `row_addr` (used by row sweeps).
+    #[must_use]
+    pub fn with_row_addr(self, row_addr: u64) -> Self {
+        match self {
+            CodicOp::Command { variant, .. } => CodicOp::Command { variant, row_addr },
+            CodicOp::RowCloneZero { .. } => CodicOp::RowCloneZero { row_addr },
+            CodicOp::LisaCloneZero { .. } => CodicOp::LisaCloneZero { row_addr },
+        }
+    }
+
+    /// The CODIC variant the operation installs, if it is a CODIC command.
+    #[must_use]
+    pub fn variant(self) -> Option<VariantId> {
+        match self {
+            CodicOp::Command { variant, .. } => Some(variant),
+            CodicOp::RowCloneZero { .. } | CodicOp::LisaCloneZero { .. } => None,
+        }
+    }
+
+    /// The functional class, for the controller's safe-range policy. The
+    /// copy baselines overwrite the target row, so they are classed as
+    /// deterministic zeroing.
+    #[must_use]
+    pub fn class(self) -> OperationClass {
+        match self {
+            CodicOp::Command { variant, .. } => variant.class(),
+            CodicOp::RowCloneZero { .. } | CodicOp::LisaCloneZero { .. } => {
+                OperationClass::DeterministicZero
+            }
+        }
+    }
+
+    /// Whether the operation destroys (or may destroy) the target row.
+    #[must_use]
+    pub fn is_destructive(self) -> bool {
+        self.class().is_destructive()
+    }
+
+    /// The row-operation kind the cycle-level controller schedules this
+    /// command as.
+    #[must_use]
+    pub fn row_op_kind(self) -> RowOpKind {
+        match self {
+            CodicOp::Command { .. } => RowOpKind::Codic,
+            CodicOp::RowCloneZero { .. } => RowOpKind::RowClone,
+            CodicOp::LisaCloneZero { .. } => RowOpKind::LisaClone,
+        }
+    }
+}
+
+/// A contiguous range of DRAM rows, the planning granularity of
+/// [`InDramMechanism`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowRegion {
+    /// Physical byte address of the first row (row-aligned addresses
+    /// address the row; others are truncated by the controller).
+    pub start_addr: u64,
+    /// Number of consecutive rows.
+    pub rows: u64,
+}
+
+impl RowRegion {
+    /// A region of `rows` rows starting at `start_addr`.
+    #[must_use]
+    pub fn new(start_addr: u64, rows: u64) -> Self {
+        RowRegion { start_addr, rows }
+    }
+
+    /// The smallest whole-row region covering `len` bytes from `start`:
+    /// the start is aligned down to its row and every row the byte span
+    /// touches is included, so misaligned spans are never undercovered.
+    #[must_use]
+    pub fn covering_bytes(start: u64, len: u64) -> Self {
+        if len == 0 {
+            return RowRegion {
+                start_addr: start,
+                rows: 0,
+            };
+        }
+        let row = DramGeometry::ROW_BYTES;
+        let first = start / row;
+        let last = (start + len - 1) / row;
+        RowRegion {
+            start_addr: first * row,
+            rows: last - first + 1,
+        }
+    }
+
+    /// Iterates the row addresses of the region.
+    pub fn row_addrs(self) -> impl Iterator<Item = u64> {
+        (0..self.rows).map(move |i| self.start_addr + i * DramGeometry::ROW_BYTES)
+    }
+
+    /// Bytes covered (whole rows).
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        self.rows * DramGeometry::ROW_BYTES
+    }
+}
+
+/// A CODIC use case: something that turns a row region into the typed
+/// command stream it needs.
+///
+/// The PUF signature extraction, secure deallocation, and cold-boot
+/// self-destruction mechanisms all implement this trait, so every use case
+/// issues through the same [`CodicDevice`](crate::device::CodicDevice)
+/// handle — the paper's §4.4 controlled interface — instead of private
+/// row-op/timing plumbing.
+pub trait InDramMechanism {
+    /// Display name of the mechanism.
+    fn name(&self) -> &str;
+
+    /// The typed commands the mechanism issues over `region`, one per
+    /// row. Mechanisms with no in-DRAM component (software baselines)
+    /// return an empty plan.
+    fn plan(&self, region: RowRegion) -> Vec<CodicOp>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codic_circuit::CircuitParams;
+
+    #[test]
+    fn static_classes_match_the_circuit_classifier() {
+        let params = CircuitParams::default();
+        for id in VariantId::ALL {
+            assert_eq!(
+                id.class(),
+                crate::classify::classify(&id.variant(), &params),
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_match_the_library_presets() {
+        for id in VariantId::ALL {
+            assert_eq!(id.name(), id.variant().name(), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn ops_map_to_row_op_kinds_and_classes() {
+        let sig = CodicOp::command(VariantId::Sig, 0x2000);
+        assert_eq!(sig.row_op_kind(), RowOpKind::Codic);
+        assert_eq!(sig.class(), OperationClass::SignaturePreparation);
+        assert!(sig.is_destructive());
+        assert_eq!(sig.row_addr(), 0x2000);
+
+        let act = CodicOp::command(VariantId::Activate, 0);
+        assert!(!act.is_destructive());
+
+        let rc = CodicOp::RowCloneZero { row_addr: 64 };
+        assert_eq!(rc.row_op_kind(), RowOpKind::RowClone);
+        assert_eq!(rc.class(), OperationClass::DeterministicZero);
+
+        let lisa = CodicOp::LisaCloneZero { row_addr: 128 };
+        assert_eq!(lisa.row_op_kind(), RowOpKind::LisaClone);
+        assert!(lisa.is_destructive());
+    }
+
+    #[test]
+    fn with_row_addr_retargets_every_op_kind() {
+        for op in [
+            CodicOp::command(VariantId::DetZero, 0),
+            CodicOp::RowCloneZero { row_addr: 0 },
+            CodicOp::LisaCloneZero { row_addr: 0 },
+        ] {
+            let moved = op.with_row_addr(0x4000);
+            assert_eq!(moved.row_addr(), 0x4000);
+            assert_eq!(moved.row_op_kind(), op.row_op_kind());
+        }
+    }
+
+    #[test]
+    fn regions_cover_partial_rows() {
+        let r = RowRegion::covering_bytes(0, 8192 * 2 + 1);
+        assert_eq!(r.rows, 3);
+        assert_eq!(r.bytes(), 3 * 8192);
+        let addrs: Vec<u64> = r.row_addrs().collect();
+        assert_eq!(addrs, vec![0, 8192, 16384]);
+    }
+
+    #[test]
+    fn misaligned_spans_cover_every_touched_row() {
+        // 8 KB starting mid-row touches two rows; both must be covered.
+        let r = RowRegion::covering_bytes(4096, 8192);
+        assert_eq!(r.start_addr, 0, "start aligns down to its row");
+        assert_eq!(r.rows, 2);
+        assert_eq!(r.row_addrs().collect::<Vec<_>>(), vec![0, 8192]);
+        assert_eq!(RowRegion::covering_bytes(4096, 0).rows, 0);
+    }
+
+    #[test]
+    fn display_prints_paper_names() {
+        assert_eq!(VariantId::Sig.to_string(), "CODIC-sig");
+        assert_eq!(VariantId::DetZero.to_string(), "CODIC-det (zero)");
+    }
+}

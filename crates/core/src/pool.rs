@@ -1,0 +1,353 @@
+//! A sharded pool of [`CodicDevice`]s for throughput-style workloads.
+//!
+//! Serving-scale CODIC traffic (secure-deallocation trace replays,
+//! full-module destruction sweeps, PUF evaluation campaigns) is
+//! embarrassingly parallel across channels/ranks: each shard owns its own
+//! mode registers, policy state, and cycle-level scheduler. [`DevicePool`]
+//! builds one [`CodicDevice`] per shard, routes each [`CodicOp`] to the
+//! shard owning its row, and drives the shards on rayon worker threads.
+//!
+//! The API is batched: [`DevicePool::submit_all`] distributes a batch and
+//! hands back per-op [`PoolToken`]s; [`DevicePool::execute_all`] is the
+//! submit → run → collect convenience wrapper the benchmarks use.
+
+use codic_dram::geometry::DramGeometry;
+use rayon::prelude::*;
+
+use crate::device::{BatchOutcome, CodicDevice, DeviceConfig, OpCompletion, OpToken, SweepReport};
+use crate::error::CodicError;
+use crate::ops::CodicOp;
+
+/// Completion token for an operation submitted through a pool: which
+/// shard took it, and the device-level token inside that shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolToken {
+    /// Index of the owning shard.
+    pub shard: usize,
+    /// The device-level completion token.
+    pub token: OpToken,
+}
+
+/// Aggregate outcome of a pooled batch execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolOutcome {
+    /// Per-shard batch outcomes, indexed by shard.
+    pub per_shard: Vec<BatchOutcome>,
+}
+
+impl PoolOutcome {
+    /// Total operations completed across all shards.
+    #[must_use]
+    pub fn ops(&self) -> usize {
+        self.per_shard.iter().map(BatchOutcome::ops).sum()
+    }
+
+    /// The slowest shard's finish cycle (shards run concurrently, so this
+    /// is the batch's wall-clock DRAM time).
+    #[must_use]
+    pub fn finish_cycle(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|o| o.finish_cycle)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The slowest shard's finish time in nanoseconds of DRAM time.
+    #[must_use]
+    pub fn finish_ns(&self) -> f64 {
+        self.per_shard
+            .iter()
+            .map(|o| o.finish_ns)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total accounted energy across shards, in nanojoules.
+    #[must_use]
+    pub fn energy_nj(&self) -> f64 {
+        self.per_shard.iter().map(|o| o.energy_nj).sum()
+    }
+
+    /// Iterates every completion with its shard index.
+    pub fn completions(&self) -> impl Iterator<Item = (usize, &OpCompletion)> {
+        self.per_shard
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, o)| o.completions.iter().map(move |c| (shard, c)))
+    }
+}
+
+/// A pool of identical devices, one per channel/rank shard.
+#[derive(Debug)]
+pub struct DevicePool {
+    devices: Vec<CodicDevice>,
+    /// Rows per distribution block: one block spans every bank of a
+    /// shard, so consecutive blocks rotate shards without starving any
+    /// shard's bank-level parallelism.
+    block_rows: u64,
+}
+
+impl DevicePool {
+    /// Builds a pool of `shards` devices, each configured from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn new(shards: usize, config: &DeviceConfig) -> Self {
+        assert!(shards > 0, "a pool needs at least one shard");
+        DevicePool {
+            devices: (0..shards)
+                .map(|_| CodicDevice::new(config.clone()))
+                .collect(),
+            block_rows: u64::from(config.geometry.total_banks()).max(1),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The shard that owns `op`'s row. Rows are distributed in blocks of
+    /// one bank-rotation each (8 consecutive rows touch all 8 banks), so
+    /// every shard keeps full bank-level parallelism under contiguous
+    /// workloads.
+    #[must_use]
+    pub fn shard_of(&self, op: CodicOp) -> usize {
+        let block = op.row_addr() / DramGeometry::ROW_BYTES / self.block_rows;
+        (block % self.devices.len() as u64) as usize
+    }
+
+    /// One shard's device, for inspection.
+    #[must_use]
+    pub fn device(&self, shard: usize) -> &CodicDevice {
+        &self.devices[shard]
+    }
+
+    /// Distributes a batch across the shards, all-or-nothing: every
+    /// operation is policy-checked against its shard before anything is
+    /// enqueued anywhere. Tokens are returned in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first policy error without enqueuing anything.
+    pub fn submit_all(&mut self, ops: &[CodicOp]) -> Result<Vec<PoolToken>, CodicError> {
+        let shards = self.route_checked(ops)?;
+        ops.iter()
+            .zip(&shards)
+            .map(|(&op, &shard)| {
+                self.devices[shard]
+                    .submit(op)
+                    .map(|token| PoolToken { shard, token })
+            })
+            .collect()
+    }
+
+    /// Computes every op's shard and policy-checks it there, before
+    /// anything is enqueued anywhere (the all-or-nothing pre-flight).
+    fn route_checked(&self, ops: &[CodicOp]) -> Result<Vec<usize>, CodicError> {
+        ops.iter()
+            .map(|&op| {
+                let shard = self.shard_of(op);
+                self.devices[shard].controller().check_safe_range(op)?;
+                Ok(shard)
+            })
+            .collect()
+    }
+
+    /// Runs every shard to idle on rayon worker threads; returns the
+    /// slowest shard's finish cycle.
+    pub fn run_to_idle(&mut self) -> u64 {
+        self.map_devices(CodicDevice::run_to_idle)
+            .into_iter()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Removes and returns all completions from every shard, tagged with
+    /// their shard index.
+    pub fn take_completions(&mut self) -> Vec<(usize, OpCompletion)> {
+        self.devices
+            .iter_mut()
+            .enumerate()
+            .flat_map(|(shard, d)| d.take_completions().into_iter().map(move |c| (shard, c)))
+            .collect()
+    }
+
+    /// Distributes `ops` across the shards and runs them all to
+    /// completion in parallel — the batched serving path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first policy error without enqueuing anything.
+    pub fn execute_all(&mut self, ops: &[CodicOp]) -> Result<PoolOutcome, CodicError> {
+        let routes = self.route_checked(ops)?;
+        let mut per_shard_ops: Vec<Vec<CodicOp>> = vec![Vec::new(); self.devices.len()];
+        for (&op, &shard) in ops.iter().zip(&routes) {
+            per_shard_ops[shard].push(op);
+        }
+        let outcomes = self.zip_map_devices(per_shard_ops, |device, ops| {
+            device
+                .execute_all(&ops)
+                .expect("ops were policy-checked before distribution")
+        });
+        Ok(PoolOutcome {
+            per_shard: outcomes,
+        })
+    }
+
+    /// Runs an event-driven full-module sweep on every shard in parallel.
+    ///
+    /// Unlike [`DevicePool::execute_all`] — where the shards act as
+    /// parallel channels serving *one* module-sized address space — the
+    /// sweep treats each shard as its *own complete module*: a pool of N
+    /// shards destroys N modules concurrently (the multi-module variant
+    /// of the cold-boot scenario), and total swept rows are N × the
+    /// per-module row count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the policy error when the sweep is not allowed on a shard.
+    pub fn sweep_all_rows(&mut self, proto: CodicOp) -> Result<Vec<SweepReport>, CodicError> {
+        self.map_devices(|d| d.sweep_all_rows(proto))
+            .into_iter()
+            .collect()
+    }
+
+    /// Applies `f` to every device on rayon worker threads, preserving
+    /// shard order.
+    fn map_devices<R: Send>(&mut self, f: impl Fn(&mut CodicDevice) -> R + Sync) -> Vec<R> {
+        let devices = std::mem::take(&mut self.devices);
+        let (devices, results): (Vec<_>, Vec<_>) = devices
+            .into_par_iter()
+            .map(|mut d| {
+                let r = f(&mut d);
+                (d, r)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .unzip();
+        self.devices = devices;
+        results
+    }
+
+    fn zip_map_devices<T: Send, R: Send>(
+        &mut self,
+        inputs: Vec<T>,
+        f: impl Fn(&mut CodicDevice, T) -> R + Sync,
+    ) -> Vec<R> {
+        let devices = std::mem::take(&mut self.devices);
+        let (devices, results): (Vec<_>, Vec<_>) = devices
+            .into_iter()
+            .zip(inputs)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|(mut d, input)| {
+                let r = f(&mut d, input);
+                (d, r)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .unzip();
+        self.devices = devices;
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codic_dram::timing::TimingParams;
+
+    use crate::ops::VariantId;
+
+    fn pool(shards: usize) -> DevicePool {
+        let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+            .with_refresh(false);
+        DevicePool::new(shards, &config)
+    }
+
+    fn zero_ops(rows: u64) -> Vec<CodicOp> {
+        (0..rows)
+            .map(|i| CodicOp::command(VariantId::DetZero, i * DramGeometry::ROW_BYTES))
+            .collect()
+    }
+
+    #[test]
+    fn ops_are_block_interleaved_across_shards() {
+        let p = pool(4);
+        // 8 rows per block (one full bank rotation), then the next shard.
+        let shards: Vec<usize> = zero_ops(32).iter().map(|&op| p.shard_of(op)).collect();
+        let expected: Vec<usize> = (0..32).map(|i| (i / 8) % 4).collect();
+        assert_eq!(shards, expected);
+    }
+
+    #[test]
+    fn pooled_execution_completes_every_op() {
+        let mut p = pool(4);
+        let outcome = p.execute_all(&zero_ops(64)).unwrap();
+        assert_eq!(outcome.ops(), 64);
+        let per_shard_rows: Vec<u64> = (0..4).map(|s| p.device(s).stats().row_ops).collect();
+        assert_eq!(per_shard_rows, vec![16, 16, 16, 16]);
+        assert!(outcome.finish_cycle() > 0);
+        assert!(outcome.energy_nj() > 0.0);
+        assert_eq!(outcome.completions().count(), 64);
+    }
+
+    #[test]
+    fn sharding_reduces_per_batch_dram_time() {
+        let ops = zero_ops(256);
+        let one = pool(1).execute_all(&ops).unwrap().finish_cycle();
+        let four = pool(4).execute_all(&ops).unwrap().finish_cycle();
+        assert!(
+            four * 3 < one,
+            "4 shards ({four} cycles) must beat 1 shard ({one} cycles)"
+        );
+    }
+
+    #[test]
+    fn pool_policy_is_all_or_nothing() {
+        let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+            .with_safe_range(0..DramGeometry::ROW_BYTES)
+            .with_refresh(false);
+        let mut p = DevicePool::new(2, &config);
+        // Op 0 is in range; op 1 (row 1) is outside every shard's range.
+        let err = p.execute_all(&zero_ops(2)).unwrap_err();
+        assert!(matches!(err, CodicError::AddressOutOfRange { .. }));
+        assert_eq!(p.device(0).stats().row_ops, 0);
+        assert_eq!(p.device(1).stats().row_ops, 0);
+    }
+
+    #[test]
+    fn token_api_round_trips_through_completions() {
+        let mut p = pool(2);
+        let ops = zero_ops(8);
+        let tokens = p.submit_all(&ops).unwrap();
+        assert_eq!(tokens.len(), 8);
+        p.run_to_idle();
+        let completions = p.take_completions();
+        assert_eq!(completions.len(), 8);
+        for (i, token) in tokens.iter().enumerate() {
+            let (shard, c) = completions
+                .iter()
+                .find(|(s, c)| *s == token.shard && c.token == token.token)
+                .expect("every token completes");
+            assert_eq!(*shard, p.shard_of(ops[i]));
+            assert_eq!(c.op, ops[i]);
+        }
+    }
+
+    #[test]
+    fn pooled_sweep_destroys_one_full_module_per_shard() {
+        let mut p = pool(2);
+        let reports = p
+            .sweep_all_rows(CodicOp::command(VariantId::DetZero, 0))
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        for r in reports {
+            assert_eq!(r.rows, DramGeometry::module_mib(64).total_rows());
+        }
+    }
+}

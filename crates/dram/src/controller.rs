@@ -55,6 +55,7 @@ pub struct MemoryController {
     rowop_q: VecDeque<Pending>,
     in_flight: BinaryHeap<Reverse<(u64, u64)>>,
     completed: Vec<Completion>,
+    last_finish: u64,
     now: u64,
     data_bus_free: u64,
     write_drain: bool,
@@ -80,6 +81,7 @@ impl MemoryController {
             rowop_q: VecDeque::with_capacity(QUEUE_DEPTH),
             in_flight: BinaryHeap::new(),
             completed: Vec::new(),
+            last_finish: 0,
             now: 0,
             data_bus_free: 0,
             write_drain: false,
@@ -167,8 +169,17 @@ impl MemoryController {
     }
 
     /// Removes and returns all completions that have finished by now.
-    pub fn drain_completed(&mut self) -> Vec<Completion> {
+    ///
+    /// Completions accumulate until taken; long-running callers must call
+    /// this (directly or through their tick loop) to bound the buffer.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completed)
+    }
+
+    /// Removes and returns all completions that have finished by now.
+    #[deprecated(since = "0.1.0", note = "renamed to `take_completions`")]
+    pub fn drain_completed(&mut self) -> Vec<Completion> {
+        self.take_completions()
     }
 
     /// Advances one memory cycle, issuing at most one command.
@@ -190,14 +201,14 @@ impl MemoryController {
     }
 
     /// Runs until idle, returning the cycle at which the last request
-    /// completed (or the current cycle when already idle).
+    /// completed (or the current cycle when already idle). Completions
+    /// stay buffered for [`MemoryController::take_completions`]; callers
+    /// that only need the finish cycle can discard them afterwards.
     pub fn run_to_idle(&mut self) -> u64 {
         let mut last = self.now;
         while !self.is_idle() {
             self.tick();
-            if let Some(c) = self.completed.last() {
-                last = last.max(c.finish_cycle);
-            }
+            last = last.max(self.last_finish);
         }
         last
     }
@@ -208,6 +219,7 @@ impl MemoryController {
                 break;
             }
             self.in_flight.pop();
+            self.last_finish = self.last_finish.max(cycle);
             self.completed.push(Completion {
                 id: ReqId(id),
                 finish_cycle: cycle,
@@ -501,7 +513,7 @@ mod tests {
         let mut writes_done = 0;
         while !m.is_idle() {
             m.tick();
-            for c in m.drain_completed() {
+            for c in m.take_completions() {
                 if c.id == ReqId(4) {
                     read_done = Some(c.finish_cycle);
                 } else {
@@ -545,7 +557,7 @@ mod tests {
                 break;
             }
             m.tick();
-            for c in m.drain_completed() {
+            for c in m.take_completions() {
                 finish = finish.max(c.finish_cycle);
             }
         }
@@ -594,7 +606,7 @@ mod tests {
         let mut ids = Vec::new();
         while !m.is_idle() {
             m.tick();
-            ids.extend(m.drain_completed().into_iter().map(|c| c.id));
+            ids.extend(m.take_completions().into_iter().map(|c| c.id));
         }
         let sorted = {
             let mut s = ids.clone();

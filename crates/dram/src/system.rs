@@ -80,7 +80,7 @@ impl System {
             }
         }
         self.mc.tick();
-        for c in self.mc.drain_completed() {
+        for c in self.mc.take_completions() {
             if let Some(core) = self.owners.remove(&c.id) {
                 self.cores[core].on_complete(c.id);
             }

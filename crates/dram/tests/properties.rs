@@ -44,16 +44,16 @@ proptest! {
                 accepted += 1;
             }
             mc.tick();
-            completed += mc.drain_completed().len();
+            completed += mc.take_completions().len();
         }
         let mut guard = 0u64;
         while !mc.is_idle() {
             mc.tick();
-            completed += mc.drain_completed().len();
+            completed += mc.take_completions().len();
             guard += 1;
             prop_assert!(guard < 2_000_000, "controller livelock");
         }
-        completed += mc.drain_completed().len();
+        completed += mc.take_completions().len();
         prop_assert_eq!(completed, accepted, "conservation of requests");
     }
 

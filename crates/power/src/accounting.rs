@@ -1,0 +1,121 @@
+//! Shared per-row-operation latency/energy accounting.
+//!
+//! One place for the bank-occupancy and energy cost of every in-DRAM row
+//! operation the studies schedule (CODIC, RowClone FPM, LISA-clone), so the
+//! cold-boot sweep, the secure-deallocation trace splicer, and the device
+//! service layer all charge identical costs:
+//!
+//! - **CODIC**: one activation-class command, tRC of bank occupancy and one
+//!   activate–precharge cycle of energy (§4.3, §6.2).
+//! - **RowClone FPM**: a back-to-back activation pair plus precharge
+//!   (2·tRAS + tRP), two activations of energy (Seshadri et al.).
+//! - **LISA-clone**: the activation pair plus the row-buffer-movement
+//!   sequence and its restore (≈ 70 ns of extra occupancy, ≈ 11 nJ of extra
+//!   bitline energy per row, calibrated so the occupancy-bound sweep lands
+//!   on the paper's 2.5× CODIC destruction time).
+
+use codic_dram::request::RowOpKind;
+use codic_dram::TimingParams;
+
+use crate::energy::EnergyModel;
+
+/// Extra bank-occupancy of LISA's row-buffer-movement sequence and its
+/// restore, in nanoseconds.
+pub const LISA_MOVEMENT_NS: f64 = 70.0;
+
+/// Extra per-row energy of LISA's row-buffer movement (the full row of
+/// bitlines swings one extra time), in nanojoules.
+pub const LISA_MOVEMENT_ENERGY_NJ: f64 = 11.0;
+
+/// The full accounted cost of one row operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowOpCost {
+    /// Which operation the cost describes.
+    pub kind: RowOpKind,
+    /// Bank-occupancy duration in memory cycles.
+    pub busy_cycles: u32,
+    /// Activations charged against the rank's tRRD/tFAW windows.
+    pub activations: u8,
+    /// Total energy of the operation in nanojoules.
+    pub energy_nj: f64,
+}
+
+/// Bank-occupancy duration of one row operation of `kind`, in memory
+/// cycles.
+#[must_use]
+pub fn row_op_busy_cycles(kind: RowOpKind, t: &TimingParams) -> u32 {
+    match kind {
+        RowOpKind::Codic => t.t_rc,
+        RowOpKind::RowClone => 2 * t.t_ras + t.t_rp,
+        RowOpKind::LisaClone => 2 * t.t_ras + t.t_rp + t.cycles_from_ns(LISA_MOVEMENT_NS),
+    }
+}
+
+/// Per-row energy beyond the activations [`EnergyModel::row_op_nj`]
+/// already charges, in nanojoules.
+#[must_use]
+pub fn row_op_extra_energy_nj(kind: RowOpKind) -> f64 {
+    match kind {
+        RowOpKind::LisaClone => LISA_MOVEMENT_ENERGY_NJ,
+        RowOpKind::Codic | RowOpKind::RowClone => 0.0,
+    }
+}
+
+/// The full cost of one row operation of `kind` under `timing` and the
+/// energy model.
+#[must_use]
+pub fn row_op_cost(kind: RowOpKind, timing: &TimingParams, energy: &EnergyModel) -> RowOpCost {
+    RowOpCost {
+        kind,
+        busy_cycles: row_op_busy_cycles(kind, timing),
+        activations: kind.activations(),
+        energy_nj: energy.row_op_nj(u64::from(kind.activations())) + row_op_extra_energy_nj(kind),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr3_1600_11()
+    }
+
+    #[test]
+    fn codic_occupies_one_row_cycle() {
+        assert_eq!(row_op_busy_cycles(RowOpKind::Codic, &t()), t().t_rc);
+    }
+
+    #[test]
+    fn occupancy_ordering_matches_the_paper() {
+        let t = t();
+        let codic = row_op_busy_cycles(RowOpKind::Codic, &t);
+        let rc = row_op_busy_cycles(RowOpKind::RowClone, &t);
+        let lisa = row_op_busy_cycles(RowOpKind::LisaClone, &t);
+        assert!(codic < rc && rc < lisa);
+    }
+
+    #[test]
+    fn only_lisa_pays_movement_energy() {
+        assert_eq!(row_op_extra_energy_nj(RowOpKind::Codic), 0.0);
+        assert_eq!(row_op_extra_energy_nj(RowOpKind::RowClone), 0.0);
+        assert_eq!(
+            row_op_extra_energy_nj(RowOpKind::LisaClone),
+            LISA_MOVEMENT_ENERGY_NJ
+        );
+    }
+
+    #[test]
+    fn cost_combines_activation_energy_and_extras() {
+        let t = t();
+        let model = EnergyModel::paper_default();
+        let codic = row_op_cost(RowOpKind::Codic, &t, &model);
+        assert_eq!(codic.activations, 1);
+        assert!((codic.energy_nj - model.act_pre_nj()).abs() < 1e-9);
+        let lisa = row_op_cost(RowOpKind::LisaClone, &t, &model);
+        assert_eq!(lisa.activations, 2);
+        assert!(
+            (lisa.energy_nj - (2.0 * model.act_pre_nj() + LISA_MOVEMENT_ENERGY_NJ)).abs() < 1e-9
+        );
+    }
+}

@@ -21,8 +21,10 @@
 //! assert!((act_pre - 17.3).abs() < 0.1, "row cycle = {act_pre} nJ");
 //! ```
 
+pub mod accounting;
 pub mod energy;
 pub mod idd;
 
+pub use accounting::{row_op_cost, RowOpCost};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use idd::IddValues;

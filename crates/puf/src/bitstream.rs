@@ -38,8 +38,8 @@ const STREAM_CHUNK_CHIPS: usize = 32;
 /// responses to distinct challenges across the whole population, applying
 /// the Von Neumann extractor.
 ///
-/// Chips are evaluated and whitened in parallel, [`STREAM_CHUNK_CHIPS`]
-/// at a time; dispatch stops at the first chunk that crosses the target,
+/// Chips are evaluated and whitened in parallel, `STREAM_CHUNK_CHIPS`
+/// (32) at a time; dispatch stops at the first chunk that crosses the target,
 /// so at most one chunk of work is discarded. Chunking and evaluation
 /// order are fixed, so the stream is identical to the serial chip-by-chip
 /// construction for every thread count.

@@ -7,6 +7,8 @@
 //! needs no filtering because the same cells resolve the same way on
 //! almost every evaluation.
 
+use codic_core::ops::{CodicOp, InDramMechanism, RowRegion, VariantId};
+
 use crate::challenge::{Challenge, Response};
 use crate::chip::ChipModel;
 use crate::hash;
@@ -17,6 +19,12 @@ use crate::mechanisms::{Environment, PufMechanism};
 pub struct CodicSigPuf;
 
 impl CodicSigPuf {
+    /// The row region a challenge's segment covers — what the signature
+    /// preparation sweeps before read-out.
+    #[must_use]
+    pub fn challenge_region(challenge: &Challenge) -> RowRegion {
+        RowRegion::covering_bytes(challenge.segment_addr, u64::from(challenge.size_bytes))
+    }
     /// Per-cell drop probability at environment `env`: the chance a
     /// minority cell resolves to the majority value on this evaluation.
     /// Tiny at nominal conditions (the paper's 99.72 %+ response
@@ -27,6 +35,23 @@ impl CodicSigPuf {
         // Aging barely affects CODIC-sig (§6.1.1: intra-Jaccard stays ≈ 1).
         let age_factor = 1.0 + 0.02 * (env.aging_hours / 8.0);
         chip.codic_noise_floor() * temp_factor * age_factor
+    }
+}
+
+impl InDramMechanism for CodicSigPuf {
+    fn name(&self) -> &str {
+        "CODIC-sig PUF"
+    }
+
+    /// One CODIC-sig command per row: the signature preparation the
+    /// controller issues before the read-out pass. CODIC-sig is
+    /// destructive (it erases the segment's contents), so the device's
+    /// safe-range policy confines where evaluations may run (§4.4).
+    fn plan(&self, region: RowRegion) -> Vec<CodicOp> {
+        region
+            .row_addrs()
+            .map(|addr| CodicOp::command(VariantId::Sig, addr))
+            .collect()
     }
 }
 
@@ -123,6 +148,52 @@ mod tests {
         let fresh = puf.evaluate(&c, &ch, &Environment::nominal(), 1);
         let aged = puf.evaluate(&c, &ch, &Environment::aged(8.0), 2);
         assert!(fresh.jaccard(&aged) > 0.95);
+    }
+
+    #[test]
+    fn challenge_plans_one_sig_command_per_row() {
+        let ch = Challenge::segment(3);
+        let region = CodicSigPuf::challenge_region(&ch);
+        assert_eq!(region.rows, 1, "an 8 KB segment is one row");
+        let plan = InDramMechanism::plan(&CodicSigPuf, region);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0], CodicOp::command(VariantId::Sig, 3 * 8192));
+        assert!(plan[0].is_destructive(), "sig preparation erases the row");
+    }
+
+    #[test]
+    fn evaluation_campaign_issues_through_the_device() {
+        use codic_core::device::{CodicDevice, DeviceConfig};
+        use codic_dram::{DramGeometry, TimingParams};
+        // The §6.1 methodology: refresh disabled, evaluations confined to
+        // the system-defined safe segment range.
+        let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+            .with_safe_range(0..64 * 8192)
+            .with_refresh(false);
+        let mut device = CodicDevice::new(config);
+        let ops: Vec<CodicOp> = (0..4)
+            .flat_map(|i| {
+                InDramMechanism::plan(
+                    &CodicSigPuf,
+                    CodicSigPuf::challenge_region(&Challenge::segment(i)),
+                )
+            })
+            .collect();
+        let outcome = device.execute_all(&ops).unwrap();
+        assert_eq!(outcome.ops(), 4);
+        assert_eq!(device.stats().row_ops, 4);
+        // A challenge outside the safe range is rejected before the bus.
+        let err = device
+            .execute_all(&InDramMechanism::plan(
+                &CodicSigPuf,
+                CodicSigPuf::challenge_region(&Challenge::segment(1000)),
+            ))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            codic_core::CodicError::AddressOutOfRange { .. }
+        ));
+        assert_eq!(device.stats().row_ops, 4);
     }
 
     #[test]

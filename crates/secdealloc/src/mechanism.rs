@@ -1,8 +1,16 @@
 //! The compared secure-deallocation mechanisms (Appendix A).
+//!
+//! The hardware mechanisms are expressed as typed [`CodicOp`] plans
+//! ([`InDramMechanism`]) — the same command stream the `CodicDevice`
+//! serving path executes — and their per-row costs come from the shared
+//! [`codic_power::accounting`] helper. The trace splicer turns that plan
+//! into the posted row operations the full-system simulation replays.
 
+use codic_core::ops::{CodicOp, InDramMechanism, RowRegion, VariantId};
 use codic_dram::request::RowOpKind;
 use codic_dram::trace::TraceOp;
 use codic_dram::TimingParams;
+use codic_power::accounting;
 
 use crate::workload::{AppTrace, LINES_PER_PAGE, PAGE_BYTES};
 
@@ -47,19 +55,23 @@ impl ZeroingMechanism {
         }
     }
 
-    /// Row-operation parameters for the hardware mechanisms:
-    /// (kind, bank-busy cycles). Matches the cold-boot study's costs.
+    /// The typed per-row zeroing operation, for the hardware mechanisms.
     #[must_use]
-    pub fn row_op(self, t: &TimingParams) -> Option<(RowOpKind, u32)> {
+    pub fn op_for_row(self, row_addr: u64) -> Option<CodicOp> {
         match self {
             ZeroingMechanism::Software => None,
-            ZeroingMechanism::Codic => Some((RowOpKind::Codic, t.t_rc)),
-            ZeroingMechanism::RowClone => Some((RowOpKind::RowClone, 2 * t.t_ras + t.t_rp)),
-            ZeroingMechanism::LisaClone => Some((
-                RowOpKind::LisaClone,
-                2 * t.t_ras + t.t_rp + t.cycles_from_ns(70.0),
-            )),
+            ZeroingMechanism::Codic => Some(CodicOp::command(VariantId::DetZero, row_addr)),
+            ZeroingMechanism::RowClone => Some(CodicOp::RowCloneZero { row_addr }),
+            ZeroingMechanism::LisaClone => Some(CodicOp::LisaCloneZero { row_addr }),
         }
+    }
+
+    /// Row-operation parameters for the hardware mechanisms:
+    /// (kind, bank-busy cycles), from the shared accounting helper.
+    #[must_use]
+    pub fn row_op(self, t: &TimingParams) -> Option<(RowOpKind, u32)> {
+        let kind = self.op_for_row(0)?.row_op_kind();
+        Some((kind, accounting::row_op_busy_cycles(kind, t)))
     }
 
     /// Builds the full core trace: the application ops with the zeroing
@@ -81,35 +93,53 @@ impl ZeroingMechanism {
         out
     }
 
+    /// The freed region of one deallocation event, in whole rows (one row
+    /// operation per freed 8 KB row — two 4 KB pages).
+    fn freed_region(d: &crate::workload::DeallocEvent) -> RowRegion {
+        RowRegion::covering_bytes(d.first_page * PAGE_BYTES, u64::from(d.pages) * PAGE_BYTES)
+    }
+
     fn emit_zeroing(
         self,
         d: &crate::workload::DeallocEvent,
         timing: &TimingParams,
         out: &mut Vec<TraceOp>,
     ) {
-        match self.row_op(timing) {
-            None => {
-                // Software zeroing: one store per line of each freed page.
-                for page in 0..u64::from(d.pages) {
-                    let base = (d.first_page + page) * PAGE_BYTES;
-                    for line in 0..LINES_PER_PAGE {
-                        out.push(TraceOp::Write(base + line * 64));
-                    }
+        let region = Self::freed_region(d);
+        let plan = InDramMechanism::plan(&self, region);
+        if plan.is_empty() {
+            // Software zeroing: one store per line of each freed page.
+            for page in 0..u64::from(d.pages) {
+                let base = (d.first_page + page) * PAGE_BYTES;
+                for line in 0..LINES_PER_PAGE {
+                    out.push(TraceOp::Write(base + line * 64));
                 }
             }
-            Some((op, busy_cycles)) => {
-                // One row operation per freed 8 KB row (two 4 KB pages).
-                let rows = (u64::from(d.pages) * PAGE_BYTES).div_ceil(8192);
-                for row in 0..rows {
-                    let addr = d.first_page * PAGE_BYTES + row * 8192;
-                    out.push(TraceOp::RowOp {
-                        addr,
-                        op,
-                        busy_cycles,
-                    });
-                }
+        } else {
+            for op in plan {
+                let kind = op.row_op_kind();
+                out.push(TraceOp::RowOp {
+                    addr: op.row_addr(),
+                    op: kind,
+                    busy_cycles: accounting::row_op_busy_cycles(kind, timing),
+                });
             }
         }
+    }
+}
+
+impl InDramMechanism for ZeroingMechanism {
+    fn name(&self) -> &str {
+        ZeroingMechanism::name(*self)
+    }
+
+    /// One zeroing op per freed row; the software baseline has no in-DRAM
+    /// component and plans nothing.
+    fn plan(&self, region: RowRegion) -> Vec<CodicOp> {
+        region
+            .row_addrs()
+            .filter_map(|addr| self.op_for_row(addr))
+            .collect()
     }
 }
 
@@ -171,6 +201,29 @@ mod tests {
                 .filter(|o| matches!(o, TraceOp::Read(_) | TraceOp::Bubble(_)))
                 .count();
             assert_eq!(app_ops, original, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn plans_match_the_spliced_row_ops() {
+        let region = RowRegion::new(0, 3);
+        let plan = InDramMechanism::plan(&ZeroingMechanism::Codic, region);
+        assert_eq!(plan.len(), 3);
+        assert!(plan.iter().all(|op| op.is_destructive()));
+        assert_eq!(plan[2].row_addr(), 2 * 8192);
+        assert!(InDramMechanism::plan(&ZeroingMechanism::Software, region).is_empty());
+        assert_eq!(
+            InDramMechanism::plan(&ZeroingMechanism::RowClone, region)[0].row_op_kind(),
+            RowOpKind::RowClone
+        );
+    }
+
+    #[test]
+    fn costs_delegate_to_shared_accounting() {
+        let t = timing();
+        for m in ZeroingMechanism::HARDWARE {
+            let (kind, busy) = m.row_op(&t).unwrap();
+            assert_eq!(busy, accounting::row_op_busy_cycles(kind, &t));
         }
     }
 }

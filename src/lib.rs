@@ -1,4 +1,52 @@
-//! Facade crate re-exporting the full CODIC reproduction workspace.
+//! Facade crate for the CODIC reproduction workspace.
+//!
+//! Besides re-exporting every workspace crate, this crate's root is the
+//! **unified service API**: one typed command path from use case to
+//! cycle-level controller, as the paper's §4.4 controlled interface
+//! prescribes.
+//!
+//! ```text
+//! use case (PUF / secure dealloc / cold boot)   impl InDramMechanism
+//!        │  plan(region) -> Vec<CodicOp>
+//!        ▼
+//! CodicDevice / DevicePool                      service layer
+//!        │  install (mode registers) + authorize (safe range, §4.4)
+//!        ▼
+//! MemoryController (FR-FCFS)                    cycle-level scheduling
+//!        │  RowOp under bank/rank timing (tRC, tRRD, tFAW)
+//!        ▼
+//! Bank / Rank state machines                    DRAM
+//! ```
+//!
+//! Policy checks run *before* an operation is enqueued — a rejected
+//! [`CodicOp`] never reaches the command bus — and completions come back
+//! typed, with the finishing cycle and the accounted bank-occupancy and
+//! energy cost.
+//!
+//! # Example
+//!
+//! ```
+//! use codic::{CodicDevice, CodicOp, DeviceConfig, VariantId};
+//! use codic::dram::{DramGeometry, TimingParams};
+//!
+//! let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+//!     .with_safe_range(0..1 << 20)
+//!     .with_refresh(false);
+//! let mut device = CodicDevice::new(config);
+//!
+//! // Zero two rows through the typed service path.
+//! let ops = [
+//!     CodicOp::command(VariantId::DetZero, 0),
+//!     CodicOp::command(VariantId::DetZero, 8192),
+//! ];
+//! let outcome = device.execute_all(&ops).unwrap();
+//! assert_eq!(outcome.ops(), 2);
+//! assert!(outcome.energy_nj > 0.0);
+//!
+//! // Destructive commands outside the safe range never reach the bus.
+//! assert!(device.submit(CodicOp::command(VariantId::DetZero, 1 << 30)).is_err());
+//! ```
+
 pub use codic_circuit as circuit;
 pub use codic_coldboot as coldboot;
 pub use codic_core as core;
@@ -7,3 +55,10 @@ pub use codic_nist as nist;
 pub use codic_power as power;
 pub use codic_puf as puf;
 pub use codic_secdealloc as secdealloc;
+
+pub use codic_core::device::{
+    BatchOutcome, CodicDevice, DeviceConfig, OpCompletion, OpToken, SweepReport,
+};
+pub use codic_core::error::CodicError;
+pub use codic_core::ops::{CodicOp, InDramMechanism, RowRegion, VariantId};
+pub use codic_core::pool::{DevicePool, PoolOutcome, PoolToken};

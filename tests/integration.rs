@@ -32,14 +32,76 @@ fn every_table1_variant_classifies_and_costs_consistently() {
 
 #[test]
 fn codic_controller_guards_the_puf_range_end_to_end() {
+    use codic::{CodicOp, VariantId};
     let mut controller = codic::core::interface::CodicController::new(0..8192);
-    let class = classify(&library::codic_sig(), &CircuitParams::default());
+    let class = classify(&VariantId::Sig.variant(), &CircuitParams::default());
     assert_eq!(class, OperationClass::SignaturePreparation);
-    controller.install(library::codic_sig(), class);
-    assert!(controller.issue(0).is_ok());
+    assert_eq!(class, VariantId::Sig.class(), "typed class matches circuit");
+    controller.install(VariantId::Sig);
+    assert!(controller
+        .issue(CodicOp::command(VariantId::Sig, 0))
+        .is_ok());
     assert!(
-        controller.issue(1 << 30).is_err(),
+        controller
+            .issue(CodicOp::command(VariantId::Sig, 1 << 30))
+            .is_err(),
         "destructive op outside range"
+    );
+}
+
+#[test]
+fn all_three_use_cases_issue_through_one_device_handle() {
+    // The §4.4 service path end-to-end: the PUF, secure-deallocation, and
+    // cold-boot mechanisms all plan typed ops and run on the same device.
+    use codic::dram::{DramGeometry, TimingParams};
+    use codic::{CodicDevice, DeviceConfig, InDramMechanism, RowRegion};
+
+    let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+        .with_refresh(false);
+    let mut device = CodicDevice::new(config);
+
+    let mechanisms: [&dyn InDramMechanism; 3] = [
+        &codic::puf::CodicSigPuf,
+        &codic::secdealloc::ZeroingMechanism::Codic,
+        &codic::coldboot::DestructionMechanism::LisaClone,
+    ];
+    let mut total = 0;
+    for (i, m) in mechanisms.iter().enumerate() {
+        let region = RowRegion::new(i as u64 * 64 * 8192, 8);
+        let outcome = device.run_mechanism(*m, region).unwrap();
+        assert_eq!(outcome.ops(), 8, "{}", m.name());
+        assert!(outcome.energy_nj > 0.0);
+        total += outcome.ops() as u64;
+    }
+    assert_eq!(device.stats().row_ops, total);
+    // The LISA plan was charged its extra movement energy.
+    let lisa_cost = codic::power::accounting::row_op_cost(
+        codic::dram::RowOpKind::LisaClone,
+        device.timing(),
+        device.energy_model(),
+    );
+    assert!(lisa_cost.energy_nj > 2.0 * device.energy_model().act_pre_nj());
+}
+
+#[test]
+fn pooled_serving_path_matches_single_device_results() {
+    use codic::dram::{DramGeometry, TimingParams};
+    use codic::{CodicOp, DeviceConfig, DevicePool, VariantId};
+
+    let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+        .with_refresh(false);
+    let ops: Vec<CodicOp> = (0..64)
+        .map(|i| CodicOp::command(VariantId::DetZero, i * DramGeometry::ROW_BYTES))
+        .collect();
+    let one = DevicePool::new(1, &config).execute_all(&ops).unwrap();
+    let four = DevicePool::new(4, &config).execute_all(&ops).unwrap();
+    assert_eq!(one.ops(), four.ops());
+    assert!((one.energy_nj() - four.energy_nj()).abs() < 1e-6);
+    assert!(
+        four.finish_cycle() < one.finish_cycle(),
+        "sharding must cut DRAM time: {} vs {}",
+        four.finish_cycle(),
+        one.finish_cycle()
     );
 }
 

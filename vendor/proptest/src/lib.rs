@@ -264,7 +264,7 @@ pub mod option {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Lengths accepted by [`vec`]: a fixed size or a size range.
+    /// Lengths accepted by [`vec()`]: a fixed size or a size range.
     pub trait SizeRange {
         /// Picks a length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -297,7 +297,7 @@ pub mod collection {
         VecStrategy { elem, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, Z> {
         elem: S,
         size: Z,
