@@ -16,7 +16,17 @@
 //! (`--rows` is clamped to the module's row count), while the cold-boot
 //! sweep destroys one full module *per* shard (N modules total).
 //!
+//! A third comparison pits the **event engine against the tick engine**
+//! on the idle-heavy full-module destruction sweeps: the identical
+//! streaming workload is driven once cycle-by-cycle
+//! (`MemoryController::tick`) and once event-to-event
+//! (`MemoryController::step_event`), asserting bit-identical DRAM time
+//! and reporting the wall-clock speedup (`events_vs_cycles`).
+//!
 //! Usage: `cargo run --release --bin bench_device [-- --rows N --shards S --reps R]`
+//!
+//! `--quick` runs only the engine cross-check on a downscaled sweep and
+//! exits non-zero if the two engines disagree — the CI smoke step.
 
 use std::time::Instant;
 
@@ -24,7 +34,9 @@ use codic_coldboot::DestructionMechanism;
 use codic_core::device::DeviceConfig;
 use codic_core::ops::{CodicOp, InDramMechanism, RowRegion};
 use codic_core::pool::DevicePool;
-use codic_dram::{DramGeometry, TimingParams};
+use codic_dram::request::RowOpKind;
+use codic_dram::{DramGeometry, MemRequest, MemoryController, ReqKind, TimingParams};
+use codic_power::accounting;
 use codic_secdealloc::ZeroingMechanism;
 
 fn arg(flag: &str) -> Option<u64> {
@@ -33,6 +45,10 @@ fn arg(flag: &str) -> Option<u64> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
 }
 
 struct Measured {
@@ -91,6 +107,95 @@ fn coldboot_sweep(config: &DeviceConfig, shards: usize, reps: u64) -> Measured {
     }
 }
 
+/// Streams `rows` row operations of `kind` through one controller —
+/// consecutive rows rotating over the banks, queue refilled as slots free
+/// — driven either cycle-by-cycle or event-to-event. Returns the cycle
+/// the last row finished.
+fn stream_sweep(kind: RowOpKind, rows: u64, timing: &TimingParams, event_driven: bool) -> u64 {
+    let mut mc = MemoryController::new(DramGeometry::module_mib(64), *timing);
+    mc.set_refresh_enabled(false);
+    let busy = accounting::row_op_busy_cycles(kind, timing);
+    let mut pushed = 0u64;
+    while pushed < rows {
+        let req = MemRequest::new(
+            pushed * DramGeometry::ROW_BYTES,
+            ReqKind::RowOp {
+                op: kind,
+                busy_cycles: busy,
+            },
+        );
+        if mc.push(req).is_ok() {
+            pushed += 1;
+        } else if event_driven {
+            mc.step_event();
+        } else {
+            // The reference driver: schedules unconditionally every
+            // cycle, exactly the pre-event-engine tick.
+            mc.tick_reference();
+        }
+    }
+    if event_driven {
+        mc.run_to_idle()
+    } else {
+        while !mc.is_idle() {
+            mc.tick_reference();
+        }
+        mc.take_completions()
+            .iter()
+            .map(|c| c.finish_cycle)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+struct EngineComparison {
+    kind: RowOpKind,
+    rows: u64,
+    finish_cycle: u64,
+    tick_s: f64,
+    event_s: f64,
+}
+
+/// Runs the identical sweep workload on both engines, asserting
+/// bit-identical DRAM time.
+fn compare_engines(
+    kind: RowOpKind,
+    rows: u64,
+    reps: u64,
+    timing: &TimingParams,
+) -> EngineComparison {
+    let (tick_s, tick_finish) = time(reps, || stream_sweep(kind, rows, timing, false));
+    let (event_s, event_finish) = time(reps, || stream_sweep(kind, rows, timing, true));
+    assert_eq!(
+        tick_finish, event_finish,
+        "event engine diverged from tick engine on the {kind:?} sweep"
+    );
+    EngineComparison {
+        kind,
+        rows,
+        finish_cycle: event_finish,
+        tick_s,
+        event_s,
+    }
+}
+
+fn print_engine_entry(c: &EngineComparison, timing: &TimingParams, last: bool) {
+    println!("    {{");
+    println!("      \"workload\": \"engine_sweep_{:?}\",", c.kind);
+    println!("      \"rows\": {},", c.rows);
+    println!(
+        "      \"dram_ms\": {:.4},",
+        timing.ns(c.finish_cycle) * 1e-6
+    );
+    println!("      \"tick_engine_host_s\": {:.4},", c.tick_s);
+    println!("      \"event_engine_host_s\": {:.4},", c.event_s);
+    println!(
+        "      \"events_vs_cycles_speedup\": {:.2}",
+        c.tick_s / c.event_s
+    );
+    println!("    }}{}", if last { "" } else { "," });
+}
+
 fn print_entry(name: &str, shards: usize, m: &Measured, last: bool) {
     println!("    {{");
     println!("      \"workload\": \"{name}\",");
@@ -112,12 +217,29 @@ fn print_entry(name: &str, shards: usize, m: &Measured, last: bool) {
 
 fn main() {
     let geometry = DramGeometry::module_mib(64);
+    let timing = TimingParams::ddr3_1600_11();
+    if has_flag("--quick") {
+        // CI smoke: the event engine must report the same DRAM time as
+        // the tick engine on the sweep workload (compare_engines asserts,
+        // so a divergence exits non-zero).
+        let rows = arg("--rows").unwrap_or(1024).min(geometry.total_rows());
+        let codic = compare_engines(RowOpKind::Codic, rows, 1, &timing);
+        let lisa = compare_engines(RowOpKind::LisaClone, rows, 1, &timing);
+        println!("{{");
+        println!("  \"bench\": \"device_engine_smoke\",");
+        println!("  \"results\": [");
+        print_engine_entry(&codic, &timing, false);
+        print_engine_entry(&lisa, &timing, true);
+        println!("  ]");
+        println!("}}");
+        return;
+    }
     // The batch serves one module-sized address space; rows beyond it
     // would (correctly) be rejected by the safe-range policy.
     let rows = arg("--rows").unwrap_or(8192).min(geometry.total_rows());
     let max_shards = arg("--shards").unwrap_or(4).max(1) as usize;
     let reps = arg("--reps").unwrap_or(3);
-    let config = DeviceConfig::new(geometry, TimingParams::ddr3_1600_11()).with_refresh(false);
+    let config = DeviceConfig::new(geometry, timing).with_refresh(false);
 
     println!("{{");
     println!("  \"bench\": \"device_pool_throughput\",");
@@ -133,15 +255,26 @@ fn main() {
     let cb1 = coldboot_sweep(&config, 1, reps);
     print_entry("coldboot_destruction", 1, &cb1, false);
     let cbn = coldboot_sweep(&config, max_shards, reps);
-    print_entry("coldboot_destruction", max_shards, &cbn, true);
+    print_entry("coldboot_destruction", max_shards, &cbn, false);
+    // Event-vs-tick engine comparison on the idle-heavy destruction
+    // sweeps (LISA-clone is the idle-heaviest: the longest per-row bank
+    // occupancy and a double-activation rank window).
+    let codic = compare_engines(RowOpKind::Codic, rows, reps, &timing);
+    print_engine_entry(&codic, &timing, false);
+    let lisa = compare_engines(RowOpKind::LisaClone, rows, reps, &timing);
+    print_engine_entry(&lisa, &timing, true);
     println!("  ],");
     println!(
         "  \"dram_speedup_secdealloc\": {:.2},",
         (sec1.dram_ns / sec1.rows as f64) / (secn.dram_ns / secn.rows as f64)
     );
     println!(
-        "  \"host_speedup_coldboot\": {:.2}",
+        "  \"host_speedup_coldboot\": {:.2},",
         (cb1.host_s / cb1.rows as f64) / (cbn.host_s / cbn.rows as f64)
+    );
+    println!(
+        "  \"events_vs_cycles_speedup\": {:.2}",
+        lisa.tick_s / lisa.event_s
     );
     println!("}}");
 }

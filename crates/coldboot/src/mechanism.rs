@@ -60,7 +60,7 @@ impl DestructionMechanism {
     /// The row-operation kind, for the in-DRAM mechanisms.
     #[must_use]
     pub fn row_op(self) -> Option<RowOpKind> {
-        self.op_for_row(0).map(CodicOp::row_op_kind)
+        self.op_for_row(0).and_then(CodicOp::row_op_kind)
     }
 
     /// Bank-busy duration of one per-row operation, in memory cycles
@@ -144,7 +144,7 @@ mod tests {
         assert!(InDramMechanism::plan(&DestructionMechanism::Tcg, region).is_empty());
         assert_eq!(
             InDramMechanism::plan(&DestructionMechanism::LisaClone, region)[0].row_op_kind(),
-            RowOpKind::LisaClone
+            Some(RowOpKind::LisaClone)
         );
     }
 

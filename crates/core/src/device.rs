@@ -10,27 +10,30 @@
 //! 2. safe-range policy enforcement (every operation is authorized
 //!    *before* it is enqueued — rejected operations never reach the
 //!    command bus), and
-//! 3. cycle-level scheduling (the operation is enqueued as a row
-//!    operation on the embedded FR-FCFS
-//!    [`MemoryController`] and completes
-//!    under real bank/rank timing).
+//! 3. cycle-level scheduling (the operation is enqueued on the embedded
+//!    FR-FCFS [`MemoryController`] — row operations and ordinary
+//!    [`CodicOp::Read`]/[`CodicOp::Write`] traffic share one scheduler —
+//!    and completes under real bank/rank timing).
 //!
 //! Completions are typed: each [`OpCompletion`] carries the operation, the
-//! memory cycle it finished, and its accounted cost (bank occupancy +
-//! energy) from [`codic_power::accounting`].
+//! memory cycle it finished, and its accounted cost ([`OpCost`]: occupancy
+//! + energy, from [`codic_power::accounting`] for row operations).
 //!
-//! For full-module sweeps (cold-boot destruction of up to 64 GB) the
-//! cycle-by-cycle path is too slow, so the device also offers
-//! [`CodicDevice::sweep_all_rows`]: an event-driven fast path that applies
-//! the same rank tRRD/tFAW windows and per-bank occupancy the scheduler
-//! enforces, after the same policy checks.
+//! The engine underneath is event-driven: the controller jumps from event
+//! to event ([`MemoryController::advance_to`]) instead of ticking every
+//! cycle, with bit-identical results, so even full-module sweeps
+//! ([`CodicDevice::sweep_all_rows`] — cold-boot destruction of up to
+//! 64 GB) stream through the one shared scheduler at per-command rather
+//! than per-cycle cost. Completions can be polled
+//! ([`CodicDevice::take_completions`]) or awaited: [`CodicDevice::submit_async`]
+//! returns an [`OpFuture`] resolved by the
+//! clock driver ([`CodicDevice::step`] / [`CodicDevice::run_to_idle`]).
 
 use std::collections::HashMap;
 use std::ops::Range;
 
 use codic_dram::controller::MemoryController;
 use codic_dram::geometry::DramGeometry;
-use codic_dram::rank::Rank;
 use codic_dram::request::{MemRequest, ReqId, ReqKind};
 use codic_dram::stats::MemStats;
 use codic_dram::timing::TimingParams;
@@ -38,6 +41,7 @@ use codic_power::accounting::{self, RowOpCost};
 use codic_power::{EnergyModel, IddValues};
 
 use crate::error::CodicError;
+use crate::executor::{CompletionSlot, OpFuture};
 use crate::interface::CodicController;
 use crate::ops::{CodicOp, InDramMechanism, RowRegion};
 
@@ -97,7 +101,40 @@ impl DeviceConfig {
 /// Completion token returned by [`CodicDevice::submit`]; redeemed against
 /// the matching [`OpCompletion`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct OpToken(ReqId);
+pub struct OpToken(pub(crate) ReqId);
+
+impl OpToken {
+    /// A token for unit tests that never touches a real controller.
+    #[cfg(test)]
+    pub(crate) fn test_only(raw: u64) -> Self {
+        OpToken(ReqId(raw))
+    }
+}
+
+/// The accounted cost of one operation on the service path: bank/bus
+/// occupancy plus energy. Row operations inherit the shared
+/// [`codic_power::accounting`] numbers; ordinary data accesses are charged
+/// their burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCost {
+    /// Occupancy duration in memory cycles (bank occupancy for row
+    /// operations, data-path latency for column accesses).
+    pub busy_cycles: u32,
+    /// Activations charged against the rank's tRRD/tFAW windows.
+    pub activations: u8,
+    /// Total energy of the operation in nanojoules.
+    pub energy_nj: f64,
+}
+
+impl From<RowOpCost> for OpCost {
+    fn from(cost: RowOpCost) -> Self {
+        OpCost {
+            busy_cycles: cost.busy_cycles,
+            activations: cost.activations,
+            energy_nj: cost.energy_nj,
+        }
+    }
+}
 
 /// A finished operation, with its typed outcome and accounted cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,8 +145,8 @@ pub struct OpCompletion {
     pub op: CodicOp,
     /// Memory cycle at which the operation finished.
     pub finish_cycle: u64,
-    /// Accounted bank-occupancy and energy cost.
-    pub cost: RowOpCost,
+    /// Accounted occupancy and energy cost.
+    pub cost: OpCost,
 }
 
 /// Result of a batched [`CodicDevice::execute_all`] run.
@@ -153,7 +190,11 @@ pub struct CodicDevice {
     policy: CodicController,
     mc: MemoryController,
     energy: EnergyModel,
-    pending: HashMap<ReqId, (CodicOp, RowOpCost)>,
+    pending: HashMap<ReqId, (CodicOp, OpCost)>,
+    /// Futures awaiting fulfilment, keyed by request id: completions of
+    /// async submissions resolve their future instead of entering the
+    /// `ready` buffer.
+    waiters: HashMap<ReqId, CompletionSlot>,
     ready: Vec<OpCompletion>,
 }
 
@@ -169,6 +210,7 @@ impl CodicDevice {
             mc,
             energy,
             pending: HashMap::new(),
+            waiters: HashMap::new(),
             ready: Vec::new(),
         }
     }
@@ -242,14 +284,8 @@ impl CodicDevice {
         self.policy
             .authorize(op)
             .expect("range was pre-checked and the variant just installed");
-        let cost = accounting::row_op_cost(op.row_op_kind(), self.mc.timing(), &self.energy);
-        let request = MemRequest::new(
-            op.row_addr(),
-            ReqKind::RowOp {
-                op: op.row_op_kind(),
-                busy_cycles: cost.busy_cycles,
-            },
-        );
+        let (kind, cost) = self.request_for(op);
+        let request = MemRequest::new(op.row_addr(), kind);
         loop {
             match self.mc.push(request) {
                 Ok(id) => {
@@ -257,8 +293,67 @@ impl CodicDevice {
                     return Ok(OpToken(id));
                 }
                 // The queue drains as the scheduler makes progress, so a
-                // full queue only costs time, never correctness.
-                Err(_) => self.tick(),
+                // full queue only costs time, never correctness. Jump
+                // straight to the next engine event instead of ticking
+                // through the quiet gap.
+                Err(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Submits one typed operation and returns a future resolving to its
+    /// [`OpCompletion`] — the async twin of [`CodicDevice::submit`].
+    ///
+    /// The future is fulfilled by the clock driver
+    /// ([`CodicDevice::step`] / [`CodicDevice::run_to_idle`] /
+    /// [`DevicePool::drive`](crate::pool::DevicePool::drive)); completions
+    /// delivered this way bypass the [`CodicDevice::take_completions`]
+    /// buffer, arriving in the same completion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the policy error exactly as [`CodicDevice::submit`] does.
+    pub fn submit_async(&mut self, op: CodicOp) -> Result<OpFuture, CodicError> {
+        let token = self.submit(op)?;
+        let (future, slot) = OpFuture::pair();
+        self.waiters.insert(token.0, slot);
+        Ok(future)
+    }
+
+    /// The controller request and accounted cost `op` maps to: a
+    /// bank-occupying row operation, or an ordinary column access for the
+    /// data path.
+    fn request_for(&self, op: CodicOp) -> (ReqKind, OpCost) {
+        let t = self.mc.timing();
+        match op {
+            CodicOp::Read { .. } => (
+                ReqKind::Read,
+                OpCost {
+                    busy_cycles: t.t_cl + t.t_bl,
+                    activations: 0,
+                    energy_nj: self.energy.read_burst_nj(),
+                },
+            ),
+            CodicOp::Write { .. } => (
+                ReqKind::Write,
+                OpCost {
+                    busy_cycles: t.t_cwl + t.t_bl,
+                    activations: 0,
+                    energy_nj: self.energy.write_burst_nj(),
+                },
+            ),
+            _ => {
+                let kind = op.row_op_kind().expect("non-data ops are row ops");
+                let cost = accounting::row_op_cost(kind, t, &self.energy);
+                (
+                    ReqKind::RowOp {
+                        op: kind,
+                        busy_cycles: cost.busy_cycles,
+                    },
+                    cost.into(),
+                )
             }
         }
     }
@@ -283,16 +378,37 @@ impl CodicDevice {
         self.harvest();
     }
 
+    /// Advances one memory cycle through the *reference* driver
+    /// ([`MemoryController::tick_reference`]: retire/refresh/schedule run
+    /// unconditionally, no event-horizon consultation) and harvests —
+    /// the oracle the engine-equivalence tests pin the event engine
+    /// against.
+    pub fn tick_reference(&mut self) {
+        self.mc.tick_reference();
+        self.harvest();
+    }
+
+    /// The clock-driver step: advances the engine to its next event (at
+    /// most one command issues or retires), harvests completions, and
+    /// resolves any fulfilled [`OpFuture`]s. Returns `false` when the
+    /// device was already idle (no event to advance to).
+    pub fn step(&mut self) -> bool {
+        if self.mc.is_idle() || !self.mc.step_event() {
+            return false;
+        }
+        self.harvest();
+        true
+    }
+
     /// Runs until every submitted operation completed; returns the cycle
     /// the last one finished (or the current cycle when already idle).
+    ///
+    /// Event-driven: the embedded controller jumps from event to event
+    /// (bit-identical to ticking every cycle), and every outstanding
+    /// [`OpFuture`] is resolved on the way.
     pub fn run_to_idle(&mut self) -> u64 {
-        let mut last = self.mc.now();
-        while !self.mc.is_idle() {
-            self.tick();
-        }
-        for c in &self.ready {
-            last = last.max(c.finish_cycle);
-        }
+        let last = self.mc.run_to_idle();
+        self.harvest();
         last
     }
 
@@ -348,19 +464,28 @@ impl CodicDevice {
         self.execute_all(&mechanism.plan(region))
     }
 
-    /// Event-driven sweep of `proto` over *every* row of the module: the
-    /// fast path for full-module workloads (cold-boot destruction). The
-    /// sweep applies the same rank tRRD/tFAW windows and per-bank
-    /// occupancy the cycle-level scheduler enforces, bank-parallel, after
-    /// authorizing the operation against the §4.4 policy across the whole
-    /// module.
+    /// Sweeps `proto` over *every* row of the module — the full-module
+    /// workload (cold-boot destruction), streamed through the shared
+    /// event-driven engine: each row is enqueued as a row operation on the
+    /// embedded FR-FCFS controller, which jumps from event to event, so
+    /// the sweep pays per *command* rather than per cycle while the rank
+    /// tRRD/tFAW windows and per-bank occupancy are enforced by exactly
+    /// the scheduler every other operation uses (no bespoke sweep math).
+    ///
+    /// The report is scoped to the sweep: `finish_cycle` is the duration
+    /// from sweep start, `stats` the command-count delta.
     ///
     /// # Errors
     ///
     /// Returns the policy error when a destructive `proto` is not allowed
-    /// over the full module range.
+    /// over the full module range, and
+    /// [`CodicError::NotARowOperation`] when `proto` is an ordinary data
+    /// access.
     pub fn sweep_all_rows(&mut self, proto: CodicOp) -> Result<SweepReport, CodicError> {
         let geometry = *self.mc.geometry();
+        if proto.is_data_access() {
+            return Err(CodicError::NotARowOperation { op: proto });
+        }
         // The sweep covers [0, total_bytes): checking the first and last
         // row covers the whole contiguous range — and runs before any
         // register programming, so a rejected sweep leaves no trace.
@@ -369,35 +494,38 @@ impl CodicDevice {
             proto.with_row_addr(geometry.total_bytes() - DramGeometry::ROW_BYTES),
         )?;
         self.install_for(proto);
-        let timing = *self.mc.timing();
-        let cost = accounting::row_op_cost(proto.row_op_kind(), &timing, &self.energy);
-        let busy = u64::from(cost.busy_cycles);
-        let acts = cost.activations;
-        let banks = geometry.total_banks() as usize;
-        let rows_per_bank = u64::from(geometry.rows_per_bank) * u64::from(geometry.ranks);
-        let mut bank_free = vec![0u64; banks];
-        let mut rank = Rank::new();
-        let mut finish = 0u64;
-        let mut issued = 0u64;
-        for _row in 0..rows_per_bank {
-            for bank_state in bank_free.iter_mut() {
-                // Earliest issue: bank free and rank window open.
-                let at = rank.earliest_activate(*bank_state, acts, &timing);
-                rank.record_activate(at, acts, &timing);
-                *bank_state = at + busy;
-                finish = finish.max(*bank_state);
-                issued += 1;
+        let kind = proto.row_op_kind().expect("data accesses rejected above");
+        let cost = accounting::row_op_cost(kind, self.mc.timing(), &self.energy);
+        let request_at = |row: u64| {
+            MemRequest::new(
+                row * DramGeometry::ROW_BYTES,
+                ReqKind::RowOp {
+                    op: kind,
+                    busy_cycles: cost.busy_cycles,
+                },
+            )
+        };
+        let start_cycle = self.mc.now();
+        let stats_before = *self.mc.stats();
+        let rows = geometry.total_rows();
+        // Consecutive row addresses rotate over the banks, so the queue
+        // keeps every bank busy; refills jump the engine one event at a
+        // time when the 64-deep row-op queue is full.
+        let mut pushed = 0u64;
+        while pushed < rows {
+            match self.mc.push(request_at(pushed)) {
+                Ok(_) => pushed += 1,
+                Err(_) => {
+                    self.step();
+                }
             }
         }
+        let finish = self.run_to_idle();
         Ok(SweepReport {
-            rows: issued,
-            finish_cycle: finish,
-            stats: MemStats {
-                row_ops: issued,
-                row_op_activations: issued * u64::from(acts),
-                ..MemStats::default()
-            },
-            energy_nj: cost.energy_nj * issued as f64,
+            rows,
+            finish_cycle: finish - start_cycle,
+            stats: self.mc.stats().since(&stats_before),
+            energy_nj: cost.energy_nj * rows as f64,
         })
     }
 
@@ -419,12 +547,18 @@ impl CodicDevice {
     fn harvest(&mut self) {
         for c in self.mc.take_completions() {
             if let Some((op, cost)) = self.pending.remove(&c.id) {
-                self.ready.push(OpCompletion {
+                let completion = OpCompletion {
                     token: OpToken(c.id),
                     op,
                     finish_cycle: c.finish_cycle,
                     cost,
-                });
+                };
+                // Async submissions resolve their future (in completion
+                // order); synchronous ones land in the drainable buffer.
+                match self.waiters.remove(&c.id) {
+                    Some(slot) => slot.fulfil(completion),
+                    None => self.ready.push(completion),
+                }
             }
         }
     }
@@ -562,6 +696,95 @@ mod tests {
         assert_eq!(drained[0].op.variant(), Some(VariantId::Sig));
         d.run_to_idle();
         assert_eq!(d.take_completions().len(), 1);
+    }
+
+    #[test]
+    fn reads_writes_and_row_ops_share_one_scheduler() {
+        let mut d = device();
+        let ops = [
+            CodicOp::command(VariantId::DetZero, 0),
+            CodicOp::read(8192),
+            CodicOp::write(16384),
+            CodicOp::read(16448),
+        ];
+        let outcome = d.execute_all(&ops).unwrap();
+        assert_eq!(outcome.ops(), 4);
+        assert_eq!(d.stats().row_ops, 1);
+        assert_eq!(d.stats().reads, 2);
+        assert_eq!(d.stats().writes, 1);
+        let t = *d.timing();
+        for c in &outcome.completions {
+            match c.op {
+                CodicOp::Read { .. } => {
+                    assert_eq!(c.cost.busy_cycles, t.t_cl + t.t_bl);
+                    assert_eq!(c.cost.activations, 0);
+                    assert!((c.cost.energy_nj - d.energy_model().read_burst_nj()).abs() < 1e-12);
+                }
+                CodicOp::Write { .. } => {
+                    assert_eq!(c.cost.busy_cycles, t.t_cwl + t.t_bl);
+                    assert!((c.cost.energy_nj - d.energy_model().write_burst_nj()).abs() < 1e-12);
+                }
+                _ => assert_eq!(c.cost.busy_cycles, t.t_rc),
+            }
+        }
+    }
+
+    #[test]
+    fn data_accesses_need_no_variant_and_ignore_the_safe_range() {
+        let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+            .with_safe_range(0..8192)
+            .with_refresh(false);
+        let mut d = CodicDevice::new(config);
+        // Plain traffic far outside the destructive safe range is fine —
+        // it is not a destructive CODIC command.
+        d.submit(CodicOp::read(1 << 20)).unwrap();
+        d.submit(CodicOp::write(1 << 21)).unwrap();
+        d.run_to_idle();
+        assert_eq!(d.take_completions().len(), 2);
+        assert_eq!(d.controller().installed(), None, "no MRS programming");
+    }
+
+    #[test]
+    fn sweep_rejects_data_access_protos() {
+        let mut d = device();
+        assert!(matches!(
+            d.sweep_all_rows(CodicOp::read(0)),
+            Err(CodicError::NotARowOperation { .. })
+        ));
+        assert!(d.is_idle());
+    }
+
+    #[test]
+    fn awaiting_a_future_needs_no_polling_loop() {
+        use crate::executor::block_on;
+        let mut d = device();
+        let future = d.submit_async(CodicOp::command(VariantId::Sig, 0)).unwrap();
+        assert!(!future.is_ready());
+        // One call drives the engine to idle and resolves the future; the
+        // await that follows never polls the device.
+        d.run_to_idle();
+        assert!(future.is_ready());
+        let done = block_on(future);
+        assert_eq!(done.op, CodicOp::command(VariantId::Sig, 0));
+        assert_eq!(done.cost.busy_cycles, d.timing().t_rc);
+        // Async completions bypass the polling buffer.
+        assert!(d.take_completions().is_empty());
+    }
+
+    #[test]
+    fn step_is_the_single_event_clock_driver() {
+        let mut d = device();
+        let future = d
+            .submit_async(CodicOp::command(VariantId::DetZero, 0))
+            .unwrap();
+        let mut steps = 0;
+        while d.step() {
+            steps += 1;
+            assert!(steps < 100, "one op takes a handful of events");
+        }
+        assert!(steps >= 2, "at least an issue and a retire event");
+        assert!(future.is_ready());
+        assert!(!d.step(), "idle device has no events");
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub enum CodicError {
         /// Safe range end (exclusive).
         end: u64,
     },
+    /// An ordinary data access was handed to an API that only accepts
+    /// bank-occupying row operations (e.g. a full-module row sweep).
+    NotARowOperation {
+        /// The rejected operation.
+        op: crate::ops::CodicOp,
+    },
 }
 
 impl fmt::Display for CodicError {
@@ -64,6 +70,9 @@ impl fmt::Display for CodicError {
                 f,
                 "destructive CODIC command at {addr:#x} outside the safe range {start:#x}..{end:#x}"
             ),
+            CodicError::NotARowOperation { op } => {
+                write!(f, "{op:?} is a data access, not a row operation")
+            }
         }
     }
 }

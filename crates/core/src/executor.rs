@@ -1,0 +1,175 @@
+//! Std-only completion futures for the device service path.
+//!
+//! The ROADMAP's async-executor item asks services to `await` operation
+//! completions instead of polling
+//! [`execute_all`](crate::device::CodicDevice::execute_all). This module
+//! supplies the machinery with **no external runtime** (the build is
+//! offline/vendored): an [`OpFuture`] is a plain [`std::future::Future`]
+//! resolved by the engine's clock driver —
+//! [`CodicDevice::step`](crate::device::CodicDevice::step) /
+//! [`run_to_idle`](crate::device::CodicDevice::run_to_idle) or
+//! [`DevicePool::drive`](crate::pool::DevicePool::drive) — and
+//! [`block_on`] is a minimal thread-parking executor for synchronous
+//! callers (examples, tests, trace-replay services).
+//!
+//! The contract: submitting through
+//! [`submit_async`](crate::device::CodicDevice::submit_async) hands back a
+//! future; driving the clock fulfils it (possibly from a rayon worker
+//! thread — the slot is `Arc<Mutex>`-shared and wakes any registered
+//! waker); awaiting it yields the same typed
+//! [`OpCompletion`] the polling API returns,
+//! in the same completion order.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+use crate::device::OpCompletion;
+
+/// Shared state between an [`OpFuture`] and the device that fulfils it.
+#[derive(Debug, Default)]
+struct Slot {
+    completion: Option<OpCompletion>,
+    waker: Option<Waker>,
+}
+
+/// The device-side handle: fulfils the paired [`OpFuture`] exactly once.
+#[derive(Debug)]
+pub(crate) struct CompletionSlot(Arc<Mutex<Slot>>);
+
+impl CompletionSlot {
+    /// Stores the completion and wakes the awaiting task, if any.
+    pub(crate) fn fulfil(self, completion: OpCompletion) {
+        let mut slot = self.0.lock().expect("completion slot poisoned");
+        slot.completion = Some(completion);
+        if let Some(waker) = slot.waker.take() {
+            waker.wake();
+        }
+    }
+}
+
+/// A future resolving to the typed [`OpCompletion`] of one submitted
+/// operation.
+///
+/// Created by [`CodicDevice::submit_async`](crate::device::CodicDevice::submit_async)
+/// or [`DevicePool::submit_all_async`](crate::pool::DevicePool::submit_all_async).
+/// It is resolved by the clock driver, not by polling: `await` it (under
+/// [`block_on`] or any executor) after — or while another thread is —
+/// driving the engine.
+#[derive(Debug)]
+pub struct OpFuture {
+    slot: Arc<Mutex<Slot>>,
+}
+
+impl OpFuture {
+    /// Creates a connected future/fulfilment pair.
+    pub(crate) fn pair() -> (OpFuture, CompletionSlot) {
+        let slot = Arc::new(Mutex::new(Slot::default()));
+        (OpFuture { slot: slot.clone() }, CompletionSlot(slot))
+    }
+
+    /// Whether the completion has already arrived (non-consuming peek).
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        self.slot
+            .lock()
+            .expect("completion slot poisoned")
+            .completion
+            .is_some()
+    }
+}
+
+impl Future for OpFuture {
+    type Output = OpCompletion;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<OpCompletion> {
+        let mut slot = self.slot.lock().expect("completion slot poisoned");
+        match slot.completion {
+            Some(completion) => Poll::Ready(completion),
+            None => {
+                slot.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Wakes the blocked thread of [`block_on`].
+struct ThreadWaker(Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drives a future to completion on the current thread — the minimal
+/// executor the offline/vendored build uses in place of an async runtime.
+///
+/// The thread parks between polls and is unparked by the future's waker,
+/// so this is event-driven too: no spin/poll loop. A future that is never
+/// fulfilled (e.g. an [`OpFuture`] whose device is never driven) blocks
+/// forever, exactly like awaiting it under any other executor.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future = Box::pin(future);
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{OpCost, OpToken};
+    use crate::ops::{CodicOp, VariantId};
+
+    fn completion(cycle: u64) -> OpCompletion {
+        OpCompletion {
+            token: OpToken::test_only(cycle),
+            op: CodicOp::command(VariantId::Sig, 0),
+            finish_cycle: cycle,
+            cost: OpCost {
+                busy_cycles: 1,
+                activations: 1,
+                energy_nj: 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn fulfilled_future_resolves_immediately() {
+        let (future, slot) = OpFuture::pair();
+        assert!(!future.is_ready());
+        slot.fulfil(completion(42));
+        assert!(future.is_ready());
+        let done = block_on(future);
+        assert_eq!(done.finish_cycle, 42);
+    }
+
+    #[test]
+    fn block_on_wakes_across_threads() {
+        let (future, slot) = OpFuture::pair();
+        let handle = std::thread::spawn(move || {
+            // Let the main thread reach park() first in the common case;
+            // correctness does not depend on the ordering.
+            std::thread::yield_now();
+            slot.fulfil(completion(7));
+        });
+        let done = block_on(future);
+        handle.join().unwrap();
+        assert_eq!(done.finish_cycle, 7);
+    }
+
+    #[test]
+    fn block_on_runs_plain_async_blocks() {
+        let value = block_on(async { 40 + 2 });
+        assert_eq!(value, 42);
+    }
+}

@@ -26,10 +26,15 @@
 //! - [`ops`]: the typed command set ([`VariantId`], [`CodicOp`]) and the
 //!   [`InDramMechanism`] trait the use cases implement;
 //! - [`device`]: the [`CodicDevice`] service layer composing
-//!   mode-register programming, safe-range policy, and cycle-level
-//!   scheduling into one typed command path;
+//!   mode-register programming, safe-range policy, and event-driven
+//!   cycle-level scheduling into one typed command path;
+//! - [`executor`]: std-only completion futures ([`OpFuture`]) and the
+//!   [`block_on`] mini-executor, so services `await` operations instead
+//!   of polling;
 //! - [`pool`]: the sharded [`DevicePool`] serving path for
-//!   throughput-style workloads.
+//!   throughput-style workloads, with the async
+//!   [`submit_all_async`](pool::DevicePool::submit_all_async) /
+//!   [`drive`](pool::DevicePool::drive) pair.
 //!
 //! # Example
 //!
@@ -50,6 +55,7 @@ pub mod delay_element;
 pub mod device;
 pub mod error;
 pub mod exec;
+pub mod executor;
 pub mod interface;
 pub mod latency;
 pub mod library;
@@ -61,8 +67,11 @@ pub mod variant;
 pub mod variant_space;
 
 pub use classify::OperationClass;
-pub use device::{BatchOutcome, CodicDevice, DeviceConfig, OpCompletion, OpToken, SweepReport};
+pub use device::{
+    BatchOutcome, CodicDevice, DeviceConfig, OpCompletion, OpCost, OpToken, SweepReport,
+};
 pub use error::CodicError;
+pub use executor::{block_on, OpFuture};
 pub use latency::CommandCost;
 pub use mode_register::{ModeRegister, ModeRegisterFile};
 pub use ops::{CodicOp, InDramMechanism, RowRegion, VariantId};

@@ -143,6 +143,18 @@ pub enum CodicOp {
         /// Physical byte address selecting the target row.
         row_addr: u64,
     },
+    /// An ordinary 64 B read — plain memory traffic routed through the
+    /// same typed path, so row operations and data accesses share one
+    /// FR-FCFS scheduler (§4.4's single controlled interface).
+    Read {
+        /// Physical byte address of the line.
+        addr: u64,
+    },
+    /// An ordinary 64 B write on the shared service path.
+    Write {
+        /// Physical byte address of the line.
+        addr: u64,
+    },
 }
 
 impl CodicOp {
@@ -152,13 +164,27 @@ impl CodicOp {
         CodicOp::Command { variant, row_addr }
     }
 
-    /// The physical byte address the operation targets.
+    /// Shorthand for a [`CodicOp::Read`].
+    #[must_use]
+    pub fn read(addr: u64) -> Self {
+        CodicOp::Read { addr }
+    }
+
+    /// Shorthand for a [`CodicOp::Write`].
+    #[must_use]
+    pub fn write(addr: u64) -> Self {
+        CodicOp::Write { addr }
+    }
+
+    /// The physical byte address the operation targets (row-granular for
+    /// row operations, line-granular for data accesses).
     #[must_use]
     pub fn row_addr(self) -> u64 {
         match self {
             CodicOp::Command { row_addr, .. }
             | CodicOp::RowCloneZero { row_addr }
             | CodicOp::LisaCloneZero { row_addr } => row_addr,
+            CodicOp::Read { addr } | CodicOp::Write { addr } => addr,
         }
     }
 
@@ -169,6 +195,8 @@ impl CodicOp {
             CodicOp::Command { variant, .. } => CodicOp::Command { variant, row_addr },
             CodicOp::RowCloneZero { .. } => CodicOp::RowCloneZero { row_addr },
             CodicOp::LisaCloneZero { .. } => CodicOp::LisaCloneZero { row_addr },
+            CodicOp::Read { .. } => CodicOp::Read { addr: row_addr },
+            CodicOp::Write { .. } => CodicOp::Write { addr: row_addr },
         }
     }
 
@@ -177,13 +205,15 @@ impl CodicOp {
     pub fn variant(self) -> Option<VariantId> {
         match self {
             CodicOp::Command { variant, .. } => Some(variant),
-            CodicOp::RowCloneZero { .. } | CodicOp::LisaCloneZero { .. } => None,
+            _ => None,
         }
     }
 
     /// The functional class, for the controller's safe-range policy. The
     /// copy baselines overwrite the target row, so they are classed as
-    /// deterministic zeroing.
+    /// deterministic zeroing; ordinary data accesses are no-ops to the
+    /// policy (a write stores caller data, it does not destroy a row the
+    /// way a CODIC command does).
     #[must_use]
     pub fn class(self) -> OperationClass {
         match self {
@@ -191,6 +221,7 @@ impl CodicOp {
             CodicOp::RowCloneZero { .. } | CodicOp::LisaCloneZero { .. } => {
                 OperationClass::DeterministicZero
             }
+            CodicOp::Read { .. } | CodicOp::Write { .. } => OperationClass::NoOp,
         }
     }
 
@@ -201,14 +232,24 @@ impl CodicOp {
     }
 
     /// The row-operation kind the cycle-level controller schedules this
-    /// command as.
+    /// command as, or `None` for ordinary data accesses ([`CodicOp::Read`]
+    /// and [`CodicOp::Write`] are scheduled as column traffic, not as
+    /// bank-occupying row operations).
     #[must_use]
-    pub fn row_op_kind(self) -> RowOpKind {
+    pub fn row_op_kind(self) -> Option<RowOpKind> {
         match self {
-            CodicOp::Command { .. } => RowOpKind::Codic,
-            CodicOp::RowCloneZero { .. } => RowOpKind::RowClone,
-            CodicOp::LisaCloneZero { .. } => RowOpKind::LisaClone,
+            CodicOp::Command { .. } => Some(RowOpKind::Codic),
+            CodicOp::RowCloneZero { .. } => Some(RowOpKind::RowClone),
+            CodicOp::LisaCloneZero { .. } => Some(RowOpKind::LisaClone),
+            CodicOp::Read { .. } | CodicOp::Write { .. } => None,
         }
+    }
+
+    /// Whether the operation is an ordinary data access (read/write)
+    /// rather than a row operation.
+    #[must_use]
+    pub fn is_data_access(self) -> bool {
+        matches!(self, CodicOp::Read { .. } | CodicOp::Write { .. })
     }
 }
 
@@ -307,7 +348,7 @@ mod tests {
     #[test]
     fn ops_map_to_row_op_kinds_and_classes() {
         let sig = CodicOp::command(VariantId::Sig, 0x2000);
-        assert_eq!(sig.row_op_kind(), RowOpKind::Codic);
+        assert_eq!(sig.row_op_kind(), Some(RowOpKind::Codic));
         assert_eq!(sig.class(), OperationClass::SignaturePreparation);
         assert!(sig.is_destructive());
         assert_eq!(sig.row_addr(), 0x2000);
@@ -316,12 +357,26 @@ mod tests {
         assert!(!act.is_destructive());
 
         let rc = CodicOp::RowCloneZero { row_addr: 64 };
-        assert_eq!(rc.row_op_kind(), RowOpKind::RowClone);
+        assert_eq!(rc.row_op_kind(), Some(RowOpKind::RowClone));
         assert_eq!(rc.class(), OperationClass::DeterministicZero);
 
         let lisa = CodicOp::LisaCloneZero { row_addr: 128 };
-        assert_eq!(lisa.row_op_kind(), RowOpKind::LisaClone);
+        assert_eq!(lisa.row_op_kind(), Some(RowOpKind::LisaClone));
         assert!(lisa.is_destructive());
+    }
+
+    #[test]
+    fn data_accesses_are_policy_noops_without_a_row_op_kind() {
+        for op in [CodicOp::read(0x40), CodicOp::write(0x80)] {
+            assert_eq!(op.row_op_kind(), None);
+            assert_eq!(op.class(), OperationClass::NoOp);
+            assert!(!op.is_destructive());
+            assert!(op.is_data_access());
+            assert_eq!(op.variant(), None);
+        }
+        assert_eq!(CodicOp::read(0x40).row_addr(), 0x40);
+        assert_eq!(CodicOp::write(0x80).row_addr(), 0x80);
+        assert!(!CodicOp::command(VariantId::Sig, 0).is_data_access());
     }
 
     #[test]
@@ -330,6 +385,8 @@ mod tests {
             CodicOp::command(VariantId::DetZero, 0),
             CodicOp::RowCloneZero { row_addr: 0 },
             CodicOp::LisaCloneZero { row_addr: 0 },
+            CodicOp::read(0),
+            CodicOp::write(0),
         ] {
             let moved = op.with_row_addr(0x4000);
             assert_eq!(moved.row_addr(), 0x4000);

@@ -9,13 +9,17 @@
 //!
 //! The API is batched: [`DevicePool::submit_all`] distributes a batch and
 //! hands back per-op [`PoolToken`]s; [`DevicePool::execute_all`] is the
-//! submit → run → collect convenience wrapper the benchmarks use.
+//! submit → run → collect convenience wrapper the benchmarks use; and
+//! [`DevicePool::submit_all_async`] + [`DevicePool::drive`] is the async
+//! pair — one [`OpFuture`] per operation, resolved by the clock driver,
+//! so services `await` completions instead of polling.
 
 use codic_dram::geometry::DramGeometry;
 use rayon::prelude::*;
 
 use crate::device::{BatchOutcome, CodicDevice, DeviceConfig, OpCompletion, OpToken, SweepReport};
 use crate::error::CodicError;
+use crate::executor::OpFuture;
 use crate::ops::CodicOp;
 
 /// Completion token for an operation submitted through a pool: which
@@ -155,6 +159,33 @@ impl DevicePool {
                 Ok(shard)
             })
             .collect()
+    }
+
+    /// Distributes a batch across the shards like
+    /// [`DevicePool::submit_all`], but returns one [`OpFuture`] per
+    /// operation instead of a token: services `await` typed completions
+    /// rather than polling for them. The futures are resolved by the
+    /// pool's clock driver, [`DevicePool::drive`] (or by each shard's own
+    /// [`CodicDevice::step`]/[`CodicDevice::run_to_idle`]), in completion
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first policy error without enqueuing anything.
+    pub fn submit_all_async(&mut self, ops: &[CodicOp]) -> Result<Vec<OpFuture>, CodicError> {
+        let shards = self.route_checked(ops)?;
+        ops.iter()
+            .zip(&shards)
+            .map(|(&op, &shard)| self.devices[shard].submit_async(op))
+            .collect()
+    }
+
+    /// The pool's clock driver: advances every shard's event engine to
+    /// idle on rayon worker threads, resolving every outstanding
+    /// [`OpFuture`] along the way (wakers fire from the worker threads).
+    /// Returns the slowest shard's finish cycle.
+    pub fn drive(&mut self) -> u64 {
+        self.run_to_idle()
     }
 
     /// Runs every shard to idle on rayon worker threads; returns the
@@ -337,6 +368,42 @@ mod tests {
             assert_eq!(*shard, p.shard_of(ops[i]));
             assert_eq!(c.op, ops[i]);
         }
+    }
+
+    #[test]
+    fn async_batch_is_awaitable_after_drive() {
+        use crate::executor::block_on;
+        let ops = zero_ops(16);
+        // Twin pools: the async path must report exactly what the
+        // polling path reports.
+        let mut sync_pool = pool(2);
+        sync_pool.submit_all(&ops).unwrap();
+        sync_pool.run_to_idle();
+        let mut sync_completions: Vec<_> = sync_pool
+            .take_completions()
+            .into_iter()
+            .map(|(_, c)| (c.op, c.finish_cycle))
+            .collect();
+        sync_completions.sort_by_key(|&(op, cycle)| (cycle, op.row_addr()));
+
+        let mut async_pool = pool(2);
+        let futures = async_pool.submit_all_async(&ops).unwrap();
+        assert_eq!(futures.len(), 16);
+        assert!(futures.iter().all(|f| !f.is_ready()));
+        let finish = async_pool.drive();
+        assert!(finish > 0);
+        assert!(futures.iter().all(OpFuture::is_ready));
+        let mut async_completions: Vec<_> = futures
+            .into_iter()
+            .map(|f| {
+                let c = block_on(f);
+                (c.op, c.finish_cycle)
+            })
+            .collect();
+        async_completions.sort_by_key(|&(op, cycle)| (cycle, op.row_addr()));
+        assert_eq!(sync_completions, async_completions);
+        // Future-delivered completions never enter the polling buffer.
+        assert!(async_pool.take_completions().is_empty());
     }
 
     #[test]

@@ -75,6 +75,25 @@ impl Bank {
         self.next_act
     }
 
+    /// The earliest cycle a precharge could issue (meaningful only while a
+    /// row is open).
+    #[must_use]
+    pub fn next_pre_at(&self) -> u64 {
+        self.next_pre
+    }
+
+    /// The earliest cycle a read could issue to the open row.
+    #[must_use]
+    pub fn next_rd_at(&self) -> u64 {
+        self.next_rd
+    }
+
+    /// The earliest cycle a write could issue to the open row.
+    #[must_use]
+    pub fn next_wr_at(&self) -> u64 {
+        self.next_wr
+    }
+
     /// Issues an activate for `row` at cycle `now`.
     ///
     /// # Panics

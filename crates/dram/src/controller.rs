@@ -176,41 +176,208 @@ impl MemoryController {
         std::mem::take(&mut self.completed)
     }
 
-    /// Removes and returns all completions that have finished by now.
-    #[deprecated(since = "0.1.0", note = "renamed to `take_completions`")]
-    pub fn drain_completed(&mut self) -> Vec<Completion> {
-        self.take_completions()
+    /// Advances one memory cycle, issuing at most one command.
+    ///
+    /// Equivalent to [`MemoryController::advance_to`]`(now + 1)`: the
+    /// cycle-by-cycle driver and the event-driven driver share one engine
+    /// and produce bit-identical command streams.
+    pub fn tick(&mut self) {
+        self.advance_to(self.now + 1);
     }
 
-    /// Advances one memory cycle, issuing at most one command.
-    pub fn tick(&mut self) {
+    /// Advances one memory cycle through the *reference* driver: retire,
+    /// refresh, and schedule run unconditionally, with no consultation of
+    /// [`MemoryController::next_event_cycle`] — the pre-event-engine
+    /// `tick` body, byte for byte.
+    ///
+    /// This is the oracle the engine-equivalence tests (and the
+    /// `bench_device` tick-engine baseline) pin the event engine against:
+    /// because it never reads the horizon, a horizon bug that delays
+    /// events cannot cancel out of the comparison the way it would if
+    /// both sides shared [`MemoryController::tick`]'s gating.
+    pub fn tick_reference(&mut self) {
+        self.step_cycle();
+        self.now += 1;
+    }
+
+    /// The earliest cycle `>= now()` at which the controller may act —
+    /// retire an in-flight request, start or service a refresh, or issue
+    /// a command for a queued request — or `u64::MAX` when no future
+    /// cycle can ever be actionable (idle with refresh disabled).
+    ///
+    /// The horizon is conservative: it never skips past an actionable
+    /// cycle, but may name a cycle at which, on inspection, nothing can
+    /// issue yet (the engine then recomputes from there). Every cycle in
+    /// `(now(), next_event_cycle())` is guaranteed to be a no-op, which
+    /// is what lets [`MemoryController::advance_to`] jump the clock.
+    #[must_use]
+    pub fn next_event_cycle(&self) -> u64 {
+        let mut e = u64::MAX;
+        if let Some(&Reverse((cycle, _))) = self.in_flight.peek() {
+            e = e.min(cycle);
+        }
+        if self.refresh_enabled && !self.refresh_pending {
+            e = e.min(self.next_refresh);
+        }
+        if self.refresh_pending {
+            // While a refresh is pending the scheduler is blocked: the
+            // only command-bus events are the close-banks/refresh steps.
+            match self.banks.iter().find(|b| b.open_row().is_some()) {
+                Some(bank) => e = e.min(bank.next_pre_at()),
+                None => {
+                    let all_ready = self.banks.iter().map(Bank::next_act_at).max().unwrap_or(0);
+                    e = e.min(all_ready);
+                }
+            }
+        } else {
+            // The rank activation gate is independent of the bank it
+            // applies to, so compute it once per (rank, activation count)
+            // instead of per queue entry — in a stack buffer, since this
+            // runs once per event on the engine's hottest path.
+            let mut gate_buf = [[0u64; 2]; 8];
+            let memo_ranks = self.ranks.len().min(gate_buf.len());
+            for (slot, rank) in gate_buf.iter_mut().zip(&self.ranks) {
+                *slot = self.act_gates_of(rank);
+            }
+            for queue in [&self.read_q, &self.write_q, &self.rowop_q] {
+                for p in queue {
+                    e = e.min(self.request_candidate(p, &gate_buf[..memo_ranks]));
+                    if e <= self.now {
+                        // A candidate at (or before) the floor cannot be
+                        // beaten: the controller can act this cycle.
+                        return self.now;
+                    }
+                }
+            }
+        }
+        e.max(self.now)
+    }
+
+    /// The rank's activation gates for 1 and 2 activations: the earliest
+    /// cycles its tRRD/tFAW windows allow, independent of any bank state.
+    fn act_gates_of(&self, rank: &Rank) -> [u64; 2] {
+        [
+            rank.earliest_activate(0, 1, &self.timing),
+            rank.earliest_activate(0, 2, &self.timing),
+        ]
+    }
+
+    /// Cycles from `now()` until [`MemoryController::next_event_cycle`] —
+    /// zero when the controller can act this cycle. Callers composing the
+    /// controller with other clocked components (e.g. trace-driven cores)
+    /// may safely skip this many cycles without losing events.
+    #[must_use]
+    pub fn cycles_until_next_event(&self) -> u64 {
+        self.next_event_cycle().saturating_sub(self.now)
+    }
+
+    /// The earliest cycle at which a pending request could be issued a
+    /// command (column access, precharge, or activate), given current
+    /// bank/rank/bus state. `act_gates[rank]` holds the precomputed rank
+    /// activation gates for 1 and 2 activations. Exact for single
+    /// requests; the scheduler's one-command-per-cycle arbitration is
+    /// applied when the cycle is actually processed.
+    fn request_candidate(&self, p: &Pending, act_gates: &[[u64; 2]]) -> u64 {
+        let bank = &self.banks[self.bank_index(&p.addr)];
+        // Ranks beyond the memo buffer (more than 8 — unusual geometries)
+        // compute their gates directly.
+        let gates = &act_gates
+            .get(p.addr.rank as usize)
+            .copied()
+            .unwrap_or_else(|| self.act_gates_of(&self.ranks[p.addr.rank as usize]));
+        match p.kind {
+            ReqKind::Read => match bank.open_row() {
+                Some(row) if row == p.addr.row => bank.next_rd_at().max(
+                    self.data_bus_free
+                        .saturating_sub(u64::from(self.timing.t_cl)),
+                ),
+                Some(_) => bank.next_pre_at(),
+                None => bank.next_act_at().max(gates[0]),
+            },
+            ReqKind::Write => match bank.open_row() {
+                Some(row) if row == p.addr.row => bank.next_wr_at().max(
+                    self.data_bus_free
+                        .saturating_sub(u64::from(self.timing.t_cwl)),
+                ),
+                Some(_) => bank.next_pre_at(),
+                None => bank.next_act_at().max(gates[0]),
+            },
+            ReqKind::RowOp { op, .. } => match bank.open_row() {
+                Some(_) => bank.next_pre_at(),
+                None => bank
+                    .next_act_at()
+                    .max(gates[usize::from(op.activations().clamp(1, 2)) - 1]),
+            },
+        }
+    }
+
+    /// Advances the clock to exactly `target`, processing every
+    /// actionable cycle in `[now, target)` and jumping over the quiet
+    /// gaps in between — the event-driven core. Calling this is
+    /// bit-identical (same commands at the same cycles, same completions,
+    /// same statistics) to calling [`MemoryController::tick`]
+    /// `target - now()` times; wall-clock cost scales with *events*
+    /// rather than with simulated cycles.
+    pub fn advance_to(&mut self, target: u64) {
+        while self.now < target {
+            let event = self.next_event_cycle().min(target);
+            if event > self.now {
+                self.now = event;
+                if self.now >= target {
+                    break;
+                }
+            }
+            self.step_cycle();
+            self.now += 1;
+        }
+    }
+
+    /// One tick's worth of work at the current cycle (without advancing
+    /// the clock): retire, then refresh or schedule.
+    fn step_cycle(&mut self) {
         self.retire_in_flight();
         if self.refresh_enabled && !self.refresh_pending && self.now >= self.next_refresh {
             self.refresh_pending = true;
         }
         if self.refresh_pending {
-            if self.service_refresh() {
-                self.now += 1;
-                return;
-            }
+            let _ = self.service_refresh();
         } else {
             self.update_drain_mode();
             self.schedule();
         }
+    }
+
+    /// Jumps the clock to the next event and processes that one cycle —
+    /// the single-event driver. Returns `false` (and leaves the clock
+    /// untouched) when no future cycle can ever be actionable.
+    ///
+    /// Equivalent to ticking up to and through the event cycle; callers
+    /// interleaving their own work per event (queue refills, completion
+    /// harvesting) use this instead of a fixed [`MemoryController::advance_to`]
+    /// target.
+    pub fn step_event(&mut self) -> bool {
+        let event = self.next_event_cycle();
+        if event == u64::MAX {
+            return false;
+        }
+        self.now = self.now.max(event);
+        self.step_cycle();
         self.now += 1;
+        true
     }
 
     /// Runs until idle, returning the cycle at which the last request
     /// completed (or the current cycle when already idle). Completions
     /// stay buffered for [`MemoryController::take_completions`]; callers
     /// that only need the finish cycle can discard them afterwards.
+    ///
+    /// Event-driven: the clock jumps from event to event instead of
+    /// ticking through quiet cycles, with results bit-identical to the
+    /// tick-by-tick loop.
     pub fn run_to_idle(&mut self) -> u64 {
-        let mut last = self.now;
-        while !self.is_idle() {
-            self.tick();
-            last = last.max(self.last_finish);
-        }
-        last
+        let last = self.now;
+        while !self.is_idle() && self.step_event() {}
+        last.max(self.last_finish)
     }
 
     fn retire_in_flight(&mut self) {
@@ -594,6 +761,92 @@ mod tests {
             .expect_err("queue must be full");
         assert_eq!(err.request.addr, 0);
         assert_eq!(m.stats().queue_rejections, 1);
+    }
+
+    /// Mixed workload driven tick-by-tick and by event jumps must agree
+    /// on every completion, statistic, and the final clock.
+    #[test]
+    fn event_jumps_are_bit_identical_to_ticking() {
+        let build = |refresh: bool| {
+            let mut m =
+                MemoryController::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11());
+            m.set_refresh_enabled(refresh);
+            for i in 0..10u64 {
+                m.push(MemRequest::new(i * LINE_BYTES, ReqKind::Read))
+                    .unwrap();
+                m.push(MemRequest::new(
+                    DramGeometry::ROW_BYTES * 8 + i * LINE_BYTES,
+                    ReqKind::Write,
+                ))
+                .unwrap();
+            }
+            m.push(MemRequest::new(
+                DramGeometry::ROW_BYTES,
+                ReqKind::RowOp {
+                    op: RowOpKind::Codic,
+                    busy_cycles: TimingParams::ddr3_1600_11().t_rc,
+                },
+            ))
+            .unwrap();
+            m
+        };
+        for refresh in [false, true] {
+            // The reference driver never consults the horizon, so a
+            // too-late next_event_cycle() cannot cancel out of this
+            // comparison.
+            let mut ticked = build(refresh);
+            let mut jumped = build(refresh);
+            while !ticked.is_idle() {
+                ticked.tick_reference();
+            }
+            jumped.run_to_idle();
+            assert_eq!(ticked.take_completions(), jumped.take_completions());
+            assert_eq!(ticked.stats(), jumped.stats(), "refresh={refresh}");
+            assert_eq!(ticked.now(), jumped.now(), "refresh={refresh}");
+        }
+    }
+
+    #[test]
+    fn next_event_cycle_never_skips_an_actionable_cycle() {
+        // Drive with the reference driver (which acts regardless of the
+        // horizon): whenever the horizon claims the current cycle is
+        // quiet, the reference step over that cycle must change nothing.
+        // A too-late horizon fails here — the reference would issue or
+        // retire inside the claimed-quiet gap.
+        let mut m = mc();
+        for i in 0..6u64 {
+            m.push(MemRequest::new(
+                i * DramGeometry::ROW_BYTES * 8,
+                ReqKind::Read,
+            ))
+            .unwrap();
+        }
+        let mut quiet_claims = 0;
+        while !m.is_idle() {
+            let horizon = m.next_event_cycle();
+            let before = (*m.stats(), m.take_completions().len());
+            m.tick_reference();
+            if m.now() <= horizon {
+                // The stepped cycle was claimed quiet: no command may
+                // have issued and nothing may have retired.
+                quiet_claims += 1;
+                let after = (*m.stats(), m.take_completions().len());
+                assert_eq!(before.0, after.0);
+                assert_eq!(after.1, 0);
+            }
+        }
+        assert!(quiet_claims > 0, "the workload must exercise quiet gaps");
+    }
+
+    #[test]
+    fn advance_to_lands_exactly_on_target() {
+        let mut m = mc();
+        m.push(MemRequest::new(0, ReqKind::Read)).unwrap();
+        m.advance_to(5);
+        assert_eq!(m.now(), 5);
+        m.advance_to(100_000);
+        assert_eq!(m.now(), 100_000);
+        assert!(m.is_idle());
     }
 
     #[test]

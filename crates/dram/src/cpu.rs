@@ -97,6 +97,55 @@ impl Core {
         self.cycles
     }
 
+    /// Number of upcoming cycles for which [`Core::tick`] is guaranteed to
+    /// be a pure countdown — no memory request issued, no trace op
+    /// executed — so a system-level driver may skip them in one jump with
+    /// [`Core::skip`]. `u64::MAX` means the core is blocked until a
+    /// completion arrives (or is finished) and has no self-generated
+    /// events at all.
+    #[must_use]
+    pub fn quiet_cycles(&self) -> u64 {
+        if !self.posted_backlog.is_empty() {
+            // One backlogged posted write drains per cycle.
+            return 0;
+        }
+        match self.state {
+            State::WaitingMem | State::Finished => u64::MAX,
+            State::FixedStall(n) => u64::from(n),
+            State::Running if self.bubbles_left > 0 => u64::from(self.bubbles_left),
+            State::Running | State::PendingIssue => 0,
+        }
+    }
+
+    /// Skips `cycles` quiet cycles in one jump, with state and counters
+    /// exactly as if [`Core::tick`] had been called that many times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` exceeds [`Core::quiet_cycles`] — skipping a
+    /// non-quiet cycle would lose a memory request (and silently wrap
+    /// the stall counters), so the contract fails fast in every build.
+    pub fn skip(&mut self, cycles: u64) {
+        assert!(cycles <= self.quiet_cycles(), "skip over a core event");
+        self.cycles += cycles;
+        match self.state {
+            State::FixedStall(n) => {
+                let left = n - u32::try_from(cycles).expect("bounded by quiet_cycles");
+                self.state = if left == 0 {
+                    State::Running
+                } else {
+                    State::FixedStall(left)
+                };
+            }
+            State::Running if self.bubbles_left > 0 => {
+                let skipped = u32::try_from(cycles).expect("bounded by quiet_cycles");
+                self.bubbles_left -= skipped;
+                self.retired += u64::from(skipped);
+            }
+            _ => {}
+        }
+    }
+
     /// Notifies the core that the memory request it was waiting on
     /// completed.
     pub fn on_complete(&mut self, id: ReqId) {
@@ -309,6 +358,40 @@ mod tests {
         assert_eq!(c.tick(), CoreRequest::None);
         let _ = c.tick();
         assert!(c.is_finished());
+    }
+
+    #[test]
+    fn skip_matches_ticking_through_quiet_cycles() {
+        let mk = || Core::new(vec![TraceOp::Bubble(5), TraceOp::Read(0)]);
+        let mut ticked = mk();
+        let mut skipped = mk();
+        assert_eq!(ticked.tick(), CoreRequest::None);
+        assert_eq!(skipped.tick(), CoreRequest::None);
+        let quiet = skipped.quiet_cycles();
+        assert_eq!(quiet, 4, "four bubbles left to retire");
+        for _ in 0..quiet {
+            assert_eq!(ticked.tick(), CoreRequest::None);
+        }
+        skipped.skip(quiet);
+        assert_eq!(ticked.retired(), skipped.retired());
+        assert_eq!(ticked.cycles(), skipped.cycles());
+        let (a, b) = (ticked.tick(), skipped.tick());
+        assert_eq!(a, b);
+        assert!(matches!(a, CoreRequest::Blocking(_)));
+    }
+
+    #[test]
+    fn blocked_cores_are_quiet_until_woken() {
+        let mut c = Core::new(vec![TraceOp::Read(0)]);
+        let CoreRequest::Blocking(_) = c.tick() else {
+            panic!("miss expected");
+        };
+        assert_eq!(c.quiet_cycles(), 0, "pending issue retries every cycle");
+        c.on_issued(ReqId(1));
+        assert_eq!(c.quiet_cycles(), u64::MAX);
+        c.skip(1000);
+        c.on_complete(ReqId(1));
+        assert_eq!(c.quiet_cycles(), 0);
     }
 
     #[test]

@@ -39,6 +39,30 @@ impl MemStats {
         }
     }
 
+    /// The counter delta accumulated since `earlier` was snapshotted —
+    /// scoping one workload's command counts on a long-running
+    /// controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via underflow) if `earlier` is not an
+    /// earlier snapshot of the same counter set.
+    #[must_use]
+    pub fn since(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            activates: self.activates - earlier.activates,
+            precharges: self.precharges - earlier.precharges,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            refreshes: self.refreshes - earlier.refreshes,
+            row_ops: self.row_ops - earlier.row_ops,
+            row_op_activations: self.row_op_activations - earlier.row_op_activations,
+            row_hits: self.row_hits - earlier.row_hits,
+            row_misses: self.row_misses - earlier.row_misses,
+            queue_rejections: self.queue_rejections - earlier.queue_rejections,
+        }
+    }
+
     /// Adds another counter set into this one (multi-controller runs).
     pub fn merge(&mut self, other: &MemStats) {
         self.activates += other.activates;

@@ -62,6 +62,13 @@ impl System {
 
     /// Advances the whole system one memory cycle.
     pub fn tick(&mut self) {
+        self.tick_with(false);
+    }
+
+    /// One composite cycle, driving the controller either through the
+    /// shared engine (`tick`) or through the horizon-free reference
+    /// driver (`tick_reference`) — the latter is the equivalence oracle.
+    fn tick_with(&mut self, reference: bool) {
         for i in 0..self.cores.len() {
             match self.cores[i].tick() {
                 CoreRequest::None => {}
@@ -79,7 +86,11 @@ impl System {
                 }
             }
         }
-        self.mc.tick();
+        if reference {
+            self.mc.tick_reference();
+        } else {
+            self.mc.tick();
+        }
         for c in self.mc.take_completions() {
             if let Some(core) = self.owners.remove(&c.id) {
                 self.cores[core].on_complete(c.id);
@@ -87,12 +98,45 @@ impl System {
         }
     }
 
+    /// Cycles from now for which provably neither a core nor the memory
+    /// controller can act: every core is counting down a stall/bubble (or
+    /// blocked on memory) and the controller's next event — including the
+    /// completion that would wake a blocked core — is that far away.
+    fn quiet_gap(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(Core::quiet_cycles)
+            .min()
+            .unwrap_or(u64::MAX)
+            .min(self.mc.cycles_until_next_event())
+    }
+
     /// Runs to completion (or until `max_cycles`) and reports statistics.
+    ///
+    /// Event-driven: after each simulated cycle the system jumps the
+    /// clock over the quiet gap where no core and no controller event can
+    /// occur, so wall-clock cost scales with events rather than with
+    /// simulated cycles. Results (cycle counts, retired instructions,
+    /// memory statistics) are bit-identical to ticking every cycle, and
+    /// the run stops exactly at the first cycle `>= max_cycles` — jumps
+    /// are clamped, so the reported [`SystemStats::cycles`] never
+    /// overshoots `max_cycles`.
     pub fn run(&mut self, max_cycles: u64) -> SystemStats {
         let mut cycles = 0;
         while !self.is_done() && cycles < max_cycles {
             self.tick();
             cycles += 1;
+            if self.is_done() {
+                break;
+            }
+            let gap = self.quiet_gap().min(max_cycles - cycles);
+            if gap > 0 {
+                self.mc.advance_to(self.mc.now() + gap);
+                for core in &mut self.cores {
+                    core.skip(gap);
+                }
+                cycles += gap;
+            }
         }
         SystemStats {
             cycles,
@@ -161,6 +205,64 @@ mod tests {
         let mut s2 = small_system(vec![vec![TraceOp::Bubble(64)]]);
         let cpu_stats = s2.run(10_000_000);
         assert!(mem_stats.cycles > cpu_stats.cycles * 5);
+    }
+
+    /// The old engine, cycle by cycle: the reference the event-driven
+    /// `run` must match bit-for-bit. Cores tick directly and the
+    /// controller runs through its horizon-free reference driver, so
+    /// neither a `quiet_cycles` nor a `next_event_cycle` bug can cancel
+    /// out of the comparison.
+    fn run_ticked(s: &mut System, max_cycles: u64) -> SystemStats {
+        let mut cycles = 0;
+        while !s.is_done() && cycles < max_cycles {
+            s.tick_with(true);
+            cycles += 1;
+        }
+        SystemStats {
+            cycles,
+            retired: s.cores.iter().map(Core::retired).collect(),
+            mem: *s.mc.stats(),
+        }
+    }
+
+    #[test]
+    fn event_run_is_bit_identical_to_ticked_run() {
+        let mk = |refresh: bool| {
+            let mut t1 = vec![TraceOp::Bubble(40)];
+            for i in 0..24u64 {
+                t1.push(TraceOp::Read(i * DramGeometry::ROW_BYTES * 8));
+                t1.push(TraceOp::Bubble(7));
+            }
+            let t2 = zero_fill_trace(1 << 20, 24 * LINE_BYTES);
+            let mut s = System::new(
+                DramGeometry::module_mib(64),
+                TimingParams::ddr3_1600_11(),
+                vec![t1, t2],
+            );
+            s.controller_mut().set_refresh_enabled(refresh);
+            s
+        };
+        for refresh in [false, true] {
+            for max_cycles in [u64::MAX, 777] {
+                let reference = run_ticked(&mut mk(refresh), max_cycles);
+                let event = mk(refresh).run(max_cycles);
+                assert_eq!(reference, event, "refresh={refresh} max={max_cycles}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_stops_exactly_at_max_cycles_without_overshoot() {
+        // A memory-bound trace nowhere near finished at the cutoff: the
+        // quiet-gap jumps must clamp to the cycle budget.
+        let mut trace = Vec::new();
+        for i in 0..64u64 {
+            trace.push(TraceOp::Read(i * DramGeometry::ROW_BYTES * 8));
+        }
+        let mut s = small_system(vec![trace]);
+        let stats = s.run(777);
+        assert!(!s.is_done(), "cutoff must hit mid-run");
+        assert_eq!(stats.cycles, 777, "no overshoot under event jumps");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use codic_dram::address::AddressMapper;
 use codic_dram::geometry::{DramGeometry, LINE_BYTES};
+use codic_dram::request::RowOpKind;
 use codic_dram::{MemRequest, MemoryController, ReqKind, TimingParams};
 use proptest::prelude::*;
 
@@ -55,6 +56,46 @@ proptest! {
         }
         completed += mc.take_completions().len();
         prop_assert_eq!(completed, accepted, "conservation of requests");
+    }
+
+    #[test]
+    fn event_engine_matches_tick_engine(
+        addrs in proptest::collection::vec(0u64..(16 << 20), 1..48),
+        kinds in proptest::collection::vec(0u8..3, 48),
+        refresh in any::<bool>(),
+    ) {
+        let build = || {
+            let mut mc = MemoryController::new(
+                DramGeometry::module_mib(64),
+                TimingParams::ddr3_1600_11(),
+            );
+            mc.set_refresh_enabled(refresh);
+            for (i, addr) in addrs.iter().enumerate() {
+                let kind = match kinds[i % kinds.len()] {
+                    0 => ReqKind::Read,
+                    1 => ReqKind::Write,
+                    _ => ReqKind::RowOp { op: RowOpKind::Codic, busy_cycles: 39 },
+                };
+                let _ = mc.push(MemRequest::new(*addr, kind));
+            }
+            mc
+        };
+        // The reference driver acts unconditionally every cycle (never
+        // consulting the event horizon), so a horizon bug cannot cancel
+        // out of the comparison.
+        let mut ticked = build();
+        let mut guard = 0u64;
+        while !ticked.is_idle() {
+            ticked.tick_reference();
+            guard += 1;
+            prop_assert!(guard < 2_000_000, "tick engine livelock");
+        }
+        let mut jumped = build();
+        let finish = jumped.run_to_idle();
+        prop_assert_eq!(ticked.take_completions(), jumped.take_completions());
+        prop_assert_eq!(ticked.stats(), jumped.stats());
+        prop_assert_eq!(ticked.now(), jumped.now());
+        prop_assert!(finish < jumped.now() || finish == 0);
     }
 
     #[test]

@@ -70,7 +70,7 @@ impl ZeroingMechanism {
     /// (kind, bank-busy cycles), from the shared accounting helper.
     #[must_use]
     pub fn row_op(self, t: &TimingParams) -> Option<(RowOpKind, u32)> {
-        let kind = self.op_for_row(0)?.row_op_kind();
+        let kind = self.op_for_row(0)?.row_op_kind()?;
         Some((kind, accounting::row_op_busy_cycles(kind, t)))
     }
 
@@ -117,7 +117,7 @@ impl ZeroingMechanism {
             }
         } else {
             for op in plan {
-                let kind = op.row_op_kind();
+                let kind = op.row_op_kind().expect("zeroing plans are row ops");
                 out.push(TraceOp::RowOp {
                     addr: op.row_addr(),
                     op: kind,
@@ -214,7 +214,7 @@ mod tests {
         assert!(InDramMechanism::plan(&ZeroingMechanism::Software, region).is_empty());
         assert_eq!(
             InDramMechanism::plan(&ZeroingMechanism::RowClone, region)[0].row_op_kind(),
-            RowOpKind::RowClone
+            Some(RowOpKind::RowClone)
         );
     }
 

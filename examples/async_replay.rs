@@ -1,0 +1,61 @@
+//! Await typed completions from the pooled service path — no polling loop.
+//!
+//! The service pattern: submit a batch asynchronously (one `OpFuture` per
+//! operation), let the clock driver advance the event engine, then
+//! `await` each completion. Nothing here ticks a cycle or polls a
+//! completion buffer; the engine jumps from DRAM event to DRAM event and
+//! the futures resolve in completion order.
+//!
+//! Run with: `cargo run --example async_replay`
+
+use codic::core::executor::block_on;
+use codic::dram::{DramGeometry, TimingParams};
+use codic::{CodicOp, DeviceConfig, DevicePool, VariantId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-shard pool over 64 MB modules: the serving configuration of
+    // BENCH_device.json.
+    let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+        .with_refresh(false);
+    let mut pool = DevicePool::new(4, &config);
+
+    // A mixed batch on the one shared FR-FCFS path: secure-deallocation
+    // zeroing rows interleaved with ordinary read/write traffic.
+    let mut ops = Vec::new();
+    for row in 0..32u64 {
+        let addr = row * DramGeometry::ROW_BYTES;
+        ops.push(CodicOp::command(VariantId::DetZero, addr));
+        ops.push(CodicOp::read(addr + 64));
+        ops.push(CodicOp::write(addr + 128));
+    }
+
+    // Submit async: every operation hands back a future...
+    let futures = pool.submit_all_async(&ops)?;
+    // ...the clock driver resolves them all (event-driven, in parallel
+    // across shards)...
+    let finish_cycle = pool.drive();
+
+    // ...and awaiting is just `await` — no tick loop, no poll loop.
+    let timing = TimingParams::ddr3_1600_11();
+    let total = block_on(async {
+        let mut zeroed = 0u64;
+        let mut energy_nj = 0.0;
+        for future in futures {
+            let completion = future.await;
+            if completion.op.variant() == Some(VariantId::DetZero) {
+                zeroed += 1;
+            }
+            energy_nj += completion.cost.energy_nj;
+        }
+        (zeroed, energy_nj)
+    });
+
+    println!(
+        "batch finished at cycle {finish_cycle} ({:.1} ns of DRAM time)",
+        timing.ns(finish_cycle)
+    );
+    println!("rows zeroed: {}", total.0);
+    println!("accounted energy: {:.1} nJ", total.1);
+    assert_eq!(total.0, 32);
+    Ok(())
+}

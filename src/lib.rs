@@ -7,21 +7,28 @@
 //!
 //! ```text
 //! use case (PUF / secure dealloc / cold boot)   impl InDramMechanism
-//!        │  plan(region) -> Vec<CodicOp>
+//!        │  plan(region) -> Vec<CodicOp>   (+ ordinary Read/Write traffic)
 //!        ▼
 //! CodicDevice / DevicePool                      service layer
 //!        │  install (mode registers) + authorize (safe range, §4.4)
+//!        │  submit -> OpToken (poll) | submit_async -> OpFuture (await)
 //!        ▼
-//! MemoryController (FR-FCFS)                    cycle-level scheduling
-//!        │  RowOp under bank/rank timing (tRC, tRRD, tFAW)
+//! MemoryController (FR-FCFS)                    event-driven engine
+//!        │  advance_to / step_event: the clock jumps event to event,
+//!        │  bit-identical to tick-by-tick; row ops and read/write
+//!        │  traffic share one scheduler
 //!        ▼
-//! Bank / Rank state machines                    DRAM
+//! Bank / Rank state machines                    DRAM (tRC, tRRD, tFAW)
 //! ```
 //!
 //! Policy checks run *before* an operation is enqueued — a rejected
 //! [`CodicOp`] never reaches the command bus — and completions come back
-//! typed, with the finishing cycle and the accounted bank-occupancy and
-//! energy cost.
+//! typed, with the finishing cycle and the accounted occupancy and
+//! energy cost. Completions are either drained
+//! ([`CodicDevice::take_completions`]) or awaited: [`OpFuture`] is a std
+//! `Future` resolved by the clock driver
+//! ([`DevicePool::drive`] or the per-device step/run functions), with
+//! [`block_on`] as the offline-friendly mini-executor.
 //!
 //! # Example
 //!
@@ -57,8 +64,9 @@ pub use codic_puf as puf;
 pub use codic_secdealloc as secdealloc;
 
 pub use codic_core::device::{
-    BatchOutcome, CodicDevice, DeviceConfig, OpCompletion, OpToken, SweepReport,
+    BatchOutcome, CodicDevice, DeviceConfig, OpCompletion, OpCost, OpToken, SweepReport,
 };
 pub use codic_core::error::CodicError;
+pub use codic_core::executor::{block_on, OpFuture};
 pub use codic_core::ops::{CodicOp, InDramMechanism, RowRegion, VariantId};
 pub use codic_core::pool::{DevicePool, PoolOutcome, PoolToken};

@@ -106,6 +106,48 @@ fn pooled_serving_path_matches_single_device_results() {
 }
 
 #[test]
+fn async_serving_path_awaits_completions_end_to_end() {
+    // submit_all_async -> drive (event engine, parallel shards) -> await:
+    // no tick loop, no completion polling anywhere.
+    use codic::core::executor::block_on;
+    use codic::dram::{DramGeometry, TimingParams};
+    use codic::{CodicOp, DeviceConfig, DevicePool, VariantId};
+
+    let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+        .with_refresh(false);
+    let mut pool = DevicePool::new(2, &config);
+    // Row ops and plain read/write traffic through the one FR-FCFS path.
+    let mut ops = Vec::new();
+    for row in 0..16u64 {
+        let addr = row * DramGeometry::ROW_BYTES;
+        ops.push(CodicOp::command(VariantId::DetZero, addr));
+        ops.push(CodicOp::read(addr + 64));
+    }
+    let futures = pool.submit_all_async(&ops).unwrap();
+    let finish = pool.drive();
+    assert!(finish > 0);
+    let completions = block_on(async {
+        let mut out = Vec::new();
+        for f in futures {
+            out.push(f.await);
+        }
+        out
+    });
+    assert_eq!(completions.len(), 32);
+    for (completion, op) in completions.iter().zip(&ops) {
+        assert_eq!(completion.op, *op, "futures preserve submission order");
+        assert!(completion.cost.energy_nj > 0.0);
+    }
+    let reads: u64 = (0..pool.shards())
+        .map(|s| pool.device(s).stats().reads)
+        .sum();
+    let row_ops: u64 = (0..pool.shards())
+        .map(|s| pool.device(s).stats().row_ops)
+        .sum();
+    assert_eq!((reads, row_ops), (16, 16), "one scheduler served both");
+}
+
+#[test]
 fn destruction_beats_firmware_by_orders_of_magnitude() {
     use codic::coldboot::latency::destruction_time_ms;
     use codic::coldboot::DestructionMechanism;
