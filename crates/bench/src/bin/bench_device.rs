@@ -23,19 +23,33 @@
 //! (`MemoryController::step_event`), asserting bit-identical DRAM time
 //! and reporting the wall-clock speedup (`events_vs_cycles`).
 //!
+//! A fourth — the **queue-depth scaling workload** — streams a mixed
+//! Read/Write/RowOp batch at outstanding depths 64 → 8192 through three
+//! paths serving the identical request stream: the pre-refactor O(n)
+//! scheduler preserved in [`codic_bench::legacy`] (the measurement
+//! baseline), the live indexed scheduler at the raw controller level,
+//! and the full `CodicDevice` async path (`submit_async` + arena-backed
+//! futures). Legacy and live must agree bit-for-bit on DRAM time and
+//! command statistics; the report carries their host-throughput ratio
+//! (`sched_speedup`).
+//!
 //! Usage: `cargo run --release --bin bench_device [-- --rows N --shards S --reps R]`
 //!
-//! `--quick` runs only the engine cross-check on a downscaled sweep and
-//! exits non-zero if the two engines disagree — the CI smoke step.
+//! `--quick` runs only the engine cross-checks — the sweep tick-vs-event
+//! comparison plus the queue-depth workload's tick-vs-event and
+//! legacy-vs-live identity checks — and exits non-zero on any
+//! divergence; the CI smoke step.
 
 use std::time::Instant;
 
+use codic_bench::legacy::LegacyController;
 use codic_coldboot::DestructionMechanism;
-use codic_core::device::DeviceConfig;
-use codic_core::ops::{CodicOp, InDramMechanism, RowRegion};
+use codic_core::device::{CodicDevice, DeviceConfig};
+use codic_core::executor::block_on;
+use codic_core::ops::{CodicOp, InDramMechanism, RowRegion, VariantId};
 use codic_core::pool::DevicePool;
-use codic_dram::request::RowOpKind;
-use codic_dram::{DramGeometry, MemRequest, MemoryController, ReqKind, TimingParams};
+use codic_dram::request::{QueueFull, ReqId, RowOpKind};
+use codic_dram::{DramGeometry, MemRequest, MemStats, MemoryController, ReqKind, TimingParams};
 use codic_power::accounting;
 use codic_secdealloc::ZeroingMechanism;
 
@@ -148,6 +162,270 @@ fn stream_sweep(kind: RowOpKind, rows: u64, timing: &TimingParams, event_driven:
     }
 }
 
+/// The common driving surface of the live and the legacy scheduler, so
+/// the queue-depth workload runs byte-for-byte the same loop on both.
+trait SchedulerUnderTest {
+    fn push(&mut self, request: MemRequest) -> Result<ReqId, QueueFull>;
+    fn step_event(&mut self) -> bool;
+    fn tick_reference(&mut self);
+    fn run_to_idle(&mut self) -> u64;
+    fn is_idle(&self) -> bool;
+    fn stats(&self) -> &MemStats;
+    fn set_refresh_enabled(&mut self, enabled: bool);
+    fn take_completions(&mut self) -> Vec<codic_dram::controller::Completion>;
+    fn can_accept(&self, kind: ReqKind) -> bool;
+}
+
+macro_rules! impl_scheduler_under_test {
+    ($ty:ty) => {
+        impl SchedulerUnderTest for $ty {
+            fn push(&mut self, request: MemRequest) -> Result<ReqId, QueueFull> {
+                <$ty>::push(self, request)
+            }
+            fn step_event(&mut self) -> bool {
+                <$ty>::step_event(self)
+            }
+            fn tick_reference(&mut self) {
+                <$ty>::tick_reference(self)
+            }
+            fn run_to_idle(&mut self) -> u64 {
+                <$ty>::run_to_idle(self)
+            }
+            fn is_idle(&self) -> bool {
+                <$ty>::is_idle(self)
+            }
+            fn stats(&self) -> &MemStats {
+                <$ty>::stats(self)
+            }
+            fn set_refresh_enabled(&mut self, enabled: bool) {
+                <$ty>::set_refresh_enabled(self, enabled)
+            }
+            fn take_completions(&mut self) -> Vec<codic_dram::controller::Completion> {
+                <$ty>::take_completions(self)
+            }
+            fn can_accept(&self, kind: ReqKind) -> bool {
+                <$ty>::can_accept(self, kind)
+            }
+        }
+    };
+}
+
+impl_scheduler_under_test!(MemoryController);
+impl_scheduler_under_test!(LegacyController);
+
+/// The mixed queue-depth service stream: one DetZero CODIC command, one
+/// read, one write, and one two-activation RowClone per group of four,
+/// rows rotating over the module so every bank and both row-op
+/// activation weights stay exercised. A single CODIC variant keeps MRS
+/// barriers out of the steady state.
+fn mixed_ops(outstanding: u64, geometry: &DramGeometry) -> Vec<CodicOp> {
+    let rows = geometry.total_rows();
+    (0..outstanding)
+        .map(|i| {
+            let row_addr = (i % rows) * DramGeometry::ROW_BYTES;
+            match i % 4 {
+                0 => CodicOp::command(VariantId::DetZero, row_addr),
+                1 => CodicOp::read(row_addr + 64),
+                2 => CodicOp::write(row_addr + 128),
+                _ => CodicOp::RowCloneZero { row_addr },
+            }
+        })
+        .collect()
+}
+
+/// Lowers the typed stream to raw controller requests (identical
+/// addresses and busy cycles on every path).
+fn mixed_requests(ops: &[CodicOp], timing: &TimingParams) -> Vec<MemRequest> {
+    ops.iter()
+        .map(|op| {
+            let kind = match op.row_op_kind() {
+                Some(kind) => ReqKind::RowOp {
+                    op: kind,
+                    busy_cycles: accounting::row_op_busy_cycles(kind, timing),
+                },
+                None => {
+                    if matches!(op, CodicOp::Read { .. }) {
+                        ReqKind::Read
+                    } else {
+                        ReqKind::Write
+                    }
+                }
+            };
+            MemRequest::new(op.row_addr(), kind)
+        })
+        .collect()
+}
+
+/// Streams `requests` through `scheduler` with the 64-deep queues
+/// refilled as slots free, event-driven or via the reference tick loop;
+/// returns the cycle the last request finished.
+fn drive_stream<S: SchedulerUnderTest>(
+    scheduler: &mut S,
+    requests: &[MemRequest],
+    event_driven: bool,
+) -> u64 {
+    scheduler.set_refresh_enabled(false);
+    for &request in requests {
+        // Poll capacity rather than counting bounced pushes: the retry
+        // frequency differs between the tick and event drivers, and a
+        // bounced push shows up in the (driver-dependent)
+        // `queue_rejections` statistic the identity checks compare.
+        while !scheduler.can_accept(request.kind) {
+            if event_driven {
+                scheduler.step_event();
+            } else {
+                scheduler.tick_reference();
+            }
+        }
+        scheduler.push(request).expect("capacity was just checked");
+    }
+    if event_driven {
+        scheduler.run_to_idle();
+    } else {
+        while !scheduler.is_idle() {
+            scheduler.tick_reference();
+        }
+    }
+    // Derive the finish cycle from the completions themselves, so both
+    // driving modes report the identical quantity.
+    scheduler
+        .take_completions()
+        .iter()
+        .map(|c| c.finish_cycle)
+        .max()
+        .unwrap_or(0)
+}
+
+struct DepthMeasured {
+    outstanding: u64,
+    finish_cycle: u64,
+    commands: u64,
+    legacy_s: f64,
+    live_mc_s: f64,
+    device_s: f64,
+    energy_nj: f64,
+}
+
+/// Runs the queue-depth workload at one outstanding depth on all three
+/// paths, asserting the legacy and live schedulers agree bit-for-bit.
+fn queue_depth_at(
+    outstanding: u64,
+    reps: u64,
+    geometry: DramGeometry,
+    timing: &TimingParams,
+) -> DepthMeasured {
+    let ops = mixed_ops(outstanding, &geometry);
+    let requests = mixed_requests(&ops, timing);
+
+    let (legacy_s, (legacy_finish, legacy_stats)) = time(reps, || {
+        let mut mc = LegacyController::new(geometry, *timing);
+        let finish = drive_stream(&mut mc, &requests, true);
+        (finish, *SchedulerUnderTest::stats(&mc))
+    });
+    let (live_mc_s, (live_finish, live_stats)) = time(reps, || {
+        let mut mc = MemoryController::new(geometry, *timing);
+        let finish = drive_stream(&mut mc, &requests, true);
+        (finish, *SchedulerUnderTest::stats(&mc))
+    });
+    assert_eq!(
+        legacy_finish, live_finish,
+        "indexed scheduler diverged from the legacy scheduler at depth {outstanding}"
+    );
+    assert_eq!(
+        legacy_stats, live_stats,
+        "indexed scheduler's command counts diverged at depth {outstanding}"
+    );
+
+    let config = DeviceConfig::new(geometry, *timing).with_refresh(false);
+    let (device_s, (device_finish, energy_nj)) = time(reps, || {
+        let mut device = CodicDevice::new(config.clone());
+        let futures: Vec<_> = ops
+            .iter()
+            .map(|&op| device.submit_async(op).expect("stream is authorized"))
+            .collect();
+        device.run_to_idle();
+        let mut finish = 0u64;
+        let mut energy = 0.0f64;
+        for future in futures {
+            let completion = block_on(future);
+            finish = finish.max(completion.finish_cycle);
+            energy += completion.cost.energy_nj;
+        }
+        (finish, energy)
+    });
+    assert_eq!(
+        device_finish, live_finish,
+        "device async path diverged from the raw scheduler at depth {outstanding}"
+    );
+
+    DepthMeasured {
+        outstanding,
+        finish_cycle: live_finish,
+        commands: live_stats.total_commands(),
+        legacy_s,
+        live_mc_s,
+        device_s,
+        energy_nj,
+    }
+}
+
+/// The `--quick` identity checks on the queue-depth workload: the live
+/// scheduler's tick and event drivers must agree, and the legacy
+/// scheduler must agree with the live one — all three bit-identical.
+fn queue_depth_smoke(outstanding: u64, geometry: DramGeometry, timing: &TimingParams) -> u64 {
+    let ops = mixed_ops(outstanding, &geometry);
+    let requests = mixed_requests(&ops, timing);
+    let run = |event_driven: bool| {
+        let mut mc = MemoryController::new(geometry, *timing);
+        let finish = drive_stream(&mut mc, &requests, event_driven);
+        (finish, *SchedulerUnderTest::stats(&mc))
+    };
+    let (tick_finish, tick_stats) = run(false);
+    let (event_finish, event_stats) = run(true);
+    assert_eq!(
+        (tick_finish, tick_stats),
+        (event_finish, event_stats),
+        "tick and event engines diverged on the depth-{outstanding} mixed workload"
+    );
+    let mut legacy = LegacyController::new(geometry, *timing);
+    let legacy_finish = drive_stream(&mut legacy, &requests, true);
+    assert_eq!(
+        (legacy_finish, *SchedulerUnderTest::stats(&legacy)),
+        (event_finish, event_stats),
+        "legacy and indexed schedulers diverged on the depth-{outstanding} mixed workload"
+    );
+    event_finish
+}
+
+fn print_depth_entry(m: &DepthMeasured, timing: &TimingParams, last: bool) {
+    println!("    {{");
+    println!("      \"workload\": \"queue_depth_mixed\",");
+    println!("      \"outstanding\": {},", m.outstanding);
+    println!("      \"commands\": {},", m.commands);
+    println!(
+        "      \"dram_ms\": {:.4},",
+        timing.ns(m.finish_cycle) * 1e-6
+    );
+    println!("      \"legacy_sched_host_s\": {:.4},", m.legacy_s);
+    println!("      \"indexed_sched_host_s\": {:.4},", m.live_mc_s);
+    println!("      \"device_async_host_s\": {:.4},", m.device_s);
+    println!(
+        "      \"legacy_host_rows_per_s\": {:.0},",
+        m.outstanding as f64 / m.legacy_s
+    );
+    println!(
+        "      \"indexed_host_rows_per_s\": {:.0},",
+        m.outstanding as f64 / m.live_mc_s
+    );
+    println!(
+        "      \"device_async_host_rows_per_s\": {:.0},",
+        m.outstanding as f64 / m.device_s
+    );
+    println!("      \"sched_speedup\": {:.2},", m.legacy_s / m.live_mc_s);
+    println!("      \"energy_mj\": {:.4}", m.energy_nj * 1e-6);
+    println!("    }}{}", if last { "" } else { "," });
+}
+
 struct EngineComparison {
     kind: RowOpKind,
     rows: u64,
@@ -221,16 +499,25 @@ fn main() {
     if has_flag("--quick") {
         // CI smoke: the event engine must report the same DRAM time as
         // the tick engine on the sweep workload (compare_engines asserts,
-        // so a divergence exits non-zero).
+        // so a divergence exits non-zero), and the queue-depth mixed
+        // workload must be bit-identical across tick vs event drivers
+        // and legacy vs indexed schedulers (queue_depth_smoke asserts).
         let rows = arg("--rows").unwrap_or(1024).min(geometry.total_rows());
         let codic = compare_engines(RowOpKind::Codic, rows, 1, &timing);
         let lisa = compare_engines(RowOpKind::LisaClone, rows, 1, &timing);
+        let depth = arg("--outstanding").unwrap_or(512);
+        let depth_finish = queue_depth_smoke(depth, geometry, &timing);
         println!("{{");
         println!("  \"bench\": \"device_engine_smoke\",");
         println!("  \"results\": [");
         print_engine_entry(&codic, &timing, false);
         print_engine_entry(&lisa, &timing, true);
-        println!("  ]");
+        println!("  ],");
+        println!("  \"queue_depth_smoke\": {{");
+        println!("    \"outstanding\": {depth},");
+        println!("    \"finish_cycle\": {depth_finish},");
+        println!("    \"identical\": [\"tick_vs_event\", \"legacy_vs_indexed\"]");
+        println!("  }}");
         println!("}}");
         return;
     }
@@ -262,7 +549,17 @@ fn main() {
     let codic = compare_engines(RowOpKind::Codic, rows, reps, &timing);
     print_engine_entry(&codic, &timing, false);
     let lisa = compare_engines(RowOpKind::LisaClone, rows, reps, &timing);
-    print_engine_entry(&lisa, &timing, true);
+    print_engine_entry(&lisa, &timing, false);
+    // Queue-depth scaling: the same mixed stream through the legacy
+    // scheduler, the indexed scheduler, and the device async path.
+    let depths = [64u64, 512, 2048, 8192];
+    let depth_results: Vec<DepthMeasured> = depths
+        .iter()
+        .map(|&d| queue_depth_at(d, reps, geometry, &timing))
+        .collect();
+    for (i, m) in depth_results.iter().enumerate() {
+        print_depth_entry(m, &timing, i + 1 == depth_results.len());
+    }
     println!("  ],");
     println!(
         "  \"dram_speedup_secdealloc\": {:.2},",
@@ -273,8 +570,17 @@ fn main() {
         (cb1.host_s / cb1.rows as f64) / (cbn.host_s / cbn.rows as f64)
     );
     println!(
-        "  \"events_vs_cycles_speedup\": {:.2}",
+        "  \"events_vs_cycles_speedup\": {:.2},",
         lisa.tick_s / lisa.event_s
+    );
+    let deepest = depth_results.last().expect("at least one depth");
+    println!(
+        "  \"sched_speedup_depth8192\": {:.2},",
+        deepest.legacy_s / deepest.live_mc_s
+    );
+    println!(
+        "  \"serve_speedup_depth8192\": {:.2}",
+        deepest.legacy_s / deepest.device_s
     );
     println!("}}");
 }

@@ -1,0 +1,525 @@
+//! Frozen snapshot of the pre-index memory-controller scheduler, kept
+//! **temporarily** as the measurement baseline for the queue-depth
+//! benchmark in `bench_device` and as the oracle for the
+//! legacy-equivalence property tests.
+//!
+//! [`LegacyController`] is a byte-for-byte copy of
+//! `codic_dram::controller::MemoryController` as it stood before the
+//! O(1)-per-command refactor: three global `VecDeque` queues scanned in
+//! full by `find_ready`/`advance_oldest`, `next_event_cycle` re-deriving
+//! its horizon from a per-request scan, and mid-queue `VecDeque::remove`
+//! on issue. It shares every public building block with the live
+//! controller (`Bank`, `Rank`, `AddressMapper`, `TimingParams`,
+//! `MemStats`, `Completion`), so any divergence between the two is a
+//! scheduler divergence, not a model divergence.
+//!
+//! Delete this module once the refactor has survived a release cycle; the
+//! equivalence proptests and the pinned unit expectations in `codic_dram`
+//! then carry the invariant alone.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+use codic_dram::address::{AddressMapper, DramAddress};
+use codic_dram::bank::Bank;
+use codic_dram::controller::Completion;
+use codic_dram::geometry::DramGeometry;
+use codic_dram::rank::Rank;
+use codic_dram::request::{MemRequest, QueueFull, ReqId, ReqKind};
+use codic_dram::stats::MemStats;
+use codic_dram::timing::TimingParams;
+
+/// Capacity of each of the read and write queues (Table 5).
+pub const QUEUE_DEPTH: usize = 64;
+
+/// Write-queue occupancy that starts a write drain.
+const DRAIN_HIGH: usize = 48;
+
+/// Write-queue occupancy that ends a write drain.
+const DRAIN_LOW: usize = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    id: ReqId,
+    addr: DramAddress,
+    kind: ReqKind,
+}
+
+/// The pre-refactor cycle-level DDR3 memory controller (O(n) scans per
+/// command). See the module docs for why it is preserved.
+#[derive(Debug)]
+pub struct LegacyController {
+    mapper: AddressMapper,
+    timing: TimingParams,
+    banks: Vec<Bank>,
+    ranks: Vec<Rank>,
+    read_q: VecDeque<Pending>,
+    write_q: VecDeque<Pending>,
+    rowop_q: VecDeque<Pending>,
+    in_flight: BinaryHeap<Reverse<(u64, u64)>>,
+    completed: Vec<Completion>,
+    last_finish: u64,
+    now: u64,
+    data_bus_free: u64,
+    write_drain: bool,
+    refresh_enabled: bool,
+    refresh_pending: bool,
+    next_refresh: u64,
+    next_id: u64,
+    stats: MemStats,
+}
+
+impl LegacyController {
+    /// Creates a controller for a module of the given geometry and timing.
+    #[must_use]
+    pub fn new(geometry: DramGeometry, timing: TimingParams) -> Self {
+        let total_banks = geometry.total_banks() as usize;
+        LegacyController {
+            mapper: AddressMapper::new(geometry),
+            timing,
+            banks: vec![Bank::new(); total_banks],
+            ranks: (0..geometry.ranks).map(|_| Rank::new()).collect(),
+            read_q: VecDeque::with_capacity(QUEUE_DEPTH),
+            write_q: VecDeque::with_capacity(QUEUE_DEPTH),
+            rowop_q: VecDeque::with_capacity(QUEUE_DEPTH),
+            in_flight: BinaryHeap::new(),
+            completed: Vec::new(),
+            last_finish: 0,
+            now: 0,
+            data_bus_free: 0,
+            write_drain: false,
+            refresh_enabled: true,
+            refresh_pending: false,
+            next_refresh: u64::from(timing.t_refi),
+            next_id: 0,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The current memory cycle.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The timing parameters in use.
+    #[must_use]
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Accumulated command statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Enables or disables the refresh engine (enabled by default).
+    pub fn set_refresh_enabled(&mut self, enabled: bool) {
+        self.refresh_enabled = enabled;
+    }
+
+    /// Whether a request of `kind` can currently be accepted.
+    #[must_use]
+    pub fn can_accept(&self, kind: ReqKind) -> bool {
+        match kind {
+            ReqKind::Read => self.read_q.len() < QUEUE_DEPTH,
+            ReqKind::Write => self.write_q.len() < QUEUE_DEPTH,
+            ReqKind::RowOp { .. } => self.rowop_q.len() < QUEUE_DEPTH,
+        }
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] (with the request) if the target queue is at
+    /// capacity; the caller should retry after ticking.
+    pub fn push(&mut self, request: MemRequest) -> Result<ReqId, QueueFull> {
+        if !self.can_accept(request.kind) {
+            self.stats.queue_rejections += 1;
+            return Err(QueueFull { request });
+        }
+        let id = ReqId(self.next_id);
+        self.next_id += 1;
+        let pending = Pending {
+            id,
+            addr: self.mapper.decode(request.addr),
+            kind: request.kind,
+        };
+        match request.kind {
+            ReqKind::Read => self.read_q.push_back(pending),
+            ReqKind::Write => self.write_q.push_back(pending),
+            ReqKind::RowOp { .. } => self.rowop_q.push_back(pending),
+        }
+        Ok(id)
+    }
+
+    /// True when no request is queued or in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.read_q.is_empty()
+            && self.write_q.is_empty()
+            && self.rowop_q.is_empty()
+            && self.in_flight.is_empty()
+    }
+
+    /// Removes and returns all completions that have finished by now.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Advances one memory cycle, issuing at most one command.
+    pub fn tick(&mut self) {
+        self.advance_to(self.now + 1);
+    }
+
+    /// Advances one memory cycle with no consultation of
+    /// [`LegacyController::next_event_cycle`] — the pre-event-engine
+    /// `tick` body.
+    pub fn tick_reference(&mut self) {
+        self.step_cycle();
+        self.now += 1;
+    }
+
+    /// The earliest cycle `>= now()` at which the controller may act, or
+    /// `u64::MAX` when no future cycle can ever be actionable. Derived by
+    /// re-scanning every queued request — the O(n) horizon the refactor
+    /// replaces.
+    #[must_use]
+    pub fn next_event_cycle(&self) -> u64 {
+        let mut e = u64::MAX;
+        if let Some(&Reverse((cycle, _))) = self.in_flight.peek() {
+            e = e.min(cycle);
+        }
+        if self.refresh_enabled && !self.refresh_pending {
+            e = e.min(self.next_refresh);
+        }
+        if self.refresh_pending {
+            match self.banks.iter().find(|b| b.open_row().is_some()) {
+                Some(bank) => e = e.min(bank.next_pre_at()),
+                None => {
+                    let all_ready = self.banks.iter().map(Bank::next_act_at).max().unwrap_or(0);
+                    e = e.min(all_ready);
+                }
+            }
+        } else {
+            let mut gate_buf = [[0u64; 2]; 8];
+            let memo_ranks = self.ranks.len().min(gate_buf.len());
+            for (slot, rank) in gate_buf.iter_mut().zip(&self.ranks) {
+                *slot = self.act_gates_of(rank);
+            }
+            for queue in [&self.read_q, &self.write_q, &self.rowop_q] {
+                for p in queue {
+                    e = e.min(self.request_candidate(p, &gate_buf[..memo_ranks]));
+                    if e <= self.now {
+                        return self.now;
+                    }
+                }
+            }
+        }
+        e.max(self.now)
+    }
+
+    /// The rank's activation gates for 1 and 2 activations.
+    fn act_gates_of(&self, rank: &Rank) -> [u64; 2] {
+        [
+            rank.earliest_activate(0, 1, &self.timing),
+            rank.earliest_activate(0, 2, &self.timing),
+        ]
+    }
+
+    /// The earliest cycle at which a pending request could be issued a
+    /// command, given current bank/rank/bus state.
+    fn request_candidate(&self, p: &Pending, act_gates: &[[u64; 2]]) -> u64 {
+        let bank = &self.banks[self.bank_index(&p.addr)];
+        let gates = &act_gates
+            .get(p.addr.rank as usize)
+            .copied()
+            .unwrap_or_else(|| self.act_gates_of(&self.ranks[p.addr.rank as usize]));
+        match p.kind {
+            ReqKind::Read => match bank.open_row() {
+                Some(row) if row == p.addr.row => bank.next_rd_at().max(
+                    self.data_bus_free
+                        .saturating_sub(u64::from(self.timing.t_cl)),
+                ),
+                Some(_) => bank.next_pre_at(),
+                None => bank.next_act_at().max(gates[0]),
+            },
+            ReqKind::Write => match bank.open_row() {
+                Some(row) if row == p.addr.row => bank.next_wr_at().max(
+                    self.data_bus_free
+                        .saturating_sub(u64::from(self.timing.t_cwl)),
+                ),
+                Some(_) => bank.next_pre_at(),
+                None => bank.next_act_at().max(gates[0]),
+            },
+            ReqKind::RowOp { op, .. } => match bank.open_row() {
+                Some(_) => bank.next_pre_at(),
+                None => bank
+                    .next_act_at()
+                    .max(gates[usize::from(op.activations().clamp(1, 2)) - 1]),
+            },
+        }
+    }
+
+    /// Advances the clock to exactly `target`, processing every
+    /// actionable cycle in `[now, target)`.
+    pub fn advance_to(&mut self, target: u64) {
+        while self.now < target {
+            let event = self.next_event_cycle().min(target);
+            if event > self.now {
+                self.now = event;
+                if self.now >= target {
+                    break;
+                }
+            }
+            self.step_cycle();
+            self.now += 1;
+        }
+    }
+
+    /// One tick's worth of work at the current cycle.
+    fn step_cycle(&mut self) {
+        self.retire_in_flight();
+        if self.refresh_enabled && !self.refresh_pending && self.now >= self.next_refresh {
+            self.refresh_pending = true;
+        }
+        if self.refresh_pending {
+            let _ = self.service_refresh();
+        } else {
+            self.update_drain_mode();
+            self.schedule();
+        }
+    }
+
+    /// Jumps the clock to the next event and processes that one cycle.
+    pub fn step_event(&mut self) -> bool {
+        let event = self.next_event_cycle();
+        if event == u64::MAX {
+            return false;
+        }
+        self.now = self.now.max(event);
+        self.step_cycle();
+        self.now += 1;
+        true
+    }
+
+    /// Runs until idle, returning the cycle at which the last request
+    /// completed (or the current cycle when already idle).
+    pub fn run_to_idle(&mut self) -> u64 {
+        let last = self.now;
+        while !self.is_idle() && self.step_event() {}
+        last.max(self.last_finish)
+    }
+
+    fn retire_in_flight(&mut self) {
+        while let Some(&Reverse((cycle, id))) = self.in_flight.peek() {
+            if cycle > self.now {
+                break;
+            }
+            self.in_flight.pop();
+            self.last_finish = self.last_finish.max(cycle);
+            self.completed.push(Completion {
+                id: ReqId(id),
+                finish_cycle: cycle,
+            });
+        }
+    }
+
+    fn update_drain_mode(&mut self) {
+        if self.write_q.len() >= DRAIN_HIGH {
+            self.write_drain = true;
+        } else if self.write_q.len() <= DRAIN_LOW {
+            self.write_drain = false;
+        }
+    }
+
+    /// Attempts to make refresh progress; returns true if a command was
+    /// issued this cycle.
+    fn service_refresh(&mut self) -> bool {
+        for i in 0..self.banks.len() {
+            if self.banks[i].open_row().is_some() {
+                if self.banks[i].can_precharge(self.now) {
+                    self.banks[i].precharge(self.now, &self.timing);
+                    self.stats.precharges += 1;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if self.banks.iter().all(|b| b.can_activate(self.now)) {
+            let until = self.now + u64::from(self.timing.t_rfc);
+            for b in &mut self.banks {
+                b.block_until(until);
+            }
+            self.stats.refreshes += self.ranks.len() as u64;
+            self.refresh_pending = false;
+            self.next_refresh += u64::from(self.timing.t_refi);
+            return true;
+        }
+        false
+    }
+
+    // The branches differ in short-circuit order (write-drain priority),
+    // which clippy's structural comparison does not see.
+    #[allow(clippy::if_same_then_else)]
+    fn schedule(&mut self) {
+        let serve_writes_first = self.write_drain || self.read_q.is_empty();
+        let issued = if serve_writes_first {
+            self.try_queue(Queue::Write)
+                || self.try_queue(Queue::Read)
+                || self.try_queue(Queue::RowOp)
+        } else {
+            self.try_queue(Queue::Read)
+                || self.try_queue(Queue::Write)
+                || self.try_queue(Queue::RowOp)
+        };
+        let _ = issued;
+    }
+
+    fn try_queue(&mut self, which: Queue) -> bool {
+        if let Some(idx) = self.find_ready(which) {
+            self.issue_column(which, idx);
+            return true;
+        }
+        self.advance_oldest(which)
+    }
+
+    fn queue(&self, which: Queue) -> &VecDeque<Pending> {
+        match which {
+            Queue::Read => &self.read_q,
+            Queue::Write => &self.write_q,
+            Queue::RowOp => &self.rowop_q,
+        }
+    }
+
+    fn find_ready(&self, which: Queue) -> Option<usize> {
+        let q = self.queue(which);
+        for (i, p) in q.iter().enumerate() {
+            let bank = &self.banks[self.bank_index(&p.addr)];
+            match p.kind {
+                ReqKind::Read => {
+                    if bank.can_read(p.addr.row, self.now) && self.column_bus_ok(true) {
+                        return Some(i);
+                    }
+                }
+                ReqKind::Write => {
+                    if bank.can_write(p.addr.row, self.now) && self.column_bus_ok(false) {
+                        return Some(i);
+                    }
+                }
+                ReqKind::RowOp { op, .. } => {
+                    let rank = &self.ranks[p.addr.rank as usize];
+                    if bank.can_row_op(self.now)
+                        && rank.can_activate(self.now, op.activations(), &self.timing)
+                    {
+                        return Some(i);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn column_bus_ok(&self, is_read: bool) -> bool {
+        let start = self.now
+            + u64::from(if is_read {
+                self.timing.t_cl
+            } else {
+                self.timing.t_cwl
+            });
+        start >= self.data_bus_free
+    }
+
+    fn issue_column(&mut self, which: Queue, idx: usize) {
+        let p = match which {
+            Queue::Read => self.read_q.remove(idx),
+            Queue::Write => self.write_q.remove(idx),
+            Queue::RowOp => self.rowop_q.remove(idx),
+        }
+        .expect("index returned by find_ready is valid");
+        let bank_idx = self.bank_index(&p.addr);
+        match p.kind {
+            ReqKind::Read => {
+                let done = self.banks[bank_idx].read(self.now, &self.timing);
+                self.data_bus_free = done;
+                self.stats.reads += 1;
+                self.stats.row_hits += 1;
+                self.in_flight.push(Reverse((done, p.id.0)));
+            }
+            ReqKind::Write => {
+                let done = self.banks[bank_idx].write(self.now, &self.timing);
+                self.data_bus_free = done;
+                self.stats.writes += 1;
+                self.stats.row_hits += 1;
+                self.in_flight.push(Reverse((done, p.id.0)));
+            }
+            ReqKind::RowOp { op, busy_cycles } => {
+                self.banks[bank_idx].row_op(self.now, busy_cycles);
+                self.ranks[p.addr.rank as usize].record_activate(
+                    self.now,
+                    op.activations(),
+                    &self.timing,
+                );
+                self.stats.row_ops += 1;
+                self.stats.row_op_activations += u64::from(op.activations());
+                self.in_flight
+                    .push(Reverse((self.now + u64::from(busy_cycles), p.id.0)));
+            }
+        }
+    }
+
+    fn advance_oldest(&mut self, which: Queue) -> bool {
+        let mut touched_banks = Vec::new();
+        let q_len = self.queue(which).len();
+        for i in 0..q_len {
+            let p = self.queue(which)[i];
+            let bank_idx = self.bank_index(&p.addr);
+            if touched_banks.contains(&bank_idx) {
+                continue;
+            }
+            touched_banks.push(bank_idx);
+            let is_rowop = matches!(p.kind, ReqKind::RowOp { .. });
+            match self.banks[bank_idx].open_row() {
+                Some(row)
+                    if (is_rowop || row != p.addr.row)
+                        && self.banks[bank_idx].can_precharge(self.now) =>
+                {
+                    self.banks[bank_idx].precharge(self.now, &self.timing);
+                    self.stats.precharges += 1;
+                    if !is_rowop {
+                        self.stats.row_misses += 1;
+                    }
+                    return true;
+                }
+                Some(_) => {}
+                None if !is_rowop => {
+                    let rank = &self.ranks[p.addr.rank as usize];
+                    if self.banks[bank_idx].can_activate(self.now)
+                        && rank.can_activate(self.now, 1, &self.timing)
+                    {
+                        self.banks[bank_idx].activate(p.addr.row, self.now, &self.timing);
+                        self.ranks[p.addr.rank as usize].record_activate(self.now, 1, &self.timing);
+                        self.stats.activates += 1;
+                        return true;
+                    }
+                }
+                None => {}
+            }
+        }
+        false
+    }
+
+    fn bank_index(&self, addr: &DramAddress) -> usize {
+        addr.bank_id(self.mapper.geometry()) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Queue {
+    Read,
+    Write,
+    RowOp,
+}

@@ -1,0 +1,153 @@
+//! Property tests pinning the indexed scheduler to the preserved
+//! pre-refactor scheduler.
+//!
+//! [`LegacyController`] is the byte-for-byte snapshot of the
+//! O(n)-scan-per-command controller the slab/per-bank-chain refactor
+//! replaced. Random request streams — including streams far deeper than
+//! the 64-entry queues, with write-drain pressure and refresh — must
+//! produce **bit-identical** completions, command statistics, and final
+//! clocks on both schedulers. Any divergence here is a scheduling-policy
+//! change, which the refactor promises never to make.
+
+use codic_bench::legacy::LegacyController;
+use codic_dram::controller::Completion;
+use codic_dram::geometry::DramGeometry;
+use codic_dram::request::{MemRequest, ReqKind, RowOpKind};
+use codic_dram::timing::TimingParams;
+use codic_dram::{MemStats, MemoryController};
+use codic_power::accounting;
+use codic_power::{EnergyModel, IddValues};
+use proptest::prelude::*;
+
+/// Decodes one generated tuple into a request over a 64 MB module.
+fn arbitrary_request(selector: u8, row_seed: u64, line: u8, timing: &TimingParams) -> MemRequest {
+    let row = row_seed % 2048;
+    let addr = row * DramGeometry::ROW_BYTES + u64::from(line % 128) * 64;
+    let kind = match selector % 6 {
+        0 | 1 => ReqKind::Read,
+        2 | 3 => ReqKind::Write,
+        s => {
+            let op = if s == 4 {
+                RowOpKind::Codic
+            } else {
+                RowOpKind::RowClone
+            };
+            ReqKind::RowOp {
+                op,
+                busy_cycles: accounting::row_op_busy_cycles(op, timing),
+            }
+        }
+    };
+    MemRequest::new(addr, kind)
+}
+
+/// Streams `requests` event-driven with capacity polling (identical on
+/// both controllers) and returns (completions, stats, final clock).
+macro_rules! drive {
+    ($controller:expr, $requests:expr, $refresh:expr) => {{
+        let mut mc = $controller;
+        mc.set_refresh_enabled($refresh);
+        for &request in $requests {
+            while !mc.can_accept(request.kind) {
+                mc.step_event();
+            }
+            mc.push(request).expect("capacity was just checked");
+        }
+        mc.run_to_idle();
+        let completions: Vec<Completion> = mc.take_completions();
+        let stats: MemStats = *mc.stats();
+        (completions, stats, mc.now())
+    }};
+}
+
+fn geometry() -> DramGeometry {
+    DramGeometry::module_mib(64)
+}
+
+/// A two-rank module: exercises the indexed scheduler's bank→rank
+/// derivation (`rank_of_bank`, per-rank activation-gate memo) against
+/// the legacy scheduler's direct per-request rank reads — a single-rank
+/// geometry cannot distinguish them.
+fn two_rank_geometry() -> DramGeometry {
+    DramGeometry {
+        ranks: 2,
+        ..DramGeometry::module_mib(64)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Short random mixed streams, on one- and two-rank modules: legacy
+    /// and indexed schedulers agree on every completion, statistic, and
+    /// the final clock.
+    #[test]
+    fn indexed_scheduler_matches_legacy_on_random_streams(
+        raw in proptest::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u8>()), 1..96),
+        refresh in any::<bool>(),
+        two_ranks in any::<bool>(),
+    ) {
+        let timing = TimingParams::ddr3_1600_11();
+        let g = if two_ranks { two_rank_geometry() } else { geometry() };
+        let requests: Vec<MemRequest> = raw
+            .iter()
+            .map(|&(s, r, l)| arbitrary_request(s, r, l, &timing))
+            .collect();
+        let legacy = drive!(LegacyController::new(g, timing), &requests, refresh);
+        let indexed = drive!(MemoryController::new(g, timing), &requests, refresh);
+        prop_assert_eq!(&legacy.0, &indexed.0, "completion streams diverge");
+        prop_assert_eq!(legacy.1, indexed.1, "command statistics diverge");
+        prop_assert_eq!(legacy.2, indexed.2, "final clocks diverge");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Streams ≥1024 deep (the queue-depth workload's regime, with
+    /// sustained refills and write-drain pressure): still bit-identical.
+    #[test]
+    fn indexed_scheduler_matches_legacy_on_deep_streams(
+        pattern in proptest::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u8>()), 8..24),
+        refresh in any::<bool>(),
+    ) {
+        let timing = TimingParams::ddr3_1600_11();
+        let requests: Vec<MemRequest> = (0..1024 + pattern.len())
+            .map(|i| {
+                let (s, r, l) = pattern[i % pattern.len()];
+                // Stride the rows so the stream walks banks and rows.
+                arbitrary_request(s, r.wrapping_add(i as u64 * 7), l, &timing)
+            })
+            .collect();
+        prop_assert!(requests.len() >= 1024);
+        let legacy = drive!(LegacyController::new(geometry(), timing), &requests, refresh);
+        let indexed = drive!(MemoryController::new(geometry(), timing), &requests, refresh);
+        prop_assert_eq!(&legacy.0, &indexed.0, "completion streams diverge");
+        prop_assert_eq!(legacy.1, indexed.1, "command statistics diverge");
+        prop_assert_eq!(legacy.2, indexed.2, "final clocks diverge");
+    }
+}
+
+/// The energy model charges identical numbers for identical statistics,
+/// so stats equality above implies energy equality; this pin makes that
+/// explicit for the depth-8192 acceptance workload.
+#[test]
+fn deep_queue_energy_is_identical_across_schedulers() {
+    let timing = TimingParams::ddr3_1600_11();
+    let requests: Vec<MemRequest> = (0..2048u64)
+        .map(|i| arbitrary_request((i % 6) as u8, i * 3, (i % 61) as u8, &timing))
+        .collect();
+    let legacy = drive!(LegacyController::new(geometry(), timing), &requests, false);
+    let indexed = drive!(MemoryController::new(geometry(), timing), &requests, false);
+    assert_eq!(legacy.1, indexed.1);
+    let energy = EnergyModel::new(IddValues::ddr3_1600(), timing, geometry().devices_per_rank);
+    let charge = |stats: &MemStats| {
+        stats.activates as f64 * energy.act_pre_nj()
+            + stats.row_op_activations as f64 * energy.act_pre_nj()
+            + stats.reads as f64 * energy.read_burst_nj()
+            + stats.writes as f64 * energy.write_burst_nj()
+    };
+    assert_eq!(charge(&legacy.1).to_bits(), charge(&indexed.1).to_bits());
+}

@@ -29,19 +29,20 @@
 //! returns an [`OpFuture`] resolved by the
 //! clock driver ([`CodicDevice::step`] / [`CodicDevice::run_to_idle`]).
 
-use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Arc;
 
-use codic_dram::controller::MemoryController;
+use codic_dram::controller::{MemoryController, QUEUE_DEPTH};
 use codic_dram::geometry::DramGeometry;
-use codic_dram::request::{MemRequest, ReqId, ReqKind};
+use codic_dram::request::{MemRequest, ReqId, ReqKind, RowOpKind};
 use codic_dram::stats::MemStats;
 use codic_dram::timing::TimingParams;
 use codic_power::accounting::{self, RowOpCost};
 use codic_power::{EnergyModel, IddValues};
 
 use crate::error::CodicError;
-use crate::executor::{CompletionSlot, OpFuture};
+use crate::executor::{OpFuture, SlotArena, SlotHandle};
+use crate::idmap::IdMap;
 use crate::interface::CodicController;
 use crate::ops::{CodicOp, InDramMechanism, RowRegion};
 
@@ -183,19 +184,49 @@ pub struct SweepReport {
     pub energy_nj: f64,
 }
 
+/// One submitted operation awaiting completion: its typed op, accounted
+/// cost, and — for async submissions — the arena slot to fulfil.
+#[derive(Debug)]
+struct PendingOp {
+    op: CodicOp,
+    cost: OpCost,
+    waiter: Option<SlotHandle>,
+}
+
 /// The CODIC service device: policy-checked, typed command submission over
 /// an embedded cycle-level memory controller.
+///
+/// Completion delivery is allocation-free at steady state: in-flight
+/// operations live in a direct-mapped id window (no hashing), and async
+/// submissions claim recycled slots of the device's completion-slot
+/// arena instead of allocating one `Arc<Mutex>` per operation.
 #[derive(Debug)]
 pub struct CodicDevice {
     policy: CodicController,
     mc: MemoryController,
     energy: EnergyModel,
-    pending: HashMap<ReqId, (CodicOp, OpCost)>,
-    /// Futures awaiting fulfilment, keyed by request id: completions of
-    /// async submissions resolve their future instead of entering the
-    /// `ready` buffer.
-    waiters: HashMap<ReqId, CompletionSlot>,
+    /// In-flight operations keyed by controller request id. Ids are
+    /// monotone and live only while queued or in flight, so the window
+    /// stays within the controller's queue + in-flight bound.
+    pending: IdMap<PendingOp>,
+    /// The completion-slot arena shared with this device's [`OpFuture`]s.
+    futures: Arc<SlotArena>,
+    /// Accounted costs, precomputed per request shape (timing and energy
+    /// model are fixed at construction): reads, writes, and the three
+    /// row-operation kinds — no per-submission float accounting.
+    read_cost: OpCost,
+    write_cost: OpCost,
+    row_costs: [OpCost; 3],
     ready: Vec<OpCompletion>,
+}
+
+/// The `row_costs` slot of a row-operation kind.
+fn row_cost_idx(kind: RowOpKind) -> usize {
+    match kind {
+        RowOpKind::Codic => 0,
+        RowOpKind::RowClone => 1,
+        RowOpKind::LisaClone => 2,
+    }
 }
 
 impl CodicDevice {
@@ -205,12 +236,33 @@ impl CodicDevice {
         let mut mc = MemoryController::new(config.geometry, config.timing);
         mc.set_refresh_enabled(config.refresh_enabled);
         let energy = EnergyModel::new(config.idd, config.timing, config.geometry.devices_per_rank);
+        let t = config.timing;
+        let read_cost = OpCost {
+            busy_cycles: t.t_cl + t.t_bl,
+            activations: 0,
+            energy_nj: energy.read_burst_nj(),
+        };
+        let write_cost = OpCost {
+            busy_cycles: t.t_cwl + t.t_bl,
+            activations: 0,
+            energy_nj: energy.write_burst_nj(),
+        };
+        let mut row_costs = [read_cost; 3];
+        for kind in [RowOpKind::Codic, RowOpKind::RowClone, RowOpKind::LisaClone] {
+            row_costs[row_cost_idx(kind)] = accounting::row_op_cost(kind, &t, &energy).into();
+        }
         CodicDevice {
             policy: CodicController::new(config.safe_range),
             mc,
             energy,
-            pending: HashMap::new(),
-            waiters: HashMap::new(),
+            // Live ids span at most the three 64-deep queues plus the
+            // in-flight set; one extra doubling of headroom keeps the
+            // ring collision-free in steady state.
+            pending: IdMap::with_capacity(8 * QUEUE_DEPTH),
+            futures: SlotArena::with_capacity(2 * QUEUE_DEPTH),
+            read_cost,
+            write_cost,
+            row_costs,
             ready: Vec::new(),
         }
     }
@@ -259,6 +311,14 @@ impl CodicDevice {
         self.mc.is_idle()
     }
 
+    /// Number of submitted operations not yet completed — the
+    /// backpressure signal for serving loops that bound their in-flight
+    /// window.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Submits one typed operation.
     ///
     /// The safe-range policy check runs *before* anything else, so a
@@ -289,7 +349,14 @@ impl CodicDevice {
         loop {
             match self.mc.push(request) {
                 Ok(id) => {
-                    self.pending.insert(id, (op, cost));
+                    self.pending.insert(
+                        id.0,
+                        PendingOp {
+                            op,
+                            cost,
+                            waiter: None,
+                        },
+                    );
                     return Ok(OpToken(id));
                 }
                 // The queue drains as the scheduler makes progress, so a
@@ -317,42 +384,32 @@ impl CodicDevice {
     /// Returns the policy error exactly as [`CodicDevice::submit`] does.
     pub fn submit_async(&mut self, op: CodicOp) -> Result<OpFuture, CodicError> {
         let token = self.submit(op)?;
-        let (future, slot) = OpFuture::pair();
-        self.waiters.insert(token.0, slot);
+        let (future, handle) = self.futures.claim();
+        // Nothing advances the clock between the submit above and this
+        // point, so the operation cannot have completed waiterless.
+        self.pending
+            .get_mut(token.0 .0)
+            .expect("operation was just submitted")
+            .waiter = Some(handle);
         Ok(future)
     }
 
     /// The controller request and accounted cost `op` maps to: a
     /// bank-occupying row operation, or an ordinary column access for the
-    /// data path.
+    /// data path. Costs come from the construction-time memo.
     fn request_for(&self, op: CodicOp) -> (ReqKind, OpCost) {
-        let t = self.mc.timing();
         match op {
-            CodicOp::Read { .. } => (
-                ReqKind::Read,
-                OpCost {
-                    busy_cycles: t.t_cl + t.t_bl,
-                    activations: 0,
-                    energy_nj: self.energy.read_burst_nj(),
-                },
-            ),
-            CodicOp::Write { .. } => (
-                ReqKind::Write,
-                OpCost {
-                    busy_cycles: t.t_cwl + t.t_bl,
-                    activations: 0,
-                    energy_nj: self.energy.write_burst_nj(),
-                },
-            ),
+            CodicOp::Read { .. } => (ReqKind::Read, self.read_cost),
+            CodicOp::Write { .. } => (ReqKind::Write, self.write_cost),
             _ => {
                 let kind = op.row_op_kind().expect("non-data ops are row ops");
-                let cost = accounting::row_op_cost(kind, t, &self.energy);
+                let cost = self.row_costs[row_cost_idx(kind)];
                 (
                     ReqKind::RowOp {
                         op: kind,
                         busy_cycles: cost.busy_cycles,
                     },
-                    cost.into(),
+                    cost,
                 )
             }
         }
@@ -409,6 +466,10 @@ impl CodicDevice {
     pub fn run_to_idle(&mut self) -> u64 {
         let last = self.mc.run_to_idle();
         self.harvest();
+        debug_assert!(
+            self.pending.is_empty(),
+            "an idle device has no outstanding operations"
+        );
         last
     }
 
@@ -495,7 +556,7 @@ impl CodicDevice {
         )?;
         self.install_for(proto);
         let kind = proto.row_op_kind().expect("data accesses rejected above");
-        let cost = accounting::row_op_cost(kind, self.mc.timing(), &self.energy);
+        let cost = self.row_costs[row_cost_idx(kind)];
         let request_at = |row: u64| {
             MemRequest::new(
                 row * DramGeometry::ROW_BYTES,
@@ -545,22 +606,32 @@ impl CodicDevice {
     }
 
     fn harvest(&mut self) {
-        for c in self.mc.take_completions() {
-            if let Some((op, cost)) = self.pending.remove(&c.id) {
+        // Disjoint field borrows: the controller drains its buffer in
+        // place (capacity retained — no allocation) while the pending
+        // window and arena deliver each completion.
+        let CodicDevice {
+            mc,
+            pending,
+            futures,
+            ready,
+            ..
+        } = self;
+        mc.drain_completions(|c| {
+            if let Some(p) = pending.remove(c.id.0) {
                 let completion = OpCompletion {
                     token: OpToken(c.id),
-                    op,
+                    op: p.op,
                     finish_cycle: c.finish_cycle,
-                    cost,
+                    cost: p.cost,
                 };
                 // Async submissions resolve their future (in completion
                 // order); synchronous ones land in the drainable buffer.
-                match self.waiters.remove(&c.id) {
-                    Some(slot) => slot.fulfil(completion),
-                    None => self.ready.push(completion),
+                match p.waiter {
+                    Some(handle) => futures.fulfil(handle, completion),
+                    None => ready.push(completion),
                 }
             }
-        }
+        });
     }
 }
 

@@ -1,0 +1,146 @@
+//! A direct-mapped table keyed by monotone request ids.
+//!
+//! The device's pending table maps every in-flight [`ReqId`] to its typed
+//! operation and cost. Ids are handed out sequentially by the controller
+//! and live only while the request is queued or in flight, so at any
+//! instant the live ids span a window no wider than the controller's
+//! queue depth plus its in-flight set. [`IdMap`] exploits that: a
+//! power-of-two ring indexed by `id % capacity` gives O(1) insert /
+//! lookup / remove with **no hashing and no per-operation allocation**
+//! (the ring doubles — rare, amortized — only if the live window ever
+//! outgrows it).
+//!
+//! [`ReqId`]: codic_dram::request::ReqId
+
+/// A direct-mapped id → value table over a power-of-two ring.
+#[derive(Debug)]
+pub(crate) struct IdMap<T> {
+    slots: Vec<Option<(u64, T)>>,
+    mask: u64,
+    len: usize,
+}
+
+impl<T> IdMap<T> {
+    /// A map with room for a live-id window of at least `capacity`
+    /// (rounded up to a power of two).
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.next_power_of_two().max(2);
+        IdMap {
+            slots: (0..capacity).map(|_| None).collect(),
+            mask: capacity as u64 - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entry is live.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` under `id`. A ring collision with a *different*
+    /// live id doubles the ring until the window fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already present (request ids are unique): a
+    /// duplicate would otherwise re-seat to the same slot after every
+    /// doubling and loop until allocation failure, so the check is a hard
+    /// assert on the (cold) collision path.
+    pub(crate) fn insert(&mut self, id: u64, value: T) {
+        while let Some((existing, _)) = &self.slots[(id & self.mask) as usize] {
+            assert_ne!(*existing, id, "request ids are unique");
+            self.grow();
+        }
+        self.slots[(id & self.mask) as usize] = Some((id, value));
+        self.len += 1;
+    }
+
+    /// Mutable access to the value under `id`, if present.
+    pub(crate) fn get_mut(&mut self, id: u64) -> Option<&mut T> {
+        match &mut self.slots[(id & self.mask) as usize] {
+            Some((key, value)) if *key == id => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the value under `id`, if present.
+    pub(crate) fn remove(&mut self, id: u64) -> Option<T> {
+        let slot = &mut self.slots[(id & self.mask) as usize];
+        match slot {
+            Some((key, _)) if *key == id => {
+                let (_, value) = slot.take().expect("just matched");
+                self.len -= 1;
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Doubles the ring, re-seating every live entry. Distinct ids can
+    /// collide modulo any ring size short of covering their window, so a
+    /// re-seat may recursively double again; distinct u64 ids cannot
+    /// collide forever, so this terminates.
+    fn grow(&mut self) {
+        let new_capacity = self.slots.len() * 2;
+        let old: Vec<Option<(u64, T)>> =
+            std::mem::replace(&mut self.slots, (0..new_capacity).map(|_| None).collect());
+        self.mask = new_capacity as u64 - 1;
+        for (id, value) in old.into_iter().flatten() {
+            while self.slots[(id & self.mask) as usize].is_some() {
+                self.grow();
+            }
+            self.slots[(id & self.mask) as usize] = Some((id, value));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove_round_trip() {
+        let mut m = IdMap::with_capacity(4);
+        m.insert(0, "a");
+        m.insert(1, "b");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get_mut(0), Some(&mut "a"));
+        assert_eq!(m.get_mut(7), None);
+        assert_eq!(m.remove(1), Some("b"));
+        assert_eq!(m.remove(1), None);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn sliding_window_never_grows_the_ring() {
+        // Monotone ids with a bounded live window: the steady-state shape
+        // of the device's pending table.
+        let mut m = IdMap::with_capacity(8);
+        for id in 0..1000u64 {
+            m.insert(id, id * 10);
+            if id >= 7 {
+                assert_eq!(m.remove(id - 7), Some((id - 7) * 10));
+            }
+        }
+        assert_eq!(m.slots.len(), 8, "window of 8 fits the ring of 8");
+    }
+
+    #[test]
+    fn colliding_window_doubles_until_it_fits() {
+        let mut m = IdMap::with_capacity(2);
+        for id in 0..16u64 {
+            m.insert(id, id);
+        }
+        assert_eq!(m.len(), 16);
+        for id in 0..16u64 {
+            assert_eq!(m.remove(id), Some(id));
+        }
+        assert!(m.is_empty());
+    }
+}

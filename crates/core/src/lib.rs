@@ -56,6 +56,7 @@ pub mod device;
 pub mod error;
 pub mod exec;
 pub mod executor;
+mod idmap;
 pub mod interface;
 pub mod latency;
 pub mod library;

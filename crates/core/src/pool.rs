@@ -13,6 +13,12 @@
 //! [`DevicePool::submit_all_async`] + [`DevicePool::drive`] is the async
 //! pair — one [`OpFuture`] per operation, resolved by the clock driver,
 //! so services `await` completions instead of polling.
+//!
+//! The async path is allocation-free at steady state: each shard's
+//! futures are recycled slots of that device's completion-slot arena
+//! (no per-operation `Arc<Mutex>`), fulfilled in place by the rayon
+//! worker driving the shard, and each shard's in-flight table is a
+//! direct-mapped id window rather than a hash map.
 
 use codic_dram::geometry::DramGeometry;
 use rayon::prelude::*;

@@ -33,30 +33,35 @@ impl Bank {
     }
 
     /// The currently open row, if the bank is active.
+    #[inline]
     #[must_use]
     pub fn open_row(&self) -> Option<u32> {
         self.open_row
     }
 
     /// Whether an activate may issue at `now`.
+    #[inline]
     #[must_use]
     pub fn can_activate(&self, now: u64) -> bool {
         self.open_row.is_none() && now >= self.next_act
     }
 
     /// Whether a precharge may issue at `now`.
+    #[inline]
     #[must_use]
     pub fn can_precharge(&self, now: u64) -> bool {
         self.open_row.is_some() && now >= self.next_pre
     }
 
     /// Whether a read to `row` may issue at `now`.
+    #[inline]
     #[must_use]
     pub fn can_read(&self, row: u32, now: u64) -> bool {
         self.open_row == Some(row) && now >= self.next_rd
     }
 
     /// Whether a write to `row` may issue at `now`.
+    #[inline]
     #[must_use]
     pub fn can_write(&self, row: u32, now: u64) -> bool {
         self.open_row == Some(row) && now >= self.next_wr
@@ -64,12 +69,14 @@ impl Bank {
 
     /// Whether a row operation may issue at `now` (requires a precharged
     /// bank, like an activate).
+    #[inline]
     #[must_use]
     pub fn can_row_op(&self, now: u64) -> bool {
         self.can_activate(now)
     }
 
     /// The earliest cycle an activate could issue (ignoring rank windows).
+    #[inline]
     #[must_use]
     pub fn next_act_at(&self) -> u64 {
         self.next_act
@@ -77,18 +84,21 @@ impl Bank {
 
     /// The earliest cycle a precharge could issue (meaningful only while a
     /// row is open).
+    #[inline]
     #[must_use]
     pub fn next_pre_at(&self) -> u64 {
         self.next_pre
     }
 
     /// The earliest cycle a read could issue to the open row.
+    #[inline]
     #[must_use]
     pub fn next_rd_at(&self) -> u64 {
         self.next_rd
     }
 
     /// The earliest cycle a write could issue to the open row.
+    #[inline]
     #[must_use]
     pub fn next_wr_at(&self) -> u64 {
         self.next_wr

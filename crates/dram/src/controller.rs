@@ -4,16 +4,48 @@
 //! Matches the paper's evaluation configuration (Tables 5 and 7):
 //! 64-entry read and write queues with FR-FCFS scheduling
 //! (first-ready, first-come-first-served).
+//!
+//! # Scheduling internals: indexed queues over a request slab
+//!
+//! The serving hot path is O(1)-amortized per command rather than
+//! O(queued requests) per command:
+//!
+//! - **Request slab.** Every accepted request lives in a slot of a
+//!   freelist-recycled slab (`Slot`); slots have stable indices, so no
+//!   issue ever shifts queue memory (`VecDeque::remove` is gone).
+//! - **Per-bank FIFO chains.** Each queue class (read / write / row-op)
+//!   keeps one doubly-linked chain *per bank* through the slab, in global
+//!   arrival order (`BankChain`). The oldest request of a bank is its
+//!   chain head; issue unlinks in O(1).
+//! - **Ready-bank index.** A bitmask per queue class (`BankSet`) names
+//!   the banks with a non-empty chain, so every scheduler pass and the
+//!   event horizon iterate *banks*, not requests. Per chain, two caches
+//!   make bank-level readiness O(1): `match_head`/`match_len` track the
+//!   earliest (and count of) queued column accesses targeting the bank's
+//!   open row, rebuilt only when the bank's open row changes; row-op
+//!   chains track the earliest request per activation weight
+//!   (`act_head`), because the rank tRRD/tFAW gate differs for one- and
+//!   two-activation operations.
+//! - **Arrival-sequence tiebreak.** First-ready selection takes, among
+//!   all ready banks, the candidate with the minimal global arrival
+//!   sequence (the [`ReqId`] handed out by [`MemoryController::push`]).
+//!   Within a class this equals queue order, so the issued command
+//!   stream is **bit-identical** to a full FR-FCFS scan of global
+//!   arrival-ordered queues — the invariant the engine-equivalence and
+//!   legacy-scheduler property tests pin.
+//!
+//! [`MemoryController::next_event_cycle`] derives its horizon from the
+//! same index: one conservative candidate per non-empty (class, bank)
+//! pair instead of one per queued request.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::VecDeque;
 
 use crate::address::{AddressMapper, DramAddress};
 use crate::bank::Bank;
 use crate::geometry::DramGeometry;
 use crate::rank::Rank;
-use crate::request::{MemRequest, QueueFull, ReqId, ReqKind};
+use crate::request::{MemRequest, QueueFull, ReqId, ReqKind, RowOpKind};
 use crate::stats::MemStats;
 use crate::timing::TimingParams;
 
@@ -26,11 +58,110 @@ const DRAIN_HIGH: usize = 48;
 /// Write-queue occupancy that ends a write drain.
 const DRAIN_LOW: usize = 16;
 
+/// Null link / absent-slot marker in the request slab.
+const NIL: u32 = u32::MAX;
+
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     id: ReqId,
     addr: DramAddress,
     kind: ReqKind,
+}
+
+/// One slab entry: a pending request threaded into its bank's chain.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    pending: Pending,
+    prev: u32,
+    next: u32,
+}
+
+/// One bank's FIFO chain through the slab for one queue class, plus the
+/// O(1)-readiness caches (see the module docs).
+#[derive(Debug, Clone, Copy)]
+struct BankChain {
+    head: u32,
+    tail: u32,
+    len: u32,
+    /// Earliest queued column access targeting the bank's open row
+    /// (read/write chains only; [`NIL`] while the bank is closed or no
+    /// queued access matches).
+    match_head: u32,
+    /// Number of queued column accesses targeting the bank's open row.
+    match_len: u32,
+    /// Earliest queued row operation per activation weight (index 0: one
+    /// activation, index 1: two) — row-op chains only.
+    act_head: [u32; 2],
+}
+
+impl BankChain {
+    const EMPTY: BankChain = BankChain {
+        head: NIL,
+        tail: NIL,
+        len: 0,
+        match_head: NIL,
+        match_len: 0,
+        act_head: [NIL, NIL],
+    };
+}
+
+/// A dense bitmask over bank indices: the ready-bank occupancy index.
+#[derive(Debug, Clone)]
+struct BankSet {
+    words: Vec<u64>,
+}
+
+impl BankSet {
+    fn new(banks: usize) -> Self {
+        BankSet {
+            words: vec![0; banks.div_ceil(64).max(1)],
+        }
+    }
+
+    fn insert(&mut self, bank: usize) {
+        self.words[bank / 64] |= 1 << (bank % 64);
+    }
+
+    fn remove(&mut self, bank: usize) {
+        self.words[bank / 64] &= !(1 << (bank % 64));
+    }
+
+    fn iter(&self) -> BankSetIter<'_> {
+        BankSetIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words[0],
+        }
+    }
+}
+
+struct BankSetIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BankSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+/// The activation-weight cache index of a row operation (0: single
+/// activation, 1: double).
+fn act_weight(op: RowOpKind) -> usize {
+    usize::from(op.activations().clamp(1, 2)) - 1
 }
 
 /// A completed request: its id and the cycle its data (or operation)
@@ -50,9 +181,17 @@ pub struct MemoryController {
     timing: TimingParams,
     banks: Vec<Bank>,
     ranks: Vec<Rank>,
-    read_q: VecDeque<Pending>,
-    write_q: VecDeque<Pending>,
-    rowop_q: VecDeque<Pending>,
+    slab: Vec<Slot>,
+    free_slots: Vec<u32>,
+    /// Per-class, per-bank chains (indexed `[Queue][bank]`).
+    chains: [Vec<BankChain>; Queue::COUNT],
+    /// Per-class occupancy: which banks have a non-empty chain.
+    occupied: [BankSet; Queue::COUNT],
+    /// Per-class queued-request totals (queue caps, drain hysteresis).
+    queued: [usize; Queue::COUNT],
+    /// Reused (arrival, bank) buffer for the FCFS pass — no per-cycle
+    /// allocation.
+    oldest_scratch: Vec<(u64, u32)>,
     in_flight: BinaryHeap<Reverse<(u64, u64)>>,
     completed: Vec<Completion>,
     last_finish: u64,
@@ -76,9 +215,12 @@ impl MemoryController {
             timing,
             banks: vec![Bank::new(); total_banks],
             ranks: (0..geometry.ranks).map(|_| Rank::new()).collect(),
-            read_q: VecDeque::with_capacity(QUEUE_DEPTH),
-            write_q: VecDeque::with_capacity(QUEUE_DEPTH),
-            rowop_q: VecDeque::with_capacity(QUEUE_DEPTH),
+            slab: Vec::with_capacity(Queue::COUNT * QUEUE_DEPTH),
+            free_slots: Vec::with_capacity(Queue::COUNT * QUEUE_DEPTH),
+            chains: std::array::from_fn(|_| vec![BankChain::EMPTY; total_banks]),
+            occupied: std::array::from_fn(|_| BankSet::new(total_banks)),
+            queued: [0; Queue::COUNT],
+            oldest_scratch: Vec::with_capacity(total_banks),
             in_flight: BinaryHeap::new(),
             completed: Vec::new(),
             last_finish: 0,
@@ -126,11 +268,7 @@ impl MemoryController {
     /// Whether a request of `kind` can currently be accepted.
     #[must_use]
     pub fn can_accept(&self, kind: ReqKind) -> bool {
-        match kind {
-            ReqKind::Read => self.read_q.len() < QUEUE_DEPTH,
-            ReqKind::Write => self.write_q.len() < QUEUE_DEPTH,
-            ReqKind::RowOp { .. } => self.rowop_q.len() < QUEUE_DEPTH,
-        }
+        self.queued[Queue::of(kind).idx()] < QUEUE_DEPTH
     }
 
     /// Enqueues a request.
@@ -151,29 +289,166 @@ impl MemoryController {
             addr: self.mapper.decode(request.addr),
             kind: request.kind,
         };
-        match request.kind {
-            ReqKind::Read => self.read_q.push_back(pending),
-            ReqKind::Write => self.write_q.push_back(pending),
-            ReqKind::RowOp { .. } => self.rowop_q.push_back(pending),
-        }
+        self.enqueue(pending);
         Ok(id)
+    }
+
+    /// Threads `pending` onto the tail of its bank's chain, updating the
+    /// occupancy index and readiness caches.
+    fn enqueue(&mut self, pending: Pending) {
+        let class = Queue::of(pending.kind);
+        let bank_idx = self.bank_index(&pending.addr);
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slab[slot as usize] = Slot {
+                    pending,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.slab.push(Slot {
+                    pending,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let chain = &mut self.chains[class.idx()][bank_idx];
+        if chain.tail == NIL {
+            chain.head = slot;
+            self.occupied[class.idx()].insert(bank_idx);
+        } else {
+            self.slab[chain.tail as usize].next = slot;
+            self.slab[slot as usize].prev = chain.tail;
+        }
+        let chain = &mut self.chains[class.idx()][bank_idx];
+        chain.tail = slot;
+        chain.len += 1;
+        self.queued[class.idx()] += 1;
+        match pending.kind {
+            ReqKind::Read | ReqKind::Write => {
+                if self.banks[bank_idx].open_row() == Some(pending.addr.row) {
+                    let chain = &mut self.chains[class.idx()][bank_idx];
+                    chain.match_len += 1;
+                    if chain.match_head == NIL {
+                        chain.match_head = slot;
+                    }
+                }
+            }
+            ReqKind::RowOp { op, .. } => {
+                let chain = &mut self.chains[class.idx()][bank_idx];
+                let w = act_weight(op);
+                if chain.act_head[w] == NIL {
+                    chain.act_head[w] = slot;
+                }
+            }
+        }
+    }
+
+    /// Unlinks `slot` from its chain in O(1), repairing the readiness
+    /// caches (a forward scan bounded by the bank's own chain when the
+    /// removed slot was a cache head), and recycles it on the freelist.
+    fn unlink(&mut self, class: Queue, slot: u32) -> Pending {
+        let Slot {
+            pending,
+            prev,
+            next,
+        } = self.slab[slot as usize];
+        let bank_idx = self.bank_index(&pending.addr);
+        match pending.kind {
+            ReqKind::Read | ReqKind::Write => {
+                if self.banks[bank_idx].open_row() == Some(pending.addr.row) {
+                    let chain = &self.chains[class.idx()][bank_idx];
+                    let new_len = chain.match_len - 1;
+                    let new_head = if chain.match_head != slot {
+                        chain.match_head
+                    } else if new_len == 0 {
+                        NIL
+                    } else {
+                        // The removed slot was the earliest match, so the
+                        // next one is strictly after it in the chain.
+                        let row = pending.addr.row;
+                        let mut cur = next;
+                        loop {
+                            let s = &self.slab[cur as usize];
+                            if s.pending.addr.row == row {
+                                break cur;
+                            }
+                            cur = s.next;
+                        }
+                    };
+                    let chain = &mut self.chains[class.idx()][bank_idx];
+                    chain.match_head = new_head;
+                    chain.match_len = new_len;
+                }
+            }
+            ReqKind::RowOp { op, .. } => {
+                let w = act_weight(op);
+                if self.chains[class.idx()][bank_idx].act_head[w] == slot {
+                    let mut cur = next;
+                    let new_head = loop {
+                        if cur == NIL {
+                            break NIL;
+                        }
+                        let s = &self.slab[cur as usize];
+                        if let ReqKind::RowOp { op: other, .. } = s.pending.kind {
+                            if act_weight(other) == w {
+                                break cur;
+                            }
+                        }
+                        cur = s.next;
+                    };
+                    self.chains[class.idx()][bank_idx].act_head[w] = new_head;
+                }
+            }
+        }
+        if prev == NIL {
+            self.chains[class.idx()][bank_idx].head = next;
+        } else {
+            self.slab[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.chains[class.idx()][bank_idx].tail = prev;
+        } else {
+            self.slab[next as usize].prev = prev;
+        }
+        let chain = &mut self.chains[class.idx()][bank_idx];
+        chain.len -= 1;
+        if chain.len == 0 {
+            self.occupied[class.idx()].remove(bank_idx);
+        }
+        self.queued[class.idx()] -= 1;
+        self.free_slots.push(slot);
+        pending
     }
 
     /// True when no request is queued or in flight.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.read_q.is_empty()
-            && self.write_q.is_empty()
-            && self.rowop_q.is_empty()
-            && self.in_flight.is_empty()
+        self.queued.iter().all(|&n| n == 0) && self.in_flight.is_empty()
     }
 
     /// Removes and returns all completions that have finished by now.
     ///
     /// Completions accumulate until taken; long-running callers must call
     /// this (directly or through their tick loop) to bound the buffer.
+    /// Allocation-sensitive callers should prefer
+    /// [`MemoryController::drain_completions`].
     pub fn take_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completed)
+    }
+
+    /// Drains every buffered completion through `f`, in retirement order,
+    /// retaining the buffer's capacity — the allocation-free twin of
+    /// [`MemoryController::take_completions`] for steady-state serving
+    /// loops.
+    pub fn drain_completions(&mut self, mut f: impl FnMut(Completion)) {
+        for completion in self.completed.drain(..) {
+            f(completion);
+        }
     }
 
     /// Advances one memory cycle, issuing at most one command.
@@ -210,6 +485,9 @@ impl MemoryController {
     /// issue yet (the engine then recomputes from there). Every cycle in
     /// `(now(), next_event_cycle())` is guaranteed to be a no-op, which
     /// is what lets [`MemoryController::advance_to`] jump the clock.
+    ///
+    /// Derived from the ready-bank index: one candidate per non-empty
+    /// (class, bank) pair, not one per queued request.
     #[must_use]
     pub fn next_event_cycle(&self) -> u64 {
         let mut e = u64::MAX;
@@ -232,16 +510,16 @@ impl MemoryController {
         } else {
             // The rank activation gate is independent of the bank it
             // applies to, so compute it once per (rank, activation count)
-            // instead of per queue entry — in a stack buffer, since this
+            // instead of per candidate — in a stack buffer, since this
             // runs once per event on the engine's hottest path.
             let mut gate_buf = [[0u64; 2]; 8];
             let memo_ranks = self.ranks.len().min(gate_buf.len());
             for (slot, rank) in gate_buf.iter_mut().zip(&self.ranks) {
                 *slot = self.act_gates_of(rank);
             }
-            for queue in [&self.read_q, &self.write_q, &self.rowop_q] {
-                for p in queue {
-                    e = e.min(self.request_candidate(p, &gate_buf[..memo_ranks]));
+            for class in [Queue::Read, Queue::Write, Queue::RowOp] {
+                for bank_idx in self.occupied[class.idx()].iter() {
+                    e = e.min(self.bank_candidate(class, bank_idx, &gate_buf[..memo_ranks]));
                     if e <= self.now {
                         // A candidate at (or before) the floor cannot be
                         // beaten: the controller can act this cycle.
@@ -271,42 +549,57 @@ impl MemoryController {
         self.next_event_cycle().saturating_sub(self.now)
     }
 
-    /// The earliest cycle at which a pending request could be issued a
-    /// command (column access, precharge, or activate), given current
-    /// bank/rank/bus state. `act_gates[rank]` holds the precomputed rank
-    /// activation gates for 1 and 2 activations. Exact for single
-    /// requests; the scheduler's one-command-per-cycle arbitration is
-    /// applied when the cycle is actually processed.
-    fn request_candidate(&self, p: &Pending, act_gates: &[[u64; 2]]) -> u64 {
-        let bank = &self.banks[self.bank_index(&p.addr)];
+    /// The earliest cycle at which any request queued on `bank_idx` in
+    /// `class` could be issued a command (column access, precharge, or
+    /// activate), given current bank/rank/bus state — the per-bank
+    /// aggregation of the old per-request candidate scan, made O(1) by
+    /// the chain caches. `act_gates[rank]` holds the precomputed rank
+    /// activation gates for 1 and 2 activations. Exact per bank; the
+    /// scheduler's one-command-per-cycle arbitration is applied when the
+    /// cycle is actually processed.
+    fn bank_candidate(&self, class: Queue, bank_idx: usize, act_gates: &[[u64; 2]]) -> u64 {
+        let bank = &self.banks[bank_idx];
+        let chain = &self.chains[class.idx()][bank_idx];
+        let rank_idx = self.rank_of_bank(bank_idx);
         // Ranks beyond the memo buffer (more than 8 — unusual geometries)
         // compute their gates directly.
-        let gates = &act_gates
-            .get(p.addr.rank as usize)
+        let gates = act_gates
+            .get(rank_idx)
             .copied()
-            .unwrap_or_else(|| self.act_gates_of(&self.ranks[p.addr.rank as usize]));
-        match p.kind {
-            ReqKind::Read => match bank.open_row() {
-                Some(row) if row == p.addr.row => bank.next_rd_at().max(
-                    self.data_bus_free
-                        .saturating_sub(u64::from(self.timing.t_cl)),
-                ),
-                Some(_) => bank.next_pre_at(),
+            .unwrap_or_else(|| self.act_gates_of(&self.ranks[rank_idx]));
+        match class {
+            Queue::Read | Queue::Write => match bank.open_row() {
+                Some(_) => {
+                    let mut cand = u64::MAX;
+                    if chain.match_len > 0 {
+                        let (col_gate, bus_lead) = if class == Queue::Read {
+                            (bank.next_rd_at(), self.timing.t_cl)
+                        } else {
+                            (bank.next_wr_at(), self.timing.t_cwl)
+                        };
+                        cand = cand.min(
+                            col_gate.max(self.data_bus_free.saturating_sub(u64::from(bus_lead))),
+                        );
+                    }
+                    if chain.len > chain.match_len {
+                        cand = cand.min(bank.next_pre_at());
+                    }
+                    cand
+                }
                 None => bank.next_act_at().max(gates[0]),
             },
-            ReqKind::Write => match bank.open_row() {
-                Some(row) if row == p.addr.row => bank.next_wr_at().max(
-                    self.data_bus_free
-                        .saturating_sub(u64::from(self.timing.t_cwl)),
-                ),
+            Queue::RowOp => match bank.open_row() {
                 Some(_) => bank.next_pre_at(),
-                None => bank.next_act_at().max(gates[0]),
-            },
-            ReqKind::RowOp { op, .. } => match bank.open_row() {
-                Some(_) => bank.next_pre_at(),
-                None => bank
-                    .next_act_at()
-                    .max(gates[usize::from(op.activations().clamp(1, 2)) - 1]),
+                None => {
+                    let mut cand = u64::MAX;
+                    if chain.act_head[0] != NIL {
+                        cand = cand.min(bank.next_act_at().max(gates[0]));
+                    }
+                    if chain.act_head[1] != NIL {
+                        cand = cand.min(bank.next_act_at().max(gates[1]));
+                    }
+                    cand
+                }
             },
         }
     }
@@ -395,9 +688,9 @@ impl MemoryController {
     }
 
     fn update_drain_mode(&mut self) {
-        if self.write_q.len() >= DRAIN_HIGH {
+        if self.queued[Queue::Write.idx()] >= DRAIN_HIGH {
             self.write_drain = true;
-        } else if self.write_q.len() <= DRAIN_LOW {
+        } else if self.queued[Queue::Write.idx()] <= DRAIN_LOW {
             self.write_drain = false;
         }
     }
@@ -409,8 +702,7 @@ impl MemoryController {
         for i in 0..self.banks.len() {
             if self.banks[i].open_row().is_some() {
                 if self.banks[i].can_precharge(self.now) {
-                    self.banks[i].precharge(self.now, &self.timing);
-                    self.stats.precharges += 1;
+                    self.precharge_bank(i);
                     return true;
                 }
                 return false;
@@ -431,31 +723,30 @@ impl MemoryController {
         false
     }
 
-    // The branches differ in short-circuit order (write-drain priority),
-    // which clippy's structural comparison does not see.
-    #[allow(clippy::if_same_then_else)]
     fn schedule(&mut self) {
         // Row operations are scheduled like reads but take precedence over
         // the data queues only when no column command is ready: they never
-        // need the data bus.
-        let serve_writes_first = self.write_drain || self.read_q.is_empty();
-        let issued = if serve_writes_first {
-            self.try_queue(Queue::Write)
-                || self.try_queue(Queue::Read)
-                || self.try_queue(Queue::RowOp)
+        // need the data bus. Reads lead unless a write drain is active or
+        // no read is queued.
+        const READS_FIRST: [Queue; Queue::COUNT] = [Queue::Read, Queue::Write, Queue::RowOp];
+        const WRITES_FIRST: [Queue; Queue::COUNT] = [Queue::Write, Queue::Read, Queue::RowOp];
+        let order = if self.write_drain || self.queued[Queue::Read.idx()] == 0 {
+            WRITES_FIRST
         } else {
-            self.try_queue(Queue::Read)
-                || self.try_queue(Queue::Write)
-                || self.try_queue(Queue::RowOp)
+            READS_FIRST
         };
-        let _ = issued;
+        for class in order {
+            if self.try_queue(class) {
+                break;
+            }
+        }
     }
 
     fn try_queue(&mut self, which: Queue) -> bool {
         // Pass 1 (first-ready): issue any request whose row is open and
         // whose column command is timing-clean.
-        if let Some(idx) = self.find_ready(which) {
-            self.issue_column(which, idx);
+        if let Some(slot) = self.find_ready(which) {
+            self.issue_column(which, slot);
             return true;
         }
         // Pass 2 (FCFS): for the oldest request per bank, advance the bank
@@ -463,40 +754,61 @@ impl MemoryController {
         self.advance_oldest(which)
     }
 
-    fn queue(&self, which: Queue) -> &VecDeque<Pending> {
+    /// First-ready selection over the ready-bank index: among all banks
+    /// whose caches name an issuable request, the one with the minimal
+    /// global arrival sequence — identical to scanning the class's
+    /// arrival-ordered queue front to back.
+    fn find_ready(&self, which: Queue) -> Option<u32> {
+        let mut best: Option<(u64, u32)> = None;
         match which {
-            Queue::Read => &self.read_q,
-            Queue::Write => &self.write_q,
-            Queue::RowOp => &self.rowop_q,
-        }
-    }
-
-    fn find_ready(&self, which: Queue) -> Option<usize> {
-        let q = self.queue(which);
-        for (i, p) in q.iter().enumerate() {
-            let bank = &self.banks[self.bank_index(&p.addr)];
-            match p.kind {
-                ReqKind::Read => {
-                    if bank.can_read(p.addr.row, self.now) && self.column_bus_ok(true) {
-                        return Some(i);
+            Queue::Read | Queue::Write => {
+                let is_read = which == Queue::Read;
+                if !self.column_bus_ok(is_read) {
+                    return None;
+                }
+                for bank_idx in self.occupied[which.idx()].iter() {
+                    let chain = &self.chains[which.idx()][bank_idx];
+                    if chain.match_head == NIL {
+                        continue;
+                    }
+                    let bank = &self.banks[bank_idx];
+                    let gate = if is_read {
+                        bank.next_rd_at()
+                    } else {
+                        bank.next_wr_at()
+                    };
+                    if self.now < gate {
+                        continue;
+                    }
+                    let arrival = self.slab[chain.match_head as usize].pending.id.0;
+                    if best.is_none_or(|(b, _)| arrival < b) {
+                        best = Some((arrival, chain.match_head));
                     }
                 }
-                ReqKind::Write => {
-                    if bank.can_write(p.addr.row, self.now) && self.column_bus_ok(false) {
-                        return Some(i);
+            }
+            Queue::RowOp => {
+                for bank_idx in self.occupied[Queue::RowOp.idx()].iter() {
+                    if !self.banks[bank_idx].can_row_op(self.now) {
+                        continue;
                     }
-                }
-                ReqKind::RowOp { op, .. } => {
-                    let rank = &self.ranks[p.addr.rank as usize];
-                    if bank.can_row_op(self.now)
-                        && rank.can_activate(self.now, op.activations(), &self.timing)
-                    {
-                        return Some(i);
+                    let rank = &self.ranks[self.rank_of_bank(bank_idx)];
+                    let chain = &self.chains[Queue::RowOp.idx()][bank_idx];
+                    for (w, &slot) in chain.act_head.iter().enumerate() {
+                        if slot == NIL {
+                            continue;
+                        }
+                        if !rank.can_activate(self.now, w as u8 + 1, &self.timing) {
+                            continue;
+                        }
+                        let arrival = self.slab[slot as usize].pending.id.0;
+                        if best.is_none_or(|(b, _)| arrival < b) {
+                            best = Some((arrival, slot));
+                        }
                     }
                 }
             }
         }
-        None
+        best.map(|(_, slot)| slot)
     }
 
     fn column_bus_ok(&self, is_read: bool) -> bool {
@@ -509,13 +821,8 @@ impl MemoryController {
         start >= self.data_bus_free
     }
 
-    fn issue_column(&mut self, which: Queue, idx: usize) {
-        let p = match which {
-            Queue::Read => self.read_q.remove(idx),
-            Queue::Write => self.write_q.remove(idx),
-            Queue::RowOp => self.rowop_q.remove(idx),
-        }
-        .expect("index returned by find_ready is valid");
+    fn issue_column(&mut self, which: Queue, slot: u32) {
+        let p = self.unlink(which, slot);
         let bank_idx = self.bank_index(&p.addr);
         match p.kind {
             ReqKind::Read => {
@@ -547,28 +854,35 @@ impl MemoryController {
         }
     }
 
+    /// The FCFS pass: for each bank's oldest request — banks visited in
+    /// ascending arrival order of those oldest requests, exactly the
+    /// order a front-to-back queue scan discovers them — advance the bank
+    /// state with a precharge or activate. First success wins the cycle.
     fn advance_oldest(&mut self, which: Queue) -> bool {
-        let mut touched_banks = Vec::new();
-        let q_len = self.queue(which).len();
-        for i in 0..q_len {
-            let p = self.queue(which)[i];
-            let bank_idx = self.bank_index(&p.addr);
-            if touched_banks.contains(&bank_idx) {
-                continue;
-            }
-            touched_banks.push(bank_idx);
-            let is_rowop = matches!(p.kind, ReqKind::RowOp { .. });
+        let mut order = std::mem::take(&mut self.oldest_scratch);
+        order.clear();
+        for bank_idx in self.occupied[which.idx()].iter() {
+            let head = self.chains[which.idx()][bank_idx].head;
+            order.push((self.slab[head as usize].pending.id.0, bank_idx as u32));
+        }
+        order.sort_unstable();
+        let is_rowop = which == Queue::RowOp;
+        let mut issued = false;
+        for &(_, bank) in order.iter() {
+            let bank_idx = bank as usize;
+            let head = self.chains[which.idx()][bank_idx].head;
+            let p = self.slab[head as usize].pending;
             match self.banks[bank_idx].open_row() {
                 Some(row)
                     if (is_rowop || row != p.addr.row)
                         && self.banks[bank_idx].can_precharge(self.now) =>
                 {
-                    self.banks[bank_idx].precharge(self.now, &self.timing);
-                    self.stats.precharges += 1;
+                    self.precharge_bank(bank_idx);
                     if !is_rowop {
                         self.stats.row_misses += 1;
                     }
-                    return true;
+                    issued = true;
+                    break;
                 }
                 Some(_) => {
                     // Either the correct row is open (waiting on a column
@@ -577,14 +891,13 @@ impl MemoryController {
                     // Nothing to do for this bank this cycle.
                 }
                 None if !is_rowop => {
-                    let rank = &self.ranks[p.addr.rank as usize];
+                    let rank_idx = p.addr.rank as usize;
                     if self.banks[bank_idx].can_activate(self.now)
-                        && rank.can_activate(self.now, 1, &self.timing)
+                        && self.ranks[rank_idx].can_activate(self.now, 1, &self.timing)
                     {
-                        self.banks[bank_idx].activate(p.addr.row, self.now, &self.timing);
-                        self.ranks[p.addr.rank as usize].record_activate(self.now, 1, &self.timing);
-                        self.stats.activates += 1;
-                        return true;
+                        self.activate_bank(bank_idx, p.addr.row, rank_idx);
+                        issued = true;
+                        break;
                     }
                 }
                 None => {
@@ -593,19 +906,80 @@ impl MemoryController {
                 }
             }
         }
-        false
+        self.oldest_scratch = order;
+        issued
+    }
+
+    /// Precharges `bank_idx` and invalidates its open-row match caches —
+    /// the single choke point every precharge (scheduler or refresh) goes
+    /// through, so the caches can never go stale.
+    fn precharge_bank(&mut self, bank_idx: usize) {
+        self.banks[bank_idx].precharge(self.now, &self.timing);
+        self.stats.precharges += 1;
+        for class in [Queue::Read, Queue::Write] {
+            let chain = &mut self.chains[class.idx()][bank_idx];
+            chain.match_head = NIL;
+            chain.match_len = 0;
+        }
+    }
+
+    /// Activates `row` on `bank_idx` and rebuilds its open-row match
+    /// caches with one pass over the bank's own (bounded) chains.
+    fn activate_bank(&mut self, bank_idx: usize, row: u32, rank_idx: usize) {
+        self.banks[bank_idx].activate(row, self.now, &self.timing);
+        self.ranks[rank_idx].record_activate(self.now, 1, &self.timing);
+        self.stats.activates += 1;
+        for class in [Queue::Read, Queue::Write] {
+            let mut head = NIL;
+            let mut len = 0u32;
+            let mut cur = self.chains[class.idx()][bank_idx].head;
+            while cur != NIL {
+                let s = &self.slab[cur as usize];
+                if s.pending.addr.row == row {
+                    if head == NIL {
+                        head = cur;
+                    }
+                    len += 1;
+                }
+                cur = s.next;
+            }
+            let chain = &mut self.chains[class.idx()][bank_idx];
+            chain.match_head = head;
+            chain.match_len = len;
+        }
     }
 
     fn bank_index(&self, addr: &DramAddress) -> usize {
         addr.bank_id(self.mapper.geometry()) as usize
     }
+
+    fn rank_of_bank(&self, bank_idx: usize) -> usize {
+        bank_idx / self.mapper.geometry().banks_per_rank as usize
+    }
 }
 
+/// The three FR-FCFS queue classes, in slab-index order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Queue {
-    Read,
-    Write,
-    RowOp,
+    Read = 0,
+    Write = 1,
+    RowOp = 2,
+}
+
+impl Queue {
+    const COUNT: usize = 3;
+
+    fn of(kind: ReqKind) -> Queue {
+        match kind {
+            ReqKind::Read => Queue::Read,
+            ReqKind::Write => Queue::Write,
+            ReqKind::RowOp { .. } => Queue::RowOp,
+        }
+    }
+
+    fn idx(self) -> usize {
+        self as usize
+    }
 }
 
 #[cfg(test)]
@@ -867,5 +1241,140 @@ mod tests {
             s
         };
         assert_eq!(ids, sorted, "same-row reads complete in order");
+    }
+
+    #[test]
+    fn slab_recycles_slots_across_batches() {
+        // Queue capacity bounds the live slots, so the slab must stop
+        // growing after the first full batch no matter how many requests
+        // stream through.
+        let mut m = mc();
+        for batch in 0..4u64 {
+            let mut pushed = 0u64;
+            while pushed < 256 {
+                let addr = (batch * 256 + pushed) * DramGeometry::ROW_BYTES;
+                if m.push(MemRequest::new(addr, ReqKind::Read)).is_ok() {
+                    pushed += 1;
+                } else {
+                    m.step_event();
+                }
+            }
+            m.run_to_idle();
+            assert!(
+                m.slab.len() <= Queue::COUNT * QUEUE_DEPTH,
+                "slab grew to {} slots",
+                m.slab.len()
+            );
+        }
+        assert_eq!(m.stats().reads, 4 * 256);
+        assert_eq!(m.free_slots.len(), m.slab.len(), "all slots recycled");
+    }
+
+    #[test]
+    fn eligible_single_activation_rowop_overtakes_blocked_double() {
+        // Saturate the rank's tFAW window so that a two-activation row op
+        // is gated while a one-activation op is not: the younger Codic op
+        // must issue first even though the RowClone op is ahead of it in
+        // arrival order (first-READY, then FCFS).
+        let mut m = mc();
+        let t_rc = m.timing().t_rc;
+        // Three single-activation ops on banks 0-2 fill 3 of the 4 tFAW
+        // slots back to back.
+        for bank in 0..3u64 {
+            m.push(MemRequest::new(
+                bank * DramGeometry::ROW_BYTES,
+                ReqKind::RowOp {
+                    op: RowOpKind::Codic,
+                    busy_cycles: t_rc,
+                },
+            ))
+            .unwrap();
+        }
+        // An older double-activation op on bank 3, then a younger single
+        // on bank 4.
+        let double = m
+            .push(MemRequest::new(
+                3 * DramGeometry::ROW_BYTES,
+                ReqKind::RowOp {
+                    op: RowOpKind::RowClone,
+                    busy_cycles: t_rc,
+                },
+            ))
+            .unwrap();
+        let single = m
+            .push(MemRequest::new(
+                4 * DramGeometry::ROW_BYTES,
+                ReqKind::RowOp {
+                    op: RowOpKind::Codic,
+                    busy_cycles: t_rc,
+                },
+            ))
+            .unwrap();
+        m.run_to_idle();
+        let completions = m.take_completions();
+        let finish_of = |id: ReqId| {
+            completions
+                .iter()
+                .find(|c| c.id == id)
+                .expect("completed")
+                .finish_cycle
+        };
+        assert!(
+            finish_of(single) < finish_of(double),
+            "single-activation op (finish {}) must overtake the \
+             tFAW-blocked double (finish {})",
+            finish_of(single),
+            finish_of(double)
+        );
+        assert_eq!(m.stats().row_ops, 5);
+        assert_eq!(m.stats().row_op_activations, 6);
+    }
+
+    #[test]
+    fn drain_completions_is_allocation_free_at_steady_state() {
+        let mut m = mc();
+        m.push(MemRequest::new(0, ReqKind::Read)).unwrap();
+        m.run_to_idle();
+        let mut seen = Vec::new();
+        m.drain_completions(|c| seen.push(c));
+        assert_eq!(seen.len(), 1);
+        let warm_capacity = m.completed.capacity();
+        assert!(warm_capacity >= 1, "buffer capacity is retained");
+        // A second batch reuses the drained buffer: capacity unchanged.
+        m.push(MemRequest::new(LINE_BYTES, ReqKind::Read)).unwrap();
+        m.run_to_idle();
+        m.drain_completions(|c| seen.push(c));
+        assert_eq!(seen.len(), 2);
+        assert_eq!(m.completed.capacity(), warm_capacity);
+        assert!(m.take_completions().is_empty());
+    }
+
+    #[test]
+    fn match_caches_follow_the_open_row() {
+        // Interleave hits and conflicts on one bank: the scheduler must
+        // keep serving open-row hits that arrived *after* a conflicting
+        // request was already queued, exactly like a full queue scan.
+        let mut m = mc();
+        let other_row = DramGeometry::ROW_BYTES * 8; // same bank, row 1
+        m.push(MemRequest::new(0, ReqKind::Read)).unwrap(); // opens row 0
+        m.push(MemRequest::new(other_row, ReqKind::Read)).unwrap(); // conflict
+        m.push(MemRequest::new(LINE_BYTES, ReqKind::Read)).unwrap(); // row-0 hit
+        m.run_to_idle();
+        let completions = m.take_completions();
+        assert_eq!(completions.len(), 3);
+        // The row-0 hit (id 2) must complete before the row-1 conflict
+        // (id 1): first-ready beats FCFS while row 0 is open.
+        let finish_of = |raw: u64| {
+            completions
+                .iter()
+                .find(|c| c.id == ReqId(raw))
+                .expect("completed")
+                .finish_cycle
+        };
+        assert!(finish_of(2) < finish_of(1));
+        // Every issued column access counts as a hit; the conflict is
+        // charged as a miss at its precharge.
+        assert_eq!(m.stats().row_hits, 3);
+        assert_eq!(m.stats().row_misses, 1);
     }
 }

@@ -27,6 +27,14 @@ pub struct MemStats {
 }
 
 impl MemStats {
+    /// Total commands issued on the command bus (activates, precharges,
+    /// column bursts, refreshes, and row operations) — the unit the
+    /// O(1)-per-command scheduler's host cost scales with.
+    #[must_use]
+    pub fn total_commands(&self) -> u64 {
+        self.activates + self.precharges + self.reads + self.writes + self.refreshes + self.row_ops
+    }
+
     /// Row-buffer hit rate over all column accesses, or `None` when no
     /// column access was made.
     #[must_use]
@@ -95,6 +103,22 @@ mod tests {
             ..MemStats::default()
         };
         assert_eq!(s.row_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn total_commands_sums_bus_traffic() {
+        let s = MemStats {
+            activates: 2,
+            precharges: 1,
+            reads: 3,
+            writes: 4,
+            refreshes: 5,
+            row_ops: 6,
+            row_op_activations: 99, // not a bus command
+            row_hits: 99,           // derived, not a bus command
+            ..MemStats::default()
+        };
+        assert_eq!(s.total_commands(), 21);
     }
 
     #[test]
