@@ -33,6 +33,13 @@
 //! command statistics; the report carries their host-throughput ratio
 //! (`sched_speedup`).
 //!
+//! A fifth — **trace-replay serving** — plays a generated mixed
+//! secdealloc/coldboot trace over a real Unix socket against an
+//! in-process `codic_server::ReplayServer` (framed batches in, typed
+//! completions out) and reports the client-observed serving rate; the
+//! first session is verified bit-identical against the in-process
+//! reference replay.
+//!
 //! Usage: `cargo run --release --bin bench_device [-- --rows N --shards S --reps R]`
 //!
 //! `--quick` runs only the engine cross-checks — the sweep tick-vs-event
@@ -52,6 +59,10 @@ use codic_dram::request::{QueueFull, ReqId, RowOpKind};
 use codic_dram::{DramGeometry, MemRequest, MemStats, MemoryController, ReqKind, TimingParams};
 use codic_power::accounting;
 use codic_secdealloc::ZeroingMechanism;
+use codic_server::client::{replay, verify_against_reference};
+use codic_server::proto::SessionParams;
+use codic_server::server::{ReplayServer, ServerConfig};
+use codic_server::trace::generate_mixed;
 
 fn arg(flag: &str) -> Option<u64> {
     let args: Vec<String> = std::env::args().collect();
@@ -118,6 +129,46 @@ fn coldboot_sweep(config: &DeviceConfig, shards: usize, reps: u64) -> Measured {
         dram_ns,
         rows,
         energy_nj: reports.iter().map(|r| r.energy_nj).sum(),
+    }
+}
+
+/// Trace-replay serving: a generated mixed secdealloc/coldboot trace
+/// played over a real Unix socket against an in-process `ReplayServer`,
+/// measuring the **client-observed** host throughput through the full
+/// framed transport (Hello/Batch/Completion/Summary). The first session
+/// is additionally verified bit-identical against the in-process
+/// reference replay, so the measured path is the checked path.
+fn replay_serving(shards: usize, ops_count: u64, reps: u64, timing: &TimingParams) -> Measured {
+    let socket = std::env::temp_dir().join(format!(
+        "codic-bench-{}-{}.sock",
+        std::process::id(),
+        shards
+    ));
+    let server = ReplayServer::bind(&socket, ServerConfig::default()).expect("bind bench socket");
+    // One warm-up session (inside `time`) plus `reps` measured ones.
+    let sessions = reps as usize + 1;
+    let serving = std::thread::spawn(move || server.serve_connections(sessions).expect("serve"));
+    let ops = generate_mixed(ops_count as usize, 8192, 42);
+    let batch = 1024;
+    let hello = SessionParams {
+        shards: shards as u16,
+        ..SessionParams::defaults()
+    };
+    let mut first = true;
+    let (host_s, report) = time(reps, || {
+        let report = replay(&socket, &hello, &ops, batch).expect("bench session");
+        if first {
+            verify_against_reference(&report, &ops, batch).expect("served stream diverged");
+            first = false;
+        }
+        report
+    });
+    serving.join().expect("server thread");
+    Measured {
+        host_s,
+        dram_ns: timing.ns(report.summary.max_finish_cycle),
+        rows: report.summary.ops,
+        energy_nj: report.summary.total_energy_nj,
     }
 }
 
@@ -557,9 +608,16 @@ fn main() {
         .iter()
         .map(|&d| queue_depth_at(d, reps, geometry, &timing))
         .collect();
-    for (i, m) in depth_results.iter().enumerate() {
-        print_depth_entry(m, &timing, i + 1 == depth_results.len());
+    for m in &depth_results {
+        print_depth_entry(m, &timing, false);
     }
+    // Trace-replay serving over the Unix-socket transport (identity-
+    // verified against the in-process reference on the first session).
+    let serve_ops = 8 * rows;
+    let serve1 = replay_serving(1, serve_ops, reps, &timing);
+    print_entry("replay_serving", 1, &serve1, false);
+    let serven = replay_serving(max_shards, serve_ops, reps, &timing);
+    print_entry("replay_serving", max_shards, &serven, true);
     println!("  ],");
     println!(
         "  \"dram_speedup_secdealloc\": {:.2},",
@@ -579,8 +637,12 @@ fn main() {
         deepest.legacy_s / deepest.live_mc_s
     );
     println!(
-        "  \"serve_speedup_depth8192\": {:.2}",
+        "  \"serve_speedup_depth8192\": {:.2},",
         deepest.legacy_s / deepest.device_s
+    );
+    println!(
+        "  \"replay_serving_rows_per_s\": {:.0}",
+        serven.rows as f64 / serven.host_s
     );
     println!("}}");
 }

@@ -30,6 +30,34 @@
 //! thread — the arena is mutex-guarded and wakes any registered waker);
 //! awaiting it yields the same typed [`OpCompletion`] the polling API
 //! returns, in the same completion order.
+//!
+//! # Example
+//!
+//! Submit asynchronously, drive the clock, and `await` the typed
+//! completion — no tick loop and no poll loop:
+//!
+//! ```
+//! use codic_core::device::{CodicDevice, DeviceConfig};
+//! use codic_core::executor::block_on;
+//! use codic_core::ops::{CodicOp, VariantId};
+//! use codic_dram::{DramGeometry, TimingParams};
+//!
+//! let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+//!     .with_refresh(false);
+//! let mut device = CodicDevice::new(config);
+//!
+//! let future = device.submit_async(CodicOp::command(VariantId::DetZero, 0)).unwrap();
+//! assert!(!future.is_ready());
+//! device.run_to_idle(); // the clock driver resolves the future
+//! let completion = block_on(future);
+//! assert_eq!(completion.op, CodicOp::command(VariantId::DetZero, 0));
+//! assert!(completion.cost.energy_nj > 0.0);
+//! ```
+//!
+//! Serving loops that must not block use the non-blocking drain instead:
+//! [`OpFuture::try_take`] consumes the completion only once it has
+//! arrived, so a connection handler can interleave submission, clock
+//! driving, and completion streaming on one thread.
 
 use std::future::Future;
 use std::pin::Pin;
@@ -198,6 +226,32 @@ impl OpFuture {
         let slot = &inner.slots[self.handle.index as usize];
         slot.generation == self.handle.generation && matches!(slot.state, SlotState::Done(_))
     }
+
+    /// Consumes the completion if it has already arrived, without
+    /// blocking, registering a waker, or needing an executor — the
+    /// serving-loop drain. Returns `None` while the operation is still in
+    /// flight (and after the completion has been taken); the slot is
+    /// recycled exactly as if the future had been awaited.
+    pub fn try_take(&mut self) -> Option<OpCompletion> {
+        if self.taken {
+            return None;
+        }
+        let mut inner = self.arena.inner.lock().expect("slot arena poisoned");
+        let slot = &mut inner.slots[self.handle.index as usize];
+        if slot.generation != self.handle.generation || !matches!(slot.state, SlotState::Done(_)) {
+            return None;
+        }
+        let SlotState::Done(completion) = std::mem::replace(&mut slot.state, SlotState::Vacant)
+        else {
+            unreachable!("state was just matched as Done");
+        };
+        // Inline release (the lock is already held): bump the generation
+        // and return the slot to the freelist.
+        slot.generation = slot.generation.wrapping_add(1);
+        inner.free.push(self.handle.index);
+        self.taken = true;
+        Some(completion)
+    }
 }
 
 impl Future for OpFuture {
@@ -343,6 +397,22 @@ mod tests {
         assert_eq!(block_on(future).finish_cycle, 11);
         let inner = arena.inner.lock().unwrap();
         assert_eq!(inner.slots.len(), 1, "one slot served every claim");
+    }
+
+    #[test]
+    fn try_take_drains_without_blocking() {
+        let arena = SlotArena::with_capacity(2);
+        let (mut future, handle) = arena.claim();
+        assert_eq!(future.try_take(), None, "in-flight op yields nothing");
+        arena.fulfil(handle, completion(5));
+        let done = future.try_take().expect("fulfilled op drains");
+        assert_eq!(done.finish_cycle, 5);
+        assert_eq!(future.try_take(), None, "a completion is taken once");
+        assert!(!future.is_ready());
+        // The slot was recycled: dropping the future must not double-free.
+        drop(future);
+        let inner = arena.inner.lock().unwrap();
+        assert_eq!(inner.free.len(), 2, "slot returned to the freelist once");
     }
 
     #[test]

@@ -19,6 +19,42 @@
 //! (no per-operation `Arc<Mutex>`), fulfilled in place by the rayon
 //! worker driving the shard, and each shard's in-flight table is a
 //! direct-mapped id window rather than a hash map.
+//!
+//! Long-running services bound their in-flight window with
+//! [`DevicePool::outstanding`] (the pool-wide backpressure signal; the
+//! per-shard figure is [`CodicDevice::outstanding`] via
+//! [`DevicePool::device`]) and relieve pressure incrementally with
+//! [`DevicePool::step`], which advances every busy shard by one engine
+//! event instead of running all the way to idle.
+//!
+//! # Example
+//!
+//! The async serving pattern end to end — submit a batch, drive the
+//! shard clocks, `await` typed completions:
+//!
+//! ```
+//! use codic_core::device::DeviceConfig;
+//! use codic_core::executor::block_on;
+//! use codic_core::ops::{CodicOp, VariantId};
+//! use codic_core::pool::DevicePool;
+//! use codic_dram::{DramGeometry, TimingParams};
+//!
+//! let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+//!     .with_refresh(false);
+//! let mut pool = DevicePool::new(2, &config);
+//!
+//! // One zeroing command and one ordinary read on the shared path.
+//! let ops = [CodicOp::command(VariantId::DetZero, 0), CodicOp::read(64)];
+//! let futures = pool.submit_all_async(&ops).unwrap();
+//! assert_eq!(pool.outstanding(), 2);
+//!
+//! pool.drive(); // the clock driver resolves every future
+//! assert_eq!(pool.outstanding(), 0);
+//!
+//! let completions: Vec<_> = futures.into_iter().map(block_on).collect();
+//! assert_eq!(completions[0].op, ops[0]);
+//! assert!(completions[1].finish_cycle > 0);
+//! ```
 
 use codic_dram::geometry::DramGeometry;
 use rayon::prelude::*;
@@ -201,6 +237,31 @@ impl DevicePool {
             .into_iter()
             .max()
             .unwrap_or(0)
+    }
+
+    /// Advances every busy shard by one engine event — the incremental
+    /// clock driver for serving loops that relieve backpressure without
+    /// running all the way to idle (resolved [`OpFuture`]s become ready
+    /// along the way). Returns `false` when every shard was already idle.
+    ///
+    /// Unlike [`DevicePool::drive`], this is a small, bounded amount of
+    /// work, so it runs on the caller's thread (no rayon dispatch) and its
+    /// effect is deterministic for a given submission sequence.
+    pub fn step(&mut self) -> bool {
+        let mut advanced = false;
+        for device in &mut self.devices {
+            advanced |= device.step();
+        }
+        advanced
+    }
+
+    /// Total operations submitted but not yet completed across all shards
+    /// — the pool-wide backpressure signal for serving loops that bound
+    /// their in-flight window. Per shard:
+    /// [`CodicDevice::outstanding`] via [`DevicePool::device`].
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.devices.iter().map(CodicDevice::outstanding).sum()
     }
 
     /// Removes and returns all completions from every shard, tagged with
@@ -410,6 +471,28 @@ mod tests {
         assert_eq!(sync_completions, async_completions);
         // Future-delivered completions never enter the polling buffer.
         assert!(async_pool.take_completions().is_empty());
+    }
+
+    #[test]
+    fn step_relieves_outstanding_incrementally() {
+        let mut p = pool(2);
+        let ops = zero_ops(24);
+        let mut futures = p.submit_all_async(&ops).unwrap();
+        assert_eq!(p.outstanding(), 24);
+        assert_eq!(p.device(0).outstanding() + p.device(1).outstanding(), 24);
+        // Stepping events one at a time drains the window monotonically
+        // to zero without ever calling the run-to-idle driver.
+        let mut last = p.outstanding();
+        while p.step() {
+            let now = p.outstanding();
+            assert!(now <= last, "outstanding never grows while stepping");
+            last = now;
+        }
+        assert_eq!(p.outstanding(), 0);
+        // Every future resolved through the incremental driver.
+        let drained: Vec<_> = futures.iter_mut().filter_map(OpFuture::try_take).collect();
+        assert_eq!(drained.len(), 24);
+        assert!(!p.step(), "idle pool has no events");
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! `replay-server`: the long-running trace-replay service.
+//!
+//! Binds a Unix socket and serves each connection as an independent
+//! replay session over its own sharded device pool (wire format:
+//! `docs/PROTOCOL.md`; architecture: `docs/ARCHITECTURE.md`).
+//!
+//! ```text
+//! replay-server [--socket PATH] [--shards N] [--module-mib M]
+//!               [--max-outstanding K] [--max-rows-per-sec R]
+//!               [--refresh] [--connections N]
+//! ```
+//!
+//! `--connections N` serves exactly N sessions then exits (the smoke /
+//! benchmark mode); the default serves forever. `--max-rows-per-sec`
+//! sets the server-wide replay-rate cap a session's own target can only
+//! lower.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use codic_server::cli::{arg, arg_u64, has_flag};
+use codic_server::server::{ReplayServer, ServerConfig};
+
+fn main() -> ExitCode {
+    let socket = arg("--socket")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("codic-replay.sock"));
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        shards: arg_u64("--shards").unwrap_or(defaults.shards as u64) as usize,
+        module_mib: arg_u64("--module-mib").unwrap_or(defaults.module_mib),
+        max_outstanding: arg_u64("--max-outstanding").unwrap_or(defaults.max_outstanding as u64)
+            as usize,
+        target_rows_per_s: arg_u64("--max-rows-per-sec").unwrap_or(0),
+        refresh: has_flag("--refresh"),
+    };
+    let connections = arg_u64("--connections");
+
+    let server = match ReplayServer::bind(&socket, config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("replay-server: cannot bind {}: {e}", socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "replay-server: listening on {} ({} shard(s), {} MiB module, max outstanding {}, rate cap {})",
+        socket.display(),
+        config.shards,
+        config.module_mib,
+        config.max_outstanding,
+        if config.target_rows_per_s == 0 {
+            "none".to_string()
+        } else {
+            format!("{} rows/s", config.target_rows_per_s)
+        },
+    );
+    let served = match connections {
+        Some(n) => server.serve_connections(n as usize),
+        None => server.serve_forever(),
+    };
+    if let Err(e) = served {
+        eprintln!("replay-server: accept failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

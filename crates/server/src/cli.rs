@@ -1,0 +1,25 @@
+//! Minimal `--flag value` parsing shared by the `replay-server` and
+//! `replay-client` binaries (kept tiny on purpose: the offline build
+//! has no argument-parsing crate).
+
+/// The value following `flag`, if present.
+#[must_use]
+pub fn arg(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The value following `flag`, parsed as `u64`.
+#[must_use]
+pub fn arg_u64(flag: &str) -> Option<u64> {
+    arg(flag).and_then(|v| v.parse().ok())
+}
+
+/// Whether `flag` appears anywhere on the command line.
+#[must_use]
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}

@@ -1,0 +1,267 @@
+//! The replay client: plays a typed operation stream against a replay
+//! server and verifies the completion stream.
+//!
+//! [`replay`] drives one full session — `Hello`/`HelloAck`, the trace in
+//! `Batch` frames, `Bye`, `Summary` — collecting every typed completion
+//! and recomputing the session checksum from the received frames, so a
+//! server-side accounting divergence is caught with one `u64` compare.
+//!
+//! [`verify_against_reference`] then replays the identical batching
+//! discipline in process (through [`ReplayEngine`], the same core the
+//! server runs) and demands the socket stream be **bit-identical**:
+//! same finish cycle and same energy bits per sequence number, same
+//! per-shard completion order.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Instant;
+
+use codic_core::ops::CodicOp;
+
+use crate::proto::{
+    self, read_frame, write_frame, ErrorCode, Fnv64, Frame, ProtoError, SessionParams, Summary,
+    WireCompletion,
+};
+use crate::server::ReplayEngine;
+
+/// A failed replay session.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(io::Error),
+    /// A frame could not be decoded.
+    Proto(ProtoError),
+    /// The server answered with an error frame.
+    Server {
+        /// The server's error code.
+        code: ErrorCode,
+        /// The server's human-readable detail.
+        detail: String,
+    },
+    /// The server broke the session protocol (e.g. no `HelloAck`).
+    Protocol(String),
+    /// The completion stream failed verification.
+    Verification(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol decode error: {e}"),
+            ClientError::Server { code, detail } => {
+                write!(f, "server error {code:?}: {detail}")
+            }
+            ClientError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+            ClientError::Verification(detail) => write!(f, "verification failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(e) => ClientError::Io(e),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+/// Everything one replayed session produced.
+#[derive(Debug)]
+pub struct ClientReport {
+    /// Effective session parameters from the `HelloAck`.
+    pub params: SessionParams,
+    /// Every completion, in the order the server streamed them.
+    pub completions: Vec<WireCompletion>,
+    /// The server's session summary.
+    pub summary: Summary,
+    /// Checksum recomputed client-side from the received frames (always
+    /// equal to `summary.checksum` — [`replay`] fails otherwise).
+    pub checksum: u64,
+    /// Wall-clock duration of the session, in seconds.
+    pub host_seconds: f64,
+}
+
+impl ClientReport {
+    /// Replayed rows per second of host wall-clock time.
+    #[must_use]
+    pub fn rows_per_s(&self) -> f64 {
+        self.summary.ops as f64 / self.host_seconds.max(1e-12)
+    }
+}
+
+/// Plays `ops` against the server at `socket` in batches of `batch`
+/// operations, then closes the session and returns the report.
+///
+/// # Errors
+///
+/// Returns the socket/protocol failure, the server's error frame, or a
+/// checksum mismatch between the received stream and the summary.
+pub fn replay(
+    socket: &Path,
+    hello: &SessionParams,
+    ops: &[CodicOp],
+    batch: usize,
+) -> Result<ClientReport, ClientError> {
+    let stream = UnixStream::connect(socket)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let started = Instant::now();
+
+    write_frame(&mut writer, &Frame::Hello(*hello))?;
+    writer.flush()?;
+    let params = match read_frame(&mut reader)? {
+        Frame::HelloAck(params) => params,
+        Frame::Error { code, detail } => return Err(ClientError::Server { code, detail }),
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "expected HelloAck, got {other:?}"
+            )))
+        }
+    };
+
+    let mut completions = Vec::with_capacity(ops.len());
+    let mut checksum = Fnv64::new();
+    let mut payload = Vec::new();
+    let mut absorb = |c: &WireCompletion, completions: &mut Vec<WireCompletion>| {
+        payload.clear();
+        proto::completion_payload(c, &mut payload);
+        checksum.update(&payload);
+        completions.push(*c);
+    };
+
+    // A batch above MAX_BATCH_OPS would produce a frame the server is
+    // required to reject; clamp rather than die mid-replay.
+    let batch = batch.clamp(1, proto::MAX_BATCH_OPS);
+    for chunk in ops.chunks(batch) {
+        write_frame(&mut writer, &Frame::Batch(chunk.to_vec()))?;
+        writer.flush()?;
+        // Read this batch's completion burst up to its Batched ack.
+        loop {
+            match read_frame(&mut reader)? {
+                Frame::Completion(c) => absorb(&c, &mut completions),
+                Frame::Batched(_) => break,
+                Frame::Error { code, detail } => return Err(ClientError::Server { code, detail }),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected Completion/Batched, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    write_frame(&mut writer, &Frame::Bye)?;
+    writer.flush()?;
+    let summary = loop {
+        match read_frame(&mut reader)? {
+            Frame::Completion(c) => absorb(&c, &mut completions),
+            Frame::Summary(summary) => break summary,
+            Frame::Error { code, detail } => return Err(ClientError::Server { code, detail }),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected Completion/Summary, got {other:?}"
+                )))
+            }
+        }
+    };
+    let host_seconds = started.elapsed().as_secs_f64();
+
+    let checksum = checksum.value();
+    if checksum != summary.checksum {
+        return Err(ClientError::Verification(format!(
+            "stream checksum {checksum:#018x} != summary checksum {:#018x}",
+            summary.checksum
+        )));
+    }
+    if summary.ops != completions.len() as u64 {
+        return Err(ClientError::Verification(format!(
+            "summary counts {} ops, stream carried {}",
+            summary.ops,
+            completions.len()
+        )));
+    }
+    Ok(ClientReport {
+        params,
+        completions,
+        summary,
+        checksum,
+        host_seconds,
+    })
+}
+
+/// Replays the same `(ops, batch)` discipline in process through
+/// [`ReplayEngine`] and demands the served stream be bit-identical:
+/// per sequence number the same shard, op, finish cycle, and energy
+/// bits; per shard the same completion order.
+///
+/// # Errors
+///
+/// Returns [`ClientError::Verification`] naming the first divergence.
+pub fn verify_against_reference(
+    report: &ClientReport,
+    ops: &[CodicOp],
+    batch: usize,
+) -> Result<(), ClientError> {
+    let fail = |detail: String| Err(ClientError::Verification(detail));
+    if report.completions.len() != ops.len() {
+        return fail(format!(
+            "{} ops submitted, {} completions received",
+            ops.len(),
+            report.completions.len()
+        ));
+    }
+    let mut engine = ReplayEngine::new(&report.params);
+    let mut reference = Vec::with_capacity(ops.len());
+    // The same clamp `replay` applies, so both sides chunk identically.
+    for chunk in ops.chunks(batch.clamp(1, proto::MAX_BATCH_OPS)) {
+        reference.extend(
+            engine
+                .submit_batch(chunk)
+                .map_err(|e| ClientError::Verification(format!("reference rejected: {e}")))?,
+        );
+    }
+    reference.extend(engine.flush());
+
+    // The reference in its emission order must equal the socket stream
+    // in its emission order — order preservation and bit-identity in one
+    // comparison.
+    for (i, (got, want)) in report.completions.iter().zip(&reference).enumerate() {
+        let want = want.to_wire();
+        if got.seq != want.seq {
+            return fail(format!(
+                "stream position {i}: seq {} served, {} expected (order diverged)",
+                got.seq, want.seq
+            ));
+        }
+        if got.shard != want.shard || got.op != want.op {
+            return fail(format!(
+                "seq {}: routed to shard {} as {:?}, expected shard {} {:?}",
+                got.seq, got.shard, got.op, want.shard, want.op
+            ));
+        }
+        if got.finish_cycle != want.finish_cycle {
+            return fail(format!(
+                "seq {}: finish cycle {} served, {} expected",
+                got.seq, got.finish_cycle, want.finish_cycle
+            ));
+        }
+        if got.energy_nj.to_bits() != want.energy_nj.to_bits()
+            || got.busy_cycles != want.busy_cycles
+            || got.activations != want.activations
+        {
+            return fail(format!("seq {}: accounted cost diverged", got.seq));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! The replay-rate governor: caps a session's host-side replay rate at a
+//! target rows per second.
+//!
+//! The governor shapes *wall-clock* pacing only — it never touches the
+//! device clocks, so completion cycles and energies are bit-identical
+//! with and without a cap (the engine's timeline is a pure function of
+//! the submission sequence). The arithmetic is pure ([`pause_needed`])
+//! so it can be unit-tested without sleeping; [`RateGovernor`] wraps it
+//! around a monotonic clock for the serving loop.
+
+use std::time::{Duration, Instant};
+
+/// How long a session that has replayed `rows` rows in `elapsed` must
+/// pause to stay at or under `target_rows_per_s`. `None` when it is at
+/// or behind the target pace (or the target is 0 = uncapped).
+#[must_use]
+pub fn pause_needed(rows: u64, elapsed: Duration, target_rows_per_s: u64) -> Option<Duration> {
+    if target_rows_per_s == 0 || rows == 0 {
+        return None;
+    }
+    let due = Duration::from_secs_f64(rows as f64 / target_rows_per_s as f64);
+    due.checked_sub(elapsed).filter(|d| !d.is_zero())
+}
+
+/// Wall-clock pacing state of one session.
+#[derive(Debug)]
+pub struct RateGovernor {
+    target_rows_per_s: u64,
+    started: Instant,
+    rows: u64,
+}
+
+impl RateGovernor {
+    /// A governor targeting `target_rows_per_s` (0 = uncapped).
+    #[must_use]
+    pub fn new(target_rows_per_s: u64) -> Self {
+        RateGovernor {
+            target_rows_per_s,
+            started: Instant::now(),
+            rows: 0,
+        }
+    }
+
+    /// Records `rows` replayed rows and returns how long the serving
+    /// loop must sleep to hold the target rate.
+    pub fn on_rows(&mut self, rows: u64) -> Option<Duration> {
+        self.rows += rows;
+        pause_needed(self.rows, self.started.elapsed(), self.target_rows_per_s)
+    }
+
+    /// Rows recorded so far.
+    #[must_use]
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncapped_never_pauses() {
+        assert_eq!(pause_needed(1_000_000, Duration::ZERO, 0), None);
+        let mut g = RateGovernor::new(0);
+        assert_eq!(g.on_rows(u64::MAX / 2), None);
+    }
+
+    #[test]
+    fn ahead_of_pace_pauses_for_the_deficit() {
+        // 1000 rows at 100 rows/s are due at t = 10 s; at t = 4 s the
+        // session must pause 6 s.
+        let pause = pause_needed(1_000, Duration::from_secs(4), 100).unwrap();
+        assert!((pause.as_secs_f64() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_or_behind_pace_does_not_pause() {
+        assert_eq!(pause_needed(1_000, Duration::from_secs(10), 100), None);
+        assert_eq!(pause_needed(1_000, Duration::from_secs(60), 100), None);
+        assert_eq!(pause_needed(0, Duration::ZERO, 100), None);
+    }
+
+    #[test]
+    fn governor_accumulates_rows() {
+        let mut g = RateGovernor::new(1_000_000_000);
+        g.on_rows(10);
+        g.on_rows(32);
+        assert_eq!(g.rows(), 42);
+    }
+
+    #[test]
+    fn capped_replay_is_visibly_throttled() {
+        // A generous burst against a tiny target must demand a pause.
+        let mut g = RateGovernor::new(1);
+        let pause = g.on_rows(10).expect("10 rows at 1 row/s must pause");
+        assert!(pause.as_secs_f64() > 8.0, "{pause:?}");
+    }
+}

@@ -1,0 +1,830 @@
+//! The replay wire protocol: length-prefixed binary frames over a byte
+//! stream.
+//!
+//! This module is the single source of truth for the format specified in
+//! [`docs/PROTOCOL.md`](https://github.com/codic/codic/blob/main/docs/PROTOCOL.md)
+//! (in this repository: `docs/PROTOCOL.md`); the two are kept in lockstep
+//! and every frame type below has a round-trip unit test. All integers
+//! are little-endian. A frame is
+//!
+//! ```text
+//! u32 length   — byte count of everything after this field
+//! u8  type     — frame-type tag (Hello = 0x01, … see `Frame`)
+//! payload      — length - 1 bytes, layout per frame type
+//! ```
+//!
+//! Operations travel as a 9-byte unit (`u8` op code + `u64` address);
+//! completions come back typed with the finish cycle, the accounted
+//! occupancy/energy cost, and the owning shard. The session checksum
+//! ([`Fnv64`]) hashes every `Completion` frame payload in emission
+//! order, so client and server can agree on the whole stream with one
+//! `u64` compare.
+//!
+//! # Example
+//!
+//! ```
+//! use codic_core::ops::{CodicOp, VariantId};
+//! use codic_server::proto::{read_frame, write_frame, Frame};
+//!
+//! let batch = Frame::Batch(vec![
+//!     CodicOp::command(VariantId::DetZero, 0x2000),
+//!     CodicOp::read(0x40),
+//! ]);
+//! let mut wire = Vec::new();
+//! write_frame(&mut wire, &batch).unwrap();
+//! let decoded = read_frame(&mut wire.as_slice()).unwrap();
+//! assert_eq!(decoded, batch);
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use codic_core::ops::{CodicOp, VariantId};
+
+/// The protocol version this implementation speaks. A server rejects a
+/// [`Frame::Hello`] carrying any other version with
+/// [`ErrorCode::Version`].
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on the `length` field of a frame; larger values are
+/// rejected before any allocation, so a corrupt or hostile length prefix
+/// cannot balloon memory.
+pub const MAX_FRAME_LEN: u32 = 4 << 20;
+
+/// The most operations one `Batch` frame can carry without tripping
+/// [`MAX_FRAME_LEN`] (type byte + `u32` count + 9 bytes per op).
+/// Senders clamp their batch size to this.
+pub const MAX_BATCH_OPS: usize = (MAX_FRAME_LEN as usize - 5) / 9;
+
+/// Frame-type tags (the `u8` after the length prefix).
+mod tag {
+    pub const HELLO: u8 = 0x01;
+    pub const BATCH: u8 = 0x02;
+    pub const FLUSH: u8 = 0x03;
+    pub const BYE: u8 = 0x04;
+    pub const HELLO_ACK: u8 = 0x81;
+    pub const COMPLETION: u8 = 0x82;
+    pub const BATCHED: u8 = 0x83;
+    pub const FLUSHED: u8 = 0x84;
+    pub const SUMMARY: u8 = 0x85;
+    pub const ERROR: u8 = 0x86;
+}
+
+/// Operation codes of the 9-byte wire operation.
+mod opcode {
+    pub const READ: u8 = 0x00;
+    pub const WRITE: u8 = 0x01;
+    pub const ROW_CLONE_ZERO: u8 = 0x02;
+    pub const LISA_CLONE_ZERO: u8 = 0x03;
+    /// `COMMAND_BASE + i` is a CODIC command of `VariantId::ALL[i]`.
+    pub const COMMAND_BASE: u8 = 0x10;
+}
+
+/// Session parameters proposed in a [`Frame::Hello`] and echoed, with
+/// effective values, in the [`Frame::HelloAck`].
+///
+/// In a `Hello`, a zero field (and `refresh = 2`) means "use the server's
+/// configured default"; the `HelloAck` always carries the concrete
+/// effective values the session runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionParams {
+    /// Protocol version ([`PROTOCOL_VERSION`]).
+    pub version: u16,
+    /// Number of device-pool shards serving the session.
+    pub shards: u16,
+    /// Module capacity per session, in MiB.
+    pub module_mib: u32,
+    /// Bound on operations submitted but not yet completed (the
+    /// per-connection backpressure window).
+    pub max_outstanding: u32,
+    /// Replay-rate governor target in rows per second of host time;
+    /// 0 = uncapped (the server's own cap, if any, still applies).
+    pub target_rows_per_s: u64,
+    /// Refresh engine: 0 = disabled, 1 = enabled, 2 (Hello only) =
+    /// server default.
+    pub refresh: u8,
+}
+
+impl SessionParams {
+    /// A `Hello` that defers every choice to the server's defaults.
+    #[must_use]
+    pub fn defaults() -> Self {
+        SessionParams {
+            version: PROTOCOL_VERSION,
+            shards: 0,
+            module_mib: 0,
+            max_outstanding: 0,
+            target_rows_per_s: 0,
+            refresh: 2,
+        }
+    }
+}
+
+/// One finished operation as streamed back to the client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireCompletion {
+    /// Zero-based submission sequence number within the session (frames
+    /// arrive in deterministic completion order, not sequence order).
+    pub seq: u64,
+    /// The pool shard that served the operation.
+    pub shard: u16,
+    /// The operation that completed.
+    pub op: CodicOp,
+    /// Memory cycle at which the operation finished on its shard.
+    pub finish_cycle: u64,
+    /// Bank/bus occupancy of the operation in memory cycles.
+    pub busy_cycles: u32,
+    /// Activations charged against the rank's tRRD/tFAW windows.
+    pub activations: u8,
+    /// Accounted energy of the operation in nanojoules.
+    pub energy_nj: f64,
+}
+
+/// End-of-batch acknowledgement: the server sends this after the
+/// completions a [`Frame::Batch`] drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAck {
+    /// Sequence number assigned to the batch's first operation.
+    pub seq_base: u64,
+    /// Operations accepted from the batch.
+    pub accepted: u32,
+    /// Completion frames emitted for this batch boundary.
+    pub emitted: u32,
+    /// Operations still in flight after the batch (always at or below
+    /// the session's `max_outstanding`).
+    pub outstanding: u64,
+}
+
+/// End-of-flush acknowledgement: everything submitted has completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushAck {
+    /// Completion frames emitted by this flush.
+    pub emitted: u64,
+    /// The slowest shard's current cycle after the flush.
+    pub now_max: u64,
+}
+
+/// Session totals, sent in response to [`Frame::Bye`] before the server
+/// closes the connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Total operations completed over the session.
+    pub ops: u64,
+    /// How many of them were row operations (CODIC commands and clone
+    /// baselines), as opposed to ordinary reads/writes.
+    pub row_ops: u64,
+    /// The largest finish cycle observed on any shard.
+    pub max_finish_cycle: u64,
+    /// Total accounted energy in nanojoules.
+    pub total_energy_nj: f64,
+    /// [`Fnv64`] over every `Completion` frame payload, in emission
+    /// order.
+    pub checksum: u64,
+}
+
+/// Error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame could not be decoded, or arrived out of protocol order.
+    Malformed = 1,
+    /// The batch was rejected by the device policy (all-or-nothing: no
+    /// operation of the batch was enqueued). The session continues.
+    Policy = 2,
+    /// The client's protocol version is not supported.
+    Version = 3,
+    /// An internal server failure.
+    Internal = 4,
+}
+
+impl ErrorCode {
+    fn from_u8(raw: u8) -> Result<Self, ProtoError> {
+        match raw {
+            1 => Ok(ErrorCode::Malformed),
+            2 => Ok(ErrorCode::Policy),
+            3 => Ok(ErrorCode::Version),
+            4 => Ok(ErrorCode::Internal),
+            other => Err(ProtoError::UnknownErrorCode(other)),
+        }
+    }
+}
+
+/// Every frame of the replay protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: opens a session, proposing [`SessionParams`].
+    Hello(SessionParams),
+    /// Server → client: accepts the session with the effective params.
+    HelloAck(SessionParams),
+    /// Client → server: a batch of operations to submit, in order.
+    Batch(Vec<CodicOp>),
+    /// Client → server: drive every shard to idle and emit everything.
+    Flush,
+    /// Client → server: end of session (server flushes, then summarizes).
+    Bye,
+    /// Server → client: one finished operation.
+    Completion(WireCompletion),
+    /// Server → client: end of a batch's completion burst.
+    Batched(BatchAck),
+    /// Server → client: end of a flush's completion burst.
+    Flushed(FlushAck),
+    /// Server → client: session totals, then the connection closes.
+    Summary(Summary),
+    /// Server → client: a protocol or policy error.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// Decode-side failures.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying stream failed (including EOF mid-frame).
+    Io(io::Error),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized(u32),
+    /// A frame with a length of zero has no type byte.
+    Empty,
+    /// The frame-type tag is not part of this protocol version.
+    UnknownFrame(u8),
+    /// An operation code is not part of this protocol version.
+    UnknownOp(u8),
+    /// An error frame carried an unknown error code.
+    UnknownErrorCode(u8),
+    /// The payload is shorter or longer than its frame type requires.
+    BadLength {
+        /// The offending frame-type tag.
+        tag: u8,
+        /// Payload bytes received.
+        got: usize,
+    },
+    /// An error frame's detail is not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "stream error: {e}"),
+            ProtoError::Oversized(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN} cap")
+            }
+            ProtoError::Empty => write!(f, "zero-length frame has no type byte"),
+            ProtoError::UnknownFrame(tag) => write!(f, "unknown frame type {tag:#04x}"),
+            ProtoError::UnknownOp(code) => write!(f, "unknown operation code {code:#04x}"),
+            ProtoError::UnknownErrorCode(code) => write!(f, "unknown error code {code}"),
+            ProtoError::BadLength { tag, got } => {
+                write!(f, "frame {tag:#04x} has a malformed payload of {got} bytes")
+            }
+            ProtoError::BadUtf8 => write!(f, "error detail is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// The wire op code of a [`CodicOp`].
+fn op_code(op: CodicOp) -> u8 {
+    match op {
+        CodicOp::Read { .. } => opcode::READ,
+        CodicOp::Write { .. } => opcode::WRITE,
+        CodicOp::RowCloneZero { .. } => opcode::ROW_CLONE_ZERO,
+        CodicOp::LisaCloneZero { .. } => opcode::LISA_CLONE_ZERO,
+        CodicOp::Command { variant, .. } => {
+            let index = VariantId::ALL
+                .iter()
+                .position(|&v| v == variant)
+                .expect("every variant is in ALL");
+            opcode::COMMAND_BASE + index as u8
+        }
+    }
+}
+
+/// Encodes one operation as its 9-byte wire unit.
+fn put_op(buf: &mut Vec<u8>, op: CodicOp) {
+    buf.push(op_code(op));
+    buf.extend_from_slice(&op.row_addr().to_le_bytes());
+}
+
+/// Decodes the 9-byte wire unit starting at `bytes`.
+fn get_op(bytes: &[u8]) -> Result<CodicOp, ProtoError> {
+    let code = bytes[0];
+    let addr = u64::from_le_bytes(bytes[1..9].try_into().expect("9-byte unit"));
+    match code {
+        opcode::READ => Ok(CodicOp::read(addr)),
+        opcode::WRITE => Ok(CodicOp::write(addr)),
+        opcode::ROW_CLONE_ZERO => Ok(CodicOp::RowCloneZero { row_addr: addr }),
+        opcode::LISA_CLONE_ZERO => Ok(CodicOp::LisaCloneZero { row_addr: addr }),
+        code => {
+            let index = code.wrapping_sub(opcode::COMMAND_BASE) as usize;
+            if code >= opcode::COMMAND_BASE && index < VariantId::ALL.len() {
+                Ok(CodicOp::command(VariantId::ALL[index], addr))
+            } else {
+                Err(ProtoError::UnknownOp(code))
+            }
+        }
+    }
+}
+
+fn put_params(buf: &mut Vec<u8>, p: &SessionParams) {
+    buf.extend_from_slice(&p.version.to_le_bytes());
+    buf.extend_from_slice(&p.shards.to_le_bytes());
+    buf.extend_from_slice(&p.module_mib.to_le_bytes());
+    buf.extend_from_slice(&p.max_outstanding.to_le_bytes());
+    buf.extend_from_slice(&p.target_rows_per_s.to_le_bytes());
+    buf.push(p.refresh);
+}
+
+fn get_params(bytes: &[u8], tag: u8) -> Result<SessionParams, ProtoError> {
+    if bytes.len() != 21 {
+        return Err(ProtoError::BadLength {
+            tag,
+            got: bytes.len(),
+        });
+    }
+    Ok(SessionParams {
+        version: u16::from_le_bytes(bytes[0..2].try_into().expect("sized")),
+        shards: u16::from_le_bytes(bytes[2..4].try_into().expect("sized")),
+        module_mib: u32::from_le_bytes(bytes[4..8].try_into().expect("sized")),
+        max_outstanding: u32::from_le_bytes(bytes[8..12].try_into().expect("sized")),
+        target_rows_per_s: u64::from_le_bytes(bytes[12..20].try_into().expect("sized")),
+        refresh: bytes[20],
+    })
+}
+
+/// Serializes `frame` as `type byte + payload` (everything after the
+/// length prefix), appending to `buf`.
+///
+/// This is also the byte sequence the session checksum hashes for
+/// completion frames (minus the type byte — see [`completion_payload`]).
+pub fn encode_body(frame: &Frame, buf: &mut Vec<u8>) {
+    match frame {
+        Frame::Hello(p) => {
+            buf.push(tag::HELLO);
+            put_params(buf, p);
+        }
+        Frame::HelloAck(p) => {
+            buf.push(tag::HELLO_ACK);
+            put_params(buf, p);
+        }
+        Frame::Batch(ops) => {
+            buf.push(tag::BATCH);
+            buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+            for &op in ops {
+                put_op(buf, op);
+            }
+        }
+        Frame::Flush => buf.push(tag::FLUSH),
+        Frame::Bye => buf.push(tag::BYE),
+        Frame::Completion(c) => {
+            buf.push(tag::COMPLETION);
+            completion_payload(c, buf);
+        }
+        Frame::Batched(a) => {
+            buf.push(tag::BATCHED);
+            buf.extend_from_slice(&a.seq_base.to_le_bytes());
+            buf.extend_from_slice(&a.accepted.to_le_bytes());
+            buf.extend_from_slice(&a.emitted.to_le_bytes());
+            buf.extend_from_slice(&a.outstanding.to_le_bytes());
+        }
+        Frame::Flushed(a) => {
+            buf.push(tag::FLUSHED);
+            buf.extend_from_slice(&a.emitted.to_le_bytes());
+            buf.extend_from_slice(&a.now_max.to_le_bytes());
+        }
+        Frame::Summary(s) => {
+            buf.push(tag::SUMMARY);
+            buf.extend_from_slice(&s.ops.to_le_bytes());
+            buf.extend_from_slice(&s.row_ops.to_le_bytes());
+            buf.extend_from_slice(&s.max_finish_cycle.to_le_bytes());
+            buf.extend_from_slice(&s.total_energy_nj.to_bits().to_le_bytes());
+            buf.extend_from_slice(&s.checksum.to_le_bytes());
+        }
+        Frame::Error { code, detail } => {
+            buf.push(tag::ERROR);
+            buf.push(*code as u8);
+            let detail = detail.as_bytes();
+            let len = detail.len().min(u16::MAX as usize);
+            buf.extend_from_slice(&(len as u16).to_le_bytes());
+            buf.extend_from_slice(&detail[..len]);
+        }
+    }
+}
+
+/// The 40-byte completion payload — the unit the session checksum
+/// ([`Fnv64`]) hashes, in emission order.
+pub fn completion_payload(c: &WireCompletion, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&c.seq.to_le_bytes());
+    buf.extend_from_slice(&c.shard.to_le_bytes());
+    put_op(buf, c.op);
+    buf.extend_from_slice(&c.finish_cycle.to_le_bytes());
+    buf.extend_from_slice(&c.busy_cycles.to_le_bytes());
+    buf.push(c.activations);
+    buf.extend_from_slice(&c.energy_nj.to_bits().to_le_bytes());
+}
+
+/// Decodes a `type byte + payload` body (everything after the length
+/// prefix) back into a [`Frame`].
+///
+/// # Errors
+///
+/// Returns the [`ProtoError`] describing the malformation.
+pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
+    let (&tag, payload) = body.split_first().ok_or(ProtoError::Empty)?;
+    let bad = |got: usize| ProtoError::BadLength { tag, got };
+    match tag {
+        tag::HELLO => Ok(Frame::Hello(get_params(payload, tag)?)),
+        tag::HELLO_ACK => Ok(Frame::HelloAck(get_params(payload, tag)?)),
+        tag::BATCH => {
+            if payload.len() < 4 {
+                return Err(bad(payload.len()));
+            }
+            let count = u32::from_le_bytes(payload[0..4].try_into().expect("sized")) as usize;
+            let units = &payload[4..];
+            if units.len() != count * 9 {
+                return Err(bad(payload.len()));
+            }
+            units
+                .chunks_exact(9)
+                .map(get_op)
+                .collect::<Result<_, _>>()
+                .map(Frame::Batch)
+        }
+        tag::FLUSH => {
+            if !payload.is_empty() {
+                return Err(bad(payload.len()));
+            }
+            Ok(Frame::Flush)
+        }
+        tag::BYE => {
+            if !payload.is_empty() {
+                return Err(bad(payload.len()));
+            }
+            Ok(Frame::Bye)
+        }
+        tag::COMPLETION => {
+            if payload.len() != 40 {
+                return Err(bad(payload.len()));
+            }
+            Ok(Frame::Completion(WireCompletion {
+                seq: u64::from_le_bytes(payload[0..8].try_into().expect("sized")),
+                shard: u16::from_le_bytes(payload[8..10].try_into().expect("sized")),
+                op: get_op(&payload[10..19])?,
+                finish_cycle: u64::from_le_bytes(payload[19..27].try_into().expect("sized")),
+                busy_cycles: u32::from_le_bytes(payload[27..31].try_into().expect("sized")),
+                activations: payload[31],
+                energy_nj: f64::from_bits(u64::from_le_bytes(
+                    payload[32..40].try_into().expect("sized"),
+                )),
+            }))
+        }
+        tag::BATCHED => {
+            if payload.len() != 24 {
+                return Err(bad(payload.len()));
+            }
+            Ok(Frame::Batched(BatchAck {
+                seq_base: u64::from_le_bytes(payload[0..8].try_into().expect("sized")),
+                accepted: u32::from_le_bytes(payload[8..12].try_into().expect("sized")),
+                emitted: u32::from_le_bytes(payload[12..16].try_into().expect("sized")),
+                outstanding: u64::from_le_bytes(payload[16..24].try_into().expect("sized")),
+            }))
+        }
+        tag::FLUSHED => {
+            if payload.len() != 16 {
+                return Err(bad(payload.len()));
+            }
+            Ok(Frame::Flushed(FlushAck {
+                emitted: u64::from_le_bytes(payload[0..8].try_into().expect("sized")),
+                now_max: u64::from_le_bytes(payload[8..16].try_into().expect("sized")),
+            }))
+        }
+        tag::SUMMARY => {
+            if payload.len() != 40 {
+                return Err(bad(payload.len()));
+            }
+            Ok(Frame::Summary(Summary {
+                ops: u64::from_le_bytes(payload[0..8].try_into().expect("sized")),
+                row_ops: u64::from_le_bytes(payload[8..16].try_into().expect("sized")),
+                max_finish_cycle: u64::from_le_bytes(payload[16..24].try_into().expect("sized")),
+                total_energy_nj: f64::from_bits(u64::from_le_bytes(
+                    payload[24..32].try_into().expect("sized"),
+                )),
+                checksum: u64::from_le_bytes(payload[32..40].try_into().expect("sized")),
+            }))
+        }
+        tag::ERROR => {
+            if payload.len() < 3 {
+                return Err(bad(payload.len()));
+            }
+            let code = ErrorCode::from_u8(payload[0])?;
+            let len = u16::from_le_bytes(payload[1..3].try_into().expect("sized")) as usize;
+            if payload.len() != 3 + len {
+                return Err(bad(payload.len()));
+            }
+            let detail = std::str::from_utf8(&payload[3..]).map_err(|_| ProtoError::BadUtf8)?;
+            Ok(Frame::Error {
+                code,
+                detail: detail.to_string(),
+            })
+        }
+        other => Err(ProtoError::UnknownFrame(other)),
+    }
+}
+
+/// Writes one length-prefixed frame to `w` (no flush — callers batch
+/// frames and flush at protocol boundaries).
+///
+/// # Errors
+///
+/// Propagates the stream's I/O error.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let mut body = Vec::new();
+    encode_body(frame, &mut body);
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)
+}
+
+/// Writes a `Completion` frame whose payload was already rendered with
+/// [`completion_payload`] — the encode-once emission path of the
+/// server's hot loop (the same bytes feed the session checksum and the
+/// socket, with no second encoding and no per-frame allocation).
+/// Byte-for-byte identical to
+/// `write_frame(w, &Frame::Completion(..))`, which a unit test pins.
+///
+/// # Errors
+///
+/// Propagates the stream's I/O error.
+pub fn write_completion_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    debug_assert_eq!(payload.len(), 40, "completion payloads are 40 bytes");
+    w.write_all(&(payload.len() as u32 + 1).to_le_bytes())?;
+    w.write_all(&[tag::COMPLETION])?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame from `r`, enforcing
+/// [`MAX_FRAME_LEN`].
+///
+/// # Errors
+///
+/// Returns [`ProtoError::Io`] on stream failure (including a clean EOF
+/// before the length prefix, surfaced as
+/// [`io::ErrorKind::UnexpectedEof`]) and the matching decode error on a
+/// malformed frame.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtoError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::Oversized(len));
+    }
+    if len == 0 {
+        return Err(ProtoError::Empty);
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    decode_body(&body)
+}
+
+/// FNV-1a 64-bit — the session checksum over completion payloads.
+///
+/// Offset basis `0xcbf2_9ce4_8422_2325`, prime `0x0000_0100_0000_01b3`;
+/// fed with the 40-byte [`completion_payload`] of every completion frame
+/// in emission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The current digest.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        // The length prefix covers exactly the body.
+        let len = u32::from_le_bytes(wire[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len, wire.len() - 4);
+        let mut reader = wire.as_slice();
+        let decoded = read_frame(&mut reader).unwrap();
+        assert!(reader.is_empty(), "frame consumed exactly");
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn hello_round_trips() {
+        round_trip(Frame::Hello(SessionParams::defaults()));
+        round_trip(Frame::Hello(SessionParams {
+            version: PROTOCOL_VERSION,
+            shards: 4,
+            module_mib: 64,
+            max_outstanding: 1024,
+            target_rows_per_s: 2_000_000,
+            refresh: 0,
+        }));
+    }
+
+    #[test]
+    fn hello_ack_round_trips() {
+        round_trip(Frame::HelloAck(SessionParams {
+            version: PROTOCOL_VERSION,
+            shards: 2,
+            module_mib: 128,
+            max_outstanding: 512,
+            target_rows_per_s: 0,
+            refresh: 1,
+        }));
+    }
+
+    #[test]
+    fn batch_round_trips_every_op_kind() {
+        let mut ops = vec![
+            CodicOp::read(0x40),
+            CodicOp::write(u64::MAX),
+            CodicOp::RowCloneZero { row_addr: 0x2000 },
+            CodicOp::LisaCloneZero { row_addr: 0x4000 },
+        ];
+        for variant in VariantId::ALL {
+            ops.push(CodicOp::command(variant, 0x8000));
+        }
+        round_trip(Frame::Batch(ops));
+        round_trip(Frame::Batch(Vec::new()));
+    }
+
+    #[test]
+    fn flush_and_bye_round_trip() {
+        round_trip(Frame::Flush);
+        round_trip(Frame::Bye);
+    }
+
+    #[test]
+    fn completion_round_trips_with_exact_energy_bits() {
+        round_trip(Frame::Completion(WireCompletion {
+            seq: u64::MAX - 1,
+            shard: 3,
+            op: CodicOp::command(VariantId::Sig, 0x1_0000),
+            finish_cycle: 123_456_789,
+            busy_cycles: 39,
+            activations: 2,
+            energy_nj: 17.296_452_19,
+        }));
+    }
+
+    #[test]
+    fn raw_completion_emission_matches_write_frame_byte_for_byte() {
+        let completion = WireCompletion {
+            seq: 7,
+            shard: 1,
+            op: CodicOp::LisaCloneZero { row_addr: 0x6000 },
+            finish_cycle: 424_242,
+            busy_cycles: 94,
+            activations: 2,
+            energy_nj: 34.5,
+        };
+        let mut via_frame = Vec::new();
+        write_frame(&mut via_frame, &Frame::Completion(completion)).unwrap();
+        let mut payload = Vec::new();
+        completion_payload(&completion, &mut payload);
+        let mut via_raw = Vec::new();
+        write_completion_frame(&mut via_raw, &payload).unwrap();
+        assert_eq!(via_raw, via_frame);
+    }
+
+    #[test]
+    fn batched_round_trips() {
+        round_trip(Frame::Batched(BatchAck {
+            seq_base: 4096,
+            accepted: 1024,
+            emitted: 1000,
+            outstanding: 24,
+        }));
+    }
+
+    #[test]
+    fn flushed_round_trips() {
+        round_trip(Frame::Flushed(FlushAck {
+            emitted: 99,
+            now_max: 1_000_000,
+        }));
+    }
+
+    #[test]
+    fn summary_round_trips() {
+        round_trip(Frame::Summary(Summary {
+            ops: 100_000,
+            row_ops: 60_000,
+            max_finish_cycle: 9_999_999,
+            total_energy_nj: 1.730_442e6,
+            checksum: 0xdead_beef_cafe_f00d,
+        }));
+    }
+
+    #[test]
+    fn error_round_trips_every_code() {
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::Policy,
+            ErrorCode::Version,
+            ErrorCode::Internal,
+        ] {
+            round_trip(Frame::Error {
+                code,
+                detail: format!("{code:?}: address 0x1234 outside 0x0..0x1000"),
+            });
+        }
+        round_trip(Frame::Error {
+            code: ErrorCode::Internal,
+            detail: String::new(),
+        });
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_not_misread() {
+        // Unknown frame tag.
+        assert!(matches!(
+            decode_body(&[0x7f]),
+            Err(ProtoError::UnknownFrame(0x7f))
+        ));
+        // Unknown op code inside a batch.
+        let mut body = vec![0x02, 1, 0, 0, 0, 0xee];
+        body.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(body_err(&body), ProtoError::UnknownOp(0xee)));
+        // Truncated batch (count says 2, one unit present).
+        let mut body = vec![0x02, 2, 0, 0, 0];
+        body.extend_from_slice(&[0u8; 9]);
+        assert!(matches!(body_err(&body), ProtoError::BadLength { .. }));
+        // Payload on a payload-less frame.
+        assert!(matches!(body_err(&[0x03, 1]), ProtoError::BadLength { .. }));
+        // Oversized length prefix is rejected before allocation.
+        let mut wire = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        wire.push(0x03);
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(ProtoError::Oversized(_))
+        ));
+        // EOF mid-frame surfaces as an I/O error.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Flush).unwrap();
+        wire.pop();
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(ProtoError::Io(_))
+        ));
+    }
+
+    fn body_err(body: &[u8]) -> ProtoError {
+        decode_body(body).expect_err("malformed body must not decode")
+    }
+
+    #[test]
+    fn checksum_is_the_documented_fnv1a() {
+        // Pinned reference values of FNV-1a 64.
+        let mut h = Fnv64::new();
+        assert_eq!(h.value(), 0xcbf2_9ce4_8422_2325, "offset basis");
+        h.update(b"a");
+        assert_eq!(h.value(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.update(b"foobar");
+        assert_eq!(h.value(), 0x8594_4171_f739_67e8);
+        // Incremental and one-shot hashing agree.
+        let mut parts = Fnv64::new();
+        parts.update(b"foo");
+        parts.update(b"bar");
+        assert_eq!(parts.value(), h.value());
+    }
+}

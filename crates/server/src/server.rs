@@ -1,0 +1,754 @@
+//! The replay server: Unix-socket sessions served over a sharded
+//! [`DevicePool`].
+//!
+//! Each connection is one independent session with its own pool (its own
+//! shard clocks, mode registers, and policy state), served on its own
+//! thread. The per-session serving loop is [`ReplayEngine`]:
+//!
+//! 1. a decoded [`Frame::Batch`] is submitted
+//!    through [`DevicePool::submit_all_async`] (all-or-nothing policy:
+//!    a rejected batch turns into one `Error` frame and touches nothing);
+//! 2. backpressure: while [`DevicePool::outstanding`] exceeds the
+//!    session's `max_outstanding`, the engine relieves pressure with
+//!    [`DevicePool::step`] (one event per busy shard), never by blocking
+//!    the socket;
+//! 3. resolved [`OpFuture`]s are drained non-blockingly
+//!    ([`OpFuture::try_take`]) and streamed back as typed `Completion`
+//!    frames in completion order (ascending finish cycle at each drain
+//!    point, ties broken by submission sequence).
+//!
+//! Determinism contract: the engine's DRAM timeline is a pure function
+//! of the submission sequence (batch boundaries included). With
+//! `max_outstanding` at or above the pool's natural in-flight bound
+//! (three 64-deep queues plus in-flight commands per shard), the
+//! backpressure loop never fires and the served timeline is
+//! *instruction-for-instruction* the direct
+//! [`DevicePool::submit_all_async`] + [`DevicePool::drive`] run — the
+//! bit-identity the end-to-end tests pin. Below that bound it stays
+//! deterministic, but clocks advance earlier. The replay-rate governor
+//! only ever sleeps the host thread, so it cannot perturb cycles.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::thread;
+
+use codic_core::device::DeviceConfig;
+use codic_core::error::CodicError;
+use codic_core::executor::OpFuture;
+use codic_core::ops::CodicOp;
+use codic_core::pool::DevicePool;
+use codic_dram::{DramGeometry, TimingParams};
+
+use crate::governor::RateGovernor;
+use crate::proto::{
+    self, read_frame, write_frame, BatchAck, ErrorCode, FlushAck, Fnv64, Frame, ProtoError,
+    SessionParams, Summary, WireCompletion, PROTOCOL_VERSION,
+};
+
+/// Server-side session defaults and caps.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Default pool shards per session (a `Hello` may override).
+    pub shards: usize,
+    /// Default module capacity per session, in MiB.
+    pub module_mib: u64,
+    /// Default and maximum outstanding-operation bound per session.
+    pub max_outstanding: usize,
+    /// Server-wide replay-rate cap in rows/s (0 = uncapped); a session's
+    /// own target can only lower it.
+    pub target_rows_per_s: u64,
+    /// Default refresh-engine state.
+    pub refresh: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 4,
+            module_mib: 64,
+            // At or above the pool's natural in-flight bound for the
+            // default 4 shards, so paced replay is instruction-for-
+            // instruction the direct submit_all_async + drive run.
+            max_outstanding: 1024,
+            target_rows_per_s: 0,
+            refresh: false,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Resolves a client `Hello` against the server's defaults and caps
+    /// into the effective session parameters of the `HelloAck`.
+    #[must_use]
+    pub fn negotiate(&self, hello: &SessionParams) -> SessionParams {
+        let shards = match hello.shards {
+            0 => self.shards,
+            n => (n as usize).min(64),
+        };
+        let module_mib = match hello.module_mib {
+            0 => self.module_mib,
+            // Keep the per-session footprint bounded and row-divisible.
+            n => u64::from(n).clamp(1, 4096).next_power_of_two(),
+        };
+        let max_outstanding = match hello.max_outstanding {
+            0 => self.max_outstanding,
+            n => (n as usize).min(self.max_outstanding.max(1)),
+        };
+        let target_rows_per_s = match (self.target_rows_per_s, hello.target_rows_per_s) {
+            (0, t) => t,
+            (s, 0) => s,
+            (s, t) => s.min(t),
+        };
+        let refresh = match hello.refresh {
+            0 => false,
+            1 => true,
+            _ => self.refresh,
+        };
+        SessionParams {
+            version: PROTOCOL_VERSION,
+            shards: shards as u16,
+            module_mib: module_mib as u32,
+            max_outstanding: max_outstanding as u32,
+            target_rows_per_s,
+            refresh: u8::from(refresh),
+        }
+    }
+
+    /// The device configuration a session with `params` runs on.
+    /// Protocol v1 pins the timing to DDR3-1600 (11-11-11).
+    #[must_use]
+    pub fn device_config(params: &SessionParams) -> DeviceConfig {
+        DeviceConfig::new(
+            DramGeometry::module_mib(u64::from(params.module_mib)),
+            TimingParams::ddr3_1600_11(),
+        )
+        .with_refresh(params.refresh == 1)
+    }
+}
+
+/// One finished operation with its session metadata — the in-process
+/// twin of the wire's `Completion` frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayCompletion {
+    /// Zero-based submission sequence number within the session.
+    pub seq: u64,
+    /// The shard that served the operation.
+    pub shard: u16,
+    /// The typed completion from the device layer.
+    pub completion: codic_core::device::OpCompletion,
+}
+
+impl ReplayCompletion {
+    /// The wire form of this completion.
+    #[must_use]
+    pub fn to_wire(&self) -> WireCompletion {
+        WireCompletion {
+            seq: self.seq,
+            shard: self.shard,
+            op: self.completion.op,
+            finish_cycle: self.completion.finish_cycle,
+            busy_cycles: self.completion.cost.busy_cycles,
+            activations: self.completion.cost.activations,
+            energy_nj: self.completion.cost.energy_nj,
+        }
+    }
+}
+
+/// The deterministic per-session serving core: typed batches in,
+/// completion-ordered [`ReplayCompletion`]s out.
+///
+/// This is exactly the discipline the wire server runs, factored out so
+/// the client's `--verify` mode and the end-to-end tests can replay it
+/// in process and demand bit-identical results.
+#[derive(Debug)]
+pub struct ReplayEngine {
+    pool: DevicePool,
+    pending: Vec<(u64, u16, OpFuture)>,
+    scratch: Vec<(u64, u16, OpFuture)>,
+    next_seq: u64,
+    max_outstanding: usize,
+}
+
+impl ReplayEngine {
+    /// An engine over a fresh pool per `params` (see
+    /// [`ServerConfig::device_config`]).
+    #[must_use]
+    pub fn new(params: &SessionParams) -> Self {
+        let config = ServerConfig::device_config(params);
+        ReplayEngine {
+            pool: DevicePool::new((params.shards as usize).max(1), &config),
+            pending: Vec::new(),
+            scratch: Vec::new(),
+            next_seq: 0,
+            max_outstanding: (params.max_outstanding as usize).max(1),
+        }
+    }
+
+    /// Submits one batch and returns the completions that drained at
+    /// this boundary, in completion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the policy error; the batch was all-or-nothing rejected
+    /// and the engine state is untouched (no sequence numbers consumed).
+    pub fn submit_batch(&mut self, ops: &[CodicOp]) -> Result<Vec<ReplayCompletion>, CodicError> {
+        let shards: Vec<u16> = ops
+            .iter()
+            .map(|&op| self.pool.shard_of(op) as u16)
+            .collect();
+        let futures = self.pool.submit_all_async(ops)?;
+        for (future, shard) in futures.into_iter().zip(shards) {
+            self.pending.push((self.next_seq, shard, future));
+            self.next_seq += 1;
+        }
+        // Backpressure: relieve the in-flight window one engine event at
+        // a time; never over-drive (drive() would run all the way to
+        // idle and distort the timeline for nothing).
+        while self.pool.outstanding() > self.max_outstanding {
+            if !self.pool.step() {
+                break;
+            }
+        }
+        Ok(self.drain_ready())
+    }
+
+    /// Drives every shard to idle and returns everything still pending,
+    /// in completion order.
+    pub fn flush(&mut self) -> Vec<ReplayCompletion> {
+        self.pool.drive();
+        self.drain_ready()
+    }
+
+    /// Operations submitted but not yet completed (the backpressure
+    /// signal; bounded by the session's `max_outstanding` between
+    /// batches).
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.pool.outstanding()
+    }
+
+    /// The slowest shard's current cycle.
+    #[must_use]
+    pub fn now_max(&self) -> u64 {
+        (0..self.pool.shards())
+            .map(|s| self.pool.device(s).now())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sequence number the next submitted operation will get.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Moves every resolved future out of the pending set, sorted into
+    /// completion order: ascending finish cycle, ties broken by
+    /// submission sequence. (Per shard this is exactly resolution order;
+    /// across shards the tie-break makes the interleaving deterministic.)
+    fn drain_ready(&mut self) -> Vec<ReplayCompletion> {
+        let mut ready = Vec::new();
+        self.scratch.clear();
+        for (seq, shard, mut future) in self.pending.drain(..) {
+            match future.try_take() {
+                Some(completion) => ready.push(ReplayCompletion {
+                    seq,
+                    shard,
+                    completion,
+                }),
+                None => self.scratch.push((seq, shard, future)),
+            }
+        }
+        std::mem::swap(&mut self.pending, &mut self.scratch);
+        ready.sort_by_key(|r| (r.completion.finish_cycle, r.seq));
+        ready
+    }
+}
+
+/// Why a session ended.
+#[derive(Debug)]
+pub enum SessionEnd {
+    /// The client said `Bye`; the summary was sent.
+    Bye,
+    /// The client hung up without a `Bye`.
+    Disconnected,
+    /// The session was aborted after a malformed frame (an `Error`
+    /// frame was sent when possible).
+    Protocol(ProtoError),
+    /// The session was rejected before or during the handshake, or a
+    /// well-formed frame arrived out of protocol order; the reason was
+    /// also sent to the client as an `Error` frame.
+    Rejected(String),
+    /// The socket failed.
+    Io(io::Error),
+}
+
+/// Serves one established session over any byte stream (the Unix-socket
+/// path wraps this; tests may drive it over an in-memory pipe).
+///
+/// # Errors
+///
+/// Returns the socket failure that ended the session, if any; protocol
+/// violations and client disconnects are reported in [`SessionEnd`].
+pub fn serve_session<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    config: &ServerConfig,
+) -> io::Result<SessionEnd> {
+    // The session opens with a Hello.
+    let hello = match read_frame(reader) {
+        Ok(Frame::Hello(params)) => params,
+        Ok(other) => {
+            let reason = format!("expected Hello, got {}", frame_name(&other));
+            send_error(writer, ErrorCode::Malformed, &reason)?;
+            return Ok(SessionEnd::Rejected(reason));
+        }
+        Err(ProtoError::Io(e)) => return io_end(e),
+        Err(e) => {
+            send_error(writer, ErrorCode::Malformed, &e.to_string())?;
+            return Ok(SessionEnd::Protocol(e));
+        }
+    };
+    if hello.version != PROTOCOL_VERSION {
+        let reason = format!(
+            "server speaks v{PROTOCOL_VERSION}, client sent v{}",
+            hello.version
+        );
+        send_error(writer, ErrorCode::Version, &reason)?;
+        return Ok(SessionEnd::Rejected(reason));
+    }
+    let params = config.negotiate(&hello);
+    write_frame(writer, &Frame::HelloAck(params))?;
+    writer.flush()?;
+
+    let mut engine = ReplayEngine::new(&params);
+    let mut governor = RateGovernor::new(params.target_rows_per_s);
+    let mut tally = SessionTally::default();
+
+    loop {
+        match read_frame(reader) {
+            Ok(Frame::Batch(ops)) => {
+                let seq_base = engine.next_seq();
+                match engine.submit_batch(&ops) {
+                    Ok(completions) => {
+                        tally.emit(writer, &completions)?;
+                        write_frame(
+                            writer,
+                            &Frame::Batched(BatchAck {
+                                seq_base,
+                                accepted: ops.len() as u32,
+                                emitted: completions.len() as u32,
+                                outstanding: engine.outstanding() as u64,
+                            }),
+                        )?;
+                        writer.flush()?;
+                        if let Some(pause) = governor.on_rows(ops.len() as u64) {
+                            thread::sleep(pause);
+                        }
+                    }
+                    Err(policy) => {
+                        send_error(writer, ErrorCode::Policy, &policy.to_string())?;
+                    }
+                }
+            }
+            Ok(Frame::Flush) => {
+                let completions = engine.flush();
+                tally.emit(writer, &completions)?;
+                write_frame(
+                    writer,
+                    &Frame::Flushed(FlushAck {
+                        emitted: completions.len() as u64,
+                        now_max: engine.now_max(),
+                    }),
+                )?;
+                writer.flush()?;
+            }
+            Ok(Frame::Bye) => {
+                let completions = engine.flush();
+                tally.emit(writer, &completions)?;
+                write_frame(writer, &Frame::Summary(tally.summary()))?;
+                writer.flush()?;
+                return Ok(SessionEnd::Bye);
+            }
+            Ok(other) => {
+                let reason = format!("expected Batch/Flush/Bye, got {}", frame_name(&other));
+                send_error(writer, ErrorCode::Malformed, &reason)?;
+                return Ok(SessionEnd::Rejected(reason));
+            }
+            Err(ProtoError::Io(e)) => return io_end(e),
+            Err(e) => {
+                send_error(writer, ErrorCode::Malformed, &e.to_string())?;
+                return Ok(SessionEnd::Protocol(e));
+            }
+        }
+    }
+}
+
+/// Running totals and checksum of one session's completion stream.
+#[derive(Debug, Default)]
+struct SessionTally {
+    checksum: Fnv64,
+    payload: Vec<u8>,
+    ops: u64,
+    row_ops: u64,
+    max_finish_cycle: u64,
+    total_energy_nj: f64,
+}
+
+impl SessionTally {
+    /// Streams `completions` as `Completion` frames, folding each frame
+    /// payload into the totals and the session checksum.
+    fn emit<W: Write>(
+        &mut self,
+        writer: &mut W,
+        completions: &[ReplayCompletion],
+    ) -> io::Result<()> {
+        for c in completions {
+            let wire = c.to_wire();
+            self.payload.clear();
+            proto::completion_payload(&wire, &mut self.payload);
+            self.checksum.update(&self.payload);
+            self.ops += 1;
+            self.row_ops += u64::from(wire.op.row_op_kind().is_some());
+            self.max_finish_cycle = self.max_finish_cycle.max(wire.finish_cycle);
+            self.total_energy_nj += wire.energy_nj;
+            // Encode once: the checksummed bytes are the sent bytes.
+            proto::write_completion_frame(writer, &self.payload)?;
+        }
+        Ok(())
+    }
+
+    fn summary(&self) -> Summary {
+        Summary {
+            ops: self.ops,
+            row_ops: self.row_ops,
+            max_finish_cycle: self.max_finish_cycle,
+            total_energy_nj: self.total_energy_nj,
+            checksum: self.checksum.value(),
+        }
+    }
+}
+
+fn io_end(e: io::Error) -> io::Result<SessionEnd> {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        Ok(SessionEnd::Disconnected)
+    } else {
+        Ok(SessionEnd::Io(e))
+    }
+}
+
+/// The frame's name, for diagnostics (a `Batch`'s debug form would dump
+/// the whole operation vector).
+fn frame_name(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Hello(_) => "Hello",
+        Frame::HelloAck(_) => "HelloAck",
+        Frame::Batch(_) => "Batch",
+        Frame::Flush => "Flush",
+        Frame::Bye => "Bye",
+        Frame::Completion(_) => "Completion",
+        Frame::Batched(_) => "Batched",
+        Frame::Flushed(_) => "Flushed",
+        Frame::Summary(_) => "Summary",
+        Frame::Error { .. } => "Error",
+    }
+}
+
+fn send_error<W: Write>(writer: &mut W, code: ErrorCode, detail: &str) -> io::Result<()> {
+    write_frame(
+        writer,
+        &Frame::Error {
+            code,
+            detail: detail.to_string(),
+        },
+    )?;
+    writer.flush()
+}
+
+/// The Unix-socket replay server.
+///
+/// Binds a filesystem socket, then serves each accepted connection as an
+/// independent session on its own thread. The socket file is removed on
+/// drop.
+#[derive(Debug)]
+pub struct ReplayServer {
+    listener: UnixListener,
+    config: ServerConfig,
+    path: PathBuf,
+}
+
+impl ReplayServer {
+    /// Binds `path`, reclaiming a *stale* socket file (one left behind
+    /// by a dead server) but refusing to hijack a live endpoint: if a
+    /// peer still accepts connections on `path`, this fails with
+    /// [`io::ErrorKind::AddrInUse`] instead of silently unlinking the
+    /// running server's socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure; [`io::ErrorKind::AddrInUse`] when a
+    /// live server already serves `path`.
+    pub fn bind<P: AsRef<Path>>(path: P, config: ServerConfig) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        match UnixStream::connect(&path) {
+            Ok(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("{} is served by a live replay server", path.display()),
+                ))
+            }
+            // No socket file at all: nothing to reclaim.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            // A socket file nobody accepts on: a dead server's leftover.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+                std::fs::remove_file(&path)?;
+            }
+            // Anything else (not a socket, no permission, …): leave the
+            // path alone and let bind() report the real conflict.
+            Err(_) => {}
+        }
+        let listener = UnixListener::bind(&path)?;
+        Ok(ReplayServer {
+            listener,
+            config,
+            path,
+        })
+    }
+
+    /// The bound socket path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Serves exactly `connections` sessions (each on its own thread),
+    /// then returns. `replay-server --connections N` and every test use
+    /// this; [`ReplayServer::serve_forever`] is the daemon mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an accept failure.
+    pub fn serve_connections(&self, connections: usize) -> io::Result<()> {
+        let mut handles = Vec::new();
+        for stream in self.listener.incoming().take(connections) {
+            handles.push(self.spawn_session(stream?));
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Accepts and serves sessions until the process exits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an accept failure.
+    pub fn serve_forever(&self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            self.spawn_session(stream?);
+        }
+        Ok(())
+    }
+
+    fn spawn_session(&self, stream: UnixStream) -> thread::JoinHandle<()> {
+        let config = self.config.clone();
+        thread::spawn(move || {
+            let reader = stream.try_clone();
+            let Ok(read_half) = reader else { return };
+            let mut reader = BufReader::new(read_half);
+            let mut writer = BufWriter::new(stream);
+            let _ = serve_session(&mut reader, &mut writer, &config);
+        })
+    }
+}
+
+impl Drop for ReplayServer {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codic_core::ops::VariantId;
+
+    fn params(max_outstanding: u32) -> SessionParams {
+        SessionParams {
+            version: PROTOCOL_VERSION,
+            shards: 2,
+            module_mib: 64,
+            max_outstanding,
+            target_rows_per_s: 0,
+            refresh: 0,
+        }
+    }
+
+    fn zero_ops(rows: u64) -> Vec<CodicOp> {
+        (0..rows)
+            .map(|i| CodicOp::command(VariantId::DetZero, i * DramGeometry::ROW_BYTES))
+            .collect()
+    }
+
+    #[test]
+    fn negotiation_applies_defaults_and_caps() {
+        let config = ServerConfig::default();
+        let effective = config.negotiate(&SessionParams::defaults());
+        assert_eq!(effective.shards, 4);
+        assert_eq!(effective.module_mib, 64);
+        assert_eq!(effective.max_outstanding, 1024);
+        assert_eq!(effective.target_rows_per_s, 0);
+        assert_eq!(effective.refresh, 0);
+
+        // A client can lower but not raise the outstanding cap, and the
+        // rate target combines as a minimum.
+        let server = ServerConfig {
+            target_rows_per_s: 1_000,
+            ..ServerConfig::default()
+        };
+        let aggressive = SessionParams {
+            version: PROTOCOL_VERSION,
+            shards: 200,
+            module_mib: 100,
+            max_outstanding: 1 << 30,
+            target_rows_per_s: 5_000,
+            refresh: 1,
+        };
+        let effective = server.negotiate(&aggressive);
+        assert_eq!(effective.shards, 64, "shards are capped");
+        assert_eq!(
+            effective.module_mib, 128,
+            "capacity rounds to a power of two"
+        );
+        assert_eq!(
+            effective.max_outstanding, 1024,
+            "cannot exceed the server cap"
+        );
+        assert_eq!(
+            effective.target_rows_per_s, 1_000,
+            "rate caps combine as min"
+        );
+        assert_eq!(effective.refresh, 1);
+    }
+
+    #[test]
+    fn engine_completions_match_the_direct_async_run_bit_for_bit() {
+        let params = params(1024);
+        let ops = zero_ops(300);
+        let batches: Vec<&[CodicOp]> = ops.chunks(64).collect();
+
+        // Served discipline.
+        let mut engine = ReplayEngine::new(&params);
+        let mut served = Vec::new();
+        for batch in &batches {
+            served.extend(engine.submit_batch(batch).unwrap());
+        }
+        served.extend(engine.flush());
+        assert_eq!(served.len(), ops.len());
+
+        // Direct run: same batches through bare submit_all_async, one
+        // drive at the end.
+        let config = ServerConfig::device_config(&params);
+        let mut pool = DevicePool::new(params.shards as usize, &config);
+        let mut futures = Vec::new();
+        for batch in &batches {
+            futures.extend(pool.submit_all_async(batch).unwrap());
+        }
+        pool.drive();
+        let direct: Vec<_> = futures
+            .iter_mut()
+            .map(|f| f.try_take().expect("driven to idle"))
+            .collect();
+
+        for (i, c) in direct.iter().enumerate() {
+            let served = served
+                .iter()
+                .find(|r| r.seq == i as u64)
+                .expect("every op completes once");
+            assert_eq!(served.completion.op, c.op);
+            assert_eq!(served.completion.finish_cycle, c.finish_cycle, "op {i}");
+            assert_eq!(
+                served.completion.cost.energy_nj.to_bits(),
+                c.cost.energy_nj.to_bits(),
+                "op {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn drained_completions_arrive_in_completion_order() {
+        let params = params(1024);
+        let mut engine = ReplayEngine::new(&params);
+        let mut all = Vec::new();
+        for batch in zero_ops(500).chunks(128) {
+            all.extend(engine.submit_batch(batch).unwrap());
+        }
+        all.extend(engine.flush());
+        // Per shard, finish cycles never go backwards; within a drain,
+        // ties break by sequence.
+        for shard in 0..params.shards {
+            let cycles: Vec<u64> = all
+                .iter()
+                .filter(|r| r.shard == shard)
+                .map(|r| r.completion.finish_cycle)
+                .collect();
+            assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "shard {shard}");
+            assert!(!cycles.is_empty());
+        }
+    }
+
+    #[test]
+    fn tiny_outstanding_bound_is_enforced_between_batches() {
+        let tiny = params(8);
+        let mut engine = ReplayEngine::new(&tiny);
+        for batch in zero_ops(256).chunks(32) {
+            engine.submit_batch(batch).unwrap();
+            assert!(
+                engine.outstanding() <= 8,
+                "backpressure must hold the window at 8, got {}",
+                engine.outstanding()
+            );
+        }
+        let rest = engine.flush();
+        assert!(engine.outstanding() == 0 && !rest.is_empty());
+    }
+
+    #[test]
+    fn bind_reclaims_stale_sockets_but_never_hijacks_live_ones() {
+        let path = std::env::temp_dir().join(format!("codic-bind-{}.sock", std::process::id()));
+        // A live server on the path: a second bind must refuse.
+        let live = ReplayServer::bind(&path, ServerConfig::default()).expect("first bind");
+        let err = ReplayServer::bind(&path, ServerConfig::default())
+            .expect_err("must not hijack a live endpoint");
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        drop(live); // removes the socket file
+                    // A stale socket file (dead listener, file left behind): reclaim.
+        let dead = std::os::unix::net::UnixListener::bind(&path).expect("raw bind");
+        drop(dead); // the raw listener does NOT unlink its file
+        assert!(path.exists(), "stale socket file left behind");
+        let reclaimed =
+            ReplayServer::bind(&path, ServerConfig::default()).expect("stale socket is reclaimed");
+        drop(reclaimed);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn rejected_batches_consume_no_sequence_numbers() {
+        let restricted = SessionParams {
+            module_mib: 64,
+            ..params(1024)
+        };
+        let mut engine = ReplayEngine::new(&restricted);
+        // Out-of-module destructive op: rejected by the safe range.
+        let bad = vec![CodicOp::command(VariantId::DetZero, 1 << 40)];
+        assert!(engine.submit_batch(&bad).is_err());
+        assert_eq!(engine.next_seq(), 0);
+        assert_eq!(engine.outstanding(), 0);
+        let ok = engine.submit_batch(&zero_ops(4)).unwrap();
+        let drained = ok.len() + engine.flush().len();
+        assert_eq!(drained, 4);
+        assert_eq!(engine.next_seq(), 4);
+    }
+}

@@ -1,0 +1,318 @@
+//! Trace files: the recorded operation streams the replay client plays.
+//!
+//! A trace is a plain-text file, one operation per line, in submission
+//! order. Blank lines and `#` comments are ignored. The grammar:
+//!
+//! ```text
+//! read <addr>            ordinary 64 B read
+//! write <addr>           ordinary 64 B write
+//! rowclone <addr>        RowClone FPM zeroing copy (baseline)
+//! lisaclone <addr>       LISA-clone zeroing copy (baseline)
+//! codic <variant> <addr> one CODIC command; variant ∈ {activate,
+//!                        precharge, sig, sig-opt, sig-alt, det0, det1,
+//!                        sigsa}
+//! zero <addr>            shorthand for `codic det0 <addr>`
+//! ```
+//!
+//! Addresses are byte addresses, decimal or `0x`-prefixed hex.
+//! [`parse_trace`] and [`format_trace`] round-trip; [`generate_mixed`]
+//! produces the deterministic mixed secure-deallocation / cold-boot
+//! workload the benchmarks, the bundled sample trace, and the end-to-end
+//! tests replay.
+
+use std::fmt;
+
+use codic_core::ops::{CodicOp, VariantId};
+use codic_dram::DramGeometry;
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What is wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// The trace token of each CODIC variant.
+fn variant_token(variant: VariantId) -> &'static str {
+    match variant {
+        VariantId::Activate => "activate",
+        VariantId::Precharge => "precharge",
+        VariantId::Sig => "sig",
+        VariantId::SigOpt => "sig-opt",
+        VariantId::SigAlt => "sig-alt",
+        VariantId::DetZero => "det0",
+        VariantId::DetOne => "det1",
+        VariantId::Sigsa => "sigsa",
+    }
+}
+
+fn variant_from_token(token: &str) -> Option<VariantId> {
+    VariantId::ALL
+        .into_iter()
+        .find(|&v| variant_token(v) == token)
+}
+
+fn parse_addr(token: &str, line: usize) -> Result<u64, TraceError> {
+    let parsed = match token
+        .strip_prefix("0x")
+        .or_else(|| token.strip_prefix("0X"))
+    {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => token.parse(),
+    };
+    parsed.map_err(|_| TraceError {
+        line,
+        reason: format!("bad address {token:?}"),
+    })
+}
+
+/// Parses a whole trace file into the typed operation stream.
+///
+/// # Errors
+///
+/// Returns the first malformed line with its 1-based line number.
+pub fn parse_trace(text: &str) -> Result<Vec<CodicOp>, TraceError> {
+    let mut ops = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut tokens = content.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a token");
+        let op = match keyword {
+            "read" | "write" | "rowclone" | "lisaclone" | "zero" => {
+                let addr = parse_addr(
+                    tokens.next().ok_or_else(|| TraceError {
+                        line,
+                        reason: format!("{keyword} needs an address"),
+                    })?,
+                    line,
+                )?;
+                match keyword {
+                    "read" => CodicOp::read(addr),
+                    "write" => CodicOp::write(addr),
+                    "rowclone" => CodicOp::RowCloneZero { row_addr: addr },
+                    "lisaclone" => CodicOp::LisaCloneZero { row_addr: addr },
+                    _ => CodicOp::command(VariantId::DetZero, addr),
+                }
+            }
+            "codic" => {
+                let token = tokens.next().ok_or_else(|| TraceError {
+                    line,
+                    reason: "codic needs a variant".to_string(),
+                })?;
+                let variant = variant_from_token(token).ok_or_else(|| TraceError {
+                    line,
+                    reason: format!("unknown variant {token:?}"),
+                })?;
+                let addr = parse_addr(
+                    tokens.next().ok_or_else(|| TraceError {
+                        line,
+                        reason: "codic needs an address".to_string(),
+                    })?,
+                    line,
+                )?;
+                CodicOp::command(variant, addr)
+            }
+            other => {
+                return Err(TraceError {
+                    line,
+                    reason: format!("unknown operation {other:?}"),
+                })
+            }
+        };
+        if tokens.next().is_some() {
+            return Err(TraceError {
+                line,
+                reason: "trailing tokens".to_string(),
+            });
+        }
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+/// Renders `ops` in the trace grammar (the inverse of [`parse_trace`]).
+#[must_use]
+pub fn format_trace(ops: &[CodicOp]) -> String {
+    let mut out = String::new();
+    for &op in ops {
+        let line = match op {
+            CodicOp::Read { addr } => format!("read {addr:#x}"),
+            CodicOp::Write { addr } => format!("write {addr:#x}"),
+            CodicOp::RowCloneZero { row_addr } => format!("rowclone {row_addr:#x}"),
+            CodicOp::LisaCloneZero { row_addr } => format!("lisaclone {row_addr:#x}"),
+            CodicOp::Command { variant, row_addr } => {
+                format!("codic {} {row_addr:#x}", variant_token(variant))
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// A tiny xorshift64* generator, so trace generation needs no external
+/// RNG crate and is bit-stable across platforms.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw in `0..bound` (bound > 0).
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Generates the deterministic mixed serving trace: secure-deallocation
+/// zeroing bursts (scattered freed rows), cold-boot destruction segments
+/// (runs of consecutive rows), the RowClone/LISA-clone baselines, and
+/// ordinary read/write traffic — all inside a `rows`-row module, CODIC
+/// commands confined to the single `det0` variant so the replay steady
+/// state carries no MRS barriers.
+///
+/// The stream is a pure function of `(ops, rows, seed)`.
+#[must_use]
+pub fn generate_mixed(ops: usize, rows: u64, seed: u64) -> Vec<CodicOp> {
+    assert!(rows > 0, "a trace needs a module with at least one row");
+    let mut rng = XorShift64::new(seed);
+    let mut out = Vec::with_capacity(ops);
+    // Cold-boot segments: a cursor sweeping consecutive rows while active.
+    let mut sweep_left = 0u64;
+    let mut sweep_row = 0u64;
+    while out.len() < ops {
+        if sweep_left > 0 {
+            out.push(CodicOp::command(
+                VariantId::DetZero,
+                (sweep_row % rows) * DramGeometry::ROW_BYTES,
+            ));
+            sweep_row += 1;
+            sweep_left -= 1;
+            continue;
+        }
+        let row_addr = rng.below(rows) * DramGeometry::ROW_BYTES;
+        match rng.below(100) {
+            // Secure-deallocation: zero a scattered freed row.
+            0..=39 => out.push(CodicOp::command(VariantId::DetZero, row_addr)),
+            // Cold-boot: start a destruction segment of 16..48 rows.
+            40..=44 => {
+                sweep_row = row_addr / DramGeometry::ROW_BYTES;
+                sweep_left = 16 + rng.below(32);
+            }
+            // In-DRAM copy baselines.
+            45..=49 => out.push(CodicOp::RowCloneZero { row_addr }),
+            50..=54 => out.push(CodicOp::LisaCloneZero { row_addr }),
+            // Ordinary traffic interleaved on the same scheduler.
+            55..=79 => out.push(CodicOp::read(row_addr + 64 * rng.below(8))),
+            _ => out.push(CodicOp::write(row_addr + 64 * rng.below(8))),
+        }
+    }
+    out.truncate(ops);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_text_round_trips() {
+        let mut ops = vec![
+            CodicOp::read(0x40),
+            CodicOp::write(123_456),
+            CodicOp::RowCloneZero { row_addr: 0x2000 },
+            CodicOp::LisaCloneZero { row_addr: 0x4000 },
+        ];
+        for variant in VariantId::ALL {
+            ops.push(CodicOp::command(variant, 0x8000));
+        }
+        let text = format_trace(&ops);
+        assert_eq!(parse_trace(&text).unwrap(), ops);
+    }
+
+    #[test]
+    fn comments_blanks_and_radices_parse() {
+        let text = "\n# header comment\nread 0x40   # inline comment\nzero 8192\n\nwrite 0X80\n";
+        let ops = parse_trace(text).unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                CodicOp::read(0x40),
+                CodicOp::command(VariantId::DetZero, 8192),
+                CodicOp::write(0x80),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_lines_name_their_line_number() {
+        let err = parse_trace("read 0x40\nfrobnicate 12\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("frobnicate"));
+        assert_eq!(parse_trace("codic det9 0\n").unwrap_err().line, 1);
+        assert_eq!(parse_trace("read\n").unwrap_err().line, 1);
+        assert_eq!(parse_trace("read 0xzz\n").unwrap_err().line, 1);
+        assert_eq!(parse_trace("read 1 2\n").unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn generated_traces_are_deterministic_mixed_and_in_range() {
+        let rows = 8192;
+        let a = generate_mixed(10_000, rows, 7);
+        let b = generate_mixed(10_000, rows, 7);
+        assert_eq!(a, b, "same (ops, rows, seed) ⇒ same trace");
+        assert_ne!(a, generate_mixed(10_000, rows, 8), "seed matters");
+        assert_eq!(a.len(), 10_000);
+        let zeroes = a
+            .iter()
+            .filter(|op| op.variant() == Some(VariantId::DetZero))
+            .count();
+        let data = a.iter().filter(|op| op.is_data_access()).count();
+        let clones = a.iter().filter(|op| op.row_op_kind().is_some()).count() - zeroes;
+        assert!(zeroes > 3_000, "zeroing dominates ({zeroes})");
+        assert!(data > 1_200, "ordinary traffic present ({data})");
+        assert!(clones > 300, "clone baselines present ({clones})");
+        let module_bytes = rows * DramGeometry::ROW_BYTES;
+        assert!(a.iter().all(|op| op.row_addr() < module_bytes));
+        // Cold-boot segments exist: some consecutive-row zeroing runs.
+        let consecutive = a
+            .windows(2)
+            .filter(|w| {
+                w[0].variant() == Some(VariantId::DetZero)
+                    && w[1].variant() == Some(VariantId::DetZero)
+                    && w[1].row_addr() == w[0].row_addr() + DramGeometry::ROW_BYTES
+            })
+            .count();
+        assert!(consecutive > 500, "destruction segments ({consecutive})");
+    }
+
+    #[test]
+    fn generated_traces_round_trip_through_the_text_format() {
+        let ops = generate_mixed(2_000, 4096, 42);
+        assert_eq!(parse_trace(&format_trace(&ops)).unwrap(), ops);
+    }
+}

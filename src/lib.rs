@@ -3,23 +3,11 @@
 //! Besides re-exporting every workspace crate, this crate's root is the
 //! **unified service API**: one typed command path from use case to
 //! cycle-level controller, as the paper's §4.4 controlled interface
-//! prescribes.
-//!
-//! ```text
-//! use case (PUF / secure dealloc / cold boot)   impl InDramMechanism
-//!        │  plan(region) -> Vec<CodicOp>   (+ ordinary Read/Write traffic)
-//!        ▼
-//! CodicDevice / DevicePool                      service layer
-//!        │  install (mode registers) + authorize (safe range, §4.4)
-//!        │  submit -> OpToken (poll) | submit_async -> OpFuture (await)
-//!        ▼
-//! MemoryController (FR-FCFS)                    event-driven engine
-//!        │  advance_to / step_event: the clock jumps event to event,
-//!        │  bit-identical to tick-by-tick; row ops and read/write
-//!        │  traffic share one scheduler
-//!        ▼
-//! Bank / Rank state machines                    DRAM (tRC, tRRD, tFAW)
-//! ```
+//! prescribes. The full layer map — including the trace-replay serving
+//! layer (`codic-server`) that runs this stack behind a Unix socket —
+//! and the reference walkthrough of one operation's life live in
+//! `docs/ARCHITECTURE.md`; the serving wire format is specified in
+//! `docs/PROTOCOL.md`.
 //!
 //! Policy checks run *before* an operation is enqueued — a rejected
 //! [`CodicOp`] never reaches the command bus — and completions come back
@@ -70,3 +58,9 @@ pub use codic_core::error::CodicError;
 pub use codic_core::executor::{block_on, OpFuture};
 pub use codic_core::ops::{CodicOp, InDramMechanism, RowRegion, VariantId};
 pub use codic_core::pool::{DevicePool, PoolOutcome, PoolToken};
+
+/// Compiles and runs the README's code snippets as doctests, so the
+/// front-page examples can never drift from the live API again.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
