@@ -42,6 +42,7 @@ use codic_power::{EnergyModel, IddValues};
 
 use crate::error::CodicError;
 use crate::executor::{OpFuture, SlotArena, SlotHandle};
+use crate::fault::{FaultCause, FaultPlan, FaultStats, OpOutcome, RetryPolicy};
 use crate::idmap::IdMap;
 use crate::interface::CodicController;
 use crate::ops::{CodicOp, InDramMechanism, RowRegion};
@@ -62,6 +63,14 @@ pub struct DeviceConfig {
     /// Whether the refresh engine runs (the paper's PUF methodology
     /// disables it, §6.1).
     pub refresh_enabled: bool,
+    /// Injected fault schedule (`None` — the default — disables fault
+    /// injection entirely; the service path then behaves exactly as if
+    /// the feature did not exist).
+    pub fault: Option<FaultPlan>,
+    /// Retry discipline for misfired operations (only consulted while a
+    /// fault plan is installed; the default of one attempt disables
+    /// retry).
+    pub retry: RetryPolicy,
 }
 
 impl DeviceConfig {
@@ -75,6 +84,8 @@ impl DeviceConfig {
             idd: IddValues::ddr3_1600(),
             safe_range: 0..geometry.total_bytes(),
             refresh_enabled: true,
+            fault: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -95,6 +106,20 @@ impl DeviceConfig {
     #[must_use]
     pub fn with_refresh(mut self, enabled: bool) -> Self {
         self.refresh_enabled = enabled;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Sets the retry discipline for misfired operations.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -146,8 +171,17 @@ pub struct OpCompletion {
     pub op: CodicOp,
     /// Memory cycle at which the operation finished.
     pub finish_cycle: u64,
-    /// Accounted occupancy and energy cost.
+    /// Accounted occupancy and energy cost. A misfired operation keeps
+    /// its real cost (the bank was occupied and the energy spent); an
+    /// operation failed without executing ([`FaultCause::ClockStuck`],
+    /// [`FaultCause::Quarantined`]) carries zero cost.
     pub cost: OpCost,
+    /// Whether the operation succeeded ([`OpOutcome::Ok`] always, unless
+    /// fault injection is active).
+    pub outcome: OpOutcome,
+    /// Issue attempts this completion took (1 = first try; larger only
+    /// when a [`RetryPolicy`] re-issued misfires).
+    pub attempts: u8,
 }
 
 /// Result of a batched [`CodicDevice::execute_all`] run.
@@ -185,12 +219,41 @@ pub struct SweepReport {
 }
 
 /// One submitted operation awaiting completion: its typed op, accounted
-/// cost, and — for async submissions — the arena slot to fulfil.
+/// cost, and — for async submissions — the arena slot to fulfil. The
+/// token is the op's *original* request id: a retried op re-enters the
+/// scheduler under a fresh id but keeps the token its submitter holds.
 #[derive(Debug)]
 struct PendingOp {
+    token: OpToken,
     op: CodicOp,
     cost: OpCost,
     waiter: Option<SlotHandle>,
+    /// Issue attempts so far (1 = first issue).
+    attempts: u8,
+    /// Per-device row-op index the misfire schedule is keyed by.
+    op_index: u64,
+    /// Decision of the fault plan for this attempt, fixed at issue time.
+    will_fail: bool,
+}
+
+/// A misfired operation waiting out its retry backoff.
+#[derive(Debug)]
+struct Retry {
+    pending: PendingOp,
+    /// Earliest cycle the re-issue may enter the scheduler.
+    not_before: u64,
+}
+
+/// The device's fault-injection state; exists only while a plan is
+/// installed, so the fault-free hot path costs one `Option` branch.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    /// Row ops issued so far — the misfire schedule's op index.
+    next_op_index: u64,
+    retries: Vec<Retry>,
+    stats: FaultStats,
 }
 
 /// The CODIC service device: policy-checked, typed command submission over
@@ -218,6 +281,9 @@ pub struct CodicDevice {
     write_cost: OpCost,
     row_costs: [OpCost; 3],
     ready: Vec<OpCompletion>,
+    /// Fault injection and retry state; `None` (the default) means the
+    /// feature is disabled and every completion is [`OpOutcome::Ok`].
+    fault: Option<FaultState>,
 }
 
 /// The `row_costs` slot of a row-operation kind.
@@ -235,6 +301,18 @@ impl CodicDevice {
     pub fn new(config: DeviceConfig) -> Self {
         let mut mc = MemoryController::new(config.geometry, config.timing);
         mc.set_refresh_enabled(config.refresh_enabled);
+        let fault = config.fault.map(|plan| {
+            if let Some(cycle) = plan.stuck_at_cycle {
+                mc.set_clock_fault(cycle);
+            }
+            FaultState {
+                plan,
+                retry: config.retry,
+                next_op_index: 0,
+                retries: Vec::new(),
+                stats: FaultStats::default(),
+            }
+        });
         let energy = EnergyModel::new(config.idd, config.timing, config.geometry.devices_per_rank);
         let t = config.timing;
         let read_cost = OpCost {
@@ -264,6 +342,7 @@ impl CodicDevice {
             write_cost,
             row_costs,
             ready: Vec::new(),
+            fault,
         }
     }
 
@@ -313,10 +392,77 @@ impl CodicDevice {
 
     /// Number of submitted operations not yet completed — the
     /// backpressure signal for serving loops that bound their in-flight
-    /// window.
+    /// window. Misfired operations waiting out a retry backoff still
+    /// count: their submitters have not been answered yet.
     #[must_use]
     pub fn outstanding(&self) -> usize {
-        self.pending.len()
+        self.pending.len() + self.fault.as_ref().map_or(0, |fault| fault.retries.len())
+    }
+
+    /// True when an injected stuck-clock fault prevents any further
+    /// progress on this device (always `false` without fault injection).
+    #[must_use]
+    pub fn is_stalled(&self) -> bool {
+        self.mc.clock_stalled()
+    }
+
+    /// Fault observations so far (all zero while fault injection is
+    /// disabled) — the input to the pool's health policy.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault
+            .as_ref()
+            .map_or_else(FaultStats::default, |fault| fault.stats)
+    }
+
+    /// Fails every submitted-but-unanswered operation with `cause`,
+    /// resolving async futures and buffering synchronous completions as
+    /// usual — the quarantine path for a shard that can no longer make
+    /// progress. Failed-this-way completions carry zero cost (the
+    /// operations never executed to completion) and finish at the
+    /// current cycle. Returns how many operations were failed.
+    pub fn fail_all_pending(&mut self, cause: FaultCause) -> usize {
+        self.harvest();
+        let CodicDevice {
+            mc,
+            pending,
+            futures,
+            ready,
+            fault,
+            ..
+        } = self;
+        let now = mc.now();
+        let mut failed = 0usize;
+        let mut deliver = |p: PendingOp| {
+            let completion = OpCompletion {
+                token: p.token,
+                op: p.op,
+                finish_cycle: now,
+                cost: OpCost {
+                    busy_cycles: 0,
+                    activations: 0,
+                    energy_nj: 0.0,
+                },
+                outcome: OpOutcome::Failed { cause },
+                attempts: p.attempts,
+            };
+            match p.waiter {
+                Some(handle) => futures.fulfil(handle, completion),
+                None => ready.push(completion),
+            }
+        };
+        pending.drain(|_, p| {
+            deliver(p);
+            failed += 1;
+        });
+        if let Some(fault) = fault {
+            for retry in fault.retries.drain(..) {
+                deliver(retry.pending);
+                failed += 1;
+            }
+            fault.stats.failed += failed as u64;
+        }
+        failed
     }
 
     /// Submits one typed operation.
@@ -349,12 +495,27 @@ impl CodicDevice {
         loop {
             match self.mc.push(request) {
                 Ok(id) => {
+                    // Only the in-DRAM row operations are probabilistic:
+                    // the fault plan rolls per row op, never for ordinary
+                    // reads/writes.
+                    let (op_index, will_fail) = match &mut self.fault {
+                        Some(fault) if op.row_op_kind().is_some() => {
+                            let index = fault.next_op_index;
+                            fault.next_op_index += 1;
+                            (index, fault.plan.misfires(index, 1))
+                        }
+                        _ => (0, false),
+                    };
                     self.pending.insert(
                         id.0,
                         PendingOp {
+                            token: OpToken(id),
                             op,
                             cost,
                             waiter: None,
+                            attempts: 1,
+                            op_index,
+                            will_fail,
                         },
                     );
                     return Ok(OpToken(id));
@@ -362,9 +523,13 @@ impl CodicDevice {
                 // The queue drains as the scheduler makes progress, so a
                 // full queue only costs time, never correctness. Jump
                 // straight to the next engine event instead of ticking
-                // through the quiet gap.
+                // through the quiet gap. A device that can make no
+                // progress at all (injected stuck clock) reports the
+                // stall instead of spinning forever.
                 Err(_) => {
-                    self.step();
+                    if !self.step() {
+                        return Err(CodicError::DeviceStalled);
+                    }
                 }
             }
         }
@@ -433,6 +598,7 @@ impl CodicDevice {
     pub fn tick(&mut self) {
         self.mc.tick();
         self.harvest();
+        self.pump_retries();
     }
 
     /// Advances one memory cycle through the *reference* driver
@@ -443,6 +609,7 @@ impl CodicDevice {
     pub fn tick_reference(&mut self) {
         self.mc.tick_reference();
         self.harvest();
+        self.pump_retries();
     }
 
     /// The clock-driver step: advances the engine to its next event (at
@@ -450,11 +617,15 @@ impl CodicDevice {
     /// resolves any fulfilled [`OpFuture`]s. Returns `false` when the
     /// device was already idle (no event to advance to).
     pub fn step(&mut self) -> bool {
-        if self.mc.is_idle() || !self.mc.step_event() {
-            return false;
+        if !self.mc.is_idle() && self.mc.step_event() {
+            self.harvest();
+            self.pump_retries();
+            return true;
         }
-        self.harvest();
-        true
+        // The engine is out of events (idle, or wedged at an injected
+        // clock ceiling): misfires waiting out their backoff are the only
+        // remaining source of progress.
+        self.advance_to_next_retry()
     }
 
     /// Runs until every submitted operation completed; returns the cycle
@@ -464,10 +635,16 @@ impl CodicDevice {
     /// (bit-identical to ticking every cycle), and every outstanding
     /// [`OpFuture`] is resolved on the way.
     pub fn run_to_idle(&mut self) -> u64 {
-        let last = self.mc.run_to_idle();
+        let mut last = self.mc.run_to_idle();
         self.harvest();
+        // Misfired operations re-enter the scheduler once their backoff
+        // elapses; keep draining until no retry can make progress.
+        while self.advance_to_next_retry() {
+            last = last.max(self.mc.run_to_idle());
+            self.harvest();
+        }
         debug_assert!(
-            self.pending.is_empty(),
+            self.pending.is_empty() || self.mc.clock_stalled(),
             "an idle device has no outstanding operations"
         );
         last
@@ -597,12 +774,82 @@ impl CodicDevice {
     fn install_for(&mut self, op: CodicOp) {
         if let Some(variant) = op.variant() {
             if self.policy.installed() != Some(variant) {
-                if !self.mc.is_idle() {
+                // Backoff-parked retries count as queued work: they must
+                // re-issue (and complete) under the registers they were
+                // submitted against before the MRS reprogram.
+                if !self.mc.is_idle() || self.has_retries() {
                     self.run_to_idle();
                 }
                 self.policy.install(variant);
             }
         }
+    }
+
+    /// True while misfired operations are waiting out a retry backoff.
+    fn has_retries(&self) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|fault| !fault.retries.is_empty())
+    }
+
+    /// Re-issues every retry whose backoff has elapsed, oldest first;
+    /// returns how many entered the scheduler. A fresh misfire roll is
+    /// made per attempt.
+    fn pump_retries(&mut self) -> usize {
+        if !self.has_retries() {
+            return 0;
+        }
+        let Some(mut fault) = self.fault.take() else {
+            return 0;
+        };
+        let now = self.mc.now();
+        let mut issued = 0;
+        let mut i = 0;
+        while i < fault.retries.len() {
+            if fault.retries[i].not_before > now {
+                i += 1;
+                continue;
+            }
+            let (kind, _) = self.request_for(fault.retries[i].pending.op);
+            let request = MemRequest::new(fault.retries[i].pending.op.row_addr(), kind);
+            match self.mc.push(request) {
+                Ok(id) => {
+                    let mut p = fault.retries.remove(i).pending;
+                    p.attempts += 1;
+                    p.will_fail = fault.plan.misfires(p.op_index, p.attempts);
+                    fault.stats.retries += 1;
+                    self.pending.insert(id.0, p);
+                    issued += 1;
+                }
+                // No queue slot at this event; a later pump re-tries.
+                Err(_) => i += 1,
+            }
+        }
+        self.fault = Some(fault);
+        issued
+    }
+
+    /// When the engine itself is out of events, jumps the clock to the
+    /// earliest retry due time and re-issues what came due. Returns
+    /// `false` when there is nothing to do (no retries, or none can ever
+    /// issue — e.g. due beyond an injected clock ceiling, or no free
+    /// queue slot on a wedged scheduler).
+    fn advance_to_next_retry(&mut self) -> bool {
+        let due = match &self.fault {
+            Some(fault) => match fault.retries.iter().map(|r| r.not_before).min() {
+                Some(due) => due,
+                None => return false,
+            },
+            None => return false,
+        };
+        if self.mc.clock_fault().is_some_and(|ceiling| due > ceiling) {
+            return false;
+        }
+        if due > self.mc.now() {
+            self.mc.advance_to(due);
+            self.harvest();
+        }
+        self.pump_retries() > 0
     }
 
     fn harvest(&mut self) {
@@ -614,24 +861,68 @@ impl CodicDevice {
             pending,
             futures,
             ready,
+            fault,
             ..
         } = self;
-        mc.drain_completions(|c| {
-            if let Some(p) = pending.remove(c.id.0) {
-                let completion = OpCompletion {
-                    token: OpToken(c.id),
-                    op: p.op,
-                    finish_cycle: c.finish_cycle,
-                    cost: p.cost,
-                };
-                // Async submissions resolve their future (in completion
-                // order); synchronous ones land in the drainable buffer.
-                match p.waiter {
-                    Some(handle) => futures.fulfil(handle, completion),
-                    None => ready.push(completion),
+        match fault {
+            // The fault-free fast path: one `match` on entry, zero cost
+            // per completion.
+            None => mc.drain_completions(|c| {
+                if let Some(p) = pending.remove(c.id.0) {
+                    let completion = OpCompletion {
+                        token: p.token,
+                        op: p.op,
+                        finish_cycle: c.finish_cycle,
+                        cost: p.cost,
+                        outcome: OpOutcome::Ok,
+                        attempts: p.attempts,
+                    };
+                    // Async submissions resolve their future (in
+                    // completion order); synchronous ones land in the
+                    // drainable buffer.
+                    match p.waiter {
+                        Some(handle) => futures.fulfil(handle, completion),
+                        None => ready.push(completion),
+                    }
                 }
-            }
-        });
+            }),
+            Some(fault) => mc.drain_completions(|c| {
+                if let Some(p) = pending.remove(c.id.0) {
+                    // A misfire with attempts left parks for its backoff
+                    // instead of completing; the submitter's token and
+                    // future ride along to the re-issue.
+                    if p.will_fail && p.attempts < fault.retry.max_attempts {
+                        let not_before = c.finish_cycle + fault.retry.backoff_for(p.attempts);
+                        fault.retries.push(Retry {
+                            pending: p,
+                            not_before,
+                        });
+                        return;
+                    }
+                    let outcome = if p.will_fail {
+                        fault.stats.failed += 1;
+                        OpOutcome::Failed {
+                            cause: FaultCause::Misfire,
+                        }
+                    } else {
+                        fault.stats.ok += 1;
+                        OpOutcome::Ok
+                    };
+                    let completion = OpCompletion {
+                        token: p.token,
+                        op: p.op,
+                        finish_cycle: c.finish_cycle,
+                        cost: p.cost,
+                        outcome,
+                        attempts: p.attempts,
+                    };
+                    match p.waiter {
+                        Some(handle) => futures.fulfil(handle, completion),
+                        None => ready.push(completion),
+                    }
+                }
+            }),
+        }
     }
 }
 

@@ -45,6 +45,12 @@ pub enum CodicError {
         /// The rejected operation.
         op: crate::ops::CodicOp,
     },
+    /// The device's clock is stuck (injected fault) and its queues are
+    /// full, so the operation can never be accepted.
+    DeviceStalled,
+    /// Every shard of the pool is quarantined; there is nowhere to route
+    /// the operation.
+    NoHealthyShards,
 }
 
 impl fmt::Display for CodicError {
@@ -72,6 +78,12 @@ impl fmt::Display for CodicError {
             ),
             CodicError::NotARowOperation { op } => {
                 write!(f, "{op:?} is a data access, not a row operation")
+            }
+            CodicError::DeviceStalled => {
+                write!(f, "device clock is stuck and its queues are full")
+            }
+            CodicError::NoHealthyShards => {
+                write!(f, "every shard of the pool is quarantined")
             }
         }
     }

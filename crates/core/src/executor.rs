@@ -322,6 +322,7 @@ pub fn block_on<F: Future>(future: F) -> F::Output {
 mod tests {
     use super::*;
     use crate::device::{OpCost, OpToken};
+    use crate::fault::OpOutcome;
     use crate::ops::{CodicOp, VariantId};
 
     fn completion(cycle: u64) -> OpCompletion {
@@ -334,6 +335,8 @@ mod tests {
                 activations: 1,
                 energy_nj: 0.5,
             },
+            outcome: OpOutcome::Ok,
+            attempts: 1,
         }
     }
 

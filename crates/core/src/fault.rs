@@ -1,0 +1,405 @@
+//! Deterministic fault injection for the CODIC service path.
+//!
+//! CODIC variants are only *probabilistically* reliable: the paper
+//! classifies variants per chip under process variation, and real-chip
+//! characterizations (PiDRAM's end-to-end evaluations, the
+//! functionally-complete-logic DRAM studies) show in-DRAM operations
+//! misfire on real modules. A serving pool therefore needs a way to
+//! *rehearse* failure deterministically: [`FaultPlan`] is a seeded,
+//! reproducible schedule of injected faults — off by default, zero cost
+//! when disabled — that the device layer consults at submission time.
+//!
+//! Three fault classes are modelled:
+//!
+//! 1. **Transient op misfires** — a row operation executes (occupying
+//!    the bank and spending its energy) but its result is wrong; the
+//!    completion reports [`OpOutcome::Failed`] with
+//!    [`FaultCause::Misfire`]. Whether a given `(op, attempt)` misfires
+//!    is a pure function of the plan seed, so two runs with the same
+//!    plan fail the same ops.
+//! 2. **Stuck shards** — a device's clock stops advancing past a
+//!    configured cycle; operations behind the stall can never finish and
+//!    are failed with [`FaultCause::ClockStuck`] when the shard is
+//!    quarantined.
+//! 3. **Wire faults** — truncated/corrupt frames, exercised at the
+//!    protocol layer (`codic_server::proto`), not here.
+//!
+//! [`RetryPolicy`] is the recovery half: a misfired operation is
+//! re-issued up to `max_attempts` times with bounded, deterministic
+//! backoff in DRAM cycles, and the completion carries the attempt count.
+//!
+//! Everything here is `std`-only and bit-stable across platforms: the
+//! misfire decision uses a splitmix64-style mixer, not a stateful RNG,
+//! so it is independent of submission interleaving across shards.
+
+/// Why an operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultCause {
+    /// The in-DRAM operation executed but misfired (transient; the
+    /// retry layer may re-issue it).
+    Misfire,
+    /// The device clock stopped advancing; the operation can never
+    /// finish on this shard.
+    ClockStuck,
+    /// The operation's shard was quarantined while it was pending; the
+    /// op was abandoned without executing.
+    Quarantined,
+}
+
+impl std::fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultCause::Misfire => write!(f, "misfire"),
+            FaultCause::ClockStuck => write!(f, "clock stuck"),
+            FaultCause::Quarantined => write!(f, "shard quarantined"),
+        }
+    }
+}
+
+/// The typed outcome of one completed operation. `Ok` is the only value
+/// ever produced while fault injection is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpOutcome {
+    /// The operation executed and its result is trustworthy.
+    Ok,
+    /// The operation failed; `cause` says how.
+    Failed {
+        /// Why the operation failed.
+        cause: FaultCause,
+    },
+}
+
+impl OpOutcome {
+    /// True for a successful outcome.
+    #[must_use]
+    pub fn is_ok(self) -> bool {
+        matches!(self, OpOutcome::Ok)
+    }
+
+    /// True for a failed outcome.
+    #[must_use]
+    pub fn is_failed(self) -> bool {
+        !self.is_ok()
+    }
+
+    /// The failure cause, if any.
+    #[must_use]
+    pub fn cause(self) -> Option<FaultCause> {
+        match self {
+            OpOutcome::Ok => None,
+            OpOutcome::Failed { cause } => Some(cause),
+        }
+    }
+}
+
+/// The splitmix64 finalizer: a high-quality, platform-independent bit
+/// mixer (no state, so the misfire decision is a pure function).
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// A seeded, deterministic fault-injection schedule.
+///
+/// The plan is pool-level: [`FaultPlan::for_shard`] derives the
+/// per-device plan (an independent seed per shard; the stuck clock is
+/// kept only on its target shard). A plan installed directly on a
+/// [`CodicDevice`](crate::device::CodicDevice) applies as given.
+///
+/// All rates are zero by default, so `FaultPlan::new(seed)` alone
+/// injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the misfire schedule.
+    pub seed: u64,
+    /// Misfire probability of each row-op attempt, in parts per 65536
+    /// (0 = never, 65536 = always). Ordinary reads/writes never misfire:
+    /// only the in-DRAM row operations are probabilistic.
+    pub misfire_per_64k: u32,
+    /// Clock ceiling: the device stops advancing past this cycle.
+    pub stuck_at_cycle: Option<u64>,
+    /// When deriving per-shard plans, the shard the stuck clock applies
+    /// to (`None` = the ceiling applies wherever the plan is installed).
+    pub stuck_shard: Option<u16>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            misfire_per_64k: 0,
+            stuck_at_cycle: None,
+            stuck_shard: None,
+        }
+    }
+
+    /// Sets the per-attempt misfire rate in parts per 65536.
+    #[must_use]
+    pub fn with_misfires(mut self, per_64k: u32) -> Self {
+        self.misfire_per_64k = per_64k;
+        self
+    }
+
+    /// Freezes the clock of `shard` at `cycle` (when the plan is later
+    /// split per shard with [`FaultPlan::for_shard`]).
+    #[must_use]
+    pub fn with_stuck_shard(mut self, shard: u16, cycle: u64) -> Self {
+        self.stuck_at_cycle = Some(cycle);
+        self.stuck_shard = Some(shard);
+        self
+    }
+
+    /// Freezes the clock of whatever device this plan is installed on.
+    #[must_use]
+    pub fn with_stuck_clock(mut self, cycle: u64) -> Self {
+        self.stuck_at_cycle = Some(cycle);
+        self.stuck_shard = None;
+        self
+    }
+
+    /// The per-device plan of shard `shard`: an independently seeded
+    /// misfire schedule, the stuck clock retained only on its target.
+    #[must_use]
+    pub fn for_shard(self, shard: usize) -> FaultPlan {
+        let keep_stuck = match self.stuck_shard {
+            Some(target) => usize::from(target) == shard,
+            None => true,
+        };
+        FaultPlan {
+            seed: mix64(self.seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            misfire_per_64k: self.misfire_per_64k,
+            stuck_at_cycle: self.stuck_at_cycle.filter(|_| keep_stuck),
+            stuck_shard: None,
+        }
+    }
+
+    /// True when attempt `attempt` (1-based) of the device's
+    /// `op_index`-th row operation misfires. Pure in `(seed, op_index,
+    /// attempt)`: independent of wall clock, thread count, and the
+    /// traffic on other shards.
+    #[must_use]
+    pub fn misfires(&self, op_index: u64, attempt: u8) -> bool {
+        if self.misfire_per_64k == 0 {
+            return false;
+        }
+        let roll = mix64(
+            self.seed
+                ^ op_index.wrapping_mul(0xd134_2543_de82_ef95)
+                ^ u64::from(attempt).wrapping_mul(0x2545_f491_4f6c_dd1d),
+        );
+        (roll & 0xffff) < u64::from(self.misfire_per_64k)
+    }
+}
+
+/// Bounded, deterministic retry of misfired operations.
+///
+/// `max_attempts = 1` (the default) disables retry: the first misfire is
+/// final. Backoff is measured in DRAM cycles — attempt `n` is re-issued
+/// no earlier than `backoff_cycles << (n - 1)` cycles after the misfire,
+/// capped at `backoff_cap_cycles` — so the recovery schedule is part of
+/// the deterministic timeline, not wall-clock dependent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total issue attempts per operation (≥ 1; 1 = no retry).
+    pub max_attempts: u8,
+    /// Base backoff before the first re-issue, in DRAM cycles.
+    pub backoff_cycles: u64,
+    /// Upper bound of the exponential backoff, in DRAM cycles.
+    pub backoff_cap_cycles: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_cycles: 64,
+            backoff_cap_cycles: 4096,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total issues with the default
+    /// backoff curve.
+    #[must_use]
+    pub fn attempts(max_attempts: u8) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Overrides the backoff curve.
+    #[must_use]
+    pub fn with_backoff(mut self, base_cycles: u64, cap_cycles: u64) -> Self {
+        self.backoff_cycles = base_cycles;
+        self.backoff_cap_cycles = cap_cycles.max(base_cycles);
+        self
+    }
+
+    /// The backoff after failed attempt `attempt` (1-based):
+    /// `min(base << (attempt - 1), cap)`.
+    #[must_use]
+    pub fn backoff_for(&self, attempt: u8) -> u64 {
+        // `checked_shl` only rejects shifts ≥ 64; bits shifted out of the
+        // top would silently wrap the backoff to a *shorter* delay, so
+        // saturate whenever the doubling can no longer be represented.
+        let shift = u32::from(attempt.saturating_sub(1));
+        let shifted = match self.backoff_cycles.checked_shl(shift) {
+            Some(v) if v >> shift == self.backoff_cycles => v,
+            _ => u64::MAX,
+        };
+        shifted.min(self.backoff_cap_cycles)
+    }
+}
+
+/// Per-device fault observations, the input to the pool's health policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Operations delivered with [`OpOutcome::Ok`].
+    pub ok: u64,
+    /// Operations delivered with [`OpOutcome::Failed`].
+    pub failed: u64,
+    /// Re-issues scheduled by the retry layer.
+    pub retries: u64,
+}
+
+impl FaultStats {
+    /// Delivered completions (successes + final failures).
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.ok + self.failed
+    }
+
+    /// The delivered failure rate in parts per 65536 (0 when nothing
+    /// was delivered yet).
+    #[must_use]
+    pub fn failed_per_64k(&self) -> u64 {
+        (self.failed * 65536)
+            .checked_div(self.delivered())
+            .unwrap_or(0)
+    }
+}
+
+/// When a pool quarantines a shard on its own: a shard is quarantined
+/// once it has delivered at least `min_ops` completions and its failure
+/// rate crosses `max_failed_per_64k` (or its clock stalls, regardless of
+/// rate). Checked only at batch/flush boundaries
+/// ([`DevicePool::check_health`](crate::pool::DevicePool::check_health)),
+/// never on the per-op hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Failure-rate threshold in parts per 65536.
+    pub max_failed_per_64k: u64,
+    /// Minimum delivered completions before the rate is judged.
+    pub min_ops: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        // 25% delivered failures over at least 64 ops: far beyond any
+        // retryable transient rate, so healthy shards under a light
+        // misfire plan are never quarantined by accident.
+        HealthPolicy {
+            max_failed_per_64k: 16384,
+            min_ops: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_misfires() {
+        let plan = FaultPlan::new(42);
+        assert!((0..10_000).all(|i| !plan.misfires(i, 1)));
+    }
+
+    #[test]
+    fn misfires_are_deterministic_and_seed_sensitive() {
+        let plan = FaultPlan::new(7).with_misfires(6554); // ~10%
+        let a: Vec<bool> = (0..4096).map(|i| plan.misfires(i, 1)).collect();
+        let b: Vec<bool> = (0..4096).map(|i| plan.misfires(i, 1)).collect();
+        assert_eq!(a, b, "same plan ⇒ same schedule");
+        let other = FaultPlan::new(8).with_misfires(6554);
+        let c: Vec<bool> = (0..4096).map(|i| other.misfires(i, 1)).collect();
+        assert_ne!(a, c, "seed matters");
+        let hits = a.iter().filter(|&&m| m).count();
+        assert!(
+            (200..=700).contains(&hits),
+            "~10% of 4096 ops misfire, got {hits}"
+        );
+    }
+
+    #[test]
+    fn attempts_roll_independently() {
+        let plan = FaultPlan::new(3).with_misfires(32768); // 50%
+        let differs = (0..256).any(|i| plan.misfires(i, 1) != plan.misfires(i, 2));
+        assert!(differs, "retry attempts are fresh rolls, not replays");
+    }
+
+    #[test]
+    fn per_shard_plans_are_independent_but_derived() {
+        let plan = FaultPlan::new(11).with_misfires(6554);
+        let s0 = plan.for_shard(0);
+        let s1 = plan.for_shard(1);
+        assert_ne!(s0.seed, s1.seed);
+        assert_eq!(s0, plan.for_shard(0), "derivation is pure");
+        let a: Vec<bool> = (0..1024).map(|i| s0.misfires(i, 1)).collect();
+        let b: Vec<bool> = (0..1024).map(|i| s1.misfires(i, 1)).collect();
+        assert_ne!(a, b, "shards fail independently");
+    }
+
+    #[test]
+    fn stuck_clock_lands_only_on_its_shard() {
+        let plan = FaultPlan::new(0).with_stuck_shard(2, 5_000);
+        assert_eq!(plan.for_shard(2).stuck_at_cycle, Some(5_000));
+        assert_eq!(plan.for_shard(0).stuck_at_cycle, None);
+        assert_eq!(plan.for_shard(3).stuck_at_cycle, None);
+        // A device-local plan keeps its ceiling as given.
+        let local = FaultPlan::new(0).with_stuck_clock(9);
+        assert_eq!(local.stuck_at_cycle, Some(9));
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let retry = RetryPolicy::attempts(6).with_backoff(64, 1000);
+        assert_eq!(retry.backoff_for(1), 64);
+        assert_eq!(retry.backoff_for(2), 128);
+        assert_eq!(retry.backoff_for(3), 256);
+        assert_eq!(retry.backoff_for(5), 1000, "capped");
+        assert_eq!(retry.backoff_for(64), 1000, "shift overflow saturates");
+        assert_eq!(RetryPolicy::attempts(0).max_attempts, 1, "floor of one");
+    }
+
+    #[test]
+    fn outcome_accessors_agree() {
+        assert!(OpOutcome::Ok.is_ok());
+        assert_eq!(OpOutcome::Ok.cause(), None);
+        let failed = OpOutcome::Failed {
+            cause: FaultCause::Misfire,
+        };
+        assert!(failed.is_failed());
+        assert_eq!(failed.cause(), Some(FaultCause::Misfire));
+    }
+
+    #[test]
+    fn fault_stats_rate_arithmetic() {
+        let stats = FaultStats {
+            ok: 96,
+            failed: 32,
+            retries: 5,
+        };
+        assert_eq!(stats.delivered(), 128);
+        assert_eq!(stats.failed_per_64k(), 16384); // 25%
+        assert_eq!(FaultStats::default().failed_per_64k(), 0);
+    }
+}

@@ -68,6 +68,23 @@ impl<T> IdMap<T> {
         }
     }
 
+    /// Removes every live entry, handing each `(id, value)` to `f` in
+    /// ring order — the quarantine path that fails all pending
+    /// operations at once. O(capacity), so it never runs on the per-op
+    /// hot path.
+    pub(crate) fn drain(&mut self, mut f: impl FnMut(u64, T)) {
+        if self.len == 0 {
+            return;
+        }
+        for slot in &mut self.slots {
+            if let Some((id, value)) = slot.take() {
+                self.len -= 1;
+                f(id, value);
+            }
+        }
+        debug_assert_eq!(self.len, 0);
+    }
+
     /// Removes and returns the value under `id`, if present.
     pub(crate) fn remove(&mut self, id: u64) -> Option<T> {
         let slot = &mut self.slots[(id & self.mask) as usize];
@@ -129,6 +146,22 @@ mod tests {
             }
         }
         assert_eq!(m.slots.len(), 8, "window of 8 fits the ring of 8");
+    }
+
+    #[test]
+    fn drain_empties_the_map_and_visits_every_entry() {
+        let mut m = IdMap::with_capacity(4);
+        for id in 10..14u64 {
+            m.insert(id, id * 2);
+        }
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        m.drain(|id, v| seen.push((id, v)));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(10, 20), (11, 22), (12, 24), (13, 26)]);
+        assert!(m.is_empty());
+        m.drain(|_, _: u64| panic!("drained map is empty"));
+        m.insert(99, 1); // the map stays usable after a drain
+        assert_eq!(m.len(), 1);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod device;
 pub mod error;
 pub mod exec;
 pub mod executor;
+pub mod fault;
 mod idmap;
 pub mod interface;
 pub mod latency;
@@ -73,8 +74,9 @@ pub use device::{
 };
 pub use error::CodicError;
 pub use executor::{block_on, OpFuture};
+pub use fault::{FaultCause, FaultPlan, FaultStats, HealthPolicy, OpOutcome, RetryPolicy};
 pub use latency::CommandCost;
 pub use mode_register::{ModeRegister, ModeRegisterFile};
 pub use ops::{CodicOp, InDramMechanism, RowRegion, VariantId};
-pub use pool::{DevicePool, PoolOutcome, PoolToken};
+pub use pool::{DevicePool, PoolOutcome, PoolToken, ShardHealth};
 pub use variant::CodicVariant;

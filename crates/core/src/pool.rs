@@ -62,7 +62,29 @@ use rayon::prelude::*;
 use crate::device::{BatchOutcome, CodicDevice, DeviceConfig, OpCompletion, OpToken, SweepReport};
 use crate::error::CodicError;
 use crate::executor::OpFuture;
+use crate::fault::{FaultCause, HealthPolicy};
 use crate::ops::CodicOp;
+
+/// One shard's health state, as tracked by the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// The shard serves traffic.
+    Healthy,
+    /// The shard was drained and removed from the routing table; its row
+    /// ranges are re-routed to the surviving shards.
+    Quarantined {
+        /// What condemned the shard.
+        cause: FaultCause,
+    },
+}
+
+impl ShardHealth {
+    /// True while the shard serves traffic.
+    #[must_use]
+    pub fn is_healthy(self) -> bool {
+        matches!(self, ShardHealth::Healthy)
+    }
+}
 
 /// Completion token for an operation submitted through a pool: which
 /// shard took it, and the device-level token inside that shard.
@@ -131,10 +153,24 @@ pub struct DevicePool {
     /// shard, so consecutive blocks rotate shards without starving any
     /// shard's bank-level parallelism.
     block_rows: u64,
+    /// Per-shard health; quarantined shards take no new traffic.
+    health: Vec<ShardHealth>,
+    /// Cache of healthy shard indices, in shard order — the re-routing
+    /// table consulted by [`DevicePool::shard_of`] when a primary shard
+    /// is quarantined.
+    healthy: Vec<usize>,
+    /// When shards self-quarantine (checked only at batch boundaries).
+    health_policy: HealthPolicy,
 }
 
 impl DevicePool {
     /// Builds a pool of `shards` devices, each configured from `config`.
+    ///
+    /// When `config` carries a [`FaultPlan`](crate::fault::FaultPlan),
+    /// each shard receives its *derived* per-shard plan
+    /// ([`FaultPlan::for_shard`](crate::fault::FaultPlan::for_shard)):
+    /// independently seeded misfire schedules, and the stuck clock only
+    /// on its target shard.
     ///
     /// # Panics
     ///
@@ -144,9 +180,16 @@ impl DevicePool {
         assert!(shards > 0, "a pool needs at least one shard");
         DevicePool {
             devices: (0..shards)
-                .map(|_| CodicDevice::new(config.clone()))
+                .map(|shard| {
+                    let mut config = config.clone();
+                    config.fault = config.fault.map(|plan| plan.for_shard(shard));
+                    CodicDevice::new(config)
+                })
                 .collect(),
             block_rows: u64::from(config.geometry.total_banks()).max(1),
+            health: vec![ShardHealth::Healthy; shards],
+            healthy: (0..shards).collect(),
+            health_policy: HealthPolicy::default(),
         }
     }
 
@@ -160,10 +203,86 @@ impl DevicePool {
     /// one bank-rotation each (8 consecutive rows touch all 8 banks), so
     /// every shard keeps full bank-level parallelism under contiguous
     /// workloads.
+    ///
+    /// When the primary shard is quarantined, the block is re-routed
+    /// deterministically over the surviving shards
+    /// (`healthy[block % healthy.len()]`), so two pools with the same
+    /// quarantine set route identically. With every shard quarantined the
+    /// primary mapping is returned; submission paths reject that case
+    /// with [`CodicError::NoHealthyShards`] before routing.
     #[must_use]
     pub fn shard_of(&self, op: CodicOp) -> usize {
         let block = op.row_addr() / DramGeometry::ROW_BYTES / self.block_rows;
-        (block % self.devices.len() as u64) as usize
+        let primary = (block % self.devices.len() as u64) as usize;
+        if self.health[primary].is_healthy() || self.healthy.is_empty() {
+            primary
+        } else {
+            self.healthy[(block % self.healthy.len() as u64) as usize]
+        }
+    }
+
+    /// Per-shard health states, indexed by shard.
+    #[must_use]
+    pub fn health(&self) -> &[ShardHealth] {
+        &self.health
+    }
+
+    /// Replaces the self-quarantine policy (defaults to
+    /// [`HealthPolicy::default`]).
+    pub fn set_health_policy(&mut self, policy: HealthPolicy) {
+        self.health_policy = policy;
+    }
+
+    /// Quarantines `shard`: drains it if its clock still advances
+    /// (pending completions are delivered with their own outcomes), fails
+    /// whatever cannot finish with `cause`, and removes the shard from
+    /// the routing table. Subsequent traffic for its row ranges is
+    /// re-routed to the surviving shards. Returns the number of pending
+    /// operations failed; quarantining an already-quarantined shard is a
+    /// no-op returning 0.
+    pub fn quarantine(&mut self, shard: usize, cause: FaultCause) -> usize {
+        if !self.health[shard].is_healthy() {
+            return 0;
+        }
+        let device = &mut self.devices[shard];
+        if !device.is_stalled() {
+            device.run_to_idle();
+        }
+        let failed = device.fail_all_pending(cause);
+        self.health[shard] = ShardHealth::Quarantined { cause };
+        self.healthy = (0..self.devices.len())
+            .filter(|&s| self.health[s].is_healthy())
+            .collect();
+        failed
+    }
+
+    /// Applies the health policy to every healthy shard: a stalled clock
+    /// quarantines immediately ([`FaultCause::ClockStuck`]); a delivered
+    /// failure rate past the policy threshold quarantines with
+    /// [`FaultCause::Quarantined`]. Called by services at batch/flush
+    /// boundaries — never on the per-op hot path. Returns the number of
+    /// shards newly quarantined.
+    pub fn check_health(&mut self) -> usize {
+        let mut condemned = 0;
+        for shard in 0..self.devices.len() {
+            if !self.health[shard].is_healthy() {
+                continue;
+            }
+            let device = &self.devices[shard];
+            let cause = if device.is_stalled() {
+                Some(FaultCause::ClockStuck)
+            } else {
+                let stats = device.fault_stats();
+                let breached = stats.delivered() >= self.health_policy.min_ops
+                    && stats.failed_per_64k() > self.health_policy.max_failed_per_64k;
+                breached.then_some(FaultCause::Quarantined)
+            };
+            if let Some(cause) = cause {
+                self.quarantine(shard, cause);
+                condemned += 1;
+            }
+        }
+        condemned
     }
 
     /// One shard's device, for inspection.
@@ -176,24 +295,67 @@ impl DevicePool {
     /// operation is policy-checked against its shard before anything is
     /// enqueued anywhere. Tokens are returned in input order.
     ///
+    /// A shard whose clock wedges with a full queue *during* submission
+    /// is quarantined on the spot — its stranded operations resolve as
+    /// typed [`FaultCause::ClockStuck`] failures — and the operation
+    /// re-routes to a survivor, so a stuck clock never rejects a batch
+    /// that a healthy shard could serve.
+    ///
     /// # Errors
     ///
-    /// Returns the first policy error without enqueuing anything.
+    /// Returns the first policy error without enqueuing anything, or
+    /// [`CodicError::NoHealthyShards`] when every shard is (or becomes)
+    /// quarantined — in the mid-batch case, operations submitted before
+    /// the last shard wedged stay enqueued.
     pub fn submit_all(&mut self, ops: &[CodicOp]) -> Result<Vec<PoolToken>, CodicError> {
         let shards = self.route_checked(ops)?;
         ops.iter()
             .zip(&shards)
             .map(|(&op, &shard)| {
-                self.devices[shard]
-                    .submit(op)
-                    .map(|token| PoolToken { shard, token })
+                let (shard, token) = self.submit_routed(op, shard, CodicDevice::submit)?;
+                Ok(PoolToken { shard, token })
             })
             .collect()
+    }
+
+    /// Submits `op` to `shard` (or, if the batch's precomputed route went
+    /// stale because an earlier operation condemned a shard, to the live
+    /// [`DevicePool::shard_of`] route), quarantining any shard that
+    /// reports a wedged clock at submission and re-routing to a survivor.
+    fn submit_routed<T>(
+        &mut self,
+        op: CodicOp,
+        shard: usize,
+        submit: impl Fn(&mut CodicDevice, CodicOp) -> Result<T, CodicError>,
+    ) -> Result<(usize, T), CodicError> {
+        let mut shard = if self.health[shard].is_healthy() {
+            shard
+        } else {
+            self.shard_of(op)
+        };
+        loop {
+            if self.healthy.is_empty() {
+                return Err(CodicError::NoHealthyShards);
+            }
+            match submit(&mut self.devices[shard], op) {
+                Err(CodicError::DeviceStalled) => {
+                    // The shard can make no progress with a full queue:
+                    // condemn it here rather than bounce the batch; its
+                    // stranded ops resolve as typed ClockStuck failures.
+                    self.quarantine(shard, FaultCause::ClockStuck);
+                    shard = self.shard_of(op);
+                }
+                result => return result.map(|t| (shard, t)),
+            }
+        }
     }
 
     /// Computes every op's shard and policy-checks it there, before
     /// anything is enqueued anywhere (the all-or-nothing pre-flight).
     fn route_checked(&self, ops: &[CodicOp]) -> Result<Vec<usize>, CodicError> {
+        if self.healthy.is_empty() && !ops.is_empty() {
+            return Err(CodicError::NoHealthyShards);
+        }
         ops.iter()
             .map(|&op| {
                 let shard = self.shard_of(op);
@@ -213,12 +375,33 @@ impl DevicePool {
     ///
     /// # Errors
     ///
-    /// Returns the first policy error without enqueuing anything.
+    /// Returns the first policy error without enqueuing anything (see
+    /// [`DevicePool::submit_all`] for the stuck-shard semantics).
     pub fn submit_all_async(&mut self, ops: &[CodicOp]) -> Result<Vec<OpFuture>, CodicError> {
+        Ok(self
+            .submit_all_async_routed(ops)?
+            .into_iter()
+            .map(|(_, future)| future)
+            .collect())
+    }
+
+    /// [`DevicePool::submit_all_async`], additionally reporting the shard
+    /// each operation actually landed on — which, under a mid-batch
+    /// quarantine, can differ from what [`DevicePool::shard_of`] said
+    /// before submission. Serving layers that label completions with
+    /// their shard must use this variant.
+    ///
+    /// # Errors
+    ///
+    /// As [`DevicePool::submit_all_async`].
+    pub fn submit_all_async_routed(
+        &mut self,
+        ops: &[CodicOp],
+    ) -> Result<Vec<(usize, OpFuture)>, CodicError> {
         let shards = self.route_checked(ops)?;
         ops.iter()
             .zip(&shards)
-            .map(|(&op, &shard)| self.devices[shard].submit_async(op))
+            .map(|(&op, &shard)| self.submit_routed(op, shard, CodicDevice::submit_async))
             .collect()
     }
 
@@ -493,6 +676,56 @@ mod tests {
         let drained: Vec<_> = futures.iter_mut().filter_map(OpFuture::try_take).collect();
         assert_eq!(drained.len(), 24);
         assert!(!p.step(), "idle pool has no events");
+    }
+
+    #[test]
+    fn quarantine_reroutes_deterministically_to_survivors() {
+        let mut p = pool(4);
+        assert!(p.health().iter().all(|h| h.is_healthy()));
+        let failed = p.quarantine(2, crate::fault::FaultCause::Quarantined);
+        assert_eq!(failed, 0, "an idle shard drains with nothing to fail");
+        assert_eq!(
+            p.health()[2],
+            ShardHealth::Quarantined {
+                cause: crate::fault::FaultCause::Quarantined
+            }
+        );
+        // Blocks owned by healthy shards keep their primary mapping;
+        // shard 2's blocks land on healthy[block % 3] — a pure function
+        // of the quarantine set, so a twin pool routes identically.
+        let routes: Vec<usize> = zero_ops(32).iter().map(|&op| p.shard_of(op)).collect();
+        let healthy = [0usize, 1, 3];
+        let expected: Vec<usize> = (0..32u64)
+            .map(|i| {
+                let block = i / 8;
+                let primary = (block % 4) as usize;
+                if primary == 2 {
+                    healthy[(block % 3) as usize]
+                } else {
+                    primary
+                }
+            })
+            .collect();
+        assert_eq!(routes, expected);
+        // Traffic still completes, all on surviving shards.
+        let outcome = p.execute_all(&zero_ops(32)).unwrap();
+        assert_eq!(outcome.ops(), 32);
+        assert_eq!(p.device(2).stats().row_ops, 0);
+        // Double quarantine is a no-op.
+        assert_eq!(p.quarantine(2, crate::fault::FaultCause::ClockStuck), 0);
+    }
+
+    #[test]
+    fn fully_quarantined_pool_rejects_submissions() {
+        let mut p = pool(2);
+        p.quarantine(0, crate::fault::FaultCause::Quarantined);
+        p.quarantine(1, crate::fault::FaultCause::Quarantined);
+        let err = p.submit_all(&zero_ops(1)).unwrap_err();
+        assert_eq!(err, CodicError::NoHealthyShards);
+        let err = p.execute_all(&zero_ops(1)).unwrap_err();
+        assert_eq!(err, CodicError::NoHealthyShards);
+        // An empty batch is still fine: nothing to route.
+        assert!(p.submit_all(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -203,6 +203,10 @@ pub struct MemoryController {
     next_refresh: u64,
     next_id: u64,
     stats: MemStats,
+    /// Injected clock fault: the controller never processes an event
+    /// after this cycle (`None` — the default — means no fault, and the
+    /// engine behaves exactly as if the field did not exist).
+    clock_ceiling: Option<u64>,
 }
 
 impl MemoryController {
@@ -232,6 +236,33 @@ impl MemoryController {
             next_refresh: u64::from(timing.t_refi),
             next_id: 0,
             stats: MemStats::default(),
+            clock_ceiling: None,
+        }
+    }
+
+    /// Injects a stuck-clock fault: the controller will never process an
+    /// event after `cycle`. Requests already queued or in flight with
+    /// finish times beyond the ceiling simply never retire; new pushes
+    /// are still accepted while queue slots last. Detection is
+    /// [`MemoryController::clock_stalled`].
+    pub fn set_clock_fault(&mut self, cycle: u64) {
+        self.clock_ceiling = Some(cycle);
+    }
+
+    /// The injected clock ceiling, if any.
+    #[must_use]
+    pub fn clock_fault(&self) -> Option<u64> {
+        self.clock_ceiling
+    }
+
+    /// True when work is pending but the next event lies beyond the
+    /// injected clock ceiling — the device can make no further progress.
+    /// Always `false` without an injected fault.
+    #[must_use]
+    pub fn clock_stalled(&self) -> bool {
+        match self.clock_ceiling {
+            Some(ceiling) => !self.is_idle() && self.next_event_cycle() > ceiling,
+            None => false,
         }
     }
 
@@ -612,6 +643,13 @@ impl MemoryController {
     /// `target - now()` times; wall-clock cost scales with *events*
     /// rather than with simulated cycles.
     pub fn advance_to(&mut self, target: u64) {
+        // A stuck clock (injected fault) caps how far the engine will
+        // walk: events at the ceiling itself may still process, nothing
+        // after it.
+        let target = match self.clock_ceiling {
+            Some(ceiling) => target.min(ceiling.saturating_add(1)),
+            None => target,
+        };
         while self.now < target {
             let event = self.next_event_cycle().min(target);
             if event > self.now {
@@ -652,6 +690,12 @@ impl MemoryController {
         let event = self.next_event_cycle();
         if event == u64::MAX {
             return false;
+        }
+        // An injected stuck clock refuses any event past its ceiling.
+        if let Some(ceiling) = self.clock_ceiling {
+            if event > ceiling {
+                return false;
+            }
         }
         self.now = self.now.max(event);
         self.step_cycle();
@@ -1011,6 +1055,33 @@ mod tests {
         assert!(finish >= ideal && finish <= ideal + 4, "finish {finish}");
         assert_eq!(m.stats().activates, 1);
         assert_eq!(m.stats().reads, 1);
+    }
+
+    #[test]
+    fn stuck_clock_freezes_the_engine_at_its_ceiling() {
+        // Reference: the same request stream without a fault.
+        let mut healthy = mc();
+        healthy.push(MemRequest::new(0, ReqKind::Read)).unwrap();
+        let healthy_finish = run_until_idle(&mut healthy);
+
+        let mut m = mc();
+        m.set_clock_fault(2);
+        assert!(!m.clock_stalled(), "an idle faulted device is not stalled");
+        m.push(MemRequest::new(0, ReqKind::Read)).unwrap();
+        let finish = run_until_idle(&mut m);
+        assert!(healthy_finish > 2, "the op needs cycles past the ceiling");
+        assert!(finish <= 3, "the clock never walked past the ceiling");
+        assert!(!m.is_idle(), "the request is wedged, not completed");
+        assert!(m.clock_stalled());
+        assert!(m.take_completions().is_empty());
+        // Every driver respects the ceiling: step_event refuses, tick and
+        // advance_to clamp.
+        assert!(!m.step_event());
+        let now = m.now();
+        m.advance_to(now + 10_000);
+        m.tick();
+        assert!(m.now() <= 3);
+        assert_eq!(m.clock_fault(), Some(2));
     }
 
     #[test]

@@ -8,17 +8,28 @@
 //! replay-server [--socket PATH] [--shards N] [--module-mib M]
 //!               [--max-outstanding K] [--max-rows-per-sec R]
 //!               [--refresh] [--connections N]
+//!               [--fault-seed S] [--misfire-per-64k P]
+//!               [--stuck-shard I --stuck-at CYCLE]
+//!               [--retry-attempts A]
 //! ```
 //!
 //! `--connections N` serves exactly N sessions then exits (the smoke /
 //! benchmark mode); the default serves forever. `--max-rows-per-sec`
 //! sets the server-wide replay-rate cap a session's own target can only
 //! lower.
+//!
+//! The fault flags arm the deterministic injection layer of
+//! `codic_core::fault` for chaos rehearsal: `--fault-seed` seeds the
+//! plan, `--misfire-per-64k` sets the per-attempt row-op misfire rate,
+//! `--stuck-shard`/`--stuck-at` freeze one shard's clock at a cycle
+//! ceiling (the pool quarantines it at the next batch boundary), and
+//! `--retry-attempts` bounds re-issues per op (1 disables retry). With
+//! none of these given the server runs the exact fault-free path.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use codic_server::cli::{arg, arg_u64, has_flag};
+use codic_server::cli::{arg, arg_u64, fault_plan_args, has_flag, retry_args};
 use codic_server::server::{ReplayServer, ServerConfig};
 
 fn main() -> ExitCode {
@@ -26,6 +37,9 @@ fn main() -> ExitCode {
         .map(PathBuf::from)
         .unwrap_or_else(|| std::env::temp_dir().join("codic-replay.sock"));
     let defaults = ServerConfig::default();
+
+    let fault = fault_plan_args();
+    let retry = retry_args(defaults.retry);
     let config = ServerConfig {
         shards: arg_u64("--shards").unwrap_or(defaults.shards as u64) as usize,
         module_mib: arg_u64("--module-mib").unwrap_or(defaults.module_mib),
@@ -33,8 +47,15 @@ fn main() -> ExitCode {
             as usize,
         target_rows_per_s: arg_u64("--max-rows-per-sec").unwrap_or(0),
         refresh: has_flag("--refresh"),
+        fault,
+        retry,
+        health: defaults.health,
     };
     let connections = arg_u64("--connections");
+
+    if config.fault.is_some() {
+        eprintln!("replay-server: fault injection ARMED (deterministic chaos rehearsal)");
+    }
 
     let server = match ReplayServer::bind(&socket, config.clone()) {
         Ok(server) => server,

@@ -23,3 +23,39 @@ pub fn arg_u64(flag: &str) -> Option<u64> {
 pub fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
+
+/// The seeded fault plan described by `--fault-seed SEED`,
+/// `--misfire-per-64k RATE`, and `--stuck-shard I --stuck-at CYCLE`, or
+/// `None` (the exact fault-free path) when no fault flag is present.
+#[must_use]
+pub fn fault_plan_args() -> Option<codic_core::fault::FaultPlan> {
+    use codic_core::fault::FaultPlan;
+    let seed = arg_u64("--fault-seed");
+    let misfire = arg_u64("--misfire-per-64k");
+    let stuck_shard = arg_u64("--stuck-shard");
+    if seed.is_none() && misfire.is_none() && stuck_shard.is_none() {
+        return None;
+    }
+    let mut plan = FaultPlan::new(seed.unwrap_or(1));
+    if let Some(rate) = misfire {
+        plan = plan.with_misfires(rate.min(65_536) as u32);
+    }
+    if let Some(shard) = stuck_shard {
+        if let Some(at) = arg_u64("--stuck-at") {
+            plan = plan.with_stuck_shard(shard.min(u64::from(u16::MAX)) as u16, at);
+        } else {
+            eprintln!("--stuck-shard needs --stuck-at CYCLE; ignoring the stuck clock");
+        }
+    }
+    Some(plan)
+}
+
+/// The retry policy from `--retry-attempts A` (1 disables retry), or
+/// `default` when the flag is absent.
+#[must_use]
+pub fn retry_args(default: codic_core::fault::RetryPolicy) -> codic_core::fault::RetryPolicy {
+    match arg_u64("--retry-attempts") {
+        Some(n) => codic_core::fault::RetryPolicy::attempts(n.clamp(1, u64::from(u8::MAX)) as u8),
+        None => default,
+    }
+}

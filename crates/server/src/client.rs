@@ -15,13 +15,14 @@
 use std::io::{self, BufReader, BufWriter, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
-use std::time::Instant;
+use std::thread;
+use std::time::{Duration, Instant};
 
 use codic_core::ops::CodicOp;
 
 use crate::proto::{
     self, read_frame, write_frame, ErrorCode, Fnv64, Frame, ProtoError, SessionParams, Summary,
-    WireCompletion,
+    WireCompletion, WireFailure,
 };
 use crate::server::ReplayEngine;
 
@@ -83,6 +84,9 @@ pub struct ClientReport {
     pub params: SessionParams,
     /// Every completion, in the order the server streamed them.
     pub completions: Vec<WireCompletion>,
+    /// Every typed failure, in the order the server streamed them
+    /// (empty unless the server runs with fault injection).
+    pub failures: Vec<WireFailure>,
     /// The server's session summary.
     pub summary: Summary,
     /// Checksum recomputed client-side from the received frames (always
@@ -100,6 +104,34 @@ impl ClientReport {
     }
 }
 
+/// Connects to `socket`, retrying with capped exponential backoff: up
+/// to `retries` re-attempts after the first failure, sleeping
+/// `base × 2^attempt` (capped at two seconds) between attempts. With
+/// `retries = 0` this is a plain connect. Useful when the client races
+/// a server that is still binding its socket.
+///
+/// # Errors
+///
+/// Returns the last connect failure once every attempt is exhausted.
+pub fn connect_with_retry(socket: &Path, retries: u32, base: Duration) -> io::Result<UnixStream> {
+    const BACKOFF_CAP: Duration = Duration::from_secs(2);
+    let mut attempt = 0u32;
+    loop {
+        match UnixStream::connect(socket) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if attempt >= retries => return Err(e),
+            Err(_) => {
+                let backoff = base
+                    .checked_mul(1u32 << attempt.min(20))
+                    .unwrap_or(BACKOFF_CAP)
+                    .min(BACKOFF_CAP);
+                thread::sleep(backoff);
+                attempt += 1;
+            }
+        }
+    }
+}
+
 /// Plays `ops` against the server at `socket` in batches of `batch`
 /// operations, then closes the session and returns the report.
 ///
@@ -113,7 +145,26 @@ pub fn replay(
     ops: &[CodicOp],
     batch: usize,
 ) -> Result<ClientReport, ClientError> {
-    let stream = UnixStream::connect(socket)?;
+    replay_with_retry(socket, hello, ops, batch, 0, Duration::ZERO)
+}
+
+/// [`replay`] with [`connect_with_retry`] semantics on the initial
+/// connect (the session itself is never retried — a mid-session failure
+/// is surfaced, not replayed).
+///
+/// # Errors
+///
+/// As [`replay`], plus the final connect failure when every attempt is
+/// exhausted.
+pub fn replay_with_retry(
+    socket: &Path,
+    hello: &SessionParams,
+    ops: &[CodicOp],
+    batch: usize,
+    retries: u32,
+    retry_base: Duration,
+) -> Result<ClientReport, ClientError> {
+    let stream = connect_with_retry(socket, retries, retry_base)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let started = Instant::now();
@@ -130,14 +181,34 @@ pub fn replay(
         }
     };
 
-    let mut completions = Vec::with_capacity(ops.len());
-    let mut checksum = Fnv64::new();
-    let mut payload = Vec::new();
-    let mut absorb = |c: &WireCompletion, completions: &mut Vec<WireCompletion>| {
-        payload.clear();
-        proto::completion_payload(c, &mut payload);
-        checksum.update(&payload);
-        completions.push(*c);
+    // One running checksum over Completion AND Failed payloads, in the
+    // exact order the server emitted them — the same rule the server's
+    // tally applies.
+    struct Absorbed {
+        checksum: Fnv64,
+        payload: Vec<u8>,
+        completions: Vec<WireCompletion>,
+        failures: Vec<WireFailure>,
+    }
+    impl Absorbed {
+        fn completion(&mut self, c: &WireCompletion) {
+            self.payload.clear();
+            proto::completion_payload(c, &mut self.payload);
+            self.checksum.update(&self.payload);
+            self.completions.push(*c);
+        }
+        fn failure(&mut self, x: &WireFailure) {
+            self.payload.clear();
+            proto::failure_payload(x, &mut self.payload);
+            self.checksum.update(&self.payload);
+            self.failures.push(*x);
+        }
+    }
+    let mut stream = Absorbed {
+        checksum: Fnv64::new(),
+        payload: Vec::new(),
+        completions: Vec::with_capacity(ops.len()),
+        failures: Vec::new(),
     };
 
     // A batch above MAX_BATCH_OPS would produce a frame the server is
@@ -149,7 +220,8 @@ pub fn replay(
         // Read this batch's completion burst up to its Batched ack.
         loop {
             match read_frame(&mut reader)? {
-                Frame::Completion(c) => absorb(&c, &mut completions),
+                Frame::Completion(c) => stream.completion(&c),
+                Frame::Failed(x) => stream.failure(&x),
                 Frame::Batched(_) => break,
                 Frame::Error { code, detail } => return Err(ClientError::Server { code, detail }),
                 other => {
@@ -165,7 +237,8 @@ pub fn replay(
     writer.flush()?;
     let summary = loop {
         match read_frame(&mut reader)? {
-            Frame::Completion(c) => absorb(&c, &mut completions),
+            Frame::Completion(c) => stream.completion(&c),
+            Frame::Failed(x) => stream.failure(&x),
             Frame::Summary(summary) => break summary,
             Frame::Error { code, detail } => return Err(ClientError::Server { code, detail }),
             other => {
@@ -177,23 +250,31 @@ pub fn replay(
     };
     let host_seconds = started.elapsed().as_secs_f64();
 
-    let checksum = checksum.value();
+    let checksum = stream.checksum.value();
     if checksum != summary.checksum {
         return Err(ClientError::Verification(format!(
             "stream checksum {checksum:#018x} != summary checksum {:#018x}",
             summary.checksum
         )));
     }
-    if summary.ops != completions.len() as u64 {
+    if summary.ops != stream.completions.len() as u64 {
         return Err(ClientError::Verification(format!(
             "summary counts {} ops, stream carried {}",
             summary.ops,
-            completions.len()
+            stream.completions.len()
+        )));
+    }
+    if summary.failed != stream.failures.len() as u64 {
+        return Err(ClientError::Verification(format!(
+            "summary counts {} failures, stream carried {}",
+            summary.failed,
+            stream.failures.len()
         )));
     }
     Ok(ClientReport {
         params,
-        completions,
+        completions: stream.completions,
+        failures: stream.failures,
         summary,
         checksum,
         host_seconds,
@@ -214,6 +295,13 @@ pub fn verify_against_reference(
     batch: usize,
 ) -> Result<(), ClientError> {
     let fail = |detail: String| Err(ClientError::Verification(detail));
+    if !report.failures.is_empty() {
+        return fail(format!(
+            "session carried {} typed failures: a fault-armed server cannot \
+             verify against the fault-free reference",
+            report.failures.len()
+        ));
+    }
     if report.completions.len() != ops.len() {
         return fail(format!(
             "{} ops submitted, {} completions received",

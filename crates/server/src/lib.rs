@@ -74,4 +74,4 @@ pub mod server;
 pub mod trace;
 
 pub use client::{replay, ClientReport};
-pub use server::{ReplayEngine, ReplayServer, ServerConfig};
+pub use server::{ReplayEngine, ReplayServer, ServerConfig, ShutdownHandle};

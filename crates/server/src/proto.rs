@@ -16,9 +16,9 @@
 //! Operations travel as a 9-byte unit (`u8` op code + `u64` address);
 //! completions come back typed with the finish cycle, the accounted
 //! occupancy/energy cost, and the owning shard. The session checksum
-//! ([`Fnv64`]) hashes every `Completion` frame payload in emission
-//! order, so client and server can agree on the whole stream with one
-//! `u64` compare.
+//! ([`Fnv64`]) hashes every `Completion` and `Failed` frame payload in
+//! emission order, so client and server can agree on the whole stream
+//! with one `u64` compare.
 //!
 //! # Example
 //!
@@ -39,6 +39,7 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
+use codic_core::fault::FaultCause;
 use codic_core::ops::{CodicOp, VariantId};
 
 /// The protocol version this implementation speaks. A server rejects a
@@ -68,6 +69,7 @@ mod tag {
     pub const FLUSHED: u8 = 0x84;
     pub const SUMMARY: u8 = 0x85;
     pub const ERROR: u8 = 0x86;
+    pub const FAILED: u8 = 0x87;
 }
 
 /// Operation codes of the 9-byte wire operation.
@@ -140,6 +142,43 @@ pub struct WireCompletion {
     pub energy_nj: f64,
 }
 
+/// One failed operation as streamed back to the client — the faulted
+/// sibling of [`WireCompletion`]. A session with fault injection
+/// disabled never emits this frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireFailure {
+    /// Zero-based submission sequence number within the session.
+    pub seq: u64,
+    /// The pool shard the operation was routed to.
+    pub shard: u16,
+    /// The operation that failed.
+    pub op: CodicOp,
+    /// Memory cycle at which the failure was delivered on its shard.
+    pub at_cycle: u64,
+    /// Why the operation failed.
+    pub cause: FaultCause,
+    /// Issue attempts consumed (1 = failed on the first issue).
+    pub attempts: u8,
+}
+
+/// The wire code of a [`FaultCause`].
+fn cause_code(cause: FaultCause) -> u8 {
+    match cause {
+        FaultCause::Misfire => 1,
+        FaultCause::ClockStuck => 2,
+        FaultCause::Quarantined => 3,
+    }
+}
+
+fn cause_from_u8(raw: u8) -> Result<FaultCause, ProtoError> {
+    match raw {
+        1 => Ok(FaultCause::Misfire),
+        2 => Ok(FaultCause::ClockStuck),
+        3 => Ok(FaultCause::Quarantined),
+        other => Err(ProtoError::UnknownFaultCause(other)),
+    }
+}
+
 /// End-of-batch acknowledgement: the server sends this after the
 /// completions a [`Frame::Batch`] drained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,17 +207,20 @@ pub struct FlushAck {
 /// closes the connection.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
-    /// Total operations completed over the session.
+    /// Operations completed *successfully* over the session.
     pub ops: u64,
     /// How many of them were row operations (CODIC commands and clone
     /// baselines), as opposed to ordinary reads/writes.
     pub row_ops: u64,
+    /// Operations delivered as typed failures ([`Frame::Failed`]);
+    /// always 0 with fault injection disabled.
+    pub failed: u64,
     /// The largest finish cycle observed on any shard.
     pub max_finish_cycle: u64,
-    /// Total accounted energy in nanojoules.
+    /// Total accounted energy in nanojoules (successful ops only).
     pub total_energy_nj: f64,
-    /// [`Fnv64`] over every `Completion` frame payload, in emission
-    /// order.
+    /// [`Fnv64`] over every `Completion` *and* `Failed` frame payload,
+    /// in emission order.
     pub checksum: u64,
 }
 
@@ -195,6 +237,9 @@ pub enum ErrorCode {
     Version = 3,
     /// An internal server failure.
     Internal = 4,
+    /// The session can no longer serve traffic (e.g. every pool shard
+    /// is quarantined, or the server is shutting down).
+    Unavailable = 5,
 }
 
 impl ErrorCode {
@@ -204,6 +249,7 @@ impl ErrorCode {
             2 => Ok(ErrorCode::Policy),
             3 => Ok(ErrorCode::Version),
             4 => Ok(ErrorCode::Internal),
+            5 => Ok(ErrorCode::Unavailable),
             other => Err(ProtoError::UnknownErrorCode(other)),
         }
     }
@@ -224,6 +270,8 @@ pub enum Frame {
     Bye,
     /// Server → client: one finished operation.
     Completion(WireCompletion),
+    /// Server → client: one operation that failed with a typed cause.
+    Failed(WireFailure),
     /// Server → client: end of a batch's completion burst.
     Batched(BatchAck),
     /// Server → client: end of a flush's completion burst.
@@ -254,6 +302,8 @@ pub enum ProtoError {
     UnknownOp(u8),
     /// An error frame carried an unknown error code.
     UnknownErrorCode(u8),
+    /// A failed-operation frame carried an unknown fault cause.
+    UnknownFaultCause(u8),
     /// The payload is shorter or longer than its frame type requires.
     BadLength {
         /// The offending frame-type tag.
@@ -276,6 +326,7 @@ impl fmt::Display for ProtoError {
             ProtoError::UnknownFrame(tag) => write!(f, "unknown frame type {tag:#04x}"),
             ProtoError::UnknownOp(code) => write!(f, "unknown operation code {code:#04x}"),
             ProtoError::UnknownErrorCode(code) => write!(f, "unknown error code {code}"),
+            ProtoError::UnknownFaultCause(code) => write!(f, "unknown fault cause {code}"),
             ProtoError::BadLength { tag, got } => {
                 write!(f, "frame {tag:#04x} has a malformed payload of {got} bytes")
             }
@@ -389,6 +440,10 @@ pub fn encode_body(frame: &Frame, buf: &mut Vec<u8>) {
             buf.push(tag::COMPLETION);
             completion_payload(c, buf);
         }
+        Frame::Failed(x) => {
+            buf.push(tag::FAILED);
+            failure_payload(x, buf);
+        }
         Frame::Batched(a) => {
             buf.push(tag::BATCHED);
             buf.extend_from_slice(&a.seq_base.to_le_bytes());
@@ -405,6 +460,7 @@ pub fn encode_body(frame: &Frame, buf: &mut Vec<u8>) {
             buf.push(tag::SUMMARY);
             buf.extend_from_slice(&s.ops.to_le_bytes());
             buf.extend_from_slice(&s.row_ops.to_le_bytes());
+            buf.extend_from_slice(&s.failed.to_le_bytes());
             buf.extend_from_slice(&s.max_finish_cycle.to_le_bytes());
             buf.extend_from_slice(&s.total_energy_nj.to_bits().to_le_bytes());
             buf.extend_from_slice(&s.checksum.to_le_bytes());
@@ -420,7 +476,7 @@ pub fn encode_body(frame: &Frame, buf: &mut Vec<u8>) {
     }
 }
 
-/// The 40-byte completion payload — the unit the session checksum
+/// The 40-byte completion payload — a unit the session checksum
 /// ([`Fnv64`]) hashes, in emission order.
 pub fn completion_payload(c: &WireCompletion, buf: &mut Vec<u8>) {
     buf.extend_from_slice(&c.seq.to_le_bytes());
@@ -430,6 +486,17 @@ pub fn completion_payload(c: &WireCompletion, buf: &mut Vec<u8>) {
     buf.extend_from_slice(&c.busy_cycles.to_le_bytes());
     buf.push(c.activations);
     buf.extend_from_slice(&c.energy_nj.to_bits().to_le_bytes());
+}
+
+/// The 29-byte failed-operation payload — hashed into the session
+/// checksum exactly like a completion payload, in emission order.
+pub fn failure_payload(x: &WireFailure, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&x.seq.to_le_bytes());
+    buf.extend_from_slice(&x.shard.to_le_bytes());
+    put_op(buf, x.op);
+    buf.extend_from_slice(&x.at_cycle.to_le_bytes());
+    buf.push(cause_code(x.cause));
+    buf.push(x.attempts);
 }
 
 /// Decodes a `type byte + payload` body (everything after the length
@@ -487,6 +554,19 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
                 )),
             }))
         }
+        tag::FAILED => {
+            if payload.len() != 29 {
+                return Err(bad(payload.len()));
+            }
+            Ok(Frame::Failed(WireFailure {
+                seq: u64::from_le_bytes(payload[0..8].try_into().expect("sized")),
+                shard: u16::from_le_bytes(payload[8..10].try_into().expect("sized")),
+                op: get_op(&payload[10..19])?,
+                at_cycle: u64::from_le_bytes(payload[19..27].try_into().expect("sized")),
+                cause: cause_from_u8(payload[27])?,
+                attempts: payload[28],
+            }))
+        }
         tag::BATCHED => {
             if payload.len() != 24 {
                 return Err(bad(payload.len()));
@@ -508,17 +588,18 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
             }))
         }
         tag::SUMMARY => {
-            if payload.len() != 40 {
+            if payload.len() != 48 {
                 return Err(bad(payload.len()));
             }
             Ok(Frame::Summary(Summary {
                 ops: u64::from_le_bytes(payload[0..8].try_into().expect("sized")),
                 row_ops: u64::from_le_bytes(payload[8..16].try_into().expect("sized")),
-                max_finish_cycle: u64::from_le_bytes(payload[16..24].try_into().expect("sized")),
+                failed: u64::from_le_bytes(payload[16..24].try_into().expect("sized")),
+                max_finish_cycle: u64::from_le_bytes(payload[24..32].try_into().expect("sized")),
                 total_energy_nj: f64::from_bits(u64::from_le_bytes(
-                    payload[24..32].try_into().expect("sized"),
+                    payload[32..40].try_into().expect("sized"),
                 )),
-                checksum: u64::from_le_bytes(payload[32..40].try_into().expect("sized")),
+                checksum: u64::from_le_bytes(payload[40..48].try_into().expect("sized")),
             }))
         }
         tag::ERROR => {
@@ -592,6 +673,126 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtoError> {
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
     decode_body(&body)
+}
+
+/// An incremental, restartable frame decoder for streams with read
+/// timeouts or non-blocking sockets.
+///
+/// [`read_frame`] blocks until a whole frame arrives, which prevents a
+/// serving loop from noticing a shutdown request while a client is
+/// idle. `FrameReader` instead accumulates partial bytes across calls:
+/// [`FrameReader::poll`] returns `Ok(Some(frame))` when a frame
+/// completes, `Ok(None)` when the stream would block or timed out
+/// mid-wait (call again later — no bytes are lost), and an error on
+/// stream failure or a malformed frame. The internal buffer is reused
+/// across frames, and an oversized length prefix is rejected before any
+/// allocation, exactly like [`read_frame`].
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    header: [u8; 4],
+    header_filled: usize,
+    body: Vec<u8>,
+    body_filled: usize,
+    /// Body length once the header is complete.
+    need: Option<usize>,
+}
+
+impl FrameReader {
+    /// A reader with empty buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// True while a frame is partially received (a teardown at this
+    /// point loses client bytes).
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.header_filled > 0 || self.need.is_some()
+    }
+
+    /// Reads from `r` until a frame completes, the stream would block,
+    /// or an error occurs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Io`] on stream failure (including EOF — a
+    /// clean close at a frame boundary surfaces as
+    /// [`io::ErrorKind::UnexpectedEof`] with [`FrameReader::mid_frame`]
+    /// false) and the matching decode error on a malformed frame.
+    pub fn poll<R: Read>(&mut self, r: &mut R) -> Result<Option<Frame>, ProtoError> {
+        if self.need.is_none() {
+            match self.fill(r, true)? {
+                Filled::Complete => {
+                    let len = u32::from_le_bytes(self.header);
+                    self.header_filled = 0;
+                    if len > MAX_FRAME_LEN {
+                        return Err(ProtoError::Oversized(len));
+                    }
+                    if len == 0 {
+                        return Err(ProtoError::Empty);
+                    }
+                    self.need = Some(len as usize);
+                    self.body.clear();
+                    self.body.resize(len as usize, 0);
+                    self.body_filled = 0;
+                }
+                Filled::WouldBlock => return Ok(None),
+            }
+        }
+        match self.fill(r, false)? {
+            Filled::Complete => {
+                let need = self.need.take().expect("body phase has a length");
+                self.body_filled = 0;
+                decode_body(&self.body[..need]).map(Some)
+            }
+            Filled::WouldBlock => Ok(None),
+        }
+    }
+
+    /// Fills the header (`head = true`) or body buffer as far as the
+    /// stream allows.
+    fn fill<R: Read>(&mut self, r: &mut R, head: bool) -> Result<Filled, ProtoError> {
+        loop {
+            let buf: &mut [u8] = if head {
+                &mut self.header[self.header_filled..]
+            } else {
+                let need = self.need.expect("body phase has a length");
+                &mut self.body[self.body_filled..need]
+            };
+            if buf.is_empty() {
+                return Ok(Filled::Complete);
+            }
+            match r.read(buf) {
+                Ok(0) => {
+                    return Err(ProtoError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream closed mid-frame",
+                    )))
+                }
+                Ok(n) => {
+                    if head {
+                        self.header_filled += n;
+                    } else {
+                        self.body_filled += n;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Filled::WouldBlock)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+enum Filled {
+    Complete,
+    WouldBlock,
 }
 
 /// FNV-1a 64-bit — the session checksum over completion payloads.
@@ -748,10 +949,105 @@ mod tests {
         round_trip(Frame::Summary(Summary {
             ops: 100_000,
             row_ops: 60_000,
+            failed: 137,
             max_finish_cycle: 9_999_999,
             total_energy_nj: 1.730_442e6,
             checksum: 0xdead_beef_cafe_f00d,
         }));
+    }
+
+    #[test]
+    fn failed_round_trips_every_cause() {
+        for (cause, attempts) in [
+            (FaultCause::Misfire, 3),
+            (FaultCause::ClockStuck, 1),
+            (FaultCause::Quarantined, 1),
+        ] {
+            round_trip(Frame::Failed(WireFailure {
+                seq: 42_000,
+                shard: 2,
+                op: CodicOp::command(VariantId::DetZero, 0x8000),
+                at_cycle: 77_777,
+                cause,
+                attempts,
+            }));
+        }
+        // An unknown cause byte is a typed decode error.
+        let failure = WireFailure {
+            seq: 1,
+            shard: 0,
+            op: CodicOp::read(0),
+            at_cycle: 9,
+            cause: FaultCause::Misfire,
+            attempts: 1,
+        };
+        let mut body = Vec::new();
+        encode_body(&Frame::Failed(failure), &mut body);
+        body[28] = 0xee; // the cause byte (1 tag + 27 payload bytes before it)
+        assert!(matches!(
+            decode_body(&body),
+            Err(ProtoError::UnknownFaultCause(0xee))
+        ));
+    }
+
+    #[test]
+    fn frame_reader_reassembles_frames_from_arbitrary_chunks() {
+        // A stream of three frames, delivered one byte per poll through
+        // a reader that reports WouldBlock between bytes.
+        struct Trickle {
+            bytes: Vec<u8>,
+            pos: usize,
+            starved: bool,
+        }
+        impl io::Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.starved {
+                    self.starved = false;
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "later"));
+                }
+                if self.pos == self.bytes.len() {
+                    return Ok(0);
+                }
+                self.starved = true;
+                buf[0] = self.bytes[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let frames = [
+            Frame::Hello(SessionParams::defaults()),
+            Frame::Batch(vec![CodicOp::read(0x40), CodicOp::write(0x80)]),
+            Frame::Bye,
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut stream = Trickle {
+            bytes: wire,
+            pos: 0,
+            starved: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        loop {
+            match reader.poll(&mut stream) {
+                Ok(Some(frame)) => decoded.push(frame),
+                Ok(None) => continue, // starved mid-frame; state is kept
+                Err(ProtoError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(decoded, frames);
+        assert!(!reader.mid_frame(), "EOF landed on a frame boundary");
+        // Oversized prefixes are rejected before allocation here too.
+        let mut wire = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        wire.push(0x03);
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.poll(&mut wire.as_slice()),
+            Err(ProtoError::Oversized(_))
+        ));
     }
 
     #[test]
@@ -761,6 +1057,7 @@ mod tests {
             ErrorCode::Policy,
             ErrorCode::Version,
             ErrorCode::Internal,
+            ErrorCode::Unavailable,
         ] {
             round_trip(Frame::Error {
                 code,

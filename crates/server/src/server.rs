@@ -31,19 +31,23 @@
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use codic_core::device::DeviceConfig;
 use codic_core::error::CodicError;
 use codic_core::executor::OpFuture;
+use codic_core::fault::{FaultPlan, HealthPolicy, RetryPolicy};
 use codic_core::ops::CodicOp;
-use codic_core::pool::DevicePool;
+use codic_core::pool::{DevicePool, ShardHealth};
 use codic_dram::{DramGeometry, TimingParams};
 
 use crate::governor::RateGovernor;
 use crate::proto::{
-    self, read_frame, write_frame, BatchAck, ErrorCode, FlushAck, Fnv64, Frame, ProtoError,
-    SessionParams, Summary, WireCompletion, PROTOCOL_VERSION,
+    self, write_frame, BatchAck, ErrorCode, FlushAck, Fnv64, Frame, FrameReader, ProtoError,
+    SessionParams, Summary, WireCompletion, WireFailure, PROTOCOL_VERSION,
 };
 
 /// Server-side session defaults and caps.
@@ -60,6 +64,13 @@ pub struct ServerConfig {
     pub target_rows_per_s: u64,
     /// Default refresh-engine state.
     pub refresh: bool,
+    /// Seeded fault-injection plan applied to every session's pool
+    /// (`None` = no injection — the production default).
+    pub fault: Option<FaultPlan>,
+    /// Retry policy for misfired operations.
+    pub retry: RetryPolicy,
+    /// When sessions quarantine their shards.
+    pub health: HealthPolicy,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +84,9 @@ impl Default for ServerConfig {
             max_outstanding: 1024,
             target_rows_per_s: 0,
             refresh: false,
+            fault: None,
+            retry: RetryPolicy::default(),
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -153,6 +167,19 @@ impl ReplayCompletion {
             energy_nj: self.completion.cost.energy_nj,
         }
     }
+
+    /// The wire form of this completion's failure, when it failed.
+    #[must_use]
+    pub fn to_wire_failure(&self) -> Option<WireFailure> {
+        self.completion.outcome.cause().map(|cause| WireFailure {
+            seq: self.seq,
+            shard: self.shard,
+            op: self.completion.op,
+            at_cycle: self.completion.finish_cycle,
+            cause,
+            attempts: self.completion.attempts,
+        })
+    }
 }
 
 /// The deterministic per-session serving core: typed batches in,
@@ -172,12 +199,36 @@ pub struct ReplayEngine {
 
 impl ReplayEngine {
     /// An engine over a fresh pool per `params` (see
-    /// [`ServerConfig::device_config`]).
+    /// [`ServerConfig::device_config`]), with no fault injection — the
+    /// reference the client's `--verify` mode replays against.
     #[must_use]
     pub fn new(params: &SessionParams) -> Self {
-        let config = ServerConfig::device_config(params);
+        ReplayEngine::with_faults(
+            params,
+            None,
+            RetryPolicy::default(),
+            HealthPolicy::default(),
+        )
+    }
+
+    /// An engine whose pool carries a fault-injection plan, retry
+    /// policy, and health policy. `fault = None` makes this identical to
+    /// [`ReplayEngine::new`].
+    #[must_use]
+    pub fn with_faults(
+        params: &SessionParams,
+        fault: Option<FaultPlan>,
+        retry: RetryPolicy,
+        health: HealthPolicy,
+    ) -> Self {
+        let mut config = ServerConfig::device_config(params).with_retry(retry);
+        if let Some(plan) = fault {
+            config = config.with_faults(plan);
+        }
+        let mut pool = DevicePool::new((params.shards as usize).max(1), &config);
+        pool.set_health_policy(health);
         ReplayEngine {
-            pool: DevicePool::new((params.shards as usize).max(1), &config),
+            pool,
             pending: Vec::new(),
             scratch: Vec::new(),
             next_seq: 0,
@@ -193,31 +244,48 @@ impl ReplayEngine {
     /// Returns the policy error; the batch was all-or-nothing rejected
     /// and the engine state is untouched (no sequence numbers consumed).
     pub fn submit_batch(&mut self, ops: &[CodicOp]) -> Result<Vec<ReplayCompletion>, CodicError> {
-        let shards: Vec<u16> = ops
-            .iter()
-            .map(|&op| self.pool.shard_of(op) as u16)
-            .collect();
-        let futures = self.pool.submit_all_async(ops)?;
-        for (future, shard) in futures.into_iter().zip(shards) {
-            self.pending.push((self.next_seq, shard, future));
+        // The routed variant reports where each op actually landed: a
+        // shard wedging mid-batch is quarantined inside the pool and its
+        // traffic re-routed, and the completion must carry the shard
+        // that really served it.
+        let routed = self.pool.submit_all_async_routed(ops)?;
+        for (shard, future) in routed {
+            self.pending.push((self.next_seq, shard as u16, future));
             self.next_seq += 1;
         }
         // Backpressure: relieve the in-flight window one engine event at
         // a time; never over-drive (drive() would run all the way to
-        // idle and distort the timeline for nothing).
+        // idle and distort the timeline for nothing). step() reports no
+        // progress once every busy shard is stuck, so a wedged clock
+        // cannot spin this loop.
         while self.pool.outstanding() > self.max_outstanding {
             if !self.pool.step() {
                 break;
             }
         }
+        // The batch boundary doubles as the op-deadline check: a shard
+        // that wedged during this batch is quarantined here, its
+        // stranded ops delivered as typed failures in this very drain.
+        // With fault injection disabled this never fires.
+        self.pool.check_health();
         Ok(self.drain_ready())
     }
 
     /// Drives every shard to idle and returns everything still pending,
-    /// in completion order.
+    /// in completion order. A shard that cannot reach idle (stuck clock)
+    /// is quarantined at this boundary and its stranded operations are
+    /// delivered as typed failures, so a flush always resolves every
+    /// pending operation one way or the other.
     pub fn flush(&mut self) -> Vec<ReplayCompletion> {
         self.pool.drive();
+        self.pool.check_health();
         self.drain_ready()
+    }
+
+    /// Per-shard health of the serving pool.
+    #[must_use]
+    pub fn health(&self) -> &[ShardHealth] {
+        self.pool.health()
     }
 
     /// Operations submitted but not yet completed (the backpressure
@@ -280,6 +348,10 @@ pub enum SessionEnd {
     /// well-formed frame arrived out of protocol order; the reason was
     /// also sent to the client as an `Error` frame.
     Rejected(String),
+    /// The server shut down gracefully: in-flight operations were
+    /// drained (or failed with a typed cause) and an honest `Summary`
+    /// was sent before the connection closed.
+    Shutdown,
     /// The socket failed.
     Io(io::Error),
 }
@@ -296,13 +368,55 @@ pub fn serve_session<R: Read, W: Write>(
     writer: &mut W,
     config: &ServerConfig,
 ) -> io::Result<SessionEnd> {
+    serve_session_until(reader, writer, config, &AtomicBool::new(false))
+}
+
+/// Pulls the next frame, surfacing a shutdown request as `Ok(None)`.
+/// A stream without a read timeout simply blocks in `poll` until a
+/// frame arrives, so shutdown is only observed between frames there;
+/// the Unix-socket path sets a read timeout to bound the latency.
+fn next_frame<R: Read>(
+    reader: &mut R,
+    frames: &mut FrameReader,
+    shutdown: &AtomicBool,
+) -> Result<Option<Frame>, ProtoError> {
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+        if let Some(frame) = frames.poll(reader)? {
+            return Ok(Some(frame));
+        }
+    }
+}
+
+/// [`serve_session`] with a shutdown flag: when `shutdown` becomes true
+/// the session stops reading, drains every in-flight operation (failing
+/// what cannot finish, with typed causes), sends the honest `Summary`
+/// of everything actually delivered, and ends with
+/// [`SessionEnd::Shutdown`].
+///
+/// # Errors
+///
+/// Returns the socket failure that ended the session, if any.
+pub fn serve_session_until<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) -> io::Result<SessionEnd> {
+    let mut frames = FrameReader::new();
     // The session opens with a Hello.
-    let hello = match read_frame(reader) {
-        Ok(Frame::Hello(params)) => params,
-        Ok(other) => {
+    let hello = match next_frame(reader, &mut frames, shutdown) {
+        Ok(Some(Frame::Hello(params))) => params,
+        Ok(Some(other)) => {
             let reason = format!("expected Hello, got {}", frame_name(&other));
             send_error(writer, ErrorCode::Malformed, &reason)?;
             return Ok(SessionEnd::Rejected(reason));
+        }
+        Ok(None) => {
+            send_error(writer, ErrorCode::Unavailable, "server is shutting down")?;
+            return Ok(SessionEnd::Shutdown);
         }
         Err(ProtoError::Io(e)) => return io_end(e),
         Err(e) => {
@@ -322,13 +436,13 @@ pub fn serve_session<R: Read, W: Write>(
     write_frame(writer, &Frame::HelloAck(params))?;
     writer.flush()?;
 
-    let mut engine = ReplayEngine::new(&params);
+    let mut engine = ReplayEngine::with_faults(&params, config.fault, config.retry, config.health);
     let mut governor = RateGovernor::new(params.target_rows_per_s);
     let mut tally = SessionTally::default();
 
     loop {
-        match read_frame(reader) {
-            Ok(Frame::Batch(ops)) => {
+        match next_frame(reader, &mut frames, shutdown) {
+            Ok(Some(Frame::Batch(ops))) => {
                 let seq_base = engine.next_seq();
                 match engine.submit_batch(&ops) {
                     Ok(completions) => {
@@ -347,12 +461,19 @@ pub fn serve_session<R: Read, W: Write>(
                             thread::sleep(pause);
                         }
                     }
+                    Err(CodicError::NoHealthyShards) => {
+                        send_error(
+                            writer,
+                            ErrorCode::Unavailable,
+                            &CodicError::NoHealthyShards.to_string(),
+                        )?;
+                    }
                     Err(policy) => {
                         send_error(writer, ErrorCode::Policy, &policy.to_string())?;
                     }
                 }
             }
-            Ok(Frame::Flush) => {
+            Ok(Some(Frame::Flush)) => {
                 let completions = engine.flush();
                 tally.emit(writer, &completions)?;
                 write_frame(
@@ -364,17 +485,28 @@ pub fn serve_session<R: Read, W: Write>(
                 )?;
                 writer.flush()?;
             }
-            Ok(Frame::Bye) => {
+            Ok(Some(Frame::Bye)) => {
                 let completions = engine.flush();
                 tally.emit(writer, &completions)?;
                 write_frame(writer, &Frame::Summary(tally.summary()))?;
                 writer.flush()?;
                 return Ok(SessionEnd::Bye);
             }
-            Ok(other) => {
+            Ok(Some(other)) => {
                 let reason = format!("expected Batch/Flush/Bye, got {}", frame_name(&other));
                 send_error(writer, ErrorCode::Malformed, &reason)?;
                 return Ok(SessionEnd::Rejected(reason));
+            }
+            Ok(None) => {
+                // Graceful teardown: everything in flight is drained
+                // (or failed, with a typed cause) and accounted, then
+                // the client gets the honest totals of what the session
+                // really delivered.
+                let completions = engine.flush();
+                tally.emit(writer, &completions)?;
+                write_frame(writer, &Frame::Summary(tally.summary()))?;
+                writer.flush()?;
+                return Ok(SessionEnd::Shutdown);
             }
             Err(ProtoError::Io(e)) => return io_end(e),
             Err(e) => {
@@ -392,19 +524,32 @@ struct SessionTally {
     payload: Vec<u8>,
     ops: u64,
     row_ops: u64,
+    failed: u64,
     max_finish_cycle: u64,
     total_energy_nj: f64,
 }
 
 impl SessionTally {
-    /// Streams `completions` as `Completion` frames, folding each frame
-    /// payload into the totals and the session checksum.
+    /// Streams `completions` as `Completion` or `Failed` frames, folding
+    /// each frame payload into the totals and the session checksum.
+    /// Successes count toward `ops`/`row_ops`/energy; failures only
+    /// toward `failed` — the `Summary` reports what the session really
+    /// delivered, not what it attempted.
     fn emit<W: Write>(
         &mut self,
         writer: &mut W,
         completions: &[ReplayCompletion],
     ) -> io::Result<()> {
         for c in completions {
+            if let Some(failure) = c.to_wire_failure() {
+                self.payload.clear();
+                proto::failure_payload(&failure, &mut self.payload);
+                self.checksum.update(&self.payload);
+                self.failed += 1;
+                self.max_finish_cycle = self.max_finish_cycle.max(failure.at_cycle);
+                write_frame(writer, &Frame::Failed(failure))?;
+                continue;
+            }
             let wire = c.to_wire();
             self.payload.clear();
             proto::completion_payload(&wire, &mut self.payload);
@@ -423,6 +568,7 @@ impl SessionTally {
         Summary {
             ops: self.ops,
             row_ops: self.row_ops,
+            failed: self.failed,
             max_finish_cycle: self.max_finish_cycle,
             total_energy_nj: self.total_energy_nj,
             checksum: self.checksum.value(),
@@ -448,6 +594,7 @@ fn frame_name(frame: &Frame) -> &'static str {
         Frame::Flush => "Flush",
         Frame::Bye => "Bye",
         Frame::Completion(_) => "Completion",
+        Frame::Failed(_) => "Failed",
         Frame::Batched(_) => "Batched",
         Frame::Flushed(_) => "Flushed",
         Frame::Summary(_) => "Summary",
@@ -466,6 +613,26 @@ fn send_error<W: Write>(writer: &mut W, code: ErrorCode, detail: &str) -> io::Re
     writer.flush()
 }
 
+/// A cloneable handle that requests a [`ReplayServer`]'s graceful
+/// shutdown: the accept loop stops taking new connections and every
+/// live session drains its in-flight operations and sends an honest
+/// `Summary` before closing.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests shutdown (idempotent).
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once shutdown has been requested.
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// The Unix-socket replay server.
 ///
 /// Binds a filesystem socket, then serves each accepted connection as an
@@ -476,6 +643,7 @@ pub struct ReplayServer {
     listener: UnixListener,
     config: ServerConfig,
     path: PathBuf,
+    shutdown: ShutdownHandle,
 }
 
 impl ReplayServer {
@@ -513,6 +681,7 @@ impl ReplayServer {
             listener,
             config,
             path,
+            shutdown: ShutdownHandle::default(),
         })
     }
 
@@ -522,17 +691,59 @@ impl ReplayServer {
         &self.path
     }
 
+    /// A handle that stops this server gracefully from another thread:
+    /// the accept loop exits and every live session drains its pool and
+    /// sends an honest `Summary` before closing.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.shutdown.clone()
+    }
+
     /// Serves exactly `connections` sessions (each on its own thread),
     /// then returns. `replay-server --connections N` and every test use
-    /// this; [`ReplayServer::serve_forever`] is the daemon mode.
+    /// this; [`ReplayServer::serve_forever`] is the daemon mode. Returns
+    /// early — after joining live sessions — when the
+    /// [`ShutdownHandle`] fires.
     ///
     /// # Errors
     ///
     /// Propagates an accept failure.
     pub fn serve_connections(&self, connections: usize) -> io::Result<()> {
+        self.accept_loop(Some(connections))
+    }
+
+    /// Accepts and serves sessions until the [`ShutdownHandle`] fires
+    /// (joining live sessions before returning) or the process exits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an accept failure.
+    pub fn serve_forever(&self) -> io::Result<()> {
+        self.accept_loop(None)
+    }
+
+    /// The shutdown-aware accept loop: non-blocking accepts polled at a
+    /// small interval, so a shutdown request is noticed within ~10 ms
+    /// even while no client is connecting.
+    fn accept_loop(&self, connections: Option<usize>) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
         let mut handles = Vec::new();
-        for stream in self.listener.incoming().take(connections) {
-            handles.push(self.spawn_session(stream?));
+        let mut accepted = 0usize;
+        while connections.is_none_or(|n| accepted < n) {
+            if self.shutdown.is_shutdown() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    handles.push(self.spawn_session(stream));
+                    accepted += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
         }
         for handle in handles {
             let _ = handle.join();
@@ -540,26 +751,20 @@ impl ReplayServer {
         Ok(())
     }
 
-    /// Accepts and serves sessions until the process exits.
-    ///
-    /// # Errors
-    ///
-    /// Propagates an accept failure.
-    pub fn serve_forever(&self) -> io::Result<()> {
-        for stream in self.listener.incoming() {
-            self.spawn_session(stream?);
-        }
-        Ok(())
-    }
-
     fn spawn_session(&self, stream: UnixStream) -> thread::JoinHandle<()> {
         let config = self.config.clone();
+        let shutdown = self.shutdown.clone();
         thread::spawn(move || {
+            // Accepted sockets are blocking with a read timeout: the
+            // session loop parks in the frame reader for at most this
+            // long before it re-checks the shutdown flag.
+            let _ = stream.set_nonblocking(false);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
             let reader = stream.try_clone();
             let Ok(read_half) = reader else { return };
             let mut reader = BufReader::new(read_half);
             let mut writer = BufWriter::new(stream);
-            let _ = serve_session(&mut reader, &mut writer, &config);
+            let _ = serve_session_until(&mut reader, &mut writer, &config, &shutdown.0);
         })
     }
 }
