@@ -31,6 +31,12 @@ pub enum OperationClass {
     /// Writes a value determined purely by sense-amplifier process
     /// variation (CODIC-sigsa).
     SignatureAmplified,
+    /// Overwrites the target row(s) with a computed bitwise result
+    /// (multi-row-activation MAJ/AND/OR, dual-contact NOT, row copies and
+    /// fills). Never produced by the circuit classifier — this class names
+    /// the bulk-bitwise [`CodicOp`](crate::ops::CodicOp) family for the
+    /// controller's compute-region policy.
+    BulkBitwise,
     /// Leaves all nodes untouched.
     NoOp,
     /// Anything else: data-dependent, metastable, or partially restored
@@ -50,6 +56,7 @@ impl OperationClass {
                 | OperationClass::DeterministicZero
                 | OperationClass::DeterministicOne
                 | OperationClass::SignatureAmplified
+                | OperationClass::BulkBitwise
                 | OperationClass::Other
         )
     }
@@ -64,6 +71,7 @@ impl std::fmt::Display for OperationClass {
             OperationClass::DeterministicZero => "deterministic zero (CODIC-det)",
             OperationClass::DeterministicOne => "deterministic one (CODIC-det)",
             OperationClass::SignatureAmplified => "signature amplification (CODIC-sigsa)",
+            OperationClass::BulkBitwise => "bulk bitwise compute",
             OperationClass::NoOp => "no-op",
             OperationClass::Other => "other",
         };

@@ -40,12 +40,13 @@ use codic_dram::timing::TimingParams;
 use codic_power::accounting::{self, RowOpCost};
 use codic_power::{EnergyModel, IddValues};
 
+use crate::data::DataPlane;
 use crate::error::CodicError;
 use crate::executor::{OpFuture, SlotArena, SlotHandle};
 use crate::fault::{FaultCause, FaultPlan, FaultStats, OpOutcome, RetryPolicy};
 use crate::idmap::IdMap;
 use crate::interface::CodicController;
-use crate::ops::{CodicOp, InDramMechanism, RowRegion};
+use crate::ops::{CodicOp, InDramMechanism, RowRegion, VariantId};
 
 /// Configuration of one [`CodicDevice`] (one channel/rank's worth of
 /// DRAM plus its controller policy).
@@ -71,6 +72,11 @@ pub struct DeviceConfig {
     /// fault plan is installed; the default of one attempt disables
     /// retry).
     pub retry: RetryPolicy,
+    /// Rows reserved for the bulk-bitwise compute region, carved from the
+    /// *top* of the module. `0` (the default) disables the compute
+    /// subsystem entirely: compute operations are rejected pre-bus and no
+    /// data plane is allocated, so existing workloads pay nothing.
+    pub compute_rows: u64,
 }
 
 impl DeviceConfig {
@@ -86,6 +92,7 @@ impl DeviceConfig {
             refresh_enabled: true,
             fault: None,
             retry: RetryPolicy::default(),
+            compute_rows: 0,
         }
     }
 
@@ -121,6 +128,22 @@ impl DeviceConfig {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Reserves `rows` rows at the top of the module as the authorized
+    /// bulk-bitwise compute region (clamped to the module size).
+    #[must_use]
+    pub fn with_compute_rows(mut self, rows: u64) -> Self {
+        self.compute_rows = rows.min(self.geometry.total_rows());
+        self
+    }
+
+    /// The byte-address range of the compute region (empty when the
+    /// compute subsystem is disabled).
+    #[must_use]
+    pub fn compute_range(&self) -> Range<u64> {
+        let total = self.geometry.total_bytes();
+        total - self.compute_rows * DramGeometry::ROW_BYTES..total
     }
 }
 
@@ -182,6 +205,11 @@ pub struct OpCompletion {
     /// Issue attempts this completion took (1 = first try; larger only
     /// when a [`RetryPolicy`] re-issued misfires).
     pub attempts: u8,
+    /// FNV-1a-64 fingerprint of the destination row contents after a
+    /// bulk-bitwise compute operation, computed by the data plane at
+    /// submit time. `0` for every other operation and whenever the
+    /// compute subsystem is disabled.
+    pub fingerprint: u64,
 }
 
 /// Result of a batched [`CodicDevice::execute_all`] run.
@@ -227,6 +255,9 @@ struct PendingOp {
     token: OpToken,
     op: CodicOp,
     cost: OpCost,
+    /// Data-plane fingerprint fixed at submit time (architectural state
+    /// advances in submission order, decoupled from the timing model).
+    fingerprint: u64,
     waiter: Option<SlotHandle>,
     /// Issue attempts so far (1 = first issue).
     attempts: u8,
@@ -279,11 +310,19 @@ pub struct CodicDevice {
     /// row-operation kinds — no per-submission float accounting.
     read_cost: OpCost,
     write_cost: OpCost,
-    row_costs: [OpCost; 3],
+    row_costs: [OpCost; 5],
     ready: Vec<OpCompletion>,
     /// Fault injection and retry state; `None` (the default) means the
     /// feature is disabled and every completion is [`OpOutcome::Ok`].
     fault: Option<FaultState>,
+    /// The compute-region data plane; `None` (the default) means the
+    /// bulk-bitwise subsystem is disabled and costs nothing.
+    data: Option<DataPlane>,
+    /// The variant key the policy's full authorization last passed for,
+    /// invalidated on every mode-register change. The address part of
+    /// the policy still runs per operation; this memo only skips
+    /// re-deriving the variant-match decision op after op.
+    auth_memo: Option<Option<VariantId>>,
 }
 
 /// The `row_costs` slot of a row-operation kind.
@@ -292,6 +331,8 @@ fn row_cost_idx(kind: RowOpKind) -> usize {
         RowOpKind::Codic => 0,
         RowOpKind::RowClone => 1,
         RowOpKind::LisaClone => 2,
+        RowOpKind::TripleAct => 3,
+        RowOpKind::DualContact => 4,
     }
 }
 
@@ -325,12 +366,20 @@ impl CodicDevice {
             activations: 0,
             energy_nj: energy.write_burst_nj(),
         };
-        let mut row_costs = [read_cost; 3];
-        for kind in [RowOpKind::Codic, RowOpKind::RowClone, RowOpKind::LisaClone] {
+        let mut row_costs = [read_cost; 5];
+        for kind in [
+            RowOpKind::Codic,
+            RowOpKind::RowClone,
+            RowOpKind::LisaClone,
+            RowOpKind::TripleAct,
+            RowOpKind::DualContact,
+        ] {
             row_costs[row_cost_idx(kind)] = accounting::row_op_cost(kind, &t, &energy).into();
         }
+        let compute_range = config.compute_range();
+        let data = (!compute_range.is_empty()).then(|| DataPlane::new(compute_range.clone()));
         CodicDevice {
-            policy: CodicController::new(config.safe_range),
+            policy: CodicController::new(config.safe_range).with_compute_range(compute_range),
             mc,
             energy,
             // Live ids span at most the three 64-deep queues plus the
@@ -343,6 +392,8 @@ impl CodicDevice {
             row_costs,
             ready: Vec::new(),
             fault,
+            data,
+            auth_memo: None,
         }
     }
 
@@ -382,6 +433,13 @@ impl CodicDevice {
     #[must_use]
     pub fn energy_model(&self) -> &EnergyModel {
         &self.energy
+    }
+
+    /// The compute-region data plane, when the compute subsystem is
+    /// enabled ([`DeviceConfig::with_compute_rows`]).
+    #[must_use]
+    pub fn data_plane(&self) -> Option<&DataPlane> {
+        self.data.as_ref()
     }
 
     /// True when nothing is queued or in flight.
@@ -445,6 +503,7 @@ impl CodicDevice {
                 },
                 outcome: OpOutcome::Failed { cause },
                 attempts: p.attempts,
+                fingerprint: p.fingerprint,
             };
             match p.waiter {
                 Some(handle) => futures.fulfil(handle, completion),
@@ -483,18 +542,32 @@ impl CodicDevice {
     pub fn submit(&mut self, op: CodicOp) -> Result<OpToken, CodicError> {
         self.policy.check_safe_range(op)?;
         self.install_for(op);
-        // The full §4.4 authorization (variant match + range). The device
-        // does not grow the controller's issued-command log — the typed
-        // completions are the service path's audit trail, and they are
-        // drained by `take_completions`.
-        self.policy
-            .authorize(op)
-            .expect("range was pre-checked and the variant just installed");
+        // The full §4.4 authorization (variant match + range), memoized
+        // by the variant the op requires: the first op of a stream runs
+        // the complete derivation, every following op of the same shape
+        // pays only the address check above. The memo is invalidated on
+        // every mode-register change, so the decision can never go
+        // stale, and the device does not grow the controller's
+        // issued-command log — the typed completions are the service
+        // path's audit trail, drained by `take_completions`.
+        if self.auth_memo != Some(op.variant()) {
+            self.policy
+                .authorize(op)
+                .expect("range was pre-checked and the variant just installed");
+            self.auth_memo = Some(op.variant());
+        }
         let (kind, cost) = self.request_for(op);
         let request = MemRequest::new(op.row_addr(), kind);
         loop {
             match self.mc.push(request) {
                 Ok(id) => {
+                    // Architectural state advances at accept time, in
+                    // submission order, decoupled from the cycle-level
+                    // timing below.
+                    let fingerprint = match &mut self.data {
+                        Some(data) => data.apply(op),
+                        None => 0,
+                    };
                     // Only the in-DRAM row operations are probabilistic:
                     // the fault plan rolls per row op, never for ordinary
                     // reads/writes.
@@ -512,6 +585,7 @@ impl CodicDevice {
                             token: OpToken(id),
                             op,
                             cost,
+                            fingerprint,
                             waiter: None,
                             attempts: 1,
                             op_index,
@@ -781,6 +855,9 @@ impl CodicDevice {
                     self.run_to_idle();
                 }
                 self.policy.install(variant);
+                // The mode registers changed: every memoized
+                // authorization decision is stale.
+                self.auth_memo = None;
             }
         }
     }
@@ -876,6 +953,7 @@ impl CodicDevice {
                         cost: p.cost,
                         outcome: OpOutcome::Ok,
                         attempts: p.attempts,
+                        fingerprint: p.fingerprint,
                     };
                     // Async submissions resolve their future (in
                     // completion order); synchronous ones land in the
@@ -915,6 +993,7 @@ impl CodicDevice {
                         cost: p.cost,
                         outcome,
                         attempts: p.attempts,
+                        fingerprint: p.fingerprint,
                     };
                     match p.waiter {
                         Some(handle) => futures.fulfil(handle, completion),
@@ -1147,6 +1226,108 @@ mod tests {
         assert!(steps >= 2, "at least an issue and a retire event");
         assert!(future.is_ready());
         assert!(!d.step(), "idle device has no events");
+    }
+
+    #[test]
+    fn compute_ops_need_an_enabled_compute_region() {
+        let mut d = device();
+        assert!(d.data_plane().is_none(), "compute is off by default");
+        assert!(matches!(
+            d.submit(CodicOp::MajAnd { row_addr: 0 }),
+            Err(CodicError::NoComputeRegion)
+        ));
+        assert!(d.is_idle() && d.take_completions().is_empty());
+    }
+
+    #[test]
+    fn compute_ops_are_timed_costed_and_value_checked() {
+        use crate::data::row_fingerprint;
+        let config = DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+            .with_refresh(false)
+            .with_compute_rows(16);
+        let region = config.compute_range();
+        let mut d = CodicDevice::new(config);
+        let base = region.start;
+        let row = DramGeometry::ROW_BYTES;
+        let ops = [
+            CodicOp::RowFill {
+                row_addr: base,
+                pattern: 0b1100,
+            },
+            CodicOp::RowFill {
+                row_addr: base + row,
+                pattern: 0b1010,
+            },
+            CodicOp::RowInit {
+                row_addr: base + 2 * row,
+                ones: false,
+            },
+            CodicOp::MajAnd { row_addr: base },
+            CodicOp::Not {
+                src_addr: base,
+                dst_addr: base + 3 * row,
+            },
+        ];
+        let outcome = d.execute_all(&ops).unwrap();
+        assert_eq!(outcome.ops(), 5);
+        let t = *d.timing();
+        for c in &outcome.completions {
+            match c.op {
+                CodicOp::MajAnd { .. } => {
+                    assert_eq!(c.cost.activations, 3);
+                    assert!(c.cost.busy_cycles > t.t_rc, "charge sharing adds cycles");
+                }
+                CodicOp::Not { .. } => {
+                    assert_eq!(c.cost.activations, 2);
+                    assert_eq!(c.cost.busy_cycles, 2 * t.t_ras + t.t_rp);
+                }
+                _ => {}
+            }
+            // Every compute completion carries a fingerprint of its
+            // destination row as of its own submission.
+            assert_ne!(c.fingerprint, 0, "{:?}", c.op);
+        }
+        // Ops whose destination was never overwritten afterwards carry
+        // the fingerprint the final plane still agrees with.
+        for (i, addr) in [(3usize, base), (4, base + 3 * row)] {
+            assert_eq!(
+                outcome
+                    .completions
+                    .iter()
+                    .find(|c| c.op == ops[i])
+                    .unwrap()
+                    .fingerprint,
+                d.data_plane().unwrap().fingerprint(addr),
+                "op {i}"
+            );
+        }
+        // Value semantics: MAJ(1100, 1010, 0) = AND = 1000, NOT → !1000.
+        let plane = d.data_plane().unwrap();
+        assert_eq!(plane.row(base)[0], 0b1000);
+        assert_eq!(plane.row(base + 3 * row)[0], !0b1000);
+        let mut expected = [0u64; crate::data::WORDS_PER_ROW];
+        expected.fill(!0b1000u64);
+        assert_eq!(
+            plane.fingerprint(base + 3 * row),
+            row_fingerprint(&expected)
+        );
+        // Out-of-region compute destinations are rejected pre-bus.
+        assert!(matches!(
+            d.submit(CodicOp::RowInit {
+                row_addr: 0,
+                ones: true,
+            }),
+            Err(CodicError::ComputeOutsideRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn non_compute_completions_carry_no_fingerprint() {
+        let mut d = device();
+        let outcome = d
+            .execute_all(&[CodicOp::command(VariantId::DetZero, 0), CodicOp::read(64)])
+            .unwrap();
+        assert!(outcome.completions.iter().all(|c| c.fingerprint == 0));
     }
 
     #[test]

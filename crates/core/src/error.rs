@@ -39,6 +39,19 @@ pub enum CodicError {
         /// Safe range end (exclusive).
         end: u64,
     },
+    /// A bulk-bitwise compute command was issued on a controller with no
+    /// authorized compute region configured.
+    NoComputeRegion,
+    /// A bulk-bitwise compute command would overwrite a row outside the
+    /// authorized compute region.
+    ComputeOutsideRegion {
+        /// The offending (written) row address.
+        addr: u64,
+        /// Compute region start (inclusive).
+        start: u64,
+        /// Compute region end (exclusive).
+        end: u64,
+    },
     /// An ordinary data access was handed to an API that only accepts
     /// bank-occupying row operations (e.g. a full-module row sweep).
     NotARowOperation {
@@ -75,6 +88,13 @@ impl fmt::Display for CodicError {
             CodicError::AddressOutOfRange { addr, start, end } => write!(
                 f,
                 "destructive CODIC command at {addr:#x} outside the safe range {start:#x}..{end:#x}"
+            ),
+            CodicError::NoComputeRegion => {
+                write!(f, "bulk-bitwise compute command with no compute region configured")
+            }
+            CodicError::ComputeOutsideRegion { addr, start, end } => write!(
+                f,
+                "bulk-bitwise compute command writes {addr:#x} outside the compute region {start:#x}..{end:#x}"
             ),
             CodicError::NotARowOperation { op } => {
                 write!(f, "{op:?} is a data access, not a row operation")

@@ -20,6 +20,10 @@ pub enum DataEffect {
     /// Contents are destroyed with no useful replacement defined
     /// (unclassified destructive variants).
     Scramble,
+    /// Contents are replaced by a computed bitwise result; the value-level
+    /// semantics live in the compute-region data plane
+    /// (`codic_core::data`), not in this per-row effect model.
+    Computed,
 }
 
 impl OperationClass {
@@ -35,6 +39,7 @@ impl OperationClass {
             OperationClass::SignaturePreparation | OperationClass::SignatureAmplified => {
                 DataEffect::Signature
             }
+            OperationClass::BulkBitwise => DataEffect::Computed,
             OperationClass::Other => DataEffect::Scramble,
         }
     }
@@ -49,7 +54,12 @@ pub fn apply_effect<R: Rng + ?Sized>(effect: DataEffect, row: &mut [u8], signatu
         DataEffect::Preserve => {}
         DataEffect::Zeros => row.fill(0),
         DataEffect::Ones => row.fill(0xFF),
-        DataEffect::Signature | DataEffect::Scramble => signature_rng.fill(row),
+        // The per-row effect model cannot know a computed bitwise result
+        // (that is the data plane's job); here it only models that the old
+        // contents are gone.
+        DataEffect::Signature | DataEffect::Scramble | DataEffect::Computed => {
+            signature_rng.fill(row)
+        }
     }
 }
 

@@ -337,6 +337,7 @@ mod tests {
             },
             outcome: OpOutcome::Ok,
             attempts: 1,
+            fingerprint: 0,
         }
     }
 

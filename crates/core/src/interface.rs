@@ -34,20 +34,37 @@ pub struct CodicController {
     registers: ModeRegisterFile,
     installed: Option<VariantId>,
     safe_range: Range<u64>,
+    compute_range: Range<u64>,
     issued: Vec<IssuedCommand>,
 }
 
 impl CodicController {
     /// Creates a controller whose destructive commands are confined to
-    /// `safe_range` (byte addresses).
+    /// `safe_range` (byte addresses) and that rejects every bulk-bitwise
+    /// compute command (no compute region is configured).
     #[must_use]
     pub fn new(safe_range: Range<u64>) -> Self {
         CodicController {
             registers: ModeRegisterFile::new(),
             installed: None,
             safe_range,
+            compute_range: 0..0,
             issued: Vec::new(),
         }
+    }
+
+    /// The same controller with bulk-bitwise compute commands authorized
+    /// inside `compute_range` (byte addresses).
+    #[must_use]
+    pub fn with_compute_range(mut self, compute_range: Range<u64>) -> Self {
+        self.compute_range = compute_range;
+        self
+    }
+
+    /// The authorized compute region (empty when compute is disabled).
+    #[must_use]
+    pub fn compute_range(&self) -> &Range<u64> {
+        &self.compute_range
     }
 
     /// The mode-register file (for inspection).
@@ -116,15 +133,40 @@ impl CodicController {
         self.check_safe_range(op)
     }
 
-    /// The address part of the policy alone: destructive operations must
-    /// stay inside the safe range. Used to pre-flight whole batches before
-    /// any variant is installed.
+    /// The address part of the policy alone. Used to pre-flight whole
+    /// batches before any variant is installed:
+    ///
+    /// - destructive commands must stay inside the safe range;
+    /// - bulk-bitwise compute commands must write only rows inside the
+    ///   authorized compute region (every row of a triple-row-activation
+    ///   group counts as written — the charge sharing destroys all three).
+    ///   Sources of `Not`/`RowCopy` are sensed non-destructively and may
+    ///   lie anywhere.
     ///
     /// # Errors
     ///
     /// Returns [`CodicError::AddressOutOfRange`] when a destructive
-    /// command targets memory outside the safe range.
+    /// command targets memory outside the safe range,
+    /// [`CodicError::NoComputeRegion`] when a compute command arrives with
+    /// no compute region configured, and
+    /// [`CodicError::ComputeOutsideRegion`] when a compute command would
+    /// overwrite a row outside that region.
     pub fn check_safe_range(&self, op: CodicOp) -> Result<(), CodicError> {
+        if op.is_compute() {
+            if self.compute_range.is_empty() {
+                return Err(CodicError::NoComputeRegion);
+            }
+            for addr in op.written_rows().row_addrs() {
+                if !self.compute_range.contains(&addr) {
+                    return Err(CodicError::ComputeOutsideRegion {
+                        addr,
+                        start: self.compute_range.start,
+                        end: self.compute_range.end,
+                    });
+                }
+            }
+            return Ok(());
+        }
         if op.is_destructive() && !self.safe_range.contains(&op.row_addr()) {
             return Err(CodicError::AddressOutOfRange {
                 addr: op.row_addr(),
@@ -225,6 +267,50 @@ mod tests {
             c.issue(CodicOp::LisaCloneZero { row_addr: 0x2000 }),
             Err(CodicError::AddressOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn compute_commands_need_a_compute_region() {
+        let mut c = controller();
+        let err = c.issue(CodicOp::MajAnd { row_addr: 0x1000 }).unwrap_err();
+        assert!(matches!(err, CodicError::NoComputeRegion));
+        assert!(c.issued().is_empty());
+    }
+
+    #[test]
+    fn compute_commands_are_confined_to_the_compute_region() {
+        // Region holds rows 0x10000..0x18000 (four 8 KB rows).
+        let mut c = CodicController::new(0x1000..0x2000).with_compute_range(0x10000..0x18000);
+        assert!(c.issue(CodicOp::MajAnd { row_addr: 0x10000 }).is_ok());
+        // The group's third row (0x14000 + 2·0x2000 = 0x18000) falls
+        // outside: rejected even though the base row is inside.
+        let err = c.issue(CodicOp::MajOr { row_addr: 0x14000 }).unwrap_err();
+        assert!(
+            matches!(err, CodicError::ComputeOutsideRegion { addr: 0x18000, .. }),
+            "{err:?}"
+        );
+        // A NOT may read from anywhere but must write inside.
+        assert!(c
+            .issue(CodicOp::Not {
+                src_addr: 0,
+                dst_addr: 0x16000,
+            })
+            .is_ok());
+        assert!(matches!(
+            c.issue(CodicOp::Not {
+                src_addr: 0x10000,
+                dst_addr: 0,
+            }),
+            Err(CodicError::ComputeOutsideRegion { addr: 0, .. })
+        ));
+        // The compute region does not loosen the safe range for the
+        // classic destructive commands.
+        c.install(VariantId::DetZero);
+        assert!(matches!(
+            c.issue(CodicOp::command(VariantId::DetZero, 0x10000)),
+            Err(CodicError::AddressOutOfRange { .. })
+        ));
+        assert_eq!(c.issued().len(), 2);
     }
 
     #[test]

@@ -34,7 +34,11 @@
 //! - [`pool`]: the sharded [`DevicePool`] serving path for
 //!   throughput-style workloads, with the async
 //!   [`submit_all_async`](pool::DevicePool::submit_all_async) /
-//!   [`drive`](pool::DevicePool::drive) pair.
+//!   [`drive`](pool::DevicePool::drive) pair;
+//! - [`data`]: the lazily materialized compute-region data plane, so
+//!   bulk-bitwise results are value-checked rather than only timed;
+//! - [`simd`]: the bit-serial SIMD planner compiling element-wise vector
+//!   add/and/or/xor into multi-row-activation sequences (SIMDRAM-style).
 //!
 //! # Example
 //!
@@ -51,6 +55,7 @@
 //! ```
 
 pub mod classify;
+pub mod data;
 pub mod delay_element;
 pub mod device;
 pub mod error;
@@ -65,10 +70,12 @@ pub mod mode_register;
 pub mod ops;
 pub mod optimize;
 pub mod pool;
+pub mod simd;
 pub mod variant;
 pub mod variant_space;
 
 pub use classify::OperationClass;
+pub use data::DataPlane;
 pub use device::{
     BatchOutcome, CodicDevice, DeviceConfig, OpCompletion, OpCost, OpToken, SweepReport,
 };
@@ -79,4 +86,5 @@ pub use latency::CommandCost;
 pub use mode_register::{ModeRegister, ModeRegisterFile};
 pub use ops::{CodicOp, InDramMechanism, RowRegion, VariantId};
 pub use pool::{DevicePool, PoolOutcome, PoolToken, ShardHealth};
+pub use simd::{SimdLayout, VecOp};
 pub use variant::CodicVariant;

@@ -155,6 +155,59 @@ pub enum CodicOp {
         /// Physical byte address of the line.
         addr: u64,
     },
+    /// Bulk row initialization to all-zeros or all-ones: one CODIC-det
+    /// class command against the row containing `row_addr`, used to load
+    /// the constant row a triple-row activation needs to realize AND/OR
+    /// from MAJ (SIMDRAM-style).
+    RowInit {
+        /// Physical byte address selecting the target row.
+        row_addr: u64,
+        /// `true` fills the row with ones, `false` with zeros.
+        ones: bool,
+    },
+    /// Fills the row containing `row_addr` with `pattern` repeated across
+    /// every 64-bit word — modeled as a RowClone FPM copy from a
+    /// pre-written pattern row, used to seed bit-sliced SIMD operands.
+    RowFill {
+        /// Physical byte address selecting the target row.
+        row_addr: u64,
+        /// The 64-bit pattern repeated across the row.
+        pattern: u64,
+    },
+    /// RowClone FPM copy of the row containing `src_addr` onto the row
+    /// containing `dst_addr` (the planner's data-movement primitive).
+    RowCopy {
+        /// Physical byte address selecting the source row.
+        src_addr: u64,
+        /// Physical byte address selecting the destination row.
+        dst_addr: u64,
+    },
+    /// Triple-row activation over the compute group based at `row_addr`:
+    /// the three consecutive rows `row_addr`, `row_addr + ROW_BYTES`, and
+    /// `row_addr + 2·ROW_BYTES` charge-share and all three are overwritten
+    /// with their bitwise majority. Realizes AND when the planner loads
+    /// all-zeros into the third row first.
+    MajAnd {
+        /// Physical byte address of the first row of the 3-row group.
+        row_addr: u64,
+    },
+    /// Triple-row activation identical in mechanism and result to
+    /// [`CodicOp::MajAnd`] (both compute the 3-row majority); the mnemonic
+    /// records that the planner loads all-ones into the third row to
+    /// realize OR, or uses the group as a true 3-input majority (carry).
+    MajOr {
+        /// Physical byte address of the first row of the 3-row group.
+        row_addr: u64,
+    },
+    /// Dual-contact negation: the row containing `dst_addr` becomes the
+    /// bitwise complement of the row containing `src_addr` (Ambit-style
+    /// NOT through the inverted sense-amplifier side).
+    Not {
+        /// Physical byte address selecting the source row (read, restored).
+        src_addr: u64,
+        /// Physical byte address selecting the overwritten destination row.
+        dst_addr: u64,
+    },
 }
 
 impl CodicOp {
@@ -177,18 +230,26 @@ impl CodicOp {
     }
 
     /// The physical byte address the operation targets (row-granular for
-    /// row operations, line-granular for data accesses).
+    /// row operations, line-granular for data accesses). Two-address
+    /// operations report their *destination* — the row they overwrite —
+    /// which is also the address the pool routes on.
     #[must_use]
     pub fn row_addr(self) -> u64 {
         match self {
             CodicOp::Command { row_addr, .. }
             | CodicOp::RowCloneZero { row_addr }
-            | CodicOp::LisaCloneZero { row_addr } => row_addr,
+            | CodicOp::LisaCloneZero { row_addr }
+            | CodicOp::RowInit { row_addr, .. }
+            | CodicOp::RowFill { row_addr, .. }
+            | CodicOp::MajAnd { row_addr }
+            | CodicOp::MajOr { row_addr } => row_addr,
+            CodicOp::RowCopy { dst_addr, .. } | CodicOp::Not { dst_addr, .. } => dst_addr,
             CodicOp::Read { addr } | CodicOp::Write { addr } => addr,
         }
     }
 
     /// The same operation retargeted at `row_addr` (used by row sweeps).
+    /// Two-address operations keep their source and move the destination.
     #[must_use]
     pub fn with_row_addr(self, row_addr: u64) -> Self {
         match self {
@@ -197,6 +258,18 @@ impl CodicOp {
             CodicOp::LisaCloneZero { .. } => CodicOp::LisaCloneZero { row_addr },
             CodicOp::Read { .. } => CodicOp::Read { addr: row_addr },
             CodicOp::Write { .. } => CodicOp::Write { addr: row_addr },
+            CodicOp::RowInit { ones, .. } => CodicOp::RowInit { row_addr, ones },
+            CodicOp::RowFill { pattern, .. } => CodicOp::RowFill { row_addr, pattern },
+            CodicOp::RowCopy { src_addr, .. } => CodicOp::RowCopy {
+                src_addr,
+                dst_addr: row_addr,
+            },
+            CodicOp::MajAnd { .. } => CodicOp::MajAnd { row_addr },
+            CodicOp::MajOr { .. } => CodicOp::MajOr { row_addr },
+            CodicOp::Not { src_addr, .. } => CodicOp::Not {
+                src_addr,
+                dst_addr: row_addr,
+            },
         }
     }
 
@@ -222,6 +295,12 @@ impl CodicOp {
                 OperationClass::DeterministicZero
             }
             CodicOp::Read { .. } | CodicOp::Write { .. } => OperationClass::NoOp,
+            CodicOp::RowInit { .. }
+            | CodicOp::RowFill { .. }
+            | CodicOp::RowCopy { .. }
+            | CodicOp::MajAnd { .. }
+            | CodicOp::MajOr { .. }
+            | CodicOp::Not { .. } => OperationClass::BulkBitwise,
         }
     }
 
@@ -238,9 +317,13 @@ impl CodicOp {
     #[must_use]
     pub fn row_op_kind(self) -> Option<RowOpKind> {
         match self {
-            CodicOp::Command { .. } => Some(RowOpKind::Codic),
-            CodicOp::RowCloneZero { .. } => Some(RowOpKind::RowClone),
+            CodicOp::Command { .. } | CodicOp::RowInit { .. } => Some(RowOpKind::Codic),
+            CodicOp::RowCloneZero { .. } | CodicOp::RowFill { .. } | CodicOp::RowCopy { .. } => {
+                Some(RowOpKind::RowClone)
+            }
             CodicOp::LisaCloneZero { .. } => Some(RowOpKind::LisaClone),
+            CodicOp::MajAnd { .. } | CodicOp::MajOr { .. } => Some(RowOpKind::TripleAct),
+            CodicOp::Not { .. } => Some(RowOpKind::DualContact),
             CodicOp::Read { .. } | CodicOp::Write { .. } => None,
         }
     }
@@ -250,6 +333,28 @@ impl CodicOp {
     #[must_use]
     pub fn is_data_access(self) -> bool {
         matches!(self, CodicOp::Read { .. } | CodicOp::Write { .. })
+    }
+
+    /// Whether the operation belongs to the bulk-bitwise compute family
+    /// (policed by the compute region rather than the safe range).
+    #[must_use]
+    pub fn is_compute(self) -> bool {
+        self.class() == OperationClass::BulkBitwise
+    }
+
+    /// The row addresses the operation overwrites: the 3-row group for a
+    /// triple-row activation, the destination row for every other row
+    /// operation, and nothing for ordinary data accesses (a write stores
+    /// caller data at line granularity; it does not destroy a row).
+    #[must_use]
+    pub fn written_rows(self) -> RowRegion {
+        match self {
+            CodicOp::Read { .. } | CodicOp::Write { .. } => RowRegion::new(self.row_addr(), 0),
+            CodicOp::MajAnd { row_addr } | CodicOp::MajOr { row_addr } => {
+                RowRegion::new(row_addr, 3)
+            }
+            _ => RowRegion::new(self.row_addr(), 1),
+        }
     }
 }
 
@@ -411,6 +516,104 @@ mod tests {
         assert_eq!(r.rows, 2);
         assert_eq!(r.row_addrs().collect::<Vec<_>>(), vec![0, 8192]);
         assert_eq!(RowRegion::covering_bytes(4096, 0).rows, 0);
+    }
+
+    #[test]
+    fn compute_ops_map_to_multi_row_kinds_and_the_bulk_bitwise_class() {
+        let maj = CodicOp::MajAnd { row_addr: 0x6000 };
+        assert_eq!(maj.row_op_kind(), Some(RowOpKind::TripleAct));
+        assert_eq!(maj.class(), OperationClass::BulkBitwise);
+        assert!(maj.is_destructive() && maj.is_compute());
+        assert_eq!(maj.row_addr(), 0x6000);
+        assert_eq!(
+            maj.written_rows().row_addrs().collect::<Vec<_>>(),
+            vec![0x6000, 0x8000, 0xA000],
+            "a triple-row activation overwrites the whole 3-row group"
+        );
+        assert_eq!(
+            CodicOp::MajOr { row_addr: 0 }.row_op_kind(),
+            Some(RowOpKind::TripleAct)
+        );
+
+        let not = CodicOp::Not {
+            src_addr: 0x2000,
+            dst_addr: 0x4000,
+        };
+        assert_eq!(not.row_op_kind(), Some(RowOpKind::DualContact));
+        assert_eq!(not.row_addr(), 0x4000, "routing follows the destination");
+        assert_eq!(not.written_rows().row_addrs().collect::<Vec<_>>(), [0x4000]);
+
+        let copy = CodicOp::RowCopy {
+            src_addr: 0,
+            dst_addr: 0x2000,
+        };
+        assert_eq!(copy.row_op_kind(), Some(RowOpKind::RowClone));
+        assert_eq!(copy.row_addr(), 0x2000);
+
+        for op in [
+            CodicOp::RowInit {
+                row_addr: 0x2000,
+                ones: true,
+            },
+            CodicOp::RowFill {
+                row_addr: 0x2000,
+                pattern: 0xDEAD_BEEF,
+            },
+        ] {
+            assert!(op.is_compute() && op.is_destructive());
+            assert_eq!(op.written_rows().rows, 1);
+        }
+        assert_eq!(
+            CodicOp::RowInit {
+                row_addr: 0,
+                ones: false
+            }
+            .row_op_kind(),
+            Some(RowOpKind::Codic)
+        );
+        assert!(!CodicOp::read(0).is_compute());
+        assert_eq!(CodicOp::read(64).written_rows().rows, 0);
+    }
+
+    #[test]
+    fn with_row_addr_moves_the_destination_of_two_address_ops() {
+        for op in [
+            CodicOp::MajAnd { row_addr: 0 },
+            CodicOp::MajOr { row_addr: 0 },
+            CodicOp::RowInit {
+                row_addr: 0,
+                ones: false,
+            },
+            CodicOp::RowFill {
+                row_addr: 0,
+                pattern: 7,
+            },
+            CodicOp::RowCopy {
+                src_addr: 0x1000,
+                dst_addr: 0,
+            },
+            CodicOp::Not {
+                src_addr: 0x1000,
+                dst_addr: 0,
+            },
+        ] {
+            let moved = op.with_row_addr(0x4000);
+            assert_eq!(moved.row_addr(), 0x4000);
+            assert_eq!(moved.row_op_kind(), op.row_op_kind());
+        }
+        // Sources are preserved when the destination moves.
+        let moved = CodicOp::Not {
+            src_addr: 0x1000,
+            dst_addr: 0,
+        }
+        .with_row_addr(0x4000);
+        assert_eq!(
+            moved,
+            CodicOp::Not {
+                src_addr: 0x1000,
+                dst_addr: 0x4000,
+            }
+        );
     }
 
     #[test]

@@ -159,6 +159,12 @@ pub struct DevicePool {
     /// table consulted by [`DevicePool::shard_of`] when a primary shard
     /// is quarantined.
     healthy: Vec<usize>,
+    /// Byte address anchoring every bulk-bitwise compute op's route when
+    /// the configuration carries a compute region. Compute state lives in
+    /// one device's data plane, so every compute op must land on the one
+    /// shard owning the region's base block — scattering the region's
+    /// rows across shards would split the architectural state.
+    compute_base: Option<u64>,
     /// When shards self-quarantine (checked only at batch boundaries).
     health_policy: HealthPolicy,
 }
@@ -189,6 +195,10 @@ impl DevicePool {
             block_rows: u64::from(config.geometry.total_banks()).max(1),
             health: vec![ShardHealth::Healthy; shards],
             healthy: (0..shards).collect(),
+            compute_base: {
+                let region = config.compute_range();
+                (!region.is_empty()).then_some(region.start)
+            },
             health_policy: HealthPolicy::default(),
         }
     }
@@ -210,9 +220,18 @@ impl DevicePool {
     /// quarantine set route identically. With every shard quarantined the
     /// primary mapping is returned; submission paths reject that case
     /// with [`CodicError::NoHealthyShards`] before routing.
+    ///
+    /// Bulk-bitwise compute operations are the exception to row-based
+    /// distribution: they all route by the compute region's base address
+    /// (one shard's data plane owns the whole region), regardless of
+    /// which compute row they touch.
     #[must_use]
     pub fn shard_of(&self, op: CodicOp) -> usize {
-        let block = op.row_addr() / DramGeometry::ROW_BYTES / self.block_rows;
+        let addr = match self.compute_base {
+            Some(base) if op.is_compute() => base,
+            _ => op.row_addr(),
+        };
+        let block = addr / DramGeometry::ROW_BYTES / self.block_rows;
         let primary = (block % self.devices.len() as u64) as usize;
         if self.health[primary].is_healthy() || self.healthy.is_empty() {
             primary
@@ -726,6 +745,47 @@ mod tests {
         assert_eq!(err, CodicError::NoHealthyShards);
         // An empty batch is still fine: nothing to route.
         assert!(p.submit_all(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compute_ops_all_route_to_the_region_owning_shard() {
+        let geometry = DramGeometry::module_mib(64);
+        let config = DeviceConfig::new(geometry, TimingParams::ddr3_1600_11())
+            .with_refresh(false)
+            .with_compute_rows(16);
+        let mut p = DevicePool::new(4, &config);
+        let base = config.compute_range().start;
+        let row = DramGeometry::ROW_BYTES;
+        let ops = [
+            CodicOp::RowFill {
+                row_addr: base,
+                pattern: 0b1100,
+            },
+            CodicOp::RowFill {
+                row_addr: base + row,
+                pattern: 0b1010,
+            },
+            CodicOp::RowInit {
+                row_addr: base + 2 * row,
+                ones: false,
+            },
+            CodicOp::MajAnd { row_addr: base },
+        ];
+        // Row-based distribution would scatter these 16 rows; compute
+        // routing pins them all to the shard owning the region base, so
+        // one data plane sees the whole dependency chain.
+        let owner = p.shard_of(ops[0]);
+        assert!(ops.iter().all(|&op| p.shard_of(op) == owner));
+        let outcome = p.execute_all(&ops).unwrap();
+        assert_eq!(outcome.ops(), 4);
+        assert!(outcome.completions().all(|(shard, _)| shard == owner));
+        // The owning shard's data plane holds the AND result (1100 & 1010).
+        let plane = p.device(owner).data_plane().unwrap();
+        assert_eq!(plane.row(base)[0], 0b1000);
+        // Non-compute traffic still block-interleaves across all shards.
+        let shards: std::collections::HashSet<usize> =
+            zero_ops(32).iter().map(|&op| p.shard_of(op)).collect();
+        assert_eq!(shards.len(), 4);
     }
 
     #[test]

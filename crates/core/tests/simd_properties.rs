@@ -1,0 +1,116 @@
+//! Property-based tests of the bit-serial SIMD planner: every planned
+//! vector operation must compute exactly what the scalar reference
+//! computes, over arbitrary operands and lane widths, and every plan
+//! must stay inside the compute region that authorizes it.
+
+use codic_core::data::DataPlane;
+use codic_core::device::{CodicDevice, DeviceConfig};
+use codic_core::simd::{reference, SimdLayout, VecOp};
+use codic_core::CodicError;
+use codic_dram::DramGeometry;
+use proptest::prelude::*;
+
+const ROW: u64 = DramGeometry::ROW_BYTES;
+
+/// Runs `seed(a, b)` then `plan(op)` through a bare data plane and
+/// returns the first word of each result row.
+fn execute(layout: &SimdLayout, op: VecOp, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut plane = DataPlane::new(layout.base()..layout.base() + layout.rows_needed() * ROW);
+    for op in layout.seed(a, b).into_iter().chain(layout.plan(op)) {
+        plane.apply(op);
+    }
+    (0..layout.bits())
+        .map(|bit| plane.row(layout.d_row(bit))[0])
+        .collect()
+}
+
+fn vec_op(selector: u8) -> VecOp {
+    VecOp::ALL[usize::from(selector) % VecOp::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn planned_vector_ops_match_the_scalar_reference(
+        selector in any::<u8>(),
+        operands in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..=16),
+    ) {
+        let op = vec_op(selector);
+        let (a, b): (Vec<u64>, Vec<u64>) = operands.into_iter().unzip();
+        let layout = SimdLayout::new(0x40_0000, a.len() as u32);
+        prop_assert_eq!(execute(&layout, op, &a, &b), reference(op, &a, &b));
+    }
+
+    #[test]
+    fn plans_write_only_inside_their_layout(
+        selector in any::<u8>(),
+        bits in 1u32..=16,
+        base_row in 0u64..1024,
+    ) {
+        let op = vec_op(selector);
+        let layout = SimdLayout::new(base_row * ROW, bits);
+        let end = base_row * ROW + layout.rows_needed() * ROW;
+        for planned in layout.plan(op) {
+            prop_assert!(planned.is_compute());
+            for addr in planned.written_rows().row_addrs() {
+                prop_assert!(
+                    (base_row * ROW..end).contains(&addr),
+                    "{:?} writes row {:#x} outside [{:#x}, {:#x})",
+                    planned, addr, base_row * ROW, end
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compute_ops_outside_the_region_never_reach_the_bus(
+        selector in any::<u8>(),
+        bits in 1u32..=8,
+        offset_rows in 0u64..64,
+    ) {
+        // A device whose compute region is its top 64 rows: plans inside
+        // the region execute, while the same plan shifted to start below
+        // the region is rejected pre-bus with a typed policy error.
+        let config = DeviceConfig::paper_default().with_compute_rows(64);
+        let region = config.compute_range();
+        let mut device = CodicDevice::new(config.clone());
+        let inside = SimdLayout::new(region.start, bits);
+        prop_assume!(inside.rows_needed() <= 64);
+        let inside_plan = inside.plan(vec_op(selector));
+        let planned_ops = inside_plan.len() as u64;
+        for planned in inside_plan {
+            device.submit(planned).expect("authorized compute op");
+        }
+        device.run_to_idle();
+        prop_assert_eq!(device.stats().row_ops, planned_ops);
+
+        // Shift the layout so its first row falls below the region.
+        let outside = SimdLayout::new(
+            region.start - (offset_rows + 1) * ROW,
+            bits,
+        );
+        // Ops of the straddling plan that land fully inside the region
+        // are legitimately accepted; the first op touching a row below
+        // the region must be rejected and reach the bus never.
+        let mut accepted = 0u64;
+        let mut rejected = None;
+        for op in outside.plan(vec_op(selector)) {
+            match device.submit(op) {
+                Ok(_) => accepted += 1,
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = rejected.expect("a straddling plan must be rejected");
+        prop_assert!(matches!(err, CodicError::ComputeOutsideRegion { .. }));
+        device.run_to_idle();
+        prop_assert_eq!(
+            device.stats().row_ops,
+            planned_ops + accepted,
+            "rejected compute ops must not reach the command bus"
+        );
+    }
+}

@@ -24,8 +24,8 @@
 //!   earliest (and count of) queued column accesses targeting the bank's
 //!   open row, rebuilt only when the bank's open row changes; row-op
 //!   chains track the earliest request per activation weight
-//!   (`act_head`), because the rank tRRD/tFAW gate differs for one- and
-//!   two-activation operations.
+//!   (`act_head`), because the rank tRRD/tFAW gate differs for one-,
+//!   two-, and triple-activation operations.
 //! - **Arrival-sequence tiebreak.** First-ready selection takes, among
 //!   all ready banks, the candidate with the minimal global arrival
 //!   sequence (the [`ReqId`] handed out by [`MemoryController::push`]).
@@ -90,8 +90,9 @@ struct BankChain {
     /// Number of queued column accesses targeting the bank's open row.
     match_len: u32,
     /// Earliest queued row operation per activation weight (index 0: one
-    /// activation, index 1: two) — row-op chains only.
-    act_head: [u32; 2],
+    /// activation, index 1: two, index 2: triple-row activation) — row-op
+    /// chains only.
+    act_head: [u32; 3],
 }
 
 impl BankChain {
@@ -101,7 +102,7 @@ impl BankChain {
         len: 0,
         match_head: NIL,
         match_len: 0,
-        act_head: [NIL, NIL],
+        act_head: [NIL, NIL, NIL],
     };
 }
 
@@ -159,9 +160,9 @@ impl Iterator for BankSetIter<'_> {
 }
 
 /// The activation-weight cache index of a row operation (0: single
-/// activation, 1: double).
+/// activation, 1: double, 2: triple-row activation).
 fn act_weight(op: RowOpKind) -> usize {
-    usize::from(op.activations().clamp(1, 2)) - 1
+    usize::from(op.activations().clamp(1, 3)) - 1
 }
 
 /// A completed request: its id and the cycle its data (or operation)
@@ -543,7 +544,7 @@ impl MemoryController {
             // applies to, so compute it once per (rank, activation count)
             // instead of per candidate — in a stack buffer, since this
             // runs once per event on the engine's hottest path.
-            let mut gate_buf = [[0u64; 2]; 8];
+            let mut gate_buf = [[0u64; 3]; 8];
             let memo_ranks = self.ranks.len().min(gate_buf.len());
             for (slot, rank) in gate_buf.iter_mut().zip(&self.ranks) {
                 *slot = self.act_gates_of(rank);
@@ -562,12 +563,14 @@ impl MemoryController {
         e.max(self.now)
     }
 
-    /// The rank's activation gates for 1 and 2 activations: the earliest
-    /// cycles its tRRD/tFAW windows allow, independent of any bank state.
-    fn act_gates_of(&self, rank: &Rank) -> [u64; 2] {
+    /// The rank's activation gates for 1, 2, and 3 activations: the
+    /// earliest cycles its tRRD/tFAW windows allow, independent of any
+    /// bank state.
+    fn act_gates_of(&self, rank: &Rank) -> [u64; 3] {
         [
             rank.earliest_activate(0, 1, &self.timing),
             rank.earliest_activate(0, 2, &self.timing),
+            rank.earliest_activate(0, 3, &self.timing),
         ]
     }
 
@@ -585,10 +588,10 @@ impl MemoryController {
     /// activate), given current bank/rank/bus state — the per-bank
     /// aggregation of the old per-request candidate scan, made O(1) by
     /// the chain caches. `act_gates[rank]` holds the precomputed rank
-    /// activation gates for 1 and 2 activations. Exact per bank; the
+    /// activation gates for 1, 2, and 3 activations. Exact per bank; the
     /// scheduler's one-command-per-cycle arbitration is applied when the
     /// cycle is actually processed.
-    fn bank_candidate(&self, class: Queue, bank_idx: usize, act_gates: &[[u64; 2]]) -> u64 {
+    fn bank_candidate(&self, class: Queue, bank_idx: usize, act_gates: &[[u64; 3]]) -> u64 {
         let bank = &self.banks[bank_idx];
         let chain = &self.chains[class.idx()][bank_idx];
         let rank_idx = self.rank_of_bank(bank_idx);
@@ -623,11 +626,10 @@ impl MemoryController {
                 Some(_) => bank.next_pre_at(),
                 None => {
                     let mut cand = u64::MAX;
-                    if chain.act_head[0] != NIL {
-                        cand = cand.min(bank.next_act_at().max(gates[0]));
-                    }
-                    if chain.act_head[1] != NIL {
-                        cand = cand.min(bank.next_act_at().max(gates[1]));
+                    for (w, &slot) in chain.act_head.iter().enumerate() {
+                        if slot != NIL {
+                            cand = cand.min(bank.next_act_at().max(gates[w]));
+                        }
                     }
                     cand
                 }
@@ -1399,6 +1401,41 @@ mod tests {
         );
         assert_eq!(m.stats().row_ops, 5);
         assert_eq!(m.stats().row_op_activations, 6);
+    }
+
+    #[test]
+    fn triple_activation_rowops_respect_the_rank_windows() {
+        // A back-to-back stream of triple-row activations: each op takes
+        // 3 of the 4 tFAW slots, so the scheduler must gate every op on
+        // the full 3-activation rank window (a 2-activation gate would
+        // trip the rank assertion). Mixing banks exercises the per-weight
+        // ready cache under rank pressure.
+        let mut m = mc();
+        let t_rc = m.timing().t_rc;
+        let t_faw = u64::from(m.timing().t_faw);
+        let n = 8u64;
+        for i in 0..n {
+            m.push(MemRequest::new(
+                (i % 4) * DramGeometry::ROW_BYTES,
+                ReqKind::RowOp {
+                    op: RowOpKind::TripleAct,
+                    busy_cycles: t_rc,
+                },
+            ))
+            .unwrap();
+        }
+        let finish = m.run_to_idle();
+        assert_eq!(m.stats().row_ops, n);
+        assert_eq!(m.stats().row_op_activations, 3 * n);
+        // 3 activations per op leave one tFAW slot spare: consecutive ops
+        // cannot land in the same window, so the stream needs at least
+        // one full window per op beyond the first.
+        assert!(
+            finish >= (n - 1) * t_faw,
+            "{n} triple-activation ops finished at {finish}, before the \
+             tFAW bound {}",
+            (n - 1) * t_faw
+        );
     }
 
     #[test]

@@ -16,6 +16,14 @@ pub enum RowOpKind {
     /// LISA row-buffer-movement clone: two activations plus an extra
     /// row-buffer movement step (Chang et al.).
     LisaClone,
+    /// Triple-row activation: three wordlines raised simultaneously so the
+    /// bitlines charge-share to the majority value (Ambit/SIMDRAM-style
+    /// bulk-bitwise MAJ/AND/OR).
+    TripleAct,
+    /// Dual-contact negation: the source row is sensed and the inverted
+    /// sense-amplifier side drives the destination row (Ambit-style NOT),
+    /// two back-to-back activations.
+    DualContact,
 }
 
 impl RowOpKind {
@@ -25,7 +33,8 @@ impl RowOpKind {
     pub fn activations(self) -> u8 {
         match self {
             RowOpKind::Codic => 1,
-            RowOpKind::RowClone | RowOpKind::LisaClone => 2,
+            RowOpKind::RowClone | RowOpKind::LisaClone | RowOpKind::DualContact => 2,
+            RowOpKind::TripleAct => 3,
         }
     }
 }
@@ -93,6 +102,8 @@ mod tests {
         assert_eq!(RowOpKind::Codic.activations(), 1);
         assert_eq!(RowOpKind::RowClone.activations(), 2);
         assert_eq!(RowOpKind::LisaClone.activations(), 2);
+        assert_eq!(RowOpKind::TripleAct.activations(), 3);
+        assert_eq!(RowOpKind::DualContact.activations(), 2);
     }
 
     #[test]

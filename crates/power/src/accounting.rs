@@ -27,6 +27,22 @@ pub const LISA_MOVEMENT_NS: f64 = 70.0;
 /// bitlines swings one extra time), in nanojoules.
 pub const LISA_MOVEMENT_ENERGY_NJ: f64 = 11.0;
 
+/// Extra bank-occupancy of a triple-row activation beyond tRC: the three
+/// cells charge-share onto the bitlines before the sense amplifiers can be
+/// enabled, and the restore must recharge three cells instead of one
+/// (Ambit/SIMDRAM charge-sharing settle), in nanoseconds.
+pub const TRA_CHARGE_SHARE_NS: f64 = 6.0;
+
+/// Extra per-row energy of a triple-row activation beyond the three
+/// activations' worth of bitline energy: the simultaneous wordline drive
+/// and deeper restore, in nanojoules.
+pub const TRA_SHARE_ENERGY_NJ: f64 = 4.0;
+
+/// Extra per-row energy of a dual-contact negation: the inverted
+/// sense-amplifier side drives the destination row's bitlines one extra
+/// half-swing, in nanojoules.
+pub const DCC_NOT_ENERGY_NJ: f64 = 2.0;
+
 /// The full accounted cost of one row operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RowOpCost {
@@ -48,6 +64,8 @@ pub fn row_op_busy_cycles(kind: RowOpKind, t: &TimingParams) -> u32 {
         RowOpKind::Codic => t.t_rc,
         RowOpKind::RowClone => 2 * t.t_ras + t.t_rp,
         RowOpKind::LisaClone => 2 * t.t_ras + t.t_rp + t.cycles_from_ns(LISA_MOVEMENT_NS),
+        RowOpKind::TripleAct => t.t_rc + t.cycles_from_ns(TRA_CHARGE_SHARE_NS),
+        RowOpKind::DualContact => 2 * t.t_ras + t.t_rp,
     }
 }
 
@@ -57,6 +75,8 @@ pub fn row_op_busy_cycles(kind: RowOpKind, t: &TimingParams) -> u32 {
 pub fn row_op_extra_energy_nj(kind: RowOpKind) -> f64 {
     match kind {
         RowOpKind::LisaClone => LISA_MOVEMENT_ENERGY_NJ,
+        RowOpKind::TripleAct => TRA_SHARE_ENERGY_NJ,
+        RowOpKind::DualContact => DCC_NOT_ENERGY_NJ,
         RowOpKind::Codic | RowOpKind::RowClone => 0.0,
     }
 }
@@ -117,5 +137,37 @@ mod tests {
         assert!(
             (lisa.energy_nj - (2.0 * model.act_pre_nj() + LISA_MOVEMENT_ENERGY_NJ)).abs() < 1e-9
         );
+    }
+
+    #[test]
+    fn triple_activation_pays_charge_sharing_over_a_plain_codic_cycle() {
+        let t = t();
+        let model = EnergyModel::paper_default();
+        let tra = row_op_cost(RowOpKind::TripleAct, &t, &model);
+        assert_eq!(tra.activations, 3);
+        assert_eq!(
+            tra.busy_cycles,
+            t.t_rc + t.cycles_from_ns(TRA_CHARGE_SHARE_NS)
+        );
+        assert!(
+            (tra.energy_nj - (3.0 * model.act_pre_nj() + TRA_SHARE_ENERGY_NJ)).abs() < 1e-9,
+            "three activations of bitline energy plus the charge-sharing extra"
+        );
+        let codic = row_op_cost(RowOpKind::Codic, &t, &model);
+        assert!(tra.busy_cycles > codic.busy_cycles && tra.energy_nj > codic.energy_nj);
+    }
+
+    #[test]
+    fn dual_contact_costs_an_activation_pair_plus_the_inverter_swing() {
+        let t = t();
+        let model = EnergyModel::paper_default();
+        let not = row_op_cost(RowOpKind::DualContact, &t, &model);
+        assert_eq!(not.activations, 2);
+        assert_eq!(
+            not.busy_cycles,
+            row_op_busy_cycles(RowOpKind::RowClone, &t),
+            "same activation pair as a RowClone copy"
+        );
+        assert!((not.energy_nj - (2.0 * model.act_pre_nj() + DCC_NOT_ENERGY_NJ)).abs() < 1e-9);
     }
 }

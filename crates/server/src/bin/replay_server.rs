@@ -7,11 +7,15 @@
 //! ```text
 //! replay-server [--socket PATH] [--shards N] [--module-mib M]
 //!               [--max-outstanding K] [--max-rows-per-sec R]
-//!               [--refresh] [--connections N]
+//!               [--refresh] [--connections N] [--compute-rows C]
 //!               [--fault-seed S] [--misfire-per-64k P]
 //!               [--stuck-shard I --stuck-at CYCLE]
 //!               [--retry-attempts A]
 //! ```
+//!
+//! `--compute-rows C` reserves the top C rows of every session's module
+//! as the default bulk-bitwise compute region (a `Hello` may request
+//! its own region; 0 leaves compute disabled unless a client asks).
 //!
 //! `--connections N` serves exactly N sessions then exits (the smoke /
 //! benchmark mode); the default serves forever. `--max-rows-per-sec`
@@ -50,6 +54,7 @@ fn main() -> ExitCode {
         fault,
         retry,
         health: defaults.health,
+        compute_rows: arg_u64("--compute-rows").unwrap_or(0),
     };
     let connections = arg_u64("--connections");
 

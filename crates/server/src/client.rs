@@ -350,6 +350,13 @@ pub fn verify_against_reference(
         {
             return fail(format!("seq {}: accounted cost diverged", got.seq));
         }
+        if got.fingerprint != want.fingerprint {
+            return fail(format!(
+                "seq {}: row fingerprint {:#018x} served, {:#018x} expected \
+                 (computed values diverged)",
+                got.seq, got.fingerprint, want.fingerprint
+            ));
+        }
     }
     Ok(())
 }

@@ -13,12 +13,16 @@
 //! payload      — length - 1 bytes, layout per frame type
 //! ```
 //!
-//! Operations travel as a 9-byte unit (`u8` op code + `u64` address);
-//! completions come back typed with the finish cycle, the accounted
-//! occupancy/energy cost, and the owning shard. The session checksum
-//! ([`Fnv64`]) hashes every `Completion` and `Failed` frame payload in
-//! emission order, so client and server can agree on the whole stream
-//! with one `u64` compare.
+//! Operations travel as a variable-length unit: a `u8` op code followed
+//! by one `u64` address (9 bytes) or, for the two-address and
+//! pattern-carrying bulk-bitwise operations, two `u64` operands
+//! (17 bytes); completions come back typed with the finish cycle, the
+//! accounted occupancy/energy cost, the owning shard and — for
+//! bulk-bitwise compute operations — the FNV-1a-64 fingerprint of the
+//! written row's simulated contents. The session checksum ([`Fnv64`])
+//! hashes every `Completion` and `Failed` frame payload in emission
+//! order, so client and server can agree on the whole stream (values
+//! included) with one `u64` compare.
 //!
 //! # Example
 //!
@@ -45,7 +49,11 @@ use codic_core::ops::{CodicOp, VariantId};
 /// The protocol version this implementation speaks. A server rejects a
 /// [`Frame::Hello`] carrying any other version with
 /// [`ErrorCode::Version`].
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 added the bulk-bitwise compute operations (op codes
+/// `0x04..=0x0A`), the `compute_rows` session parameter, and the
+/// fingerprint field on compute completions.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on the `length` field of a frame; larger values are
 /// rejected before any allocation, so a corrupt or hostile length prefix
@@ -53,9 +61,10 @@ pub const PROTOCOL_VERSION: u16 = 1;
 pub const MAX_FRAME_LEN: u32 = 4 << 20;
 
 /// The most operations one `Batch` frame can carry without tripping
-/// [`MAX_FRAME_LEN`] (type byte + `u32` count + 9 bytes per op).
-/// Senders clamp their batch size to this.
-pub const MAX_BATCH_OPS: usize = (MAX_FRAME_LEN as usize - 5) / 9;
+/// [`MAX_FRAME_LEN`] (type byte + `u32` count + up to 17 bytes per op —
+/// sized for the widest unit so a batch of any mix fits). Senders clamp
+/// their batch size to this.
+pub const MAX_BATCH_OPS: usize = (MAX_FRAME_LEN as usize - 5) / 17;
 
 /// Frame-type tags (the `u8` after the length prefix).
 mod tag {
@@ -72,14 +81,38 @@ mod tag {
     pub const FAILED: u8 = 0x87;
 }
 
-/// Operation codes of the 9-byte wire operation.
+/// Operation codes of the wire operation unit. Codes `0x00..=0x07` are
+/// 9-byte units (code + one `u64` address); `0x08..=0x0A` are 17-byte
+/// units (code + two `u64` operands).
 mod opcode {
     pub const READ: u8 = 0x00;
     pub const WRITE: u8 = 0x01;
     pub const ROW_CLONE_ZERO: u8 = 0x02;
     pub const LISA_CLONE_ZERO: u8 = 0x03;
+    /// Bulk-bitwise row init to zeros (one address).
+    pub const ROW_INIT0: u8 = 0x04;
+    /// Bulk-bitwise row init to ones (one address).
+    pub const ROW_INIT1: u8 = 0x05;
+    /// Triple-row-activation majority, AND convention (group base addr).
+    pub const MAJ_AND: u8 = 0x06;
+    /// Triple-row-activation majority, OR convention (group base addr).
+    pub const MAJ_OR: u8 = 0x07;
+    /// Dual-contact NOT: src address, then dst address (17 bytes).
+    pub const NOT: u8 = 0x08;
+    /// Row copy: src address, then dst address (17 bytes).
+    pub const ROW_COPY: u8 = 0x09;
+    /// Row fill: row address, then the 64-bit fill pattern (17 bytes).
+    pub const ROW_FILL: u8 = 0x0A;
     /// `COMMAND_BASE + i` is a CODIC command of `VariantId::ALL[i]`.
     pub const COMMAND_BASE: u8 = 0x10;
+}
+
+/// Wire length in bytes of the operation unit with `code`.
+fn op_len(code: u8) -> usize {
+    match code {
+        opcode::NOT | opcode::ROW_COPY | opcode::ROW_FILL => 17,
+        _ => 9,
+    }
 }
 
 /// Session parameters proposed in a [`Frame::Hello`] and echoed, with
@@ -105,6 +138,11 @@ pub struct SessionParams {
     /// Refresh engine: 0 = disabled, 1 = enabled, 2 (Hello only) =
     /// server default.
     pub refresh: u8,
+    /// Rows reserved at the top of the module as the bulk-bitwise
+    /// compute region; 0 in a `Hello` = use the server's configured
+    /// default (which is itself 0 — compute disabled — unless the server
+    /// was started with a region).
+    pub compute_rows: u32,
 }
 
 impl SessionParams {
@@ -118,6 +156,7 @@ impl SessionParams {
             max_outstanding: 0,
             target_rows_per_s: 0,
             refresh: 2,
+            compute_rows: 0,
         }
     }
 }
@@ -140,6 +179,12 @@ pub struct WireCompletion {
     pub activations: u8,
     /// Accounted energy of the operation in nanojoules.
     pub energy_nj: f64,
+    /// FNV-1a-64 fingerprint of the written row's simulated contents —
+    /// carried on the wire (and hashed into the session checksum) only
+    /// for bulk-bitwise compute operations; decodes as 0 for everything
+    /// else, and senders must set it to 0 for non-compute operations so
+    /// round trips are exact.
+    pub fingerprint: u64,
 }
 
 /// One failed operation as streamed back to the client — the faulted
@@ -350,6 +395,13 @@ fn op_code(op: CodicOp) -> u8 {
         CodicOp::Write { .. } => opcode::WRITE,
         CodicOp::RowCloneZero { .. } => opcode::ROW_CLONE_ZERO,
         CodicOp::LisaCloneZero { .. } => opcode::LISA_CLONE_ZERO,
+        CodicOp::RowInit { ones: false, .. } => opcode::ROW_INIT0,
+        CodicOp::RowInit { ones: true, .. } => opcode::ROW_INIT1,
+        CodicOp::MajAnd { .. } => opcode::MAJ_AND,
+        CodicOp::MajOr { .. } => opcode::MAJ_OR,
+        CodicOp::Not { .. } => opcode::NOT,
+        CodicOp::RowCopy { .. } => opcode::ROW_COPY,
+        CodicOp::RowFill { .. } => opcode::ROW_FILL,
         CodicOp::Command { variant, .. } => {
             let index = VariantId::ALL
                 .iter()
@@ -360,30 +412,76 @@ fn op_code(op: CodicOp) -> u8 {
     }
 }
 
-/// Encodes one operation as its 9-byte wire unit.
+/// Encodes one operation as its wire unit (9 or 17 bytes).
 fn put_op(buf: &mut Vec<u8>, op: CodicOp) {
     buf.push(op_code(op));
-    buf.extend_from_slice(&op.row_addr().to_le_bytes());
+    match op {
+        CodicOp::Not { src_addr, dst_addr } | CodicOp::RowCopy { src_addr, dst_addr } => {
+            buf.extend_from_slice(&src_addr.to_le_bytes());
+            buf.extend_from_slice(&dst_addr.to_le_bytes());
+        }
+        CodicOp::RowFill { row_addr, pattern } => {
+            buf.extend_from_slice(&row_addr.to_le_bytes());
+            buf.extend_from_slice(&pattern.to_le_bytes());
+        }
+        op => buf.extend_from_slice(&op.row_addr().to_le_bytes()),
+    }
 }
 
-/// Decodes the 9-byte wire unit starting at `bytes`.
-fn get_op(bytes: &[u8]) -> Result<CodicOp, ProtoError> {
-    let code = bytes[0];
-    let addr = u64::from_le_bytes(bytes[1..9].try_into().expect("9-byte unit"));
-    match code {
-        opcode::READ => Ok(CodicOp::read(addr)),
-        opcode::WRITE => Ok(CodicOp::write(addr)),
-        opcode::ROW_CLONE_ZERO => Ok(CodicOp::RowCloneZero { row_addr: addr }),
-        opcode::LISA_CLONE_ZERO => Ok(CodicOp::LisaCloneZero { row_addr: addr }),
+/// Decodes the wire unit starting at `bytes`, returning the operation
+/// and the number of bytes consumed.
+fn get_op(bytes: &[u8]) -> Result<(CodicOp, usize), ProtoError> {
+    let code = *bytes.first().ok_or(ProtoError::Empty)?;
+    let len = op_len(code);
+    if bytes.len() < len {
+        return Err(ProtoError::BadLength {
+            tag: code,
+            got: bytes.len(),
+        });
+    }
+    let a = u64::from_le_bytes(bytes[1..9].try_into().expect("unit operand"));
+    let op = match code {
+        opcode::READ => CodicOp::read(a),
+        opcode::WRITE => CodicOp::write(a),
+        opcode::ROW_CLONE_ZERO => CodicOp::RowCloneZero { row_addr: a },
+        opcode::LISA_CLONE_ZERO => CodicOp::LisaCloneZero { row_addr: a },
+        opcode::ROW_INIT0 => CodicOp::RowInit {
+            row_addr: a,
+            ones: false,
+        },
+        opcode::ROW_INIT1 => CodicOp::RowInit {
+            row_addr: a,
+            ones: true,
+        },
+        opcode::MAJ_AND => CodicOp::MajAnd { row_addr: a },
+        opcode::MAJ_OR => CodicOp::MajOr { row_addr: a },
+        opcode::NOT | opcode::ROW_COPY | opcode::ROW_FILL => {
+            let b = u64::from_le_bytes(bytes[9..17].try_into().expect("unit operand"));
+            match code {
+                opcode::NOT => CodicOp::Not {
+                    src_addr: a,
+                    dst_addr: b,
+                },
+                opcode::ROW_COPY => CodicOp::RowCopy {
+                    src_addr: a,
+                    dst_addr: b,
+                },
+                _ => CodicOp::RowFill {
+                    row_addr: a,
+                    pattern: b,
+                },
+            }
+        }
         code => {
             let index = code.wrapping_sub(opcode::COMMAND_BASE) as usize;
             if code >= opcode::COMMAND_BASE && index < VariantId::ALL.len() {
-                Ok(CodicOp::command(VariantId::ALL[index], addr))
+                CodicOp::command(VariantId::ALL[index], a)
             } else {
-                Err(ProtoError::UnknownOp(code))
+                return Err(ProtoError::UnknownOp(code));
             }
         }
-    }
+    };
+    Ok((op, len))
 }
 
 fn put_params(buf: &mut Vec<u8>, p: &SessionParams) {
@@ -393,10 +491,11 @@ fn put_params(buf: &mut Vec<u8>, p: &SessionParams) {
     buf.extend_from_slice(&p.max_outstanding.to_le_bytes());
     buf.extend_from_slice(&p.target_rows_per_s.to_le_bytes());
     buf.push(p.refresh);
+    buf.extend_from_slice(&p.compute_rows.to_le_bytes());
 }
 
 fn get_params(bytes: &[u8], tag: u8) -> Result<SessionParams, ProtoError> {
-    if bytes.len() != 21 {
+    if bytes.len() != 25 {
         return Err(ProtoError::BadLength {
             tag,
             got: bytes.len(),
@@ -409,6 +508,7 @@ fn get_params(bytes: &[u8], tag: u8) -> Result<SessionParams, ProtoError> {
         max_outstanding: u32::from_le_bytes(bytes[8..12].try_into().expect("sized")),
         target_rows_per_s: u64::from_le_bytes(bytes[12..20].try_into().expect("sized")),
         refresh: bytes[20],
+        compute_rows: u32::from_le_bytes(bytes[21..25].try_into().expect("sized")),
     })
 }
 
@@ -476,8 +576,12 @@ pub fn encode_body(frame: &Frame, buf: &mut Vec<u8>) {
     }
 }
 
-/// The 40-byte completion payload — a unit the session checksum
-/// ([`Fnv64`]) hashes, in emission order.
+/// The completion payload — a unit the session checksum ([`Fnv64`])
+/// hashes, in emission order. 40 bytes for the classic operations
+/// (byte-identical to protocol v1, so their pinned session checksums
+/// are unchanged); bulk-bitwise compute operations carry their wider op
+/// unit and a trailing row fingerprint (48 or 56 bytes), which makes a
+/// pinned replay checksum value-verifying.
 pub fn completion_payload(c: &WireCompletion, buf: &mut Vec<u8>) {
     buf.extend_from_slice(&c.seq.to_le_bytes());
     buf.extend_from_slice(&c.shard.to_le_bytes());
@@ -486,9 +590,13 @@ pub fn completion_payload(c: &WireCompletion, buf: &mut Vec<u8>) {
     buf.extend_from_slice(&c.busy_cycles.to_le_bytes());
     buf.push(c.activations);
     buf.extend_from_slice(&c.energy_nj.to_bits().to_le_bytes());
+    if c.op.is_compute() {
+        buf.extend_from_slice(&c.fingerprint.to_le_bytes());
+    }
 }
 
-/// The 29-byte failed-operation payload — hashed into the session
+/// The failed-operation payload (29 bytes, or 37 with a 17-byte op
+/// unit; failures carry no fingerprint) — hashed into the session
 /// checksum exactly like a completion payload, in emission order.
 pub fn failure_payload(x: &WireFailure, buf: &mut Vec<u8>) {
     buf.extend_from_slice(&x.seq.to_le_bytes());
@@ -516,15 +624,27 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
                 return Err(bad(payload.len()));
             }
             let count = u32::from_le_bytes(payload[0..4].try_into().expect("sized")) as usize;
-            let units = &payload[4..];
-            if units.len() != count * 9 {
+            // Units are variable-length, so decoding is a walk: each op
+            // code determines how far the next one starts, and the walk
+            // must land exactly on the payload's end.
+            if count > payload.len() - 4 {
+                // Cheap pre-check: even 1-byte units couldn't fit.
                 return Err(bad(payload.len()));
             }
-            units
-                .chunks_exact(9)
-                .map(get_op)
-                .collect::<Result<_, _>>()
-                .map(Frame::Batch)
+            let mut units = &payload[4..];
+            let mut ops = Vec::with_capacity(count);
+            for _ in 0..count {
+                let (op, used) = get_op(units).map_err(|e| match e {
+                    ProtoError::Empty | ProtoError::BadLength { .. } => bad(payload.len()),
+                    e => e,
+                })?;
+                ops.push(op);
+                units = &units[used..];
+            }
+            if !units.is_empty() {
+                return Err(bad(payload.len()));
+            }
+            Ok(Frame::Batch(ops))
         }
         tag::FLUSH => {
             if !payload.is_empty() {
@@ -539,32 +659,60 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
             Ok(Frame::Bye)
         }
         tag::COMPLETION => {
-            if payload.len() != 40 {
+            if payload.len() < 40 {
+                return Err(bad(payload.len()));
+            }
+            let (op, used) = get_op(&payload[10..]).map_err(|e| match e {
+                ProtoError::Empty | ProtoError::BadLength { .. } => bad(payload.len()),
+                e => e,
+            })?;
+            // 10 header bytes + the op unit + 21 cost bytes, plus the
+            // trailing fingerprint on compute operations only.
+            let base = 10 + used;
+            let want = base + 21 + if op.is_compute() { 8 } else { 0 };
+            if payload.len() != want {
                 return Err(bad(payload.len()));
             }
             Ok(Frame::Completion(WireCompletion {
                 seq: u64::from_le_bytes(payload[0..8].try_into().expect("sized")),
                 shard: u16::from_le_bytes(payload[8..10].try_into().expect("sized")),
-                op: get_op(&payload[10..19])?,
-                finish_cycle: u64::from_le_bytes(payload[19..27].try_into().expect("sized")),
-                busy_cycles: u32::from_le_bytes(payload[27..31].try_into().expect("sized")),
-                activations: payload[31],
+                op,
+                finish_cycle: u64::from_le_bytes(
+                    payload[base..base + 8].try_into().expect("sized"),
+                ),
+                busy_cycles: u32::from_le_bytes(
+                    payload[base + 8..base + 12].try_into().expect("sized"),
+                ),
+                activations: payload[base + 12],
                 energy_nj: f64::from_bits(u64::from_le_bytes(
-                    payload[32..40].try_into().expect("sized"),
+                    payload[base + 13..base + 21].try_into().expect("sized"),
                 )),
+                fingerprint: if op.is_compute() {
+                    u64::from_le_bytes(payload[base + 21..base + 29].try_into().expect("sized"))
+                } else {
+                    0
+                },
             }))
         }
         tag::FAILED => {
-            if payload.len() != 29 {
+            if payload.len() < 29 {
+                return Err(bad(payload.len()));
+            }
+            let (op, used) = get_op(&payload[10..]).map_err(|e| match e {
+                ProtoError::Empty | ProtoError::BadLength { .. } => bad(payload.len()),
+                e => e,
+            })?;
+            let base = 10 + used;
+            if payload.len() != base + 10 {
                 return Err(bad(payload.len()));
             }
             Ok(Frame::Failed(WireFailure {
                 seq: u64::from_le_bytes(payload[0..8].try_into().expect("sized")),
                 shard: u16::from_le_bytes(payload[8..10].try_into().expect("sized")),
-                op: get_op(&payload[10..19])?,
-                at_cycle: u64::from_le_bytes(payload[19..27].try_into().expect("sized")),
-                cause: cause_from_u8(payload[27])?,
-                attempts: payload[28],
+                op,
+                at_cycle: u64::from_le_bytes(payload[base..base + 8].try_into().expect("sized")),
+                cause: cause_from_u8(payload[base + 8])?,
+                attempts: payload[base + 9],
             }))
         }
         tag::BATCHED => {
@@ -645,7 +793,11 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
 ///
 /// Propagates the stream's I/O error.
 pub fn write_completion_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
-    debug_assert_eq!(payload.len(), 40, "completion payloads are 40 bytes");
+    debug_assert!(
+        matches!(payload.len(), 40 | 48 | 56),
+        "completion payloads are 40, 48 or 56 bytes, got {}",
+        payload.len()
+    );
     w.write_all(&(payload.len() as u32 + 1).to_le_bytes())?;
     w.write_all(&[tag::COMPLETION])?;
     w.write_all(payload)
@@ -857,6 +1009,7 @@ mod tests {
             max_outstanding: 1024,
             target_rows_per_s: 2_000_000,
             refresh: 0,
+            compute_rows: 64,
         }));
     }
 
@@ -869,6 +1022,7 @@ mod tests {
             max_outstanding: 512,
             target_rows_per_s: 0,
             refresh: 1,
+            compute_rows: 16,
         }));
     }
 
@@ -879,12 +1033,52 @@ mod tests {
             CodicOp::write(u64::MAX),
             CodicOp::RowCloneZero { row_addr: 0x2000 },
             CodicOp::LisaCloneZero { row_addr: 0x4000 },
+            CodicOp::RowInit {
+                row_addr: 0x6000,
+                ones: false,
+            },
+            CodicOp::RowInit {
+                row_addr: 0x8000,
+                ones: true,
+            },
+            CodicOp::MajAnd { row_addr: 0xA000 },
+            CodicOp::MajOr { row_addr: 0xC000 },
+            CodicOp::Not {
+                src_addr: 0xE000,
+                dst_addr: 0x1_0000,
+            },
+            CodicOp::RowCopy {
+                src_addr: 0x1_2000,
+                dst_addr: 0x1_4000,
+            },
+            CodicOp::RowFill {
+                row_addr: 0x1_6000,
+                pattern: 0xA5A5_A5A5_A5A5_A5A5,
+            },
         ];
         for variant in VariantId::ALL {
             ops.push(CodicOp::command(variant, 0x8000));
         }
         round_trip(Frame::Batch(ops));
         round_trip(Frame::Batch(Vec::new()));
+    }
+
+    #[test]
+    fn variable_length_batches_must_walk_to_the_exact_end() {
+        // A batch whose count claims one more op than the units supply.
+        let ops = vec![
+            CodicOp::Not {
+                src_addr: 0x2000,
+                dst_addr: 0x4000,
+            },
+            CodicOp::read(0x40),
+        ];
+        let mut body = Vec::new();
+        encode_body(&Frame::Batch(ops), &mut body);
+        body[1] = 3; // count lies upward: the walk runs out of bytes
+        assert!(matches!(body_err(&body), ProtoError::BadLength { .. }));
+        body[1] = 1; // count lies downward: trailing bytes remain
+        assert!(matches!(body_err(&body), ProtoError::BadLength { .. }));
     }
 
     #[test]
@@ -903,7 +1097,70 @@ mod tests {
             busy_cycles: 39,
             activations: 2,
             energy_nj: 17.296_452_19,
+            fingerprint: 0,
         }));
+    }
+
+    #[test]
+    fn compute_completions_carry_their_fingerprint() {
+        // 9-byte compute op: 48-byte payload with a trailing fingerprint.
+        let maj = WireCompletion {
+            seq: 9,
+            shard: 2,
+            op: CodicOp::MajAnd { row_addr: 0x2_0000 },
+            finish_cycle: 4242,
+            busy_cycles: 55,
+            activations: 3,
+            energy_nj: 21.5,
+            fingerprint: 0xfeed_face_dead_beef,
+        };
+        let mut payload = Vec::new();
+        completion_payload(&maj, &mut payload);
+        assert_eq!(payload.len(), 48);
+        round_trip(Frame::Completion(maj));
+        // 17-byte compute op: 56-byte payload.
+        let not = WireCompletion {
+            op: CodicOp::Not {
+                src_addr: 0x2_0000,
+                dst_addr: 0x2_2000,
+            },
+            ..maj
+        };
+        let mut payload = Vec::new();
+        completion_payload(&not, &mut payload);
+        assert_eq!(payload.len(), 56);
+        round_trip(Frame::Completion(not));
+        // Classic ops stay byte-identical 40-byte v1 payloads: the
+        // pinned session checksums of fault-free replays are unchanged.
+        let mut payload = Vec::new();
+        completion_payload(
+            &WireCompletion {
+                op: CodicOp::read(0x40),
+                fingerprint: 0,
+                ..maj
+            },
+            &mut payload,
+        );
+        assert_eq!(payload.len(), 40);
+    }
+
+    #[test]
+    fn failures_of_two_address_ops_round_trip() {
+        let failure = WireFailure {
+            seq: 11,
+            shard: 1,
+            op: CodicOp::RowCopy {
+                src_addr: 0x2_0000,
+                dst_addr: 0x2_4000,
+            },
+            at_cycle: 88_888,
+            cause: FaultCause::Misfire,
+            attempts: 2,
+        };
+        let mut payload = Vec::new();
+        failure_payload(&failure, &mut payload);
+        assert_eq!(payload.len(), 37, "17-byte unit widens the payload by 8");
+        round_trip(Frame::Failed(failure));
     }
 
     #[test]
@@ -916,6 +1173,7 @@ mod tests {
             busy_cycles: 94,
             activations: 2,
             energy_nj: 34.5,
+            fingerprint: 0,
         };
         let mut via_frame = Vec::new();
         write_frame(&mut via_frame, &Frame::Completion(completion)).unwrap();

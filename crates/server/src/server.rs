@@ -71,6 +71,9 @@ pub struct ServerConfig {
     pub retry: RetryPolicy,
     /// When sessions quarantine their shards.
     pub health: HealthPolicy,
+    /// Default bulk-bitwise compute region, in rows at the top of the
+    /// module (0 = compute disabled; a `Hello` may request its own).
+    pub compute_rows: u64,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +90,7 @@ impl Default for ServerConfig {
             fault: None,
             retry: RetryPolicy::default(),
             health: HealthPolicy::default(),
+            compute_rows: 0,
         }
     }
 }
@@ -119,6 +123,14 @@ impl ServerConfig {
             1 => true,
             _ => self.refresh,
         };
+        // The compute region can never exceed the module (the HelloAck
+        // reports the honest effective row count).
+        let module_rows = DramGeometry::module_mib(module_mib).total_rows();
+        let compute_rows = match hello.compute_rows {
+            0 => self.compute_rows,
+            n => u64::from(n),
+        }
+        .min(module_rows);
         SessionParams {
             version: PROTOCOL_VERSION,
             shards: shards as u16,
@@ -126,11 +138,12 @@ impl ServerConfig {
             max_outstanding: max_outstanding as u32,
             target_rows_per_s,
             refresh: u8::from(refresh),
+            compute_rows: compute_rows as u32,
         }
     }
 
     /// The device configuration a session with `params` runs on.
-    /// Protocol v1 pins the timing to DDR3-1600 (11-11-11).
+    /// The protocol pins the timing to DDR3-1600 (11-11-11).
     #[must_use]
     pub fn device_config(params: &SessionParams) -> DeviceConfig {
         DeviceConfig::new(
@@ -138,6 +151,7 @@ impl ServerConfig {
             TimingParams::ddr3_1600_11(),
         )
         .with_refresh(params.refresh == 1)
+        .with_compute_rows(u64::from(params.compute_rows))
     }
 }
 
@@ -165,6 +179,7 @@ impl ReplayCompletion {
             busy_cycles: self.completion.cost.busy_cycles,
             activations: self.completion.cost.activations,
             energy_nj: self.completion.cost.energy_nj,
+            fingerprint: self.completion.fingerprint,
         }
     }
 
@@ -788,6 +803,7 @@ mod tests {
             max_outstanding,
             target_rows_per_s: 0,
             refresh: 0,
+            compute_rows: 0,
         }
     }
 
@@ -820,6 +836,7 @@ mod tests {
             max_outstanding: 1 << 30,
             target_rows_per_s: 5_000,
             refresh: 1,
+            compute_rows: u32::MAX,
         };
         let effective = server.negotiate(&aggressive);
         assert_eq!(effective.shards, 64, "shards are capped");
@@ -836,6 +853,19 @@ mod tests {
             "rate caps combine as min"
         );
         assert_eq!(effective.refresh, 1);
+        assert_eq!(
+            u64::from(effective.compute_rows),
+            DramGeometry::module_mib(128).total_rows(),
+            "compute region is clamped to the module"
+        );
+
+        // A server-side default region applies when the client defers.
+        let server = ServerConfig {
+            compute_rows: 64,
+            ..ServerConfig::default()
+        };
+        let effective = server.negotiate(&SessionParams::defaults());
+        assert_eq!(effective.compute_rows, 64);
     }
 
     #[test]

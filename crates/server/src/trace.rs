@@ -12,17 +12,27 @@
 //!                        precharge, sig, sig-opt, sig-alt, det0, det1,
 //!                        sigsa}
 //! zero <addr>            shorthand for `codic det0 <addr>`
+//! init0 <addr>           bulk-bitwise row init to all-zeros
+//! init1 <addr>           bulk-bitwise row init to all-ones
+//! maj-and <addr>         triple-row-activation majority (AND group)
+//! maj-or <addr>          triple-row-activation majority (OR group)
+//! not <src> <dst>        dual-contact NOT of one row into another
+//! copy <src> <dst>       in-DRAM row copy
+//! fill <addr> <pattern>  fill a row with a 64-bit pattern
 //! ```
 //!
-//! Addresses are byte addresses, decimal or `0x`-prefixed hex.
-//! [`parse_trace`] and [`format_trace`] round-trip; [`generate_mixed`]
-//! produces the deterministic mixed secure-deallocation / cold-boot
-//! workload the benchmarks, the bundled sample trace, and the end-to-end
-//! tests replay.
+//! Addresses (and the `fill` pattern) are decimal or `0x`-prefixed hex;
+//! addresses are byte addresses. [`parse_trace`] and [`format_trace`]
+//! round-trip; [`generate_mixed`] produces the deterministic mixed
+//! secure-deallocation / cold-boot workload the benchmarks, the bundled
+//! sample trace, and the end-to-end tests replay, and
+//! [`generate_bulk_bitwise`] produces the deterministic bulk-bitwise
+//! compute workload (planned vector AND/OR/XOR/ADD over random operands).
 
 use std::fmt;
 
 use codic_core::ops::{CodicOp, VariantId};
+use codic_core::simd::{SimdLayout, VecOp};
 use codic_dram::DramGeometry;
 
 /// A malformed trace line.
@@ -92,7 +102,8 @@ pub fn parse_trace(text: &str) -> Result<Vec<CodicOp>, TraceError> {
         let mut tokens = content.split_whitespace();
         let keyword = tokens.next().expect("non-empty line has a token");
         let op = match keyword {
-            "read" | "write" | "rowclone" | "lisaclone" | "zero" => {
+            "read" | "write" | "rowclone" | "lisaclone" | "zero" | "init0" | "init1"
+            | "maj-and" | "maj-or" => {
                 let addr = parse_addr(
                     tokens.next().ok_or_else(|| TraceError {
                         line,
@@ -105,7 +116,44 @@ pub fn parse_trace(text: &str) -> Result<Vec<CodicOp>, TraceError> {
                     "write" => CodicOp::write(addr),
                     "rowclone" => CodicOp::RowCloneZero { row_addr: addr },
                     "lisaclone" => CodicOp::LisaCloneZero { row_addr: addr },
+                    "init0" => CodicOp::RowInit {
+                        row_addr: addr,
+                        ones: false,
+                    },
+                    "init1" => CodicOp::RowInit {
+                        row_addr: addr,
+                        ones: true,
+                    },
+                    "maj-and" => CodicOp::MajAnd { row_addr: addr },
+                    "maj-or" => CodicOp::MajOr { row_addr: addr },
                     _ => CodicOp::command(VariantId::DetZero, addr),
+                }
+            }
+            "not" | "copy" | "fill" => {
+                let mut operand = |what: &str| {
+                    parse_addr(
+                        tokens.next().ok_or_else(|| TraceError {
+                            line,
+                            reason: format!("{keyword} needs {what}"),
+                        })?,
+                        line,
+                    )
+                };
+                let a = operand("a source address")?;
+                let b = operand("a second operand")?;
+                match keyword {
+                    "not" => CodicOp::Not {
+                        src_addr: a,
+                        dst_addr: b,
+                    },
+                    "copy" => CodicOp::RowCopy {
+                        src_addr: a,
+                        dst_addr: b,
+                    },
+                    _ => CodicOp::RowFill {
+                        row_addr: a,
+                        pattern: b,
+                    },
                 }
             }
             "codic" => {
@@ -156,6 +204,18 @@ pub fn format_trace(ops: &[CodicOp]) -> String {
             CodicOp::LisaCloneZero { row_addr } => format!("lisaclone {row_addr:#x}"),
             CodicOp::Command { variant, row_addr } => {
                 format!("codic {} {row_addr:#x}", variant_token(variant))
+            }
+            CodicOp::RowInit { row_addr, ones } => {
+                format!("init{} {row_addr:#x}", u8::from(ones))
+            }
+            CodicOp::MajAnd { row_addr } => format!("maj-and {row_addr:#x}"),
+            CodicOp::MajOr { row_addr } => format!("maj-or {row_addr:#x}"),
+            CodicOp::Not { src_addr, dst_addr } => format!("not {src_addr:#x} {dst_addr:#x}"),
+            CodicOp::RowCopy { src_addr, dst_addr } => {
+                format!("copy {src_addr:#x} {dst_addr:#x}")
+            }
+            CodicOp::RowFill { row_addr, pattern } => {
+                format!("fill {row_addr:#x} {pattern:#x}")
             }
         };
         out.push_str(&line);
@@ -235,6 +295,32 @@ pub fn generate_mixed(ops: usize, rows: u64, seed: u64) -> Vec<CodicOp> {
     out
 }
 
+/// Generates the deterministic bulk-bitwise compute workload: `rounds`
+/// passes over every [`VecOp`] (AND, OR, XOR, ADD), each seeding fresh
+/// pseudo-random `bits`-bit operands into a [`SimdLayout`] based at
+/// byte address `base` and then replaying the planner's row-operation
+/// sequence. Every emitted operation is a bulk-bitwise compute op
+/// ([`CodicOp::is_compute`]), so the whole trace must land inside an
+/// authorized compute region of at least
+/// [`SimdLayout::rows_needed`] rows at `base`.
+///
+/// The stream is a pure function of `(rounds, base, bits, seed)`.
+#[must_use]
+pub fn generate_bulk_bitwise(rounds: usize, base: u64, bits: u32, seed: u64) -> Vec<CodicOp> {
+    let layout = SimdLayout::new(base, bits);
+    let mut rng = XorShift64::new(seed);
+    let mut out = Vec::new();
+    for _ in 0..rounds {
+        for op in VecOp::ALL {
+            let a: Vec<u64> = (0..bits).map(|_| rng.next_u64()).collect();
+            let b: Vec<u64> = (0..bits).map(|_| rng.next_u64()).collect();
+            out.extend(layout.seed(&a, &b));
+            out.extend(layout.plan(op));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,8 +336,57 @@ mod tests {
         for variant in VariantId::ALL {
             ops.push(CodicOp::command(variant, 0x8000));
         }
+        ops.extend([
+            CodicOp::RowInit {
+                row_addr: 0x6000,
+                ones: false,
+            },
+            CodicOp::RowInit {
+                row_addr: 0x8000,
+                ones: true,
+            },
+            CodicOp::MajAnd { row_addr: 0xA000 },
+            CodicOp::MajOr { row_addr: 0xC000 },
+            CodicOp::Not {
+                src_addr: 0xE000,
+                dst_addr: 0x1_0000,
+            },
+            CodicOp::RowCopy {
+                src_addr: 0x1_2000,
+                dst_addr: 0x1_4000,
+            },
+            CodicOp::RowFill {
+                row_addr: 0x1_6000,
+                pattern: 0xDEAD_BEEF_0123_4567,
+            },
+        ]);
         let text = format_trace(&ops);
         assert_eq!(parse_trace(&text).unwrap(), ops);
+    }
+
+    #[test]
+    fn bulk_bitwise_lines_parse_operands_and_report_errors() {
+        let ops = parse_trace("init0 0x2000\nnot 0x2000 0x4000\nfill 0x6000 0xff\n").unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                CodicOp::RowInit {
+                    row_addr: 0x2000,
+                    ones: false,
+                },
+                CodicOp::Not {
+                    src_addr: 0x2000,
+                    dst_addr: 0x4000,
+                },
+                CodicOp::RowFill {
+                    row_addr: 0x6000,
+                    pattern: 0xff,
+                },
+            ]
+        );
+        assert_eq!(parse_trace("not 0x2000\n").unwrap_err().line, 1);
+        assert_eq!(parse_trace("maj-and\n").unwrap_err().line, 1);
+        assert_eq!(parse_trace("copy 1 2 3\n").unwrap_err().line, 1);
     }
 
     #[test]
@@ -314,5 +449,29 @@ mod tests {
     fn generated_traces_round_trip_through_the_text_format() {
         let ops = generate_mixed(2_000, 4096, 42);
         assert_eq!(parse_trace(&format_trace(&ops)).unwrap(), ops);
+        let bitwise = generate_bulk_bitwise(1, 0x10_0000, 8, 42);
+        assert_eq!(parse_trace(&format_trace(&bitwise)).unwrap(), bitwise);
+    }
+
+    #[test]
+    fn bulk_bitwise_traces_are_deterministic_compute_only_and_confined() {
+        let base = 0x40_0000;
+        let a = generate_bulk_bitwise(2, base, 8, 7);
+        assert_eq!(a, generate_bulk_bitwise(2, base, 8, 7));
+        assert_ne!(a, generate_bulk_bitwise(2, base, 8, 8), "seed matters");
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|op| op.is_compute()));
+        let layout = SimdLayout::new(base, 8);
+        let end = base + layout.rows_needed() * DramGeometry::ROW_BYTES;
+        assert!(a
+            .iter()
+            .flat_map(|op| op.written_rows().row_addrs())
+            .all(|addr| (base..end).contains(&addr)));
+        // All four vector operations appear each round: MAJ groups from
+        // AND and OR conventions, NOTs from the XOR decomposition.
+        assert!(a.iter().any(|op| matches!(op, CodicOp::MajAnd { .. })));
+        assert!(a.iter().any(|op| matches!(op, CodicOp::MajOr { .. })));
+        assert!(a.iter().any(|op| matches!(op, CodicOp::Not { .. })));
+        assert!(a.iter().any(|op| matches!(op, CodicOp::RowFill { .. })));
     }
 }

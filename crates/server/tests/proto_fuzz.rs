@@ -43,6 +43,23 @@ fn corpus() -> Vec<Frame> {
         busy_cycles: 120,
         activations: 2,
         energy_nj: 17.25,
+        fingerprint: 0,
+    };
+    // A compute completion carries the trailing row fingerprint, and a
+    // two-address compute op stretches both payloads to their longest
+    // layout — the fuzz campaigns must cover those variable tails too.
+    let compute_completion = WireCompletion {
+        seq: 43,
+        shard: 0,
+        op: CodicOp::Not {
+            src_addr: 0x10_0000,
+            dst_addr: 0x10_2000,
+        },
+        finish_cycle: 11_000,
+        busy_cycles: 90,
+        activations: 2,
+        energy_nj: 5.5,
+        fingerprint: 0xfeed_face_dead_beef,
     };
     let failure = WireFailure {
         seq: 42,
@@ -51,6 +68,17 @@ fn corpus() -> Vec<Frame> {
         at_cycle: 10_000,
         cause: FaultCause::Misfire,
         attempts: 3,
+    };
+    let compute_failure = WireFailure {
+        seq: 44,
+        shard: 2,
+        op: CodicOp::RowCopy {
+            src_addr: 0x10_0000,
+            dst_addr: 0x10_4000,
+        },
+        at_cycle: 12_000,
+        cause: FaultCause::Misfire,
+        attempts: 1,
     };
     vec![
         Frame::Hello(SessionParams::defaults()),
@@ -61,10 +89,42 @@ fn corpus() -> Vec<Frame> {
             CodicOp::command(VariantId::Sig, 8192),
             CodicOp::LisaCloneZero { row_addr: 0 },
         ]),
+        // A compute-only batch mixes 9- and 17-byte op units, so the
+        // corruption campaigns strike the walking decode mid-unit.
+        Frame::Batch(vec![
+            CodicOp::RowInit {
+                row_addr: 0x10_0000,
+                ones: false,
+            },
+            CodicOp::RowInit {
+                row_addr: 0x10_2000,
+                ones: true,
+            },
+            CodicOp::MajAnd {
+                row_addr: 0x10_0000,
+            },
+            CodicOp::MajOr {
+                row_addr: 0x10_2000,
+            },
+            CodicOp::Not {
+                src_addr: 0x10_0000,
+                dst_addr: 0x10_4000,
+            },
+            CodicOp::RowCopy {
+                src_addr: 0x10_4000,
+                dst_addr: 0x10_6000,
+            },
+            CodicOp::RowFill {
+                row_addr: 0x10_8000,
+                pattern: 0xa5a5_a5a5_a5a5_a5a5,
+            },
+        ]),
         Frame::Flush,
         Frame::Bye,
         Frame::Completion(completion),
+        Frame::Completion(compute_completion),
         Frame::Failed(failure),
+        Frame::Failed(compute_failure),
         Frame::Batched(BatchAck {
             accepted: 4,
             seq_base: 12,

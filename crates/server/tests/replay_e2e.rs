@@ -146,6 +146,89 @@ fn hundred_k_row_trace_round_trips_bit_identical_to_the_direct_run() {
 }
 
 #[test]
+fn bulk_bitwise_compute_replays_value_verified_over_the_socket() {
+    use codic_core::data::{row_fingerprint, RowWords, WORDS_PER_ROW};
+    use codic_core::simd::{reference, SimdLayout, VecOp};
+    use codic_dram::geometry::DramGeometry;
+
+    // A compute region spanning the top 64 rows of the default module,
+    // with an 8-bit-lane layout inside it.
+    let compute_rows = 64u64;
+    let total_rows = DramGeometry::module_mib(64).total_rows();
+    let base = (total_rows - compute_rows) * DramGeometry::ROW_BYTES;
+    let layout = SimdLayout::new(base, 8);
+    assert!(layout.rows_needed() <= compute_rows);
+    let a: Vec<u64> = (0..8)
+        .map(|i| 0x9e37_79b9_7f4a_7c15u64.rotate_left(i * 7))
+        .collect();
+    let b: Vec<u64> = (0..8)
+        .map(|i| 0xc2b2_ae35_27d4_eb4fu64.rotate_left(i * 11))
+        .collect();
+
+    // Each planned VecOp, with the expected fingerprint of every result
+    // row — computed from the *scalar* reference, independent of the
+    // data plane the server runs.
+    let mut ops = Vec::new();
+    let mut expected = Vec::new(); // (seq of last write to D[bit], fingerprint)
+    for vec_op in VecOp::ALL {
+        ops.extend(layout.seed(&a, &b));
+        let plan = layout.plan(vec_op);
+        let plan_base = ops.len();
+        let want = reference(vec_op, &a, &b);
+        for bit in 0..layout.bits() {
+            let last_write = plan
+                .iter()
+                .rposition(|op| {
+                    op.written_rows()
+                        .row_addrs()
+                        .any(|r| r == layout.d_row(bit))
+                })
+                .expect("every result row is written");
+            let mut row: RowWords = [0u64; WORDS_PER_ROW];
+            row.fill(want[bit as usize]);
+            expected.push((plan_base + last_write, row_fingerprint(&row)));
+        }
+        ops.extend(plan);
+    }
+    // The text format is part of the path under test.
+    let ops = parse_trace(&format_trace(&ops)).expect("bitwise trace round-trips");
+
+    let hello = SessionParams {
+        compute_rows: compute_rows as u32,
+        ..SessionParams::defaults()
+    };
+    let report = with_server("bitwise", ServerConfig::default(), 1, |socket| {
+        replay(socket, &hello, &ops, 256).expect("bitwise session")
+    });
+    assert_eq!(report.params.compute_rows, compute_rows as u32);
+    assert_eq!(report.summary.ops, ops.len() as u64);
+    assert_eq!(report.summary.failed, 0);
+
+    // Bit-identity (cycles, energy, order, fingerprints) against the
+    // in-process reference.
+    verify_against_reference(&report, &ops, 256).expect("bitwise stream verifies");
+
+    // Value verification: the served fingerprint of the last write to
+    // each result row must equal the fingerprint of the row the scalar
+    // reference predicts.
+    let by_seq: HashMap<u64, &WireCompletion> =
+        report.completions.iter().map(|c| (c.seq, c)).collect();
+    for (seq, fingerprint) in expected {
+        let served = by_seq[&(seq as u64)];
+        assert_eq!(
+            served.fingerprint, fingerprint,
+            "seq {seq} ({:?}): served result row diverges from the scalar reference",
+            served.op
+        );
+    }
+
+    // Compute completions carry a real fingerprint on the wire; classic
+    // ops in other sessions still serve the 40-byte payload (pinned by
+    // the fault-free smoke), so the two families coexist.
+    assert!(report.completions.iter().all(|c| c.op.is_compute()));
+}
+
+#[test]
 fn concurrent_sessions_are_independent_and_both_verify() {
     let ops_a = generate_mixed(6_000, 8192, 11);
     let ops_b = generate_mixed(6_000, 8192, 22);
