@@ -38,7 +38,12 @@
 //! in-process `codic_server::ReplayServer` (framed batches in, typed
 //! completions out) and reports the client-observed serving rate; the
 //! first session is verified bit-identical against the in-process
-//! reference replay.
+//! reference replay. Four variants serve the identical trace: the
+//! default batched v3 `Events` transport at 1 and N shards, the
+//! unbatched v2 transport (one frame per completion), and the
+//! worker-pipelined engine (one thread per shard behind SPSC rings) —
+//! all pinned to one session checksum, so the speedups compare
+//! identical streams.
 //!
 //! A sixth — **bulk-bitwise compute serving** — replays the
 //! deterministic SIMD workload (planned vector AND/OR/XOR/ADD over
@@ -51,9 +56,10 @@
 //!
 //! `--quick` runs only the engine cross-checks — the sweep tick-vs-event
 //! comparison, the queue-depth workload's tick-vs-event and
-//! legacy-vs-live identity checks, and one value-verified bulk-bitwise
-//! serving session — and exits non-zero on any divergence; the CI smoke
-//! step.
+//! legacy-vs-live identity checks, the batched-vs-unbatched and
+//! workers-vs-inline transport checksum identity, and one value-verified
+//! bulk-bitwise serving session — and exits non-zero on any divergence;
+//! the CI smoke step.
 
 use std::time::Instant;
 
@@ -146,13 +152,31 @@ fn coldboot_sweep(config: &DeviceConfig, shards: usize, reps: u64) -> Measured {
 /// framed transport (Hello/Batch/Completion/Summary). The first session
 /// is additionally verified bit-identical against the in-process
 /// reference replay, so the measured path is the checked path.
-fn replay_serving(shards: usize, ops_count: u64, reps: u64, timing: &TimingParams) -> Measured {
+///
+/// `version` picks the wire transport (3 = batched `Events` frames, 2 =
+/// one frame per completion) and `workers` the engine (pipelined shard
+/// workers vs inline pool); the session checksum is returned so the
+/// caller can pin all variants to one identical stream.
+fn replay_serving(
+    shards: usize,
+    ops_count: u64,
+    reps: u64,
+    timing: &TimingParams,
+    version: u16,
+    workers: bool,
+) -> (Measured, u64) {
     let socket = std::env::temp_dir().join(format!(
-        "codic-bench-{}-{}.sock",
+        "codic-bench-{}-{}-v{}{}.sock",
         std::process::id(),
-        shards
+        shards,
+        version,
+        if workers { "-w" } else { "" }
     ));
-    let server = ReplayServer::bind(&socket, ServerConfig::default()).expect("bind bench socket");
+    let config = ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    };
+    let server = ReplayServer::bind(&socket, config).expect("bind bench socket");
     // One warm-up session (inside `time`) plus `reps` measured ones.
     let sessions = reps as usize + 1;
     let serving = std::thread::spawn(move || server.serve_connections(sessions).expect("serve"));
@@ -160,6 +184,7 @@ fn replay_serving(shards: usize, ops_count: u64, reps: u64, timing: &TimingParam
     let batch = 1024;
     let hello = SessionParams {
         shards: shards as u16,
+        version,
         ..SessionParams::defaults()
     };
     let mut first = true;
@@ -172,12 +197,13 @@ fn replay_serving(shards: usize, ops_count: u64, reps: u64, timing: &TimingParam
         report
     });
     serving.join().expect("server thread");
-    Measured {
+    let measured = Measured {
         host_s,
         dram_ns: timing.ns(report.summary.max_finish_cycle),
         rows: report.summary.ops,
         energy_nj: report.summary.total_energy_nj,
-    }
+    };
+    (measured, report.checksum)
 }
 
 /// Bulk-bitwise compute serving: the deterministic SIMD workload
@@ -618,6 +644,21 @@ fn main() {
         // value-verified against the scalar-backed reference replay
         // (bulk_bitwise_serving asserts, so a divergence exits non-zero).
         let bitwise = bulk_bitwise_serving(1, 1, 1, &timing);
+        // Transport identity: the same trace served over the batched v3
+        // Events transport, the unbatched v2 transport, and the
+        // worker-pipelined engine must land on one session checksum —
+        // the wire framing and the threading change throughput only.
+        let (_, batched) = replay_serving(2, 2048, 1, &timing, 3, false);
+        let (_, unbatched) = replay_serving(2, 2048, 1, &timing, 2, false);
+        let (_, pipelined) = replay_serving(2, 2048, 1, &timing, 3, true);
+        assert_eq!(
+            batched, unbatched,
+            "batched v3 and unbatched v2 transports diverged"
+        );
+        assert_eq!(
+            batched, pipelined,
+            "worker-pipelined serving diverged from the inline engine"
+        );
         println!("{{");
         println!("  \"bench\": \"device_engine_smoke\",");
         println!("  \"results\": [");
@@ -628,6 +669,10 @@ fn main() {
         println!("    \"outstanding\": {depth},");
         println!("    \"finish_cycle\": {depth_finish},");
         println!("    \"identical\": [\"tick_vs_event\", \"legacy_vs_indexed\"]");
+        println!("  }},");
+        println!("  \"transport_smoke\": {{");
+        println!("    \"checksum\": \"{batched:#018x}\",");
+        println!("    \"identical\": [\"batched_vs_unbatched\", \"workers_vs_inline\"]");
         println!("  }},");
         println!("  \"bulk_bitwise_smoke\": {{");
         println!("    \"ops\": {},", bitwise.rows);
@@ -678,11 +723,28 @@ fn main() {
     }
     // Trace-replay serving over the Unix-socket transport (identity-
     // verified against the in-process reference on the first session).
+    // Four variants over one trace: the default batched v3 transport at
+    // 1 and N shards, the unbatched v2 transport, and the
+    // worker-pipelined engine — every variant must land on the same
+    // session checksum (the transport and the threading change
+    // throughput only, never the stream).
     let serve_ops = 8 * rows;
-    let serve1 = replay_serving(1, serve_ops, reps, &timing);
+    let (serve1, _) = replay_serving(1, serve_ops, reps, &timing, 3, false);
     print_entry("replay_serving", 1, &serve1, false);
-    let serven = replay_serving(max_shards, serve_ops, reps, &timing);
+    let (serven, serven_sum) = replay_serving(max_shards, serve_ops, reps, &timing, 3, false);
     print_entry("replay_serving", max_shards, &serven, false);
+    let (unbatched, unbatched_sum) = replay_serving(max_shards, serve_ops, reps, &timing, 2, false);
+    print_entry("replay_serving_unbatched", max_shards, &unbatched, false);
+    let (workers, workers_sum) = replay_serving(max_shards, serve_ops, reps, &timing, 3, true);
+    print_entry("replay_serving_workers", max_shards, &workers, false);
+    assert_eq!(
+        serven_sum, unbatched_sum,
+        "batched v3 and unbatched v2 transports diverged"
+    );
+    assert_eq!(
+        serven_sum, workers_sum,
+        "worker-pipelined serving diverged from the inline engine"
+    );
     // Bulk-bitwise compute serving: the SIMD workload over the socket,
     // value-verified via row fingerprints on the first session.
     let bitwise1 = bulk_bitwise_serving(1, 4, reps, &timing);
@@ -714,6 +776,18 @@ fn main() {
     println!(
         "  \"replay_serving_rows_per_s\": {:.0},",
         serven.rows as f64 / serven.host_s
+    );
+    println!(
+        "  \"replay_serving_unbatched_rows_per_s\": {:.0},",
+        unbatched.rows as f64 / unbatched.host_s
+    );
+    println!(
+        "  \"replay_serving_workers_rows_per_s\": {:.0},",
+        workers.rows as f64 / workers.host_s
+    );
+    println!(
+        "  \"batched_transport_speedup\": {:.2},",
+        (unbatched.host_s / unbatched.rows as f64) / (serven.host_s / serven.rows as f64)
     );
     println!(
         "  \"bulk_bitwise_rows_per_s\": {:.0}",

@@ -541,6 +541,21 @@ impl CodicDevice {
     /// when §4.4's rules reject the operation.
     pub fn submit(&mut self, op: CodicOp) -> Result<OpToken, CodicError> {
         self.policy.check_safe_range(op)?;
+        self.submit_inner(op, None)
+    }
+
+    /// The post-policy submission path shared by every submit flavor:
+    /// callers have already run [`CodicController::check_safe_range`]
+    /// (directly, or batched at the pool/batch boundary), so the per-op
+    /// loop pays only the memoized authorization, the cost memo, and
+    /// the queue push. `waiter` is installed into the pending entry at
+    /// insert time — the async path no longer pays a second `IdMap`
+    /// lookup to attach it after the fact.
+    fn submit_inner(
+        &mut self,
+        op: CodicOp,
+        waiter: Option<SlotHandle>,
+    ) -> Result<OpToken, CodicError> {
         self.install_for(op);
         // The full §4.4 authorization (variant match + range), memoized
         // by the variant the op requires: the first op of a stream runs
@@ -586,7 +601,7 @@ impl CodicDevice {
                             op,
                             cost,
                             fingerprint,
-                            waiter: None,
+                            waiter,
                             attempts: 1,
                             op_index,
                             will_fail,
@@ -622,15 +637,26 @@ impl CodicDevice {
     ///
     /// Returns the policy error exactly as [`CodicDevice::submit`] does.
     pub fn submit_async(&mut self, op: CodicOp) -> Result<OpFuture, CodicError> {
-        let token = self.submit(op)?;
+        self.policy.check_safe_range(op)?;
+        self.submit_async_prechecked(op)
+    }
+
+    /// [`CodicDevice::submit_async`] minus the safe-range check, for
+    /// callers that already pre-flighted the whole batch (the pool's
+    /// all-or-nothing routed path). The future's slot is claimed first
+    /// and handed to `submit_inner`, so the waiter rides the pending
+    /// insert instead of a second lookup; if submission fails the
+    /// returned-early future drops and releases its slot.
+    pub(crate) fn submit_async_prechecked(&mut self, op: CodicOp) -> Result<OpFuture, CodicError> {
         let (future, handle) = self.futures.claim();
-        // Nothing advances the clock between the submit above and this
-        // point, so the operation cannot have completed waiterless.
-        self.pending
-            .get_mut(token.0 .0)
-            .expect("operation was just submitted")
-            .waiter = Some(handle);
+        self.submit_inner(op, Some(handle))?;
         Ok(future)
+    }
+
+    /// [`CodicDevice::submit`] minus the safe-range check, for callers
+    /// that already pre-flighted the whole batch.
+    pub(crate) fn submit_prechecked(&mut self, op: CodicOp) -> Result<OpToken, CodicError> {
+        self.submit_inner(op, None)
     }
 
     /// The controller request and accounted cost `op` maps to: a
@@ -665,7 +691,7 @@ impl CodicDevice {
         for op in ops {
             self.policy.check_safe_range(*op)?;
         }
-        ops.iter().map(|&op| self.submit(op)).collect()
+        ops.iter().map(|&op| self.submit_inner(op, None)).collect()
     }
 
     /// Advances one memory cycle and harvests any completions.
@@ -684,6 +710,34 @@ impl CodicDevice {
         self.mc.tick_reference();
         self.harvest();
         self.pump_retries();
+    }
+
+    /// The cycle of the next event [`CodicDevice::step`] could act on —
+    /// the earliest of the scheduler's event horizon and any misfire
+    /// retry coming due — or `u64::MAX` when there is none (idle, or
+    /// wedged at an injected clock ceiling). `u64::MAX` guarantees
+    /// `step()` would be a no-op returning `false`, which is what lets
+    /// [`DevicePool::step`](crate::pool::DevicePool::step) and
+    /// [`DevicePool::drive`](crate::pool::DevicePool::drive) skip this
+    /// shard entirely instead of visiting it every iteration.
+    #[must_use]
+    pub fn next_event_cycle(&self) -> u64 {
+        let ceiling = self.mc.clock_fault();
+        let mut next = u64::MAX;
+        if !self.mc.is_idle() {
+            let event = self.mc.next_event_cycle();
+            if ceiling.is_none_or(|c| event <= c) {
+                next = event;
+            }
+        }
+        if let Some(fault) = &self.fault {
+            if let Some(due) = fault.retries.iter().map(|r| r.not_before).min() {
+                if ceiling.is_none_or(|c| due <= c) {
+                    next = next.min(due);
+                }
+            }
+        }
+        next
     }
 
     /// The clock-driver step: advances the engine to its next event (at

@@ -331,7 +331,8 @@ impl DevicePool {
         ops.iter()
             .zip(&shards)
             .map(|(&op, &shard)| {
-                let (shard, token) = self.submit_routed(op, shard, CodicDevice::submit)?;
+                let (shard, token) =
+                    self.submit_routed(op, shard, CodicDevice::submit_prechecked)?;
                 Ok(PoolToken { shard, token })
             })
             .collect()
@@ -418,9 +419,15 @@ impl DevicePool {
         ops: &[CodicOp],
     ) -> Result<Vec<(usize, OpFuture)>, CodicError> {
         let shards = self.route_checked(ops)?;
+        // `route_checked` already ran every op through the safe-range
+        // policy (same config on every shard, so a mid-batch re-route
+        // cannot invalidate the check): the per-op loop takes the
+        // prechecked path and skips the redundant policy pass.
         ops.iter()
             .zip(&shards)
-            .map(|(&op, &shard)| self.submit_routed(op, shard, CodicDevice::submit_async))
+            .map(|(&op, &shard)| {
+                self.submit_routed(op, shard, CodicDevice::submit_async_prechecked)
+            })
             .collect()
     }
 
@@ -435,10 +442,28 @@ impl DevicePool {
     /// Runs every shard to idle on rayon worker threads; returns the
     /// slowest shard's finish cycle.
     pub fn run_to_idle(&mut self) -> u64 {
-        self.map_devices(CodicDevice::run_to_idle)
-            .into_iter()
-            .max()
-            .unwrap_or(0)
+        // Shards with no actionable event would run-to-idle as a no-op;
+        // skip them (their clocks stay put, contributing only `now`)
+        // and skip the rayon dispatch entirely when every shard is
+        // quiet — serving loops flush at every batch boundary, where
+        // most shards are usually already drained.
+        if self
+            .devices
+            .iter()
+            .all(|d| d.next_event_cycle() == u64::MAX)
+        {
+            return self.devices.iter().map(CodicDevice::now).max().unwrap_or(0);
+        }
+        self.map_devices(|d| {
+            if d.next_event_cycle() == u64::MAX {
+                d.now()
+            } else {
+                d.run_to_idle()
+            }
+        })
+        .into_iter()
+        .max()
+        .unwrap_or(0)
     }
 
     /// Advances every busy shard by one engine event — the incremental
@@ -452,7 +477,12 @@ impl DevicePool {
     pub fn step(&mut self) -> bool {
         let mut advanced = false;
         for device in &mut self.devices {
-            advanced |= device.step();
+            // `u64::MAX` guarantees `step()` would be a no-op; skipping
+            // the shard is state-identical and keeps the backpressure
+            // loop from re-visiting drained shards every iteration.
+            if device.next_event_cycle() != u64::MAX {
+                advanced |= device.step();
+            }
         }
         advanced
     }

@@ -1,0 +1,326 @@
+//! Bounded single-producer / single-consumer rings, std-only.
+//!
+//! The shard-worker pipeline ([`crate::worker`]) feeds each worker
+//! thread through one of these rings: the session thread pushes work
+//! items, the worker pops them, and replies travel back over a second
+//! ring pointing the other way. Like [`crate::executor`], this module
+//! uses nothing beyond the standard library — a fixed ring of slots
+//! with monotonically increasing head/tail counters, release/acquire
+//! publication, and `thread::park` blocking with a short timed backstop
+//! so a lost wakeup can only ever cost microseconds, never liveness.
+//!
+//! A ring of capacity ≥ 1 can never have both sides blocked at once
+//! (full ⇒ non-empty, empty ⇒ non-full), so a single shared waiter
+//! slot is enough for both directions.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, Thread};
+use std::time::Duration;
+
+/// Backstop park duration: if a wakeup is lost to the (benign) race of
+/// both sides registering in the single waiter slot, the parked side
+/// re-checks on its own after this long.
+const PARK_BACKSTOP: Duration = Duration::from_micros(200);
+
+/// The other side of the channel has been dropped; for sends the
+/// rejected value is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Disconnected<T>(pub T);
+
+/// The ring is full (`try_send`) and the value is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// No free slot right now; retry or block.
+    Full(T),
+    /// The receiver is gone; the value can never be delivered.
+    Disconnected(T),
+}
+
+struct Shared<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next index the consumer will read. Only the consumer advances it.
+    head: AtomicUsize,
+    /// Next index the producer will write. Only the producer advances it.
+    tail: AtomicUsize,
+    /// Set when either side is dropped.
+    closed: AtomicBool,
+    /// The currently blocked side's thread handle, if any.
+    waiter: Mutex<Option<Thread>>,
+}
+
+// SAFETY: the producer only ever writes the slot at `tail` and the
+// consumer only ever reads the slot at `head`; the release store of the
+// advanced counter publishes the slot contents to the other side.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Shared<T> {
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Parks the calling thread until the other side wakes it (or the
+    /// backstop fires). `ready` is re-checked after registration so a
+    /// state change that raced the registration is never slept through.
+    fn park_until(&self, ready: impl Fn() -> bool) {
+        *self.waiter.lock().expect("spsc waiter poisoned") = Some(thread::current());
+        if !ready() && !self.closed.load(Ordering::Acquire) {
+            thread::park_timeout(PARK_BACKSTOP);
+        }
+        self.waiter.lock().expect("spsc waiter poisoned").take();
+    }
+
+    /// Wakes whichever side is blocked, if any.
+    fn wake(&self) {
+        if let Some(thread) = self.waiter.lock().expect("spsc waiter poisoned").take() {
+            thread.unpark();
+        }
+    }
+}
+
+/// The producing half of a bounded SPSC ring.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming half of a bounded SPSC ring.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded ring with room for `capacity` in-flight items.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero — a rendezvous channel would let both
+/// sides block at once, which the single waiter slot does not support.
+pub fn channel<T: Send>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "spsc ring capacity must be at least 1");
+    let slots = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let shared = Arc::new(Shared {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+        waiter: Mutex::new(None),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Attempts to push without blocking.
+    pub fn try_send(&mut self, value: T) -> Result<(), TrySendError<T>> {
+        let shared = &self.shared;
+        if shared.closed.load(Ordering::Acquire) {
+            return Err(TrySendError::Disconnected(value));
+        }
+        let tail = shared.tail.load(Ordering::Relaxed);
+        let head = shared.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= shared.capacity() {
+            return Err(TrySendError::Full(value));
+        }
+        let slot = shared.slots[tail % shared.capacity()].get();
+        // SAFETY: `head..tail` never covers this slot (the ring is not
+        // full), so the consumer is not reading it; only this producer
+        // writes, and the release store below publishes the write.
+        unsafe { (*slot).write(value) };
+        shared.tail.store(tail.wrapping_add(1), Ordering::Release);
+        shared.wake();
+        Ok(())
+    }
+
+    /// Pushes, blocking while the ring is full.
+    pub fn send(&mut self, value: T) -> Result<(), Disconnected<T>> {
+        let mut value = value;
+        loop {
+            match self.try_send(value) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(v)) => return Err(Disconnected(v)),
+                Err(TrySendError::Full(v)) => {
+                    value = v;
+                    let shared = Arc::clone(&self.shared);
+                    let capacity = shared.capacity();
+                    shared.park_until(|| {
+                        let tail = shared.tail.load(Ordering::Relaxed);
+                        let head = shared.head.load(Ordering::Acquire);
+                        tail.wrapping_sub(head) < capacity
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Attempts to pop without blocking. `None` means "empty right
+    /// now", not "closed" — use [`recv`](Self::recv) to distinguish.
+    pub fn try_recv(&mut self) -> Option<T> {
+        let shared = &self.shared;
+        let head = shared.head.load(Ordering::Relaxed);
+        let tail = shared.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = shared.slots[head % shared.capacity()].get();
+        // SAFETY: `head != tail`, so the producer has published this
+        // slot (acquire on `tail`) and will not touch it again until
+        // the head advance below frees it.
+        let value = unsafe { (*slot).assume_init_read() };
+        shared.head.store(head.wrapping_add(1), Ordering::Release);
+        shared.wake();
+        Some(value)
+    }
+
+    /// Pops, blocking while the ring is empty. Returns `None` only once
+    /// the sender is gone *and* every queued item has been drained.
+    pub fn recv(&mut self) -> Option<T> {
+        loop {
+            if let Some(value) = self.try_recv() {
+                return Some(value);
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                // The close synchronized with the producer's final
+                // push, so one more drain sees everything.
+                return self.try_recv();
+            }
+            let shared = Arc::clone(&self.shared);
+            shared.park_until(|| {
+                shared.head.load(Ordering::Relaxed) != shared.tail.load(Ordering::Acquire)
+            });
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        self.shared.wake();
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        self.shared.wake();
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        let capacity = self.slots.len();
+        for index in head..tail {
+            // SAFETY: sole owner at drop time; `head..tail` holds the
+            // initialized, undelivered items.
+            unsafe { (*self.slots[index % capacity].get()).assume_init_drop() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved_across_threads() {
+        let (mut tx, mut rx) = channel::<u64>(8);
+        let producer = thread::spawn(move || {
+            for i in 0..10_000u64 {
+                tx.send(i).expect("receiver alive");
+            }
+        });
+        for expect in 0..10_000u64 {
+            assert_eq!(rx.recv(), Some(expect));
+        }
+        producer.join().expect("producer thread");
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn try_send_respects_capacity_and_try_recv_drains() {
+        let (mut tx, mut rx) = channel::<u32>(3);
+        for i in 0..3 {
+            tx.try_send(i).expect("room");
+        }
+        assert_eq!(tx.try_send(99), Err(TrySendError::Full(99)));
+        assert_eq!(rx.try_recv(), Some(0));
+        tx.try_send(3).expect("slot freed");
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(rx.try_recv(), Some(3));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn dropping_the_receiver_fails_sends_with_the_value_back() {
+        let (mut tx, rx) = channel::<String>(2);
+        drop(rx);
+        assert_eq!(
+            tx.send("lost".to_string()),
+            Err(Disconnected("lost".to_string()))
+        );
+        assert_eq!(
+            tx.try_send("also lost".to_string()),
+            Err(TrySendError::Disconnected("also lost".to_string()))
+        );
+    }
+
+    #[test]
+    fn dropping_the_sender_drains_queued_items_then_reports_closed() {
+        let (mut tx, mut rx) = channel::<u32>(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn undelivered_items_are_dropped_with_the_ring() {
+        let witness = Arc::new(());
+        let (mut tx, rx) = channel::<Arc<()>>(4);
+        for _ in 0..3 {
+            tx.send(Arc::clone(&witness)).unwrap();
+        }
+        assert_eq!(Arc::strong_count(&witness), 4);
+        drop(tx);
+        drop(rx);
+        assert_eq!(Arc::strong_count(&witness), 1);
+    }
+
+    #[test]
+    fn blocking_send_waits_for_the_consumer() {
+        let (mut tx, mut rx) = channel::<u64>(2);
+        let producer = thread::spawn(move || {
+            for i in 0..1_000u64 {
+                tx.send(i).expect("receiver alive");
+            }
+        });
+        // Drain slowly from this thread; the producer must block on the
+        // full ring rather than drop or reorder anything.
+        for expect in 0..1_000u64 {
+            loop {
+                if let Some(got) = rx.try_recv() {
+                    assert_eq!(got, expect);
+                    break;
+                }
+                thread::yield_now();
+            }
+        }
+        producer.join().expect("producer thread");
+    }
+}

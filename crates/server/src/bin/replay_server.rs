@@ -7,11 +7,16 @@
 //! ```text
 //! replay-server [--socket PATH] [--shards N] [--module-mib M]
 //!               [--max-outstanding K] [--max-rows-per-sec R]
-//!               [--refresh] [--connections N] [--compute-rows C]
+//!               [--refresh] [--workers] [--connections N]
+//!               [--compute-rows C]
 //!               [--fault-seed S] [--misfire-per-64k P]
 //!               [--stuck-shard I --stuck-at CYCLE]
 //!               [--retry-attempts A]
 //! ```
+//!
+//! `--workers` serves every session through pipelined shard workers
+//! (one thread per shard behind SPSC rings) instead of the inline pool;
+//! the completion stream is bit-identical, the host throughput higher.
 //!
 //! `--compute-rows C` reserves the top C rows of every session's module
 //! as the default bulk-bitwise compute region (a `Hello` may request
@@ -55,6 +60,7 @@ fn main() -> ExitCode {
         retry,
         health: defaults.health,
         compute_rows: arg_u64("--compute-rows").unwrap_or(0),
+        workers: has_flag("--workers"),
     };
     let connections = arg_u64("--connections");
 

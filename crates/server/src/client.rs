@@ -5,6 +5,9 @@
 //! `Batch` frames, `Bye`, `Summary` — collecting every typed completion
 //! and recomputing the session checksum from the received frames, so a
 //! server-side accounting divergence is caught with one `u64` compare.
+//! The client absorbs both transports transparently: batched `Events`
+//! frames (protocol ≥ 3, the default `Hello`) and the per-op
+//! `Completion`/`Failed` frames a v2 session streams.
 //!
 //! [`verify_against_reference`] then replays the identical batching
 //! discipline in process (through [`ReplayEngine`], the same core the
@@ -21,8 +24,8 @@ use std::time::{Duration, Instant};
 use codic_core::ops::CodicOp;
 
 use crate::proto::{
-    self, read_frame, write_frame, ErrorCode, Fnv64, Frame, ProtoError, SessionParams, Summary,
-    WireCompletion, WireFailure,
+    self, read_frame, write_frame, ErrorCode, Fnv64, Frame, ProtoError, SessionEvent,
+    SessionParams, Summary, WireCompletion, WireFailure,
 };
 use crate::server::ReplayEngine;
 
@@ -203,6 +206,17 @@ pub fn replay_with_retry(
             self.checksum.update(&self.payload);
             self.failures.push(*x);
         }
+        /// Absorbs a batched `Events` run unit by unit, in order — the
+        /// checksum feeds on the same payload bytes either way, so a
+        /// batched stream hashes identically to its unbatched twin.
+        fn events(&mut self, events: &[SessionEvent]) {
+            for event in events {
+                match event {
+                    SessionEvent::Completion(c) => self.completion(c),
+                    SessionEvent::Failure(x) => self.failure(x),
+                }
+            }
+        }
     }
     let mut stream = Absorbed {
         checksum: Fnv64::new(),
@@ -222,11 +236,12 @@ pub fn replay_with_retry(
             match read_frame(&mut reader)? {
                 Frame::Completion(c) => stream.completion(&c),
                 Frame::Failed(x) => stream.failure(&x),
+                Frame::Events(events) => stream.events(&events),
                 Frame::Batched(_) => break,
                 Frame::Error { code, detail } => return Err(ClientError::Server { code, detail }),
                 other => {
                     return Err(ClientError::Protocol(format!(
-                        "expected Completion/Batched, got {other:?}"
+                        "expected Completion/Events/Batched, got {other:?}"
                     )))
                 }
             }
@@ -239,11 +254,12 @@ pub fn replay_with_retry(
         match read_frame(&mut reader)? {
             Frame::Completion(c) => stream.completion(&c),
             Frame::Failed(x) => stream.failure(&x),
+            Frame::Events(events) => stream.events(&events),
             Frame::Summary(summary) => break summary,
             Frame::Error { code, detail } => return Err(ClientError::Server { code, detail }),
             other => {
                 return Err(ClientError::Protocol(format!(
-                    "expected Completion/Summary, got {other:?}"
+                    "expected Completion/Events/Summary, got {other:?}"
                 )))
             }
         }

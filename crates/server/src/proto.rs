@@ -41,19 +41,31 @@
 //! ```
 
 use std::fmt;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 use codic_core::fault::FaultCause;
 use codic_core::ops::{CodicOp, VariantId};
 
-/// The protocol version this implementation speaks. A server rejects a
-/// [`Frame::Hello`] carrying any other version with
-/// [`ErrorCode::Version`].
+/// The newest protocol version this implementation speaks. A server
+/// rejects a [`Frame::Hello`] carrying a version outside
+/// [`MIN_PROTOCOL_VERSION`]`..=PROTOCOL_VERSION` with
+/// [`ErrorCode::Version`]; within the range it serves the *client's*
+/// version and echoes it in the [`Frame::HelloAck`].
 ///
 /// Version 2 added the bulk-bitwise compute operations (op codes
 /// `0x04..=0x0A`), the `compute_rows` session parameter, and the
-/// fingerprint field on compute completions.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// fingerprint field on compute completions. Version 3 added the
+/// batched [`Frame::Events`] completion transport: a v3 session streams
+/// completions and failures packed many-per-frame, while a v2 session
+/// receives the identical payloads as individual `Completion` / `Failed`
+/// frames. The session checksum hashes the *payload* units either way,
+/// so it is independent of the negotiated version.
+pub const PROTOCOL_VERSION: u16 = 3;
+
+/// The oldest protocol version the server still accepts in a
+/// [`Frame::Hello`]. Version 2 clients interoperate unchanged: they
+/// never see an [`Frame::Events`] frame.
+pub const MIN_PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on the `length` field of a frame; larger values are
 /// rejected before any allocation, so a corrupt or hostile length prefix
@@ -79,7 +91,20 @@ mod tag {
     pub const SUMMARY: u8 = 0x85;
     pub const ERROR: u8 = 0x86;
     pub const FAILED: u8 = 0x87;
+    pub const EVENTS: u8 = 0x88;
 }
+
+/// Wire size of the smallest [`Frame::Events`] unit: a kind byte plus
+/// the 29-byte failure payload of a 9-byte op. The decoder's
+/// count-versus-length pre-check divides by this, so a hostile count
+/// cannot reserve more memory than the payload itself justifies.
+const EVENT_UNIT_MIN: usize = 30;
+
+/// Wire size of the widest [`Frame::Events`] unit: a kind byte plus the
+/// 56-byte completion payload of a 17-byte compute op with fingerprint.
+/// [`EventBuffer::is_full`] keeps this much headroom under
+/// [`MAX_FRAME_LEN`], so any next push is guaranteed to fit.
+const EVENT_UNIT_MAX: usize = 57;
 
 /// Operation codes of the wire operation unit. Codes `0x00..=0x07` are
 /// 9-byte units (code + one `u64` address); `0x08..=0x0A` are 17-byte
@@ -206,6 +231,23 @@ pub struct WireFailure {
     pub attempts: u8,
 }
 
+/// One unit of a batched [`Frame::Events`] stream: either a finished or
+/// a failed operation, in the server's deterministic emission order.
+///
+/// On the wire each unit is a `u8` kind (0 = completion, 1 = failure)
+/// followed by the *exact* payload bytes of the equivalent standalone
+/// [`Frame::Completion`] / [`Frame::Failed`] frame. The kind byte and
+/// the frame envelope are **not** hashed into the session checksum —
+/// only the payloads are, in order — so a batched stream checksums
+/// identically to the unbatched stream carrying the same events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionEvent {
+    /// A finished operation, payload-identical to [`Frame::Completion`].
+    Completion(WireCompletion),
+    /// A failed operation, payload-identical to [`Frame::Failed`].
+    Failure(WireFailure),
+}
+
 /// The wire code of a [`FaultCause`].
 fn cause_code(cause: FaultCause) -> u8 {
     match cause {
@@ -317,6 +359,10 @@ pub enum Frame {
     Completion(WireCompletion),
     /// Server → client: one operation that failed with a typed cause.
     Failed(WireFailure),
+    /// Server → client (protocol ≥ 3): a run of completions and
+    /// failures packed into one frame, in emission order. Byte-for-byte,
+    /// each unit is a kind byte plus the standalone frame's payload.
+    Events(Vec<SessionEvent>),
     /// Server → client: end of a batch's completion burst.
     Batched(BatchAck),
     /// Server → client: end of a flush's completion burst.
@@ -349,6 +395,8 @@ pub enum ProtoError {
     UnknownErrorCode(u8),
     /// A failed-operation frame carried an unknown fault cause.
     UnknownFaultCause(u8),
+    /// An events frame carried an unknown unit kind byte.
+    UnknownEventKind(u8),
     /// The payload is shorter or longer than its frame type requires.
     BadLength {
         /// The offending frame-type tag.
@@ -372,6 +420,7 @@ impl fmt::Display for ProtoError {
             ProtoError::UnknownOp(code) => write!(f, "unknown operation code {code:#04x}"),
             ProtoError::UnknownErrorCode(code) => write!(f, "unknown error code {code}"),
             ProtoError::UnknownFaultCause(code) => write!(f, "unknown fault cause {code}"),
+            ProtoError::UnknownEventKind(kind) => write!(f, "unknown event kind {kind}"),
             ProtoError::BadLength { tag, got } => {
                 write!(f, "frame {tag:#04x} has a malformed payload of {got} bytes")
             }
@@ -544,6 +593,22 @@ pub fn encode_body(frame: &Frame, buf: &mut Vec<u8>) {
             buf.push(tag::FAILED);
             failure_payload(x, buf);
         }
+        Frame::Events(events) => {
+            buf.push(tag::EVENTS);
+            buf.extend_from_slice(&(events.len() as u32).to_le_bytes());
+            for event in events {
+                match event {
+                    SessionEvent::Completion(c) => {
+                        buf.push(0);
+                        completion_payload(c, buf);
+                    }
+                    SessionEvent::Failure(x) => {
+                        buf.push(1);
+                        failure_payload(x, buf);
+                    }
+                }
+            }
+        }
         Frame::Batched(a) => {
             buf.push(tag::BATCHED);
             buf.extend_from_slice(&a.seq_base.to_le_bytes());
@@ -607,6 +672,74 @@ pub fn failure_payload(x: &WireFailure, buf: &mut Vec<u8>) {
     buf.push(x.attempts);
 }
 
+/// Decodes a completion payload *prefix*, returning the completion and
+/// the bytes consumed (40, 48 or 56) — the shared parser behind the
+/// standalone [`Frame::Completion`] arm (which then requires the prefix
+/// to be the whole payload) and the [`Frame::Events`] walk (which
+/// continues at the next unit).
+fn get_completion(payload: &[u8]) -> Result<(WireCompletion, usize), ProtoError> {
+    let bad = |got: usize| ProtoError::BadLength {
+        tag: tag::COMPLETION,
+        got,
+    };
+    if payload.len() < 40 {
+        return Err(bad(payload.len()));
+    }
+    let (op, used) = get_op(&payload[10..])?;
+    // 10 header bytes + the op unit + 21 cost bytes, plus the trailing
+    // fingerprint on compute operations only.
+    let base = 10 + used;
+    let want = base + 21 + if op.is_compute() { 8 } else { 0 };
+    if payload.len() < want {
+        return Err(bad(payload.len()));
+    }
+    let completion = WireCompletion {
+        seq: u64::from_le_bytes(payload[0..8].try_into().expect("sized")),
+        shard: u16::from_le_bytes(payload[8..10].try_into().expect("sized")),
+        op,
+        finish_cycle: u64::from_le_bytes(payload[base..base + 8].try_into().expect("sized")),
+        busy_cycles: u32::from_le_bytes(payload[base + 8..base + 12].try_into().expect("sized")),
+        activations: payload[base + 12],
+        energy_nj: f64::from_bits(u64::from_le_bytes(
+            payload[base + 13..base + 21].try_into().expect("sized"),
+        )),
+        fingerprint: if op.is_compute() {
+            u64::from_le_bytes(payload[base + 21..base + 29].try_into().expect("sized"))
+        } else {
+            0
+        },
+    };
+    Ok((completion, want))
+}
+
+/// Decodes a failed-operation payload *prefix*, returning the failure
+/// and the bytes consumed (29 or 37) — the faulted sibling of
+/// [`get_completion`], shared the same way.
+fn get_failure(payload: &[u8]) -> Result<(WireFailure, usize), ProtoError> {
+    let bad = |got: usize| ProtoError::BadLength {
+        tag: tag::FAILED,
+        got,
+    };
+    if payload.len() < 29 {
+        return Err(bad(payload.len()));
+    }
+    let (op, used) = get_op(&payload[10..])?;
+    let base = 10 + used;
+    let want = base + 10;
+    if payload.len() < want {
+        return Err(bad(payload.len()));
+    }
+    let failure = WireFailure {
+        seq: u64::from_le_bytes(payload[0..8].try_into().expect("sized")),
+        shard: u16::from_le_bytes(payload[8..10].try_into().expect("sized")),
+        op,
+        at_cycle: u64::from_le_bytes(payload[base..base + 8].try_into().expect("sized")),
+        cause: cause_from_u8(payload[base + 8])?,
+        attempts: payload[base + 9],
+    };
+    Ok((failure, want))
+}
+
 /// Decodes a `type byte + payload` body (everything after the length
 /// prefix) back into a [`Frame`].
 ///
@@ -659,61 +792,56 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
             Ok(Frame::Bye)
         }
         tag::COMPLETION => {
-            if payload.len() < 40 {
-                return Err(bad(payload.len()));
-            }
-            let (op, used) = get_op(&payload[10..]).map_err(|e| match e {
+            let (completion, used) = get_completion(payload).map_err(|e| match e {
                 ProtoError::Empty | ProtoError::BadLength { .. } => bad(payload.len()),
                 e => e,
             })?;
-            // 10 header bytes + the op unit + 21 cost bytes, plus the
-            // trailing fingerprint on compute operations only.
-            let base = 10 + used;
-            let want = base + 21 + if op.is_compute() { 8 } else { 0 };
-            if payload.len() != want {
+            if payload.len() != used {
                 return Err(bad(payload.len()));
             }
-            Ok(Frame::Completion(WireCompletion {
-                seq: u64::from_le_bytes(payload[0..8].try_into().expect("sized")),
-                shard: u16::from_le_bytes(payload[8..10].try_into().expect("sized")),
-                op,
-                finish_cycle: u64::from_le_bytes(
-                    payload[base..base + 8].try_into().expect("sized"),
-                ),
-                busy_cycles: u32::from_le_bytes(
-                    payload[base + 8..base + 12].try_into().expect("sized"),
-                ),
-                activations: payload[base + 12],
-                energy_nj: f64::from_bits(u64::from_le_bytes(
-                    payload[base + 13..base + 21].try_into().expect("sized"),
-                )),
-                fingerprint: if op.is_compute() {
-                    u64::from_le_bytes(payload[base + 21..base + 29].try_into().expect("sized"))
-                } else {
-                    0
-                },
-            }))
+            Ok(Frame::Completion(completion))
         }
         tag::FAILED => {
-            if payload.len() < 29 {
-                return Err(bad(payload.len()));
-            }
-            let (op, used) = get_op(&payload[10..]).map_err(|e| match e {
+            let (failure, used) = get_failure(payload).map_err(|e| match e {
                 ProtoError::Empty | ProtoError::BadLength { .. } => bad(payload.len()),
                 e => e,
             })?;
-            let base = 10 + used;
-            if payload.len() != base + 10 {
+            if payload.len() != used {
                 return Err(bad(payload.len()));
             }
-            Ok(Frame::Failed(WireFailure {
-                seq: u64::from_le_bytes(payload[0..8].try_into().expect("sized")),
-                shard: u16::from_le_bytes(payload[8..10].try_into().expect("sized")),
-                op,
-                at_cycle: u64::from_le_bytes(payload[base..base + 8].try_into().expect("sized")),
-                cause: cause_from_u8(payload[base + 8])?,
-                attempts: payload[base + 9],
-            }))
+            Ok(Frame::Failed(failure))
+        }
+        tag::EVENTS => {
+            if payload.len() < 4 {
+                return Err(bad(payload.len()));
+            }
+            let count = u32::from_le_bytes(payload[0..4].try_into().expect("sized")) as usize;
+            // Reject a hostile count before reserving anything: even if
+            // every unit were the smallest possible, `count` of them
+            // could not exceed the bytes actually present.
+            if count > (payload.len() - 4) / EVENT_UNIT_MIN {
+                return Err(bad(payload.len()));
+            }
+            let mut units = &payload[4..];
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                let (&kind, rest) = units.split_first().ok_or_else(|| bad(payload.len()))?;
+                let (event, used) = match kind {
+                    0 => get_completion(rest).map(|(c, used)| (SessionEvent::Completion(c), used)),
+                    1 => get_failure(rest).map(|(x, used)| (SessionEvent::Failure(x), used)),
+                    other => return Err(ProtoError::UnknownEventKind(other)),
+                }
+                .map_err(|e| match e {
+                    ProtoError::Empty | ProtoError::BadLength { .. } => bad(payload.len()),
+                    e => e,
+                })?;
+                events.push(event);
+                units = &rest[used..];
+            }
+            if !units.is_empty() {
+                return Err(bad(payload.len()));
+            }
+            Ok(Frame::Events(events))
         }
         tag::BATCHED => {
             if payload.len() != 24 {
@@ -801,6 +929,117 @@ pub fn write_completion_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result
     w.write_all(&(payload.len() as u32 + 1).to_le_bytes())?;
     w.write_all(&[tag::COMPLETION])?;
     w.write_all(payload)
+}
+
+/// The server's reusable batched-emission buffer: completions and
+/// failures are encoded once into one growing byte buffer (no per-op
+/// `Vec`), and [`EventBuffer::flush_to`] ships the whole run as a
+/// single [`Frame::Events`] frame with one vectored write.
+///
+/// Each `push_*` returns the slice of the unit's *payload* bytes (the
+/// kind byte excluded) so the caller can feed the session checksum with
+/// exactly the bytes an unbatched `Completion` / `Failed` frame would
+/// have carried — a unit test pins that the flushed frame is
+/// byte-identical to `write_frame(w, &Frame::Events(..))`.
+#[derive(Debug, Default)]
+pub struct EventBuffer {
+    /// Encoded units: kind byte + payload, back to back.
+    buf: Vec<u8>,
+    /// Units currently buffered.
+    count: u32,
+}
+
+impl EventBuffer {
+    /// An empty buffer; its allocation grows once and is then reused
+    /// across flushes.
+    #[must_use]
+    pub fn new() -> Self {
+        EventBuffer::default()
+    }
+
+    /// Units currently buffered.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+
+    /// True when nothing is buffered (a flush would be a no-op).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// True when one more unit — even the widest — might not fit under
+    /// [`MAX_FRAME_LEN`]; the caller flushes, then keeps pushing.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        // Frame body = type byte + u32 count + the units.
+        5 + self.buf.len() + EVENT_UNIT_MAX > MAX_FRAME_LEN as usize
+    }
+
+    /// Appends a completion unit, returning its payload bytes (the
+    /// slice the session checksum hashes).
+    pub fn push_completion(&mut self, c: &WireCompletion) -> &[u8] {
+        self.buf.push(0);
+        let start = self.buf.len();
+        completion_payload(c, &mut self.buf);
+        self.count += 1;
+        &self.buf[start..]
+    }
+
+    /// Appends a failure unit, returning its payload bytes (the slice
+    /// the session checksum hashes).
+    pub fn push_failure(&mut self, x: &WireFailure) -> &[u8] {
+        self.buf.push(1);
+        let start = self.buf.len();
+        failure_payload(x, &mut self.buf);
+        self.count += 1;
+        &self.buf[start..]
+    }
+
+    /// Writes the buffered run as one [`Frame::Events`] frame (header
+    /// and units in a single vectored write where the stream allows)
+    /// and resets the buffer for reuse. Empty buffers write nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stream's I/O error; a short write that makes no
+    /// progress surfaces as [`io::ErrorKind::WriteZero`].
+    pub fn flush_to<W: Write>(&mut self, w: &mut W) -> io::Result<()> {
+        if self.count == 0 {
+            return Ok(());
+        }
+        let mut header = [0u8; 9];
+        header[0..4].copy_from_slice(&(self.buf.len() as u32 + 5).to_le_bytes());
+        header[4] = tag::EVENTS;
+        header[5..9].copy_from_slice(&self.count.to_le_bytes());
+        // A write-all loop over the vectored [header, units] pair:
+        // `write_vectored` may land anywhere, so resume from the exact
+        // byte offset it reached.
+        let total = header.len() + self.buf.len();
+        let mut written = 0usize;
+        while written < total {
+            let result = if written < header.len() {
+                w.write_vectored(&[IoSlice::new(&header[written..]), IoSlice::new(&self.buf)])
+            } else {
+                w.write(&self.buf[written - header.len()..])
+            };
+            match result {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "failed to write the whole events frame",
+                    ))
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.count = 0;
+        Ok(())
+    }
 }
 
 /// Reads one length-prefixed frame from `r`, enforcing
@@ -1246,6 +1485,211 @@ mod tests {
             decode_body(&body),
             Err(ProtoError::UnknownFaultCause(0xee))
         ));
+    }
+
+    /// A representative mixed run: classic and compute completions (9-
+    /// and 17-byte ops, with fingerprints) interleaved with failures.
+    fn sample_events() -> Vec<SessionEvent> {
+        vec![
+            SessionEvent::Completion(WireCompletion {
+                seq: 0,
+                shard: 1,
+                op: CodicOp::read(0x40),
+                finish_cycle: 100,
+                busy_cycles: 24,
+                activations: 1,
+                energy_nj: 3.25,
+                fingerprint: 0,
+            }),
+            SessionEvent::Completion(WireCompletion {
+                seq: 1,
+                shard: 0,
+                op: CodicOp::MajAnd { row_addr: 0x2_0000 },
+                finish_cycle: 140,
+                busy_cycles: 55,
+                activations: 3,
+                energy_nj: 21.5,
+                fingerprint: 0xfeed_face_dead_beef,
+            }),
+            SessionEvent::Failure(WireFailure {
+                seq: 2,
+                shard: 1,
+                op: CodicOp::RowCopy {
+                    src_addr: 0x2_0000,
+                    dst_addr: 0x2_4000,
+                },
+                at_cycle: 150,
+                cause: FaultCause::Misfire,
+                attempts: 2,
+            }),
+            SessionEvent::Completion(WireCompletion {
+                seq: 3,
+                shard: 0,
+                op: CodicOp::RowFill {
+                    row_addr: 0x2_2000,
+                    pattern: 0xA5A5_A5A5_A5A5_A5A5,
+                },
+                finish_cycle: 190,
+                busy_cycles: 61,
+                activations: 4,
+                energy_nj: 27.75,
+                fingerprint: 0x0123_4567_89ab_cdef,
+            }),
+            SessionEvent::Failure(WireFailure {
+                seq: 4,
+                shard: 0,
+                op: CodicOp::command(VariantId::DetZero, 0x8000),
+                at_cycle: 200,
+                cause: FaultCause::Quarantined,
+                attempts: 1,
+            }),
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_mixed_runs() {
+        round_trip(Frame::Events(sample_events()));
+        round_trip(Frame::Events(Vec::new()));
+    }
+
+    #[test]
+    fn event_buffer_flush_matches_write_frame_byte_for_byte() {
+        let events = sample_events();
+        let mut via_frame = Vec::new();
+        write_frame(&mut via_frame, &Frame::Events(events.clone())).unwrap();
+        let mut buffer = EventBuffer::new();
+        let mut hashed = Fnv64::new();
+        let mut reference = Fnv64::new();
+        for event in &events {
+            // The returned slice is exactly what an unbatched frame's
+            // payload would have been, so the session checksum is
+            // framing-independent.
+            let mut standalone = Vec::new();
+            let slice = match event {
+                SessionEvent::Completion(c) => {
+                    completion_payload(c, &mut standalone);
+                    buffer.push_completion(c)
+                }
+                SessionEvent::Failure(x) => {
+                    failure_payload(x, &mut standalone);
+                    buffer.push_failure(x)
+                }
+            };
+            assert_eq!(slice, standalone.as_slice());
+            hashed.update(slice);
+            reference.update(&standalone);
+        }
+        assert_eq!(hashed.value(), reference.value());
+        assert_eq!(buffer.len(), events.len() as u32);
+        let mut via_buffer = Vec::new();
+        buffer.flush_to(&mut via_buffer).unwrap();
+        assert_eq!(via_buffer, via_frame);
+        // The buffer resets for reuse, and an empty flush writes nothing.
+        assert!(buffer.is_empty());
+        let mut empty = Vec::new();
+        buffer.flush_to(&mut empty).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn event_buffer_flush_survives_one_byte_writes() {
+        // A stream that accepts one byte per call (with interruptions)
+        // exercises the vectored write-all resume path.
+        struct OneByte {
+            bytes: Vec<u8>,
+            interrupted: bool,
+        }
+        impl io::Write for OneByte {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if !self.interrupted {
+                    self.interrupted = true;
+                    return Err(io::Error::new(io::ErrorKind::Interrupted, "again"));
+                }
+                self.interrupted = false;
+                self.bytes.push(buf[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let events = sample_events();
+        let mut via_frame = Vec::new();
+        write_frame(&mut via_frame, &Frame::Events(events.clone())).unwrap();
+        let mut buffer = EventBuffer::new();
+        for event in &events {
+            match event {
+                SessionEvent::Completion(c) => buffer.push_completion(c),
+                SessionEvent::Failure(x) => buffer.push_failure(x),
+            };
+        }
+        let mut stream = OneByte {
+            bytes: Vec::new(),
+            interrupted: false,
+        };
+        buffer.flush_to(&mut stream).unwrap();
+        assert_eq!(stream.bytes, via_frame);
+    }
+
+    #[test]
+    fn event_buffer_full_frames_stay_under_the_cap() {
+        let widest = WireCompletion {
+            seq: 0,
+            shard: 0,
+            op: CodicOp::Not {
+                src_addr: 0x2_0000,
+                dst_addr: 0x2_2000,
+            },
+            finish_cycle: 1,
+            busy_cycles: 1,
+            activations: 1,
+            energy_nj: 1.0,
+            fingerprint: 1,
+        };
+        let mut buffer = EventBuffer::new();
+        while !buffer.is_full() {
+            buffer.push_completion(&widest);
+        }
+        let mut wire = Vec::new();
+        buffer.flush_to(&mut wire).unwrap();
+        let len = u32::from_le_bytes(wire[0..4].try_into().unwrap());
+        assert!(len <= MAX_FRAME_LEN, "full buffer still fits one frame");
+        // And the giant frame decodes back to the same run.
+        let mut reader = wire.as_slice();
+        match read_frame(&mut reader).unwrap() {
+            Frame::Events(events) => {
+                assert!(events.len() > 70_000, "the cap admits a large run");
+                assert!(events
+                    .iter()
+                    .all(|e| *e == SessionEvent::Completion(widest)));
+            }
+            other => panic!("expected an events frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_event_counts_are_rejected_before_allocation() {
+        // count = u32::MAX over a 34-byte payload: the pre-check fails
+        // long before `Vec::with_capacity` could see the count.
+        let mut body = vec![tag::EVENTS];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        body.extend_from_slice(&[0u8; 30]);
+        assert!(matches!(body_err(&body), ProtoError::BadLength { .. }));
+        // An unknown unit kind is a typed error.
+        let mut body = Vec::new();
+        encode_body(&Frame::Events(sample_events()), &mut body);
+        body[5] = 7; // first unit's kind byte
+        assert!(matches!(body_err(&body), ProtoError::UnknownEventKind(7)));
+        // The walk must land exactly on the payload's end.
+        let mut body = Vec::new();
+        encode_body(&Frame::Events(sample_events()), &mut body);
+        body.push(0); // trailing garbage after the last unit
+        assert!(matches!(body_err(&body), ProtoError::BadLength { .. }));
+        // A count lying downward leaves units unconsumed.
+        let mut body = Vec::new();
+        encode_body(&Frame::Events(sample_events()), &mut body);
+        body[1] -= 1;
+        assert!(matches!(body_err(&body), ProtoError::BadLength { .. }));
     }
 
     #[test]

@@ -27,7 +27,16 @@
 //! bit-identity the end-to-end tests pin. Below that bound it stays
 //! deterministic, but clocks advance earlier. The replay-rate governor
 //! only ever sleeps the host thread, so it cannot perturb cycles.
+//!
+//! Two orthogonal serving options preserve that contract bit for bit:
+//! [`ServerConfig::workers`] runs the engine over pipelined
+//! [`ShardWorkers`] (one thread per shard behind SPSC rings, drained at
+//! the same loop points), and protocol-v3 sessions receive their
+//! completions packed into batched `Events` frames whose *payload*
+//! bytes — the only bytes the session checksum hashes — are identical
+//! to the per-op frames a v2 session gets.
 
+use std::fmt;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -42,12 +51,14 @@ use codic_core::executor::OpFuture;
 use codic_core::fault::{FaultPlan, HealthPolicy, RetryPolicy};
 use codic_core::ops::CodicOp;
 use codic_core::pool::{DevicePool, ShardHealth};
+use codic_core::worker::{DrainedOp, ShardWorkers};
 use codic_dram::{DramGeometry, TimingParams};
 
 use crate::governor::RateGovernor;
 use crate::proto::{
-    self, write_frame, BatchAck, ErrorCode, FlushAck, Fnv64, Frame, FrameReader, ProtoError,
-    SessionParams, Summary, WireCompletion, WireFailure, PROTOCOL_VERSION,
+    self, write_frame, BatchAck, ErrorCode, EventBuffer, FlushAck, Fnv64, Frame, FrameReader,
+    ProtoError, SessionParams, Summary, WireCompletion, WireFailure, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 
 /// Server-side session defaults and caps.
@@ -74,6 +85,12 @@ pub struct ServerConfig {
     /// Default bulk-bitwise compute region, in rows at the top of the
     /// module (0 = compute disabled; a `Hello` may request its own).
     pub compute_rows: u64,
+    /// Serve sessions through pipelined [`ShardWorkers`] (one thread
+    /// per shard, fed by SPSC rings) instead of the inline
+    /// [`DevicePool`]. The completion stream is bit-identical either
+    /// way; worker mode overlaps decode, engine stepping, and encoding
+    /// across cores.
+    pub workers: bool,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +108,7 @@ impl Default for ServerConfig {
             retry: RetryPolicy::default(),
             health: HealthPolicy::default(),
             compute_rows: 0,
+            workers: false,
         }
     }
 }
@@ -132,7 +150,10 @@ impl ServerConfig {
         }
         .min(module_rows);
         SessionParams {
-            version: PROTOCOL_VERSION,
+            // The session runs the *client's* version (already validated
+            // against the supported range by the handshake); the ack
+            // echoes it so a v2 client interoperates unchanged.
+            version: hello.version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION),
             shards: shards as u16,
             module_mib: module_mib as u32,
             max_outstanding: max_outstanding as u32,
@@ -197,6 +218,24 @@ impl ReplayCompletion {
     }
 }
 
+/// The engine's execution substrate: the inline pool, or one worker
+/// thread per shard behind SPSC rings. Both run the identical
+/// submission discipline; the worker determinism tests pin the
+/// bit-identity.
+enum EngineCore {
+    Inline(DevicePool),
+    Workers(ShardWorkers),
+}
+
+impl fmt::Debug for EngineCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineCore::Inline(pool) => f.debug_tuple("Inline").field(pool).finish(),
+            EngineCore::Workers(w) => write!(f, "Workers({} shards)", w.shards()),
+        }
+    }
+}
+
 /// The deterministic per-session serving core: typed batches in,
 /// completion-ordered [`ReplayCompletion`]s out.
 ///
@@ -205,7 +244,8 @@ impl ReplayCompletion {
 /// in process and demand bit-identical results.
 #[derive(Debug)]
 pub struct ReplayEngine {
-    pool: DevicePool,
+    core: EngineCore,
+    /// In-flight futures — inline mode only (workers track their own).
     pending: Vec<(u64, u16, OpFuture)>,
     scratch: Vec<(u64, u16, OpFuture)>,
     next_seq: u64,
@@ -236,14 +276,39 @@ impl ReplayEngine {
         retry: RetryPolicy,
         health: HealthPolicy,
     ) -> Self {
+        ReplayEngine::with_options(params, fault, retry, health, false)
+    }
+
+    /// The full constructor: `pipelined = true` serves the session
+    /// through [`ShardWorkers`] — one thread per shard, fed by SPSC
+    /// rings, so decode, submission, engine stepping, and completion
+    /// encoding overlap — with a completion stream bit-identical to the
+    /// inline pool (the tests here and the worker determinism proptests
+    /// pin it).
+    #[must_use]
+    pub fn with_options(
+        params: &SessionParams,
+        fault: Option<FaultPlan>,
+        retry: RetryPolicy,
+        health: HealthPolicy,
+        pipelined: bool,
+    ) -> Self {
         let mut config = ServerConfig::device_config(params).with_retry(retry);
         if let Some(plan) = fault {
             config = config.with_faults(plan);
         }
-        let mut pool = DevicePool::new((params.shards as usize).max(1), &config);
-        pool.set_health_policy(health);
+        let shards = (params.shards as usize).max(1);
+        let core = if pipelined {
+            let mut workers = ShardWorkers::launch(shards, &config);
+            workers.set_health_policy(health);
+            EngineCore::Workers(workers)
+        } else {
+            let mut pool = DevicePool::new(shards, &config);
+            pool.set_health_policy(health);
+            EngineCore::Inline(pool)
+        };
         ReplayEngine {
-            pool,
+            core,
             pending: Vec::new(),
             scratch: Vec::new(),
             next_seq: 0,
@@ -259,31 +324,58 @@ impl ReplayEngine {
     /// Returns the policy error; the batch was all-or-nothing rejected
     /// and the engine state is untouched (no sequence numbers consumed).
     pub fn submit_batch(&mut self, ops: &[CodicOp]) -> Result<Vec<ReplayCompletion>, CodicError> {
-        // The routed variant reports where each op actually landed: a
-        // shard wedging mid-batch is quarantined inside the pool and its
-        // traffic re-routed, and the completion must carry the shard
-        // that really served it.
-        let routed = self.pool.submit_all_async_routed(ops)?;
-        for (shard, future) in routed {
-            self.pending.push((self.next_seq, shard as u16, future));
-            self.next_seq += 1;
-        }
-        // Backpressure: relieve the in-flight window one engine event at
-        // a time; never over-drive (drive() would run all the way to
-        // idle and distort the timeline for nothing). step() reports no
-        // progress once every busy shard is stuck, so a wedged clock
-        // cannot spin this loop.
-        while self.pool.outstanding() > self.max_outstanding {
-            if !self.pool.step() {
-                break;
+        match &mut self.core {
+            EngineCore::Inline(pool) => {
+                // The routed variant reports where each op actually
+                // landed: a shard wedging mid-batch is quarantined
+                // inside the pool and its traffic re-routed, and the
+                // completion must carry the shard that really served it.
+                let routed = pool.submit_all_async_routed(ops)?;
+                for (shard, future) in routed {
+                    self.pending.push((self.next_seq, shard as u16, future));
+                    self.next_seq += 1;
+                }
+                // Backpressure: relieve the in-flight window one engine
+                // event at a time; never over-drive (drive() would run
+                // all the way to idle and distort the timeline for
+                // nothing). step() reports no progress once every busy
+                // shard is stuck, so a wedged clock cannot spin this
+                // loop.
+                while pool.outstanding() > self.max_outstanding {
+                    if !pool.step() {
+                        break;
+                    }
+                }
+                // The batch boundary doubles as the op-deadline check: a
+                // shard that wedged during this batch is quarantined
+                // here, its stranded ops delivered as typed failures in
+                // this very drain. With fault injection disabled this
+                // never fires.
+                pool.check_health();
+                Ok(self.drain_ready())
+            }
+            EngineCore::Workers(workers) => {
+                // All-or-nothing pre-flight happens coordinator-side
+                // before anything reaches a ring, so a rejected batch
+                // consumes no sequence numbers, same as inline.
+                workers.submit_batch(self.next_seq, ops)?;
+                self.next_seq += ops.len() as u64;
+                // First barrier: collect what resolved while this batch
+                // was being decoded and refresh the statuses the
+                // backpressure loop gates on. Drains never advance a
+                // device, so splitting the drain around the loop yields
+                // exactly the inline path's single-drain set.
+                let mut drained = workers.drain_ready();
+                while workers.outstanding() > self.max_outstanding {
+                    if !workers.step_all() {
+                        break;
+                    }
+                }
+                workers.check_health();
+                drained.extend(workers.drain_ready());
+                Ok(into_completions(drained))
             }
         }
-        // The batch boundary doubles as the op-deadline check: a shard
-        // that wedged during this batch is quarantined here, its
-        // stranded ops delivered as typed failures in this very drain.
-        // With fault injection disabled this never fires.
-        self.pool.check_health();
-        Ok(self.drain_ready())
     }
 
     /// Drives every shard to idle and returns everything still pending,
@@ -292,32 +384,52 @@ impl ReplayEngine {
     /// delivered as typed failures, so a flush always resolves every
     /// pending operation one way or the other.
     pub fn flush(&mut self) -> Vec<ReplayCompletion> {
-        self.pool.drive();
-        self.pool.check_health();
+        match &mut self.core {
+            EngineCore::Inline(pool) => {
+                pool.drive();
+                pool.check_health();
+            }
+            EngineCore::Workers(workers) => {
+                let mut drained = workers.flush();
+                workers.check_health();
+                drained.extend(workers.drain_ready());
+                return into_completions(drained);
+            }
+        }
         self.drain_ready()
     }
 
     /// Per-shard health of the serving pool.
     #[must_use]
     pub fn health(&self) -> &[ShardHealth] {
-        self.pool.health()
+        match &self.core {
+            EngineCore::Inline(pool) => pool.health(),
+            EngineCore::Workers(workers) => workers.health(),
+        }
     }
 
     /// Operations submitted but not yet completed (the backpressure
     /// signal; bounded by the session's `max_outstanding` between
-    /// batches).
+    /// batches). In worker mode this is the count as of the last
+    /// barrier — exact at every point the serving loop reads it.
     #[must_use]
     pub fn outstanding(&self) -> usize {
-        self.pool.outstanding()
+        match &self.core {
+            EngineCore::Inline(pool) => pool.outstanding(),
+            EngineCore::Workers(workers) => workers.outstanding(),
+        }
     }
 
     /// The slowest shard's current cycle.
     #[must_use]
     pub fn now_max(&self) -> u64 {
-        (0..self.pool.shards())
-            .map(|s| self.pool.device(s).now())
-            .max()
-            .unwrap_or(0)
+        match &self.core {
+            EngineCore::Inline(pool) => (0..pool.shards())
+                .map(|s| pool.device(s).now())
+                .max()
+                .unwrap_or(0),
+            EngineCore::Workers(workers) => workers.now_max(),
+        }
     }
 
     /// Sequence number the next submitted operation will get.
@@ -347,6 +459,22 @@ impl ReplayEngine {
         ready.sort_by_key(|r| (r.completion.finish_cycle, r.seq));
         ready
     }
+}
+
+/// Sorts worker-drained completions into the same completion order the
+/// inline path emits: ascending finish cycle, ties broken by submission
+/// sequence — a total order (seq is unique), so the emitted stream is
+/// independent of which worker thread resolved what first.
+fn into_completions(mut drained: Vec<DrainedOp>) -> Vec<ReplayCompletion> {
+    drained.sort_by_key(|d| (d.completion.finish_cycle, d.seq));
+    drained
+        .into_iter()
+        .map(|d| ReplayCompletion {
+            seq: d.seq,
+            shard: d.shard,
+            completion: d.completion,
+        })
+        .collect()
 }
 
 /// Why a session ended.
@@ -439,9 +567,9 @@ pub fn serve_session_until<R: Read, W: Write>(
             return Ok(SessionEnd::Protocol(e));
         }
     };
-    if hello.version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&hello.version) {
         let reason = format!(
-            "server speaks v{PROTOCOL_VERSION}, client sent v{}",
+            "server speaks v{MIN_PROTOCOL_VERSION}..=v{PROTOCOL_VERSION}, client sent v{}",
             hello.version
         );
         send_error(writer, ErrorCode::Version, &reason)?;
@@ -451,9 +579,15 @@ pub fn serve_session_until<R: Read, W: Write>(
     write_frame(writer, &Frame::HelloAck(params))?;
     writer.flush()?;
 
-    let mut engine = ReplayEngine::with_faults(&params, config.fault, config.retry, config.health);
+    let mut engine = ReplayEngine::with_options(
+        &params,
+        config.fault,
+        config.retry,
+        config.health,
+        config.workers,
+    );
     let mut governor = RateGovernor::new(params.target_rows_per_s);
-    let mut tally = SessionTally::default();
+    let mut tally = SessionTally::for_version(params.version);
 
     loop {
         match next_frame(reader, &mut frames, shutdown) {
@@ -537,6 +671,11 @@ pub fn serve_session_until<R: Read, W: Write>(
 struct SessionTally {
     checksum: Fnv64,
     payload: Vec<u8>,
+    /// The reusable batched-emission buffer (v3 sessions only).
+    events: EventBuffer,
+    /// True once the session negotiated protocol ≥ 3: completions ship
+    /// packed into `Events` frames instead of one frame per op.
+    batched: bool,
     ops: u64,
     row_ops: u64,
     failed: u64,
@@ -545,37 +684,66 @@ struct SessionTally {
 }
 
 impl SessionTally {
-    /// Streams `completions` as `Completion` or `Failed` frames, folding
-    /// each frame payload into the totals and the session checksum.
-    /// Successes count toward `ops`/`row_ops`/energy; failures only
-    /// toward `failed` — the `Summary` reports what the session really
-    /// delivered, not what it attempted.
+    /// A tally emitting in the negotiated version's transport: batched
+    /// `Events` frames from v3 on, per-op frames for v2.
+    fn for_version(version: u16) -> Self {
+        SessionTally {
+            batched: version >= 3,
+            ..SessionTally::default()
+        }
+    }
+
+    /// Streams `completions` — batched into `Events` frames (v3) or as
+    /// per-op `Completion` / `Failed` frames (v2) — folding each
+    /// *payload* into the totals and the session checksum. The hashed
+    /// bytes are identical in both transports, so the checksum is
+    /// framing-independent. Successes count toward `ops`/`row_ops`/
+    /// energy; failures only toward `failed` — the `Summary` reports
+    /// what the session really delivered, not what it attempted.
     fn emit<W: Write>(
         &mut self,
         writer: &mut W,
         completions: &[ReplayCompletion],
     ) -> io::Result<()> {
         for c in completions {
+            if self.batched && self.events.is_full() {
+                self.events.flush_to(writer)?;
+            }
             if let Some(failure) = c.to_wire_failure() {
-                self.payload.clear();
-                proto::failure_payload(&failure, &mut self.payload);
-                self.checksum.update(&self.payload);
                 self.failed += 1;
                 self.max_finish_cycle = self.max_finish_cycle.max(failure.at_cycle);
-                write_frame(writer, &Frame::Failed(failure))?;
+                if self.batched {
+                    let payload = self.events.push_failure(&failure);
+                    self.checksum.update(payload);
+                } else {
+                    self.payload.clear();
+                    proto::failure_payload(&failure, &mut self.payload);
+                    self.checksum.update(&self.payload);
+                    write_frame(writer, &Frame::Failed(failure))?;
+                }
                 continue;
             }
             let wire = c.to_wire();
-            self.payload.clear();
-            proto::completion_payload(&wire, &mut self.payload);
-            self.checksum.update(&self.payload);
             self.ops += 1;
             self.row_ops += u64::from(wire.op.row_op_kind().is_some());
             self.max_finish_cycle = self.max_finish_cycle.max(wire.finish_cycle);
             self.total_energy_nj += wire.energy_nj;
-            // Encode once: the checksummed bytes are the sent bytes.
-            proto::write_completion_frame(writer, &self.payload)?;
+            if self.batched {
+                // Encode once into the reusable buffer: the returned
+                // slice is both the checksummed and the sent bytes.
+                let payload = self.events.push_completion(&wire);
+                self.checksum.update(payload);
+            } else {
+                self.payload.clear();
+                proto::completion_payload(&wire, &mut self.payload);
+                self.checksum.update(&self.payload);
+                // Encode once: the checksummed bytes are the sent bytes.
+                proto::write_completion_frame(writer, &self.payload)?;
+            }
         }
+        // The whole run ships before the caller's ack frame, so frame
+        // order on the wire mirrors the unbatched emission order.
+        self.events.flush_to(writer)?;
         Ok(())
     }
 
@@ -614,6 +782,7 @@ fn frame_name(frame: &Frame) -> &'static str {
         Frame::Flushed(_) => "Flushed",
         Frame::Summary(_) => "Summary",
         Frame::Error { .. } => "Error",
+        Frame::Events(_) => "Events",
     }
 }
 
@@ -967,6 +1136,163 @@ mod tests {
             ReplayServer::bind(&path, ServerConfig::default()).expect("stale socket is reclaimed");
         drop(reclaimed);
         assert!(!path.exists());
+    }
+
+    /// Runs the full batch/flush discipline through an engine and
+    /// returns every completion in emission order.
+    fn run_engine(engine: &mut ReplayEngine, ops: &[CodicOp]) -> Vec<ReplayCompletion> {
+        let mut all = Vec::new();
+        for batch in ops.chunks(64) {
+            all.extend(engine.submit_batch(batch).unwrap());
+        }
+        all.extend(engine.flush());
+        all
+    }
+
+    #[test]
+    fn worker_engine_matches_inline_engine_bit_for_bit() {
+        // Including a tiny outstanding bound, so the lockstep
+        // backpressure loop actually fires in both modes.
+        for max_outstanding in [1024, 8] {
+            let params = params(max_outstanding);
+            let ops = zero_ops(300);
+            let mut inline = ReplayEngine::new(&params);
+            let mut workers = ReplayEngine::with_options(
+                &params,
+                None,
+                RetryPolicy::default(),
+                HealthPolicy::default(),
+                true,
+            );
+            let a = run_engine(&mut inline, &ops);
+            let b = run_engine(&mut workers, &ops);
+            assert_eq!(a, b, "max_outstanding {max_outstanding}");
+        }
+    }
+
+    #[test]
+    fn worker_engine_matches_inline_under_misfire_faults() {
+        let params = params(64);
+        let fault = Some(FaultPlan::new(11).with_misfires(500));
+        let retry = RetryPolicy::default();
+        let health = HealthPolicy::default();
+        let ops = zero_ops(400);
+        let mut inline = ReplayEngine::with_options(&params, fault, retry, health, false);
+        let mut workers = ReplayEngine::with_options(&params, fault, retry, health, true);
+        let a = run_engine(&mut inline, &ops);
+        let b = run_engine(&mut workers, &ops);
+        assert_eq!(a, b);
+    }
+
+    /// Serves one in-memory session at `version` and returns the server's
+    /// reply frames.
+    fn run_session(version: u16, config: &ServerConfig) -> Vec<Frame> {
+        let hello = SessionParams {
+            version,
+            ..SessionParams::defaults()
+        };
+        let mut input = Vec::new();
+        write_frame(&mut input, &Frame::Hello(hello)).unwrap();
+        for batch in zero_ops(300).chunks(64) {
+            write_frame(&mut input, &Frame::Batch(batch.to_vec())).unwrap();
+        }
+        write_frame(&mut input, &Frame::Bye).unwrap();
+        let mut output = Vec::new();
+        let end = serve_session(&mut input.as_slice(), &mut output, config).unwrap();
+        assert!(matches!(end, SessionEnd::Bye), "session end: {end:?}");
+        let mut frames = Vec::new();
+        let mut rest = output.as_slice();
+        while !rest.is_empty() {
+            frames.push(proto::read_frame(&mut rest).unwrap());
+        }
+        frames
+    }
+
+    /// The payload units of a reply stream, flattened across transports.
+    fn stream_shape(frames: &[Frame]) -> (u64, u64, u64, usize, usize) {
+        let (mut completions, mut failures, mut events_frames, mut bare) = (0u64, 0u64, 0, 0);
+        let mut summary_checksum = 0u64;
+        for frame in frames {
+            match frame {
+                Frame::Events(events) => {
+                    events_frames += 1;
+                    for e in events {
+                        match e {
+                            proto::SessionEvent::Completion(_) => completions += 1,
+                            proto::SessionEvent::Failure(_) => failures += 1,
+                        }
+                    }
+                }
+                Frame::Completion(_) => {
+                    bare += 1;
+                    completions += 1;
+                }
+                Frame::Failed(_) => {
+                    bare += 1;
+                    failures += 1;
+                }
+                Frame::Summary(s) => summary_checksum = s.checksum,
+                _ => {}
+            }
+        }
+        (completions, failures, summary_checksum, events_frames, bare)
+    }
+
+    #[test]
+    fn v3_sessions_batch_v2_sessions_interoperate_and_checksums_agree() {
+        let config = ServerConfig::default();
+        let v3 = run_session(3, &config);
+        let v2 = run_session(2, &config);
+        let (ops3, failed3, sum3, events3, bare3) = stream_shape(&v3);
+        let (ops2, failed2, sum2, events2, bare2) = stream_shape(&v2);
+        assert_eq!(ops3, 300);
+        assert_eq!(ops2, 300);
+        assert_eq!(failed3 + failed2, 0);
+        assert!(events3 > 0, "v3 streams batched Events frames");
+        assert_eq!(bare3, 0, "v3 sends no per-op frames");
+        assert_eq!(events2, 0, "v2 never sees an Events frame");
+        assert_eq!(bare2, 300, "v2 gets one frame per op");
+        assert_eq!(sum3, sum2, "the session checksum is framing-independent");
+        // The ack echoes the negotiated version.
+        assert!(matches!(v3[0], Frame::HelloAck(p) if p.version == 3));
+        assert!(matches!(v2[0], Frame::HelloAck(p) if p.version == 2));
+        // Worker mode changes neither the stream shape nor the checksum.
+        let piped = ServerConfig {
+            workers: true,
+            ..ServerConfig::default()
+        };
+        let v3w = run_session(3, &piped);
+        assert_eq!(stream_shape(&v3w).2, sum3);
+    }
+
+    #[test]
+    fn out_of_range_versions_are_rejected() {
+        let config = ServerConfig::default();
+        for version in [0u16, 1, 4, u16::MAX] {
+            let hello = SessionParams {
+                version,
+                ..SessionParams::defaults()
+            };
+            let mut input = Vec::new();
+            write_frame(&mut input, &Frame::Hello(hello)).unwrap();
+            let mut output = Vec::new();
+            let end = serve_session(&mut input.as_slice(), &mut output, &config).unwrap();
+            assert!(
+                matches!(end, SessionEnd::Rejected(_)),
+                "v{version}: {end:?}"
+            );
+            let reply = proto::read_frame(&mut output.as_slice()).unwrap();
+            assert!(
+                matches!(
+                    reply,
+                    Frame::Error {
+                        code: ErrorCode::Version,
+                        ..
+                    }
+                ),
+                "v{version}: {reply:?}"
+            );
+        }
     }
 
     #[test]

@@ -249,6 +249,27 @@ fn graceful_shutdown_drains_in_flight_ops_and_sends_an_honest_summary() {
     let mut checksum = Fnv64::new();
     let mut payload = Vec::new();
     let mut delivered = 0u64;
+    // The v3 session batches completions into Events frames; a unit
+    // checksums exactly like the bare Completion frame it replaces.
+    let absorb = |events: &[proto::SessionEvent],
+                  checksum: &mut Fnv64,
+                  payload: &mut Vec<u8>,
+                  delivered: &mut u64| {
+        for event in events {
+            match event {
+                proto::SessionEvent::Completion(c) => {
+                    payload.clear();
+                    proto::completion_payload(c, payload);
+                }
+                proto::SessionEvent::Failure(f) => {
+                    payload.clear();
+                    proto::failure_payload(f, payload);
+                }
+            }
+            checksum.update(payload);
+            *delivered += 1;
+        }
+    };
     loop {
         match read_frame(&mut reader).expect("burst") {
             Frame::Completion(c) => {
@@ -257,6 +278,7 @@ fn graceful_shutdown_drains_in_flight_ops_and_sends_an_honest_summary() {
                 checksum.update(&payload);
                 delivered += 1;
             }
+            Frame::Events(events) => absorb(&events, &mut checksum, &mut payload, &mut delivered),
             Frame::Batched(ack) => {
                 assert_eq!(ack.accepted, ops.len() as u32);
                 assert!(
@@ -279,8 +301,9 @@ fn graceful_shutdown_drains_in_flight_ops_and_sends_an_honest_summary() {
                 checksum.update(&payload);
                 delivered += 1;
             }
+            Frame::Events(events) => absorb(&events, &mut checksum, &mut payload, &mut delivered),
             Frame::Summary(summary) => break summary,
-            other => panic!("expected Completion/Summary, got {other:?}"),
+            other => panic!("expected Completion/Events/Summary, got {other:?}"),
         }
     };
     serving.join().expect("server thread").expect("accept loop");

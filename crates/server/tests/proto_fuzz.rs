@@ -22,7 +22,7 @@ use codic_core::fault::FaultCause;
 use codic_core::ops::{CodicOp, VariantId};
 use codic_server::proto::{
     encode_body, read_frame, BatchAck, ErrorCode, FlushAck, Frame, FrameReader, ProtoError,
-    SessionParams, Summary, WireCompletion, WireFailure, MAX_FRAME_LEN,
+    SessionEvent, SessionParams, Summary, WireCompletion, WireFailure, MAX_FRAME_LEN,
 };
 
 /// splitmix64: the same deterministic generator the fault layer uses.
@@ -80,6 +80,16 @@ fn corpus() -> Vec<Frame> {
         cause: FaultCause::Misfire,
         attempts: 1,
     };
+    // The batched v3 transport: a mixed run stressing every unit
+    // layout (kind byte + 40/48/56-byte completions, 29/37-byte
+    // failures), plus the legal empty frame. The corruption campaigns
+    // strike the count word and the kind bytes mid-walk.
+    let events = Frame::Events(vec![
+        SessionEvent::Completion(completion),
+        SessionEvent::Failure(failure),
+        SessionEvent::Completion(compute_completion),
+        SessionEvent::Failure(compute_failure),
+    ]);
     vec![
         Frame::Hello(SessionParams::defaults()),
         Frame::HelloAck(SessionParams::defaults()),
@@ -125,6 +135,8 @@ fn corpus() -> Vec<Frame> {
         Frame::Completion(compute_completion),
         Frame::Failed(failure),
         Frame::Failed(compute_failure),
+        events,
+        Frame::Events(Vec::new()),
         Frame::Batched(BatchAck {
             accepted: 4,
             seq_base: 12,
@@ -279,6 +291,29 @@ fn oversized_length_prefixes_are_rejected_before_allocation() {
         match decode_trickled(&wire) {
             Err(ProtoError::Oversized(len)) => assert_eq!(len, claimed),
             other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_event_counts_are_rejected_before_allocation() {
+    // An Events frame whose count word claims billions of units over a
+    // tiny payload: the decoder's count-versus-length pre-check must
+    // reject it before reserving a single unit of `Vec` capacity.
+    const EVENTS_TAG: u8 = 0x88;
+    for claimed in [u32::MAX, u32::MAX / 2, 1_000_000] {
+        let mut body = vec![EVENTS_TAG];
+        body.extend_from_slice(&claimed.to_le_bytes());
+        body.extend_from_slice(&[0u8; 16]); // far fewer bytes than one unit per claim
+        let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&body);
+        match decode_blocking(&wire) {
+            Err(ProtoError::BadLength { tag, .. }) => assert_eq!(tag, EVENTS_TAG),
+            other => panic!("expected BadLength, got {other:?}"),
+        }
+        match decode_trickled(&wire) {
+            Err(ProtoError::BadLength { tag, .. }) => assert_eq!(tag, EVENTS_TAG),
+            other => panic!("expected BadLength, got {other:?}"),
         }
     }
 }

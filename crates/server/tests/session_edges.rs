@@ -7,7 +7,7 @@ use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 
 use codic_server::client::{replay, verify_against_reference};
-use codic_server::proto::{read_frame, write_frame, Frame, SessionParams};
+use codic_server::proto::{read_frame, write_frame, Frame, SessionEvent, SessionParams};
 use codic_server::server::{ReplayServer, ServerConfig};
 use codic_server::trace::generate_mixed;
 
@@ -91,24 +91,36 @@ fn empty_batch_is_acked_without_consuming_sequence_numbers() {
             loop {
                 match read_frame(reader).expect("burst") {
                     Frame::Completion(c) => assert!(c.seq < ops.len() as u64),
+                    Frame::Events(events) => {
+                        for event in events {
+                            match event {
+                                SessionEvent::Completion(c) => {
+                                    assert!(c.seq < ops.len() as u64)
+                                }
+                                SessionEvent::Failure(f) => {
+                                    panic!("fault-free session failed seq {}", f.seq)
+                                }
+                            }
+                        }
+                    }
                     Frame::Batched(ack) => {
                         assert_eq!(ack.seq_base, 0, "empty batch consumed nothing");
                         assert_eq!(ack.accepted, ops.len() as u32);
                         break;
                     }
-                    other => panic!("expected Completion/Batched, got {other:?}"),
+                    other => panic!("expected Completion/Events/Batched, got {other:?}"),
                 }
             }
             write_frame(writer, &Frame::Bye).expect("bye");
             writer.flush().expect("flush");
             loop {
                 match read_frame(reader).expect("tail") {
-                    Frame::Completion(_) => {}
+                    Frame::Completion(_) | Frame::Events(_) => {}
                     Frame::Summary(s) => {
                         assert_eq!(s.ops, ops.len() as u64);
                         break;
                     }
-                    other => panic!("expected Completion/Summary, got {other:?}"),
+                    other => panic!("expected Completion/Events/Summary, got {other:?}"),
                 }
             }
         });
