@@ -12,7 +12,16 @@
 //!               [--fault-seed S] [--misfire-per-64k P]
 //!               [--stuck-shard I --stuck-at CYCLE]
 //!               [--retry-attempts A]
+//!               [--read-timeout-ms T] [--session-idle-ms I]
+//!               [--journal-max-kib J]
 //! ```
+//!
+//! The deadline flags tune session robustness: `--read-timeout-ms` is
+//! how long a session thread parks inside a socket read before
+//! re-checking the shutdown flag and the idle deadline,
+//! `--session-idle-ms` tears down silent clients (and reaps parked
+//! resume state) honestly, and `--journal-max-kib` caps each v4
+//! session's resume journal.
 //!
 //! `--workers` serves every session through pipelined shard workers
 //! (one thread per shard behind SPSC rings) instead of the inline pool;
@@ -38,7 +47,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use codic_server::cli::{arg, arg_u64, fault_plan_args, has_flag, retry_args};
+use codic_server::cli::{arg, arg_u64, deadline_args, fault_plan_args, has_flag, retry_args};
 use codic_server::server::{ReplayServer, ServerConfig};
 
 fn main() -> ExitCode {
@@ -49,7 +58,7 @@ fn main() -> ExitCode {
 
     let fault = fault_plan_args();
     let retry = retry_args(defaults.retry);
-    let config = ServerConfig {
+    let mut config = ServerConfig {
         shards: arg_u64("--shards").unwrap_or(defaults.shards as u64) as usize,
         module_mib: arg_u64("--module-mib").unwrap_or(defaults.module_mib),
         max_outstanding: arg_u64("--max-outstanding").unwrap_or(defaults.max_outstanding as u64)
@@ -61,7 +70,9 @@ fn main() -> ExitCode {
         health: defaults.health,
         compute_rows: arg_u64("--compute-rows").unwrap_or(0),
         workers: has_flag("--workers"),
+        ..defaults.clone()
     };
+    deadline_args(&mut config);
     let connections = arg_u64("--connections");
 
     if config.fault.is_some() {

@@ -50,6 +50,27 @@ pub fn fault_plan_args() -> Option<codic_core::fault::FaultPlan> {
     Some(plan)
 }
 
+/// Applies the session-deadline and resume-journal flags to `config`:
+/// `--read-timeout-ms` (how long a session thread parks in a read
+/// before re-checking shutdown and the idle deadline),
+/// `--session-idle-ms` (the silent-client teardown and parked-session
+/// reap deadline), and `--journal-max-kib` (the per-session v4 resume
+/// journal cap). Flags not present leave `config` untouched; zero
+/// values clamp to the smallest legal setting.
+pub fn deadline_args(config: &mut crate::server::ServerConfig) {
+    if let Some(ms) = arg_u64("--read-timeout-ms") {
+        config.read_timeout_ms = ms.max(1);
+    }
+    if let Some(ms) = arg_u64("--session-idle-ms") {
+        config.session_idle_ms = ms.max(1);
+    }
+    if let Some(kib) = arg_u64("--journal-max-kib") {
+        config.journal_max_bytes = usize::try_from(kib.saturating_mul(1024))
+            .unwrap_or(usize::MAX)
+            .max(1);
+    }
+}
+
 /// The retry policy from `--retry-attempts A` (1 disables retry), or
 /// `default` when the flag is absent.
 #[must_use]

@@ -5,9 +5,19 @@
 //! `Batch` frames, `Bye`, `Summary` — collecting every typed completion
 //! and recomputing the session checksum from the received frames, so a
 //! server-side accounting divergence is caught with one `u64` compare.
-//! The client absorbs both transports transparently: batched `Events`
-//! frames (protocol ≥ 3, the default `Hello`) and the per-op
-//! `Completion`/`Failed` frames a v2 session streams.
+//! The client absorbs every transport transparently: CRC-trailed frames
+//! (protocol ≥ 4, the default `Hello`), batched `Events` frames
+//! (protocol ≥ 3), and the per-op `Completion`/`Failed` frames a v2
+//! session streams.
+//!
+//! [`replay_resumable`] adds crash/cut tolerance on top: when the
+//! connection dies — or a CRC trailer exposes wire corruption —
+//! mid-session, the client reconnects with capped backoff and sends
+//! `Resume` with its session token and the count of events it has
+//! already absorbed; the server re-emits exactly the missed event
+//! payloads from its journal. Every event is absorbed exactly once, so
+//! the recomputed checksum of a resumed session is bit-identical to an
+//! uninterrupted run.
 //!
 //! [`verify_against_reference`] then replays the identical batching
 //! discipline in process (through [`ReplayEngine`], the same core the
@@ -15,7 +25,7 @@
 //! same finish cycle and same energy bits per sequence number, same
 //! per-shard completion order.
 
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::thread;
@@ -24,8 +34,9 @@ use std::time::{Duration, Instant};
 use codic_core::ops::CodicOp;
 
 use crate::proto::{
-    self, read_frame, write_frame, ErrorCode, Fnv64, Frame, ProtoError, SessionEvent,
-    SessionParams, Summary, WireCompletion, WireFailure,
+    self, read_frame, read_frame_crc, write_frame_in, ErrorCode, Fnv64, Frame, ProtoError,
+    ResumeRequest, SessionEvent, SessionParams, Summary, WireCompletion, WireFailure,
+    PROTOCOL_VERSION,
 };
 use crate::server::ReplayEngine;
 
@@ -97,6 +108,9 @@ pub struct ClientReport {
     pub checksum: u64,
     /// Wall-clock duration of the session, in seconds.
     pub host_seconds: f64,
+    /// Connections this session used: 1 for an uninterrupted run, more
+    /// when [`replay_resumable`] survived cuts.
+    pub connections: u32,
 }
 
 impl ClientReport {
@@ -117,21 +131,118 @@ impl ClientReport {
 ///
 /// Returns the last connect failure once every attempt is exhausted.
 pub fn connect_with_retry(socket: &Path, retries: u32, base: Duration) -> io::Result<UnixStream> {
-    const BACKOFF_CAP: Duration = Duration::from_secs(2);
     let mut attempt = 0u32;
     loop {
         match UnixStream::connect(socket) {
             Ok(stream) => return Ok(stream),
             Err(e) if attempt >= retries => return Err(e),
             Err(_) => {
-                let backoff = base
-                    .checked_mul(1u32 << attempt.min(20))
-                    .unwrap_or(BACKOFF_CAP)
-                    .min(BACKOFF_CAP);
-                thread::sleep(backoff);
+                thread::sleep(backoff_for(attempt, base));
                 attempt += 1;
             }
         }
+    }
+}
+
+/// `base × 2^attempt`, capped at two seconds.
+fn backoff_for(attempt: u32, base: Duration) -> Duration {
+    const BACKOFF_CAP: Duration = Duration::from_secs(2);
+    base.checked_mul(1u32 << attempt.min(20))
+        .unwrap_or(BACKOFF_CAP)
+        .min(BACKOFF_CAP)
+}
+
+/// One running checksum over Completion AND Failed payloads, in the
+/// exact order the server emitted them — the same rule the server's
+/// tally applies. `events` counts absorbed units: exactly the index the
+/// resume protocol reports back as `events_received`.
+#[derive(Default)]
+struct Absorbed {
+    checksum: Fnv64,
+    payload: Vec<u8>,
+    completions: Vec<WireCompletion>,
+    failures: Vec<WireFailure>,
+    events: u64,
+}
+
+impl Absorbed {
+    fn completion(&mut self, c: &WireCompletion) {
+        self.payload.clear();
+        proto::completion_payload(c, &mut self.payload);
+        self.checksum.update(&self.payload);
+        self.completions.push(*c);
+        self.events += 1;
+    }
+
+    fn failure(&mut self, x: &WireFailure) {
+        self.payload.clear();
+        proto::failure_payload(x, &mut self.payload);
+        self.checksum.update(&self.payload);
+        self.failures.push(*x);
+        self.events += 1;
+    }
+
+    /// Absorbs a batched `Events` run unit by unit, in order — the
+    /// checksum feeds on the same payload bytes either way, so a
+    /// batched stream hashes identically to its unbatched twin.
+    fn events(&mut self, events: &[SessionEvent]) {
+        for event in events {
+            match event {
+                SessionEvent::Completion(c) => self.completion(c),
+                SessionEvent::Failure(x) => self.failure(x),
+            }
+        }
+    }
+
+    /// Checks the stream against the server's `Summary` and builds the
+    /// final report.
+    fn into_report(
+        self,
+        params: SessionParams,
+        summary: Summary,
+        host_seconds: f64,
+        connections: u32,
+    ) -> Result<ClientReport, ClientError> {
+        let checksum = self.checksum.value();
+        if checksum != summary.checksum {
+            return Err(ClientError::Verification(format!(
+                "stream checksum {checksum:#018x} != summary checksum {:#018x}",
+                summary.checksum
+            )));
+        }
+        if summary.ops != self.completions.len() as u64 {
+            return Err(ClientError::Verification(format!(
+                "summary counts {} ops, stream carried {}",
+                summary.ops,
+                self.completions.len()
+            )));
+        }
+        if summary.failed != self.failures.len() as u64 {
+            return Err(ClientError::Verification(format!(
+                "summary counts {} failures, stream carried {}",
+                summary.failed,
+                self.failures.len()
+            )));
+        }
+        Ok(ClientReport {
+            params,
+            completions: self.completions,
+            failures: self.failures,
+            summary,
+            checksum,
+            host_seconds,
+            connections,
+        })
+    }
+}
+
+/// Reads the next frame in the session's framing: CRC-trailed from v4
+/// on, bare below.
+fn read_next<R: Read>(reader: &mut R, crc: bool) -> Result<Frame, ProtoError> {
+    if crc {
+        read_frame_crc(reader)
+    } else {
+        read_frame(reader)
     }
 }
 
@@ -153,7 +264,8 @@ pub fn replay(
 
 /// [`replay`] with [`connect_with_retry`] semantics on the initial
 /// connect (the session itself is never retried — a mid-session failure
-/// is surfaced, not replayed).
+/// is surfaced, not replayed; [`replay_resumable`] is the
+/// cut-tolerant variant).
 ///
 /// # Errors
 ///
@@ -172,10 +284,13 @@ pub fn replay_with_retry(
     let mut writer = BufWriter::new(stream);
     let started = Instant::now();
 
-    write_frame(&mut writer, &Frame::Hello(*hello))?;
+    // From v4 on every frame of the session — the Hello included —
+    // carries the CRC32C trailer, in both directions.
+    let crc = hello.version >= 4;
+    write_frame_in(&mut writer, &Frame::Hello(*hello), crc)?;
     writer.flush()?;
-    let params = match read_frame(&mut reader)? {
-        Frame::HelloAck(params) => params,
+    let params = match read_next(&mut reader, crc)? {
+        Frame::HelloAck { params, .. } => params,
         Frame::Error { code, detail } => return Err(ClientError::Server { code, detail }),
         other => {
             return Err(ClientError::Protocol(format!(
@@ -184,56 +299,20 @@ pub fn replay_with_retry(
         }
     };
 
-    // One running checksum over Completion AND Failed payloads, in the
-    // exact order the server emitted them — the same rule the server's
-    // tally applies.
-    struct Absorbed {
-        checksum: Fnv64,
-        payload: Vec<u8>,
-        completions: Vec<WireCompletion>,
-        failures: Vec<WireFailure>,
-    }
-    impl Absorbed {
-        fn completion(&mut self, c: &WireCompletion) {
-            self.payload.clear();
-            proto::completion_payload(c, &mut self.payload);
-            self.checksum.update(&self.payload);
-            self.completions.push(*c);
-        }
-        fn failure(&mut self, x: &WireFailure) {
-            self.payload.clear();
-            proto::failure_payload(x, &mut self.payload);
-            self.checksum.update(&self.payload);
-            self.failures.push(*x);
-        }
-        /// Absorbs a batched `Events` run unit by unit, in order — the
-        /// checksum feeds on the same payload bytes either way, so a
-        /// batched stream hashes identically to its unbatched twin.
-        fn events(&mut self, events: &[SessionEvent]) {
-            for event in events {
-                match event {
-                    SessionEvent::Completion(c) => self.completion(c),
-                    SessionEvent::Failure(x) => self.failure(x),
-                }
-            }
-        }
-    }
     let mut stream = Absorbed {
-        checksum: Fnv64::new(),
-        payload: Vec::new(),
         completions: Vec::with_capacity(ops.len()),
-        failures: Vec::new(),
+        ..Absorbed::default()
     };
 
     // A batch above MAX_BATCH_OPS would produce a frame the server is
     // required to reject; clamp rather than die mid-replay.
     let batch = batch.clamp(1, proto::MAX_BATCH_OPS);
     for chunk in ops.chunks(batch) {
-        write_frame(&mut writer, &Frame::Batch(chunk.to_vec()))?;
+        write_frame_in(&mut writer, &Frame::Batch(chunk.to_vec()), crc)?;
         writer.flush()?;
         // Read this batch's completion burst up to its Batched ack.
         loop {
-            match read_frame(&mut reader)? {
+            match read_next(&mut reader, crc)? {
                 Frame::Completion(c) => stream.completion(&c),
                 Frame::Failed(x) => stream.failure(&x),
                 Frame::Events(events) => stream.events(&events),
@@ -248,10 +327,10 @@ pub fn replay_with_retry(
         }
     }
 
-    write_frame(&mut writer, &Frame::Bye)?;
+    write_frame_in(&mut writer, &Frame::Bye, crc)?;
     writer.flush()?;
     let summary = loop {
-        match read_frame(&mut reader)? {
+        match read_next(&mut reader, crc)? {
             Frame::Completion(c) => stream.completion(&c),
             Frame::Failed(x) => stream.failure(&x),
             Frame::Events(events) => stream.events(&events),
@@ -265,36 +344,264 @@ pub fn replay_with_retry(
         }
     };
     let host_seconds = started.elapsed().as_secs_f64();
+    stream.into_report(params, summary, host_seconds, 1)
+}
 
-    let checksum = stream.checksum.value();
-    if checksum != summary.checksum {
-        return Err(ClientError::Verification(format!(
-            "stream checksum {checksum:#018x} != summary checksum {:#018x}",
-            summary.checksum
-        )));
+/// How [`replay_resumable`] survives cuts.
+#[derive(Debug, Clone, Copy)]
+pub struct ResumePolicy {
+    /// Reconnect-and-resume attempts allowed across the whole session
+    /// (0 = a single connection, no recovery).
+    pub max_resumes: u32,
+    /// Base of the capped exponential backoff between attempts.
+    pub backoff_base: Duration,
+}
+
+impl Default for ResumePolicy {
+    fn default() -> Self {
+        ResumePolicy {
+            max_resumes: 8,
+            backoff_base: Duration::from_millis(10),
+        }
     }
-    if summary.ops != stream.completions.len() as u64 {
-        return Err(ClientError::Verification(format!(
-            "summary counts {} ops, stream carried {}",
-            summary.ops,
-            stream.completions.len()
-        )));
+}
+
+/// True when the failure is the *connection's* fault — a socket error
+/// or any wire-decode failure (a CRC mismatch, but also the desync
+/// garbage a corrupted length prefix turns the rest of the stream
+/// into) — and a reconnect may recover it. Server-*sent* errors,
+/// protocol-order violations, and verification failures are the
+/// session's fault and never retried.
+fn recoverable(e: &ClientError) -> bool {
+    matches!(e, ClientError::Io(_) | ClientError::Proto(_))
+}
+
+/// The client half of the v4 resume protocol: everything that must
+/// survive a cut lives here, not on the connection.
+struct ResumableRun<'a> {
+    ops: &'a [CodicOp],
+    batch: usize,
+    absorbed: Absorbed,
+    /// The server-minted session token from the `HelloAck` (`None`
+    /// until the handshake completed once).
+    token: Option<u64>,
+    params: Option<SessionParams>,
+    /// Operations the server has accepted (from `Batched` acks and
+    /// `ResumeAck::next_seq`); resubmission restarts here.
+    next_op: usize,
+    summary: Option<Summary>,
+}
+
+impl ResumableRun<'_> {
+    /// Drives one connection as far as it will go: handshake (fresh
+    /// `Hello` or `Resume`), remaining batches, `Bye`, `Summary`.
+    fn attempt<R: Read, W: Write>(
+        &mut self,
+        reader: &mut R,
+        writer: &mut W,
+        hello: &SessionParams,
+    ) -> Result<(), ClientError> {
+        match self.token {
+            None => {
+                write_frame_in(writer, &Frame::Hello(*hello), true)?;
+                writer.flush()?;
+                match read_frame_crc(reader)? {
+                    Frame::HelloAck { params, token } => {
+                        self.params = Some(params);
+                        self.token = Some(token);
+                    }
+                    Frame::Error { code, detail } => {
+                        return Err(ClientError::Server { code, detail })
+                    }
+                    other => {
+                        return Err(ClientError::Protocol(format!(
+                            "expected HelloAck, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            Some(token) => {
+                write_frame_in(
+                    writer,
+                    &Frame::Resume(ResumeRequest {
+                        version: PROTOCOL_VERSION,
+                        token,
+                        events_received: self.absorbed.events,
+                    }),
+                    true,
+                )?;
+                writer.flush()?;
+                match read_frame_crc(reader)? {
+                    Frame::ResumeAck(ack) => {
+                        self.next_op = usize::try_from(ack.next_seq).map_err(|_| {
+                            ClientError::Protocol(format!(
+                                "ResumeAck next_seq {} overflows this host",
+                                ack.next_seq
+                            ))
+                        })?;
+                        if ack.finished != 0 {
+                            // The session already processed our Bye and
+                            // only the tail of the stream was lost:
+                            // absorb the replay and the Summary.
+                            self.read_until_summary(reader)?;
+                            return Ok(());
+                        }
+                    }
+                    Frame::Error { code, detail } => {
+                        return Err(ClientError::Server { code, detail })
+                    }
+                    other => {
+                        return Err(ClientError::Protocol(format!(
+                            "expected ResumeAck, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+
+        // The journal replay (if any) and fresh completions arrive
+        // interleaved with our remaining batches' acks: the absorb loop
+        // below makes no distinction — every event is new to us, by the
+        // exactly-once contract of `events_received`.
+        while self.next_op < self.ops.len() {
+            let end = (self.next_op + self.batch).min(self.ops.len());
+            write_frame_in(
+                writer,
+                &Frame::Batch(self.ops[self.next_op..end].to_vec()),
+                true,
+            )?;
+            writer.flush()?;
+            loop {
+                match read_frame_crc(reader)? {
+                    Frame::Completion(c) => self.absorbed.completion(&c),
+                    Frame::Failed(x) => self.absorbed.failure(&x),
+                    Frame::Events(events) => self.absorbed.events(&events),
+                    Frame::Batched(_) => break,
+                    Frame::Error { code, detail } => {
+                        return Err(ClientError::Server { code, detail })
+                    }
+                    other => {
+                        return Err(ClientError::Protocol(format!(
+                            "expected Completion/Events/Batched, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            self.next_op = end;
+        }
+
+        write_frame_in(writer, &Frame::Bye, true)?;
+        writer.flush()?;
+        self.read_until_summary(reader)
     }
-    if summary.failed != stream.failures.len() as u64 {
-        return Err(ClientError::Verification(format!(
-            "summary counts {} failures, stream carried {}",
-            summary.failed,
-            stream.failures.len()
-        )));
+
+    fn read_until_summary<R: Read>(&mut self, reader: &mut R) -> Result<(), ClientError> {
+        loop {
+            match read_frame_crc(reader)? {
+                Frame::Completion(c) => self.absorbed.completion(&c),
+                Frame::Failed(x) => self.absorbed.failure(&x),
+                Frame::Events(events) => self.absorbed.events(&events),
+                Frame::Summary(summary) => {
+                    self.summary = Some(summary);
+                    return Ok(());
+                }
+                Frame::Error { code, detail } => return Err(ClientError::Server { code, detail }),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected Completion/Events/Summary, got {other:?}"
+                    )))
+                }
+            }
+        }
     }
-    Ok(ClientReport {
-        params,
-        completions: stream.completions,
-        failures: stream.failures,
-        summary,
-        checksum,
-        host_seconds,
+}
+
+/// [`replay`] with automatic reconnect-and-resume: a connection cut (or
+/// CRC-detected corruption) mid-session reconnects to `socket` with
+/// capped backoff and continues the *same* session from the last
+/// absorbed event, exactly once. The final report's checksum is
+/// bit-identical to an uninterrupted run — the chaos-transport suite
+/// pins this.
+///
+/// # Errors
+///
+/// As [`replay`], once `policy.max_resumes` recovery attempts are
+/// exhausted (or immediately on a non-recoverable failure).
+pub fn replay_resumable(
+    socket: &Path,
+    hello: &SessionParams,
+    ops: &[CodicOp],
+    batch: usize,
+    policy: ResumePolicy,
+) -> Result<ClientReport, ClientError> {
+    replay_resumable_with(hello, ops, batch, policy, |_attempt| {
+        let stream = connect_with_retry(socket, 2, Duration::from_millis(5))?;
+        Ok((BufReader::new(stream.try_clone()?), BufWriter::new(stream)))
     })
+}
+
+/// [`replay_resumable`] over any transport: `connect` opens connection
+/// `attempt` (0 = the first) as a `(reader, writer)` pair sharing one
+/// stream — the chaos tests hand in fault-injecting wrappers here.
+///
+/// # Errors
+///
+/// As [`replay_resumable`].
+pub fn replay_resumable_with<R, W, F>(
+    hello: &SessionParams,
+    ops: &[CodicOp],
+    batch: usize,
+    policy: ResumePolicy,
+    mut connect: F,
+) -> Result<ClientReport, ClientError>
+where
+    R: Read,
+    W: Write,
+    F: FnMut(u32) -> io::Result<(R, W)>,
+{
+    if hello.version < 4 {
+        return Err(ClientError::Protocol(format!(
+            "resumable replay requires protocol >= 4, hello requested v{}",
+            hello.version
+        )));
+    }
+    let started = Instant::now();
+    let mut run = ResumableRun {
+        ops,
+        batch: batch.clamp(1, proto::MAX_BATCH_OPS),
+        absorbed: Absorbed {
+            completions: Vec::with_capacity(ops.len()),
+            ..Absorbed::default()
+        },
+        token: None,
+        params: None,
+        next_op: 0,
+        summary: None,
+    };
+    let mut attempt = 0u32;
+    loop {
+        let outcome = match connect(attempt) {
+            Ok((mut reader, mut writer)) => run.attempt(&mut reader, &mut writer, hello),
+            Err(e) => Err(ClientError::Io(e)),
+        };
+        match outcome {
+            Ok(()) => break,
+            Err(e) if recoverable(&e) && attempt < policy.max_resumes => {
+                thread::sleep(backoff_for(attempt, policy.backoff_base));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let params = run
+        .params
+        .ok_or_else(|| ClientError::Protocol("session ended without a HelloAck".to_string()))?;
+    let summary = run
+        .summary
+        .ok_or_else(|| ClientError::Protocol("session ended without a Summary".to_string()))?;
+    let host_seconds = started.elapsed().as_secs_f64();
+    run.absorbed
+        .into_report(params, summary, host_seconds, attempt + 1)
 }
 
 /// Replays the same `(ops, batch)` discipline in process through

@@ -30,8 +30,11 @@
 //!   session loop;
 //! - [`governor`] — the replay-rate governor (host-side pacing that
 //!   never perturbs device cycles);
-//! - [`client`] — [`replay`] and
-//!   [`verify_against_reference`](client::verify_against_reference).
+//! - [`client`] — [`replay`], the cut-tolerant
+//!   [`replay_resumable`](client::replay_resumable), and
+//!   [`verify_against_reference`](client::verify_against_reference);
+//! - [`chaos`] — the deterministic seeded chaos transport (corruption,
+//!   mid-frame cuts, short I/O, stalls) the recovery tests run over.
 //!
 //! # Example
 //!
@@ -66,6 +69,7 @@
 //! serving.join().unwrap();
 //! ```
 
+pub mod chaos;
 pub mod cli;
 pub mod client;
 pub mod governor;

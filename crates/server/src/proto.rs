@@ -58,9 +58,15 @@ use codic_core::ops::{CodicOp, VariantId};
 /// batched [`Frame::Events`] completion transport: a v3 session streams
 /// completions and failures packed many-per-frame, while a v2 session
 /// receives the identical payloads as individual `Completion` / `Failed`
-/// frames. The session checksum hashes the *payload* units either way,
-/// so it is independent of the negotiated version.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// frames. Version 4 made sessions crash/disconnect-tolerant: every
+/// frame of a v4 session carries a CRC32C trailer ([`crc32c`]) verified
+/// before decode, the [`Frame::HelloAck`] carries a server-minted
+/// session token, and the [`Frame::Resume`] / [`Frame::ResumeAck`]
+/// handshake lets a reconnecting client continue from its
+/// last-delivered event. The session checksum hashes the *payload*
+/// units in every version, so it is independent of the negotiated
+/// version and of how many connections carried the session.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// The oldest protocol version the server still accepts in a
 /// [`Frame::Hello`]. Version 2 clients interoperate unchanged: they
@@ -84,6 +90,7 @@ mod tag {
     pub const BATCH: u8 = 0x02;
     pub const FLUSH: u8 = 0x03;
     pub const BYE: u8 = 0x04;
+    pub const RESUME: u8 = 0x05;
     pub const HELLO_ACK: u8 = 0x81;
     pub const COMPLETION: u8 = 0x82;
     pub const BATCHED: u8 = 0x83;
@@ -92,7 +99,15 @@ mod tag {
     pub const ERROR: u8 = 0x86;
     pub const FAILED: u8 = 0x87;
     pub const EVENTS: u8 = 0x88;
+    pub const RESUME_ACK: u8 = 0x89;
 }
+
+/// Kind byte of a completion unit inside [`Frame::Events`] (the
+/// server's resume journal records units as `(kind, payload)` pairs).
+pub const EVENT_COMPLETION: u8 = 0;
+
+/// Kind byte of a failure unit inside [`Frame::Events`].
+pub const EVENT_FAILURE: u8 = 1;
 
 /// Wire size of the smallest [`Frame::Events`] unit: a kind byte plus
 /// the 29-byte failure payload of a 9-byte op. The decoder's
@@ -311,6 +326,44 @@ pub struct Summary {
     pub checksum: u64,
 }
 
+/// Client → server request to continue a parked session on a fresh
+/// connection (protocol ≥ 4). Must be the *first* frame of the new
+/// connection, in place of a [`Frame::Hello`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeRequest {
+    /// Protocol version the original session negotiated (≥ 4).
+    pub version: u16,
+    /// The session token the [`Frame::HelloAck`] minted.
+    pub token: u64,
+    /// Events (completions + failures) the client has fully absorbed.
+    /// The server re-emits its journal from this index, so nothing is
+    /// lost and nothing is delivered twice.
+    pub events_received: u64,
+}
+
+/// Server → client acceptance of a [`Frame::Resume`] (protocol ≥ 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeAck {
+    /// The effective session parameters, unchanged from the original
+    /// [`Frame::HelloAck`].
+    pub params: SessionParams,
+    /// The session token, echoed.
+    pub token: u64,
+    /// Operations the session has *accepted* so far — the sequence
+    /// number the next submitted operation will receive. The client
+    /// resumes submission here; because the server only ever accepts
+    /// whole batches, this always lands on the client's batch grid and
+    /// the replayed timeline is bit-identical to an uninterrupted run.
+    pub next_seq: u64,
+    /// Journal events the server re-emits immediately after this ack
+    /// (those past the request's `events_received`).
+    pub replay_events: u64,
+    /// 1 when the session had already ended (the [`Frame::Bye`] was
+    /// processed but the [`Frame::Summary`] was lost in the cut): the
+    /// server re-emits the journal tail and the `Summary`, then closes.
+    pub finished: u8,
+}
+
 /// Error codes carried by [`Frame::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -347,8 +400,23 @@ impl ErrorCode {
 pub enum Frame {
     /// Client → server: opens a session, proposing [`SessionParams`].
     Hello(SessionParams),
-    /// Server → client: accepts the session with the effective params.
-    HelloAck(SessionParams),
+    /// Server → client: accepts the session with the effective params
+    /// and — for protocol ≥ 4 — a server-minted session token the
+    /// client presents in a [`Frame::Resume`] to reconnect. For
+    /// versions below 4 the token is not on the wire and must be 0, so
+    /// round trips are exact.
+    HelloAck {
+        /// The effective session parameters.
+        params: SessionParams,
+        /// The resume token (protocol ≥ 4; 0 otherwise).
+        token: u64,
+    },
+    /// Client → server (protocol ≥ 4): first frame of a reconnection,
+    /// continuing a parked session instead of opening a new one.
+    Resume(ResumeRequest),
+    /// Server → client (protocol ≥ 4): accepts a [`Frame::Resume`];
+    /// the journal replay follows immediately.
+    ResumeAck(ResumeAck),
     /// Client → server: a batch of operations to submit, in order.
     Batch(Vec<CodicOp>),
     /// Client → server: drive every shard to idle and emit everything.
@@ -406,6 +474,16 @@ pub enum ProtoError {
     },
     /// An error frame's detail is not valid UTF-8.
     BadUtf8,
+    /// A CRC-framed (protocol ≥ 4) frame failed its CRC32C trailer
+    /// check: the bytes were corrupted in transit. The frame was
+    /// dropped before any decode; the stream itself is suspect, so the
+    /// peer reconnects and resumes rather than guessing at alignment.
+    Crc {
+        /// The CRC32C of the received body bytes.
+        expected: u32,
+        /// The trailer the frame actually carried.
+        got: u32,
+    },
 }
 
 impl fmt::Display for ProtoError {
@@ -425,6 +503,10 @@ impl fmt::Display for ProtoError {
                 write!(f, "frame {tag:#04x} has a malformed payload of {got} bytes")
             }
             ProtoError::BadUtf8 => write!(f, "error detail is not valid UTF-8"),
+            ProtoError::Crc { expected, got } => write!(
+                f,
+                "frame CRC32C mismatch: computed {expected:#010x}, trailer carried {got:#010x}"
+            ),
         }
     }
 }
@@ -572,9 +654,29 @@ pub fn encode_body(frame: &Frame, buf: &mut Vec<u8>) {
             buf.push(tag::HELLO);
             put_params(buf, p);
         }
-        Frame::HelloAck(p) => {
+        Frame::HelloAck { params, token } => {
             buf.push(tag::HELLO_ACK);
-            put_params(buf, p);
+            put_params(buf, params);
+            // The token travels only on protocol ≥ 4 (the version field
+            // tells the decoder which layout to expect), keeping the v2
+            // and v3 acks byte-identical to their pinned layouts.
+            if params.version >= 4 {
+                buf.extend_from_slice(&token.to_le_bytes());
+            }
+        }
+        Frame::Resume(r) => {
+            buf.push(tag::RESUME);
+            buf.extend_from_slice(&r.version.to_le_bytes());
+            buf.extend_from_slice(&r.token.to_le_bytes());
+            buf.extend_from_slice(&r.events_received.to_le_bytes());
+        }
+        Frame::ResumeAck(a) => {
+            buf.push(tag::RESUME_ACK);
+            put_params(buf, &a.params);
+            buf.extend_from_slice(&a.token.to_le_bytes());
+            buf.extend_from_slice(&a.next_seq.to_le_bytes());
+            buf.extend_from_slice(&a.replay_events.to_le_bytes());
+            buf.push(a.finished);
         }
         Frame::Batch(ops) => {
             buf.push(tag::BATCH);
@@ -751,7 +853,47 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
     let bad = |got: usize| ProtoError::BadLength { tag, got };
     match tag {
         tag::HELLO => Ok(Frame::Hello(get_params(payload, tag)?)),
-        tag::HELLO_ACK => Ok(Frame::HelloAck(get_params(payload, tag)?)),
+        tag::HELLO_ACK => {
+            // 25 bytes below protocol 4; 25 + token above. The params'
+            // own version field selects the layout, and a mismatch
+            // between version and length is a typed error.
+            if payload.len() < 25 {
+                return Err(bad(payload.len()));
+            }
+            let params = get_params(&payload[..25], tag)?;
+            let want = if params.version >= 4 { 33 } else { 25 };
+            if payload.len() != want {
+                return Err(bad(payload.len()));
+            }
+            let token = if params.version >= 4 {
+                u64::from_le_bytes(payload[25..33].try_into().expect("sized"))
+            } else {
+                0
+            };
+            Ok(Frame::HelloAck { params, token })
+        }
+        tag::RESUME => {
+            if payload.len() != 18 {
+                return Err(bad(payload.len()));
+            }
+            Ok(Frame::Resume(ResumeRequest {
+                version: u16::from_le_bytes(payload[0..2].try_into().expect("sized")),
+                token: u64::from_le_bytes(payload[2..10].try_into().expect("sized")),
+                events_received: u64::from_le_bytes(payload[10..18].try_into().expect("sized")),
+            }))
+        }
+        tag::RESUME_ACK => {
+            if payload.len() != 50 {
+                return Err(bad(payload.len()));
+            }
+            Ok(Frame::ResumeAck(ResumeAck {
+                params: get_params(&payload[..25], tag)?,
+                token: u64::from_le_bytes(payload[25..33].try_into().expect("sized")),
+                next_seq: u64::from_le_bytes(payload[33..41].try_into().expect("sized")),
+                replay_events: u64::from_le_bytes(payload[41..49].try_into().expect("sized")),
+                finished: payload[49],
+            }))
+        }
         tag::BATCH => {
             if payload.len() < 4 {
                 return Err(bad(payload.len()));
@@ -897,6 +1039,93 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
     }
 }
 
+/// The CRC32C (Castagnoli) lookup table, built at compile time from the
+/// reflected polynomial `0x82F63B78`.
+const CRC32C_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x82F6_3B78
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Continues a CRC32C computation over `bytes` from `state` (the raw
+/// shift-register value, i.e. the complement of the digest so far).
+fn crc32c_append(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = (state >> 8) ^ CRC32C_TABLE[((state ^ u32::from(b)) & 0xFF) as usize];
+    }
+    state
+}
+
+/// CRC32C (Castagnoli) of `bytes` — the per-frame integrity trailer of
+/// protocol ≥ 4 frames. Standard parameters (reflected polynomial
+/// `0x82F63B78`, init and final XOR `0xFFFF_FFFF`), so
+/// `crc32c(b"123456789") == 0xE306_9283`.
+#[must_use]
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    !crc32c_append(!0, bytes)
+}
+
+/// Splits a CRC-framed body into its payload and verifies the 4-byte
+/// CRC32C trailer, returning the payload (tag byte included).
+fn check_crc(body: &[u8]) -> Result<&[u8], ProtoError> {
+    if body.len() < 5 {
+        return Err(ProtoError::BadLength {
+            tag: body.first().copied().unwrap_or(0),
+            got: body.len(),
+        });
+    }
+    let (payload, trailer) = body.split_at(body.len() - 4);
+    let got = u32::from_le_bytes(trailer.try_into().expect("sized"));
+    let expected = crc32c(payload);
+    if expected != got {
+        return Err(ProtoError::Crc { expected, got });
+    }
+    Ok(payload)
+}
+
+/// Decodes the *first* body of a connection, which may be CRC-framed
+/// (a protocol ≥ 4 [`Frame::Hello`] or [`Frame::Resume`]) or bare (a
+/// v2/v3 `Hello`) — the server cannot know which until it decodes.
+///
+/// Tries the bare layout first; if that fails and a valid CRC32C
+/// trailer is present, decodes the CRC-framed layout. The two never
+/// collide: every handshake frame has a fixed payload size, so the
+/// 4-byte trailer always makes the bare decode a typed length error,
+/// and a frame whose trailer does not verify keeps the bare decode's
+/// error. Returns the frame and whether it was CRC-framed.
+///
+/// # Errors
+///
+/// Returns the bare decode's [`ProtoError`] when neither layout
+/// verifies.
+pub fn decode_handshake(body: &[u8]) -> Result<(Frame, bool), ProtoError> {
+    match decode_body(body) {
+        Ok(frame) => Ok((frame, false)),
+        Err(first) => {
+            if let Ok(payload) = check_crc(body) {
+                if let Ok(frame) = decode_body(payload) {
+                    return Ok((frame, true));
+                }
+            }
+            Err(first)
+        }
+    }
+}
+
 /// Writes one length-prefixed frame to `w` (no flush — callers batch
 /// frames and flush at protocol boundaries).
 ///
@@ -908,6 +1137,37 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
     encode_body(frame, &mut body);
     w.write_all(&(body.len() as u32).to_le_bytes())?;
     w.write_all(&body)
+}
+
+/// Writes one CRC-framed frame (protocol ≥ 4): the length prefix
+/// covers the body *and* the 4-byte CRC32C trailer computed over the
+/// body, so the frame stays self-delimiting for readers that have not
+/// switched modes yet.
+///
+/// # Errors
+///
+/// Propagates the stream's I/O error.
+pub fn write_frame_crc<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let mut body = Vec::new();
+    encode_body(frame, &mut body);
+    let crc = crc32c(&body);
+    w.write_all(&(body.len() as u32 + 4).to_le_bytes())?;
+    w.write_all(&body)?;
+    w.write_all(&crc.to_le_bytes())
+}
+
+/// [`write_frame`] or [`write_frame_crc`] depending on `crc` — the
+/// session-version dispatch every serving path funnels through.
+///
+/// # Errors
+///
+/// Propagates the stream's I/O error.
+pub fn write_frame_in<W: Write>(w: &mut W, frame: &Frame, crc: bool) -> io::Result<()> {
+    if crc {
+        write_frame_crc(w, frame)
+    } else {
+        write_frame(w, frame)
+    }
 }
 
 /// Writes a `Completion` frame whose payload was already rendered with
@@ -969,18 +1229,25 @@ impl EventBuffer {
         self.count == 0
     }
 
+    /// Encoded unit bytes currently buffered (frame header excluded).
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
     /// True when one more unit — even the widest — might not fit under
     /// [`MAX_FRAME_LEN`]; the caller flushes, then keeps pushing.
     #[must_use]
     pub fn is_full(&self) -> bool {
-        // Frame body = type byte + u32 count + the units.
-        5 + self.buf.len() + EVENT_UNIT_MAX > MAX_FRAME_LEN as usize
+        // Frame body = type byte + u32 count + the units, plus the
+        // 4-byte CRC trailer a v4 flush appends inside the length.
+        5 + self.buf.len() + EVENT_UNIT_MAX + 4 > MAX_FRAME_LEN as usize
     }
 
     /// Appends a completion unit, returning its payload bytes (the
     /// slice the session checksum hashes).
     pub fn push_completion(&mut self, c: &WireCompletion) -> &[u8] {
-        self.buf.push(0);
+        self.buf.push(EVENT_COMPLETION);
         let start = self.buf.len();
         completion_payload(c, &mut self.buf);
         self.count += 1;
@@ -990,11 +1257,21 @@ impl EventBuffer {
     /// Appends a failure unit, returning its payload bytes (the slice
     /// the session checksum hashes).
     pub fn push_failure(&mut self, x: &WireFailure) -> &[u8] {
-        self.buf.push(1);
+        self.buf.push(EVENT_FAILURE);
         let start = self.buf.len();
         failure_payload(x, &mut self.buf);
         self.count += 1;
         &self.buf[start..]
+    }
+
+    /// Appends an already-encoded unit — the journal replay path of a
+    /// resumed session, re-emitting the exact payload bytes the
+    /// original emission produced so the resumed stream is
+    /// byte-identical to an uninterrupted one.
+    pub fn push_raw(&mut self, kind: u8, payload: &[u8]) {
+        self.buf.push(kind);
+        self.buf.extend_from_slice(payload);
+        self.count += 1;
     }
 
     /// Writes the buffered run as one [`Frame::Events`] frame (header
@@ -1006,23 +1283,59 @@ impl EventBuffer {
     /// Propagates the stream's I/O error; a short write that makes no
     /// progress surfaces as [`io::ErrorKind::WriteZero`].
     pub fn flush_to<W: Write>(&mut self, w: &mut W) -> io::Result<()> {
+        self.flush_frame(w, false)
+    }
+
+    /// [`EventBuffer::flush_to`] with the protocol ≥ 4 CRC32C trailer:
+    /// the frame's length covers the units and the trailing CRC over
+    /// `tag + count + units`, exactly as [`write_frame_crc`] would
+    /// produce (a unit test pins the byte identity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stream's I/O error; a short write that makes no
+    /// progress surfaces as [`io::ErrorKind::WriteZero`].
+    pub fn flush_to_crc<W: Write>(&mut self, w: &mut W) -> io::Result<()> {
+        self.flush_frame(w, true)
+    }
+
+    fn flush_frame<W: Write>(&mut self, w: &mut W, crc: bool) -> io::Result<()> {
         if self.count == 0 {
             return Ok(());
         }
+        let trailer_len = if crc { 4 } else { 0 };
         let mut header = [0u8; 9];
-        header[0..4].copy_from_slice(&(self.buf.len() as u32 + 5).to_le_bytes());
+        header[0..4].copy_from_slice(&(self.buf.len() as u32 + 5 + trailer_len).to_le_bytes());
         header[4] = tag::EVENTS;
         header[5..9].copy_from_slice(&self.count.to_le_bytes());
-        // A write-all loop over the vectored [header, units] pair:
-        // `write_vectored` may land anywhere, so resume from the exact
-        // byte offset it reached.
-        let total = header.len() + self.buf.len();
+        // The trailer hashes the frame *body* (tag + count + units),
+        // not the length prefix — computed incrementally so the units
+        // are never re-walked or copied.
+        let trailer = if crc {
+            (!crc32c_append(crc32c_append(!0, &header[4..9]), &self.buf)).to_le_bytes()
+        } else {
+            [0u8; 4]
+        };
+        let trailer = &trailer[..trailer_len as usize];
+        // A write-all loop over the vectored [header, units, trailer]
+        // triple: `write_vectored` may land anywhere, so resume from
+        // the exact byte offset it reached.
+        let total = header.len() + self.buf.len() + trailer.len();
         let mut written = 0usize;
         while written < total {
             let result = if written < header.len() {
-                w.write_vectored(&[IoSlice::new(&header[written..]), IoSlice::new(&self.buf)])
+                w.write_vectored(&[
+                    IoSlice::new(&header[written..]),
+                    IoSlice::new(&self.buf),
+                    IoSlice::new(trailer),
+                ])
+            } else if written < header.len() + self.buf.len() {
+                w.write_vectored(&[
+                    IoSlice::new(&self.buf[written - header.len()..]),
+                    IoSlice::new(trailer),
+                ])
             } else {
-                w.write(&self.buf[written - header.len()..])
+                w.write(&trailer[written - header.len() - self.buf.len()..])
             };
             match result {
                 Ok(0) => {
@@ -1066,6 +1379,27 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtoError> {
     decode_body(&body)
 }
 
+/// [`read_frame`] for a CRC-framed (protocol ≥ 4) stream: verifies the
+/// CRC32C trailer before decoding.
+///
+/// # Errors
+///
+/// As [`read_frame`], plus [`ProtoError::Crc`] on a trailer mismatch.
+pub fn read_frame_crc<R: Read>(r: &mut R) -> Result<Frame, ProtoError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::Oversized(len));
+    }
+    if len == 0 {
+        return Err(ProtoError::Empty);
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    check_crc(&body).and_then(decode_body)
+}
+
 /// An incremental, restartable frame decoder for streams with read
 /// timeouts or non-blocking sockets.
 ///
@@ -1086,6 +1420,9 @@ pub struct FrameReader {
     body_filled: usize,
     /// Body length once the header is complete.
     need: Option<usize>,
+    /// When set, every body ends in a CRC32C trailer that is verified
+    /// before decode (protocol ≥ 4 framing).
+    crc: bool,
 }
 
 impl FrameReader {
@@ -1093,6 +1430,19 @@ impl FrameReader {
     #[must_use]
     pub fn new() -> Self {
         FrameReader::default()
+    }
+
+    /// Switches CRC framing on or off (protocol ≥ 4 sessions switch it
+    /// on once the handshake pins the version). Takes effect at the
+    /// next frame boundary.
+    pub fn set_crc(&mut self, on: bool) {
+        self.crc = on;
+    }
+
+    /// True when the reader verifies CRC32C trailers before decode.
+    #[must_use]
+    pub fn crc_enabled(&self) -> bool {
+        self.crc
     }
 
     /// True while a frame is partially received (a teardown at this
@@ -1112,6 +1462,42 @@ impl FrameReader {
     /// [`io::ErrorKind::UnexpectedEof`] with [`FrameReader::mid_frame`]
     /// false) and the matching decode error on a malformed frame.
     pub fn poll<R: Read>(&mut self, r: &mut R) -> Result<Option<Frame>, ProtoError> {
+        match self.poll_body(r)? {
+            Some(need) => {
+                let body = &self.body[..need];
+                if self.crc {
+                    check_crc(body).and_then(decode_body).map(Some)
+                } else {
+                    decode_body(body).map(Some)
+                }
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Like [`FrameReader::poll`], but for the *first* frame of a
+    /// connection, whose framing is unknown until decoded: accepts both
+    /// the bare and the CRC-framed layout (see [`decode_handshake`]),
+    /// returns which one arrived, and arms [`FrameReader::set_crc`]
+    /// accordingly for every subsequent poll.
+    ///
+    /// # Errors
+    ///
+    /// As [`FrameReader::poll`].
+    pub fn poll_first<R: Read>(&mut self, r: &mut R) -> Result<Option<(Frame, bool)>, ProtoError> {
+        match self.poll_body(r)? {
+            Some(need) => {
+                let (frame, crc) = decode_handshake(&self.body[..need])?;
+                self.crc = crc;
+                Ok(Some((frame, crc)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Accumulates header and body bytes; `Some(len)` once a whole body
+    /// of `len` bytes sits in `self.body`.
+    fn poll_body<R: Read>(&mut self, r: &mut R) -> Result<Option<usize>, ProtoError> {
         if self.need.is_none() {
             match self.fill(r, true)? {
                 Filled::Complete => {
@@ -1135,7 +1521,7 @@ impl FrameReader {
             Filled::Complete => {
                 let need = self.need.take().expect("body phase has a length");
                 self.body_filled = 0;
-                decode_body(&self.body[..need]).map(Some)
+                Ok(Some(need))
             }
             Filled::WouldBlock => Ok(None),
         }
@@ -1254,15 +1640,205 @@ mod tests {
 
     #[test]
     fn hello_ack_round_trips() {
-        round_trip(Frame::HelloAck(SessionParams {
-            version: PROTOCOL_VERSION,
+        // v4: the ack carries the session token after the params.
+        round_trip(Frame::HelloAck {
+            params: SessionParams {
+                version: PROTOCOL_VERSION,
+                shards: 2,
+                module_mib: 128,
+                max_outstanding: 512,
+                target_rows_per_s: 0,
+                refresh: 1,
+                compute_rows: 16,
+            },
+            token: 0xfeed_face_0123_4567,
+        });
+        // Below v4 the token is absent from the wire (and must be 0):
+        // the 25-byte v2/v3 ack layout is unchanged.
+        let v3 = SessionParams {
+            version: 3,
             shards: 2,
             module_mib: 128,
             max_outstanding: 512,
             target_rows_per_s: 0,
             refresh: 1,
             compute_rows: 16,
+        };
+        round_trip(Frame::HelloAck {
+            params: v3,
+            token: 0,
+        });
+        let mut body = Vec::new();
+        encode_body(
+            &Frame::HelloAck {
+                params: v3,
+                token: 0,
+            },
+            &mut body,
+        );
+        assert_eq!(body.len(), 26, "v3 ack layout: tag + 25-byte params");
+        // A v4 ack truncated to the tokenless layout (or a v3 ack with
+        // a trailing token) is a typed length error, not a misread.
+        let mut v4body = Vec::new();
+        encode_body(
+            &Frame::HelloAck {
+                params: SessionParams::defaults(),
+                token: 7,
+            },
+            &mut v4body,
+        );
+        assert!(matches!(
+            body_err(&v4body[..26]),
+            ProtoError::BadLength { .. }
+        ));
+        body.extend_from_slice(&7u64.to_le_bytes());
+        assert!(matches!(body_err(&body), ProtoError::BadLength { .. }));
+    }
+
+    #[test]
+    fn resume_round_trips() {
+        round_trip(Frame::Resume(ResumeRequest {
+            version: PROTOCOL_VERSION,
+            token: 0xdead_beef_cafe_f00d,
+            events_received: 123_456,
         }));
+        round_trip(Frame::ResumeAck(ResumeAck {
+            params: SessionParams::defaults(),
+            token: 0xdead_beef_cafe_f00d,
+            next_seq: 4096,
+            replay_events: 37,
+            finished: 1,
+        }));
+    }
+
+    #[test]
+    fn crc32c_matches_the_castagnoli_reference_vectors() {
+        // The canonical check value, plus RFC 3720-style edge vectors.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn crc_framed_frames_round_trip_and_detect_corruption() {
+        let frame = Frame::Batch(vec![CodicOp::read(0x40), CodicOp::write(0x80)]);
+        let mut wire = Vec::new();
+        write_frame_crc(&mut wire, &frame).unwrap();
+        // The length prefix covers the body plus the 4-byte trailer.
+        let len = u32::from_le_bytes(wire[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len, wire.len() - 4);
+        assert_eq!(read_frame_crc(&mut wire.as_slice()).unwrap(), frame);
+        let mut frames = FrameReader::new();
+        frames.set_crc(true);
+        assert_eq!(frames.poll(&mut wire.as_slice()).unwrap(), Some(frame));
+        // Any corrupted body byte is a typed Crc error, before decode.
+        for pos in 4..wire.len() {
+            let mut mutant = wire.clone();
+            mutant[pos] ^= 0x10;
+            let mut frames = FrameReader::new();
+            frames.set_crc(true);
+            assert!(matches!(
+                frames.poll(&mut mutant.as_slice()),
+                Err(ProtoError::Crc { .. })
+            ));
+            assert!(matches!(
+                read_frame_crc(&mut mutant.as_slice()),
+                Err(ProtoError::Crc { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn event_buffer_crc_flush_matches_write_frame_crc_byte_for_byte() {
+        let events = sample_events();
+        let mut via_frame = Vec::new();
+        write_frame_crc(&mut via_frame, &Frame::Events(events.clone())).unwrap();
+        let mut buffer = EventBuffer::new();
+        for event in &events {
+            match event {
+                SessionEvent::Completion(c) => buffer.push_completion(c),
+                SessionEvent::Failure(x) => buffer.push_failure(x),
+            };
+        }
+        let mut via_buffer = Vec::new();
+        buffer.flush_to_crc(&mut via_buffer).unwrap();
+        assert_eq!(via_buffer, via_frame);
+        assert!(buffer.is_empty());
+    }
+
+    #[test]
+    fn push_raw_reemits_journaled_units_byte_identically() {
+        let events = sample_events();
+        let mut original = EventBuffer::new();
+        let mut journal: Vec<(u8, Vec<u8>)> = Vec::new();
+        for event in &events {
+            let (kind, payload) = match event {
+                SessionEvent::Completion(c) => (0u8, original.push_completion(c)),
+                SessionEvent::Failure(x) => (1u8, original.push_failure(x)),
+            };
+            journal.push((kind, payload.to_vec()));
+        }
+        let mut first = Vec::new();
+        original.flush_to_crc(&mut first).unwrap();
+        let mut replayed = EventBuffer::new();
+        for (kind, payload) in &journal {
+            replayed.push_raw(*kind, payload);
+        }
+        let mut second = Vec::new();
+        replayed.flush_to_crc(&mut second).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn handshake_decoding_accepts_both_framings() {
+        for frame in [
+            Frame::Hello(SessionParams::defaults()),
+            Frame::Resume(ResumeRequest {
+                version: PROTOCOL_VERSION,
+                token: 42,
+                events_received: 7,
+            }),
+        ] {
+            let mut bare = Vec::new();
+            encode_body(&frame, &mut bare);
+            assert_eq!(decode_handshake(&bare).unwrap(), (frame.clone(), false));
+            let crc = crc32c(&bare);
+            let mut framed = bare.clone();
+            framed.extend_from_slice(&crc.to_le_bytes());
+            assert_eq!(decode_handshake(&framed).unwrap(), (frame, true));
+            // A corrupted CRC-framed handshake never decodes.
+            for pos in 0..framed.len() {
+                let mut mutant = framed.clone();
+                mutant[pos] ^= 0x01;
+                assert!(decode_handshake(&mutant).is_err(), "flip at {pos} decoded");
+            }
+        }
+        // poll_first arms the reader's CRC mode from what it saw.
+        let hello = Frame::Hello(SessionParams::defaults());
+        let mut wire = Vec::new();
+        write_frame_crc(&mut wire, &hello).unwrap();
+        write_frame_crc(&mut wire, &Frame::Flush).unwrap();
+        let mut stream = wire.as_slice();
+        let mut frames = FrameReader::new();
+        assert_eq!(
+            frames.poll_first(&mut stream).unwrap(),
+            Some((hello.clone(), true))
+        );
+        assert!(frames.crc_enabled());
+        assert_eq!(frames.poll(&mut stream).unwrap(), Some(Frame::Flush));
+        // And bare framing (a v2/v3 client) leaves CRC mode off.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &hello).unwrap();
+        write_frame(&mut wire, &Frame::Flush).unwrap();
+        let mut stream = wire.as_slice();
+        let mut frames = FrameReader::new();
+        assert_eq!(
+            frames.poll_first(&mut stream).unwrap(),
+            Some((hello, false))
+        );
+        assert!(!frames.crc_enabled());
+        assert_eq!(frames.poll(&mut stream).unwrap(), Some(Frame::Flush));
     }
 
     #[test]

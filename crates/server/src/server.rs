@@ -36,14 +36,15 @@
 //! bytes — the only bytes the session checksum hashes — are identical
 //! to the per-op frames a v2 session gets.
 
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use codic_core::device::DeviceConfig;
 use codic_core::error::CodicError;
@@ -56,9 +57,9 @@ use codic_dram::{DramGeometry, TimingParams};
 
 use crate::governor::RateGovernor;
 use crate::proto::{
-    self, write_frame, BatchAck, ErrorCode, EventBuffer, FlushAck, Fnv64, Frame, FrameReader,
-    ProtoError, SessionParams, Summary, WireCompletion, WireFailure, MIN_PROTOCOL_VERSION,
-    PROTOCOL_VERSION,
+    self, write_frame_in, BatchAck, ErrorCode, EventBuffer, FlushAck, Fnv64, Frame, FrameReader,
+    ProtoError, ResumeAck, SessionParams, Summary, WireCompletion, WireFailure,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 
 /// Server-side session defaults and caps.
@@ -91,6 +92,21 @@ pub struct ServerConfig {
     /// way; worker mode overlaps decode, engine stepping, and encoding
     /// across cores.
     pub workers: bool,
+    /// Socket read timeout in milliseconds: how long a session thread
+    /// parks inside a read before re-checking the shutdown flag and the
+    /// idle deadline (`--read-timeout-ms`).
+    pub read_timeout_ms: u64,
+    /// Idle deadline in milliseconds (`--session-idle-ms`): a connected
+    /// session that sends no frame for this long is torn down with an
+    /// honest `Error` + `Summary` ([`SessionEnd::Idle`]), and a parked
+    /// v4 session nobody resumes for this long is reaped and its
+    /// journal freed.
+    pub session_idle_ms: u64,
+    /// Per-session cap on the v4 resume journal, in bytes: the journal
+    /// keeps the most recent event payloads up to this bound, evicting
+    /// the oldest whole events first. A `Resume` pointing before the
+    /// retained window is honestly rejected (`--journal-max-kib`).
+    pub journal_max_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +125,9 @@ impl Default for ServerConfig {
             health: HealthPolicy::default(),
             compute_rows: 0,
             workers: false,
+            read_timeout_ms: 25,
+            session_idle_ms: 30_000,
+            journal_max_bytes: 8 << 20,
         }
     }
 }
@@ -495,8 +514,159 @@ pub enum SessionEnd {
     /// drained (or failed with a typed cause) and an honest `Summary`
     /// was sent before the connection closed.
     Shutdown,
+    /// The client sent no frame for the whole idle deadline
+    /// ([`ServerConfig::session_idle_ms`]): in-flight operations were
+    /// drained, an `Error` and an honest `Summary` were sent, and the
+    /// session's memory (journal included) was freed.
+    Idle,
+    /// A protocol ≥ 4 session's connection was cut or corrupted
+    /// mid-stream: the session state was parked in the
+    /// [`SessionRegistry`] and a reconnecting client can
+    /// [`Frame::Resume`] it. This ends the *connection*, not the
+    /// session.
+    Suspended,
     /// The socket failed.
     Io(io::Error),
+}
+
+/// splitmix64 — the deterministic generator shared with the fault and
+/// chaos layers, used here to mint session tokens from a counter.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The full state of one live v4 session, detached from any particular
+/// connection so a cut can park it and a [`Frame::Resume`] can pick it
+/// back up.
+struct SessionState {
+    params: SessionParams,
+    token: u64,
+    engine: ReplayEngine,
+    governor: RateGovernor,
+    tally: SessionTally,
+    /// The summary of a completed session (`Bye` processed), kept so a
+    /// client whose connection died before the `Summary` arrived can
+    /// resume and receive it.
+    finished: Option<Summary>,
+}
+
+impl SessionState {
+    fn new(params: SessionParams, token: u64, config: &ServerConfig) -> Self {
+        SessionState {
+            params,
+            token,
+            engine: ReplayEngine::with_options(
+                &params,
+                config.fault,
+                config.retry,
+                config.health,
+                config.workers,
+            ),
+            governor: RateGovernor::new(params.target_rows_per_s),
+            tally: SessionTally::for_params(&params, config.journal_max_bytes),
+            finished: None,
+        }
+    }
+}
+
+/// A parked session awaiting its client's [`Frame::Resume`].
+struct ParkedSession {
+    session: SessionState,
+    parked_at: Instant,
+}
+
+/// Where disconnected v4 sessions wait for their clients to come back.
+///
+/// One registry serves one [`ReplayServer`] (every connection thread
+/// shares it); the in-memory [`serve_session`] helpers create a
+/// throwaway registry per call, so a parked session there is simply
+/// dropped — exactly the old semantics. Parked sessions are bounded in
+/// time by [`SessionRegistry::reap_idle`] (the accept loop runs it) and
+/// in memory by each session's journal cap.
+#[derive(Default)]
+pub struct SessionRegistry {
+    inner: Mutex<HashMap<u64, ParkedSession>>,
+    /// Signalled on every park, so a resume that arrives before the old
+    /// connection's thread noticed the cut can wait for the handoff.
+    parked: Condvar,
+    tokens: AtomicU64,
+}
+
+impl fmt::Debug for SessionRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SessionRegistry({} parked)", self.parked_sessions())
+    }
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        SessionRegistry::default()
+    }
+
+    /// Sessions currently parked (cut mid-stream, awaiting resume).
+    #[must_use]
+    pub fn parked_sessions(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Drops every parked session older than `idle`, freeing its
+    /// journal, and returns how many were reaped.
+    pub fn reap_idle(&self, idle: Duration) -> usize {
+        let mut inner = self.lock();
+        let before = inner.len();
+        inner.retain(|_, parked| parked.parked_at.elapsed() < idle);
+        before - inner.len()
+    }
+
+    /// A fresh session token: unique per registry (counter-derived,
+    /// whitened through splitmix64) and never 0.
+    fn mint_token(&self) -> u64 {
+        let n = self.tokens.fetch_add(1, Ordering::Relaxed);
+        mix64(n.wrapping_add(0xc0d1_c0de_5e55_1040)).max(1)
+    }
+
+    fn park(&self, session: SessionState) {
+        let mut inner = self.lock();
+        inner.insert(
+            session.token,
+            ParkedSession {
+                session,
+                parked_at: Instant::now(),
+            },
+        );
+        self.parked.notify_all();
+    }
+
+    /// Removes and returns the parked session with `token`, waiting up
+    /// to `grace` for the previous connection's thread to park it (the
+    /// reconnect usually wins that race by a few milliseconds).
+    fn claim(&self, token: u64, grace: Duration) -> Option<SessionState> {
+        let deadline = Instant::now() + grace;
+        let mut inner = self.lock();
+        loop {
+            if let Some(parked) = inner.remove(&token) {
+                return Some(parked.session);
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            inner = match self.parked.wait_timeout(inner, left) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// The registry lock, recovered from poisoning: a panicking session
+    /// thread must not wedge every other session's resume path.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, ParkedSession>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// Serves one established session over any byte stream (the Unix-socket
@@ -514,25 +684,6 @@ pub fn serve_session<R: Read, W: Write>(
     serve_session_until(reader, writer, config, &AtomicBool::new(false))
 }
 
-/// Pulls the next frame, surfacing a shutdown request as `Ok(None)`.
-/// A stream without a read timeout simply blocks in `poll` until a
-/// frame arrives, so shutdown is only observed between frames there;
-/// the Unix-socket path sets a read timeout to bound the latency.
-fn next_frame<R: Read>(
-    reader: &mut R,
-    frames: &mut FrameReader,
-    shutdown: &AtomicBool,
-) -> Result<Option<Frame>, ProtoError> {
-    loop {
-        if shutdown.load(Ordering::Relaxed) {
-            return Ok(None);
-        }
-        if let Some(frame) = frames.poll(reader)? {
-            return Ok(Some(frame));
-        }
-    }
-}
-
 /// [`serve_session`] with a shutdown flag: when `shutdown` becomes true
 /// the session stops reading, drains every in-flight operation (failing
 /// what cannot finish, with typed causes), sends the honest `Summary`
@@ -548,121 +699,452 @@ pub fn serve_session_until<R: Read, W: Write>(
     config: &ServerConfig,
     shutdown: &AtomicBool,
 ) -> io::Result<SessionEnd> {
-    let mut frames = FrameReader::new();
-    // The session opens with a Hello.
-    let hello = match next_frame(reader, &mut frames, shutdown) {
-        Ok(Some(Frame::Hello(params))) => params,
-        Ok(Some(other)) => {
-            let reason = format!("expected Hello, got {}", frame_name(&other));
-            send_error(writer, ErrorCode::Malformed, &reason)?;
-            return Ok(SessionEnd::Rejected(reason));
+    serve_connection(reader, writer, config, shutdown, &SessionRegistry::new())
+}
+
+/// What the serving loop pulled from the stream between frames.
+enum Input {
+    Frame(Frame),
+    Shutdown,
+    Idle,
+}
+
+/// Pulls the next frame, surfacing a shutdown request or an expired
+/// idle deadline as typed inputs. A stream without a read timeout
+/// simply blocks in `poll` until a frame arrives, so shutdown and idle
+/// are only observed between frames there; the Unix-socket path sets
+/// [`ServerConfig::read_timeout_ms`] to bound the latency.
+fn next_input<R: Read>(
+    reader: &mut R,
+    frames: &mut FrameReader,
+    shutdown: &AtomicBool,
+    idle: Duration,
+) -> Result<Input, ProtoError> {
+    let since = Instant::now();
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok(Input::Shutdown);
         }
-        Ok(None) => {
-            send_error(writer, ErrorCode::Unavailable, "server is shutting down")?;
+        if let Some(frame) = frames.poll(reader)? {
+            return Ok(Input::Frame(frame));
+        }
+        if since.elapsed() >= idle {
+            return Ok(Input::Idle);
+        }
+    }
+}
+
+/// [`next_input`] for the first frame of a connection, whose framing
+/// (bare or CRC-trailed) is unknown until decoded; arms the reader's
+/// CRC mode to match what arrived.
+fn first_input<R: Read>(
+    reader: &mut R,
+    frames: &mut FrameReader,
+    shutdown: &AtomicBool,
+    idle: Duration,
+) -> Result<Input, ProtoError> {
+    let since = Instant::now();
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok(Input::Shutdown);
+        }
+        if let Some((frame, _crc)) = frames.poll_first(reader)? {
+            return Ok(Input::Frame(frame));
+        }
+        if since.elapsed() >= idle {
+            return Ok(Input::Idle);
+        }
+    }
+}
+
+/// Serves one *connection* against a shared [`SessionRegistry`]: a
+/// `Hello` opens a fresh session; a `Resume` re-attaches a parked one.
+/// This is the full v4-aware entry point the [`ReplayServer`] runs per
+/// accepted socket — [`serve_session_until`] is this with a throwaway
+/// registry (no cross-connection resume).
+///
+/// # Errors
+///
+/// Returns the socket failure that ended the session, if any; protocol
+/// violations, disconnects, deadlines, and parking are reported in
+/// [`SessionEnd`].
+pub fn serve_connection<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+    registry: &SessionRegistry,
+) -> io::Result<SessionEnd> {
+    let mut frames = FrameReader::new();
+    let idle = Duration::from_millis(config.session_idle_ms.max(1));
+    let first = match first_input(reader, &mut frames, shutdown, idle) {
+        Ok(Input::Frame(frame)) => frame,
+        Ok(Input::Shutdown) => {
+            send_error(
+                writer,
+                ErrorCode::Unavailable,
+                "server is shutting down",
+                frames.crc_enabled(),
+            )?;
             return Ok(SessionEnd::Shutdown);
+        }
+        Ok(Input::Idle) => {
+            send_error(
+                writer,
+                ErrorCode::Unavailable,
+                "handshake idle deadline exceeded",
+                frames.crc_enabled(),
+            )?;
+            return Ok(SessionEnd::Idle);
         }
         Err(ProtoError::Io(e)) => return io_end(e),
         Err(e) => {
-            send_error(writer, ErrorCode::Malformed, &e.to_string())?;
+            send_error(writer, ErrorCode::Malformed, &e.to_string(), false)?;
             return Ok(SessionEnd::Protocol(e));
         }
     };
-    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&hello.version) {
-        let reason = format!(
-            "server speaks v{MIN_PROTOCOL_VERSION}..=v{PROTOCOL_VERSION}, client sent v{}",
-            hello.version
-        );
-        send_error(writer, ErrorCode::Version, &reason)?;
-        return Ok(SessionEnd::Rejected(reason));
-    }
-    let params = config.negotiate(&hello);
-    write_frame(writer, &Frame::HelloAck(params))?;
-    writer.flush()?;
-
-    let mut engine = ReplayEngine::with_options(
-        &params,
-        config.fault,
-        config.retry,
-        config.health,
-        config.workers,
-    );
-    let mut governor = RateGovernor::new(params.target_rows_per_s);
-    let mut tally = SessionTally::for_version(params.version);
-
-    loop {
-        match next_frame(reader, &mut frames, shutdown) {
-            Ok(Some(Frame::Batch(ops))) => {
-                let seq_base = engine.next_seq();
-                match engine.submit_batch(&ops) {
-                    Ok(completions) => {
-                        tally.emit(writer, &completions)?;
-                        write_frame(
-                            writer,
-                            &Frame::Batched(BatchAck {
-                                seq_base,
-                                accepted: ops.len() as u32,
-                                emitted: completions.len() as u32,
-                                outstanding: engine.outstanding() as u64,
-                            }),
-                        )?;
-                        writer.flush()?;
-                        if let Some(pause) = governor.on_rows(ops.len() as u64) {
-                            thread::sleep(pause);
-                        }
-                    }
-                    Err(CodicError::NoHealthyShards) => {
-                        send_error(
-                            writer,
-                            ErrorCode::Unavailable,
-                            &CodicError::NoHealthyShards.to_string(),
-                        )?;
-                    }
-                    Err(policy) => {
-                        send_error(writer, ErrorCode::Policy, &policy.to_string())?;
-                    }
-                }
-            }
-            Ok(Some(Frame::Flush)) => {
-                let completions = engine.flush();
-                tally.emit(writer, &completions)?;
-                write_frame(
-                    writer,
-                    &Frame::Flushed(FlushAck {
-                        emitted: completions.len() as u64,
-                        now_max: engine.now_max(),
-                    }),
-                )?;
-                writer.flush()?;
-            }
-            Ok(Some(Frame::Bye)) => {
-                let completions = engine.flush();
-                tally.emit(writer, &completions)?;
-                write_frame(writer, &Frame::Summary(tally.summary()))?;
-                writer.flush()?;
-                return Ok(SessionEnd::Bye);
-            }
-            Ok(Some(other)) => {
-                let reason = format!("expected Batch/Flush/Bye, got {}", frame_name(&other));
-                send_error(writer, ErrorCode::Malformed, &reason)?;
+    match first {
+        Frame::Hello(hello) => {
+            if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&hello.version) {
+                let reason = format!(
+                    "server speaks v{MIN_PROTOCOL_VERSION}..=v{PROTOCOL_VERSION}, client sent v{}",
+                    hello.version
+                );
+                send_error(writer, ErrorCode::Version, &reason, frames.crc_enabled())?;
                 return Ok(SessionEnd::Rejected(reason));
             }
-            Ok(None) => {
+            let params = config.negotiate(&hello);
+            // From here the framing follows the *negotiated version*,
+            // whatever the Hello itself looked like: every frame of a
+            // v4 session carries the CRC trailer, in both directions.
+            let crc = params.version >= 4;
+            frames.set_crc(crc);
+            let token = if crc { registry.mint_token() } else { 0 };
+            write_frame_in(writer, &Frame::HelloAck { params, token }, crc)?;
+            writer.flush()?;
+            let session = SessionState::new(params, token, config);
+            run_session(
+                session,
+                reader,
+                writer,
+                &mut frames,
+                config,
+                shutdown,
+                registry,
+            )
+        }
+        Frame::Resume(req) => {
+            frames.set_crc(true);
+            resume_session(req, reader, writer, &mut frames, config, shutdown, registry)
+        }
+        other => {
+            let reason = format!("expected Hello or Resume, got {}", frame_name(&other));
+            send_error(writer, ErrorCode::Malformed, &reason, frames.crc_enabled())?;
+            Ok(SessionEnd::Rejected(reason))
+        }
+    }
+}
+
+/// Re-attaches a parked session to a fresh connection: validates the
+/// token and the requested journal window, acks, re-emits the journal
+/// tail, and hands control back to the serving loop (or re-delivers the
+/// final `Summary` of an already-finished session).
+fn resume_session<R: Read, W: Write>(
+    req: proto::ResumeRequest,
+    reader: &mut R,
+    writer: &mut W,
+    frames: &mut FrameReader,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+    registry: &SessionRegistry,
+) -> io::Result<SessionEnd> {
+    if req.version < 4 {
+        let reason = format!("resume requires protocol >= 4, got v{}", req.version);
+        send_error(writer, ErrorCode::Version, &reason, true)?;
+        return Ok(SessionEnd::Rejected(reason));
+    }
+    // Wait briefly for the previous connection's thread to notice the
+    // cut and park the session — the reconnect usually wins that race.
+    let grace = Duration::from_millis((config.read_timeout_ms.max(1) * 8).max(500));
+    let Some(mut session) = registry.claim(req.token, grace) else {
+        let reason = "unknown, expired, or still-active session token".to_string();
+        send_error(writer, ErrorCode::Unavailable, &reason, true)?;
+        return Ok(SessionEnd::Rejected(reason));
+    };
+    let (base, total) = session.tally.journal_window();
+    if req.events_received > total || req.events_received < base {
+        // The claim consumed the session: a client whose resume point
+        // fell outside the bounded journal can never be made whole, so
+        // the session — and its journal memory — is dropped here. The
+        // window check is pure arithmetic on the already-bounded
+        // journal; nothing is allocated from the request's numbers.
+        let reason = format!(
+            "resume point {} outside the retained journal window {base}..={total}",
+            req.events_received
+        );
+        send_error(writer, ErrorCode::Unavailable, &reason, true)?;
+        return Ok(SessionEnd::Rejected(reason));
+    }
+    let finished = session.finished;
+    let ack = Frame::ResumeAck(ResumeAck {
+        params: session.params,
+        token: session.token,
+        next_seq: session.engine.next_seq(),
+        replay_events: total - req.events_received,
+        finished: u8::from(finished.is_some()),
+    });
+    let handoff = (|| -> io::Result<()> {
+        write_frame_in(writer, &ack, true)?;
+        session.tally.replay_journal(writer, req.events_received)?;
+        if let Some(summary) = finished {
+            write_frame_in(writer, &Frame::Summary(summary), true)?;
+        }
+        writer.flush()
+    })();
+    if handoff.is_err() {
+        // The replacement connection died too: park again for the next
+        // attempt (the journal still covers everything unacknowledged).
+        session.tally.reset_wire_state();
+        registry.park(session);
+        return Ok(SessionEnd::Suspended);
+    }
+    if finished.is_some() {
+        // Keep the tombstone around until the reaper claims it, in case
+        // this Summary is lost in a cut as well.
+        registry.park(session);
+        return Ok(SessionEnd::Bye);
+    }
+    run_session(session, reader, writer, frames, config, shutdown, registry)
+}
+
+/// Control flow out of one frame's handling.
+enum Flow {
+    Continue,
+    End(SessionEnd),
+}
+
+/// The established-session serving loop, generic over how the session
+/// started (fresh `Hello` or `Resume`). Owns the session state so a cut
+/// can move it into the registry.
+fn run_session<R: Read, W: Write>(
+    mut session: SessionState,
+    reader: &mut R,
+    writer: &mut W,
+    frames: &mut FrameReader,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+    registry: &SessionRegistry,
+) -> io::Result<SessionEnd> {
+    let idle = Duration::from_millis(config.session_idle_ms.max(1));
+    let crc = session.params.version >= 4;
+    loop {
+        match next_input(reader, frames, shutdown, idle) {
+            Ok(Input::Frame(frame)) => match handle_frame(&mut session, frame, writer) {
+                Ok(Flow::Continue) => {}
+                Ok(Flow::End(end)) => {
+                    if crc && matches!(end, SessionEnd::Bye) {
+                        // Park the finished session as a tombstone: if
+                        // the Summary was lost in a cut the client never
+                        // saw, its Resume re-delivers journal + Summary.
+                        session.tally.reset_wire_state();
+                        registry.park(session);
+                    }
+                    return Ok(end);
+                }
+                // The write path died mid-emission: everything emitted
+                // (and half-emitted) is already journaled, so park for
+                // resume instead of losing the session.
+                Err(_) if crc => {
+                    session.tally.reset_wire_state();
+                    registry.park(session);
+                    return Ok(SessionEnd::Suspended);
+                }
+                Err(e) => return Err(e),
+            },
+            Ok(Input::Shutdown) => {
                 // Graceful teardown: everything in flight is drained
                 // (or failed, with a typed cause) and accounted, then
                 // the client gets the honest totals of what the session
                 // really delivered.
-                let completions = engine.flush();
-                tally.emit(writer, &completions)?;
-                write_frame(writer, &Frame::Summary(tally.summary()))?;
+                let completions = session.engine.flush();
+                session.tally.emit(writer, &completions)?;
+                write_frame_in(writer, &Frame::Summary(session.tally.summary()), crc)?;
                 writer.flush()?;
                 return Ok(SessionEnd::Shutdown);
             }
+            Ok(Input::Idle) => {
+                // A silent client is torn down honestly — drained,
+                // accounted, told why — and its memory (journal
+                // included) freed. Best-effort writes: the peer may
+                // already be gone, and the reap must happen regardless.
+                let completions = session.engine.flush();
+                let teardown = (|| -> io::Result<()> {
+                    session.tally.emit(writer, &completions)?;
+                    send_error(
+                        writer,
+                        ErrorCode::Unavailable,
+                        &format!(
+                            "session idle deadline ({} ms) exceeded",
+                            config.session_idle_ms
+                        ),
+                        crc,
+                    )?;
+                    write_frame_in(writer, &Frame::Summary(session.tally.summary()), crc)?;
+                    writer.flush()
+                })();
+                drop(teardown);
+                return Ok(SessionEnd::Idle);
+            }
+            // A cut or corrupted stream parks a v4 session for resume —
+            // *any* read failure, decode errors included: a corrupted
+            // length prefix desynchronizes everything after it, so the
+            // whole wire is untrustworthy while the session state is
+            // still consistent. The client reconnects and resumes; a
+            // client that never does is bounded by the idle reaper.
+            // v2/v3 sessions keep the old teardown semantics.
+            Err(_) if crc => {
+                session.tally.reset_wire_state();
+                registry.park(session);
+                return Ok(SessionEnd::Suspended);
+            }
             Err(ProtoError::Io(e)) => return io_end(e),
             Err(e) => {
-                send_error(writer, ErrorCode::Malformed, &e.to_string())?;
+                send_error(writer, ErrorCode::Malformed, &e.to_string(), crc)?;
                 return Ok(SessionEnd::Protocol(e));
             }
         }
+    }
+}
+
+/// Handles one in-session frame. Write errors bubble up so the caller
+/// can park a v4 session instead of dropping it.
+fn handle_frame<W: Write>(
+    session: &mut SessionState,
+    frame: Frame,
+    writer: &mut W,
+) -> io::Result<Flow> {
+    let crc = session.params.version >= 4;
+    match frame {
+        Frame::Batch(ops) => {
+            let seq_base = session.engine.next_seq();
+            match session.engine.submit_batch(&ops) {
+                Ok(completions) => {
+                    session.tally.emit(writer, &completions)?;
+                    write_frame_in(
+                        writer,
+                        &Frame::Batched(BatchAck {
+                            seq_base,
+                            accepted: ops.len() as u32,
+                            emitted: completions.len() as u32,
+                            outstanding: session.engine.outstanding() as u64,
+                        }),
+                        crc,
+                    )?;
+                    writer.flush()?;
+                    if let Some(pause) = session.governor.on_rows(ops.len() as u64) {
+                        thread::sleep(pause);
+                    }
+                }
+                Err(CodicError::NoHealthyShards) => {
+                    send_error(
+                        writer,
+                        ErrorCode::Unavailable,
+                        &CodicError::NoHealthyShards.to_string(),
+                        crc,
+                    )?;
+                }
+                Err(policy) => {
+                    send_error(writer, ErrorCode::Policy, &policy.to_string(), crc)?;
+                }
+            }
+            Ok(Flow::Continue)
+        }
+        Frame::Flush => {
+            let completions = session.engine.flush();
+            session.tally.emit(writer, &completions)?;
+            write_frame_in(
+                writer,
+                &Frame::Flushed(FlushAck {
+                    emitted: completions.len() as u64,
+                    now_max: session.engine.now_max(),
+                }),
+                crc,
+            )?;
+            writer.flush()?;
+            Ok(Flow::Continue)
+        }
+        Frame::Bye => {
+            let completions = session.engine.flush();
+            session.tally.emit(writer, &completions)?;
+            let summary = session.tally.summary();
+            write_frame_in(writer, &Frame::Summary(summary), crc)?;
+            writer.flush()?;
+            // Marked finished only once the Summary writes cleanly: a
+            // cut before that resumes into the normal loop, where the
+            // client's re-sent Bye produces the identical Summary.
+            session.finished = Some(summary);
+            Ok(Flow::End(SessionEnd::Bye))
+        }
+        other => {
+            let reason = format!("expected Batch/Flush/Bye, got {}", frame_name(&other));
+            send_error(writer, ErrorCode::Malformed, &reason, crc)?;
+            Ok(Flow::End(SessionEnd::Rejected(reason)))
+        }
+    }
+}
+
+/// The bounded v4 resume journal: the most recent event payloads of a
+/// session, exactly as encoded (and checksummed) on first emission, so
+/// a resumed connection can re-send the bytes an interrupted one lost.
+///
+/// Bounded by a byte cap: pushing past it evicts the oldest whole
+/// events, sliding the retained window's base forward. A resume
+/// pointing before the base is honestly rejected — nothing here ever
+/// allocates from a client-supplied number.
+#[derive(Debug)]
+struct EventJournal {
+    /// `(unit kind, payload bytes)` per event, oldest first.
+    events: VecDeque<(u8, Box<[u8]>)>,
+    /// Index of the oldest retained event in the session's full stream.
+    base: u64,
+    /// Retained payload bytes (plus one kind byte per event).
+    bytes: usize,
+    cap: usize,
+}
+
+impl EventJournal {
+    fn new(cap: usize) -> Self {
+        EventJournal {
+            events: VecDeque::new(),
+            base: 0,
+            bytes: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    fn push(&mut self, kind: u8, payload: &[u8]) {
+        self.bytes += payload.len() + 1;
+        self.events.push_back((kind, payload.into()));
+        // Keep at least the newest event even if it alone exceeds the
+        // cap: a journal that can't hold one event is useless.
+        while self.bytes > self.cap && self.events.len() > 1 {
+            let (_, old) = self.events.pop_front().expect("len > 1");
+            self.bytes -= old.len() + 1;
+            self.base += 1;
+        }
+    }
+
+    /// The retained window as `(base, total)`: events `base..total` of
+    /// the session's stream can be replayed; `total` is the count of
+    /// all events ever emitted.
+    fn window(&self) -> (u64, u64) {
+        (self.base, self.base + self.events.len() as u64)
+    }
+
+    /// Events from stream index `from` (clamped to the base) onward.
+    fn iter_from(&self, from: u64) -> impl Iterator<Item = (u8, &[u8])> {
+        let skip = usize::try_from(from.saturating_sub(self.base)).unwrap_or(usize::MAX);
+        self.events.iter().skip(skip).map(|(k, p)| (*k, p.as_ref()))
     }
 }
 
@@ -676,6 +1158,11 @@ struct SessionTally {
     /// True once the session negotiated protocol ≥ 3: completions ship
     /// packed into `Events` frames instead of one frame per op.
     batched: bool,
+    /// True once the session negotiated protocol ≥ 4: every emitted
+    /// frame carries the CRC32C trailer.
+    crc: bool,
+    /// The v4 resume journal (`None` below v4).
+    journal: Option<EventJournal>,
     ops: u64,
     row_ops: u64,
     failed: u64,
@@ -685,10 +1172,14 @@ struct SessionTally {
 
 impl SessionTally {
     /// A tally emitting in the negotiated version's transport: batched
-    /// `Events` frames from v3 on, per-op frames for v2.
-    fn for_version(version: u16) -> Self {
+    /// `Events` frames from v3 on, CRC-trailed and journaled for resume
+    /// from v4 on, per-op frames for v2.
+    fn for_params(params: &SessionParams, journal_max_bytes: usize) -> Self {
+        let v4 = params.version >= 4;
         SessionTally {
-            batched: version >= 3,
+            batched: params.version >= 3,
+            crc: v4,
+            journal: v4.then(|| EventJournal::new(journal_max_bytes)),
             ..SessionTally::default()
         }
     }
@@ -707,7 +1198,7 @@ impl SessionTally {
     ) -> io::Result<()> {
         for c in completions {
             if self.batched && self.events.is_full() {
-                self.events.flush_to(writer)?;
+                self.flush_events(writer)?;
             }
             if let Some(failure) = c.to_wire_failure() {
                 self.failed += 1;
@@ -715,11 +1206,14 @@ impl SessionTally {
                 if self.batched {
                     let payload = self.events.push_failure(&failure);
                     self.checksum.update(payload);
+                    if let Some(journal) = self.journal.as_mut() {
+                        journal.push(proto::EVENT_FAILURE, payload);
+                    }
                 } else {
                     self.payload.clear();
                     proto::failure_payload(&failure, &mut self.payload);
                     self.checksum.update(&self.payload);
-                    write_frame(writer, &Frame::Failed(failure))?;
+                    write_frame_in(writer, &Frame::Failed(failure), false)?;
                 }
                 continue;
             }
@@ -730,9 +1224,13 @@ impl SessionTally {
             self.total_energy_nj += wire.energy_nj;
             if self.batched {
                 // Encode once into the reusable buffer: the returned
-                // slice is both the checksummed and the sent bytes.
+                // slice is both the checksummed and the sent bytes —
+                // and, on v4, the journaled bytes a resume replays.
                 let payload = self.events.push_completion(&wire);
                 self.checksum.update(payload);
+                if let Some(journal) = self.journal.as_mut() {
+                    journal.push(proto::EVENT_COMPLETION, payload);
+                }
             } else {
                 self.payload.clear();
                 proto::completion_payload(&wire, &mut self.payload);
@@ -743,8 +1241,53 @@ impl SessionTally {
         }
         // The whole run ships before the caller's ack frame, so frame
         // order on the wire mirrors the unbatched emission order.
-        self.events.flush_to(writer)?;
+        self.flush_events(writer)?;
         Ok(())
+    }
+
+    /// Flushes the batched-emission buffer in the session's framing.
+    fn flush_events<W: Write>(&mut self, writer: &mut W) -> io::Result<()> {
+        if self.crc {
+            self.events.flush_to_crc(writer)
+        } else {
+            self.events.flush_to(writer)
+        }
+    }
+
+    /// The journal's retained window (`(0, 0)` below v4).
+    fn journal_window(&self) -> (u64, u64) {
+        self.journal.as_ref().map_or((0, 0), EventJournal::window)
+    }
+
+    /// Re-emits journaled events from stream index `from` onward as
+    /// CRC-framed `Events` frames — byte-identical payloads to their
+    /// first emission, so the client-side checksum can't tell a resumed
+    /// stream from an uninterrupted one.
+    fn replay_journal<W: Write>(&self, writer: &mut W, from: u64) -> io::Result<()> {
+        let Some(journal) = self.journal.as_ref() else {
+            return Ok(());
+        };
+        // Replay frames are deliberately small: a resuming client must
+        // be able to absorb at least one whole frame per connection to
+        // make forward progress, even over a wire that keeps dying.
+        // Packing the tail into one maximal frame would livelock resume
+        // whenever that frame outlives every connection attempt.
+        const REPLAY_FRAME_BYTES: usize = 8 << 10;
+        let mut buffer = EventBuffer::new();
+        for (kind, payload) in journal.iter_from(from) {
+            if buffer.byte_len() >= REPLAY_FRAME_BYTES {
+                buffer.flush_to_crc(writer)?;
+            }
+            buffer.push_raw(kind, payload);
+        }
+        buffer.flush_to_crc(writer)
+    }
+
+    /// Drops any half-flushed emission buffer before parking: its units
+    /// are already journaled and checksummed, and the next connection
+    /// re-emits them from the journal.
+    fn reset_wire_state(&mut self) {
+        self.events = EventBuffer::new();
     }
 
     fn summary(&self) -> Summary {
@@ -772,10 +1315,12 @@ fn io_end(e: io::Error) -> io::Result<SessionEnd> {
 fn frame_name(frame: &Frame) -> &'static str {
     match frame {
         Frame::Hello(_) => "Hello",
-        Frame::HelloAck(_) => "HelloAck",
+        Frame::HelloAck { .. } => "HelloAck",
         Frame::Batch(_) => "Batch",
         Frame::Flush => "Flush",
         Frame::Bye => "Bye",
+        Frame::Resume(_) => "Resume",
+        Frame::ResumeAck(_) => "ResumeAck",
         Frame::Completion(_) => "Completion",
         Frame::Failed(_) => "Failed",
         Frame::Batched(_) => "Batched",
@@ -786,13 +1331,19 @@ fn frame_name(frame: &Frame) -> &'static str {
     }
 }
 
-fn send_error<W: Write>(writer: &mut W, code: ErrorCode, detail: &str) -> io::Result<()> {
-    write_frame(
+fn send_error<W: Write>(
+    writer: &mut W,
+    code: ErrorCode,
+    detail: &str,
+    crc: bool,
+) -> io::Result<()> {
+    write_frame_in(
         writer,
         &Frame::Error {
             code,
             detail: detail.to_string(),
         },
+        crc,
     )?;
     writer.flush()
 }
@@ -828,6 +1379,9 @@ pub struct ReplayServer {
     config: ServerConfig,
     path: PathBuf,
     shutdown: ShutdownHandle,
+    /// Shared across every connection thread: where cut v4 sessions
+    /// park for resume, reaped on the idle deadline by the accept loop.
+    registry: Arc<SessionRegistry>,
 }
 
 impl ReplayServer {
@@ -866,7 +1420,16 @@ impl ReplayServer {
             config,
             path,
             shutdown: ShutdownHandle::default(),
+            registry: Arc::new(SessionRegistry::new()),
         })
+    }
+
+    /// Sessions currently parked for resume (cut mid-stream, client not
+    /// yet back). Parked sessions are reaped — journal freed — once
+    /// they sit unclaimed past [`ServerConfig::session_idle_ms`].
+    #[must_use]
+    pub fn parked_sessions(&self) -> usize {
+        self.registry.parked_sessions()
     }
 
     /// The bound socket path.
@@ -911,6 +1474,7 @@ impl ReplayServer {
     /// even while no client is connecting.
     fn accept_loop(&self, connections: Option<usize>) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        let idle = Duration::from_millis(self.config.session_idle_ms.max(1));
         let mut handles = Vec::new();
         let mut accepted = 0usize;
         while connections.is_none_or(|n| accepted < n) {
@@ -923,6 +1487,10 @@ impl ReplayServer {
                     accepted += 1;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // The quiet moments double as the reaper's tick:
+                    // parked sessions nobody resumed past the idle
+                    // deadline are dropped and their journals freed.
+                    self.registry.reap_idle(idle);
                     thread::sleep(Duration::from_millis(5));
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -938,17 +1506,20 @@ impl ReplayServer {
     fn spawn_session(&self, stream: UnixStream) -> thread::JoinHandle<()> {
         let config = self.config.clone();
         let shutdown = self.shutdown.clone();
+        let registry = Arc::clone(&self.registry);
         thread::spawn(move || {
             // Accepted sockets are blocking with a read timeout: the
             // session loop parks in the frame reader for at most this
-            // long before it re-checks the shutdown flag.
+            // long before it re-checks the shutdown flag and the idle
+            // deadline.
             let _ = stream.set_nonblocking(false);
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+            let _ =
+                stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms.max(1))));
             let reader = stream.try_clone();
             let Ok(read_half) = reader else { return };
             let mut reader = BufReader::new(read_half);
             let mut writer = BufWriter::new(stream);
-            let _ = serve_session_until(&mut reader, &mut writer, &config, &shutdown.0);
+            let _ = serve_connection(&mut reader, &mut writer, &config, &shutdown.0, &registry);
         })
     }
 }
@@ -962,6 +1533,7 @@ impl Drop for ReplayServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::write_frame;
     use codic_core::ops::VariantId;
 
     fn params(max_outstanding: u32) -> SessionParams {
@@ -1254,8 +1826,10 @@ mod tests {
         assert_eq!(bare2, 300, "v2 gets one frame per op");
         assert_eq!(sum3, sum2, "the session checksum is framing-independent");
         // The ack echoes the negotiated version.
-        assert!(matches!(v3[0], Frame::HelloAck(p) if p.version == 3));
-        assert!(matches!(v2[0], Frame::HelloAck(p) if p.version == 2));
+        assert!(matches!(v3[0], Frame::HelloAck { params: p, .. } if p.version == 3));
+        assert!(matches!(v2[0], Frame::HelloAck { params: p, .. } if p.version == 2));
+        // Below v4 there is no resume protocol, so no token is minted.
+        assert!(matches!(v3[0], Frame::HelloAck { token: 0, .. }));
         // Worker mode changes neither the stream shape nor the checksum.
         let piped = ServerConfig {
             workers: true,
@@ -1268,7 +1842,7 @@ mod tests {
     #[test]
     fn out_of_range_versions_are_rejected() {
         let config = ServerConfig::default();
-        for version in [0u16, 1, 4, u16::MAX] {
+        for version in [0u16, 1, 5, u16::MAX] {
             let hello = SessionParams {
                 version,
                 ..SessionParams::defaults()
@@ -1293,6 +1867,442 @@ mod tests {
                 "v{version}: {reply:?}"
             );
         }
+    }
+
+    /// Encodes `frames` exactly as a v4 client sends them: CRC-trailed.
+    fn crc_input(frames: &[Frame]) -> Vec<u8> {
+        let mut input = Vec::new();
+        for frame in frames {
+            proto::write_frame_crc(&mut input, frame).unwrap();
+        }
+        input
+    }
+
+    /// Decodes every CRC-framed reply in `output`.
+    fn crc_frames(mut output: &[u8]) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        while !output.is_empty() {
+            frames.push(proto::read_frame_crc(&mut output).unwrap());
+        }
+        frames
+    }
+
+    /// Flattens a reply stream into its event units, delivery order.
+    fn event_units(frames: &[Frame]) -> Vec<proto::SessionEvent> {
+        let mut units = Vec::new();
+        for frame in frames {
+            match frame {
+                Frame::Events(events) => units.extend(events.iter().copied()),
+                Frame::Completion(c) => units.push(proto::SessionEvent::Completion(*c)),
+                Frame::Failed(f) => units.push(proto::SessionEvent::Failure(*f)),
+                _ => {}
+            }
+        }
+        units
+    }
+
+    /// The stream's final `Summary`, which every complete session sends.
+    fn summary_of(frames: &[Frame]) -> Summary {
+        frames
+            .iter()
+            .find_map(|f| match f {
+                Frame::Summary(s) => Some(*s),
+                _ => None,
+            })
+            .expect("stream carries a Summary")
+    }
+
+    #[test]
+    fn v4_cut_sessions_park_and_resume_into_a_bit_identical_stream() {
+        let config = ServerConfig::default();
+        let ops = zero_ops(300);
+        let shutdown = AtomicBool::new(false);
+
+        // The uninterrupted reference: one connection, all batches.
+        let mut clean_session = vec![Frame::Hello(SessionParams::defaults())];
+        for chunk in ops.chunks(64) {
+            clean_session.push(Frame::Batch(chunk.to_vec()));
+        }
+        clean_session.push(Frame::Bye);
+        let input = crc_input(&clean_session);
+        let mut output = Vec::new();
+        let registry = SessionRegistry::new();
+        let end = serve_connection(
+            &mut input.as_slice(),
+            &mut output,
+            &config,
+            &shutdown,
+            &registry,
+        )
+        .unwrap();
+        assert!(matches!(end, SessionEnd::Bye), "clean run: {end:?}");
+        let clean = crc_frames(&output);
+        let clean_units = event_units(&clean);
+        let clean_summary = summary_of(&clean);
+        assert_eq!(clean_units.len(), 300);
+
+        // The interrupted run: three whole batches arrive, then the
+        // stream dies mid-way through the fourth batch's frame.
+        let registry = SessionRegistry::new();
+        let mut first = vec![Frame::Hello(SessionParams::defaults())];
+        for chunk in ops.chunks(64).take(3) {
+            first.push(Frame::Batch(chunk.to_vec()));
+        }
+        let mut input = crc_input(&first);
+        let cut_frame = crc_input(&[Frame::Batch(ops[192..256].to_vec())]);
+        input.extend_from_slice(&cut_frame[..cut_frame.len() / 2]);
+        let mut output1 = Vec::new();
+        let end = serve_connection(
+            &mut input.as_slice(),
+            &mut output1,
+            &config,
+            &shutdown,
+            &registry,
+        )
+        .unwrap();
+        assert!(matches!(end, SessionEnd::Suspended), "cut parks: {end:?}");
+        assert_eq!(registry.parked_sessions(), 1);
+        let conn1 = crc_frames(&output1);
+        let token = match conn1[0] {
+            Frame::HelloAck { token, .. } => token,
+            ref other => panic!("expected HelloAck, got {other:?}"),
+        };
+        assert_ne!(token, 0, "v4 sessions always get a resume token");
+        let delivered = event_units(&conn1);
+        // Pretend the cut also ate the tail of what the server sent:
+        // the client resumes from what it actually absorbed.
+        let absorbed = delivered.len().saturating_sub(3);
+
+        // The resumed connection: Resume, the remaining batches, Bye.
+        let mut second = vec![Frame::Resume(proto::ResumeRequest {
+            version: 4,
+            token,
+            events_received: absorbed as u64,
+        })];
+        for chunk in ops[192..].chunks(64) {
+            second.push(Frame::Batch(chunk.to_vec()));
+        }
+        second.push(Frame::Bye);
+        let input = crc_input(&second);
+        let mut output2 = Vec::new();
+        let end = serve_connection(
+            &mut input.as_slice(),
+            &mut output2,
+            &config,
+            &shutdown,
+            &registry,
+        )
+        .unwrap();
+        assert!(matches!(end, SessionEnd::Bye), "resumed run: {end:?}");
+        let conn2 = crc_frames(&output2);
+        let ack = match &conn2[0] {
+            Frame::ResumeAck(ack) => *ack,
+            other => panic!("expected ResumeAck, got {other:?}"),
+        };
+        assert_eq!(ack.token, token);
+        assert_eq!(
+            ack.next_seq, 192,
+            "batches are accepted whole, so the resume point is batch-aligned"
+        );
+        assert_eq!(ack.replay_events, (delivered.len() - absorbed) as u64);
+        assert_eq!(ack.finished, 0);
+
+        // The client-visible stream — what connection 1 delivered
+        // (minus the lost tail) plus everything connection 2 sent — is
+        // the clean run's stream, unit for unit, and the Summary (the
+        // server-side checksum included) is bit-identical.
+        let mut combined = delivered[..absorbed].to_vec();
+        combined.extend(event_units(&conn2));
+        assert_eq!(combined, clean_units, "resume is invisible in the stream");
+        let resumed_summary = summary_of(&conn2);
+        assert_eq!(resumed_summary, clean_summary);
+        assert_eq!(resumed_summary.checksum, clean_summary.checksum);
+
+        // The clean Bye parked a finished tombstone for lost-Summary
+        // recovery; the reaper bounds its lifetime.
+        assert_eq!(registry.parked_sessions(), 1);
+    }
+
+    #[test]
+    fn finished_v4_sessions_leave_a_tombstone_that_redelivers_the_summary() {
+        let config = ServerConfig::default();
+        let ops = zero_ops(64);
+        let shutdown = AtomicBool::new(false);
+        let registry = SessionRegistry::new();
+        let session = vec![
+            Frame::Hello(SessionParams::defaults()),
+            Frame::Batch(ops.clone()),
+            Frame::Bye,
+        ];
+        let input = crc_input(&session);
+        let mut output = Vec::new();
+        serve_connection(
+            &mut input.as_slice(),
+            &mut output,
+            &config,
+            &shutdown,
+            &registry,
+        )
+        .unwrap();
+        let clean = crc_frames(&output);
+        let token = match clean[0] {
+            Frame::HelloAck { token, .. } => token,
+            ref other => panic!("expected HelloAck, got {other:?}"),
+        };
+        let summary = summary_of(&clean);
+        let total = event_units(&clean).len() as u64;
+        assert_eq!(registry.parked_sessions(), 1, "Bye parks a tombstone");
+
+        // The client never saw that Summary: its resume re-delivers it
+        // (and nothing else — every event was already absorbed).
+        let input = crc_input(&[Frame::Resume(proto::ResumeRequest {
+            version: 4,
+            token,
+            events_received: total,
+        })]);
+        let mut output = Vec::new();
+        let end = serve_connection(
+            &mut input.as_slice(),
+            &mut output,
+            &config,
+            &shutdown,
+            &registry,
+        )
+        .unwrap();
+        assert!(matches!(end, SessionEnd::Bye), "redelivery: {end:?}");
+        let redelivered = crc_frames(&output);
+        match &redelivered[0] {
+            Frame::ResumeAck(ack) => {
+                assert_eq!(ack.finished, 1);
+                assert_eq!(ack.replay_events, 0);
+            }
+            other => panic!("expected ResumeAck, got {other:?}"),
+        }
+        assert!(event_units(&redelivered).is_empty());
+        assert_eq!(summary_of(&redelivered), summary);
+        // The tombstone is re-parked in case this Summary is lost too.
+        assert_eq!(registry.parked_sessions(), 1);
+        assert_eq!(registry.reap_idle(Duration::ZERO), 1, "the reaper frees it");
+        assert_eq!(registry.parked_sessions(), 0);
+    }
+
+    /// Parks one cut v4 session and returns `(registry, token, events
+    /// delivered before the cut)`.
+    fn park_cut_session(config: &ServerConfig) -> (SessionRegistry, u64, u64) {
+        let ops = zero_ops(128);
+        let shutdown = AtomicBool::new(false);
+        let registry = SessionRegistry::new();
+        let mut input = crc_input(&[
+            Frame::Hello(SessionParams::defaults()),
+            Frame::Batch(ops[..64].to_vec()),
+            Frame::Flush,
+        ]);
+        input.extend_from_slice(&crc_input(&[Frame::Batch(ops[64..].to_vec())])[..20]);
+        let mut output = Vec::new();
+        let end = serve_connection(
+            &mut input.as_slice(),
+            &mut output,
+            config,
+            &shutdown,
+            &registry,
+        )
+        .unwrap();
+        assert!(matches!(end, SessionEnd::Suspended), "cut parks: {end:?}");
+        let conn = crc_frames(&output);
+        let token = match conn[0] {
+            Frame::HelloAck { token, .. } => token,
+            ref other => panic!("expected HelloAck, got {other:?}"),
+        };
+        (registry, token, event_units(&conn).len() as u64)
+    }
+
+    #[test]
+    fn resume_points_outside_the_journal_window_are_honestly_rejected() {
+        let config = ServerConfig::default();
+        let (registry, token, _) = park_cut_session(&config);
+
+        // A resume point past everything ever emitted (the u64::MAX
+        // probe): pure-arithmetic rejection, no allocation, and the
+        // unrecoverable session's journal memory is freed.
+        let input = crc_input(&[Frame::Resume(proto::ResumeRequest {
+            version: 4,
+            token,
+            events_received: u64::MAX,
+        })]);
+        let mut output = Vec::new();
+        let end = serve_connection(
+            &mut input.as_slice(),
+            &mut output,
+            &config,
+            &AtomicBool::new(false),
+            &registry,
+        )
+        .unwrap();
+        assert!(matches!(end, SessionEnd::Rejected(_)), "got {end:?}");
+        match &crc_frames(&output)[0] {
+            Frame::Error { code, detail } => {
+                assert_eq!(*code, ErrorCode::Unavailable);
+                assert!(detail.contains("journal window"), "detail: {detail}");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        assert_eq!(registry.parked_sessions(), 0, "the dead session is dropped");
+    }
+
+    #[test]
+    fn resume_behind_an_evicted_journal_window_is_honestly_rejected() {
+        // A journal cap small enough that the 64 delivered events (≈41
+        // bytes each) slide the window base well past zero: a client
+        // claiming to have absorbed nothing can never be made whole.
+        let tiny = ServerConfig {
+            journal_max_bytes: 256,
+            ..ServerConfig::default()
+        };
+        let (registry, token, delivered) = park_cut_session(&tiny);
+        assert!(delivered > 8, "the cut run delivered {delivered} events");
+        let input = crc_input(&[Frame::Resume(proto::ResumeRequest {
+            version: 4,
+            token,
+            events_received: 0,
+        })]);
+        let mut output = Vec::new();
+        let end = serve_connection(
+            &mut input.as_slice(),
+            &mut output,
+            &tiny,
+            &AtomicBool::new(false),
+            &registry,
+        )
+        .unwrap();
+        assert!(matches!(end, SessionEnd::Rejected(_)), "got {end:?}");
+        match &crc_frames(&output)[0] {
+            Frame::Error { code, .. } => assert_eq!(*code, ErrorCode::Unavailable),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        assert_eq!(registry.parked_sessions(), 0);
+    }
+
+    #[test]
+    fn unknown_tokens_and_pre_v4_resumes_are_rejected() {
+        let quick = ServerConfig {
+            read_timeout_ms: 1,
+            ..ServerConfig::default()
+        };
+        let registry = SessionRegistry::new();
+        let shutdown = AtomicBool::new(false);
+
+        // A pre-v4 resume is a version error before any token lookup.
+        let input = crc_input(&[Frame::Resume(proto::ResumeRequest {
+            version: 3,
+            token: 7,
+            events_received: 0,
+        })]);
+        let mut output = Vec::new();
+        let end = serve_connection(
+            &mut input.as_slice(),
+            &mut output,
+            &quick,
+            &shutdown,
+            &registry,
+        )
+        .unwrap();
+        assert!(matches!(end, SessionEnd::Rejected(_)), "got {end:?}");
+        match &crc_frames(&output)[0] {
+            Frame::Error { code, .. } => assert_eq!(*code, ErrorCode::Version),
+            other => panic!("expected Error, got {other:?}"),
+        }
+
+        // An unknown token waits out the park/reconnect grace window,
+        // then is refused without inventing a session.
+        let input = crc_input(&[Frame::Resume(proto::ResumeRequest {
+            version: 4,
+            token: 0xdead_beef,
+            events_received: 0,
+        })]);
+        let mut output = Vec::new();
+        let end = serve_connection(
+            &mut input.as_slice(),
+            &mut output,
+            &quick,
+            &shutdown,
+            &registry,
+        )
+        .unwrap();
+        assert!(matches!(end, SessionEnd::Rejected(_)), "got {end:?}");
+        match &crc_frames(&output)[0] {
+            Frame::Error { code, detail } => {
+                assert_eq!(*code, ErrorCode::Unavailable);
+                assert!(detail.contains("token"), "detail: {detail}");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_journal_evicts_oldest_whole_events_and_keeps_the_newest() {
+        // Cap of 30 bytes at 11 bytes per event (10 payload + 1 kind):
+        // two events fit; the third always evicts the oldest.
+        let mut journal = EventJournal::new(30);
+        assert_eq!(journal.window(), (0, 0));
+        for i in 0..5u8 {
+            journal.push(i % 2, &[i; 10]);
+        }
+        assert_eq!(journal.window(), (3, 5), "three oldest evicted");
+        let tail: Vec<(u8, Vec<u8>)> = journal
+            .iter_from(0) // clamped to the base
+            .map(|(k, p)| (k, p.to_vec()))
+            .collect();
+        assert_eq!(tail, vec![(1, vec![3; 10]), (0, vec![4; 10])]);
+        assert_eq!(journal.iter_from(4).count(), 1, "mid-window iteration");
+        assert_eq!(journal.iter_from(5).count(), 0, "nothing past the total");
+
+        // One event larger than the whole cap is still retained: a
+        // journal that cannot hold one event could never replay.
+        let mut journal = EventJournal::new(4);
+        journal.push(0, &[7; 64]);
+        assert_eq!(journal.window(), (0, 1));
+        journal.push(1, &[8; 64]);
+        assert_eq!(journal.window(), (1, 2), "the newest always survives");
+    }
+
+    #[test]
+    fn session_registry_mints_unique_nonzero_tokens() {
+        let registry = SessionRegistry::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4096 {
+            let token = registry.mint_token();
+            assert_ne!(token, 0, "0 is the v2/v3 'no token' sentinel");
+            assert!(seen.insert(token), "token minted twice");
+        }
+    }
+
+    #[test]
+    fn session_registry_parks_claims_and_reaps() {
+        let config = ServerConfig::default();
+        let registry = SessionRegistry::new();
+        let token = registry.mint_token();
+        registry.park(SessionState::new(params(16), token, &config));
+        assert_eq!(registry.parked_sessions(), 1);
+
+        // A wrong token times out its grace window empty-handed without
+        // disturbing the parked session.
+        assert!(registry
+            .claim(token ^ 1, Duration::from_millis(10))
+            .is_none());
+        assert_eq!(registry.parked_sessions(), 1);
+
+        // The right token claims exactly its session.
+        let claimed = registry.claim(token, Duration::from_millis(10)).unwrap();
+        assert_eq!(claimed.token, token);
+        assert_eq!(registry.parked_sessions(), 0);
+
+        // Reaping honors the idle deadline: a fresh park survives a
+        // generous deadline and falls to an expired one.
+        registry.park(claimed);
+        assert_eq!(registry.reap_idle(Duration::from_secs(3600)), 0);
+        assert_eq!(registry.parked_sessions(), 1);
+        assert_eq!(registry.reap_idle(Duration::ZERO), 1);
+        assert_eq!(registry.parked_sessions(), 0);
     }
 
     #[test]

@@ -21,8 +21,9 @@ use std::io::Read;
 use codic_core::fault::FaultCause;
 use codic_core::ops::{CodicOp, VariantId};
 use codic_server::proto::{
-    encode_body, read_frame, BatchAck, ErrorCode, FlushAck, Frame, FrameReader, ProtoError,
-    SessionEvent, SessionParams, Summary, WireCompletion, WireFailure, MAX_FRAME_LEN,
+    crc32c, encode_body, read_frame, read_frame_crc, write_frame_crc, BatchAck, ErrorCode,
+    FlushAck, Frame, FrameReader, ProtoError, ResumeAck, ResumeRequest, SessionEvent,
+    SessionParams, Summary, WireCompletion, WireFailure, MAX_FRAME_LEN,
 };
 
 /// splitmix64: the same deterministic generator the fault layer uses.
@@ -92,7 +93,30 @@ fn corpus() -> Vec<Frame> {
     ]);
     vec![
         Frame::Hello(SessionParams::defaults()),
-        Frame::HelloAck(SessionParams::defaults()),
+        Frame::HelloAck {
+            params: SessionParams {
+                version: 3,
+                ..SessionParams::defaults()
+            },
+            token: 0,
+        },
+        // The v4 ack carries the server-minted resume token.
+        Frame::HelloAck {
+            params: SessionParams::defaults(),
+            token: 0x1122_3344_5566_7788,
+        },
+        Frame::Resume(ResumeRequest {
+            version: 4,
+            token: 0xfeed_beef_0451_0b5e,
+            events_received: 123_456,
+        }),
+        Frame::ResumeAck(ResumeAck {
+            params: SessionParams::defaults(),
+            token: 0xfeed_beef_0451_0b5e,
+            next_seq: 4096,
+            replay_events: 37,
+            finished: 1,
+        }),
         Frame::Batch(vec![
             CodicOp::read(64),
             CodicOp::write(128),
@@ -323,4 +347,248 @@ fn zero_length_frames_are_typed_errors() {
     let wire = 0u32.to_le_bytes().to_vec();
     assert!(matches!(decode_blocking(&wire), Err(ProtoError::Empty)));
     assert!(matches!(decode_trickled(&wire), Err(ProtoError::Empty)));
+}
+
+// ---------------------------------------------------------------------
+// Protocol v4: the CRC32C-trailed framing. Same corpus, same decoder
+// pair (blocking `read_frame_crc` and a CRC-armed `FrameReader`), plus
+// the campaigns only a checksummed transport can promise: every
+// single-bit flip is *detected*, not merely survived.
+// ---------------------------------------------------------------------
+
+/// Encodes `frame` as a v4 session sends it: the length prefix covers
+/// type byte + payload + the 4-byte little-endian CRC32C trailer.
+fn encode_wire_crc(frame: &Frame) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_frame_crc(&mut wire, frame).expect("encode to Vec");
+    wire
+}
+
+/// Decodes `bytes` with the blocking CRC reader.
+fn decode_blocking_crc(bytes: &[u8]) -> Result<Frame, ProtoError> {
+    read_frame_crc(&mut &bytes[..])
+}
+
+/// Decodes `bytes` with a CRC-armed incremental reader, one byte per
+/// poll.
+fn decode_trickled_crc(bytes: &[u8]) -> Result<Option<Frame>, ProtoError> {
+    struct OneByte<'a>(&'a [u8]);
+    impl Read for OneByte<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.0.len().min(buf.len()).min(1);
+            buf[..n].copy_from_slice(&self.0[..n]);
+            self.0 = &self.0[n..];
+            Ok(n)
+        }
+    }
+    let mut reader = OneByte(bytes);
+    let mut frames = FrameReader::new();
+    frames.set_crc(true);
+    loop {
+        match frames.poll(&mut reader) {
+            Ok(Some(frame)) => return Ok(Some(frame)),
+            Ok(None) if !frames.mid_frame() => return Ok(None),
+            Ok(None) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[test]
+fn crc_wire_has_the_documented_trailer_layout() {
+    // The trailer is crc32c over the body (type byte + payload), stored
+    // little-endian, and *included* in the length prefix — exactly what
+    // docs/PROTOCOL.md promises. Spot-check the whole corpus.
+    for frame in corpus() {
+        let bare = encode_wire(&frame);
+        let wire = encode_wire_crc(&frame);
+        let body_len = u32::from_le_bytes(wire[..4].try_into().unwrap()) as usize;
+        assert_eq!(body_len, wire.len() - 4, "length covers body + trailer");
+        assert_eq!(body_len, bare.len(), "CRC framing adds exactly 4 bytes");
+        let body = &wire[4..wire.len() - 4];
+        assert_eq!(body, &bare[4..], "body bytes identical to bare framing");
+        let trailer = u32::from_le_bytes(wire[wire.len() - 4..].try_into().unwrap());
+        assert_eq!(trailer, crc32c(body), "trailer is crc32c(body), LE");
+    }
+}
+
+#[test]
+fn every_frame_round_trips_both_crc_decoders() {
+    for frame in corpus() {
+        let wire = encode_wire_crc(&frame);
+        assert_eq!(decode_blocking_crc(&wire).unwrap(), frame);
+        assert_eq!(decode_trickled_crc(&wire).unwrap(), Some(frame));
+    }
+}
+
+#[test]
+fn exhaustive_single_bit_flips_are_always_detected_under_crc() {
+    // The stronger v4 promise: a flipped bit never *decodes*. Flips in
+    // the body or trailer must surface as the typed Crc error (CRC32C
+    // detects every single-bit error by construction); flips in the
+    // length prefix may hit any typed error — but no flip, anywhere,
+    // may ever yield a frame.
+    for frame in corpus() {
+        let wire = encode_wire_crc(&frame);
+        for bit in 0..wire.len() * 8 {
+            let mut mutant = wire.clone();
+            mutant[bit / 8] ^= 1 << (bit % 8);
+            let blocking = decode_blocking_crc(&mutant);
+            let trickled = decode_trickled_crc(&mutant);
+            assert!(
+                blocking.is_err(),
+                "bit {bit} flip decoded to {blocking:?} under CRC framing"
+            );
+            if let Ok(Some(f)) = trickled {
+                panic!("bit {bit} flip trickle-decoded to {f:?} under CRC framing");
+            }
+            if bit >= 32 {
+                // Past the length prefix the damage is inside the
+                // checksummed region: the error must name the CRC.
+                assert!(
+                    matches!(blocking, Err(ProtoError::Crc { .. })),
+                    "bit {bit} body flip gave {blocking:?}, expected Crc"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_byte_storms_never_decode_under_crc() {
+    // Multi-byte storms against the checksummed framing: corruption may
+    // surface as any typed error, but a damaged buffer never yields a
+    // frame and never panics.
+    let mut seed = 0x5eed_c4c4_9876_4321u64;
+    for frame in corpus() {
+        let wire = encode_wire_crc(&frame);
+        for trial in 0..512u64 {
+            let mut mutant = wire.clone();
+            seed = mix64(seed ^ trial);
+            let strikes = 1 + (seed % 8) as usize;
+            let mut touched = false;
+            for strike in 0..strikes {
+                let roll = mix64(seed ^ strike as u64);
+                let pos = (roll % wire.len() as u64) as usize;
+                let byte = (roll >> 32) as u8;
+                touched |= mutant[pos] != byte;
+                mutant[pos] = byte;
+            }
+            if !touched {
+                continue; // the storm happened to rewrite identical bytes
+            }
+            assert!(decode_blocking_crc(&mutant).is_err());
+            if let Ok(Some(f)) = decode_trickled_crc(&mutant) {
+                panic!("storm trial {trial} trickle-decoded to {f:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_crc_truncations_never_yield_a_frame() {
+    // Every proper prefix of every CRC-framed frame — the mid-frame cut
+    // a chaos transport or a killed client leaves on the wire. The
+    // blocking reader must error; the incremental reader must error or
+    // keep waiting; neither may produce a frame.
+    for frame in corpus() {
+        let wire = encode_wire_crc(&frame);
+        for cut in 0..wire.len() {
+            let prefix = &wire[..cut];
+            assert!(
+                decode_blocking_crc(prefix).is_err(),
+                "a {cut}-byte prefix of a {}-byte CRC frame decoded",
+                wire.len()
+            );
+            if let Ok(Some(f)) = decode_trickled_crc(prefix) {
+                panic!("truncated CRC stream yielded {f:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_frames_survive_focused_truncation_and_storm_corpora() {
+    // The resume handshake is what a recovering client leans on, so it
+    // gets its own dense pass on top of the full-corpus campaigns:
+    // every truncation and a 4096-trial storm per frame, both framings.
+    let frames = [
+        Frame::Resume(ResumeRequest {
+            version: 4,
+            token: u64::MAX,
+            events_received: u64::MAX,
+        }),
+        Frame::Resume(ResumeRequest {
+            version: 0,
+            token: 0,
+            events_received: 0,
+        }),
+        Frame::ResumeAck(ResumeAck {
+            params: SessionParams::defaults(),
+            token: 1,
+            next_seq: u64::MAX,
+            replay_events: u64::MAX,
+            finished: u8::MAX,
+        }),
+    ];
+    let mut seed = 0x4e5c_0de5_0da2_71ffu64;
+    for frame in &frames {
+        let bare = encode_wire(frame);
+        let wire = encode_wire_crc(frame);
+        assert_eq!(decode_blocking_crc(&wire).unwrap(), *frame);
+        for cut in 0..wire.len() {
+            assert!(decode_blocking_crc(&wire[..cut]).is_err());
+            if cut < bare.len() {
+                assert!(decode_blocking(&bare[..cut]).is_err());
+            }
+        }
+        for trial in 0..4096u64 {
+            let mut mutant = wire.clone();
+            seed = mix64(seed ^ trial);
+            let pos = (seed % wire.len() as u64) as usize;
+            let byte = (seed >> 32) as u8;
+            if mutant[pos] == byte {
+                continue;
+            }
+            mutant[pos] = byte;
+            assert!(
+                decode_blocking_crc(&mutant).is_err(),
+                "storm trial {trial} decoded a corrupted resume frame"
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_journal_window_claims_decode_without_allocation() {
+    // `events_received` is an absolute count the *server* checks
+    // against the journal window with pure arithmetic; the decoder must
+    // treat it as opaque data — a u64::MAX claim is an 18-byte frame,
+    // not an allocation request. (The server-side honest rejection is
+    // pinned in the server suite.)
+    let greedy = Frame::Resume(ResumeRequest {
+        version: 4,
+        token: 0x0451,
+        events_received: u64::MAX,
+    });
+    let wire = encode_wire_crc(&greedy);
+    assert!(wire.len() < 32, "Resume stays fixed-size: {}", wire.len());
+    assert_eq!(decode_blocking_crc(&wire).unwrap(), greedy);
+    assert_eq!(decode_trickled_crc(&wire).unwrap(), Some(greedy));
+}
+
+#[test]
+fn oversized_length_prefixes_are_rejected_before_allocation_under_crc() {
+    for claimed in [MAX_FRAME_LEN + 1, u32::MAX / 2, u32::MAX] {
+        let mut wire = claimed.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 8]);
+        match decode_blocking_crc(&wire) {
+            Err(ProtoError::Oversized(len)) => assert_eq!(len, claimed),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        match decode_trickled_crc(&wire) {
+            Err(ProtoError::Oversized(len)) => assert_eq!(len, claimed),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
 }

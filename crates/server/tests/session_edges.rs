@@ -31,6 +31,16 @@ fn with_server<R>(
     out
 }
 
+/// Bare-framed session parameters: protocol v4 CRC-frames every reply,
+/// so raw frame-level choreography with `read_frame` pins v3 (these
+/// edges are framing-independent; v4 has its own CRC-aware suites).
+fn bare_params() -> SessionParams {
+    SessionParams {
+        version: 3,
+        ..SessionParams::defaults()
+    }
+}
+
 /// A raw protocol session: Hello, then hand the typed reader/writer to
 /// the closure for frame-level choreography.
 fn raw_session<R>(
@@ -44,7 +54,7 @@ fn raw_session<R>(
     write_frame(&mut writer, &Frame::Hello(*hello)).expect("hello");
     writer.flush().expect("flush");
     match read_frame(&mut reader).expect("hello ack") {
-        Frame::HelloAck(_) => {}
+        Frame::HelloAck { .. } => {}
         other => panic!("expected HelloAck, got {other:?}"),
     }
     drive(&mut reader, &mut writer)
@@ -72,7 +82,7 @@ fn outstanding_window_of_one_fully_serializes_and_verifies() {
 fn empty_batch_is_acked_without_consuming_sequence_numbers() {
     let ops = generate_mixed(8, 8192, 3);
     with_server("emptybatch", ServerConfig::default(), 1, |socket| {
-        raw_session(socket, &SessionParams::defaults(), |reader, writer| {
+        raw_session(socket, &bare_params(), |reader, writer| {
             // An empty batch: legal, acked, and free.
             write_frame(writer, &Frame::Batch(Vec::new())).expect("send");
             writer.flush().expect("flush");
@@ -130,7 +140,7 @@ fn empty_batch_is_acked_without_consuming_sequence_numbers() {
 #[test]
 fn flush_with_nothing_in_flight_acks_zero() {
     with_server("idleflush", ServerConfig::default(), 1, |socket| {
-        raw_session(socket, &SessionParams::defaults(), |reader, writer| {
+        raw_session(socket, &bare_params(), |reader, writer| {
             for _ in 0..2 {
                 write_frame(writer, &Frame::Flush).expect("send");
                 writer.flush().expect("flush");
@@ -157,7 +167,7 @@ fn zero_completion_session_reports_the_empty_checksum() {
     // streamed a frame must say exactly that, not zero.
     const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
     with_server("zerosession", ServerConfig::default(), 1, |socket| {
-        raw_session(socket, &SessionParams::defaults(), |reader, writer| {
+        raw_session(socket, &bare_params(), |reader, writer| {
             write_frame(writer, &Frame::Bye).expect("bye");
             writer.flush().expect("flush");
             match read_frame(reader).expect("summary") {
@@ -181,7 +191,7 @@ fn governed_empty_batches_never_divide_by_zero_or_sleep() {
     // zero rows and must neither stall nor panic.
     let governed = SessionParams {
         target_rows_per_s: 1_000,
-        ..SessionParams::defaults()
+        ..bare_params()
     };
     with_server("govempty", ServerConfig::default(), 1, |socket| {
         raw_session(socket, &governed, |reader, writer| {
