@@ -206,6 +206,127 @@ fn replay_serving(
     (measured, report.checksum)
 }
 
+/// Shared-fleet multi-tenant serving: `tenants` concurrent threads each
+/// lease one single-shard slot of one [`FleetHandle`](codic_core::fleet::FleetHandle) and replay a
+/// private mixed trace through the deficit-round-robin scheduler,
+/// batch by batch. Reports aggregate host rows/s across all tenants
+/// and the p99 per-batch admission-to-drain latency — the fairness
+/// number a co-tenant actually feels. Every tenant's event count is
+/// asserted against its accepted ops (exactly-once delivery under
+/// contention); the bit-identity of each stream to a private pool is
+/// pinned separately by the fleet test battery.
+fn shared_fleet_serving(tenants: usize, ops_per_tenant: u64, reps: u64) -> (Measured, f64) {
+    use codic_core::fleet::{FleetConfig, FleetHandle};
+    let geometry = DramGeometry::module_mib(64);
+    let timing = TimingParams::ddr3_1600_11();
+    let device = DeviceConfig::new(geometry, timing).with_refresh(false);
+    let batch = 1024usize;
+    let quota = 1024usize;
+    let traces: Vec<Vec<CodicOp>> = (0..tenants as u64)
+        .map(|t| generate_mixed(ops_per_tenant as usize, 8192, 42 + t))
+        .collect();
+    let mut all_latencies: Vec<f64> = Vec::new();
+    let mut total_rows = 0u64;
+    let mut total_energy = 0.0f64;
+    let mut dram_ns = 0.0f64;
+    let (host_s, ()) = time(reps, || {
+        let fleet =
+            FleetHandle::new(FleetConfig::new(tenants, 1, device.clone()).with_quota(quota));
+        total_rows = 0;
+        total_energy = 0.0;
+        dram_ns = 0.0;
+        all_latencies.clear();
+        let per_tenant = std::thread::scope(|scope| {
+            let handles: Vec<_> = traces
+                .iter()
+                .map(|ops| {
+                    let fleet = fleet.clone();
+                    scope.spawn(move || {
+                        let id = fleet.acquire_with(1, quota).expect("slot free");
+                        let mut latencies = Vec::with_capacity(ops.len() / batch + 1);
+                        let mut events = 0usize;
+                        let mut accepted = 0u64;
+                        let mut energy = 0.0f64;
+                        for chunk in ops.chunks(batch) {
+                            let t0 = Instant::now();
+                            let (receipt, drained) =
+                                fleet.submit(id, chunk).expect("fleet admission");
+                            latencies.push(t0.elapsed().as_secs_f64());
+                            accepted += u64::from(receipt.accepted);
+                            events += drained.len();
+                            energy += drained
+                                .iter()
+                                .map(|e| e.completion.cost.energy_nj)
+                                .sum::<f64>();
+                        }
+                        let (now, tail) = fleet.flush(id);
+                        events += tail.len();
+                        energy += tail
+                            .iter()
+                            .map(|e| e.completion.cost.energy_nj)
+                            .sum::<f64>();
+                        assert_eq!(
+                            events as u64, accepted,
+                            "a fleet tenant lost or duplicated events under contention"
+                        );
+                        fleet.release(id);
+                        (accepted, energy, now, latencies)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tenant thread"))
+                .collect::<Vec<_>>()
+        });
+        for (rows, energy, now, latencies) in per_tenant {
+            total_rows += rows;
+            total_energy += energy;
+            dram_ns = dram_ns.max(timing.ns(now));
+            all_latencies.extend(latencies);
+        }
+    });
+    all_latencies.sort_by(f64::total_cmp);
+    let p99 = all_latencies[(all_latencies.len() - 1).min(all_latencies.len() * 99 / 100)];
+    (
+        Measured {
+            host_s,
+            dram_ns,
+            rows: total_rows,
+            energy_nj: total_energy,
+        },
+        p99,
+    )
+}
+
+fn print_fleet_entry(tenants: usize, m: &Measured, p99_s: f64, last: bool) {
+    println!("    {{");
+    println!("      \"workload\": \"shared_fleet\",");
+    println!("      \"tenants\": {tenants},");
+    println!("      \"shards_per_tenant\": 1,");
+    println!("      \"rows\": {},", m.rows);
+    println!("      \"host_s\": {:.4},", m.host_s);
+    println!(
+        "      \"host_rows_per_s\": {:.0},",
+        m.rows as f64 / m.host_s
+    );
+    println!("      \"p99_batch_ms\": {:.3},", p99_s * 1e3);
+    println!("      \"energy_mj\": {:.4}", m.energy_nj * 1e-6);
+    println!("    }}{}", if last { "" } else { "," });
+}
+
+/// The `--fleet-only` CI smoke and the full run's fleet sweep: tenants
+/// 1 → 16 on one shared fleet, one shard each.
+fn fleet_sweep(ops_per_tenant: u64, reps: u64) -> Vec<(usize, Measured, f64)> {
+    [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .map(|tenants| {
+            let (m, p99) = shared_fleet_serving(tenants, ops_per_tenant, reps);
+            (tenants, m, p99)
+        })
+        .collect()
+}
+
 /// Bulk-bitwise compute serving: the deterministic SIMD workload
 /// (planned vector AND/OR/XOR/ADD over 8-bit lanes) replayed inside a
 /// 64-row compute region at the top of the module, fingerprint-carrying
@@ -682,6 +803,24 @@ fn main() {
         println!("}}");
         return;
     }
+    if has_flag("--fleet-only") {
+        // CI smoke: the DRR scheduler under real thread contention,
+        // tenants 1 → 16 on one shared single-shard-per-slot fleet.
+        // Exactly-once delivery is asserted inside the workload.
+        let reps = arg("--reps").unwrap_or(1);
+        let ops = arg("--fleet-ops").unwrap_or(4096);
+        let sweep = fleet_sweep(ops, reps);
+        println!("{{");
+        println!("  \"bench\": \"shared_fleet_smoke\",");
+        println!("  \"ops_per_tenant\": {ops},");
+        println!("  \"results\": [");
+        for (i, (tenants, m, p99)) in sweep.iter().enumerate() {
+            print_fleet_entry(*tenants, m, *p99, i + 1 == sweep.len());
+        }
+        println!("  ]");
+        println!("}}");
+        return;
+    }
     // The batch serves one module-sized address space; rows beyond it
     // would (correctly) be rejected by the safe-range policy.
     let rows = arg("--rows").unwrap_or(8192).min(geometry.total_rows());
@@ -745,6 +884,13 @@ fn main() {
         serven_sum, workers_sum,
         "worker-pipelined serving diverged from the inline engine"
     );
+    // Shared-fleet multi-tenant serving: tenants 1 → 16 on one fleet,
+    // one shard per slot, each tenant a thread replaying its own trace
+    // through the deficit-round-robin scheduler.
+    let fleet = fleet_sweep(2 * rows, reps);
+    for (tenants, m, p99) in &fleet {
+        print_fleet_entry(*tenants, m, *p99, false);
+    }
     // Bulk-bitwise compute serving: the SIMD workload over the socket,
     // value-verified via row fingerprints on the first session.
     let bitwise1 = bulk_bitwise_serving(1, 4, reps, &timing);
@@ -788,6 +934,15 @@ fn main() {
     println!(
         "  \"batched_transport_speedup\": {:.2},",
         (unbatched.host_s / unbatched.rows as f64) / (serven.host_s / serven.rows as f64)
+    );
+    let (tenants, busiest, busiest_p99) = fleet.last().expect("fleet sweep ran");
+    println!(
+        "  \"shared_fleet_rows_per_s_{tenants}_tenants\": {:.0},",
+        busiest.rows as f64 / busiest.host_s
+    );
+    println!(
+        "  \"shared_fleet_p99_batch_ms_{tenants}_tenants\": {:.3},",
+        busiest_p99 * 1e3
     );
     println!(
         "  \"bulk_bitwise_rows_per_s\": {:.0}",

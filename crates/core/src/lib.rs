@@ -41,6 +41,10 @@
 //!   one thread per shard fed by SPSC rings, drained in deterministic
 //!   per-shard seq order, bit-identical to the inline [`DevicePool`]
 //!   path;
+//! - [`fleet`]: the multi-tenant [`SharedFleet`] —
+//!   one pool carved into exclusive per-tenant shard leases with
+//!   deficit-round-robin admission and per-tenant quotas, each tenant's
+//!   stream bit-identical to a private pool's;
 //! - [`data`]: the lazily materialized compute-region data plane, so
 //!   bulk-bitwise results are value-checked rather than only timed;
 //! - [`simd`]: the bit-serial SIMD planner compiling element-wise vector
@@ -68,6 +72,7 @@ pub mod error;
 pub mod exec;
 pub mod executor;
 pub mod fault;
+pub mod fleet;
 mod idmap;
 pub mod interface;
 pub mod latency;
@@ -90,6 +95,7 @@ pub use device::{
 pub use error::CodicError;
 pub use executor::{block_on, OpFuture};
 pub use fault::{FaultCause, FaultPlan, FaultStats, HealthPolicy, OpOutcome, RetryPolicy};
+pub use fleet::{FleetConfig, FleetEvent, FleetHandle, SharedFleet, TenantId};
 pub use latency::CommandCost;
 pub use mode_register::{ModeRegister, ModeRegisterFile};
 pub use ops::{CodicOp, InDramMechanism, RowRegion, VariantId};

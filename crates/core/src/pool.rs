@@ -145,18 +145,32 @@ impl PoolOutcome {
     }
 }
 
-/// A pool of identical devices, one per channel/rank shard.
+/// Routing and health state over a contiguous range of a pool's shards,
+/// with *lease-local* shard indices.
+///
+/// A lease is the pool's routing machinery made relocatable: shard
+/// index `local` backs onto device `base + local` of the owning
+/// [`DevicePool`], and every routing, quarantine, and clock-driving
+/// decision consults only the lease's own health table. A `DevicePool`
+/// routes all of its own traffic through one whole-pool lease
+/// (`base = 0`), and the shared fleet
+/// ([`SharedFleet`](crate::fleet::SharedFleet)) carves one pool into
+/// disjoint per-tenant leases — the *same code path* either way, which
+/// is what makes a tenant's stream on a shared fleet bit-identical to a
+/// private pool's by construction rather than by re-implementation.
 #[derive(Debug)]
-pub struct DevicePool {
-    devices: Vec<CodicDevice>,
+pub struct ShardLease {
+    /// First backing shard in the owning pool.
+    base: usize,
     /// Rows per distribution block: one block spans every bank of a
     /// shard, so consecutive blocks rotate shards without starving any
     /// shard's bank-level parallelism.
     block_rows: u64,
-    /// Per-shard health; quarantined shards take no new traffic.
+    /// Per-shard health (lease-local); quarantined shards take no new
+    /// traffic.
     health: Vec<ShardHealth>,
-    /// Cache of healthy shard indices, in shard order — the re-routing
-    /// table consulted by [`DevicePool::shard_of`] when a primary shard
+    /// Cache of healthy lease-local indices, in order — the re-routing
+    /// table consulted by [`ShardLease::shard_of`] when a primary shard
     /// is quarantined.
     healthy: Vec<usize>,
     /// Byte address anchoring every bulk-bitwise compute op's route when
@@ -167,6 +181,274 @@ pub struct DevicePool {
     compute_base: Option<u64>,
     /// When shards self-quarantine (checked only at batch boundaries).
     health_policy: HealthPolicy,
+}
+
+impl ShardLease {
+    /// A lease over shards `base..base + shards` of a pool whose devices
+    /// were built from `config`, all healthy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub(crate) fn new(base: usize, shards: usize, config: &DeviceConfig) -> Self {
+        assert!(shards > 0, "a lease needs at least one shard");
+        ShardLease {
+            base,
+            block_rows: u64::from(config.geometry.total_banks()).max(1),
+            health: vec![ShardHealth::Healthy; shards],
+            healthy: (0..shards).collect(),
+            compute_base: {
+                let region = config.compute_range();
+                (!region.is_empty()).then_some(region.start)
+            },
+            health_policy: HealthPolicy::default(),
+        }
+    }
+
+    /// First backing shard in the owning pool.
+    #[must_use]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of leased shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.health.len()
+    }
+
+    /// Per-shard health states, lease-local indices.
+    #[must_use]
+    pub fn health(&self) -> &[ShardHealth] {
+        &self.health
+    }
+
+    pub(crate) fn set_health_policy(&mut self, policy: HealthPolicy) {
+        self.health_policy = policy;
+    }
+
+    /// The lease-local shard that owns `op`'s row (see
+    /// [`DevicePool::shard_of`] for the routing contract — identical
+    /// here, computed over the lease's own shard count and health).
+    #[must_use]
+    pub fn shard_of(&self, op: CodicOp) -> usize {
+        let addr = match self.compute_base {
+            Some(base) if op.is_compute() => base,
+            _ => op.row_addr(),
+        };
+        let block = addr / DramGeometry::ROW_BYTES / self.block_rows;
+        let primary = (block % self.health.len() as u64) as usize;
+        if self.health[primary].is_healthy() || self.healthy.is_empty() {
+            primary
+        } else {
+            self.healthy[(block % self.healthy.len() as u64) as usize]
+        }
+    }
+
+    /// Re-admits `local` to the routing table with a factory-fresh
+    /// health record (the pool resets the backing device).
+    fn mark_healthy(&mut self, local: usize) {
+        self.health[local] = ShardHealth::Healthy;
+        self.healthy = (0..self.health.len())
+            .filter(|&s| self.health[s].is_healthy())
+            .collect();
+    }
+
+    /// Quarantines lease-local `shard` (see [`DevicePool::quarantine`]).
+    /// `devices` is the owning pool's full device slice.
+    pub(crate) fn quarantine(
+        &mut self,
+        devices: &mut [CodicDevice],
+        shard: usize,
+        cause: FaultCause,
+    ) -> usize {
+        if !self.health[shard].is_healthy() {
+            return 0;
+        }
+        let device = &mut devices[self.base + shard];
+        if !device.is_stalled() {
+            device.run_to_idle();
+        }
+        let failed = device.fail_all_pending(cause);
+        self.health[shard] = ShardHealth::Quarantined { cause };
+        self.healthy = (0..self.health.len())
+            .filter(|&s| self.health[s].is_healthy())
+            .collect();
+        failed
+    }
+
+    /// Applies the health policy to every healthy leased shard (see
+    /// [`DevicePool::check_health`]).
+    pub(crate) fn check_health(&mut self, devices: &mut [CodicDevice]) -> usize {
+        let mut condemned = 0;
+        for shard in 0..self.health.len() {
+            if !self.health[shard].is_healthy() {
+                continue;
+            }
+            let device = &devices[self.base + shard];
+            let cause = if device.is_stalled() {
+                Some(FaultCause::ClockStuck)
+            } else {
+                let stats = device.fault_stats();
+                let breached = stats.delivered() >= self.health_policy.min_ops
+                    && stats.failed_per_64k() > self.health_policy.max_failed_per_64k;
+                breached.then_some(FaultCause::Quarantined)
+            };
+            if let Some(cause) = cause {
+                self.quarantine(devices, shard, cause);
+                condemned += 1;
+            }
+        }
+        condemned
+    }
+
+    /// Submits `op` to lease-local `shard` (re-routing through
+    /// [`ShardLease::shard_of`] if the precomputed route went stale),
+    /// quarantining any shard that reports a wedged clock at submission
+    /// and re-routing to a survivor.
+    pub(crate) fn submit_routed<T>(
+        &mut self,
+        devices: &mut [CodicDevice],
+        op: CodicOp,
+        shard: usize,
+        submit: impl Fn(&mut CodicDevice, CodicOp) -> Result<T, CodicError>,
+    ) -> Result<(usize, T), CodicError> {
+        let mut shard = if self.health[shard].is_healthy() {
+            shard
+        } else {
+            self.shard_of(op)
+        };
+        loop {
+            if self.healthy.is_empty() {
+                return Err(CodicError::NoHealthyShards);
+            }
+            match submit(&mut devices[self.base + shard], op) {
+                Err(CodicError::DeviceStalled) => {
+                    // The shard can make no progress with a full queue:
+                    // condemn it here rather than bounce the batch; its
+                    // stranded ops resolve as typed ClockStuck failures.
+                    self.quarantine(devices, shard, FaultCause::ClockStuck);
+                    shard = self.shard_of(op);
+                }
+                result => return result.map(|t| (shard, t)),
+            }
+        }
+    }
+
+    /// Computes every op's lease-local shard and policy-checks it there,
+    /// before anything is enqueued anywhere (the all-or-nothing
+    /// pre-flight).
+    pub(crate) fn route_checked(
+        &self,
+        devices: &[CodicDevice],
+        ops: &[CodicOp],
+    ) -> Result<Vec<usize>, CodicError> {
+        if self.healthy.is_empty() && !ops.is_empty() {
+            return Err(CodicError::NoHealthyShards);
+        }
+        ops.iter()
+            .map(|&op| {
+                let shard = self.shard_of(op);
+                devices[self.base + shard]
+                    .controller()
+                    .check_safe_range(op)?;
+                Ok(shard)
+            })
+            .collect()
+    }
+
+    /// [`DevicePool::submit_all_async_routed`] confined to the lease:
+    /// shard indices in and out are lease-local.
+    pub(crate) fn submit_all_async_routed(
+        &mut self,
+        devices: &mut [CodicDevice],
+        ops: &[CodicOp],
+    ) -> Result<Vec<(usize, OpFuture)>, CodicError> {
+        let shards = self.route_checked(devices, ops)?;
+        // `route_checked` already ran every op through the safe-range
+        // policy (same config on every shard, so a mid-batch re-route
+        // cannot invalidate the check): the per-op loop takes the
+        // prechecked path and skips the redundant policy pass.
+        ops.iter()
+            .zip(&shards)
+            .map(|(&op, &shard)| {
+                self.submit_routed(devices, op, shard, CodicDevice::submit_async_prechecked)
+            })
+            .collect()
+    }
+
+    /// Advances every busy leased shard by one engine event (see
+    /// [`DevicePool::step`]). Returns `false` when every leased shard
+    /// was already idle.
+    pub(crate) fn step(&self, devices: &mut [CodicDevice]) -> bool {
+        let mut advanced = false;
+        for device in &mut devices[self.base..self.base + self.health.len()] {
+            // `u64::MAX` guarantees `step()` would be a no-op; skipping
+            // the shard is state-identical and keeps the backpressure
+            // loop from re-visiting drained shards every iteration.
+            if device.next_event_cycle() != u64::MAX {
+                advanced |= device.step();
+            }
+        }
+        advanced
+    }
+
+    /// Runs every leased shard to idle on rayon worker threads; returns
+    /// the slowest leased shard's finish cycle (see
+    /// [`DevicePool::run_to_idle`]).
+    pub(crate) fn run_to_idle(&self, devices: &mut [CodicDevice]) -> u64 {
+        let mine = &mut devices[self.base..self.base + self.health.len()];
+        // Shards with no actionable event would run-to-idle as a no-op;
+        // skip them (their clocks stay put, contributing only `now`)
+        // and skip the rayon dispatch entirely when every shard is
+        // quiet — serving loops flush at every batch boundary, where
+        // most shards are usually already drained.
+        if mine.iter().all(|d| d.next_event_cycle() == u64::MAX) {
+            return mine.iter().map(CodicDevice::now).max().unwrap_or(0);
+        }
+        mine.iter_mut()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|d| {
+                if d.next_event_cycle() == u64::MAX {
+                    d.now()
+                } else {
+                    d.run_to_idle()
+                }
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Operations submitted but not yet completed across the leased
+    /// shards — the lease's backpressure signal.
+    pub(crate) fn outstanding(&self, devices: &[CodicDevice]) -> usize {
+        devices[self.base..self.base + self.health.len()]
+            .iter()
+            .map(CodicDevice::outstanding)
+            .sum()
+    }
+
+    /// The slowest leased shard's current cycle.
+    pub(crate) fn now_max(&self, devices: &[CodicDevice]) -> u64 {
+        devices[self.base..self.base + self.health.len()]
+            .iter()
+            .map(CodicDevice::now)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A pool of identical devices, one per channel/rank shard.
+#[derive(Debug)]
+pub struct DevicePool {
+    devices: Vec<CodicDevice>,
+    /// Whole-pool routing and health state (`base = 0`) — the same
+    /// [`ShardLease`] machinery the shared fleet carves per tenant.
+    lease: ShardLease,
 }
 
 impl DevicePool {
@@ -192,14 +474,7 @@ impl DevicePool {
                     CodicDevice::new(config)
                 })
                 .collect(),
-            block_rows: u64::from(config.geometry.total_banks()).max(1),
-            health: vec![ShardHealth::Healthy; shards],
-            healthy: (0..shards).collect(),
-            compute_base: {
-                let region = config.compute_range();
-                (!region.is_empty()).then_some(region.start)
-            },
-            health_policy: HealthPolicy::default(),
+            lease: ShardLease::new(0, shards, config),
         }
     }
 
@@ -227,29 +502,19 @@ impl DevicePool {
     /// which compute row they touch.
     #[must_use]
     pub fn shard_of(&self, op: CodicOp) -> usize {
-        let addr = match self.compute_base {
-            Some(base) if op.is_compute() => base,
-            _ => op.row_addr(),
-        };
-        let block = addr / DramGeometry::ROW_BYTES / self.block_rows;
-        let primary = (block % self.devices.len() as u64) as usize;
-        if self.health[primary].is_healthy() || self.healthy.is_empty() {
-            primary
-        } else {
-            self.healthy[(block % self.healthy.len() as u64) as usize]
-        }
+        self.lease.shard_of(op)
     }
 
     /// Per-shard health states, indexed by shard.
     #[must_use]
     pub fn health(&self) -> &[ShardHealth] {
-        &self.health
+        self.lease.health()
     }
 
     /// Replaces the self-quarantine policy (defaults to
     /// [`HealthPolicy::default`]).
     pub fn set_health_policy(&mut self, policy: HealthPolicy) {
-        self.health_policy = policy;
+        self.lease.set_health_policy(policy);
     }
 
     /// Quarantines `shard`: drains it if its clock still advances
@@ -260,19 +525,7 @@ impl DevicePool {
     /// operations failed; quarantining an already-quarantined shard is a
     /// no-op returning 0.
     pub fn quarantine(&mut self, shard: usize, cause: FaultCause) -> usize {
-        if !self.health[shard].is_healthy() {
-            return 0;
-        }
-        let device = &mut self.devices[shard];
-        if !device.is_stalled() {
-            device.run_to_idle();
-        }
-        let failed = device.fail_all_pending(cause);
-        self.health[shard] = ShardHealth::Quarantined { cause };
-        self.healthy = (0..self.devices.len())
-            .filter(|&s| self.health[s].is_healthy())
-            .collect();
-        failed
+        self.lease.quarantine(&mut self.devices, shard, cause)
     }
 
     /// Applies the health policy to every healthy shard: a stalled clock
@@ -282,32 +535,38 @@ impl DevicePool {
     /// boundaries — never on the per-op hot path. Returns the number of
     /// shards newly quarantined.
     pub fn check_health(&mut self) -> usize {
-        let mut condemned = 0;
-        for shard in 0..self.devices.len() {
-            if !self.health[shard].is_healthy() {
-                continue;
-            }
-            let device = &self.devices[shard];
-            let cause = if device.is_stalled() {
-                Some(FaultCause::ClockStuck)
-            } else {
-                let stats = device.fault_stats();
-                let breached = stats.delivered() >= self.health_policy.min_ops
-                    && stats.failed_per_64k() > self.health_policy.max_failed_per_64k;
-                breached.then_some(FaultCause::Quarantined)
-            };
-            if let Some(cause) = cause {
-                self.quarantine(shard, cause);
-                condemned += 1;
-            }
-        }
-        condemned
+        self.lease.check_health(&mut self.devices)
     }
 
     /// One shard's device, for inspection.
     #[must_use]
     pub fn device(&self, shard: usize) -> &CodicDevice {
         &self.devices[shard]
+    }
+
+    /// The pool's full device slice, for lease holders (the shared fleet)
+    /// that drive disjoint shard ranges through per-tenant
+    /// [`ShardLease`]s.
+    pub(crate) fn devices(&self) -> &[CodicDevice] {
+        &self.devices
+    }
+
+    /// Mutable access to the full device slice (see
+    /// [`DevicePool::devices`]).
+    pub(crate) fn devices_mut(&mut self) -> &mut [CodicDevice] {
+        &mut self.devices
+    }
+
+    /// Rebuilds `shard` from `config` exactly as given — **no** per-shard
+    /// fault derivation; callers that want one pass a `config.fault`
+    /// already derived — and re-admits it to the pool's own routing table
+    /// as healthy. The shared fleet uses this to hand each new tenant
+    /// factory-fresh devices whose fault schedules are seeded by
+    /// *lease-local* shard index, so a leased range behaves
+    /// bit-identically to a freshly built private pool of the same size.
+    pub(crate) fn reset_shard(&mut self, shard: usize, config: &DeviceConfig) {
+        self.devices[shard] = CodicDevice::new(config.clone());
+        self.lease.mark_healthy(shard);
     }
 
     /// Distributes a batch across the shards, all-or-nothing: every
@@ -327,60 +586,17 @@ impl DevicePool {
     /// quarantined — in the mid-batch case, operations submitted before
     /// the last shard wedged stay enqueued.
     pub fn submit_all(&mut self, ops: &[CodicOp]) -> Result<Vec<PoolToken>, CodicError> {
-        let shards = self.route_checked(ops)?;
+        let shards = self.lease.route_checked(&self.devices, ops)?;
         ops.iter()
             .zip(&shards)
             .map(|(&op, &shard)| {
-                let (shard, token) =
-                    self.submit_routed(op, shard, CodicDevice::submit_prechecked)?;
+                let (shard, token) = self.lease.submit_routed(
+                    &mut self.devices,
+                    op,
+                    shard,
+                    CodicDevice::submit_prechecked,
+                )?;
                 Ok(PoolToken { shard, token })
-            })
-            .collect()
-    }
-
-    /// Submits `op` to `shard` (or, if the batch's precomputed route went
-    /// stale because an earlier operation condemned a shard, to the live
-    /// [`DevicePool::shard_of`] route), quarantining any shard that
-    /// reports a wedged clock at submission and re-routing to a survivor.
-    fn submit_routed<T>(
-        &mut self,
-        op: CodicOp,
-        shard: usize,
-        submit: impl Fn(&mut CodicDevice, CodicOp) -> Result<T, CodicError>,
-    ) -> Result<(usize, T), CodicError> {
-        let mut shard = if self.health[shard].is_healthy() {
-            shard
-        } else {
-            self.shard_of(op)
-        };
-        loop {
-            if self.healthy.is_empty() {
-                return Err(CodicError::NoHealthyShards);
-            }
-            match submit(&mut self.devices[shard], op) {
-                Err(CodicError::DeviceStalled) => {
-                    // The shard can make no progress with a full queue:
-                    // condemn it here rather than bounce the batch; its
-                    // stranded ops resolve as typed ClockStuck failures.
-                    self.quarantine(shard, FaultCause::ClockStuck);
-                    shard = self.shard_of(op);
-                }
-                result => return result.map(|t| (shard, t)),
-            }
-        }
-    }
-
-    /// Computes every op's shard and policy-checks it there, before
-    /// anything is enqueued anywhere (the all-or-nothing pre-flight).
-    fn route_checked(&self, ops: &[CodicOp]) -> Result<Vec<usize>, CodicError> {
-        if self.healthy.is_empty() && !ops.is_empty() {
-            return Err(CodicError::NoHealthyShards);
-        }
-        ops.iter()
-            .map(|&op| {
-                let shard = self.shard_of(op);
-                self.devices[shard].controller().check_safe_range(op)?;
-                Ok(shard)
             })
             .collect()
     }
@@ -418,17 +634,7 @@ impl DevicePool {
         &mut self,
         ops: &[CodicOp],
     ) -> Result<Vec<(usize, OpFuture)>, CodicError> {
-        let shards = self.route_checked(ops)?;
-        // `route_checked` already ran every op through the safe-range
-        // policy (same config on every shard, so a mid-batch re-route
-        // cannot invalidate the check): the per-op loop takes the
-        // prechecked path and skips the redundant policy pass.
-        ops.iter()
-            .zip(&shards)
-            .map(|(&op, &shard)| {
-                self.submit_routed(op, shard, CodicDevice::submit_async_prechecked)
-            })
-            .collect()
+        self.lease.submit_all_async_routed(&mut self.devices, ops)
     }
 
     /// The pool's clock driver: advances every shard's event engine to
@@ -442,28 +648,7 @@ impl DevicePool {
     /// Runs every shard to idle on rayon worker threads; returns the
     /// slowest shard's finish cycle.
     pub fn run_to_idle(&mut self) -> u64 {
-        // Shards with no actionable event would run-to-idle as a no-op;
-        // skip them (their clocks stay put, contributing only `now`)
-        // and skip the rayon dispatch entirely when every shard is
-        // quiet — serving loops flush at every batch boundary, where
-        // most shards are usually already drained.
-        if self
-            .devices
-            .iter()
-            .all(|d| d.next_event_cycle() == u64::MAX)
-        {
-            return self.devices.iter().map(CodicDevice::now).max().unwrap_or(0);
-        }
-        self.map_devices(|d| {
-            if d.next_event_cycle() == u64::MAX {
-                d.now()
-            } else {
-                d.run_to_idle()
-            }
-        })
-        .into_iter()
-        .max()
-        .unwrap_or(0)
+        self.lease.run_to_idle(&mut self.devices)
     }
 
     /// Advances every busy shard by one engine event — the incremental
@@ -475,16 +660,7 @@ impl DevicePool {
     /// work, so it runs on the caller's thread (no rayon dispatch) and its
     /// effect is deterministic for a given submission sequence.
     pub fn step(&mut self) -> bool {
-        let mut advanced = false;
-        for device in &mut self.devices {
-            // `u64::MAX` guarantees `step()` would be a no-op; skipping
-            // the shard is state-identical and keeps the backpressure
-            // loop from re-visiting drained shards every iteration.
-            if device.next_event_cycle() != u64::MAX {
-                advanced |= device.step();
-            }
-        }
-        advanced
+        self.lease.step(&mut self.devices)
     }
 
     /// Total operations submitted but not yet completed across all shards
@@ -513,7 +689,7 @@ impl DevicePool {
     ///
     /// Returns the first policy error without enqueuing anything.
     pub fn execute_all(&mut self, ops: &[CodicOp]) -> Result<PoolOutcome, CodicError> {
-        let routes = self.route_checked(ops)?;
+        let routes = self.lease.route_checked(&self.devices, ops)?;
         let mut per_shard_ops: Vec<Vec<CodicOp>> = vec![Vec::new(); self.devices.len()];
         for (&op, &shard) in ops.iter().zip(&routes) {
             per_shard_ops[shard].push(op);

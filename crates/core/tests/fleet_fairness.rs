@@ -1,0 +1,184 @@
+//! Fairness properties of the shared fleet's deficit-round-robin
+//! admission: a saturating tenant cannot starve paced tenants, waits
+//! are bounded by the rotation, and QoS weights scale admission credit
+//! proportionally.
+//!
+//! These are *scheduling* properties — they constrain host-side
+//! admission order only. Device timing is pinned separately by
+//! `fleet_isolation.rs`: however the rotation orders admissions, every
+//! tenant's stream stays bit-identical to its solo run.
+
+use codic_core::device::DeviceConfig;
+use codic_core::fleet::{FleetConfig, SharedFleet, TenantId};
+use codic_core::ops::CodicOp;
+use codic_dram::geometry::DramGeometry;
+use codic_dram::timing::TimingParams;
+use proptest::prelude::*;
+
+fn device_config() -> DeviceConfig {
+    DeviceConfig::new(DramGeometry::module_mib(64), TimingParams::ddr3_1600_11())
+        .with_refresh(false)
+}
+
+fn read_ops(count: usize) -> Vec<CodicOp> {
+    (0..count as u64).map(|i| CodicOp::read(i * 8192)).collect()
+}
+
+/// A fleet of `paced + 1` single-shard slots: tenant 0 saturating with
+/// `flood` batches of `batch` ops, every paced tenant holding exactly
+/// one batch of at most `batch` ops. The quantum equals the largest
+/// batch cost — the configuration whose starvation bound is one
+/// rotation.
+fn saturated_fleet(
+    paced: usize,
+    batch: usize,
+    flood: usize,
+    pace_len: usize,
+) -> (SharedFleet, Vec<TenantId>, Vec<u64>) {
+    let quantum = u32::try_from(batch).expect("batch fits u32");
+    let mut fleet = SharedFleet::new(
+        FleetConfig::new(paced + 1, 1, device_config())
+            .with_quantum(quantum)
+            .with_quota(usize::MAX >> 1),
+    );
+    let ids: Vec<TenantId> = (0..=paced)
+        .map(|_| fleet.acquire().expect("free slot"))
+        .collect();
+    for chunk in read_ops(batch * flood).chunks(batch) {
+        fleet.enqueue(ids[0], chunk);
+    }
+    let tickets: Vec<u64> = ids[1..]
+        .iter()
+        .map(|&id| fleet.enqueue(id, &read_ops(pace_len)))
+        .collect();
+    (fleet, ids, tickets)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Starvation detector: with one saturating tenant and N paced
+    /// tenants, one full rotation serves every pending tenant — no
+    /// paced ticket is left unresolved once every slot has been visited.
+    #[test]
+    fn every_pending_tenant_is_served_within_one_rotation(
+        paced in 1usize..6,
+        batch in 1usize..64,
+        flood in 2usize..12,
+        pace_len_raw in 1usize..64,
+    ) {
+        let pace_len = pace_len_raw.min(batch);
+        let (mut fleet, ids, tickets) = saturated_fleet(paced, batch, flood, pace_len);
+        for _ in 0..fleet.slots() {
+            fleet.pump_turn();
+        }
+        for (i, ticket) in tickets.iter().enumerate() {
+            let receipt = fleet
+                .take_ticket(*ticket)
+                .unwrap_or_else(|| panic!("paced tenant {} starved past one rotation", i + 1))
+                .expect("admission succeeds");
+            prop_assert_eq!(receipt.accepted as usize, pace_len);
+        }
+        prop_assert!(
+            fleet.admitted_batches(ids[0]) >= 1,
+            "the saturating tenant is not starved either"
+        );
+        fleet.pump();
+        for id in ids {
+            fleet.flush(id);
+            fleet.release(id);
+        }
+    }
+
+    /// Wait bound: a paced tenant's batch, enqueued while a flood is in
+    /// progress, resolves after at most `slots` pump turns — the DRR
+    /// window — and `pump_until` never admits more than one flood batch
+    /// per rotation visit beyond its credit.
+    #[test]
+    fn paced_waits_are_bounded_by_the_rotation(
+        paced in 1usize..5,
+        batch in 1usize..48,
+        flood in 2usize..10,
+    ) {
+        let (mut fleet, ids, tickets) = saturated_fleet(paced, batch, flood, 1);
+        let slots = fleet.slots();
+        for ticket in tickets {
+            let mut turns = 0usize;
+            while fleet.take_ticket(ticket).is_none() {
+                fleet.pump_turn();
+                turns += 1;
+                prop_assert!(
+                    turns <= slots,
+                    "ticket unresolved after {} turns (rotation is {})", turns, slots
+                );
+            }
+        }
+        fleet.pump();
+        for id in ids {
+            fleet.flush(id);
+            fleet.release(id);
+        }
+    }
+
+    /// QoS weights scale credit proportionally: over enough full
+    /// rotations with both tenants backlogged, a weight-w tenant admits
+    /// w× the batches of a weight-1 tenant (equal batch sizes).
+    #[test]
+    fn weights_scale_admissions_proportionally(
+        weight in 2u32..6,
+        batch in 1usize..32,
+        rotations in 2usize..6,
+    ) {
+        let quantum = u32::try_from(batch).expect("fits");
+        let mut fleet = SharedFleet::new(
+            FleetConfig::new(2, 1, device_config())
+                .with_quantum(quantum)
+                .with_quota(usize::MAX >> 1),
+        );
+        let heavy = fleet.acquire_with(weight, usize::MAX >> 1).expect("heavy");
+        let light = fleet.acquire_with(1, usize::MAX >> 1).expect("light");
+        // Backlogs deep enough that neither queue empties mid-test.
+        let backlog = batch * (weight as usize + 1) * (rotations + 1);
+        for chunk in read_ops(backlog).chunks(batch) {
+            fleet.enqueue(heavy, chunk);
+            fleet.enqueue(light, chunk);
+        }
+        for _ in 0..rotations * fleet.slots() {
+            fleet.pump_turn();
+        }
+        prop_assert_eq!(
+            fleet.admitted_batches(heavy),
+            u64::from(weight) * rotations as u64
+        );
+        prop_assert_eq!(fleet.admitted_batches(light), rotations as u64);
+        fleet.pump();
+        for id in [heavy, light] {
+            fleet.flush(id);
+            fleet.release(id);
+        }
+    }
+
+    /// An idle visit forfeits accumulated credit: deficits measure
+    /// backlog service, so a tenant that drained cannot bank credit to
+    /// burst past its share later.
+    #[test]
+    fn drained_tenants_forfeit_banked_credit(
+        batch in 1usize..32,
+        quantum_factor in 2u32..8,
+    ) {
+        let quantum = u32::try_from(batch).expect("fits") * quantum_factor;
+        let mut fleet = SharedFleet::new(
+            FleetConfig::new(1, 1, device_config())
+                .with_quantum(quantum)
+                .with_quota(usize::MAX >> 1),
+        );
+        let t = fleet.acquire().expect("slot");
+        let ticket = fleet.enqueue(t, &read_ops(batch));
+        fleet.pump_until(ticket).expect("admit");
+        prop_assert!(fleet.deficit(t) > 0, "credit remains after one batch");
+        fleet.pump_turn(); // idle visit
+        prop_assert_eq!(fleet.deficit(t), 0u64);
+        fleet.flush(t);
+        fleet.release(t);
+    }
+}

@@ -5,7 +5,8 @@
 //! `docs/PROTOCOL.md`; architecture: `docs/ARCHITECTURE.md`).
 //!
 //! ```text
-//! replay-server [--socket PATH] [--shards N] [--module-mib M]
+//! replay-server [--socket PATH] [--tcp ADDR] [--shards N]
+//!               [--module-mib M] [--fleet-slots N]
 //!               [--max-outstanding K] [--max-rows-per-sec R]
 //!               [--refresh] [--workers] [--connections N]
 //!               [--compute-rows C]
@@ -15,6 +16,15 @@
 //!               [--read-timeout-ms T] [--session-idle-ms I]
 //!               [--journal-max-kib J]
 //! ```
+//!
+//! `--tcp ADDR` (e.g. `--tcp 127.0.0.1:7070`) adds a TCP listener
+//! beside the Unix socket; the protocol is identical over both.
+//!
+//! `--fleet-slots N` serves every session from one shared device fleet
+//! carved into N tenant leases of `--shards` shards each, with
+//! deficit-round-robin admission across tenants; each session's stream
+//! stays bit-identical to a private pool of its slot shape.
+//! Incompatible with `--workers`.
 //!
 //! The deadline flags tune session robustness: `--read-timeout-ms` is
 //! how long a session thread parks inside a socket read before
@@ -70,6 +80,7 @@ fn main() -> ExitCode {
         health: defaults.health,
         compute_rows: arg_u64("--compute-rows").unwrap_or(0),
         workers: has_flag("--workers"),
+        fleet_slots: arg_u64("--fleet-slots").unwrap_or(0) as usize,
         ..defaults.clone()
     };
     deadline_args(&mut config);
@@ -86,8 +97,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let server = match arg("--tcp") {
+        Some(addr) => match server.with_tcp(&addr) {
+            Ok(server) => {
+                eprintln!("replay-server: also listening on tcp {addr}");
+                server
+            }
+            Err(e) => {
+                eprintln!("replay-server: cannot bind tcp {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => server,
+    };
     eprintln!(
-        "replay-server: listening on {} ({} shard(s), {} MiB module, max outstanding {}, rate cap {})",
+        "replay-server: listening on {} ({} shard(s), {} MiB module, max outstanding {}, rate cap {}{})",
         socket.display(),
         config.shards,
         config.module_mib,
@@ -96,6 +120,11 @@ fn main() -> ExitCode {
             "none".to_string()
         } else {
             format!("{} rows/s", config.target_rows_per_s)
+        },
+        if config.fleet_slots == 0 {
+            String::new()
+        } else {
+            format!(", shared fleet of {} tenant slots", config.fleet_slots)
         },
     );
     let served = match connections {

@@ -18,7 +18,7 @@
 //! yanked cable or an OOM-killed peer produces.
 
 use std::io::{self, Read, Write};
-use std::net::Shutdown;
+use std::net::{Shutdown, TcpStream};
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -151,6 +151,12 @@ impl Severable for UnixStream {
     }
 }
 
+impl Severable for TcpStream {
+    fn sever(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
+}
+
 impl<T: Severable + ?Sized> Severable for &T {
     fn sever(&self) {
         (**self).sever();
@@ -265,6 +271,21 @@ pub fn wrap_unix(
     stream: UnixStream,
     plan: ChaosPlan,
 ) -> io::Result<(ChaosReader<UnixStream>, ChaosWriter<UnixStream>)> {
+    let read_half = stream.try_clone()?;
+    Ok(wrap(read_half, stream, plan))
+}
+
+/// [`wrap`] for a [`TcpStream`]: clones the stream into its two
+/// chaos-wrapped halves. Cuts shut down both directions, so the chaos
+/// plan behaves identically over TCP and Unix sockets.
+///
+/// # Errors
+///
+/// Propagates the `try_clone` failure.
+pub fn wrap_tcp(
+    stream: TcpStream,
+    plan: ChaosPlan,
+) -> io::Result<(ChaosReader<TcpStream>, ChaosWriter<TcpStream>)> {
     let read_half = stream.try_clone()?;
     Ok(wrap(read_half, stream, plan))
 }
@@ -472,6 +493,28 @@ mod tests {
         let mut got = Vec::new();
         r.read_to_end(&mut got).unwrap();
         assert_eq!(got, data);
+    }
+
+    #[test]
+    fn tcp_cuts_sever_both_directions_of_the_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut peer, _) = listener.accept().unwrap();
+        let (mut r, mut w) = wrap_tcp(client, ChaosPlan::new(5).with_cut_after(8)).unwrap();
+        peer.write_all(&[7u8; 4]).unwrap();
+        let mut buf = [0u8; 4];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [7u8; 4]);
+        assert_eq!(w.write(&[0u8; 16]).unwrap(), 4, "remaining cut budget");
+        assert_eq!(
+            w.write(&[0u8; 1]).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+        // The sever shut the real socket down: the peer sees EOF.
+        let mut tail = Vec::new();
+        peer.read_to_end(&mut tail).unwrap();
+        assert_eq!(tail, [0u8; 4], "peer got exactly the pre-cut bytes");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! per-shard completion order.
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::thread;
@@ -135,6 +136,34 @@ pub fn connect_with_retry(socket: &Path, retries: u32, base: Duration) -> io::Re
     loop {
         match UnixStream::connect(socket) {
             Ok(stream) => return Ok(stream),
+            Err(e) if attempt >= retries => return Err(e),
+            Err(_) => {
+                thread::sleep(backoff_for(attempt, base));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// [`connect_with_retry`] for a TCP address: the same capped
+/// exponential backoff, the same protocol on the other end. Nagle is
+/// disabled — frames are flushed at ack boundaries already.
+///
+/// # Errors
+///
+/// Returns the last connect failure once every attempt is exhausted.
+pub fn connect_tcp_with_retry<A: ToSocketAddrs>(
+    addr: A,
+    retries: u32,
+    base: Duration,
+) -> io::Result<TcpStream> {
+    let mut attempt = 0u32;
+    loop {
+        match TcpStream::connect(&addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
             Err(e) if attempt >= retries => return Err(e),
             Err(_) => {
                 thread::sleep(backoff_for(attempt, base));
@@ -282,6 +311,41 @@ pub fn replay_with_retry(
     let stream = connect_with_retry(socket, retries, retry_base)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    replay_stream(&mut reader, &mut writer, hello, ops, batch)
+}
+
+/// [`replay`] over a TCP connection to `addr` — the same session, frame
+/// for frame, over the other transport.
+///
+/// # Errors
+///
+/// As [`replay`], plus the connect failure.
+pub fn replay_tcp<A: ToSocketAddrs>(
+    addr: A,
+    hello: &SessionParams,
+    ops: &[CodicOp],
+    batch: usize,
+) -> Result<ClientReport, ClientError> {
+    let stream = connect_tcp_with_retry(addr, 0, Duration::ZERO)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    replay_stream(&mut reader, &mut writer, hello, ops, batch)
+}
+
+/// The transport-generic session core of [`replay`]: drives one full
+/// session over an already-connected `(reader, writer)` pair sharing
+/// one stream — Unix socket, TCP, chaos-wrapped, or in-memory.
+///
+/// # Errors
+///
+/// As [`replay`].
+pub fn replay_stream<R: Read, W: Write>(
+    mut reader: &mut R,
+    mut writer: &mut W,
+    hello: &SessionParams,
+    ops: &[CodicOp],
+    batch: usize,
+) -> Result<ClientReport, ClientError> {
     let started = Instant::now();
 
     // From v4 on every frame of the session — the Hello included —

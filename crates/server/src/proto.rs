@@ -63,10 +63,16 @@ use codic_core::ops::{CodicOp, VariantId};
 /// before decode, the [`Frame::HelloAck`] carries a server-minted
 /// session token, and the [`Frame::Resume`] / [`Frame::ResumeAck`]
 /// handshake lets a reconnecting client continue from its
-/// last-delivered event. The session checksum hashes the *payload*
-/// units in every version, so it is independent of the negotiated
-/// version and of how many connections carried the session.
-pub const PROTOCOL_VERSION: u16 = 4;
+/// last-delivered event. Version 5 added multi-tenant serving: three
+/// QoS/tenancy fields on [`SessionParams`] (`qos_weight`, `tenants`,
+/// `quota_ops`, widening the params block from 25 to 32 bytes for v5+
+/// sessions only — v2..=v4 layouts are byte-identical to their pins)
+/// and the shared-fleet claim caps ([`MAX_TENANT_CLAIM`],
+/// [`MAX_QUOTA_CLAIM`]) enforced before any allocation. The session
+/// checksum hashes the *payload* units in every version, so it is
+/// independent of the negotiated version and of how many connections
+/// carried the session.
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// The oldest protocol version the server still accepts in a
 /// [`Frame::Hello`]. Version 2 clients interoperate unchanged: they
@@ -83,6 +89,22 @@ pub const MAX_FRAME_LEN: u32 = 4 << 20;
 /// sized for the widest unit so a batch of any mix fits). Senders clamp
 /// their batch size to this.
 pub const MAX_BATCH_OPS: usize = (MAX_FRAME_LEN as usize - 5) / 17;
+
+/// Largest tenant-slot count a v5 `Hello` may claim
+/// (`SessionParams::tenants`). A server rejects a larger claim with
+/// [`ErrorCode::Policy`] *before* negotiating, building an engine, or
+/// acquiring any fleet slot — an oversized claim never costs an
+/// allocation.
+pub const MAX_TENANT_CLAIM: u16 = 4096;
+
+/// Largest per-tenant outstanding-op quota a v5 `Hello` may claim
+/// (`SessionParams::quota_ops`), rejected like [`MAX_TENANT_CLAIM`].
+pub const MAX_QUOTA_CLAIM: u32 = 1 << 20;
+
+/// Largest QoS weight a session can negotiate; a `Hello` asking for
+/// more is clamped here (weights shape fair-admission credit only, so
+/// clamping is honest — the ack carries the effective weight).
+pub const MAX_QOS_WEIGHT: u8 = 16;
 
 /// Frame-type tags (the `u8` after the length prefix).
 mod tag {
@@ -183,6 +205,24 @@ pub struct SessionParams {
     /// default (which is itself 0 — compute disabled — unless the server
     /// was started with a region).
     pub compute_rows: u32,
+    /// QoS weight for shared-fleet fair admission (v5+; on the wire only
+    /// when `version >= 5`): a weight-w tenant earns w× the
+    /// deficit-round-robin credit per rotation. 0 in a `Hello` = server
+    /// default (1); values past [`MAX_QOS_WEIGHT`] are clamped. Decodes
+    /// as 0 for v2..=v4 sessions.
+    pub qos_weight: u8,
+    /// Tenant-slot count (v5+). In a `Hello`: the most co-tenants the
+    /// client will accept sharing a fleet with (0 = any); claims past
+    /// [`MAX_TENANT_CLAIM`] are rejected before allocation. In the ack:
+    /// the serving fleet's slot count, or 0 when the session runs on a
+    /// private pool. Decodes as 0 for v2..=v4 sessions.
+    pub tenants: u16,
+    /// Per-tenant outstanding-op quota (v5+). In a `Hello`: a requested
+    /// additional bound on `max_outstanding` (0 = none); claims past
+    /// [`MAX_QUOTA_CLAIM`] are rejected before allocation. In the ack:
+    /// the effective quota (equal to the effective `max_outstanding`).
+    /// Decodes as 0 for v2..=v4 sessions.
+    pub quota_ops: u32,
 }
 
 impl SessionParams {
@@ -197,6 +237,9 @@ impl SessionParams {
             target_rows_per_s: 0,
             refresh: 2,
             compute_rows: 0,
+            qos_weight: 0,
+            tenants: 0,
+            quota_ops: 0,
         }
     }
 }
@@ -615,6 +658,18 @@ fn get_op(bytes: &[u8]) -> Result<(CodicOp, usize), ProtoError> {
     Ok((op, len))
 }
 
+/// Wire size of a params block for `version`: the pinned 25 bytes
+/// through v4, widened to 32 by v5's QoS/tenancy tail. The version
+/// field itself (bytes 0..2) selects the layout, so decoders read it
+/// first and then demand the exact matching length.
+fn params_len(version: u16) -> usize {
+    if version >= 5 {
+        32
+    } else {
+        25
+    }
+}
+
 fn put_params(buf: &mut Vec<u8>, p: &SessionParams) {
     buf.extend_from_slice(&p.version.to_le_bytes());
     buf.extend_from_slice(&p.shards.to_le_bytes());
@@ -623,23 +678,47 @@ fn put_params(buf: &mut Vec<u8>, p: &SessionParams) {
     buf.extend_from_slice(&p.target_rows_per_s.to_le_bytes());
     buf.push(p.refresh);
     buf.extend_from_slice(&p.compute_rows.to_le_bytes());
+    // The QoS/tenancy tail travels only on protocol ≥ 5, keeping the
+    // v2..=v4 params block byte-identical to its pinned layout.
+    if p.version >= 5 {
+        buf.push(p.qos_weight);
+        buf.extend_from_slice(&p.tenants.to_le_bytes());
+        buf.extend_from_slice(&p.quota_ops.to_le_bytes());
+    }
 }
 
 fn get_params(bytes: &[u8], tag: u8) -> Result<SessionParams, ProtoError> {
-    if bytes.len() != 25 {
-        return Err(ProtoError::BadLength {
-            tag,
-            got: bytes.len(),
-        });
+    let bad = || ProtoError::BadLength {
+        tag,
+        got: bytes.len(),
+    };
+    if bytes.len() < 25 {
+        return Err(bad());
     }
+    let version = u16::from_le_bytes(bytes[0..2].try_into().expect("sized"));
+    if bytes.len() != params_len(version) {
+        return Err(bad());
+    }
+    let v5 = version >= 5;
     Ok(SessionParams {
-        version: u16::from_le_bytes(bytes[0..2].try_into().expect("sized")),
+        version,
         shards: u16::from_le_bytes(bytes[2..4].try_into().expect("sized")),
         module_mib: u32::from_le_bytes(bytes[4..8].try_into().expect("sized")),
         max_outstanding: u32::from_le_bytes(bytes[8..12].try_into().expect("sized")),
         target_rows_per_s: u64::from_le_bytes(bytes[12..20].try_into().expect("sized")),
         refresh: bytes[20],
         compute_rows: u32::from_le_bytes(bytes[21..25].try_into().expect("sized")),
+        qos_weight: if v5 { bytes[25] } else { 0 },
+        tenants: if v5 {
+            u16::from_le_bytes(bytes[26..28].try_into().expect("sized"))
+        } else {
+            0
+        },
+        quota_ops: if v5 {
+            u32::from_le_bytes(bytes[28..32].try_into().expect("sized"))
+        } else {
+            0
+        },
     })
 }
 
@@ -854,19 +933,22 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
     match tag {
         tag::HELLO => Ok(Frame::Hello(get_params(payload, tag)?)),
         tag::HELLO_ACK => {
-            // 25 bytes below protocol 4; 25 + token above. The params'
-            // own version field selects the layout, and a mismatch
-            // between version and length is a typed error.
+            // The params block (25 bytes through v4, 32 at v5) plus a
+            // token for protocol ≥ 4. The params' own version field
+            // selects the layout, and a mismatch between version and
+            // length is a typed error.
             if payload.len() < 25 {
                 return Err(bad(payload.len()));
             }
-            let params = get_params(&payload[..25], tag)?;
-            let want = if params.version >= 4 { 33 } else { 25 };
+            let version = u16::from_le_bytes(payload[0..2].try_into().expect("sized"));
+            let plen = params_len(version);
+            let want = plen + if version >= 4 { 8 } else { 0 };
             if payload.len() != want {
                 return Err(bad(payload.len()));
             }
-            let token = if params.version >= 4 {
-                u64::from_le_bytes(payload[25..33].try_into().expect("sized"))
+            let params = get_params(&payload[..plen], tag)?;
+            let token = if version >= 4 {
+                u64::from_le_bytes(payload[plen..plen + 8].try_into().expect("sized"))
             } else {
                 0
             };
@@ -883,15 +965,26 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
             }))
         }
         tag::RESUME_ACK => {
-            if payload.len() != 50 {
+            // params block + token + next_seq + replay_events + finished:
+            // 50 bytes with v4 params, 57 with v5's widened block.
+            if payload.len() < 50 {
+                return Err(bad(payload.len()));
+            }
+            let version = u16::from_le_bytes(payload[0..2].try_into().expect("sized"));
+            let plen = params_len(version);
+            if payload.len() != plen + 25 {
                 return Err(bad(payload.len()));
             }
             Ok(Frame::ResumeAck(ResumeAck {
-                params: get_params(&payload[..25], tag)?,
-                token: u64::from_le_bytes(payload[25..33].try_into().expect("sized")),
-                next_seq: u64::from_le_bytes(payload[33..41].try_into().expect("sized")),
-                replay_events: u64::from_le_bytes(payload[41..49].try_into().expect("sized")),
-                finished: payload[49],
+                params: get_params(&payload[..plen], tag)?,
+                token: u64::from_le_bytes(payload[plen..plen + 8].try_into().expect("sized")),
+                next_seq: u64::from_le_bytes(
+                    payload[plen + 8..plen + 16].try_into().expect("sized"),
+                ),
+                replay_events: u64::from_le_bytes(
+                    payload[plen + 16..plen + 24].try_into().expect("sized"),
+                ),
+                finished: payload[plen + 24],
             }))
         }
         tag::BATCH => {
@@ -1635,12 +1728,15 @@ mod tests {
             target_rows_per_s: 2_000_000,
             refresh: 0,
             compute_rows: 64,
+            qos_weight: 7,
+            tenants: 16,
+            quota_ops: 4096,
         }));
     }
 
     #[test]
     fn hello_ack_round_trips() {
-        // v4: the ack carries the session token after the params.
+        // v5: the ack carries the QoS/tenancy tail and the session token.
         round_trip(Frame::HelloAck {
             params: SessionParams {
                 version: PROTOCOL_VERSION,
@@ -1650,6 +1746,26 @@ mod tests {
                 target_rows_per_s: 0,
                 refresh: 1,
                 compute_rows: 16,
+                qos_weight: 3,
+                tenants: 8,
+                quota_ops: 512,
+            },
+            token: 0xfeed_face_0123_4567,
+        });
+        // v4: the 25-byte params block plus the token — byte-identical
+        // to its pinned pre-v5 layout.
+        round_trip(Frame::HelloAck {
+            params: SessionParams {
+                version: 4,
+                shards: 2,
+                module_mib: 128,
+                max_outstanding: 512,
+                target_rows_per_s: 0,
+                refresh: 1,
+                compute_rows: 16,
+                qos_weight: 0,
+                tenants: 0,
+                quota_ops: 0,
             },
             token: 0xfeed_face_0123_4567,
         });
@@ -1663,6 +1779,9 @@ mod tests {
             target_rows_per_s: 0,
             refresh: 1,
             compute_rows: 16,
+            qos_weight: 0,
+            tenants: 0,
+            quota_ops: 0,
         };
         round_trip(Frame::HelloAck {
             params: v3,

@@ -39,6 +39,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,6 +51,7 @@ use codic_core::device::DeviceConfig;
 use codic_core::error::CodicError;
 use codic_core::executor::OpFuture;
 use codic_core::fault::{FaultPlan, HealthPolicy, RetryPolicy};
+use codic_core::fleet::{FleetConfig, FleetHandle, TenantId};
 use codic_core::ops::CodicOp;
 use codic_core::pool::{DevicePool, ShardHealth};
 use codic_core::worker::{DrainedOp, ShardWorkers};
@@ -58,8 +60,8 @@ use codic_dram::{DramGeometry, TimingParams};
 use crate::governor::RateGovernor;
 use crate::proto::{
     self, write_frame_in, BatchAck, ErrorCode, EventBuffer, FlushAck, Fnv64, Frame, FrameReader,
-    ProtoError, ResumeAck, SessionParams, Summary, WireCompletion, WireFailure,
-    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    ProtoError, ResumeAck, SessionParams, Summary, WireCompletion, WireFailure, MAX_QOS_WEIGHT,
+    MAX_QUOTA_CLAIM, MAX_TENANT_CLAIM, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 
 /// Server-side session defaults and caps.
@@ -107,6 +109,15 @@ pub struct ServerConfig {
     /// the oldest whole events first. A `Resume` pointing before the
     /// retained window is honestly rejected (`--journal-max-kib`).
     pub journal_max_bytes: usize,
+    /// Tenant slots in the shared fleet (`--fleet-slots`; 0 = private
+    /// pools, the default). With `N > 0` every session is served from
+    /// one [`SharedFleet`](codic_core::fleet::SharedFleet) carved into
+    /// `N` leases of [`ServerConfig::shards`] shards each: sessions
+    /// share the pool's machinery but each tenant's event stream stays
+    /// bit-identical to a private pool of its slot shape. Fleet mode is
+    /// incompatible with [`ServerConfig::workers`] (the fleet *is* the
+    /// serving substrate).
+    pub fleet_slots: usize,
 }
 
 impl Default for ServerConfig {
@@ -128,6 +139,7 @@ impl Default for ServerConfig {
             read_timeout_ms: 25,
             session_idle_ms: 30_000,
             journal_max_bytes: 8 << 20,
+            fleet_slots: 0,
         }
     }
 }
@@ -149,6 +161,15 @@ impl ServerConfig {
         let max_outstanding = match hello.max_outstanding {
             0 => self.max_outstanding,
             n => (n as usize).min(self.max_outstanding.max(1)),
+        };
+        let version = hello.version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+        // v5's quota_ops is an additional bound on the outstanding
+        // window — the fleet enforces the effective value as the
+        // tenant's quota, and a private-pool session's engine uses it as
+        // its backpressure window, so the two serve identically.
+        let max_outstanding = match (version >= 5, hello.quota_ops) {
+            (true, q) if q != 0 => max_outstanding.min(q as usize).max(1),
+            _ => max_outstanding,
         };
         let target_rows_per_s = match (self.target_rows_per_s, hello.target_rows_per_s) {
             (0, t) => t,
@@ -172,13 +193,29 @@ impl ServerConfig {
             // The session runs the *client's* version (already validated
             // against the supported range by the handshake); the ack
             // echoes it so a v2 client interoperates unchanged.
-            version: hello.version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION),
+            version,
             shards: shards as u16,
             module_mib: module_mib as u32,
             max_outstanding: max_outstanding as u32,
             target_rows_per_s,
             refresh: u8::from(refresh),
             compute_rows: compute_rows as u32,
+            qos_weight: if version >= 5 {
+                match hello.qos_weight {
+                    0 => 1,
+                    w => w.min(MAX_QOS_WEIGHT),
+                }
+            } else {
+                0
+            },
+            // `tenants` is 0 for private-pool serving; fleet-mode
+            // handshakes overwrite it with the fleet's slot count.
+            tenants: 0,
+            quota_ops: if version >= 5 {
+                max_outstanding as u32
+            } else {
+                0
+            },
         }
     }
 
@@ -244,6 +281,11 @@ impl ReplayCompletion {
 enum EngineCore {
     Inline(DevicePool),
     Workers(ShardWorkers),
+    /// A tenant lease on the server's shared fleet: the session's ops
+    /// run on its slot's shards of the one shared pool, demultiplexed
+    /// into a stream bit-identical to a private pool of the same shape
+    /// (the fleet isolation proptests pin it).
+    Fleet(FleetSession),
 }
 
 impl fmt::Debug for EngineCore {
@@ -251,7 +293,25 @@ impl fmt::Debug for EngineCore {
         match self {
             EngineCore::Inline(pool) => f.debug_tuple("Inline").field(pool).finish(),
             EngineCore::Workers(w) => write!(f, "Workers({} shards)", w.shards()),
+            EngineCore::Fleet(s) => write!(f, "Fleet(slot {})", s.tenant.slot()),
         }
+    }
+}
+
+/// One session's tenancy on the shared fleet. Dropping it — session
+/// finished, torn down, or reaped while parked — releases the slot back
+/// to the fleet for the next `Hello`.
+struct FleetSession {
+    handle: FleetHandle,
+    tenant: TenantId,
+    /// Lease-local shard health as of the last batch/flush boundary —
+    /// exactly the points the serving loop reads it.
+    health: Vec<ShardHealth>,
+}
+
+impl Drop for FleetSession {
+    fn drop(&mut self) {
+        self.handle.release(self.tenant);
     }
 }
 
@@ -335,6 +395,28 @@ impl ReplayEngine {
         }
     }
 
+    /// An engine serving one tenant of a shared fleet: acquires a slot
+    /// with the session's negotiated QoS weight and outstanding-op quota
+    /// and returns `None` when every slot is taken. The slot is released
+    /// when the engine drops.
+    #[must_use]
+    pub fn for_fleet(params: &SessionParams, handle: &FleetHandle) -> Option<Self> {
+        let quota = (params.max_outstanding as usize).max(1);
+        let tenant = handle.acquire_with(u32::from(params.qos_weight.max(1)), quota)?;
+        let health = handle.health(tenant);
+        Some(ReplayEngine {
+            core: EngineCore::Fleet(FleetSession {
+                handle: handle.clone(),
+                tenant,
+                health,
+            }),
+            pending: Vec::new(),
+            scratch: Vec::new(),
+            next_seq: 0,
+            max_outstanding: quota,
+        })
+    }
+
     /// Submits one batch and returns the completions that drained at
     /// this boundary, in completion order.
     ///
@@ -394,6 +476,24 @@ impl ReplayEngine {
                 drained.extend(workers.drain_ready());
                 Ok(into_completions(drained))
             }
+            EngineCore::Fleet(fleet) => {
+                // The fleet runs this exact discipline inside the
+                // tenant's lease — routed async submission, step-wise
+                // quota backpressure, a health check at the batch
+                // boundary — and demultiplexes the drained events per
+                // tenant. A rejected batch is all-or-nothing there too.
+                let (receipt, events) = fleet.handle.submit(fleet.tenant, ops)?;
+                self.next_seq += u64::from(receipt.accepted);
+                fleet.health = fleet.handle.health(fleet.tenant);
+                Ok(events
+                    .into_iter()
+                    .map(|e| ReplayCompletion {
+                        seq: e.seq,
+                        shard: e.shard,
+                        completion: e.completion,
+                    })
+                    .collect())
+            }
         }
     }
 
@@ -414,6 +514,18 @@ impl ReplayEngine {
                 drained.extend(workers.drain_ready());
                 return into_completions(drained);
             }
+            EngineCore::Fleet(fleet) => {
+                let (_, events) = fleet.handle.flush(fleet.tenant);
+                fleet.health = fleet.handle.health(fleet.tenant);
+                return events
+                    .into_iter()
+                    .map(|e| ReplayCompletion {
+                        seq: e.seq,
+                        shard: e.shard,
+                        completion: e.completion,
+                    })
+                    .collect();
+            }
         }
         self.drain_ready()
     }
@@ -424,6 +536,7 @@ impl ReplayEngine {
         match &self.core {
             EngineCore::Inline(pool) => pool.health(),
             EngineCore::Workers(workers) => workers.health(),
+            EngineCore::Fleet(fleet) => &fleet.health,
         }
     }
 
@@ -436,6 +549,7 @@ impl ReplayEngine {
         match &self.core {
             EngineCore::Inline(pool) => pool.outstanding(),
             EngineCore::Workers(workers) => workers.outstanding(),
+            EngineCore::Fleet(fleet) => fleet.handle.outstanding(fleet.tenant),
         }
     }
 
@@ -448,6 +562,7 @@ impl ReplayEngine {
                 .max()
                 .unwrap_or(0),
             EngineCore::Workers(workers) => workers.now_max(),
+            EngineCore::Fleet(fleet) => fleet.handle.now_max(fleet.tenant),
         }
     }
 
@@ -554,17 +669,35 @@ struct SessionState {
 }
 
 impl SessionState {
+    /// A session with a private-pool engine built from the config.
+    #[cfg(test)]
     fn new(params: SessionParams, token: u64, config: &ServerConfig) -> Self {
-        SessionState {
+        SessionState::from_engine(
             params,
             token,
-            engine: ReplayEngine::with_options(
+            config,
+            ReplayEngine::with_options(
                 &params,
                 config.fault,
                 config.retry,
                 config.health,
                 config.workers,
             ),
+        )
+    }
+
+    /// A session around a pre-built engine — the fleet path constructs
+    /// its engine (acquiring a tenant slot) before the `HelloAck`.
+    fn from_engine(
+        params: SessionParams,
+        token: u64,
+        config: &ServerConfig,
+        engine: ReplayEngine,
+    ) -> Self {
+        SessionState {
+            params,
+            token,
+            engine,
             governor: RateGovernor::new(params.target_rows_per_s),
             tally: SessionTally::for_params(&params, config.journal_max_bytes),
             finished: None,
@@ -775,6 +908,23 @@ pub fn serve_connection<R: Read, W: Write>(
     shutdown: &AtomicBool,
     registry: &SessionRegistry,
 ) -> io::Result<SessionEnd> {
+    serve_connection_inner(reader, writer, config, shutdown, registry, None)
+}
+
+/// [`serve_connection`] with an optional shared fleet: with
+/// `Some(fleet)` the `Hello` acquires a tenant slot instead of building
+/// a private pool, and substrate parameters (shards, capacity, refresh,
+/// compute region) are fleet-wide — the client's requests for them are
+/// ignored and the ack reports the fleet's shape (`tenants` = slot
+/// count).
+fn serve_connection_inner<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+    registry: &SessionRegistry,
+    fleet: Option<&FleetHandle>,
+) -> io::Result<SessionEnd> {
     let mut frames = FrameReader::new();
     let idle = Duration::from_millis(config.session_idle_ms.max(1));
     let first = match first_input(reader, &mut frames, shutdown, idle) {
@@ -813,16 +963,64 @@ pub fn serve_connection<R: Read, W: Write>(
                 send_error(writer, ErrorCode::Version, &reason, frames.crc_enabled())?;
                 return Ok(SessionEnd::Rejected(reason));
             }
-            let params = config.negotiate(&hello);
+            // Oversized v5 resource claims are rejected here, before
+            // anything is negotiated or allocated from their numbers.
+            if hello.version >= 5
+                && (hello.tenants > MAX_TENANT_CLAIM || hello.quota_ops > MAX_QUOTA_CLAIM)
+            {
+                let reason = format!(
+                    "resource claim out of range: tenants {} (max {MAX_TENANT_CLAIM}), \
+                     quota_ops {} (max {MAX_QUOTA_CLAIM})",
+                    hello.tenants, hello.quota_ops
+                );
+                send_error(writer, ErrorCode::Policy, &reason, frames.crc_enabled())?;
+                return Ok(SessionEnd::Rejected(reason));
+            }
+            let params = match fleet {
+                // Fleet sessions share one substrate: its shape was
+                // fixed at bind, so the client's substrate fields are
+                // replaced by "server default" sentinels and the ack
+                // reports the fleet's honest shape.
+                Some(fleet) => {
+                    let mut params = config.negotiate(&SessionParams {
+                        shards: 0,
+                        module_mib: 0,
+                        refresh: 2,
+                        compute_rows: 0,
+                        ..hello
+                    });
+                    params.tenants = fleet.slots().min(usize::from(u16::MAX)) as u16;
+                    params
+                }
+                None => config.negotiate(&hello),
+            };
             // From here the framing follows the *negotiated version*,
             // whatever the Hello itself looked like: every frame of a
             // v4 session carries the CRC trailer, in both directions.
             let crc = params.version >= 4;
             frames.set_crc(crc);
+            let engine = match fleet {
+                Some(fleet) => match ReplayEngine::for_fleet(&params, fleet) {
+                    Some(engine) => engine,
+                    None => {
+                        let reason =
+                            format!("no free tenant slots (fleet serves {})", fleet.slots());
+                        send_error(writer, ErrorCode::Unavailable, &reason, crc)?;
+                        return Ok(SessionEnd::Rejected(reason));
+                    }
+                },
+                None => ReplayEngine::with_options(
+                    &params,
+                    config.fault,
+                    config.retry,
+                    config.health,
+                    config.workers,
+                ),
+            };
             let token = if crc { registry.mint_token() } else { 0 };
             write_frame_in(writer, &Frame::HelloAck { params, token }, crc)?;
             writer.flush()?;
-            let session = SessionState::new(params, token, config);
+            let session = SessionState::from_engine(params, token, config, engine);
             run_session(
                 session,
                 reader,
@@ -1368,20 +1566,112 @@ impl ShutdownHandle {
     }
 }
 
-/// The Unix-socket replay server.
+/// One bound accept endpoint: the filesystem Unix socket or a TCP
+/// listener. Both feed the same accept loop and speak the same
+/// protocol, frame for frame.
+#[derive(Debug)]
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    fn accept(&self) -> io::Result<ServerStream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| ServerStream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                // Frames are already written through a BufWriter and
+                // flushed at ack boundaries; Nagle would only add
+                // latency on top of that.
+                let _ = s.set_nodelay(true);
+                ServerStream::Tcp(s)
+            }),
+        }
+    }
+}
+
+/// An accepted connection with the transport erased: the session thread
+/// reads and writes it identically over Unix and TCP sockets.
+#[derive(Debug)]
+enum ServerStream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl ServerStream {
+    fn try_clone(&self) -> io::Result<ServerStream> {
+        match self {
+            ServerStream::Unix(s) => s.try_clone().map(ServerStream::Unix),
+            ServerStream::Tcp(s) => s.try_clone().map(ServerStream::Tcp),
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            ServerStream::Unix(s) => s.set_nonblocking(nonblocking),
+            ServerStream::Tcp(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            ServerStream::Unix(s) => s.set_read_timeout(timeout),
+            ServerStream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for ServerStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ServerStream::Unix(s) => s.read(buf),
+            ServerStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ServerStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ServerStream::Unix(s) => s.write(buf),
+            ServerStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ServerStream::Unix(s) => s.flush(),
+            ServerStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// The replay server.
 ///
-/// Binds a filesystem socket, then serves each accepted connection as an
-/// independent session on its own thread. The socket file is removed on
-/// drop.
+/// Binds a filesystem Unix socket ([`ReplayServer::bind`]), a TCP
+/// address ([`ReplayServer::bind_tcp`]), or both
+/// ([`ReplayServer::with_tcp`]), then serves each accepted connection —
+/// whichever transport it arrived on — as an independent session on its
+/// own thread. The socket file, when there is one, is removed on drop.
 #[derive(Debug)]
 pub struct ReplayServer {
-    listener: UnixListener,
+    listeners: Vec<Listener>,
     config: ServerConfig,
-    path: PathBuf,
+    path: Option<PathBuf>,
     shutdown: ShutdownHandle,
     /// Shared across every connection thread: where cut v4 sessions
     /// park for resume, reaped on the idle deadline by the accept loop.
     registry: Arc<SessionRegistry>,
+    /// The shared tenant fleet ([`ServerConfig::fleet_slots`] > 0):
+    /// built once at bind, leased per session.
+    fleet: Option<FleetHandle>,
 }
 
 impl ReplayServer {
@@ -1415,12 +1705,83 @@ impl ReplayServer {
             Err(_) => {}
         }
         let listener = UnixListener::bind(&path)?;
+        ReplayServer::build(vec![Listener::Unix(listener)], Some(path), config)
+    }
+
+    /// Binds a TCP address (e.g. `127.0.0.1:0` for an ephemeral test
+    /// port) instead of a Unix socket; the protocol is identical over
+    /// both.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_tcp<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        ReplayServer::build(vec![Listener::Tcp(listener)], None, config)
+    }
+
+    /// Adds a TCP listener beside this server's existing endpoints: the
+    /// accept loop serves both, and a session is the same session
+    /// whichever transport carried it (a session cut on one listener
+    /// can even resume through the other).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn with_tcp<A: ToSocketAddrs>(mut self, addr: A) -> io::Result<Self> {
+        self.listeners.push(Listener::Tcp(TcpListener::bind(addr)?));
+        Ok(self)
+    }
+
+    /// The local address of the first TCP listener, when one is bound
+    /// (tests bind `127.0.0.1:0` and read the ephemeral port here).
+    #[must_use]
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.listeners.iter().find_map(|l| match l {
+            Listener::Tcp(listener) => listener.local_addr().ok(),
+            Listener::Unix(_) => None,
+        })
+    }
+
+    /// Assembles the server, building the shared fleet when
+    /// [`ServerConfig::fleet_slots`] asks for one: `fleet_slots` leases
+    /// of the configured shard count, on the substrate the server's
+    /// defaults negotiate (fault plan and retry policy included), with
+    /// the server's outstanding cap as the default per-tenant quota.
+    fn build(
+        listeners: Vec<Listener>,
+        path: Option<PathBuf>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let fleet = match config.fleet_slots {
+            0 => None,
+            slots => {
+                if config.workers {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "fleet mode serves sessions from one shared pool; \
+                         it cannot be combined with per-shard workers",
+                    ));
+                }
+                let params = config.negotiate(&SessionParams::defaults());
+                let mut device = ServerConfig::device_config(&params).with_retry(config.retry);
+                if let Some(plan) = config.fault {
+                    device = device.with_faults(plan);
+                }
+                Some(FleetHandle::new(
+                    FleetConfig::new(slots, (params.shards as usize).max(1), device)
+                        .with_quota(config.max_outstanding.max(1))
+                        .with_health(config.health),
+                ))
+            }
+        };
         Ok(ReplayServer {
-            listener,
+            listeners,
             config,
             path,
             shutdown: ShutdownHandle::default(),
             registry: Arc::new(SessionRegistry::new()),
+            fleet,
         })
     }
 
@@ -1432,10 +1793,18 @@ impl ReplayServer {
         self.registry.parked_sessions()
     }
 
-    /// The bound socket path.
+    /// The bound Unix-socket path, when this server has one
+    /// (TCP-only servers don't).
     #[must_use]
-    pub fn path(&self) -> &Path {
-        &self.path
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Free tenant slots on the shared fleet; `None` when this server
+    /// runs private pools ([`ServerConfig::fleet_slots`] = 0).
+    #[must_use]
+    pub fn free_tenant_slots(&self) -> Option<usize> {
+        self.fleet.as_ref().map(FleetHandle::free_slots)
     }
 
     /// A handle that stops this server gracefully from another thread:
@@ -1473,28 +1842,38 @@ impl ReplayServer {
     /// small interval, so a shutdown request is noticed within ~10 ms
     /// even while no client is connecting.
     fn accept_loop(&self, connections: Option<usize>) -> io::Result<()> {
-        self.listener.set_nonblocking(true)?;
+        for listener in &self.listeners {
+            listener.set_nonblocking(true)?;
+        }
         let idle = Duration::from_millis(self.config.session_idle_ms.max(1));
         let mut handles = Vec::new();
         let mut accepted = 0usize;
-        while connections.is_none_or(|n| accepted < n) {
+        'accept: while connections.is_none_or(|n| accepted < n) {
             if self.shutdown.is_shutdown() {
                 break;
             }
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    handles.push(self.spawn_session(stream));
-                    accepted += 1;
+            // Poll every listener once; a fully quiet round doubles as
+            // the reaper's tick: parked sessions nobody resumed past
+            // the idle deadline are dropped and their journals freed.
+            let mut quiet = true;
+            for listener in &self.listeners {
+                if connections.is_some_and(|n| accepted >= n) {
+                    break 'accept;
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    // The quiet moments double as the reaper's tick:
-                    // parked sessions nobody resumed past the idle
-                    // deadline are dropped and their journals freed.
-                    self.registry.reap_idle(idle);
-                    thread::sleep(Duration::from_millis(5));
+                match listener.accept() {
+                    Ok(stream) => {
+                        handles.push(self.spawn_session(stream));
+                        accepted += 1;
+                        quiet = false;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
                 }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+            }
+            if quiet {
+                self.registry.reap_idle(idle);
+                thread::sleep(Duration::from_millis(5));
             }
         }
         for handle in handles {
@@ -1503,10 +1882,11 @@ impl ReplayServer {
         Ok(())
     }
 
-    fn spawn_session(&self, stream: UnixStream) -> thread::JoinHandle<()> {
+    fn spawn_session(&self, stream: ServerStream) -> thread::JoinHandle<()> {
         let config = self.config.clone();
         let shutdown = self.shutdown.clone();
         let registry = Arc::clone(&self.registry);
+        let fleet = self.fleet.clone();
         thread::spawn(move || {
             // Accepted sockets are blocking with a read timeout: the
             // session loop parks in the frame reader for at most this
@@ -1519,14 +1899,23 @@ impl ReplayServer {
             let Ok(read_half) = reader else { return };
             let mut reader = BufReader::new(read_half);
             let mut writer = BufWriter::new(stream);
-            let _ = serve_connection(&mut reader, &mut writer, &config, &shutdown.0, &registry);
+            let _ = serve_connection_inner(
+                &mut reader,
+                &mut writer,
+                &config,
+                &shutdown.0,
+                &registry,
+                fleet.as_ref(),
+            );
         })
     }
 }
 
 impl Drop for ReplayServer {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        if let Some(path) = &self.path {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 
@@ -1545,6 +1934,9 @@ mod tests {
             target_rows_per_s: 0,
             refresh: 0,
             compute_rows: 0,
+            qos_weight: 1,
+            tenants: 0,
+            quota_ops: max_outstanding,
         }
     }
 
@@ -1578,6 +1970,9 @@ mod tests {
             target_rows_per_s: 5_000,
             refresh: 1,
             compute_rows: u32::MAX,
+            qos_weight: 200,
+            tenants: 0,
+            quota_ops: 0,
         };
         let effective = server.negotiate(&aggressive);
         assert_eq!(effective.shards, 64, "shards are capped");
@@ -1842,7 +2237,7 @@ mod tests {
     #[test]
     fn out_of_range_versions_are_rejected() {
         let config = ServerConfig::default();
-        for version in [0u16, 1, 5, u16::MAX] {
+        for version in [0u16, 1, 6, u16::MAX] {
             let hello = SessionParams {
                 version,
                 ..SessionParams::defaults()
@@ -2303,6 +2698,215 @@ mod tests {
         assert_eq!(registry.parked_sessions(), 1);
         assert_eq!(registry.reap_idle(Duration::ZERO), 1);
         assert_eq!(registry.parked_sessions(), 0);
+    }
+
+    /// A fleet built exactly the way [`ReplayServer::build`] builds one
+    /// from this config.
+    fn test_fleet(config: &ServerConfig, slots: usize) -> FleetHandle {
+        let params = config.negotiate(&SessionParams::defaults());
+        let mut device = ServerConfig::device_config(&params).with_retry(config.retry);
+        if let Some(plan) = config.fault {
+            device = device.with_faults(plan);
+        }
+        FleetHandle::new(
+            FleetConfig::new(slots, params.shards as usize, device)
+                .with_quota(config.max_outstanding)
+                .with_health(config.health),
+        )
+    }
+
+    /// Serves one CRC-framed session (fleet or private) in memory and
+    /// returns the reply frames.
+    fn run_crc_session(
+        frames: &[Frame],
+        config: &ServerConfig,
+        fleet: Option<&FleetHandle>,
+    ) -> (SessionEnd, Vec<Frame>) {
+        let input = crc_input(frames);
+        let mut output = Vec::new();
+        let registry = SessionRegistry::new();
+        let end = serve_connection_inner(
+            &mut input.as_slice(),
+            &mut output,
+            config,
+            &AtomicBool::new(false),
+            &registry,
+            fleet,
+        )
+        .unwrap();
+        (end, crc_frames(&output))
+    }
+
+    #[test]
+    fn fleet_sessions_match_private_pool_sessions_bit_for_bit() {
+        let config = ServerConfig::default();
+        let fleet = test_fleet(&config, 2);
+        let ops = zero_ops(300);
+        // The fleet client asks for its own substrate; the fleet ignores
+        // the request (the pool's shape is fleet-wide).
+        let mut fleet_session = vec![Frame::Hello(SessionParams {
+            shards: 16,
+            module_mib: 512,
+            ..SessionParams::defaults()
+        })];
+        let mut private_session = vec![Frame::Hello(SessionParams::defaults())];
+        for chunk in ops.chunks(64) {
+            fleet_session.push(Frame::Batch(chunk.to_vec()));
+            private_session.push(Frame::Batch(chunk.to_vec()));
+        }
+        fleet_session.push(Frame::Bye);
+        private_session.push(Frame::Bye);
+
+        let (end, private) = run_crc_session(&private_session, &config, None);
+        assert!(matches!(end, SessionEnd::Bye), "private: {end:?}");
+
+        for round in 0..2 {
+            let input = crc_input(&fleet_session);
+            let mut output = Vec::new();
+            let registry = SessionRegistry::new();
+            let end = serve_connection_inner(
+                &mut input.as_slice(),
+                &mut output,
+                &config,
+                &AtomicBool::new(false),
+                &registry,
+                Some(&fleet),
+            )
+            .unwrap();
+            assert!(matches!(end, SessionEnd::Bye), "round {round}: {end:?}");
+            let served = crc_frames(&output);
+            match served[0] {
+                Frame::HelloAck { params: p, .. } => {
+                    assert_eq!(p.tenants, 2, "the ack reports the fleet's slot count");
+                    assert_eq!(
+                        p.shards, config.shards as u16,
+                        "substrate requests are fleet-wide, not per client"
+                    );
+                    assert_eq!(p.module_mib, 64);
+                }
+                ref other => panic!("expected HelloAck, got {other:?}"),
+            }
+            // The tenant's demultiplexed stream is the private pool's
+            // stream, unit for unit, checksum included — and a recycled
+            // slot (round 1) starts just as fresh.
+            assert_eq!(event_units(&served), event_units(&private), "round {round}");
+            assert_eq!(summary_of(&served), summary_of(&private), "round {round}");
+            // The Bye parked a resume tombstone that still holds the
+            // slot; the reaper frees both together.
+            assert_eq!(fleet.free_slots(), 1, "tombstone holds the slot");
+            assert_eq!(registry.reap_idle(Duration::ZERO), 1);
+            assert_eq!(fleet.free_slots(), 2, "reaping releases the slot");
+        }
+    }
+
+    #[test]
+    fn oversized_v5_resource_claims_are_rejected_before_allocation() {
+        let config = ServerConfig::default();
+        let fleet = test_fleet(&config, 1);
+        let claims = [
+            SessionParams {
+                tenants: MAX_TENANT_CLAIM + 1,
+                ..SessionParams::defaults()
+            },
+            SessionParams {
+                quota_ops: MAX_QUOTA_CLAIM + 1,
+                ..SessionParams::defaults()
+            },
+        ];
+        for hello in claims {
+            for fleet in [Some(&fleet), None] {
+                let (end, served) = run_crc_session(&[Frame::Hello(hello)], &config, fleet);
+                assert!(matches!(end, SessionEnd::Rejected(_)), "got {end:?}");
+                match &served[0] {
+                    Frame::Error { code, detail } => {
+                        assert_eq!(*code, ErrorCode::Policy);
+                        assert!(detail.contains("claim out of range"), "detail: {detail}");
+                    }
+                    other => panic!("expected Error, got {other:?}"),
+                }
+            }
+            assert_eq!(fleet.free_slots(), 1, "nothing was allocated");
+        }
+        // The caps themselves are serveable (the claim is a bound, not
+        // a quirk of the rejection path).
+        let at_cap = SessionParams {
+            tenants: MAX_TENANT_CLAIM,
+            quota_ops: MAX_QUOTA_CLAIM,
+            ..SessionParams::defaults()
+        };
+        let (end, _) = run_crc_session(&[Frame::Hello(at_cap), Frame::Bye], &config, Some(&fleet));
+        assert!(matches!(end, SessionEnd::Bye), "at-cap claim: {end:?}");
+    }
+
+    #[test]
+    fn fleet_full_hellos_are_rejected_and_slots_recycle() {
+        let config = ServerConfig::default();
+        let fleet = test_fleet(&config, 1);
+        let held = fleet.acquire_with(1, 1).expect("the only slot");
+        let session = [
+            Frame::Hello(SessionParams::defaults()),
+            Frame::Batch(zero_ops(8)),
+            Frame::Bye,
+        ];
+        let (end, served) = run_crc_session(&session, &config, Some(&fleet));
+        assert!(matches!(end, SessionEnd::Rejected(_)), "got {end:?}");
+        match &served[0] {
+            Frame::Error { code, detail } => {
+                assert_eq!(*code, ErrorCode::Unavailable);
+                assert!(detail.contains("tenant slots"), "detail: {detail}");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        fleet.release(held);
+        let (end, served) = run_crc_session(&session, &config, Some(&fleet));
+        assert!(matches!(end, SessionEnd::Bye), "after release: {end:?}");
+        assert_eq!(event_units(&served).len(), 8);
+    }
+
+    #[test]
+    fn fleet_mode_refuses_worker_serving() {
+        let config = ServerConfig {
+            fleet_slots: 2,
+            workers: true,
+            ..ServerConfig::default()
+        };
+        let err = ReplayServer::bind_tcp("127.0.0.1:0", config).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn tcp_listeners_serve_the_same_protocol_as_unix_sockets() {
+        let server = ReplayServer::bind_tcp("127.0.0.1:0", ServerConfig::default()).unwrap();
+        assert!(server.path().is_none(), "TCP-only servers have no path");
+        let addr = server.tcp_addr().expect("a bound TCP address");
+        let serving = thread::spawn(move || server.serve_connections(1).unwrap());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let hello = SessionParams {
+            version: 2,
+            ..SessionParams::defaults()
+        };
+        let mut input = Vec::new();
+        write_frame(&mut input, &Frame::Hello(hello)).unwrap();
+        for chunk in zero_ops(300).chunks(64) {
+            write_frame(&mut input, &Frame::Batch(chunk.to_vec())).unwrap();
+        }
+        write_frame(&mut input, &Frame::Bye).unwrap();
+        stream.write_all(&input).unwrap();
+        stream.flush().unwrap();
+        let mut frames = Vec::new();
+        loop {
+            let frame = proto::read_frame(&mut stream).unwrap();
+            let done = matches!(frame, Frame::Summary(_));
+            frames.push(frame);
+            if done {
+                break;
+            }
+        }
+        serving.join().unwrap();
+        // The served stream is the in-memory Unix-path stream of the
+        // same session, checksum and all.
+        let reference = run_session(2, &ServerConfig::default());
+        assert_eq!(stream_shape(&frames), stream_shape(&reference));
     }
 
     #[test]

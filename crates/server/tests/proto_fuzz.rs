@@ -91,8 +91,24 @@ fn corpus() -> Vec<Frame> {
         SessionEvent::Completion(compute_completion),
         SessionEvent::Failure(compute_failure),
     ]);
+    // A v5 params block with its whole QoS/tenancy tail lit up, so the
+    // corruption campaigns strike meaningful bytes in the widened
+    // layout, and a v4 block for the legacy 25-byte layout.
+    let qos_params = SessionParams {
+        qos_weight: 7,
+        tenants: 2048,
+        quota_ops: 1 << 19,
+        target_rows_per_s: 1_000_000,
+        ..SessionParams::defaults()
+    };
+    let v4_params = SessionParams {
+        version: 4,
+        ..SessionParams::defaults()
+    };
     vec![
         Frame::Hello(SessionParams::defaults()),
+        Frame::Hello(qos_params),
+        Frame::Hello(v4_params),
         Frame::HelloAck {
             params: SessionParams {
                 version: 3,
@@ -105,6 +121,25 @@ fn corpus() -> Vec<Frame> {
             params: SessionParams::defaults(),
             token: 0x1122_3344_5566_7788,
         },
+        // The v5 ack reports the fleet's honest QoS/tenancy grant.
+        Frame::HelloAck {
+            params: qos_params,
+            token: 0x0be1_1e5e_d0c5_0b5e,
+        },
+        Frame::ResumeAck(ResumeAck {
+            params: qos_params,
+            token: 0x0451,
+            next_seq: 8192,
+            replay_events: 11,
+            finished: 0,
+        }),
+        Frame::ResumeAck(ResumeAck {
+            params: v4_params,
+            token: 0x0452,
+            next_seq: 1,
+            replay_events: 0,
+            finished: 1,
+        }),
         Frame::Resume(ResumeRequest {
             version: 4,
             token: 0xfeed_beef_0451_0b5e,
@@ -575,6 +610,137 @@ fn oversized_journal_window_claims_decode_without_allocation() {
     assert!(wire.len() < 32, "Resume stays fixed-size: {}", wire.len());
     assert_eq!(decode_blocking_crc(&wire).unwrap(), greedy);
     assert_eq!(decode_trickled_crc(&wire).unwrap(), Some(greedy));
+}
+
+// ---------------------------------------------------------------------
+// Protocol v5: the QoS/tenancy tail. The widened params block rides in
+// the full-corpus campaigns above; these pins nail the exact layouts,
+// the version-versus-length cross-check, and the "claims are data, not
+// allocations" property the shared-fleet server leans on.
+// ---------------------------------------------------------------------
+
+#[test]
+fn v5_frames_have_the_documented_widened_layouts() {
+    // Body sizes (type byte + payload) pinned straight from
+    // docs/PROTOCOL.md: params 25 → 32 bytes at v5, HelloAck payload
+    // 25/33/40 across v3/v4/v5, ResumeAck payload 50/57 across v4/v5.
+    let v5 = SessionParams {
+        qos_weight: 9,
+        tenants: 33,
+        quota_ops: 70_000,
+        ..SessionParams::defaults()
+    };
+    let v4 = SessionParams {
+        version: 4,
+        ..SessionParams::defaults()
+    };
+    let v3 = SessionParams {
+        version: 3,
+        ..SessionParams::defaults()
+    };
+    let body_len = |frame: &Frame| encode_wire(frame).len() - 4;
+    assert_eq!(body_len(&Frame::Hello(v5)), 1 + 32);
+    assert_eq!(body_len(&Frame::Hello(v4)), 1 + 25);
+    let ack = |params: &SessionParams, token| Frame::HelloAck {
+        params: *params,
+        token,
+    };
+    assert_eq!(body_len(&ack(&v3, 0)), 1 + 25);
+    assert_eq!(body_len(&ack(&v4, 7)), 1 + 33);
+    assert_eq!(body_len(&ack(&v5, 7)), 1 + 40);
+    let rack = |params: &SessionParams| {
+        Frame::ResumeAck(ResumeAck {
+            params: *params,
+            token: 1,
+            next_seq: 2,
+            replay_events: 3,
+            finished: 0,
+        })
+    };
+    assert_eq!(body_len(&rack(&v4)), 1 + 50);
+    assert_eq!(body_len(&rack(&v5)), 1 + 57);
+
+    // The QoS/tenancy tail sits at pinned offsets 25/26/28 of the
+    // params block and round-trips exactly, both framings.
+    let wire = encode_wire(&Frame::Hello(v5));
+    let params = &wire[5..]; // length prefix + HELLO tag
+    assert_eq!(params[25], 9);
+    assert_eq!(u16::from_le_bytes(params[26..28].try_into().unwrap()), 33);
+    assert_eq!(
+        u32::from_le_bytes(params[28..32].try_into().unwrap()),
+        70_000
+    );
+    let hello = Frame::Hello(v5);
+    assert_eq!(decode_blocking(&wire).unwrap(), hello);
+    let crc_wire = encode_wire_crc(&hello);
+    assert_eq!(decode_blocking_crc(&crc_wire).unwrap(), hello);
+    assert_eq!(decode_trickled_crc(&crc_wire).unwrap(), Some(hello));
+}
+
+#[test]
+fn params_version_and_length_mismatches_are_typed_errors() {
+    // The params block's own version field selects its layout; a block
+    // whose length contradicts its claimed version must die as a typed
+    // BadLength in every carrier frame — a v5 header may not smuggle a
+    // short block past the tail reads, nor a v4 header an oversized one.
+    const HELLO_TAG: u8 = 0x01;
+    const HELLO_ACK_TAG: u8 = 0x81;
+    let frame_of = |body: Vec<u8>| {
+        let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&body);
+        wire
+    };
+    let params_claiming = |version: u16, len: usize| {
+        let mut block = vec![0u8; len];
+        block[0..2].copy_from_slice(&version.to_le_bytes());
+        block[20] = 2; // refresh: a legal default either way
+        block
+    };
+    for (version, len) in [(5u16, 25usize), (4, 32), (5, 31), (5, 33), (2, 32)] {
+        let mut body = vec![HELLO_TAG];
+        body.extend_from_slice(&params_claiming(version, len));
+        let wire = frame_of(body);
+        match decode_blocking(&wire) {
+            Err(ProtoError::BadLength { tag, got }) => {
+                assert_eq!(tag, HELLO_TAG);
+                assert_eq!(got, len, "v{version} Hello with a {len}-byte block");
+            }
+            other => panic!("v{version}/{len}B Hello decoded: {other:?}"),
+        }
+        // The same mismatched block inside a HelloAck (token appended
+        // per the *claimed* version) is rejected the same way.
+        let mut body = vec![HELLO_ACK_TAG];
+        body.extend_from_slice(&params_claiming(version, len));
+        if version >= 4 {
+            body.extend_from_slice(&7u64.to_le_bytes());
+        }
+        match decode_blocking(&frame_of(body)) {
+            Err(ProtoError::BadLength { tag, .. }) => assert_eq!(tag, HELLO_ACK_TAG),
+            other => panic!("v{version}/{len}B HelloAck decoded: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_tenant_and_quota_claims_decode_as_data_not_allocation() {
+    // `tenants` and `quota_ops` are *claims* the server polices against
+    // MAX_TENANT_CLAIM / MAX_QUOTA_CLAIM before allocating anything
+    // (pinned end to end in the fleet suite); the decoder's only job is
+    // to carry them. A maxed-out claim is a fixed 37-byte wire frame,
+    // not an allocation request, under both framings.
+    let greedy = Frame::Hello(SessionParams {
+        qos_weight: u8::MAX,
+        tenants: u16::MAX,
+        quota_ops: u32::MAX,
+        ..SessionParams::defaults()
+    });
+    let wire = encode_wire(&greedy);
+    assert_eq!(wire.len(), 4 + 1 + 32, "claims never change the layout");
+    assert_eq!(decode_blocking(&wire).unwrap(), greedy);
+    assert_eq!(decode_trickled(&wire).unwrap(), Some(greedy.clone()));
+    let crc_wire = encode_wire_crc(&greedy);
+    assert_eq!(decode_blocking_crc(&crc_wire).unwrap(), greedy);
+    assert_eq!(decode_trickled_crc(&crc_wire).unwrap(), Some(greedy));
 }
 
 #[test]
